@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Extension — deduplication quality (S5 / Scenario B semantics).
+ *
+ * The FaceNet-style deduplicator counts unique people by clustering
+ * sightings in the embedding space (Sec. 2.1). This bench sweeps the
+ * observation noise (camera quality / model maturity) and the join
+ * threshold, reporting the counted population versus ground truth and
+ * pairwise precision/recall — the knob the continuous-learning loop
+ * of Fig. 15 effectively turns.
+ */
+
+#include <cstdio>
+
+#include "apps/embedding.hpp"
+#include "sim/rng.hpp"
+
+using namespace hivemind;
+
+int
+main()
+{
+    std::printf("\n============================================================"
+                "====================\n"
+                "Ablation: deduplication quality — 25 people, 10 sightings "
+                "each\n"
+                "============================================================"
+                "====================\n");
+    std::printf("%-10s %-10s %10s %12s %10s\n", "noise", "threshold",
+                "counted", "precision", "recall");
+    for (double noise : {0.02, 0.06, 0.10, 0.15}) {
+        for (double threshold : {0.25, 0.45, 0.70}) {
+            sim::Rng rng(11);
+            auto ids = apps::make_identities(25, 0.9, rng);
+            apps::Deduplicator dedup(threshold);
+            std::vector<std::size_t> truth;
+            for (int round = 0; round < 10; ++round) {
+                for (std::size_t p = 0; p < ids.size(); ++p) {
+                    dedup.submit(apps::observe(ids[p], noise, rng));
+                    truth.push_back(p);
+                }
+            }
+            auto s = dedup.score(truth);
+            std::printf("%-10.2f %-10.2f %10zu %12.3f %10.3f\n", noise,
+                        threshold, dedup.unique_count(), s.precision,
+                        s.recall);
+        }
+    }
+    std::printf("\n(Low noise + a mid threshold count exactly 25; noisy "
+                "embeddings fragment clusters and inflate the count — the "
+                "error retraining removes in Fig. 15.)\n");
+    return 0;
+}

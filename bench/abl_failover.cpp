@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation — heartbeat timeout and failure recovery (Sec. 4.6,
+ * Fig. 10).
+ *
+ * Devices beat once per second; the controller declares a device dead
+ * after 3 s of silence and splits its region among the neighbours.
+ * This bench injects a device failure mid-scenario and sweeps the
+ * timeout, reporting detection latency and the impact on scenario
+ * completion; it also contrasts HiveMind (repartitions) with the
+ * centralized baseline (loses the region).
+ */
+
+#include "bench_util.hpp"
+#include "core/heartbeat.hpp"
+
+using namespace hivemind;
+using namespace hivemind::bench;
+
+int
+main()
+{
+    print_header("Ablation: failure detection & recovery",
+                 "Heartbeat timeout sweep (detection latency) and "
+                 "failure-recovery impact on Scenario A");
+
+    // --- Detection latency vs timeout (pure detector) ---
+    std::printf("%-12s %22s\n", "timeout", "detection latency (s)");
+    for (double timeout_s : {1.0, 3.0, 5.0, 10.0}) {
+        sim::Simulator simulator;
+        core::FailureDetector fd(simulator, 8, sim::kSecond,
+                                 sim::from_seconds(timeout_s));
+        sim::Summary detect;
+        fd.set_on_failure([&](std::size_t) {
+            detect.add(sim::to_seconds(simulator.now()) - 30.0);
+        });
+        fd.start();
+        // All devices beat; device 3 dies at t=30 s.
+        for (int t = 1; t <= 60; ++t) {
+            simulator.schedule_at(
+                t * sim::kSecond - 1, [&fd, t]() {
+                    for (std::size_t d = 0; d < 8; ++d) {
+                        if (d != 3 || t <= 30)
+                            fd.beat(d);
+                    }
+                });
+        }
+        simulator.run_until(60 * sim::kSecond);
+        fd.stop();
+        simulator.run();
+        std::printf("%9.0f s  %21.1f\n", timeout_s,
+                    detect.empty() ? -1.0 : detect.mean());
+    }
+
+    // --- Scenario impact: one drone's battery is nearly empty ---
+    std::printf("\nScenario A with a drone failure injected at t=10 s:\n"
+                "%-20s %12s %10s %10s\n", "Platform", "completion",
+                "found%", "completed");
+    for (auto opt : {platform::PlatformOptions::hivemind(),
+                     platform::PlatformOptions::centralized_faas()}) {
+        platform::ScenarioConfig sc = scenario_a();
+        sc.inject_failure_at = 10 * sim::kSecond;
+        sc.inject_failure_device = 5;
+        // With HiveMind the controller detects the silence in ~3-4 s
+        // and repartitions the strip (Fig. 10); the baseline keeps
+        // sweeping around the hole and relies on footprint overlap.
+        platform::RunMetrics m = platform::run_scenario(
+            sc, opt, paper_deployment(42));
+        std::printf("%-20s %11.1fs %9.1f%% %10s\n", opt.label.c_str(),
+                    m.completion_s, 100.0 * m.goal_fraction,
+                    m.completed ? "yes" : "no");
+    }
+    std::printf("\n(Sec. 4.6: a 3 s timeout detects failures in ~3-4 s; "
+                "shorter timeouts risk false positives on congested "
+                "wireless, longer ones delay repartitioning.)\n");
+    return 0;
+}

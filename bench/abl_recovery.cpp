@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Extension — fault-recovery policies (DSL Restore, Listing 2).
+ *
+ * Compares None (lost work), Respawn (OpenWhisk's default restart
+ * from scratch), and Checkpoint (resume from the last checkpoint)
+ * under increasing function-failure rates, plus a controller-failure
+ * episode recovered by a hot standby (Sec. 4.7).
+ */
+
+#include <memory>
+
+#include "bench_util.hpp"
+
+using namespace hivemind;
+using namespace hivemind::bench;
+
+namespace {
+
+struct Result
+{
+    sim::Summary latency;
+    std::uint64_t lost = 0;
+    std::uint64_t faults = 0;
+};
+
+Result
+run_policy(cloud::FaultRecovery policy, double fault_prob)
+{
+    sim::Simulator simulator;
+    sim::Rng rng(17);
+    cloud::Cluster cluster(12, 40, 192 * 1024);
+    cloud::DataStore store(simulator, rng, cloud::DataStoreConfig{});
+    cloud::FaasConfig cfg;
+    cfg.fault_prob = fault_prob;
+    cloud::FaasRuntime rt(simulator, rng, cluster, store, cfg);
+    Result out;
+    cloud::InvokeRequest req;
+    req.app = "S1";
+    req.work_core_ms = 350.0;
+    req.recovery = policy;
+    auto gen = std::make_shared<std::function<void()>>();
+    auto grng = std::make_shared<sim::Rng>(rng.fork());
+    *gen = [&, gen, grng]() {
+        if (simulator.now() >= 60 * sim::kSecond)
+            return;
+        rt.invoke(req, [&](const cloud::InvocationTrace& t) {
+            if (!t.lost)
+                out.latency.add(t.total_s());
+        });
+        simulator.schedule_in(
+            sim::from_seconds(grng->exponential(1.0 / 8.0)),
+            [gen]() { (*gen)(); });
+    };
+    simulator.schedule_at(0, [gen]() { (*gen)(); });
+    simulator.run();
+    out.lost = rt.lost();
+    out.faults = rt.faults();
+    return out;
+}
+
+}  // namespace
+
+int
+main()
+{
+    print_header("Ablation: fault recovery",
+                 "S1 under function failures: Restore policy comparison");
+    std::printf("%-12s %-12s %10s %10s %10s %10s\n", "fault rate",
+                "policy", "p50 (ms)", "p99 (ms)", "lost", "faults");
+    for (double rate : {0.1, 0.3, 0.5}) {
+        for (auto [name, policy] :
+             {std::pair{"None", cloud::FaultRecovery::None},
+              std::pair{"Respawn", cloud::FaultRecovery::Respawn},
+              std::pair{"Checkpoint", cloud::FaultRecovery::Checkpoint}}) {
+            Result r = run_policy(policy, rate);
+            char rl[16];
+            std::snprintf(rl, sizeof(rl), "%.0f%%", rate * 100.0);
+            std::printf("%-12s %-12s %10.0f %10.0f %10llu %10llu\n",
+                        rl, name,
+                        1000.0 * r.latency.median(),
+                        1000.0 * r.latency.p99(),
+                        static_cast<unsigned long long>(r.lost),
+                        static_cast<unsigned long long>(r.faults));
+        }
+    }
+
+    // --- Controller failover episode (Sec. 4.7) ---
+    std::printf("\nController failure at t=30 s (hot standby takeover vs "
+                "cold restart):\n%-24s %16s\n", "takeover", "p99 during "
+                "episode (ms)");
+    for (auto [label, takeover] :
+         {std::pair{"hot standby (0.5 s)", sim::from_millis(500.0)},
+          std::pair{"cold restart (20 s)", 20 * sim::kSecond}}) {
+        sim::Simulator simulator;
+        sim::Rng rng(19);
+        cloud::Cluster cluster(12, 40, 192 * 1024);
+        cloud::DataStore store(simulator, rng, cloud::DataStoreConfig{});
+        cloud::FaasRuntime rt(simulator, rng, cluster, store,
+                              cloud::FaasConfig{});
+        sim::Summary episode;
+        cloud::InvokeRequest req;
+        req.app = "S1";
+        req.work_core_ms = 350.0;
+        auto gen = std::make_shared<std::function<void()>>();
+        auto grng = std::make_shared<sim::Rng>(rng.fork());
+        *gen = [&, gen, grng]() {
+            if (simulator.now() >= 60 * sim::kSecond)
+                return;
+            sim::Time submit = simulator.now();
+            rt.invoke(req, [&, submit](const cloud::InvocationTrace& t) {
+                if (submit >= 28 * sim::kSecond &&
+                    submit <= 45 * sim::kSecond) {
+                    episode.add(t.total_s());
+                }
+            });
+            simulator.schedule_in(
+                sim::from_seconds(grng->exponential(1.0 / 8.0)),
+                [gen]() { (*gen)(); });
+        };
+        simulator.schedule_at(0, [gen]() { (*gen)(); });
+        sim::Time t = takeover;
+        simulator.schedule_at(30 * sim::kSecond,
+                              [&rt, t]() { rt.fail_controller(t); });
+        simulator.run();
+        std::printf("%-24s %16.0f\n", label, 1000.0 * episode.p99());
+    }
+    std::printf("\n(Checkpoint keeps tail latency near Respawn's median "
+                "even at 50%% fault rates; the hot standby makes a "
+                "controller crash a blip instead of an outage.)\n");
+    return 0;
+}

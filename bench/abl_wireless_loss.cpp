@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Extension — wireless unreliability (Sec. 1: edge devices "are prone
+ * to unreliable network connections").
+ *
+ * Sweeps the wireless corruption rate and measures its effect on S1's
+ * tail latency for the centralized stack versus HiveMind, whose
+ * smaller uplink payloads and straggler mitigation absorb most of the
+ * retransmission penalty.
+ */
+
+#include "bench_util.hpp"
+
+using namespace hivemind;
+using namespace hivemind::bench;
+
+int
+main()
+{
+    print_header("Ablation: wireless loss",
+                 "S1 latency (ms) vs wireless corruption rate");
+    std::printf("%-8s %24s %24s\n", "", "centralized cloud", "HiveMind");
+    std::printf("%-8s %11s %12s %11s %12s\n", "loss", "p50", "p99", "p50",
+                "p99");
+    for (double loss : {0.0, 0.01, 0.03, 0.10}) {
+        char ll[16];
+        std::snprintf(ll, sizeof(ll), "%.0f%%", loss * 100.0);
+        std::printf("%-8s", ll);
+        for (auto opt : {platform::PlatformOptions::centralized_faas(),
+                         platform::PlatformOptions::hivemind()}) {
+            platform::DeploymentConfig dep = paper_deployment(42);
+            dep.net.wireless_loss = loss;
+            platform::JobConfig job;
+            job.duration = 90 * sim::kSecond;
+            job.drain = 60 * sim::kSecond;
+            platform::RunMetrics m = platform::run_single_phase(
+                apps::app_by_id("S1"), opt, dep, job);
+            std::printf(" %11.0f %12.0f",
+                        1000.0 * m.task_latency_s.median(),
+                        1000.0 * m.task_latency_s.p99());
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(Retransmissions hit the centralized stack's 8 MB frame "
+                "batches much harder than HiveMind's pre-filtered "
+                "payloads.)\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig. 1 — Execution time and consumed battery for the item-location
+ * scenario across four platforms, on the "real" 16-drone swarm and a
+ * simulated 1000-drone swarm.
+ *
+ * For the 1000-drone rows the shared infrastructure scales with the
+ * swarm (Sec. 5.6) but the OpenWhisk controller does not — which is
+ * exactly the scalability wall the paper attributes to centralized
+ * platforms. Rows that hit the time cap are reported at the cap,
+ * marked '>' (the paper's centralized bars reach ~3000 s).
+ */
+
+#include <cmath>
+
+#include "bench_util.hpp"
+
+using namespace hivemind;
+using namespace hivemind::bench;
+
+namespace {
+
+void
+run_swarm(std::size_t devices, int repeats, sim::Time cap)
+{
+    std::printf("%-7zu drones\n", devices);
+    std::printf("%-20s %14s %21s\n", "Platform", "ExecTime(s)",
+                "ConsumedBattery(%)");
+    for (auto opt : {platform::PlatformOptions::centralized_iaas(),
+                     platform::PlatformOptions::centralized_faas(),
+                     platform::PlatformOptions::distributed_edge(),
+                     platform::PlatformOptions::hivemind()}) {
+        platform::ScenarioConfig sc = scenario_a();
+        sc.time_cap = cap;
+        platform::DeploymentConfig dep = paper_deployment(42);
+        dep.devices = devices;
+        if (devices > 16) {
+            dep.scale_infra = true;
+            // 15 items per 16 drones' worth of field, scaled up.
+            sc.field_size_m = 96.0 * std::sqrt(devices / 16.0);
+            sc.targets = 15 * devices / 16;
+        }
+        // The IaaS baseline reserves a fixed equal-cost pool.
+        dep.iaas.workers = static_cast<int>(devices * 4);
+        platform::RunMetrics m =
+            run_scenario_repeated(sc, opt, dep, repeats);
+        std::printf("%-20s %13s%s %20.1f%s\n", opt.label.c_str(),
+                    platform::format_cell(m.completion_s, 13, 1).c_str(),
+                    m.completed ? " " : ">",
+                    m.battery_pct.mean(), m.completed ? "" : " (incomplete)");
+    }
+    std::printf("\n");
+}
+
+}  // namespace
+
+int
+main()
+{
+    print_header("Figure 1",
+                 "Item-location scenario: execution time and battery, "
+                 "16 real vs 1000 simulated drones");
+    run_swarm(16, 3, 1500 * sim::kSecond);
+    run_swarm(1000, 1, 900 * sim::kSecond);
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fig. 3a — Latency breakdown into network, management (scheduling +
+ * instantiation), and cloud execution when everything runs in the
+ * centralized serverless cloud, for S1-S10 and both scenarios.
+ *
+ * Paper anchor: networking is at least 22% of median latency (33% on
+ * average) and a larger share of the tail.
+ */
+
+#include "bench_util.hpp"
+
+using namespace hivemind;
+using namespace hivemind::bench;
+
+namespace {
+
+void
+print_row(const char* name, const platform::RunMetrics& m)
+{
+    auto share = [](double part, double total) {
+        return total > 0.0 ? 100.0 * part / total : 0.0;
+    };
+    double med = m.task_latency_s.median();
+    double tail = m.task_latency_s.p99();
+    // Execution share includes data exchange (the paper folds data
+    // sharing into "execution" for this figure). Stage percentiles are
+    // computed independently, so shares are normalized to sum to 100.
+    double med_exec_part = m.data_s.median() + m.exec_s.median();
+    double med_sum =
+        m.network_s.median() + m.mgmt_s.median() + med_exec_part;
+    double med_net = share(m.network_s.median(), med_sum);
+    double med_mgmt = share(m.mgmt_s.median(), med_sum);
+    double med_exec = share(med_exec_part, med_sum);
+    double tail_exec_part = m.data_s.p99() + m.exec_s.p99();
+    double tail_sum = m.network_s.p99() + m.mgmt_s.p99() + tail_exec_part;
+    double tail_net = share(m.network_s.p99(), tail_sum);
+    double tail_mgmt = share(m.mgmt_s.p99(), tail_sum);
+    double tail_exec = share(tail_exec_part, tail_sum);
+    std::printf("%-5s %8.1f %8.1f %8.1f   %8.1f %8.1f %8.1f   %9.3f %9.3f\n",
+                name, med_net, med_mgmt, med_exec, tail_net, tail_mgmt,
+                tail_exec, med, tail);
+}
+
+}  // namespace
+
+int
+main()
+{
+    print_header("Figure 3a",
+                 "Latency breakdown (%) under fully centralized serverless "
+                 "execution");
+    std::printf("%-5s %26s   %26s   %19s\n", "", "---- median share % ----",
+                "----- p99 share % ------", "latency (s)");
+    std::printf("%-5s %8s %8s %8s   %8s %8s %8s   %9s %9s\n", "Job", "net",
+                "mgmt", "exec", "net", "mgmt", "exec", "median", "p99");
+
+    double net_share_sum = 0.0;
+    int rows = 0;
+    for (const apps::AppSpec& app : apps::all_apps()) {
+        platform::RunMetrics m = run_job_repeated(
+            app, platform::PlatformOptions::centralized_faas(), paper_job(),
+            2);
+        print_row(app.id.c_str(), m);
+        net_share_sum += 100.0 * m.network_s.median() /
+            m.task_latency_s.median();
+        ++rows;
+    }
+    for (auto [name, sc] : {std::pair{"ScA", scenario_a()},
+                            std::pair{"ScB", scenario_b()}}) {
+        platform::RunMetrics m = run_scenario_repeated(
+            sc, platform::PlatformOptions::centralized_faas(),
+            paper_deployment(42), 2);
+        print_row(name, m);
+        net_share_sum +=
+            100.0 * m.network_s.median() / m.task_latency_s.median();
+        ++rows;
+    }
+    std::printf("\nMean networking share of median latency: %.1f%% "
+                "(paper: 33%% average, >=22%% per job)\n",
+                net_share_sum / rows);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 3b — Network bandwidth utilization and tail latency for face
+ * recognition (S1) as the number of drones and the image resolution
+ * grow, with all frames offloaded at 8 fps.
+ *
+ * Paper anchor: "Tail latency remains low for fewer than 4 drones,
+ * even for max resolution (8MP). As the number of drones increases,
+ * the network saturates, and latency increases dramatically."
+ */
+
+#include "bench_util.hpp"
+
+using namespace hivemind;
+using namespace hivemind::bench;
+
+int
+main()
+{
+    print_header("Figure 3b",
+                 "S1 bandwidth (MB/s) and p99 latency (ms) vs #drones and "
+                 "frame size, 8 fps full offload");
+    const std::uint64_t kSizes[] = {512u << 10, 1u << 20, 2u << 20,
+                                    4u << 20, 8u << 20};
+    const char* kLabels[] = {"512KB", "1MB", "2MB", "4MB", "8MB"};
+
+    std::printf("%-8s", "drones");
+    for (const char* l : kLabels)
+        std::printf("  %9s(BW)  %9s(p99)", l, l);
+    std::printf("\n");
+
+    for (std::size_t drones : {2u, 4u, 8u, 12u, 16u}) {
+        std::printf("%-8zu", drones);
+        for (std::size_t i = 0; i < 5; ++i) {
+            apps::AppSpec app = apps::app_by_id("S1");
+            app.task_rate_hz = 8.0;  // Full camera stream, one task/frame.
+            app.input_bytes = kSizes[i];
+            platform::DeploymentConfig dep = paper_deployment(7);
+            dep.devices = drones;
+            platform::JobConfig job;
+            job.duration = 40 * sim::kSecond;
+            job.drain = 40 * sim::kSecond;
+            platform::RunMetrics m = platform::run_single_phase(
+                app, platform::PlatformOptions::centralized_faas(), dep,
+                job);
+            std::printf("  %13.1f  %14.0f", m.bandwidth_MBps.mean(),
+                        1000.0 * m.task_latency_s.p99());
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(The paper's curves: low latency below ~4 drones at max "
+                "resolution; saturation beyond.)\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fig. 4 — Task-latency distributions under fully centralized
+ * (serverless cloud) versus fully distributed (on-board) execution,
+ * for the ten single-phase jobs and both end-to-end scenarios.
+ *
+ * The paper plots violins; we print the five-number summary of each
+ * distribution (p5/p25/p50/p75/p95) — the same information, in rows.
+ * Paper anchors: centralized wins for most jobs; S3 and S7 are
+ * comparable; S4 is better at the edge.
+ */
+
+#include "bench_util.hpp"
+
+using namespace hivemind;
+using namespace hivemind::bench;
+
+namespace {
+
+void
+print_quantiles(const char* label, const sim::Summary& s, double scale)
+{
+    std::printf("  %-12s %9.1f %9.1f %9.1f %9.1f %9.1f\n", label,
+                scale * s.percentile(5), scale * s.percentile(25),
+                scale * s.median(), scale * s.percentile(75),
+                scale * s.percentile(95));
+}
+
+}  // namespace
+
+int
+main()
+{
+    print_header("Figure 4",
+                 "Task latency distributions: centralized cloud vs "
+                 "distributed edge");
+    std::printf("(a) single-phase jobs, task latency in ms\n");
+    std::printf("%-17s %9s %9s %9s %9s %9s\n", "", "p5", "p25", "p50",
+                "p75", "p95");
+    for (const apps::AppSpec& app : apps::all_apps()) {
+        platform::RunMetrics centr = run_job_repeated(
+            app, platform::PlatformOptions::centralized_faas(), paper_job(),
+            2);
+        platform::RunMetrics distr = run_job_repeated(
+            app, platform::PlatformOptions::distributed_edge(), paper_job(),
+            2);
+        std::printf("%s: %s\n", app.id.c_str(), app.name.c_str());
+        print_quantiles("centralized", centr.task_latency_s, 1000.0);
+        print_quantiles("distributed", distr.task_latency_s, 1000.0);
+    }
+
+    std::printf("\n(b) end-to-end scenarios, job (completion) latency in s "
+                "over repeats\n");
+    for (auto [name, sc] : {std::pair{"Scenario A", scenario_a()},
+                            std::pair{"Scenario B", scenario_b()}}) {
+        for (auto opt : {platform::PlatformOptions::centralized_faas(),
+                         platform::PlatformOptions::distributed_edge()}) {
+            sim::Summary completions;
+            bool all_completed = true;
+            for (int r = 0; r < 4; ++r) {
+                platform::DeploymentConfig dep =
+                    paper_deployment(100 + static_cast<std::uint64_t>(r));
+                platform::RunMetrics m =
+                    platform::run_scenario(sc, opt, dep);
+                completions.add(m.completion_s);
+                all_completed = all_completed && m.completed;
+            }
+            std::printf("%s / %-18s median %7.1f s  p95 %7.1f s%s\n", name,
+                        opt.label.c_str(), completions.median(),
+                        completions.percentile(95),
+                        all_completed ? "" : "  [not always completed]");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Fig. 5b — Face-recognition latency under a fluctuating load:
+ * serverless versus fixed deployments provisioned for the average and
+ * for the worst-case load.
+ *
+ * Paper anchors: serverless follows the load; the average-provisioned
+ * pool saturates at the peak; the max-provisioned pool keeps latency
+ * flat but idles most of the run.
+ */
+
+#include <cmath>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "cloud/iaas.hpp"
+
+using namespace hivemind;
+using namespace hivemind::bench;
+
+namespace {
+
+constexpr sim::Time kDuration = 400 * sim::kSecond;
+constexpr sim::Time kWindow = 20 * sim::kSecond;
+
+/** Per-window median latency of (completion time, latency) samples. */
+std::vector<double>
+window_medians(const std::vector<std::pair<sim::Time, double>>& samples)
+{
+    std::size_t windows =
+        static_cast<std::size_t>(kDuration / kWindow);
+    std::vector<sim::Summary> acc(windows);
+    for (const auto& [t, lat] : samples) {
+        std::size_t w = static_cast<std::size_t>(t / kWindow);
+        if (w < windows)
+            acc[w].add(lat);
+    }
+    std::vector<double> out;
+    out.reserve(windows);
+    for (auto& s : acc)
+        out.push_back(s.median() * 1000.0);
+    return out;
+}
+
+}  // namespace
+
+int
+main()
+{
+    print_header("Figure 5b",
+                 "S1 latency under fluctuating load: serverless vs fixed "
+                 "(avg / max provisioned); per-20s-window median ms");
+    const apps::AppSpec& app = apps::app_by_id("S1");
+    apps::LoadPattern pattern =
+        apps::LoadPattern::fluctuating(1.0, 80.0, kDuration);
+    double avg_rate = pattern.average(kDuration);
+    double peak_rate = pattern.peak();
+
+    auto drive_pattern = [&](auto submit) {
+        // Shared driver: open-loop arrivals following the pattern.
+        static thread_local int dummy = 0;
+        (void)dummy;
+        return submit;
+    };
+    (void)drive_pattern;
+
+    // Collected series per deployment.
+    std::vector<std::pair<sim::Time, double>> faas_s, avg_s, max_s;
+    std::vector<double> util_avg, util_max;
+
+    // --- Serverless ---
+    {
+        sim::Simulator simulator;
+        sim::Rng rng(3);
+        cloud::Cluster cluster(12, 40, 192 * 1024);
+        cloud::DataStore store(simulator, rng, cloud::DataStoreConfig{});
+        cloud::FaasRuntime rt(simulator, rng, cluster, store,
+                              cloud::FaasConfig{});
+        auto gen = std::make_shared<std::function<void()>>();
+        auto grng = std::make_shared<sim::Rng>(rng.fork());
+        *gen = [&, gen, grng]() {
+            if (simulator.now() >= kDuration)
+                return;
+            cloud::InvokeRequest req;
+            req.app = app.id;
+            req.work_core_ms = app.work_core_ms;
+            req.memory_mb = app.memory_mb;
+            rt.invoke(req, [&](const cloud::InvocationTrace& t) {
+                faas_s.emplace_back(t.done, t.total_s());
+            });
+            double rate = std::max(pattern.rate_at(simulator.now()), 0.2);
+            simulator.schedule_in(
+                sim::from_seconds(grng->exponential(1.0 / rate)),
+                [gen]() { (*gen)(); });
+        };
+        simulator.schedule_at(0, [gen]() { (*gen)(); });
+        simulator.run();
+    }
+
+    // --- Fixed pools ---
+    auto run_fixed = [&](double provision_rate,
+                         std::vector<std::pair<sim::Time, double>>& out) {
+        sim::Simulator simulator;
+        sim::Rng rng(3);
+        cloud::IaasConfig cfg;
+        cfg.workers = std::max(
+            1, static_cast<int>(std::ceil(
+                   provision_rate * app.work_core_ms / 1000.0 * 1.15)));
+        cloud::IaasPool pool(simulator, rng, cfg);
+        auto gen = std::make_shared<std::function<void()>>();
+        auto grng = std::make_shared<sim::Rng>(rng.fork());
+        *gen = [&, gen, grng]() {
+            if (simulator.now() >= kDuration)
+                return;
+            pool.submit(app.work_core_ms, [&](const cloud::IaasTrace& t) {
+                out.emplace_back(t.done, t.total_s());
+            });
+            double rate = std::max(pattern.rate_at(simulator.now()), 0.2);
+            simulator.schedule_in(
+                sim::from_seconds(grng->exponential(1.0 / rate)),
+                [gen]() { (*gen)(); });
+        };
+        simulator.schedule_at(0, [gen]() { (*gen)(); });
+        simulator.run();
+        return cfg.workers;
+    };
+    int avg_workers = run_fixed(avg_rate, avg_s);
+    int max_workers = run_fixed(peak_rate, max_s);
+
+    std::printf("offered load: low 1.0 Hz, peak %.0f Hz, average %.1f Hz\n",
+                peak_rate, avg_rate);
+    std::printf("fixed pools: avg-provisioned %d workers, max-provisioned "
+                "%d workers\n\n",
+                avg_workers, max_workers);
+    std::printf("%8s %12s %14s %14s %14s\n", "time(s)", "load(Hz)",
+                "serverless", "fixed-avg", "fixed-max");
+    auto f = window_medians(faas_s);
+    auto a = window_medians(avg_s);
+    auto m = window_medians(max_s);
+    for (std::size_t w = 0; w < f.size(); ++w) {
+        sim::Time t = static_cast<sim::Time>(w) * kWindow + kWindow / 2;
+        std::printf("%8.0f %12.1f %14.0f %14.0f %14.0f\n",
+                    sim::to_seconds(t), pattern.rate_at(t), f[w], a[w],
+                    m[w]);
+    }
+    std::printf("\n(Paper: serverless tracks the load; the avg-provisioned "
+                "pool saturates at the peak; the max pool wastes idle "
+                "resources.)\n");
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fig. 5c — Number of active serverless tasks over time while a
+ * fraction of functions fail mid-run (0/5/10/20%), under the same
+ * fluctuating load as Fig. 5b.
+ *
+ * Paper anchor: "Even for 20% failed tasks, OpenWhisk is able to hide
+ * the increased workload, by quickly respawning tasks on new cores."
+ */
+
+#include <memory>
+
+#include "bench_util.hpp"
+
+using namespace hivemind;
+using namespace hivemind::bench;
+
+namespace {
+
+constexpr sim::Time kDuration = 200 * sim::kSecond;
+constexpr sim::Time kWindow = 10 * sim::kSecond;
+
+struct SeriesResult
+{
+    std::vector<double> active;
+    std::uint64_t completed = 0;
+    std::uint64_t faults = 0;
+};
+
+SeriesResult
+run_with_faults(double fault_prob)
+{
+    const apps::AppSpec& app = apps::app_by_id("S1");
+    apps::LoadPattern pattern =
+        apps::LoadPattern::fluctuating(4.0, 60.0, kDuration);
+    sim::Simulator simulator;
+    sim::Rng rng(9);
+    cloud::Cluster cluster(12, 40, 192 * 1024);
+    cloud::DataStore store(simulator, rng, cloud::DataStoreConfig{});
+    cloud::FaasConfig cfg;
+    cfg.fault_prob = fault_prob;
+    cloud::FaasRuntime rt(simulator, rng, cluster, store, cfg);
+    auto gen = std::make_shared<std::function<void()>>();
+    auto grng = std::make_shared<sim::Rng>(rng.fork());
+    *gen = [&, gen, grng]() {
+        if (simulator.now() >= kDuration)
+            return;
+        cloud::InvokeRequest req;
+        req.app = app.id;
+        req.work_core_ms = app.work_core_ms;
+        req.memory_mb = app.memory_mb;
+        rt.invoke(req, nullptr);
+        double rate = std::max(pattern.rate_at(simulator.now()), 0.2);
+        simulator.schedule_in(
+            sim::from_seconds(grng->exponential(1.0 / rate)),
+            [gen]() { (*gen)(); });
+    };
+    simulator.schedule_at(0, [gen]() { (*gen)(); });
+    simulator.run();
+    SeriesResult out;
+    out.active = rt.active_series().window_means(kWindow, kDuration);
+    out.completed = rt.completed();
+    out.faults = rt.faults();
+    return out;
+}
+
+}  // namespace
+
+int
+main()
+{
+    print_header("Figure 5c",
+                 "Active serverless tasks over time under function "
+                 "failures (per-10s-window mean)");
+    const double rates[] = {0.0, 0.05, 0.10, 0.20};
+    SeriesResult results[4];
+    for (int i = 0; i < 4; ++i)
+        results[i] = run_with_faults(rates[i]);
+
+    std::printf("%8s %12s %12s %12s %12s\n", "time(s)", "no faults", "5%",
+                "10%", "20%");
+    for (std::size_t w = 0; w < results[0].active.size(); ++w) {
+        std::printf("%8.0f", sim::to_seconds(
+                                 static_cast<sim::Time>(w) * kWindow));
+        for (int i = 0; i < 4; ++i)
+            std::printf(" %12.0f", results[i].active[w]);
+        std::printf("\n");
+    }
+    std::printf("\n%-12s %12s %12s\n", "fault rate", "completed", "faults");
+    for (int i = 0; i < 4; ++i) {
+        char rl[16];
+        std::snprintf(rl, sizeof(rl), "%.0f%%", rates[i] * 100.0);
+        std::printf("%-12s %12llu %12llu\n", rl,
+                    static_cast<unsigned long long>(results[i].completed),
+                    static_cast<unsigned long long>(results[i].faults));
+    }
+    std::printf("\n(Paper: respawning hides up to 20%% failures; active "
+                "tasks rise slightly with the fault rate but every task "
+                "completes.)\n");
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fig. 6a — Task-latency variability on reserved versus serverless
+ * deployments at modest load, for S1-S10.
+ *
+ * Paper anchor: "Latency variability is consistently higher with
+ * serverless", driven by instantiation, scheduler placement, and
+ * data sharing between dependent functions.
+ */
+
+#include <memory>
+
+#include "bench_util.hpp"
+#include "cloud/iaas.hpp"
+
+using namespace hivemind;
+using namespace hivemind::bench;
+
+namespace {
+
+constexpr sim::Time kDuration = 90 * sim::kSecond;
+
+template <typename SubmitFn>
+void
+drive(sim::Simulator& simulator, sim::Rng& rng, double rate_hz,
+      SubmitFn submit)
+{
+    auto gen = std::make_shared<std::function<void()>>();
+    auto grng = std::make_shared<sim::Rng>(rng.fork());
+    *gen = [&simulator, grng, rate_hz, submit, gen]() {
+        if (simulator.now() >= kDuration)
+            return;
+        submit();
+        simulator.schedule_in(
+            sim::from_seconds(grng->exponential(1.0 / rate_hz)),
+            [gen]() { (*gen)(); });
+    };
+    simulator.schedule_at(0, [gen]() { (*gen)(); });
+}
+
+}  // namespace
+
+int
+main()
+{
+    print_header("Figure 6a",
+                 "Latency variability (ms): reserved vs serverless at "
+                 "modest load");
+    std::printf("%-5s %33s  %33s\n", "",
+                "---------- reserved ----------",
+                "--------- serverless ---------");
+    std::printf("%-5s %7s %7s %7s %9s  %7s %7s %7s %9s\n", "Job", "p5",
+                "p50", "p95", "p95/p50", "p5", "p50", "p95", "p95/p50");
+
+    for (const apps::AppSpec& app : apps::all_apps()) {
+        // Modest load: half the paper's default swarm rate.
+        double rate = app.task_rate_hz * 8.0;
+
+        sim::Summary reserved;
+        {
+            sim::Simulator simulator;
+            sim::Rng rng(4);
+            cloud::IaasConfig cfg;
+            cfg.workers = 64;  // Amply provisioned reserved pool.
+            cloud::IaasPool pool(simulator, rng, cfg);
+            drive(simulator, rng, rate, [&]() {
+                pool.submit(app.work_core_ms,
+                            [&](const cloud::IaasTrace& t) {
+                                reserved.add(t.total_s());
+                            });
+            });
+            simulator.run();
+        }
+
+        sim::Summary faas;
+        {
+            sim::Simulator simulator;
+            sim::Rng rng(4);
+            cloud::Cluster cluster(12, 40, 192 * 1024);
+            cloud::DataStore store(simulator, rng,
+                                   cloud::DataStoreConfig{});
+            cloud::FaasRuntime rt(simulator, rng, cluster, store,
+                                  cloud::FaasConfig{});
+            drive(simulator, rng, rate, [&]() {
+                cloud::InvokeRequest req;
+                req.app = app.id;
+                req.work_core_ms = app.work_core_ms;
+                req.memory_mb = app.memory_mb;
+                req.input_bytes = app.inter_bytes;
+                req.output_bytes = app.inter_bytes;
+                rt.invoke(req, [&](const cloud::InvocationTrace& t) {
+                    faas.add(t.total_s());
+                });
+            });
+            simulator.run();
+        }
+
+        auto spread = [](const sim::Summary& s) {
+            double med = s.median();
+            return med > 0.0 ? s.percentile(95) / med : 0.0;
+        };
+        std::printf(
+            "%-5s %7.0f %7.0f %7.0f %9.2f  %7.0f %7.0f %7.0f %9.2f\n",
+            app.id.c_str(), 1000.0 * reserved.percentile(5),
+            1000.0 * reserved.median(), 1000.0 * reserved.percentile(95),
+            spread(reserved), 1000.0 * faas.percentile(5),
+            1000.0 * faas.median(), 1000.0 * faas.percentile(95),
+            spread(faas));
+    }
+    std::printf("\n(Paper: the p95/p50 spread is consistently wider under "
+                "serverless.)\n");
+    return 0;
+}

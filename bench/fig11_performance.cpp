@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 11 — Task-latency distributions with centralized cloud,
+ * distributed edge, and HiveMind, across S1-S10 and both scenarios.
+ *
+ * Paper anchors: HiveMind's latency is consistently lower and less
+ * variable; compute/memory-heavy jobs (S6, S9, ScB) gain the most;
+ * S3 and S4 gain the least.
+ */
+
+#include "bench_util.hpp"
+
+using namespace hivemind;
+using namespace hivemind::bench;
+
+int
+main()
+{
+    print_header("Figure 11",
+                 "Task latency (ms): centralized vs distributed vs HiveMind");
+    std::printf("%-5s %30s %30s %30s\n", "", "centralized cloud",
+                "distributed edge", "HiveMind");
+    std::printf("%-5s %9s %9s %9s  %9s %9s %9s  %9s %9s %9s\n", "Job",
+                "p25", "p50", "p95", "p25", "p50", "p95", "p25", "p50",
+                "p95");
+
+    double hive_gain_sum = 0.0;
+    double hive_gain_max = 0.0;
+    for (const apps::AppSpec& app : apps::all_apps()) {
+        platform::RunMetrics rows[3];
+        int i = 0;
+        for (auto opt : {platform::PlatformOptions::centralized_faas(),
+                         platform::PlatformOptions::distributed_edge(),
+                         platform::PlatformOptions::hivemind()}) {
+            rows[i++] = run_job_repeated(app, opt, paper_job(), 2);
+        }
+        auto ms = [](const platform::RunMetrics& m, double p) {
+            return 1000.0 * m.task_latency_s.percentile(p);
+        };
+        std::printf("%-5s %9.0f %9.0f %9.0f  %9.0f %9.0f %9.0f  %9.0f "
+                    "%9.0f %9.0f\n",
+                    app.id.c_str(), ms(rows[0], 25), ms(rows[0], 50),
+                    ms(rows[0], 95), ms(rows[1], 25), ms(rows[1], 50),
+                    ms(rows[1], 95), ms(rows[2], 25), ms(rows[2], 50),
+                    ms(rows[2], 95));
+        double gain = rows[0].task_latency_s.median() /
+            rows[2].task_latency_s.median();
+        hive_gain_sum += gain;
+        hive_gain_max = std::max(hive_gain_max, gain);
+    }
+
+    std::printf("\nScenarios (completion time in s over repeats):\n");
+    for (auto [name, sc] : {std::pair{"ScA", scenario_a()},
+                            std::pair{"ScB", scenario_b()}}) {
+        std::printf("%-4s", name);
+        for (auto opt : {platform::PlatformOptions::centralized_faas(),
+                         platform::PlatformOptions::distributed_edge(),
+                         platform::PlatformOptions::hivemind()}) {
+            platform::RunMetrics m = run_scenario_repeated(
+                sc, opt, paper_deployment(42), 3);
+            std::printf("  %s med %7.1f%s", opt.label.c_str(),
+                        m.completion_s, m.completed ? "" : " (incomplete)");
+        }
+        std::printf("\n");
+    }
+    std::printf("\nHiveMind vs centralized median speedup: mean %.2fx, max "
+                "%.2fx (paper: 56%% better on average, up to 2.85x)\n",
+                hive_gain_sum / 10.0, hive_gain_max);
+    return 0;
+}

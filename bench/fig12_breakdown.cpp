@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fig. 12 — Tail-latency breakdown (network / management / data I/O /
+ * execution) for the fully centralized system versus HiveMind.
+ *
+ * Paper anchors: network acceleration + hybrid placement drop the
+ * networking share from 33% to ~9.3%; management (instantiation)
+ * collapses under the HiveMind scheduler; remote memory shrinks data
+ * I/O; only the execution share grows (some tasks run on slower edge
+ * silicon), which is the intended trade.
+ */
+
+#include "bench_util.hpp"
+
+using namespace hivemind;
+using namespace hivemind::bench;
+
+namespace {
+
+struct Shares
+{
+    double net, mgmt, data, exec;
+};
+
+Shares
+tail_shares(const platform::RunMetrics& m)
+{
+    double n = m.network_s.p99();
+    double g = m.mgmt_s.p99();
+    double d = m.data_s.p99();
+    double e = m.exec_s.p99();
+    double sum = n + g + d + e;
+    if (sum <= 0.0)
+        return {0, 0, 0, 0};
+    return {100.0 * n / sum, 100.0 * g / sum, 100.0 * d / sum,
+            100.0 * e / sum};
+}
+
+}  // namespace
+
+int
+main()
+{
+    print_header("Figure 12",
+                 "p99 latency breakdown (%): centralized cloud vs HiveMind");
+    std::printf("%-5s %35s   %35s\n", "",
+                "---------- centralized ----------",
+                "----------- HiveMind ------------");
+    std::printf("%-5s %8s %8s %8s %8s   %8s %8s %8s %8s %9s\n", "Job",
+                "net", "mgmt", "dataIO", "exec", "net", "mgmt", "dataIO",
+                "exec", "p99(ms)");
+
+    double centr_net_sum = 0.0, hive_net_sum = 0.0;
+    int rows = 0;
+    for (const apps::AppSpec& app : apps::all_apps()) {
+        platform::RunMetrics centr = run_job_repeated(
+            app, platform::PlatformOptions::centralized_faas(), paper_job(),
+            2);
+        platform::RunMetrics hive = run_job_repeated(
+            app, platform::PlatformOptions::hivemind(), paper_job(), 2);
+        Shares c = tail_shares(centr);
+        Shares h = tail_shares(hive);
+        centr_net_sum += c.net;
+        hive_net_sum += h.net;
+        ++rows;
+        std::printf(
+            "%-5s %8.1f %8.1f %8.1f %8.1f   %8.1f %8.1f %8.1f %8.1f %9.0f\n",
+            app.id.c_str(), c.net, c.mgmt, c.data, c.exec, h.net, h.mgmt,
+            h.data, h.exec, 1000.0 * hive.task_latency_s.p99());
+    }
+    for (auto [name, sc] : {std::pair{"ScA", scenario_a()},
+                            std::pair{"ScB", scenario_b()}}) {
+        platform::RunMetrics centr = run_scenario_repeated(
+            sc, platform::PlatformOptions::centralized_faas(),
+            paper_deployment(42), 2);
+        platform::RunMetrics hive = run_scenario_repeated(
+            sc, platform::PlatformOptions::hivemind(), paper_deployment(42),
+            2);
+        Shares c = tail_shares(centr);
+        Shares h = tail_shares(hive);
+        centr_net_sum += c.net;
+        hive_net_sum += h.net;
+        ++rows;
+        std::printf(
+            "%-5s %8.1f %8.1f %8.1f %8.1f   %8.1f %8.1f %8.1f %8.1f %9.0f\n",
+            name, c.net, c.mgmt, c.data, c.exec, h.net, h.mgmt, h.data,
+            h.exec, 1000.0 * hive.task_latency_s.p99());
+    }
+    std::printf("\nMean networking share: centralized %.1f%% -> HiveMind "
+                "%.1f%% (paper: 33%% -> 9.3%%)\n",
+                centr_net_sum / rows, hive_net_sum / rows);
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig. 14 — Battery consumption (a) and network bandwidth (b) across
+ * the three platforms for S1-S10 and both scenarios.
+ *
+ * Paper anchors: HiveMind consumes much less battery than distributed
+ * (offloads heavy compute) and less than centralized (fewer bytes);
+ * S3/S4 are the exceptions where HiveMind draws slightly more than
+ * centralized; HiveMind's bandwidth sits between distributed and
+ * centralized, with a small mean-to-tail gap.
+ */
+
+#include "bench_util.hpp"
+
+using namespace hivemind;
+using namespace hivemind::bench;
+
+int
+main()
+{
+    print_header("Figure 14",
+                 "Battery (% consumed, mean/p99) and air bandwidth (MB/s, "
+                 "mean/p99) per platform");
+    std::printf("%-5s %28s %28s %28s\n", "", "centralized cloud",
+                "distributed edge", "HiveMind");
+    std::printf("%-5s %13s %14s %13s %14s %13s %14s\n", "Job", "batt m/p99",
+                "bw m/p99", "batt m/p99", "bw m/p99", "batt m/p99",
+                "bw m/p99");
+
+    auto row = [](const platform::RunMetrics& m) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%5.1f/%5.1f %6.1f/%6.1f",
+                      m.battery_pct.mean(), m.battery_pct.p99(),
+                      m.bandwidth_MBps.mean(), m.bandwidth_MBps.p99());
+        return std::string(buf);
+    };
+
+    platform::JobConfig job = paper_job();
+    job.include_motion_energy = true;  // Devices fly for the mission.
+    for (const apps::AppSpec& app : apps::all_apps()) {
+        std::printf("%-5s", app.id.c_str());
+        for (auto opt : {platform::PlatformOptions::centralized_faas(),
+                         platform::PlatformOptions::distributed_edge(),
+                         platform::PlatformOptions::hivemind()}) {
+            platform::RunMetrics m =
+                run_job_repeated(app, opt, job, 2);
+            std::printf(" %28s", row(m).c_str());
+        }
+        std::printf("\n");
+    }
+    for (auto [name, sc] : {std::pair{"ScA", scenario_a()},
+                            std::pair{"ScB", scenario_b()}}) {
+        std::printf("%-5s", name);
+        for (auto opt : {platform::PlatformOptions::centralized_faas(),
+                         platform::PlatformOptions::distributed_edge(),
+                         platform::PlatformOptions::hivemind()}) {
+            platform::RunMetrics m = run_scenario_repeated(
+                sc, opt, paper_deployment(42), 2);
+            std::printf(" %28s", row(m).c_str());
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(Job rows charge compute + radio, the application-"
+                "attributable draw; scenario rows include motion for the "
+                "whole mission, so faster completion = less battery.)\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fig. 15 — Detection quality (correct / false negatives / false
+ * positives) without retraining, with per-device retraining, and with
+ * swarm-wide retraining, for both scenarios.
+ *
+ * Paper anchor: "using the entire swarm's decisions to globally
+ * retrain the models quickly resolves any remaining false negatives
+ * and false positives."
+ */
+
+#include "bench_util.hpp"
+
+using namespace hivemind;
+using namespace hivemind::bench;
+
+int
+main()
+{
+    print_header("Figure 15",
+                 "Detection accuracy (%) by retraining mode, end of "
+                 "scenario (HiveMind platform)");
+    std::printf("%-12s %-8s %9s %9s %9s %11s %10s\n", "Scenario", "Mode",
+                "Correct", "FalseNeg", "FalsePos", "Completion", "Found%");
+    for (auto [name, base] : {std::pair{"Scenario A", scenario_a()},
+                              std::pair{"Scenario B", scenario_b()}}) {
+        for (apps::RetrainMode mode :
+             {apps::RetrainMode::None, apps::RetrainMode::Self,
+              apps::RetrainMode::Swarm}) {
+            platform::ScenarioConfig sc = base;
+            sc.retrain = mode;
+            platform::RunMetrics m = run_scenario_repeated(
+                sc, platform::PlatformOptions::hivemind(),
+                paper_deployment(42), 3);
+            std::printf("%-12s %-8s %9.1f %9.1f %9.1f %10.1fs %9.1f%%\n",
+                        name, apps::to_string(mode), m.detect_correct_pct,
+                        m.detect_fn_pct, m.detect_fp_pct, m.completion_s,
+                        100.0 * m.goal_fraction);
+        }
+    }
+    std::printf("\n(Paper: swarm-wide retraining drives FN/FP to ~zero; "
+                "self-only retraining is intermediate; no retraining keeps "
+                "the pre-trained error rate.)\n");
+    return 0;
+}

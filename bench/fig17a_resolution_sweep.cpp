@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig. 17a — HiveMind's bandwidth and tail latency on the real-scale
+ * 16-drone swarm as the camera resolution and frame rate grow
+ * (0.5 MB ... 8 MB frames; 8/16/32 fps at 8 MB).
+ *
+ * Paper anchor: "Even for the maximum resolution and frame rate
+ * (32 fps), HiveMind does not saturate the network links, keeping
+ * latency low" — unlike the centralized system in Fig. 3.
+ */
+
+#include "bench_util.hpp"
+
+using namespace hivemind;
+using namespace hivemind::bench;
+
+namespace {
+
+void
+sweep(const char* name, platform::ScenarioConfig base)
+{
+    struct Point
+    {
+        const char* label;
+        std::uint64_t frame_bytes;
+        double fps;
+    };
+    const Point points[] = {
+        {"0.5MB 8fps", 512u << 10, 8.0}, {"1MB 8fps", 1u << 20, 8.0},
+        {"2MB 8fps", 2u << 20, 8.0},     {"4MB 8fps", 4u << 20, 8.0},
+        {"8MB 8fps", 8u << 20, 8.0},     {"8MB 16fps", 8u << 20, 16.0},
+        {"8MB 32fps", 8u << 20, 32.0},
+    };
+    std::printf("%s\n%-12s %14s %14s %12s\n", name, "setting",
+                "bandwidth MB/s", "p99 lat (s)", "completion");
+    for (const Point& pt : points) {
+        platform::ScenarioConfig sc = base;
+        // Per-second batch: fps x frame size crosses the sensor
+        // boundary; HiveMind's pre-filter forwards its usual fraction.
+        sc.frame_bytes_override =
+            static_cast<std::uint64_t>(pt.fps * pt.frame_bytes);
+        platform::RunMetrics m = run_scenario_repeated(
+            sc, platform::PlatformOptions::hivemind(), paper_deployment(42),
+            2);
+        std::printf("%-12s %14.1f %14.2f %11.1fs%s\n", pt.label,
+                    m.bandwidth_MBps.mean(), m.task_latency_s.p99(),
+                    m.completion_s, m.completed ? "" : " [cap]");
+    }
+    std::printf("\n");
+}
+
+}  // namespace
+
+int
+main()
+{
+    print_header("Figure 17a",
+                 "HiveMind bandwidth and tail latency vs resolution/frame "
+                 "rate, 16 drones");
+    sweep("Scenario A", scenario_a());
+    sweep("Scenario B", scenario_b());
+    std::printf("(Paper: HiveMind sustains 8 MB @ 32 fps without "
+                "saturating; the centralized stack congests at far lower "
+                "settings, Fig. 3b.)\n");
+    return 0;
+}

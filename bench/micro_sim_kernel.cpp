@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Microbenchmarks of the simulation substrate itself, via
+ * google-benchmark: event-kernel throughput, A* planning, maze
+ * generation/solving, and placement enumeration. These bound how
+ * large a swarm the DES can handle (Sec. 5.6 methodology).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dsl/scenarios.hpp"
+#include "geo/astar.hpp"
+#include "geo/maze.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "synth/api_synth.hpp"
+#include "synth/placement.hpp"
+
+namespace {
+
+using namespace hivemind;
+
+/** Raw schedule+dispatch throughput of the event kernel. */
+void
+BM_EventKernelThroughput(benchmark::State& state)
+{
+    sim::Simulator simulator;
+    sim::Time t = 0;
+    std::uint64_t executed = 0;
+    for (auto _ : state) {
+        simulator.schedule_at(++t, [&executed]() { ++executed; });
+        simulator.step();
+    }
+    benchmark::DoNotOptimize(executed);
+    state.SetItemsProcessed(static_cast<std::int64_t>(executed));
+}
+BENCHMARK(BM_EventKernelThroughput);
+
+/** Event kernel with a deep pending queue (scenario-like load). */
+void
+BM_EventKernelDeepQueue(benchmark::State& state)
+{
+    const int depth = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        sim::Simulator simulator;
+        sim::Rng rng(7);
+        std::uint64_t executed = 0;
+        for (int i = 0; i < depth; ++i) {
+            simulator.schedule_at(rng.uniform_int(0, 1000000),
+                                  [&executed]() { ++executed; });
+        }
+        state.ResumeTiming();
+        simulator.run();
+        benchmark::DoNotOptimize(executed);
+    }
+    state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_EventKernelDeepQueue)->Arg(1000)->Arg(100000);
+
+/** A* route planning on a 64x64 field with obstacles. */
+void
+BM_AStarPlan(benchmark::State& state)
+{
+    sim::Rng rng(3);
+    geo::Grid grid(geo::Rect{0, 0, 64, 64}, 1.0);
+    for (int x = 0; x < 64; ++x) {
+        for (int y = 0; y < 64; ++y) {
+            if (rng.chance(0.2))
+                grid.set_blocked({x, y}, true);
+        }
+    }
+    grid.set_blocked({0, 0}, false);
+    grid.set_blocked({63, 63}, false);
+    geo::AStarPlanner planner(grid);
+    for (auto _ : state) {
+        auto path = planner.plan({0, 0}, {63, 63});
+        benchmark::DoNotOptimize(path);
+    }
+}
+BENCHMARK(BM_AStarPlan);
+
+/** Maze generation + wall-follower solve (S6's algorithm). */
+void
+BM_MazeGenerateAndSolve(benchmark::State& state)
+{
+    const int side = static_cast<int>(state.range(0));
+    sim::Rng rng(11);
+    for (auto _ : state) {
+        geo::Maze maze(side, side, rng);
+        auto trace = geo::wall_follow(
+            maze, side - 1, side - 1,
+            static_cast<std::size_t>(side) * static_cast<std::size_t>(side) *
+                8);
+        benchmark::DoNotOptimize(trace);
+    }
+}
+BENCHMARK(BM_MazeGenerateAndSolve)->Arg(9)->Arg(25);
+
+/** Placement enumeration + API synthesis for the Listing 3 graph. */
+void
+BM_PlacementSynthesis(benchmark::State& state)
+{
+    dsl::TaskGraph graph = dsl::scenario_b_graph();
+    for (auto _ : state) {
+        auto placements = synth::enumerate_placements(graph);
+        std::size_t stubs = 0;
+        for (const auto& p : placements)
+            stubs += synth::synthesize_apis(graph, p, true).size();
+        benchmark::DoNotOptimize(stubs);
+    }
+}
+BENCHMARK(BM_PlacementSynthesis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

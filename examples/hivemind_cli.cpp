@@ -1,0 +1,256 @@
+/**
+ * @file
+ * hivemind_cli — command-line driver for the simulation stack.
+ *
+ * Run any single-phase application or end-to-end scenario on any
+ * platform from the shell, without writing C++:
+ *
+ *   hivemind_cli job S1 --platform hivemind --devices 16 --duration 120
+ *   hivemind_cli scenario A --platform centralized --devices 32
+ *   hivemind_cli scenario treasure --platform distributed --rover
+ *   hivemind_cli list
+ *
+ * Options:
+ *   --platform {hivemind|centralized|iaas|distributed}   (default hivemind)
+ *   --devices N        swarm size                        (default 16)
+ *   --duration S       job window, seconds               (default 120)
+ *   --seed N           RNG seed                          (default 42)
+ *   --targets N        scenario items/people             (default 15/25)
+ *   --rover            use the robotic-car device preset
+ *   --scale-infra      scale routers/servers with the swarm
+ *   --motion           include motion energy in job battery numbers
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "platform/scenario.hpp"
+#include "platform/single_phase.hpp"
+
+using namespace hivemind;
+
+namespace {
+
+struct CliOptions
+{
+    std::string mode;
+    std::string what;
+    std::string platform_name = "hivemind";
+    std::size_t devices = 16;
+    double duration_s = 120.0;
+    std::uint64_t seed = 42;
+    std::size_t targets = 0;
+    bool rover = false;
+    bool scale_infra = false;
+    bool motion = false;
+};
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: hivemind_cli job <S1..S10> [options]\n"
+        "       hivemind_cli scenario <A|B|treasure|maze> [options]\n"
+        "       hivemind_cli list\n"
+        "options: --platform hivemind|centralized|iaas|distributed\n"
+        "         --devices N --duration S --seed N --targets N\n"
+        "         --rover --scale-infra --motion\n");
+    return 2;
+}
+
+bool
+parse(int argc, char** argv, CliOptions& o)
+{
+    if (argc < 2)
+        return false;
+    o.mode = argv[1];
+    int i = 2;
+    if (o.mode == "job" || o.mode == "scenario") {
+        if (argc < 3)
+            return false;
+        o.what = argv[2];
+        i = 3;
+    }
+    for (; i < argc; ++i) {
+        std::string a = argv[i];
+        auto need_value = [&](const char* name) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", name);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (a == "--platform") {
+            const char* v = need_value("--platform");
+            if (!v)
+                return false;
+            o.platform_name = v;
+        } else if (a == "--devices") {
+            const char* v = need_value("--devices");
+            if (!v)
+                return false;
+            o.devices = std::strtoul(v, nullptr, 10);
+        } else if (a == "--duration") {
+            const char* v = need_value("--duration");
+            if (!v)
+                return false;
+            o.duration_s = std::atof(v);
+        } else if (a == "--seed") {
+            const char* v = need_value("--seed");
+            if (!v)
+                return false;
+            o.seed = std::strtoull(v, nullptr, 10);
+        } else if (a == "--targets") {
+            const char* v = need_value("--targets");
+            if (!v)
+                return false;
+            o.targets = std::strtoul(v, nullptr, 10);
+        } else if (a == "--rover") {
+            o.rover = true;
+        } else if (a == "--scale-infra") {
+            o.scale_infra = true;
+        } else if (a == "--motion") {
+            o.motion = true;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+pick_platform(const std::string& name, platform::PlatformOptions& out)
+{
+    if (name == "hivemind")
+        out = platform::PlatformOptions::hivemind();
+    else if (name == "centralized")
+        out = platform::PlatformOptions::centralized_faas();
+    else if (name == "iaas")
+        out = platform::PlatformOptions::centralized_iaas();
+    else if (name == "distributed")
+        out = platform::PlatformOptions::distributed_edge();
+    else
+        return false;
+    return true;
+}
+
+void
+print_metrics(const platform::RunMetrics& m, bool scenario)
+{
+    if (scenario) {
+        std::printf("completion        : %.1f s%s\n", m.completion_s,
+                    m.completed ? "" : "  [goal not reached]");
+        std::printf("goal fraction     : %.0f %%\n",
+                    100.0 * m.goal_fraction);
+    }
+    std::printf("tasks completed   : %llu  (shed %llu)\n",
+                static_cast<unsigned long long>(m.tasks_completed),
+                static_cast<unsigned long long>(m.tasks_shed));
+    std::printf("task latency      : p50 %.0f ms | p99 %.0f ms\n",
+                1000.0 * m.task_latency_s.median(),
+                1000.0 * m.task_latency_s.p99());
+    std::printf("stage shares (med): net %.0f | mgmt %.0f | data %.0f | "
+                "exec %.0f ms\n",
+                1000.0 * m.network_s.median(), 1000.0 * m.mgmt_s.median(),
+                1000.0 * m.data_s.median(), 1000.0 * m.exec_s.median());
+    std::printf("battery           : mean %.1f %% | max %.1f %%\n",
+                m.battery_pct.mean(), m.battery_pct.max());
+    std::printf("air bandwidth     : mean %.1f MB/s | p99 %.1f MB/s\n",
+                m.bandwidth_MBps.mean(), m.bandwidth_MBps.p99());
+    std::printf("container starts  : cold %llu | warm %llu\n",
+                static_cast<unsigned long long>(m.cold_starts),
+                static_cast<unsigned long long>(m.warm_starts));
+    if (m.faults > 0 || m.respawns > 0) {
+        std::printf("faults/respawns   : %llu / %llu\n",
+                    static_cast<unsigned long long>(m.faults),
+                    static_cast<unsigned long long>(m.respawns));
+    }
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    CliOptions o;
+    if (!parse(argc, argv, o))
+        return usage();
+
+    if (o.mode == "list") {
+        std::printf("Applications:\n");
+        for (const apps::AppSpec& a : apps::all_apps()) {
+            std::printf("  %-4s %-22s work %5.0f ms  rate %.2f Hz  in "
+                        "%5.1f MB%s\n",
+                        a.id.c_str(), a.name.c_str(), a.work_core_ms,
+                        a.task_rate_hz,
+                        static_cast<double>(a.input_bytes) / 1e6,
+                        a.edge_friendly ? "  [edge-friendly]" : "");
+        }
+        std::printf("Scenarios: A (stationary items), B (moving people), "
+                    "treasure (rovers), maze (rovers)\n");
+        return 0;
+    }
+
+    platform::PlatformOptions opt;
+    if (!pick_platform(o.platform_name, opt))
+        return usage();
+
+    platform::DeploymentConfig dep;
+    dep.devices = o.devices;
+    dep.seed = o.seed;
+    dep.scale_infra = o.scale_infra;
+    if (o.rover)
+        dep.device_spec = edge::DeviceSpec::rover();
+
+    if (o.mode == "job") {
+        const apps::AppSpec* app = nullptr;
+        for (const apps::AppSpec& a : apps::all_apps()) {
+            if (a.id == o.what)
+                app = &a;
+        }
+        if (!app) {
+            std::fprintf(stderr, "unknown application: %s\n",
+                         o.what.c_str());
+            return usage();
+        }
+        platform::JobConfig job;
+        job.duration = sim::from_seconds(o.duration_s);
+        job.include_motion_energy = o.motion;
+        std::printf("== %s (%s) on %s, %zu devices, %0.f s ==\n",
+                    app->id.c_str(), app->name.c_str(), opt.label.c_str(),
+                    o.devices, o.duration_s);
+        print_metrics(platform::run_single_phase(*app, opt, dep, job),
+                      false);
+        return 0;
+    }
+
+    if (o.mode == "scenario") {
+        platform::ScenarioConfig sc;
+        if (o.what == "A" || o.what == "a") {
+            sc.kind = platform::ScenarioKind::StationaryItems;
+            sc.targets = o.targets ? o.targets : 15;
+        } else if (o.what == "B" || o.what == "b") {
+            sc.kind = platform::ScenarioKind::MovingPeople;
+            sc.targets = o.targets ? o.targets : 25;
+        } else if (o.what == "treasure") {
+            sc.kind = platform::ScenarioKind::TreasureHunt;
+            dep.device_spec = edge::DeviceSpec::rover();
+        } else if (o.what == "maze") {
+            sc.kind = platform::ScenarioKind::RoverMaze;
+            dep.device_spec = edge::DeviceSpec::rover();
+        } else {
+            std::fprintf(stderr, "unknown scenario: %s\n", o.what.c_str());
+            return usage();
+        }
+        std::printf("== %s on %s, %zu devices ==\n",
+                    platform::to_string(sc.kind), opt.label.c_str(),
+                    o.devices);
+        print_metrics(platform::run_scenario(sc, opt, dep), true);
+        return 0;
+    }
+    return usage();
+}

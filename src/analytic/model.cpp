@@ -1,0 +1,221 @@
+#include "analytic/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytic/queueing.hpp"
+
+namespace hivemind::analytic {
+
+void
+AnalyticInput::apply_app(const apps::AppSpec& app)
+{
+    task_rate_hz = app.task_rate_hz;
+    input_bytes = app.input_bytes;
+    output_bytes = app.output_bytes;
+    inter_bytes = app.inter_bytes;
+    work_core_ms = app.work_core_ms;
+    parallelism = app.parallelism;
+    edge_work_factor = app.edge_work_factor;
+    if (app.edge_friendly) {
+        // Under HiveMind these run on-board; callers combining
+        // apply_app with apply_platform(hivemind) get the same
+        // placement the DES platform uses.
+        hybrid_runs_on_edge = true;
+    }
+}
+
+void
+AnalyticInput::apply_platform(const platform::PlatformOptions& options)
+{
+    kind = options.kind;
+    if (options.remote_mem_accel) {
+        sharing_s = 3.0e-6;        // RDMA-scale hand-off.
+        sharing_Bps = 11.0e9;
+    }
+    if (options.smart_scheduler) {
+        controllers = std::max<int>(2, static_cast<int>(devices / 8));
+        // Warm reuse under the 10-30 s keep-alive removes most of the
+        // instantiation overhead, at median and tail alike.
+        faas_overhead_s = 0.022;
+        faas_overhead_tail_s = 0.055;
+    }
+}
+
+namespace {
+
+/** Mean + tail-extra accumulator across the station chain. */
+struct Accum
+{
+    double mean = 0.0;
+    double extra = 0.0;  // Sum of (p99 - mean) station contributions.
+
+    void
+    add(double mean_s, double extra_s)
+    {
+        mean += mean_s;
+        extra += extra_s;
+    }
+};
+
+}  // namespace
+
+AnalyticOutput
+evaluate(const AnalyticInput& in)
+{
+    AnalyticOutput out;
+    double n = static_cast<double>(in.devices);
+    double lambda_total = n * in.task_rate_hz;
+    double infra = in.scale_infra && in.devices > 16 ? n / 16.0 : 1.0;
+
+    bool distributed = in.kind == platform::PlatformKind::DistributedEdge;
+    bool hive = in.kind == platform::PlatformKind::HiveMind;
+    bool on_edge = distributed || (hive && in.hybrid_runs_on_edge);
+
+    auto note_rho = [&out](double lambda, double capacity) {
+        if (capacity > 0.0) {
+            out.max_utilization =
+                std::max(out.max_utilization, lambda / capacity);
+        }
+    };
+
+    // --- Bytes crossing the air per task ---
+    double up_bytes;
+    if (on_edge) {
+        up_bytes = static_cast<double>(in.output_bytes);
+    } else if (hive) {
+        up_bytes = static_cast<double>(in.input_bytes) *
+                in.hybrid_uplink_fraction +
+            static_cast<double>(in.output_bytes);
+    } else {
+        up_bytes = static_cast<double>(in.input_bytes) +
+            static_cast<double>(in.output_bytes);
+    }
+    double air_Bps = lambda_total * up_bytes;
+    out.bandwidth_MBps = air_Bps / 1e6;
+
+    Accum acc;
+
+    // --- Edge compute station (per device, M/M/1 with shedding) ---
+    double edge_work_s = 0.0;
+    if (on_edge) {
+        edge_work_s = in.work_core_ms / 1000.0 * in.edge_work_factor /
+            in.edge_cpu_factor;
+    } else if (hive) {
+        edge_work_s = in.work_core_ms / 1000.0 * in.hybrid_prefilter_share /
+            in.edge_cpu_factor;
+    }
+    if (edge_work_s > 0.0) {
+        double mu = 1.0 / edge_work_s;
+        note_rho(in.task_rate_hz, mu);
+        double rho = in.task_rate_hz / mu;
+        if (rho < 0.97) {
+            double soj = mmc_sojourn(in.task_rate_hz, mu, 1);
+            if (soj < 0.0)
+                soj = edge_work_s;
+            acc.add(soj, (in.stable_tail_factor - 1.0) *
+                        (soj - edge_work_s) +
+                        0.35 * edge_work_s);
+        } else {
+            // Saturated bounded queue. Three effects shape what the
+            // DES (and a real run) measures: (1) the deterministic
+            // backlog ramp over the observation window, bounded by
+            // the drop-oldest queue limit; (2) diffusion — Poisson
+            // burstiness makes the backlog fluctuate ~sqrt(lambda*T);
+            // (3) censoring — waits longer than the drain window are
+            // never observed as completions.
+            double excess = in.task_rate_hz - mu;
+            double raw_full = std::min(excess * in.horizon_s,
+                                       static_cast<double>(
+                                           in.edge_queue_limit)) *
+                edge_work_s;
+            double diff = std::sqrt(in.task_rate_hz * in.horizon_s) *
+                edge_work_s;
+            double mean_wait =
+                0.5 * std::min(raw_full, 0.7 * in.drain_s) + 0.35 * diff;
+            double tail_wait =
+                std::min(raw_full + 1.3 * diff, in.drain_s);
+            if (tail_wait < mean_wait)
+                tail_wait = mean_wait;
+            acc.add(mean_wait + edge_work_s, tail_wait - mean_wait);
+        }
+    }
+
+    // --- Wireless stations ---
+    if (up_bytes > 0.0) {
+        double radio_s = up_bytes * 8.0 / in.device_radio_bps;
+        double mu_radio = 1.0 / radio_s;
+        note_rho(in.task_rate_hz, mu_radio);
+        double soj = saturated_sojourn(in.task_rate_hz, mu_radio, 1,
+                                       in.horizon_s);
+        acc.add(soj, (in.stable_tail_factor - 1.0) * (soj - radio_s));
+
+        double router_bps = in.router_bps * infra;
+        double router_s = up_bytes * 8.0 / router_bps;
+        double mu_router = 1.0 / router_s;
+        note_rho(lambda_total,
+                 mu_router * static_cast<double>(in.routers));
+        double rsoj = saturated_sojourn(lambda_total, mu_router,
+                                        static_cast<int>(in.routers),
+                                        in.horizon_s);
+        acc.add(rsoj, (in.stable_tail_factor - 1.0) * (rsoj - router_s));
+        acc.add(0.008, 0.0);  // Wireless propagation, both directions.
+    }
+
+    // --- Cloud stations ---
+    if (!on_edge) {
+        double mu_ctl = in.controller_rps;
+        note_rho(lambda_total,
+                 mu_ctl * static_cast<double>(in.controllers));
+        double csoj = saturated_sojourn(lambda_total, mu_ctl,
+                                        in.controllers, in.horizon_s);
+        acc.add(csoj, (in.stable_tail_factor - 1.0) *
+                    (csoj - 1.0 / mu_ctl));
+        acc.add(in.faas_overhead_s, in.faas_overhead_tail_s);
+
+        double cloud_work_ms = hive
+            ? in.work_core_ms * (1.0 - in.hybrid_prefilter_share)
+            : in.work_core_ms;
+        int ways = hive ? std::max(1, in.parallelism) : 1;
+        double fn_service_s =
+            cloud_work_ms / 1000.0 / static_cast<double>(ways);
+        double fn_lambda = lambda_total * static_cast<double>(ways);
+        int cores = static_cast<int>(
+            static_cast<double>(in.servers) * infra *
+            static_cast<double>(in.cores_per_server));
+        double mu_core = 1.0 / fn_service_s;
+        note_rho(fn_lambda, mu_core * static_cast<double>(cores));
+        double fsoj = saturated_sojourn(fn_lambda, mu_core, cores,
+                                        in.horizon_s);
+        // Execution jitter + stragglers stretch the tail of the
+        // service time itself.
+        acc.add(fsoj, (in.exec_tail_factor - 1.0) * fn_service_s +
+                    (in.stable_tail_factor - 1.0) *
+                        (fsoj - fn_service_s));
+
+        // Data-sharing hand-offs (input fetch + output publish).
+        double share_s = in.sharing_s +
+            static_cast<double>(in.inter_bytes) / in.sharing_Bps;
+        acc.add(2.0 * share_s, 1.2 * share_s);
+    } else {
+        // On-board execution jitter tail.
+        acc.add(0.0, (in.exec_tail_factor - 1.0) * 0.15 * edge_work_s);
+    }
+
+    out.mean_latency_s = acc.mean;
+    out.tail_latency_s = acc.mean + acc.extra;
+
+    // --- Battery (percent of a 60 kJ pack per minute) ---
+    const double compute_w = 2.5;
+    const double radio_j_per_byte = 1.0e-7;
+    const double motion_w = 80.0;
+    const double idle_w = 1.5;
+    const double battery_j = 60000.0;
+    double per_s = idle_w + motion_w +
+        in.task_rate_hz * (edge_work_s * compute_w +
+                           up_bytes * radio_j_per_byte);
+    out.battery_pct_per_min = per_s * 60.0 / battery_j * 100.0;
+    return out;
+}
+
+}  // namespace hivemind::analytic

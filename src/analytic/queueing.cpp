@@ -1,0 +1,68 @@
+#include "analytic/queueing.hpp"
+
+#include <cmath>
+
+namespace hivemind::analytic {
+
+double
+erlang_c(int c, double a)
+{
+    if (c <= 0 || a <= 0.0)
+        return 0.0;
+    if (a >= static_cast<double>(c))
+        return 1.0;
+    // Iterative Erlang-B, then convert to Erlang-C.
+    double b = 1.0;
+    for (int k = 1; k <= c; ++k)
+        b = a * b / (static_cast<double>(k) + a * b);
+    double rho = a / static_cast<double>(c);
+    return b / (1.0 - rho + rho * b);
+}
+
+double
+mm1_sojourn(double lambda, double mu)
+{
+    if (mu <= lambda)
+        return -1.0;  // Unstable; caller should use saturated_sojourn.
+    return 1.0 / (mu - lambda);
+}
+
+double
+mmc_sojourn(double lambda, double mu, int c)
+{
+    double a = lambda / mu;
+    if (a >= static_cast<double>(c))
+        return -1.0;
+    double pw = erlang_c(c, a);
+    double wq = pw / (static_cast<double>(c) * mu - lambda);
+    return wq + 1.0 / mu;
+}
+
+double
+exponential_percentile(double mean, double p)
+{
+    if (mean <= 0.0)
+        return 0.0;
+    return mean * -std::log(1.0 - p / 100.0);
+}
+
+double
+saturated_sojourn(double lambda, double mu, int c, double horizon_s)
+{
+    double capacity = mu * static_cast<double>(c);
+    double rho = lambda / capacity;
+    if (rho < 0.97) {
+        double s = mmc_sojourn(lambda, mu, c);
+        return s > 0.0 ? s : 1.0 / mu;
+    }
+    // Overloaded: the backlog grows linearly over the horizon; the
+    // average arrival waits about half the final backlog.
+    double excess = lambda - capacity;
+    double backlog_wait =
+        excess > 0.0 ? 0.5 * excess * horizon_s / capacity : 0.0;
+    // Near-saturation stable part, evaluated at rho = 0.97.
+    double s97 = mmc_sojourn(0.97 * capacity, mu, c);
+    return (s97 > 0.0 ? s97 : 1.0 / mu) + backlog_wait;
+}
+
+}  // namespace hivemind::analytic

@@ -1,0 +1,47 @@
+#pragma once
+
+/**
+ * @file
+ * Closed-form queueing primitives.
+ *
+ * The paper's simulator "is based on queueing network principles and
+ * tracks the processing and queueing time both on cloud and edge
+ * resources" (Sec. 5.6). These are the textbook building blocks the
+ * analytic model composes: M/M/1 and M/M/c (Erlang-C) sojourn times
+ * and exponential-tail percentile estimates.
+ */
+
+namespace hivemind::analytic {
+
+/**
+ * Erlang-C: probability an arrival waits in an M/M/c queue.
+ *
+ * @param c servers
+ * @param a offered load in Erlangs (lambda/mu); must be < c for a
+ *        stable queue.
+ */
+double erlang_c(int c, double a);
+
+/** Mean sojourn (wait + service) time of an M/M/1 queue, seconds. */
+double mm1_sojourn(double lambda, double mu);
+
+/** Mean sojourn time of an M/M/c queue, seconds. */
+double mmc_sojourn(double lambda, double mu, int c);
+
+/**
+ * p-th percentile of an (approximately) exponential sojourn tail with
+ * the given mean: T_p = mean * -ln(1 - p/100).
+ */
+double exponential_percentile(double mean, double p);
+
+/**
+ * Utilization-clamped helper: queueing formulas diverge at rho >= 1;
+ * real systems instead queue without bound. The clamp maps overload
+ * to a finite backlog horizon: sojourn ~= horizon_s * (rho - 1) +
+ * stable-part sojourn, modelling the linearly growing backlog a
+ * saturated station accumulates over an observation window.
+ */
+double saturated_sojourn(double lambda, double mu, int c,
+                         double horizon_s);
+
+}  // namespace hivemind::analytic

@@ -1,0 +1,162 @@
+#include "apps/appspec.hpp"
+
+#include <stdexcept>
+
+namespace hivemind::apps {
+
+namespace {
+
+std::vector<AppSpec>
+make_apps()
+{
+    std::vector<AppSpec> v;
+
+    AppSpec s1;
+    s1.id = "S1";
+    s1.name = "Face Recognition";
+    s1.work_core_ms = 350.0;
+    s1.task_rate_hz = 0.5;
+    s1.input_bytes = 8u << 20;  // One-second keyframe batch.
+    s1.output_bytes = 20u << 10;
+    s1.inter_bytes = 512u << 10;
+    s1.parallelism = 8;
+    s1.memory_mb = 512;
+    v.push_back(s1);
+
+    AppSpec s2;
+    s2.id = "S2";
+    s2.name = "Tree Recognition";
+    s2.work_core_ms = 300.0;
+    s2.task_rate_hz = 0.5;
+    s2.input_bytes = 8u << 20;
+    s2.output_bytes = 16u << 10;
+    s2.inter_bytes = 384u << 10;
+    s2.parallelism = 8;
+    s2.memory_mb = 512;
+    v.push_back(s2);
+
+    AppSpec s3;
+    s3.id = "S3";
+    s3.name = "Drone Detection";
+    s3.work_core_ms = 25.0;
+    s3.task_rate_hz = 1.0;
+    s3.input_bytes = 512u << 10;
+    s3.output_bytes = 4u << 10;
+    s3.inter_bytes = 16u << 10;
+    s3.parallelism = 2;
+    s3.memory_mb = 128;
+    s3.edge_friendly = true;
+    v.push_back(s3);
+
+    AppSpec s4;
+    s4.id = "S4";
+    s4.name = "Obstacle Avoidance";
+    s4.work_core_ms = 18.0;
+    s4.task_rate_hz = 2.0;
+    s4.input_bytes = 512u << 10;
+    s4.output_bytes = 2u << 10;
+    s4.inter_bytes = 8u << 10;
+    s4.parallelism = 1;
+    s4.memory_mb = 128;
+    // Running in place avoids the re-planning round trip; effective
+    // edge work is lower than a naive port (Sec. 2.3).
+    s4.edge_work_factor = 0.55;
+    s4.edge_friendly = true;
+    v.push_back(s4);
+
+    AppSpec s5;
+    s5.id = "S5";
+    s5.name = "People Deduplication";
+    s5.work_core_ms = 420.0;
+    s5.task_rate_hz = 0.5;
+    s5.input_bytes = 3u << 19;  // 1.5 MB face-crop batch.
+    s5.output_bytes = 8u << 10;
+    s5.inter_bytes = 256u << 10;
+    s5.parallelism = 8;
+    s5.memory_mb = 512;
+    v.push_back(s5);
+
+    AppSpec s6;
+    s6.id = "S6";
+    s6.name = "Maze Traversal";
+    s6.work_core_ms = 700.0;
+    s6.task_rate_hz = 0.2;  // Drones move slowly inside the maze.
+    s6.input_bytes = 5u << 19;  // 2.5 MB corridor imagery per step.
+    s6.output_bytes = 2u << 10;
+    s6.inter_bytes = 16u << 10;
+    s6.parallelism = 2;
+    s6.memory_mb = 256;
+    v.push_back(s6);
+
+    AppSpec s7;
+    s7.id = "S7";
+    s7.name = "Weather Analytics";
+    s7.work_core_ms = 8.0;
+    s7.task_rate_hz = 0.5;
+    s7.input_bytes = 256u << 10;  // Aggregated sensor batch.
+    s7.output_bytes = 1u << 10;
+    s7.inter_bytes = 4u << 10;
+    s7.parallelism = 1;
+    s7.memory_mb = 128;
+    s7.edge_friendly = true;
+    v.push_back(s7);
+
+    AppSpec s8;
+    s8.id = "S8";
+    s8.name = "Soil Analytics";
+    s8.work_core_ms = 120.0;
+    s8.task_rate_hz = 0.5;
+    s8.input_bytes = 2u << 20;
+    s8.output_bytes = 4u << 10;
+    s8.inter_bytes = 64u << 10;
+    s8.parallelism = 4;
+    s8.memory_mb = 256;
+    v.push_back(s8);
+
+    AppSpec s9;
+    s9.id = "S9";
+    s9.name = "Text Recognition";
+    s9.work_core_ms = 500.0;
+    s9.task_rate_hz = 0.25;
+    s9.input_bytes = 8u << 20;
+    s9.output_bytes = 8u << 10;
+    s9.inter_bytes = 512u << 10;
+    s9.parallelism = 12;
+    s9.memory_mb = 512;
+    v.push_back(s9);
+
+    AppSpec s10;
+    s10.id = "S10";
+    s10.name = "SLAM";
+    s10.work_core_ms = 600.0;
+    s10.task_rate_hz = 0.5;
+    s10.input_bytes = 6u << 20;  // Image + sensor bundle batch.
+    s10.output_bytes = 64u << 10;
+    s10.inter_bytes = 1u << 20;
+    s10.parallelism = 12;
+    s10.memory_mb = 1024;
+    v.push_back(s10);
+
+    return v;
+}
+
+}  // namespace
+
+const std::vector<AppSpec>&
+all_apps()
+{
+    static const std::vector<AppSpec> apps = make_apps();
+    return apps;
+}
+
+const AppSpec&
+app_by_id(const std::string& id)
+{
+    for (const AppSpec& a : all_apps()) {
+        if (a.id == id)
+            return a;
+    }
+    throw std::invalid_argument("unknown application id: " + id);
+}
+
+}  // namespace hivemind::apps

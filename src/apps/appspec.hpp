@@ -1,0 +1,60 @@
+#pragma once
+
+/**
+ * @file
+ * The paper's benchmark suite: applications S1-S10 (Sec. 2.1).
+ *
+ * Each application is described by the parameters that drive its
+ * behaviour in the models: per-task reference-core work, task arrival
+ * rate per device, uplink/downlink payload sizes, intermediate data
+ * shared between dependent functions, exploitable intra-task
+ * parallelism, and container memory footprint. Work and data sizes
+ * are calibrated so the relative behaviours of Figs. 4-6 reproduce:
+ * S1/S2/S5/S9/S10 are compute-heavy and parallel (big serverless
+ * wins), S3/S7 are light (cloud ~ edge), S4 is latency-critical and
+ * favours the edge, S6 has a low task rate, and S7's tasks are so
+ * short that instantiation dominates.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hivemind::apps {
+
+/** Static description of one benchmark application. */
+struct AppSpec
+{
+    std::string id;     ///< "S1".."S10".
+    std::string name;   ///< Human-readable name.
+    /** Reference-cloud-core milliseconds of work per task. */
+    double work_core_ms = 100.0;
+    /** Tasks generated per device per second. */
+    double task_rate_hz = 1.0;
+    /** Sensor payload uploaded per task (bytes). */
+    std::uint64_t input_bytes = 1u << 20;
+    /** Result returned to the device (bytes). */
+    std::uint64_t output_bytes = 8u << 10;
+    /** Intermediate data between dependent functions (bytes). */
+    std::uint64_t inter_bytes = 64u << 10;
+    /** Intra-task fan-out the job can exploit (Sec. 3.2). */
+    int parallelism = 1;
+    /** Container memory footprint (MB). */
+    std::uint64_t memory_mb = 256;
+    /**
+     * Multiplier on edge execution beyond the CPU speed factor; below
+     * 1 models work avoided by running in place (S4 skips the
+     * round-trip re-planning the cloud would do).
+     */
+    double edge_work_factor = 1.0;
+    /** Whether the job is a sensible on-board candidate (S3/S4/S7). */
+    bool edge_friendly = false;
+};
+
+/** All ten single-phase applications, in order S1..S10. */
+const std::vector<AppSpec>& all_apps();
+
+/** Look up an application by its "S#" id; throws on unknown id. */
+const AppSpec& app_by_id(const std::string& id);
+
+}  // namespace hivemind::apps

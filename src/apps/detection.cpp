@@ -1,0 +1,57 @@
+#include "apps/detection.hpp"
+
+#include <cmath>
+
+namespace hivemind::apps {
+
+const char*
+to_string(RetrainMode m)
+{
+    switch (m) {
+      case RetrainMode::None:
+        return "None";
+      case RetrainMode::Self:
+        return "Self";
+      case RetrainMode::Swarm:
+        return "Swarm";
+    }
+    return "?";
+}
+
+void
+DetectionModel::observe(RetrainMode mode, std::uint64_t own,
+                        std::uint64_t swarm_total)
+{
+    switch (mode) {
+      case RetrainMode::None:
+        return;
+      case RetrainMode::Self:
+        samples_ += static_cast<double>(own);
+        return;
+      case RetrainMode::Swarm:
+        samples_ += static_cast<double>(swarm_total);
+        return;
+    }
+}
+
+double
+DetectionModel::p_correct() const
+{
+    double gap = config_.max_correct - config_.base_correct;
+    return config_.max_correct -
+        gap * std::exp(-samples_ / config_.tau_samples);
+}
+
+double
+DetectionModel::p_false_negative() const
+{
+    return (1.0 - p_correct()) * config_.fn_share;
+}
+
+double
+DetectionModel::p_false_positive() const
+{
+    return (1.0 - p_correct()) * (1.0 - config_.fn_share);
+}
+
+}  // namespace hivemind::apps

@@ -1,0 +1,119 @@
+#include "apps/embedding.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace hivemind::apps {
+
+double
+embedding_distance(const Embedding& a, const Embedding& b)
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < kEmbeddingDim; ++i) {
+        double d = a[i] - b[i];
+        sum += d * d;
+    }
+    return std::sqrt(sum);
+}
+
+std::vector<Embedding>
+make_identities(std::size_t people, double min_separation, sim::Rng& rng)
+{
+    std::vector<Embedding> out;
+    out.reserve(people);
+    int guard = 0;
+    while (out.size() < people && guard < 100000) {
+        ++guard;
+        Embedding candidate;
+        for (double& x : candidate)
+            x = rng.uniform(0.0, 1.0);
+        bool ok = true;
+        for (const Embedding& e : out) {
+            if (embedding_distance(e, candidate) < min_separation) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            out.push_back(candidate);
+    }
+    return out;
+}
+
+Embedding
+observe(const Embedding& id, double noise_sigma, sim::Rng& rng)
+{
+    Embedding out;
+    for (std::size_t i = 0; i < kEmbeddingDim; ++i)
+        out[i] = id[i] + rng.normal(0.0, noise_sigma);
+    return out;
+}
+
+std::size_t
+Deduplicator::submit(const Embedding& sighting)
+{
+    std::size_t best = centroids_.size();
+    double best_d = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < centroids_.size(); ++i) {
+        double d = embedding_distance(centroids_[i], sighting);
+        if (d < best_d) {
+            best_d = d;
+            best = i;
+        }
+    }
+    if (best == centroids_.size() || best_d > threshold_) {
+        centroids_.push_back(sighting);
+        sizes_.push_back(1);
+        assignments_.push_back(centroids_.size() - 1);
+        return centroids_.size() - 1;
+    }
+    // Running-mean centroid update.
+    double n = static_cast<double>(sizes_[best]);
+    for (std::size_t i = 0; i < kEmbeddingDim; ++i) {
+        centroids_[best][i] =
+            (centroids_[best][i] * n + sighting[i]) / (n + 1.0);
+    }
+    ++sizes_[best];
+    assignments_.push_back(best);
+    return best;
+}
+
+Deduplicator::PairScore
+Deduplicator::score(const std::vector<std::size_t>& truth) const
+{
+    PairScore out;
+    std::size_t n = assignments_.size();
+    if (n < 2 || truth.size() != n)
+        return out;
+    std::uint64_t same_cluster = 0;
+    std::uint64_t same_cluster_correct = 0;
+    std::uint64_t same_truth = 0;
+    std::uint64_t same_truth_found = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            bool clustered = assignments_[i] == assignments_[j];
+            bool same = truth[i] == truth[j];
+            if (clustered) {
+                ++same_cluster;
+                if (same)
+                    ++same_cluster_correct;
+            }
+            if (same) {
+                ++same_truth;
+                if (clustered)
+                    ++same_truth_found;
+            }
+        }
+    }
+    if (same_cluster > 0) {
+        out.precision = static_cast<double>(same_cluster_correct) /
+            static_cast<double>(same_cluster);
+    }
+    if (same_truth > 0) {
+        out.recall = static_cast<double>(same_truth_found) /
+            static_cast<double>(same_truth);
+    }
+    return out;
+}
+
+}  // namespace hivemind::apps

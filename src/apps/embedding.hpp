@@ -1,0 +1,95 @@
+#pragma once
+
+/**
+ * @file
+ * Face-embedding deduplication — the algorithmic core of S5 and the
+ * Scenario B pipeline.
+ *
+ * The paper deduplicates people with FaceNet, "which uses a CNN to
+ * learn a mapping between faces and a compact Euclidean space, where
+ * distances correspond to an indication of face similarity"
+ * (Sec. 2.1). We implement the Euclidean-space half: sightings carry
+ * embedding vectors (a noisy sample around each person's identity
+ * vector), and the deduplicator clusters them with a distance
+ * threshold — greedy centroid matching, the standard online approach.
+ * The property tests measure precision/recall against ground truth as
+ * the noise-to-separation ratio varies.
+ */
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace hivemind::apps {
+
+/** Embedding dimensionality (FaceNet uses 128; 16 keeps tests fast). */
+inline constexpr std::size_t kEmbeddingDim = 16;
+
+/** A point in the face-similarity space. */
+using Embedding = std::array<double, kEmbeddingDim>;
+
+/** Euclidean distance between two embeddings. */
+double embedding_distance(const Embedding& a, const Embedding& b);
+
+/**
+ * Ground-truth identity generator: @p people identity vectors drawn
+ * uniformly from [0, 1]^d, guaranteed pairwise distance of at least
+ * @p min_separation (rejection sampling).
+ */
+std::vector<Embedding> make_identities(std::size_t people,
+                                       double min_separation,
+                                       sim::Rng& rng);
+
+/** Sample a noisy sighting of identity @p id (Gaussian, sigma/dim). */
+Embedding observe(const Embedding& id, double noise_sigma, sim::Rng& rng);
+
+/**
+ * Online deduplicator: greedy nearest-centroid clustering with a
+ * distance threshold. Each submitted sighting either joins the
+ * nearest existing cluster (within the threshold) or founds a new
+ * one; centroids are running means.
+ */
+class Deduplicator
+{
+  public:
+    /** @param threshold join distance (the FaceNet "same person" cut). */
+    explicit Deduplicator(double threshold) : threshold_(threshold) {}
+
+    /**
+     * Submit one sighting.
+     * @return the cluster id it was assigned to.
+     */
+    std::size_t submit(const Embedding& sighting);
+
+    /** Unique people seen so far, per the clustering. */
+    std::size_t unique_count() const { return centroids_.size(); }
+
+    /** Sightings submitted. */
+    std::size_t sightings() const { return assignments_.size(); }
+
+    /** Cluster assignment of sighting @p i (submission order). */
+    std::size_t assignment(std::size_t i) const { return assignments_[i]; }
+
+    /**
+     * Pairwise precision/recall against ground-truth labels (one per
+     * submitted sighting, in order): precision = fraction of
+     * same-cluster pairs that are truly the same person; recall =
+     * fraction of true same-person pairs placed in one cluster.
+     */
+    struct PairScore
+    {
+        double precision = 1.0;
+        double recall = 1.0;
+    };
+    PairScore score(const std::vector<std::size_t>& truth) const;
+
+  private:
+    double threshold_;
+    std::vector<Embedding> centroids_;
+    std::vector<std::size_t> sizes_;
+    std::vector<std::size_t> assignments_;
+};
+
+}  // namespace hivemind::apps

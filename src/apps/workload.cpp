@@ -1,0 +1,84 @@
+#include "apps/workload.hpp"
+
+namespace hivemind::apps {
+
+void
+LoadPattern::add(sim::Time t, double rate_hz)
+{
+    points_.push_back({t, rate_hz});
+}
+
+double
+LoadPattern::rate_at(sim::Time t) const
+{
+    if (points_.empty())
+        return 0.0;
+    if (t <= points_.front().t)
+        return points_.front().rate;
+    if (t >= points_.back().t)
+        return points_.back().rate;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (t <= points_[i].t) {
+            const Point& a = points_[i - 1];
+            const Point& b = points_[i];
+            if (b.t == a.t)
+                return b.rate;
+            double frac = static_cast<double>(t - a.t) /
+                static_cast<double>(b.t - a.t);
+            return a.rate + (b.rate - a.rate) * frac;
+        }
+    }
+    return points_.back().rate;
+}
+
+double
+LoadPattern::peak() const
+{
+    double p = 0.0;
+    for (const Point& pt : points_) {
+        if (pt.rate > p)
+            p = pt.rate;
+    }
+    return p;
+}
+
+double
+LoadPattern::average(sim::Time until) const
+{
+    if (until <= 0)
+        return 0.0;
+    // Trapezoidal integration over 1 s steps.
+    double sum = 0.0;
+    sim::Time step = sim::kSecond;
+    sim::Time t = 0;
+    std::size_t n = 0;
+    while (t <= until) {
+        sum += rate_at(t);
+        ++n;
+        t += step;
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+LoadPattern
+LoadPattern::constant(double rate_hz)
+{
+    LoadPattern p;
+    p.add(0, rate_hz);
+    return p;
+}
+
+LoadPattern
+LoadPattern::fluctuating(double low_hz, double high_hz, sim::Time duration)
+{
+    LoadPattern p;
+    p.add(0, low_hz);
+    p.add(duration / 5, low_hz);
+    p.add(2 * duration / 5, high_hz);
+    p.add(3 * duration / 5, high_hz);
+    p.add(4 * duration / 5, low_hz);
+    p.add(duration, low_hz);
+    return p;
+}
+
+}  // namespace hivemind::apps

@@ -1,0 +1,60 @@
+#pragma once
+
+/**
+ * @file
+ * Load patterns for open-loop experiments.
+ *
+ * Fig. 5b drives face recognition with a fluctuating load: "First only
+ * one drone sends images at low rate, and progressively more drones
+ * transfer images of higher frames-per-second to the cloud.
+ * Eventually, the load decreases down to a single drone." A
+ * LoadPattern is a piecewise-linear task-arrival rate over time that
+ * the experiment harness samples to generate arrivals.
+ */
+
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hivemind::apps {
+
+/** Piecewise-linear arrival rate (tasks/second) over simulated time. */
+class LoadPattern
+{
+  public:
+    /** Append a breakpoint; times must be non-decreasing. */
+    void add(sim::Time t, double rate_hz);
+
+    /** Rate at time @p t (linear interpolation, clamped at ends). */
+    double rate_at(sim::Time t) const;
+
+    /** Peak rate across all breakpoints. */
+    double peak() const;
+
+    /** Time-averaged rate over [0, until]. */
+    double average(sim::Time until) const;
+
+    /** Flat rate. */
+    static LoadPattern constant(double rate_hz);
+
+    /**
+     * The Fig. 5b shape: ramp from a single low-rate device up to the
+     * full swarm at high frame rates, hold, then ramp back down.
+     *
+     * @param low_hz single-device low rate
+     * @param high_hz full-swarm peak rate
+     * @param duration total pattern length
+     */
+    static LoadPattern fluctuating(double low_hz, double high_hz,
+                                   sim::Time duration);
+
+  private:
+    struct Point
+    {
+        sim::Time t;
+        double rate;
+    };
+    std::vector<Point> points_;
+};
+
+}  // namespace hivemind::apps

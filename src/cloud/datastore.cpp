@@ -1,0 +1,38 @@
+#include "cloud/datastore.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hivemind::cloud {
+
+DataStore::DataStore(sim::Simulator& simulator, sim::Rng& rng,
+                     const DataStoreConfig& config)
+    : simulator_(&simulator),
+      rng_(rng.fork()),
+      config_(config),
+      handler_free_(static_cast<std::size_t>(config.handlers), 0)
+{
+}
+
+void
+DataStore::access(std::uint64_t bytes, std::function<void()> done)
+{
+    sim::Time now = simulator_->now();
+    // Controller round trip for the object handle precedes queueing.
+    sim::Time enqueue = now + config_.handle_lookup;
+    auto it = std::min_element(handler_free_.begin(), handler_free_.end());
+    sim::Time start = std::max(*it, enqueue);
+    double base_ms = sim::to_millis(config_.base_latency);
+    sim::Time service = sim::from_millis(
+        rng_.lognormal_median(base_ms, config_.jitter_sigma));
+    service += sim::from_seconds(static_cast<double>(bytes) /
+                                 config_.bandwidth_Bps);
+    *it = start + service;
+    sim::Time completion = *it;
+    ++requests_;
+    latency_.add(sim::to_seconds(completion - now));
+    if (done)
+        simulator_->schedule_at(completion, std::move(done));
+}
+
+}  // namespace hivemind::cloud

@@ -1,0 +1,457 @@
+#include "cloud/faas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+namespace hivemind::cloud {
+
+FaasRuntime::FaasRuntime(sim::Simulator& simulator, sim::Rng& rng,
+                         Cluster& cluster, DataStore& store,
+                         const FaasConfig& config)
+    : simulator_(&simulator),
+      rng_(rng.fork()),
+      cluster_(&cluster),
+      config_(config),
+      sharing_(simulator, rng, store, SharingConfig{}),
+      controller_free_(
+          static_cast<std::size_t>(config.controllers > 0 ? config.controllers
+                                                          : 1),
+          0)
+{
+}
+
+void
+FaasRuntime::set_placement_policy(PlacementPolicy policy)
+{
+    policy_ = std::move(policy);
+}
+
+void
+FaasRuntime::fail_controller(sim::Time takeover)
+{
+    ++controller_failures_;
+    sim::Time resume = simulator_->now() + takeover;
+    for (sim::Time& t : controller_free_)
+        t = std::max(t, resume);
+}
+
+void
+FaasRuntime::bump_active(int delta)
+{
+    active_ += delta;
+    active_series_.add(simulator_->now(), static_cast<double>(active_));
+}
+
+void
+FaasRuntime::invoke(const InvokeRequest& request, InvokeCallback done)
+{
+    PendingInvocation inv;
+    inv.request = request;
+    inv.done = std::move(done);
+    inv.trace.submit = simulator_->now();
+    bump_active(1);
+
+    // Front-end: NGINX + controller authentication against the DB,
+    // then the scheduling decision and the Kafka hop. The controller
+    // replicas form a FIFO service queue whose saturation is the
+    // centralized-scalability bottleneck of Sec. 5.6.
+    double fe_ms = rng_.lognormal_median(
+        sim::to_millis(config_.front_end_median), config_.front_end_sigma);
+    sim::Time service = sim::from_seconds(1.0 / config_.controller_rps);
+    auto it = std::min_element(controller_free_.begin(),
+                               controller_free_.end());
+    sim::Time start = std::max(*it, simulator_->now());
+    *it = start + service;
+    sim::Time decided = *it + sim::from_millis(fe_ms) +
+        config_.sched_overhead + config_.bus_delay;
+    auto self = this;
+    simulator_->schedule_at(decided, [self, inv = std::move(inv)]() mutable {
+        inv.trace.scheduled = self->simulator_->now();
+        self->try_start(std::move(inv));
+    });
+}
+
+std::optional<std::size_t>
+FaasRuntime::peek_warm(const std::string& app, std::size_t preferred) const
+{
+    auto it = warm_.find(app);
+    if (it == warm_.end() || it->second.total == 0)
+        return std::nullopt;
+    const WarmPool& pool = it->second;
+    auto pref = pool.by_server.find(preferred);
+    if (pref != pool.by_server.end() && !pref->second.empty())
+        return preferred;
+    for (const auto& [server, entries] : pool.by_server) {
+        if (!entries.empty())
+            return server;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::size_t>
+FaasRuntime::claim_warm(const std::string& app, std::size_t preferred)
+{
+    auto it = warm_.find(app);
+    if (it == warm_.end() || it->second.total == 0)
+        return std::nullopt;
+    WarmPool& pool = it->second;
+    auto usable = [this](std::size_t server) {
+        const Server& s = cluster_->server(server);
+        return s.free_cores() > 0 && !s.on_probation();
+    };
+    std::size_t chosen = kNoServer;
+    auto pref = pool.by_server.find(preferred);
+    if (pref != pool.by_server.end() && !pref->second.empty() &&
+        usable(preferred)) {
+        chosen = preferred;
+    } else {
+        for (const auto& [server, entries] : pool.by_server) {
+            if (!entries.empty() && usable(server)) {
+                chosen = server;
+                break;
+            }
+        }
+    }
+    if (chosen == kNoServer)
+        return std::nullopt;
+    auto& entries = pool.by_server[chosen];
+    WarmEntry e = entries.back();
+    entries.pop_back();
+    --pool.total;
+    simulator_->cancel(e.expiry);
+    // Memory stays reserved; the container transitions idle -> active.
+    cluster_->server(chosen).release_memory(e.memory_mb);
+    return chosen;
+}
+
+bool
+FaasRuntime::try_start(PendingInvocation inv)
+{
+    if (running_ >= config_.max_concurrency) {
+        // User concurrency limit: park until capacity frees up.
+        int prio = inv.request.priority;
+        queue_[prio].push_back(std::move(inv));
+        return false;
+    }
+
+    std::optional<std::size_t> warm_server = inv.request.isolate
+        ? std::nullopt
+        : peek_warm(inv.request.app, inv.request.preferred_server);
+
+    std::optional<std::size_t> target;
+    if (policy_) {
+        target = policy_(inv.request, *cluster_, warm_server);
+    } else {
+        // Stock policy: prefer a warm container, else least loaded.
+        if (warm_server &&
+            cluster_->server(*warm_server).free_cores() > 0 &&
+            !cluster_->server(*warm_server).on_probation()) {
+            target = warm_server;
+        } else {
+            target = cluster_->least_loaded(inv.request.memory_mb);
+        }
+    }
+
+    if (!target) {
+        int prio = inv.request.priority;
+        queue_[prio].push_back(std::move(inv));
+        return false;
+    }
+
+    bool reuse = false;
+    if (warm_server && *target == *warm_server) {
+        auto claimed = claim_warm(inv.request.app, *target);
+        if (claimed && *claimed == *target)
+            reuse = true;
+        else if (claimed) {
+            // Claimed a warm container elsewhere; follow it.
+            target = claimed;
+            reuse = true;
+        }
+    }
+    if (!reuse && !cluster_->server(*target).can_host(inv.request.memory_mb)) {
+        int prio = inv.request.priority;
+        queue_[prio].push_back(std::move(inv));
+        return false;
+    }
+    start_on_server(std::move(inv), *target, reuse);
+    return true;
+}
+
+void
+FaasRuntime::start_on_server(PendingInvocation inv, std::size_t server,
+                             bool reuse_warm)
+{
+    Server& srv = cluster_->server(server);
+    srv.acquire_core();
+    srv.acquire_memory(inv.request.memory_mb);
+    ++running_;
+    inv.trace.server = server;
+
+    sim::Time start_latency;
+    if (reuse_warm) {
+        ++warm_starts_;
+        inv.trace.cold_start = false;
+        inv.trace.colocated = inv.request.colocate_with_parent &&
+            server == inv.request.preferred_server;
+        start_latency = config_.warm_start;
+    } else {
+        ++cold_starts_;
+        inv.trace.cold_start = true;
+        start_latency = sim::from_millis(rng_.lognormal_median(
+            sim::to_millis(config_.cold_start_median),
+            config_.cold_start_sigma));
+    }
+
+    auto self = this;
+    simulator_->schedule_in(
+        start_latency, [self, inv = std::move(inv)]() mutable {
+            inv.trace.container_ready = self->simulator_->now();
+            // Fetch input produced by a parent function, if any.
+            if (inv.request.input_bytes > 0) {
+                SharingProtocol proto = inv.trace.colocated
+                    ? SharingProtocol::InMemory
+                    : self->config_.sharing;
+                std::uint64_t bytes = inv.request.input_bytes;
+                self->sharing_.share(
+                    proto, bytes, [self, inv = std::move(inv)]() mutable {
+                        inv.trace.input_ready = self->simulator_->now();
+                        self->run_body(std::move(inv));
+                    });
+            } else {
+                inv.trace.input_ready = inv.trace.container_ready;
+                self->run_body(std::move(inv));
+            }
+        });
+}
+
+void
+FaasRuntime::run_body(PendingInvocation inv)
+{
+    const Server& srv = cluster_->server(inv.trace.server);
+    // Interference scales with how full the host is (Sec. 3.3);
+    // optional performance isolation (cache/bandwidth partitioning,
+    // Sec. 4.3) removes the load-dependent part.
+    double sigma = config_.interference_base_sigma +
+        (config_.performance_isolation
+             ? 0.0
+             : config_.interference_load_sigma * srv.occupancy());
+    double factor = rng_.lognormal_median(1.0, sigma);
+    if (rng_.chance(config_.straggler_prob)) {
+        factor *= rng_.bounded_pareto(1.5, config_.straggler_max_factor, 1.2);
+    }
+    double remaining = 1.0 - inv.completed_fraction;
+    double exec_ms = inv.request.work_core_ms * factor * remaining;
+
+    if (rng_.chance(config_.fault_prob * remaining)) {
+        // The function dies partway through; recovery follows the
+        // task's Restore policy (Listing 2 / Sec. 3.2).
+        double dead_frac = rng_.uniform(0.05, 0.95);
+        double dead_ms = exec_ms * dead_frac;
+        ++faults_;
+        auto self = this;
+        simulator_->schedule_in(
+            sim::from_millis(dead_ms), [self, dead_frac,
+                                        inv = std::move(inv)]() mutable {
+                Server& s = self->cluster_->server(inv.trace.server);
+                s.release_core();
+                s.release_memory(inv.request.memory_mb);
+                --self->running_;
+                self->drain_queue();
+                if (inv.request.recovery == FaultRecovery::None) {
+                    // Lost: report once so callers can count misses.
+                    ++self->lost_;
+                    inv.trace.lost = true;
+                    inv.trace.exec_done = self->simulator_->now();
+                    inv.trace.done = inv.trace.exec_done;
+                    ++self->completed_;
+                    self->bump_active(-1);
+                    if (inv.done)
+                        inv.done(inv.trace);
+                    return;
+                }
+                if (inv.request.recovery == FaultRecovery::Checkpoint) {
+                    // Work up to the last checkpoint boundary survives.
+                    double progressed = inv.completed_fraction +
+                        (1.0 - inv.completed_fraction) * dead_frac;
+                    double g = inv.request.checkpoint_granularity;
+                    if (g > 0.0) {
+                        inv.completed_fraction =
+                            std::floor(progressed / g) * g;
+                    }
+                }
+                inv.trace.attempts += 1;
+                // Retry skips the front-end but re-enters scheduling.
+                self->simulator_->schedule_in(
+                    self->config_.sched_overhead + self->config_.bus_delay,
+                    [self, inv = std::move(inv)]() mutable {
+                        inv.trace.scheduled = self->simulator_->now();
+                        self->try_start(std::move(inv));
+                    });
+            });
+        return;
+    }
+
+    auto self = this;
+    simulator_->schedule_in(
+        sim::from_millis(exec_ms), [self, inv = std::move(inv)]() mutable {
+            inv.trace.exec_done = self->simulator_->now();
+            self->finish(std::move(inv));
+        });
+}
+
+void
+FaasRuntime::finish(PendingInvocation inv)
+{
+    auto complete = [this](PendingInvocation done_inv) {
+        Server& srv = cluster_->server(done_inv.trace.server);
+        srv.release_core();
+        srv.release_memory(done_inv.request.memory_mb);
+        --running_;
+        // Park the now-idle container for warm reuse — unless the
+        // task demanded a dedicated container (Isolate directive).
+        if (!done_inv.request.isolate) {
+            park_warm(done_inv.request.app, done_inv.trace.server,
+                      done_inv.request.memory_mb);
+        }
+        done_inv.trace.done = simulator_->now();
+        ++completed_;
+        bump_active(-1);
+        drain_queue();
+        if (done_inv.done)
+            done_inv.done(done_inv.trace);
+    };
+
+    if (inv.request.output_bytes > 0) {
+        SharingProtocol proto = inv.trace.colocated
+            ? SharingProtocol::InMemory
+            : config_.sharing;
+        std::uint64_t bytes = inv.request.output_bytes;
+        sharing_.share(proto, bytes,
+                       [inv = std::move(inv),
+                        complete = std::move(complete)]() mutable {
+                           complete(std::move(inv));
+                       });
+    } else {
+        complete(std::move(inv));
+    }
+}
+
+void
+FaasRuntime::park_warm(const std::string& app, std::size_t server,
+                       std::uint64_t memory_mb)
+{
+    if (config_.keepalive <= 0)
+        return;
+    Server& srv = cluster_->server(server);
+    if (!srv.has_memory(memory_mb))
+        return;  // Under memory pressure, tear down instead.
+    srv.acquire_memory(memory_mb);
+    auto self = this;
+    sim::EventId expiry = simulator_->schedule_in(
+        config_.keepalive, [self, app, server, memory_mb]() {
+            auto it = self->warm_.find(app);
+            if (it == self->warm_.end())
+                return;
+            auto bucket = it->second.by_server.find(server);
+            if (bucket == it->second.by_server.end())
+                return;
+            auto& entries = bucket->second;
+            for (std::size_t i = 0; i < entries.size(); ++i) {
+                if (entries[i].memory_mb == memory_mb) {
+                    self->cluster_->server(server).release_memory(memory_mb);
+                    entries.erase(entries.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+                    --it->second.total;
+                    // Freed memory may unblock queued invocations.
+                    self->drain_queue();
+                    return;
+                }
+            }
+        });
+    WarmPool& pool = warm_[app];
+    pool.by_server[server].push_back(WarmEntry{memory_mb, expiry});
+    ++pool.total;
+}
+
+void
+FaasRuntime::drain_queue()
+{
+    // One bounded sweep in priority order: try_start re-queues at the
+    // back on failure. Under deep backlogs requests are homogeneous,
+    // so a run of consecutive placement failures means the sweep
+    // should stop — without the bound a per-completion full-queue
+    // scan turns the saturated regime quadratic.
+    int consecutive_failures = 0;
+    for (auto& [prio, q] : queue_) {
+        (void)prio;
+        std::size_t n = q.size();
+        for (std::size_t i = 0; i < n && !q.empty(); ++i) {
+            PendingInvocation inv = std::move(q.front());
+            q.pop_front();
+            if (try_start(std::move(inv))) {
+                consecutive_failures = 0;
+            } else if (++consecutive_failures >= 16) {
+                return;
+            }
+        }
+    }
+}
+
+void
+FaasRuntime::invoke_parallel(const InvokeRequest& request, int ways,
+                             InvokeCallback done)
+{
+    if (ways <= 1) {
+        invoke(request, std::move(done));
+        return;
+    }
+    // Fan out: each worker gets an equal slice of the work plus its
+    // share of the input; fan-in pays one aggregation hand-off per
+    // worker (distributing work and aggregating results "incurs
+    // overheads from data sharing and synchronization", Sec. 3.2).
+    struct JoinState
+    {
+        int remaining;
+        InvocationTrace merged;
+        InvokeCallback done;
+        bool first = true;
+    };
+    auto join = std::make_shared<JoinState>();
+    join->remaining = ways;
+    join->done = std::move(done);
+
+    InvokeRequest part = request;
+    part.work_core_ms = request.work_core_ms / static_cast<double>(ways);
+    part.input_bytes = request.input_bytes / static_cast<std::uint64_t>(ways);
+    part.output_bytes =
+        request.output_bytes / static_cast<std::uint64_t>(ways);
+
+    for (int w = 0; w < ways; ++w) {
+        invoke(part, [join](const InvocationTrace& t) {
+            if (join->first) {
+                join->merged = t;
+                join->first = false;
+            } else {
+                // The merged trace spans the slowest path.
+                join->merged.scheduled =
+                    std::max(join->merged.scheduled, t.scheduled);
+                join->merged.container_ready =
+                    std::max(join->merged.container_ready, t.container_ready);
+                join->merged.input_ready =
+                    std::max(join->merged.input_ready, t.input_ready);
+                join->merged.exec_done =
+                    std::max(join->merged.exec_done, t.exec_done);
+                join->merged.done = std::max(join->merged.done, t.done);
+                join->merged.submit = std::min(join->merged.submit, t.submit);
+                join->merged.cold_start |= t.cold_start;
+            }
+            if (--join->remaining == 0 && join->done)
+                join->done(join->merged);
+        });
+    }
+}
+
+}  // namespace hivemind::cloud

@@ -1,0 +1,152 @@
+#pragma once
+
+/**
+ * @file
+ * Cloud server and cluster models: cores, memory, occupancy.
+ *
+ * The paper's backend is 12 two-socket, 40-core Intel servers with
+ * 128-256 GB of RAM (Sec. 2.1). A running container occupies one
+ * logical core — "two containers can share a physical server, but
+ * never share a logical core" (Sec. 4.3) — while any live container
+ * (including idle kept-alive ones) reserves its memory footprint.
+ * Worker monitors (Sec. 4.3) read the occupancy numbers exposed here.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace hivemind::cloud {
+
+/** One backend server: a pool of pinned core slots and memory. */
+class Server
+{
+  public:
+    /**
+     * @param id index within the cluster
+     * @param cores logical cores available for containers
+     * @param memory_mb RAM available for containers
+     */
+    Server(std::size_t id, int cores, std::uint64_t memory_mb)
+        : id_(id), cores_(cores), memory_mb_(memory_mb)
+    {
+    }
+
+    std::size_t id() const { return id_; }
+    int cores() const { return cores_; }
+    int busy_cores() const { return busy_cores_; }
+    int free_cores() const { return cores_ - busy_cores_; }
+
+    std::uint64_t memory_mb() const { return memory_mb_; }
+    std::uint64_t used_memory_mb() const { return used_memory_mb_; }
+
+    /** Fraction of cores currently occupied, in [0, 1]. */
+    double
+    occupancy() const
+    {
+        return cores_ > 0
+            ? static_cast<double>(busy_cores_) / static_cast<double>(cores_)
+            : 1.0;
+    }
+
+    /** Whether a new container needing @p memory_mb can start now. */
+    bool
+    can_host(std::uint64_t memory_mb) const
+    {
+        return !on_probation_ && free_cores() > 0 && has_memory(memory_mb);
+    }
+
+    /** Whether @p memory_mb of RAM is available. */
+    bool
+    has_memory(std::uint64_t memory_mb) const
+    {
+        return used_memory_mb_ + memory_mb <= memory_mb_;
+    }
+
+    /** Claim one logical core (pinned to a container). */
+    void acquire_core() { ++busy_cores_; }
+    /** Release a logical core. */
+    void release_core() { --busy_cores_; }
+
+    /** Reserve container memory. */
+    void acquire_memory(std::uint64_t mb) { used_memory_mb_ += mb; }
+    /** Release container memory. */
+    void release_memory(std::uint64_t mb) { used_memory_mb_ -= mb; }
+
+    /**
+     * Probation (Sec. 4.6): a server producing several stragglers is
+     * excluded from placement for a few minutes.
+     */
+    bool on_probation() const { return on_probation_; }
+    void set_probation(bool p) { on_probation_ = p; }
+
+    /** Straggler count feeding the probation policy. */
+    int straggler_count() const { return straggler_count_; }
+    void note_straggler() { ++straggler_count_; }
+    void reset_stragglers() { straggler_count_ = 0; }
+
+  private:
+    std::size_t id_;
+    int cores_;
+    std::uint64_t memory_mb_;
+    int busy_cores_ = 0;
+    std::uint64_t used_memory_mb_ = 0;
+    bool on_probation_ = false;
+    int straggler_count_ = 0;
+};
+
+/** The backend cluster: a fixed set of servers. */
+class Cluster
+{
+  public:
+    /** Build @p n identical servers. */
+    Cluster(std::size_t n, int cores_per_server, std::uint64_t memory_mb)
+    {
+        servers_.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            servers_.emplace_back(i, cores_per_server, memory_mb);
+    }
+
+    std::size_t size() const { return servers_.size(); }
+    Server& server(std::size_t i) { return servers_[i]; }
+    const Server& server(std::size_t i) const { return servers_[i]; }
+    std::vector<Server>& servers() { return servers_; }
+    const std::vector<Server>& servers() const { return servers_; }
+
+    /** Total free cores across the cluster. */
+    int
+    total_free_cores() const
+    {
+        int n = 0;
+        for (const Server& s : servers_)
+            n += s.free_cores();
+        return n;
+    }
+
+    /**
+     * Least-loaded server that can host a container of @p memory_mb.
+     * Deterministic tie-break by index.
+     */
+    std::optional<std::size_t>
+    least_loaded(std::uint64_t memory_mb) const
+    {
+        std::optional<std::size_t> best;
+        double best_occ = 2.0;
+        for (std::size_t i = 0; i < servers_.size(); ++i) {
+            const Server& s = servers_[i];
+            if (!s.can_host(memory_mb))
+                continue;
+            if (s.occupancy() < best_occ) {
+                best_occ = s.occupancy();
+                best = i;
+            }
+        }
+        return best;
+    }
+
+  private:
+    std::vector<Server> servers_;
+};
+
+}  // namespace hivemind::cloud

@@ -1,0 +1,99 @@
+#include "cloud/sharing.hpp"
+
+#include <utility>
+
+namespace hivemind::cloud {
+
+const char*
+to_string(SharingProtocol p)
+{
+    switch (p) {
+      case SharingProtocol::CouchDb:
+        return "CouchDB";
+      case SharingProtocol::DirectRpc:
+        return "RPC";
+      case SharingProtocol::InMemory:
+        return "In-memory";
+      case SharingProtocol::RemoteMemory:
+        return "RemoteMem";
+    }
+    return "?";
+}
+
+DataSharingFabric::DataSharingFabric(sim::Simulator& simulator, sim::Rng& rng,
+                                     DataStore& store,
+                                     const SharingConfig& config)
+    : simulator_(&simulator),
+      rng_(rng.fork()),
+      store_(&store),
+      config_(config)
+{
+}
+
+void
+DataSharingFabric::share(SharingProtocol protocol, std::uint64_t bytes,
+                         std::function<void()> done)
+{
+    sim::Time start = simulator_->now();
+    switch (protocol) {
+      case SharingProtocol::CouchDb: {
+        // Parent write, then child read, each a full store access.
+        auto self = this;
+        store_->access(bytes, [self, bytes, start,
+                               done = std::move(done)]() mutable {
+            self->store_->access(bytes, [self, start,
+                                         done = std::move(done)]() {
+                self->latency_couch_.add(
+                    sim::to_seconds(self->simulator_->now() - start));
+                if (done)
+                    done();
+            });
+        });
+        return;
+      }
+      case SharingProtocol::DirectRpc: {
+        sim::Time lat = config_.rpc_latency +
+            sim::from_seconds(static_cast<double>(bytes) /
+                              config_.rpc_bandwidth_Bps);
+        // Mild jitter from the kernel stack.
+        lat = sim::from_seconds(
+            rng_.lognormal_median(sim::to_seconds(lat), 0.12));
+        latency_rpc_.add(sim::to_seconds(lat));
+        simulator_->schedule_in(lat, std::move(done));
+        return;
+      }
+      case SharingProtocol::InMemory: {
+        sim::Time lat = sim::from_seconds(static_cast<double>(bytes) /
+                                          config_.memcpy_bandwidth_Bps);
+        latency_mem_.add(sim::to_seconds(lat));
+        simulator_->schedule_in(lat, std::move(done));
+        return;
+      }
+      case SharingProtocol::RemoteMemory: {
+        sim::Time lat = config_.rdma_latency +
+            sim::from_seconds(static_cast<double>(bytes) /
+                              config_.rdma_bandwidth_Bps);
+        latency_rdma_.add(sim::to_seconds(lat));
+        simulator_->schedule_in(lat, std::move(done));
+        return;
+      }
+    }
+}
+
+const sim::Summary&
+DataSharingFabric::latency(SharingProtocol p) const
+{
+    switch (p) {
+      case SharingProtocol::CouchDb:
+        return latency_couch_;
+      case SharingProtocol::DirectRpc:
+        return latency_rpc_;
+      case SharingProtocol::InMemory:
+        return latency_mem_;
+      case SharingProtocol::RemoteMemory:
+        return latency_rdma_;
+    }
+    return latency_couch_;
+}
+
+}  // namespace hivemind::cloud

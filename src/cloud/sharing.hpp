@@ -1,0 +1,92 @@
+#pragma once
+
+/**
+ * @file
+ * Inter-function data-sharing protocols (Fig. 6c, Sec. 4.4).
+ *
+ * Dependent serverless functions exchange intermediate data through
+ * one of four mechanisms:
+ *  - CouchDb:    OpenWhisk's default — controller handle lookup plus
+ *                a store write by the parent and a read by the child.
+ *  - DirectRpc:  point-to-point RPC over the cluster network (what
+ *                HiveMind's synthesized Thrift APIs use at the edge
+ *                boundary).
+ *  - InMemory:   child placed in the parent's container; the hand-off
+ *                is a memcpy within one address space.
+ *  - RemoteMemory: HiveMind's FPGA fabric (Sec. 4.4) — an RoCE-style
+ *                one-sided access over UPI with no host CPU and no OS
+ *                buffer copies.
+ */
+
+#include <cstdint>
+#include <functional>
+
+#include "cloud/datastore.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace hivemind::cloud {
+
+/** How a child function obtains its parent's output. */
+enum class SharingProtocol
+{
+    CouchDb,
+    DirectRpc,
+    InMemory,
+    RemoteMemory,
+};
+
+/** Human-readable protocol name for table output. */
+const char* to_string(SharingProtocol p);
+
+/** Latency/throughput constants of the sharing mechanisms. */
+struct SharingConfig
+{
+    /** Software RPC: per-message stack latency, both ends combined. */
+    sim::Time rpc_latency = sim::from_micros(60.0);
+    /** Software RPC payload bandwidth (TCP on 10 GbE, one stream). */
+    double rpc_bandwidth_Bps = 1.0e9;
+    /** In-memory hand-off bandwidth (memcpy). */
+    double memcpy_bandwidth_Bps = 8.0e9;
+    /** FPGA remote-memory access base latency (RoCE-style over UPI). */
+    sim::Time rdma_latency = sim::from_micros(2.4);
+    /** FPGA remote-memory streaming bandwidth (UPI-attached). */
+    double rdma_bandwidth_Bps = 11.0e9;
+};
+
+/**
+ * Executes data hand-offs between dependent functions under a chosen
+ * protocol, recording per-protocol latency summaries.
+ */
+class DataSharingFabric
+{
+  public:
+    DataSharingFabric(sim::Simulator& simulator, sim::Rng& rng,
+                      DataStore& store, const SharingConfig& config);
+
+    /**
+     * Move @p bytes of parent output to the child.
+     *
+     * @param protocol the mechanism to use
+     * @param bytes payload size
+     * @param done completion callback
+     */
+    void share(SharingProtocol protocol, std::uint64_t bytes,
+               std::function<void()> done);
+
+    /** Observed hand-off latency (seconds) per protocol. */
+    const sim::Summary& latency(SharingProtocol p) const;
+
+  private:
+    sim::Simulator* simulator_;
+    sim::Rng rng_;
+    DataStore* store_;
+    SharingConfig config_;
+    sim::Summary latency_couch_;
+    sim::Summary latency_rpc_;
+    sim::Summary latency_mem_;
+    sim::Summary latency_rdma_;
+};
+
+}  // namespace hivemind::cloud

@@ -1,0 +1,58 @@
+#include "core/controller.hpp"
+
+namespace hivemind::core {
+
+HiveMindController::HiveMindController(sim::Simulator& simulator,
+                                       const geo::Rect& field,
+                                       std::size_t devices,
+                                       const ControllerConfig& config)
+    : simulator_(&simulator),
+      config_(config),
+      balancer_(field, devices),
+      detector_(simulator, devices, config.heartbeat_interval,
+                config.heartbeat_timeout),
+      learning_(devices, config.detection, config.retrain_mode)
+{
+    detector_.set_on_failure([this](std::size_t device) {
+        metrics_.count("device_failures");
+        trace_.add(simulator_->now(), TraceEvent::DeviceFailure,
+                   static_cast<std::int64_t>(device));
+        std::vector<std::size_t> changed = balancer_.handle_failure(device);
+        for (std::size_t d : changed) {
+            trace_.add(simulator_->now(), TraceEvent::Repartition,
+                       static_cast<std::int64_t>(d), "inherited region");
+        }
+        if (on_reassign_ && !changed.empty())
+            on_reassign_(changed);
+    });
+}
+
+void
+HiveMindController::start()
+{
+    running_ = true;
+    detector_.start();
+    retrain_tick();
+}
+
+void
+HiveMindController::stop()
+{
+    running_ = false;
+    detector_.stop();
+}
+
+void
+HiveMindController::retrain_tick()
+{
+    if (!running_)
+        return;
+    learning_.retrain();
+    trace_.add(simulator_->now(), TraceEvent::RetrainRound, -1,
+               apps::to_string(learning_.mode()),
+               learning_.swarm_p_correct());
+    simulator_->schedule_in(config_.retrain_interval,
+                            [this]() { retrain_tick(); });
+}
+
+}  // namespace hivemind::core

@@ -1,0 +1,112 @@
+#pragma once
+
+/**
+ * @file
+ * The centralized HiveMind controller (Sec. 4.2).
+ *
+ * A cloud-resident process with global visibility into cloud and edge
+ * resources: it owns the load balancer that partitions work across
+ * devices, the heartbeat failure detector whose detections trigger
+ * repartitioning (Fig. 10), the serverless scheduler interface, the
+ * continuous-learning coordinator, and the monitoring system. The
+ * real controller runs as a centralized process with two hot
+ * standbys (Sec. 4.7); standby fail-over is modeled as a fixed
+ * takeover delay.
+ */
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "apps/detection.hpp"
+#include "core/heartbeat.hpp"
+#include "core/learning.hpp"
+#include "core/load_balancer.hpp"
+#include "core/monitor.hpp"
+#include "core/trace.hpp"
+#include "geo/vec2.hpp"
+#include "sim/simulator.hpp"
+
+namespace hivemind::core {
+
+/** Controller composition options. */
+struct ControllerConfig
+{
+    /** Heartbeat period (Sec. 4.6: once per second). */
+    sim::Time heartbeat_interval = sim::kSecond;
+    /** Silence treated as device failure (Sec. 4.6: 3 s). */
+    sim::Time heartbeat_timeout = 3 * sim::kSecond;
+    /** Continuous-learning mode for recognition models. */
+    apps::RetrainMode retrain_mode = apps::RetrainMode::Swarm;
+    /** Retraining round period. */
+    sim::Time retrain_interval = 10 * sim::kSecond;
+    /** Detection-model accuracy parameters. */
+    apps::DetectionConfig detection;
+    /** Hot-standby takeover delay on controller failure (Sec. 4.7). */
+    sim::Time standby_takeover = sim::from_millis(500.0);
+};
+
+/**
+ * Facade over the controller's subsystems; the platform layer drives
+ * it (device registration, heartbeats, decision feedback).
+ */
+class HiveMindController
+{
+  public:
+    /**
+     * @param field the operating area to partition
+     * @param devices swarm size
+     */
+    HiveMindController(sim::Simulator& simulator, const geo::Rect& field,
+                       std::size_t devices, const ControllerConfig& config);
+
+    /** Start heartbeat sweeping and periodic retraining. */
+    void start();
+
+    /** Stop periodic activity. */
+    void stop();
+
+    /** Forward a device heartbeat. */
+    void heartbeat(std::size_t device) { detector_.beat(device); }
+
+    /**
+     * Called with the ids of devices whose regions changed after a
+     * failure; the platform re-routes them.
+     */
+    void set_on_reassign(std::function<void(std::vector<std::size_t>)> fn)
+    {
+        on_reassign_ = std::move(fn);
+    }
+
+    /** Record recognition feedback for continuous learning. */
+    void record_decision(std::size_t device, std::uint64_t samples = 1)
+    {
+        learning_.record(device, samples);
+    }
+
+    /** Structured event trace (Sec. 4.7 monitoring). */
+    TraceLog& trace() { return trace_; }
+    const TraceLog& trace() const { return trace_; }
+
+    SwarmLoadBalancer& load_balancer() { return balancer_; }
+    const SwarmLoadBalancer& load_balancer() const { return balancer_; }
+    FailureDetector& failure_detector() { return detector_; }
+    LearningCoordinator& learning() { return learning_; }
+    const LearningCoordinator& learning() const { return learning_; }
+    MetricRegistry& metrics() { return metrics_; }
+
+  private:
+    void retrain_tick();
+
+    sim::Simulator* simulator_;
+    ControllerConfig config_;
+    SwarmLoadBalancer balancer_;
+    FailureDetector detector_;
+    LearningCoordinator learning_;
+    MetricRegistry metrics_;
+    TraceLog trace_;
+    std::function<void(std::vector<std::size_t>)> on_reassign_;
+    bool running_ = false;
+};
+
+}  // namespace hivemind::core

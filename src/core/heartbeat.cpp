@@ -1,0 +1,64 @@
+#include "core/heartbeat.hpp"
+
+namespace hivemind::core {
+
+FailureDetector::FailureDetector(sim::Simulator& simulator,
+                                 std::size_t devices,
+                                 sim::Time beat_interval, sim::Time timeout)
+    : simulator_(&simulator),
+      beat_interval_(beat_interval),
+      timeout_(timeout),
+      last_beat_(devices, 0),
+      failed_(devices, false)
+{
+}
+
+void
+FailureDetector::start()
+{
+    running_ = true;
+    // Devices are assumed alive at start.
+    for (auto& t : last_beat_)
+        t = simulator_->now();
+    sweep();
+}
+
+void
+FailureDetector::beat(std::size_t device)
+{
+    if (device < last_beat_.size() && !failed_[device])
+        last_beat_[device] = simulator_->now();
+}
+
+void
+FailureDetector::sweep()
+{
+    if (!running_)
+        return;
+    sim::Time now = simulator_->now();
+    for (std::size_t d = 0; d < last_beat_.size(); ++d) {
+        if (failed_[d])
+            continue;
+        if (now - last_beat_[d] > timeout_) {
+            failed_[d] = true;
+            detection_latencies_.push_back(
+                sim::to_seconds(now - last_beat_[d]));
+            if (on_failure_)
+                on_failure_(d);
+        }
+    }
+    simulator_->schedule_in(beat_interval_, [this]() { sweep(); });
+}
+
+std::size_t
+FailureDetector::failed_count() const
+{
+    std::size_t n = 0;
+    for (bool f : failed_) {
+        if (f)
+            ++n;
+    }
+    return n;
+}
+
+}  // namespace hivemind::core

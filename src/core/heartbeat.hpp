@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file
+ * Heartbeat-based failure detection (Sec. 4.6).
+ *
+ * "All devices send a periodic heartbeat to HiveMind (once per
+ * second). If the controller does not receive a heartbeat for more
+ * than 3s, it assumes that the device has failed." Detection is
+ * implemented as a periodic sweep over last-seen timestamps; the
+ * failure callback feeds the load balancer's repartitioning (Fig. 10).
+ */
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace hivemind::core {
+
+/** Monitors device heartbeats and reports failures. */
+class FailureDetector
+{
+  public:
+    /**
+     * @param devices number of devices tracked
+     * @param beat_interval expected heartbeat period (1 s)
+     * @param timeout silence duration treated as failure (3 s)
+     */
+    FailureDetector(sim::Simulator& simulator, std::size_t devices,
+                    sim::Time beat_interval = sim::kSecond,
+                    sim::Time timeout = 3 * sim::kSecond);
+
+    /** Begin the periodic sweep. */
+    void start();
+
+    /** Stop sweeping (ends the simulation cleanly). */
+    void stop() { running_ = false; }
+
+    /** Record a heartbeat from @p device. */
+    void beat(std::size_t device);
+
+    /** Invoked once per newly detected failure. */
+    void set_on_failure(std::function<void(std::size_t)> fn)
+    {
+        on_failure_ = std::move(fn);
+    }
+
+    /** Whether a device has been declared failed. */
+    bool is_failed(std::size_t device) const { return failed_[device]; }
+
+    /** Number of devices declared failed. */
+    std::size_t failed_count() const;
+
+    /** Detection latency observed for each failure (seconds). */
+    const std::vector<double>& detection_latencies() const
+    {
+        return detection_latencies_;
+    }
+
+  private:
+    void sweep();
+
+    sim::Simulator* simulator_;
+    sim::Time beat_interval_;
+    sim::Time timeout_;
+    std::vector<sim::Time> last_beat_;
+    std::vector<bool> failed_;
+    std::function<void(std::size_t)> on_failure_;
+    std::vector<double> detection_latencies_;
+    bool running_ = false;
+};
+
+}  // namespace hivemind::core

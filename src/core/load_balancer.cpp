@@ -1,0 +1,80 @@
+#include "core/load_balancer.hpp"
+
+namespace hivemind::core {
+
+SwarmLoadBalancer::SwarmLoadBalancer(const geo::Rect& field,
+                                     std::size_t devices)
+    : field_(field)
+{
+    std::vector<geo::Rect> strips = geo::partition_field(field, devices);
+    assignments_.reserve(devices);
+    for (std::size_t i = 0; i < strips.size(); ++i)
+        assignments_.push_back({i, strips[i]});
+}
+
+std::optional<geo::Rect>
+SwarmLoadBalancer::region_of(std::size_t device) const
+{
+    for (const Assignment& a : assignments_) {
+        if (a.device == device)
+            return a.region;
+    }
+    return std::nullopt;
+}
+
+std::vector<std::size_t>
+SwarmLoadBalancer::active_devices() const
+{
+    std::vector<std::size_t> out;
+    out.reserve(assignments_.size());
+    for (const Assignment& a : assignments_)
+        out.push_back(a.device);
+    return out;
+}
+
+std::vector<std::size_t>
+SwarmLoadBalancer::handle_failure(std::size_t device)
+{
+    std::vector<std::size_t> changed;
+    for (std::size_t i = 0; i < assignments_.size(); ++i) {
+        if (assignments_[i].device != device)
+            continue;
+        // Mirror geo::repartition_after_failure on the Rect list while
+        // tracking which owners grew.
+        std::vector<geo::Rect> regions;
+        regions.reserve(assignments_.size());
+        for (const Assignment& a : assignments_)
+            regions.push_back(a.region);
+        geo::repartition_after_failure(regions, i);
+        if (i > 0)
+            changed.push_back(assignments_[i - 1].device);
+        if (i + 1 < assignments_.size())
+            changed.push_back(assignments_[i + 1].device);
+        assignments_.erase(assignments_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        for (std::size_t j = 0; j < assignments_.size(); ++j)
+            assignments_[j].region = regions[j];
+        return changed;
+    }
+    return changed;
+}
+
+std::vector<geo::Vec2>
+SwarmLoadBalancer::route_for(std::size_t device, double track_spacing) const
+{
+    auto region = region_of(device);
+    if (!region)
+        return {};
+    return geo::coverage_route(*region, track_spacing);
+}
+
+double
+SwarmLoadBalancer::assigned_area() const
+{
+    double a = 0.0;
+    for (const Assignment& as : assignments_)
+        a += as.region.area();
+    return a;
+}
+
+}  // namespace hivemind::core

@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * Swarm load balancer: field partitioning and failure recovery.
+ *
+ * The controller "consists of a load balancer, which partitions the
+ * available work across all devices" (Sec. 4.2). At time zero the
+ * field is divided equally among the devices (Sec. 2.1); when a
+ * device fails, "HiveMind ... repartitions its assigned area equally
+ * among its neighboring drones assuming they have sufficient battery,
+ * and updates their routing information" (Fig. 10).
+ */
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "geo/coverage.hpp"
+#include "geo/vec2.hpp"
+
+namespace hivemind::core {
+
+/** Assigns field regions (and coverage routes) to devices. */
+class SwarmLoadBalancer
+{
+  public:
+    /**
+     * Partition @p field equally among @p devices devices.
+     *
+     * Device i initially owns strip i, left to right.
+     */
+    SwarmLoadBalancer(const geo::Rect& field, std::size_t devices);
+
+    /** The region currently assigned to @p device (nullopt if failed). */
+    std::optional<geo::Rect> region_of(std::size_t device) const;
+
+    /** Devices that still hold a region. */
+    std::vector<std::size_t> active_devices() const;
+
+    /**
+     * Handle a device failure: its strip is split between the
+     * neighbouring strips' owners (Fig. 10).
+     *
+     * @return the devices whose regions changed (need new routes).
+     */
+    std::vector<std::size_t> handle_failure(std::size_t device);
+
+    /** Coverage sweep of a device's current region. */
+    std::vector<geo::Vec2> route_for(std::size_t device,
+                                     double track_spacing) const;
+
+    /** Total area still assigned (conservation invariant). */
+    double assigned_area() const;
+
+    const geo::Rect& field() const { return field_; }
+
+  private:
+    struct Assignment
+    {
+        std::size_t device;
+        geo::Rect region;
+    };
+
+    geo::Rect field_;
+    std::vector<Assignment> assignments_;  // Ordered left to right.
+};
+
+}  // namespace hivemind::core

@@ -1,0 +1,84 @@
+#pragma once
+
+/**
+ * @file
+ * Monitoring / tracing sink (Secs. 4.2, 4.7).
+ *
+ * HiveMind ships "a monitoring system that collects tracing
+ * information from the cloud and edge resources" with negligible
+ * overhead. This registry collects named latency summaries and
+ * counters; experiment harnesses read it to print per-stage
+ * breakdowns (Figs. 3a, 6b, 12).
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace hivemind::core {
+
+/** Named metric sink shared by the controller and the harnesses. */
+class MetricRegistry
+{
+  public:
+    /** Record a latency-like sample (seconds) under @p name. */
+    void
+    observe(const std::string& name, double value)
+    {
+        summaries_[name].add(value);
+    }
+
+    /** Increment a counter. */
+    void
+    count(const std::string& name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Summary under @p name (empty summary when unknown). */
+    const sim::Summary&
+    summary(const std::string& name) const
+    {
+        static const sim::Summary empty;
+        auto it = summaries_.find(name);
+        return it == summaries_.end() ? empty : it->second;
+    }
+
+    /** Counter value (0 when unknown). */
+    std::uint64_t
+    counter(const std::string& name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Names of all summaries, sorted. */
+    std::vector<std::string>
+    summary_names() const
+    {
+        std::vector<std::string> out;
+        out.reserve(summaries_.size());
+        for (const auto& [k, v] : summaries_) {
+            (void)v;
+            out.push_back(k);
+        }
+        return out;
+    }
+
+    /** Reset all metrics. */
+    void
+    clear()
+    {
+        summaries_.clear();
+        counters_.clear();
+    }
+
+  private:
+    std::map<std::string, sim::Summary> summaries_;
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace hivemind::core

@@ -1,0 +1,258 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace hivemind::core {
+
+void
+PercentileTracker::add(double x)
+{
+    if (ring_.size() < capacity_) {
+        ring_.push_back(x);
+    } else {
+        ring_[next_] = x;
+        next_ = (next_ + 1) % capacity_;
+    }
+    ++total_;
+}
+
+double
+PercentileTracker::threshold(double p) const
+{
+    if (ring_.empty())
+        return 0.0;
+    if (cached_p_ == p && total_ - cached_at_ < refresh_)
+        return cached_value_;
+    std::vector<double> sorted = ring_;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    double frac = rank - static_cast<double>(lo);
+    cached_value_ = lo + 1 < sorted.size()
+        ? sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac
+        : sorted.back();
+    cached_p_ = p;
+    cached_at_ = total_;
+    return cached_value_;
+}
+
+HiveMindScheduler::HiveMindScheduler(sim::Simulator& simulator, sim::Rng& rng,
+                                     cloud::FaasRuntime& runtime,
+                                     const SchedulerConfig& config)
+    : simulator_(&simulator),
+      rng_(rng.fork()),
+      runtime_(&runtime),
+      config_(config),
+      straggler_score_(runtime.cluster().size(), 0.0)
+{
+}
+
+void
+HiveMindScheduler::install()
+{
+    // Widen the keep-alive window (Sec. 4.3: "ranges between 10 and
+    // 30 seconds"); sample once so a run is internally consistent.
+    sim::Time lo = config_.keepalive_min;
+    sim::Time hi = config_.keepalive_max;
+    runtime_->mutable_config().keepalive =
+        lo + static_cast<sim::Time>(rng_.uniform(
+                 0.0, static_cast<double>(hi - lo)));
+    // Kept-alive containers stay hot (not paused): reuse is cheap.
+    runtime_->mutable_config().warm_start = sim::from_millis(8.0);
+
+    runtime_->set_placement_policy(
+        [this](const cloud::InvokeRequest& request,
+               const cloud::Cluster& cluster,
+               std::optional<std::size_t> warm_server) {
+            return place(request, cluster, warm_server);
+        });
+}
+
+std::optional<std::size_t>
+HiveMindScheduler::place(const cloud::InvokeRequest& request,
+                         const cloud::Cluster& cluster,
+                         std::optional<std::size_t> warm_server) const
+{
+    // 1. Parent co-location: run the child in its parent's container
+    //    when that server still has capacity (Sec. 4.3).
+    if (request.preferred_server != cloud::kNoServer) {
+        const cloud::Server& pref = cluster.server(request.preferred_server);
+        if (!pref.on_probation() && pref.free_cores() > 0 &&
+            pref.has_memory(request.memory_mb)) {
+            return request.preferred_server;
+        }
+    }
+    // 2. A warm container for the app avoids a cold start.
+    if (warm_server) {
+        const cloud::Server& w = cluster.server(*warm_server);
+        if (!w.on_probation() && w.free_cores() > 0)
+            return warm_server;
+    }
+    // 3. Worker monitors: the least-occupied server with capacity.
+    return cluster.least_loaded(request.memory_mb);
+}
+
+const PercentileTracker&
+HiveMindScheduler::history(const std::string& app) const
+{
+    static const PercentileTracker empty;
+    auto it = history_.find(app);
+    return it == history_.end() ? empty : it->second;
+}
+
+std::size_t
+HiveMindScheduler::probation_count() const
+{
+    std::size_t n = 0;
+    for (const cloud::Server& s : runtime_->cluster().servers()) {
+        if (s.on_probation())
+            ++n;
+    }
+    return n;
+}
+
+void
+HiveMindScheduler::note_completion(const std::string& app, double latency_s,
+                                   std::size_t server)
+{
+    PercentileTracker& h = history_[app];
+    bool straggled = h.count() >= config_.straggler_min_samples &&
+        latency_s > h.threshold(config_.straggler_percentile);
+    h.add(latency_s);
+    if (server == cloud::kNoServer || server >= straggler_score_.size())
+        return;
+    cloud::Server& srv = runtime_->cluster().server(server);
+    double& score = straggler_score_[server];
+    if (!straggled) {
+        // Leaky bucket: normal completions decay the score, so only a
+        // node whose stragglers are disproportionate trips probation.
+        score -= config_.probation_decay;
+        if (score < 0.0)
+            score = 0.0;
+        return;
+    }
+    srv.note_straggler();
+    score += 1.0;
+    // Never bench more than a fraction of the cluster: a systemic
+    // slowdown is not one bad node, and the cluster must keep serving.
+    double benched = static_cast<double>(probation_count());
+    double cap = config_.probation_max_fraction *
+        static_cast<double>(runtime_->cluster().size());
+    if (score >= config_.probation_threshold && !srv.on_probation() &&
+        benched + 1.0 <= cap) {
+        srv.set_probation(true);
+        std::size_t id = server;
+        simulator_->schedule_in(config_.probation_duration, [this, id]() {
+            cloud::Server& s = runtime_->cluster().server(id);
+            s.set_probation(false);
+            s.reset_stragglers();
+            straggler_score_[id] = 0.0;
+            // Capacity returned: retry anything parked in the queue.
+            runtime_->poke();
+        });
+    }
+}
+
+void
+HiveMindScheduler::invoke(const cloud::InvokeRequest& request,
+                          cloud::InvokeCallback done)
+{
+    struct RaceState
+    {
+        bool finished = false;
+        bool duplicate_launched = false;
+        cloud::InvokeCallback done;
+    };
+    auto race = std::make_shared<RaceState>();
+    race->done = std::move(done);
+
+    auto finish = [this, race, app = request.app](
+                      const cloud::InvocationTrace& trace) {
+        if (race->finished)
+            return;  // The other copy already won.
+        race->finished = true;
+        note_completion(app, trace.total_s(), trace.server);
+        if (race->done)
+            race->done(trace);
+    };
+
+    runtime_->invoke(request, finish);
+
+    // Straggler watchdog: once the invocation exceeds the app's p-th
+    // percentile, launch a duplicate; first finisher wins.
+    const PercentileTracker& h = history(request.app);
+    if (h.count() >= config_.straggler_min_samples) {
+        double deadline_s = h.threshold(config_.straggler_percentile);
+        auto self = this;
+        cloud::InvokeRequest dup = request;
+        simulator_->schedule_in(
+            sim::from_seconds(deadline_s), [self, race, dup, finish]() {
+                if (race->finished || race->duplicate_launched)
+                    return;
+                race->duplicate_launched = true;
+                ++self->respawns_;
+                if (self->trace_) {
+                    self->trace_->add(self->simulator_->now(),
+                                      TraceEvent::StragglerRespawn, -1,
+                                      dup.app);
+                }
+                self->runtime_->invoke(dup, finish);
+            });
+    }
+}
+
+void
+HiveMindScheduler::invoke_parallel(const cloud::InvokeRequest& request,
+                                   int ways, cloud::InvokeCallback done)
+{
+    if (ways <= 1) {
+        invoke(request, std::move(done));
+        return;
+    }
+    // Mitigation applies per fan-out worker inside the runtime; here
+    // we mirror FaasRuntime::invoke_parallel but route through the
+    // scheduler so each worker gets the watchdog.
+    struct JoinState
+    {
+        int remaining;
+        cloud::InvocationTrace merged;
+        cloud::InvokeCallback done;
+        bool first = true;
+    };
+    auto join = std::make_shared<JoinState>();
+    join->remaining = ways;
+    join->done = std::move(done);
+
+    cloud::InvokeRequest part = request;
+    part.work_core_ms = request.work_core_ms / static_cast<double>(ways);
+    part.input_bytes = request.input_bytes / static_cast<std::uint64_t>(ways);
+    part.output_bytes =
+        request.output_bytes / static_cast<std::uint64_t>(ways);
+
+    for (int w = 0; w < ways; ++w) {
+        invoke(part, [join](const cloud::InvocationTrace& t) {
+            if (join->first) {
+                join->merged = t;
+                join->first = false;
+            } else {
+                join->merged.scheduled =
+                    std::max(join->merged.scheduled, t.scheduled);
+                join->merged.container_ready =
+                    std::max(join->merged.container_ready, t.container_ready);
+                join->merged.input_ready =
+                    std::max(join->merged.input_ready, t.input_ready);
+                join->merged.exec_done =
+                    std::max(join->merged.exec_done, t.exec_done);
+                join->merged.done = std::max(join->merged.done, t.done);
+                join->merged.submit = std::min(join->merged.submit, t.submit);
+                join->merged.cold_start |= t.cold_start;
+            }
+            if (--join->remaining == 0 && join->done)
+                join->done(join->merged);
+        });
+    }
+}
+
+}  // namespace hivemind::core

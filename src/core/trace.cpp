@@ -1,0 +1,139 @@
+#include "core/trace.hpp"
+
+#include <sstream>
+
+namespace hivemind::core {
+
+const char*
+to_string(TraceEvent e)
+{
+    switch (e) {
+      case TraceEvent::TaskSubmit:
+        return "task_submit";
+      case TraceEvent::TaskStart:
+        return "task_start";
+      case TraceEvent::TaskComplete:
+        return "task_complete";
+      case TraceEvent::TaskFault:
+        return "task_fault";
+      case TraceEvent::ColdStart:
+        return "cold_start";
+      case TraceEvent::WarmStart:
+        return "warm_start";
+      case TraceEvent::DeviceFailure:
+        return "device_failure";
+      case TraceEvent::Repartition:
+        return "repartition";
+      case TraceEvent::StragglerRespawn:
+        return "straggler_respawn";
+      case TraceEvent::ControllerFailover:
+        return "controller_failover";
+      case TraceEvent::RetrainRound:
+        return "retrain_round";
+      case TraceEvent::Custom:
+        return "custom";
+    }
+    return "?";
+}
+
+void
+TraceLog::add(sim::Time when, TraceEvent event, std::int64_t subject,
+              std::string label, double value)
+{
+    records_.push_back(
+        TraceRecord{when, event, subject, std::move(label), value});
+}
+
+std::size_t
+TraceLog::count(TraceEvent event) const
+{
+    std::size_t n = 0;
+    for (const TraceRecord& r : records_) {
+        if (r.event == event)
+            ++n;
+    }
+    return n;
+}
+
+std::vector<TraceRecord>
+TraceLog::filter(TraceEvent event) const
+{
+    std::vector<TraceRecord> out;
+    for (const TraceRecord& r : records_) {
+        if (r.event == event)
+            out.push_back(r);
+    }
+    return out;
+}
+
+namespace {
+
+/** RFC 4180 quoting for CSV fields. */
+std::string
+csv_quote(const std::string& s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+/** Minimal JSON string escaping. */
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string
+TraceLog::to_csv() const
+{
+    std::ostringstream os;
+    os << "time_s,event,subject,label,value\n";
+    for (const TraceRecord& r : records_) {
+        os << sim::to_seconds(r.when) << ',' << to_string(r.event) << ','
+           << r.subject << ',' << csv_quote(r.label) << ',' << r.value
+           << '\n';
+    }
+    return os.str();
+}
+
+std::string
+TraceLog::to_jsonl() const
+{
+    std::ostringstream os;
+    for (const TraceRecord& r : records_) {
+        os << "{\"time_s\":" << sim::to_seconds(r.when) << ",\"event\":\""
+           << to_string(r.event) << "\",\"subject\":" << r.subject
+           << ",\"label\":\"" << json_escape(r.label)
+           << "\",\"value\":" << r.value << "}\n";
+    }
+    return os.str();
+}
+
+}  // namespace hivemind::core

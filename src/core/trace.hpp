@@ -1,0 +1,91 @@
+#pragma once
+
+/**
+ * @file
+ * Structured trace log (Sec. 4.7).
+ *
+ * HiveMind ships "a monitoring system that tracks application
+ * progress and device status" with negligible overhead. TraceLog is
+ * its storage: a flat, append-only record of typed events that
+ * experiment harnesses and the controller can write, with CSV and
+ * JSON-lines exporters for offline analysis. Collection cost is one
+ * vector push per event; rendering happens only on export.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hivemind::core {
+
+/** What happened. */
+enum class TraceEvent
+{
+    TaskSubmit,
+    TaskStart,
+    TaskComplete,
+    TaskFault,
+    ColdStart,
+    WarmStart,
+    DeviceFailure,
+    Repartition,
+    StragglerRespawn,
+    ControllerFailover,
+    RetrainRound,
+    Custom,
+};
+
+/** Human-readable event name (stable; used in exports). */
+const char* to_string(TraceEvent e);
+
+/** One trace record. */
+struct TraceRecord
+{
+    sim::Time when = 0;
+    TraceEvent event = TraceEvent::Custom;
+    /** Device or server id the event concerns (-1 = none). */
+    std::int64_t subject = -1;
+    /** Free-form label (task name, app id, reason). */
+    std::string label;
+    /** Optional numeric payload (latency seconds, count, ...). */
+    double value = 0.0;
+};
+
+/** Append-only trace with filtered queries and exporters. */
+class TraceLog
+{
+  public:
+    /** Record an event. */
+    void add(sim::Time when, TraceEvent event, std::int64_t subject = -1,
+             std::string label = {}, double value = 0.0);
+
+    /** All records, in insertion order. */
+    const std::vector<TraceRecord>& records() const { return records_; }
+
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+    void clear() { records_.clear(); }
+
+    /** Number of records of one event kind. */
+    std::size_t count(TraceEvent event) const;
+
+    /** Records of one kind, in order. */
+    std::vector<TraceRecord> filter(TraceEvent event) const;
+
+    /**
+     * Render as CSV with header
+     * `time_s,event,subject,label,value`. Labels containing commas or
+     * quotes are quoted per RFC 4180.
+     */
+    std::string to_csv() const;
+
+    /** Render as JSON lines (one object per record). */
+    std::string to_jsonl() const;
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+}  // namespace hivemind::core

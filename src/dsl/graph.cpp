@@ -1,0 +1,343 @@
+#include "dsl/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <stdexcept>
+
+namespace hivemind::dsl {
+
+const char*
+to_string(PlacementHint p)
+{
+    switch (p) {
+      case PlacementHint::Auto:
+        return "Auto";
+      case PlacementHint::Edge:
+        return "Edge";
+      case PlacementHint::Cloud:
+        return "Cloud";
+    }
+    return "?";
+}
+
+const char*
+to_string(LearnScope s)
+{
+    switch (s) {
+      case LearnScope::Off:
+        return "Off";
+      case LearnScope::Local:
+        return "Local";
+      case LearnScope::Global:
+        return "Global";
+    }
+    return "?";
+}
+
+const char*
+to_string(RestorePolicy r)
+{
+    switch (r) {
+      case RestorePolicy::None:
+        return "None";
+      case RestorePolicy::Respawn:
+        return "Respawn";
+      case RestorePolicy::Checkpoint:
+        return "Checkpoint";
+    }
+    return "?";
+}
+
+TaskGraph&
+TaskGraph::add_task(TaskDef task)
+{
+    if (tasks_.count(task.name) > 0) {
+        build_errors_.push_back("duplicate task name: " + task.name);
+        return *this;
+    }
+    order_.push_back(task.name);
+    tasks_.emplace(task.name, std::move(task));
+    return *this;
+}
+
+TaskGraph&
+TaskGraph::add_edge(const std::string& parent, const std::string& child)
+{
+    auto pit = tasks_.find(parent);
+    auto cit = tasks_.find(child);
+    if (pit == tasks_.end()) {
+        build_errors_.push_back("edge references unknown task: " + parent);
+        return *this;
+    }
+    if (cit == tasks_.end()) {
+        build_errors_.push_back("edge references unknown task: " + child);
+        return *this;
+    }
+    auto& kids = pit->second.children;
+    if (std::find(kids.begin(), kids.end(), child) == kids.end())
+        kids.push_back(child);
+    auto& folks = cit->second.parents;
+    if (std::find(folks.begin(), folks.end(), parent) == folks.end())
+        folks.push_back(parent);
+    return *this;
+}
+
+TaskGraph&
+TaskGraph::parallel(const std::string& a, const std::string& b)
+{
+    rules_.push_back({a, b, Ordering::Parallel});
+    return *this;
+}
+
+TaskGraph&
+TaskGraph::overlap(const std::string& a, const std::string& b)
+{
+    rules_.push_back({a, b, Ordering::Overlap});
+    return *this;
+}
+
+TaskGraph&
+TaskGraph::serial(const std::string& a, const std::string& b)
+{
+    rules_.push_back({a, b, Ordering::Serial});
+    return *this;
+}
+
+TaskGraph&
+TaskGraph::synchronize(const std::string& task, const std::string& condition)
+{
+    syncs_.push_back({task, condition});
+    if (auto it = tasks_.find(task); it != tasks_.end())
+        it->second.sync_all = (condition == "all");
+    return *this;
+}
+
+TaskGraph&
+TaskGraph::place(const std::string& task, PlacementHint hint)
+{
+    if (auto it = tasks_.find(task); it != tasks_.end())
+        it->second.placement = hint;
+    else
+        build_errors_.push_back("Place() on unknown task: " + task);
+    return *this;
+}
+
+TaskGraph&
+TaskGraph::isolate(const std::string& task)
+{
+    if (auto it = tasks_.find(task); it != tasks_.end())
+        it->second.isolate = true;
+    else
+        build_errors_.push_back("Isolate() on unknown task: " + task);
+    return *this;
+}
+
+TaskGraph&
+TaskGraph::persist(const std::string& task)
+{
+    if (auto it = tasks_.find(task); it != tasks_.end())
+        it->second.persist = true;
+    else
+        build_errors_.push_back("Persist() on unknown task: " + task);
+    return *this;
+}
+
+TaskGraph&
+TaskGraph::learn(const std::string& task, LearnScope scope)
+{
+    if (auto it = tasks_.find(task); it != tasks_.end())
+        it->second.learn = scope;
+    else
+        build_errors_.push_back("Learn() on unknown task: " + task);
+    return *this;
+}
+
+TaskGraph&
+TaskGraph::restore(const std::string& task, RestorePolicy policy)
+{
+    if (auto it = tasks_.find(task); it != tasks_.end())
+        it->second.restore = policy;
+    else
+        build_errors_.push_back("Restore() on unknown task: " + task);
+    return *this;
+}
+
+TaskGraph&
+TaskGraph::schedule_priority(const std::string& task, int priority)
+{
+    if (auto it = tasks_.find(task); it != tasks_.end())
+        it->second.priority = priority;
+    else
+        build_errors_.push_back("Schedule() on unknown task: " + task);
+    return *this;
+}
+
+TaskGraph&
+TaskGraph::constrain(const GraphConstraints& constraints)
+{
+    constraints_ = constraints;
+    return *this;
+}
+
+bool
+TaskGraph::has_task(const std::string& name) const
+{
+    return tasks_.count(name) > 0;
+}
+
+const TaskDef&
+TaskGraph::task(const std::string& name) const
+{
+    return tasks_.at(name);
+}
+
+TaskDef&
+TaskGraph::task(const std::string& name)
+{
+    return tasks_.at(name);
+}
+
+bool
+TaskGraph::has_edge(const std::string& parent, const std::string& child) const
+{
+    auto it = tasks_.find(parent);
+    if (it == tasks_.end())
+        return false;
+    const auto& kids = it->second.children;
+    return std::find(kids.begin(), kids.end(), child) != kids.end();
+}
+
+std::vector<std::string>
+TaskGraph::roots() const
+{
+    std::vector<std::string> out;
+    for (const std::string& n : order_) {
+        if (tasks_.at(n).parents.empty())
+            out.push_back(n);
+    }
+    return out;
+}
+
+std::vector<std::string>
+TaskGraph::leaves() const
+{
+    std::vector<std::string> out;
+    for (const std::string& n : order_) {
+        if (tasks_.at(n).children.empty())
+            out.push_back(n);
+    }
+    return out;
+}
+
+std::optional<std::vector<std::string>>
+TaskGraph::topo_order() const
+{
+    std::map<std::string, int> indegree;
+    for (const std::string& n : order_)
+        indegree[n] = 0;
+    for (const auto& [name, t] : tasks_) {
+        (void)name;
+        for (const std::string& c : t.children) {
+            if (indegree.count(c) > 0)
+                ++indegree[c];
+        }
+    }
+    // Kahn's algorithm, preferring declaration order for determinism.
+    std::deque<std::string> ready;
+    for (const std::string& n : order_) {
+        if (indegree[n] == 0)
+            ready.push_back(n);
+    }
+    std::vector<std::string> out;
+    while (!ready.empty()) {
+        std::string n = ready.front();
+        ready.pop_front();
+        out.push_back(n);
+        for (const std::string& c : tasks_.at(n).children) {
+            if (indegree.count(c) > 0 && --indegree[c] == 0)
+                ready.push_back(c);
+        }
+    }
+    if (out.size() != order_.size())
+        return std::nullopt;  // Cycle.
+    return out;
+}
+
+std::vector<std::string>
+TaskGraph::validate() const
+{
+    std::vector<std::string> errors = build_errors_;
+
+    for (const auto& [name, t] : tasks_) {
+        for (const std::string& p : t.parents) {
+            if (tasks_.count(p) == 0)
+                errors.push_back(name + ": unknown parent " + p);
+        }
+        for (const std::string& c : t.children) {
+            if (tasks_.count(c) == 0)
+                errors.push_back(name + ": unknown child " + c);
+            if (c == name)
+                errors.push_back(name + ": self-edge");
+        }
+        if (t.sensor_source && t.placement == PlacementHint::Cloud) {
+            errors.push_back(name +
+                             ": sensor source cannot be placed in the cloud");
+        }
+        if (t.actuator_sink && t.placement == PlacementHint::Cloud) {
+            errors.push_back(name +
+                             ": actuator sink cannot be placed in the cloud");
+        }
+        // Dataset wiring: a consumed dataset must be produced by a
+        // declared parent (roots consume external data freely).
+        if (!t.data_in.empty() && !t.parents.empty()) {
+            bool produced = false;
+            for (const std::string& p : t.parents) {
+                auto pit = tasks_.find(p);
+                if (pit != tasks_.end() &&
+                    pit->second.data_out == t.data_in) {
+                    produced = true;
+                    break;
+                }
+            }
+            if (!produced) {
+                errors.push_back(name + ": consumes dataset '" + t.data_in +
+                                 "' which no parent produces");
+            }
+        }
+    }
+
+    // Contradictory orderings on the same (unordered) pair.
+    std::set<std::pair<std::string, std::string>> par, ser;
+    for (const OrderingRule& r : rules_) {
+        if (tasks_.count(r.a) == 0)
+            errors.push_back("ordering references unknown task: " + r.a);
+        if (tasks_.count(r.b) == 0)
+            errors.push_back("ordering references unknown task: " + r.b);
+        auto key = r.a < r.b ? std::make_pair(r.a, r.b)
+                             : std::make_pair(r.b, r.a);
+        if (r.kind == Ordering::Serial)
+            ser.insert(key);
+        else
+            par.insert(key);
+    }
+    for (const auto& k : par) {
+        if (ser.count(k) > 0) {
+            errors.push_back("contradictory ordering between " + k.first +
+                             " and " + k.second);
+        }
+    }
+
+    // Sync points must reference known tasks.
+    for (const SyncPoint& s : syncs_) {
+        if (tasks_.count(s.task) == 0)
+            errors.push_back("Synchronize() on unknown task: " + s.task);
+    }
+
+    if (!topo_order())
+        errors.push_back("task graph contains a cycle");
+
+    return errors;
+}
+
+}  // namespace hivemind::dsl

@@ -1,0 +1,317 @@
+#include "dsl/parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace hivemind::dsl {
+
+namespace {
+
+/** Split a line into whitespace-separated tokens; quotes group. */
+std::vector<std::string>
+tokenize(const std::string& line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    bool quoted = false;
+    for (char c : line) {
+        if (c == '"') {
+            quoted = !quoted;
+            continue;
+        }
+        if (!quoted && std::isspace(static_cast<unsigned char>(c))) {
+            if (!cur.empty()) {
+                out.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+/** Split "key=value" (returns false when '=' is absent). */
+bool
+split_kv(const std::string& tok, std::string& key, std::string& value)
+{
+    auto pos = tok.find('=');
+    if (pos == std::string::npos)
+        return false;
+    key = tok.substr(0, pos);
+    value = tok.substr(pos + 1);
+    return true;
+}
+
+bool
+parse_double_prefix(const std::string& text, double& value,
+                    std::string& suffix)
+{
+    char* end = nullptr;
+    value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str())
+        return false;
+    suffix = std::string(end);
+    return true;
+}
+
+}  // namespace
+
+bool
+parse_size(const std::string& text, std::uint64_t& bytes)
+{
+    double v = 0.0;
+    std::string suffix;
+    if (!parse_double_prefix(text, v, suffix) || v < 0.0)
+        return false;
+    double scale = 1.0;
+    if (suffix.empty() || suffix == "B")
+        scale = 1.0;
+    else if (suffix == "KB" || suffix == "kB")
+        scale = 1024.0;
+    else if (suffix == "MB")
+        scale = 1024.0 * 1024.0;
+    else if (suffix == "GB")
+        scale = 1024.0 * 1024.0 * 1024.0;
+    else
+        return false;
+    bytes = static_cast<std::uint64_t>(v * scale);
+    return true;
+}
+
+bool
+parse_duration(const std::string& text, double& seconds)
+{
+    double v = 0.0;
+    std::string suffix;
+    if (!parse_double_prefix(text, v, suffix) || v < 0.0)
+        return false;
+    if (suffix == "us")
+        seconds = v * 1e-6;
+    else if (suffix == "ms")
+        seconds = v * 1e-3;
+    else if (suffix == "s" || suffix.empty())
+        seconds = v;
+    else if (suffix == "min")
+        seconds = v * 60.0;
+    else
+        return false;
+    return true;
+}
+
+ParseResult
+parse(const std::string& text)
+{
+    ParseResult result;
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    // Edges and statements referencing tasks are deferred until all
+    // tasks are declared, so forward references work.
+    struct Deferred
+    {
+        int lineno;
+        std::vector<std::string> tokens;
+    };
+    std::vector<Deferred> deferred;
+
+    auto err = [&result](int ln, const std::string& msg) {
+        result.errors.push_back("line " + std::to_string(ln) + ": " + msg);
+    };
+
+    while (std::getline(in, line)) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::vector<std::string> toks = tokenize(line);
+        if (toks.empty())
+            continue;
+        const std::string& kw = toks[0];
+
+        if (kw == "taskgraph") {
+            if (toks.size() != 2) {
+                err(lineno, "taskgraph expects a name");
+                continue;
+            }
+            result.graph = TaskGraph(toks[1]);
+        } else if (kw == "task") {
+            if (toks.size() < 2) {
+                err(lineno, "task expects a name");
+                continue;
+            }
+            TaskDef t;
+            t.name = toks[1];
+            bool ok = true;
+            for (std::size_t i = 2; i < toks.size(); ++i) {
+                std::string key, value;
+                if (!split_kv(toks[i], key, value)) {
+                    if (toks[i] == "sensor")
+                        t.sensor_source = true;
+                    else if (toks[i] == "actuator")
+                        t.actuator_sink = true;
+                    else {
+                        err(lineno, "unknown task attribute: " + toks[i]);
+                        ok = false;
+                    }
+                    continue;
+                }
+                if (key == "in") {
+                    t.data_in = value;
+                } else if (key == "out") {
+                    t.data_out = value;
+                } else if (key == "code") {
+                    t.code_path = value;
+                } else if (key == "work") {
+                    double s = 0.0;
+                    if (!parse_duration(value, s)) {
+                        err(lineno, "bad duration: " + value);
+                        ok = false;
+                    } else {
+                        t.work_core_ms = s * 1000.0;
+                    }
+                } else if (key == "input") {
+                    if (!parse_size(value, t.input_bytes)) {
+                        err(lineno, "bad size: " + value);
+                        ok = false;
+                    }
+                } else if (key == "output") {
+                    if (!parse_size(value, t.output_bytes)) {
+                        err(lineno, "bad size: " + value);
+                        ok = false;
+                    }
+                } else if (key == "parallelism") {
+                    t.parallelism = std::atoi(value.c_str());
+                    if (t.parallelism < 1) {
+                        err(lineno, "parallelism must be >= 1");
+                        ok = false;
+                    }
+                } else if (key.rfind("arg.", 0) == 0) {
+                    t.args[key.substr(4)] = value;
+                } else {
+                    err(lineno, "unknown task attribute: " + key);
+                    ok = false;
+                }
+            }
+            if (ok)
+                result.graph.add_task(std::move(t));
+        } else if (kw == "constraint") {
+            GraphConstraints c = result.graph.constraints();
+            for (std::size_t i = 1; i < toks.size(); ++i) {
+                std::string key, value;
+                if (!split_kv(toks[i], key, value)) {
+                    err(lineno, "constraint expects key=value");
+                    continue;
+                }
+                double s = 0.0;
+                if (key == "exec_time" && parse_duration(value, s))
+                    c.exec_time_s = s;
+                else if (key == "latency" && parse_duration(value, s))
+                    c.latency_s = s;
+                else if (key == "throughput")
+                    c.throughput_hz = std::atof(value.c_str());
+                else if (key == "cost")
+                    c.cloud_cost = std::atof(value.c_str());
+                else if (key == "battery")
+                    c.battery_fraction = std::atof(value.c_str());
+                else
+                    err(lineno, "unknown constraint: " + key);
+            }
+            result.graph.constrain(c);
+        } else {
+            deferred.push_back({lineno, toks});
+        }
+    }
+
+    for (const auto& d : deferred) {
+        const auto& toks = d.tokens;
+        const std::string& kw = toks[0];
+        auto need = [&](std::size_t n) {
+            if (toks.size() != n) {
+                err(d.lineno, kw + " expects " + std::to_string(n - 1) +
+                        " arguments");
+                return false;
+            }
+            return true;
+        };
+        if (kw == "edge") {
+            if (need(3))
+                result.graph.add_edge(toks[1], toks[2]);
+        } else if (kw == "parallel") {
+            if (need(3))
+                result.graph.parallel(toks[1], toks[2]);
+        } else if (kw == "serial") {
+            if (need(3))
+                result.graph.serial(toks[1], toks[2]);
+        } else if (kw == "overlap") {
+            if (need(3))
+                result.graph.overlap(toks[1], toks[2]);
+        } else if (kw == "synchronize") {
+            if (need(3))
+                result.graph.synchronize(toks[1], toks[2]);
+        } else if (kw == "place") {
+            if (need(3)) {
+                if (toks[2] == "edge")
+                    result.graph.place(toks[1], PlacementHint::Edge);
+                else if (toks[2] == "cloud")
+                    result.graph.place(toks[1], PlacementHint::Cloud);
+                else
+                    err(d.lineno, "place expects edge|cloud");
+            }
+        } else if (kw == "isolate") {
+            if (need(2))
+                result.graph.isolate(toks[1]);
+        } else if (kw == "persist") {
+            if (need(2))
+                result.graph.persist(toks[1]);
+        } else if (kw == "learn") {
+            if (need(3)) {
+                if (toks[2] == "local")
+                    result.graph.learn(toks[1], LearnScope::Local);
+                else if (toks[2] == "global")
+                    result.graph.learn(toks[1], LearnScope::Global);
+                else
+                    err(d.lineno, "learn expects local|global");
+            }
+        } else if (kw == "restore") {
+            if (need(3)) {
+                if (toks[2] == "none")
+                    result.graph.restore(toks[1], RestorePolicy::None);
+                else if (toks[2] == "respawn")
+                    result.graph.restore(toks[1], RestorePolicy::Respawn);
+                else if (toks[2] == "checkpoint")
+                    result.graph.restore(toks[1], RestorePolicy::Checkpoint);
+                else
+                    err(d.lineno, "restore expects none|respawn|checkpoint");
+            }
+        } else if (kw == "priority") {
+            if (need(3))
+                result.graph.schedule_priority(toks[1],
+                                               std::atoi(toks[2].c_str()));
+        } else {
+            err(d.lineno, "unknown statement: " + kw);
+        }
+    }
+
+    return result;
+}
+
+ParseResult
+parse_file(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        ParseResult r;
+        r.errors.push_back("cannot open file: " + path);
+        return r;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse(ss.str());
+}
+
+}  // namespace hivemind::dsl

@@ -1,0 +1,59 @@
+#pragma once
+
+/**
+ * @file
+ * Text front-end for the HiveMind DSL.
+ *
+ * The paper exposes the DSL as a declarative Python embedding
+ * (Listing 3); for a C++ library we additionally provide a small
+ * line-oriented text format (".hm") so task graphs can be authored
+ * without recompiling. One statement per line:
+ *
+ *   taskgraph <name>
+ *   constraint exec_time=10s [latency=200ms] [throughput=5]
+ *   task <name> [in=<ds>] [out=<ds>] [code="<path>"] [work=350ms]
+ *        [input=2MB] [output=20KB] [parallelism=8] [sensor] [actuator]
+ *        [arg.<key>=<value>]
+ *   edge <parent> <child>
+ *   parallel <a> <b> | serial <a> <b> | overlap <a> <b>
+ *   synchronize <task> <condition>
+ *   place <task> edge|cloud
+ *   isolate <task> | persist <task>
+ *   learn <task> local|global
+ *   restore <task> none|respawn|checkpoint
+ *   priority <task> <n>
+ *   # comments and blank lines are ignored
+ *
+ * Sizes accept B/KB/MB suffixes; durations accept us/ms/s.
+ */
+
+#include <string>
+#include <vector>
+
+#include "dsl/graph.hpp"
+
+namespace hivemind::dsl {
+
+/** Outcome of parsing a DSL document. */
+struct ParseResult
+{
+    TaskGraph graph;
+    /** Syntax errors with line numbers; empty when parsing succeeded. */
+    std::vector<std::string> errors;
+
+    bool ok() const { return errors.empty(); }
+};
+
+/** Parse a DSL document from text. */
+ParseResult parse(const std::string& text);
+
+/** Parse a DSL document from a file; missing files report an error. */
+ParseResult parse_file(const std::string& path);
+
+/** Parse a human size literal ("512KB", "2MB", "64") into bytes. */
+bool parse_size(const std::string& text, std::uint64_t& bytes);
+
+/** Parse a duration literal ("250ms", "10s", "80us") into seconds. */
+bool parse_duration(const std::string& text, double& seconds);
+
+}  // namespace hivemind::dsl

@@ -1,0 +1,236 @@
+#include "dsl/scenarios.hpp"
+
+namespace hivemind::dsl {
+
+namespace {
+
+/** Shared collect/route front of both drone scenarios. */
+void
+add_sensing_front(TaskGraph& g)
+{
+    TaskDef route;
+    route.name = "createRoute";
+    route.data_in = "map";
+    route.data_out = "route";
+    route.code_path = "tasks/create_route";
+    route.args["load_balancer"] = "round robin";
+    route.work_core_ms = 40.0;
+    route.output_bytes = 32u << 10;
+    g.add_task(route);
+
+    TaskDef collect;
+    collect.name = "collectImage";
+    collect.data_in = "route";
+    collect.data_out = "sensorData";
+    collect.code_path = "tasks/collect_image";
+    collect.args["speed"] = "4";
+    collect.args["resolution"] = "1024p";
+    collect.args["colorFormat"] = "color";
+    collect.sensor_source = true;
+    collect.work_core_ms = 5.0;
+    collect.output_bytes = 2u << 20;
+    g.add_task(collect);
+    g.add_edge("createRoute", "collectImage");
+
+    TaskDef avoid;
+    avoid.name = "obstacleAvoidance";
+    avoid.data_in = "sensorData";
+    avoid.data_out = "adjustRoute";
+    avoid.code_path = "tasks/obstacle_avoidance";
+    avoid.args["algorithm"] = "slam";
+    avoid.actuator_sink = true;
+    avoid.work_core_ms = 18.0;
+    avoid.input_bytes = 512u << 10;
+    avoid.output_bytes = 2u << 10;
+    g.add_task(avoid);
+    g.add_edge("collectImage", "obstacleAvoidance");
+}
+
+}  // namespace
+
+TaskGraph
+scenario_a_graph()
+{
+    TaskGraph g("stationary_items");
+    GraphConstraints c;
+    c.exec_time_s = 300.0;
+    g.constrain(c);
+    add_sensing_front(g);
+
+    TaskDef rec;
+    rec.name = "itemRecognition";
+    rec.data_in = "sensorData";
+    rec.data_out = "detections";
+    rec.code_path = "tasks/item_recognition";
+    rec.args["algorithm"] = "svm_orange_tag";
+    rec.work_core_ms = 220.0;
+    rec.input_bytes = 2u << 20;
+    rec.output_bytes = 16u << 10;
+    rec.parallelism = 8;
+    g.add_task(rec);
+    g.add_edge("collectImage", "itemRecognition");
+
+    TaskDef agg;
+    agg.name = "aggregateMap";
+    agg.data_in = "detections";
+    agg.data_out = "itemMap";
+    agg.code_path = "tasks/aggregate_map";
+    agg.args["sync"] = "all";
+    agg.work_core_ms = 60.0;
+    agg.input_bytes = 16u << 10;
+    agg.output_bytes = 8u << 10;
+    g.add_task(agg);
+    g.add_edge("itemRecognition", "aggregateMap");
+
+    g.parallel("obstacleAvoidance", "itemRecognition");
+    g.serial("itemRecognition", "aggregateMap");
+    g.synchronize("aggregateMap", "all");
+    g.learn("itemRecognition", LearnScope::Global);
+    g.place("obstacleAvoidance", PlacementHint::Edge);
+    g.persist("aggregateMap");
+    return g;
+}
+
+TaskGraph
+scenario_b_graph()
+{
+    // Listing 3, task for task.
+    TaskGraph g("people_recognition");
+    GraphConstraints c;
+    c.exec_time_s = 10.0;
+    g.constrain(c);
+    add_sensing_front(g);
+
+    TaskDef face;
+    face.name = "faceRecognition";
+    face.data_in = "sensorData";
+    face.data_out = "recognitionStats";
+    face.code_path = "tasks/face_recognition";
+    face.args["trainingData"] = "zoo";
+    face.args["algorithm"] = "tensorflow_zoo";
+    face.work_core_ms = 350.0;
+    face.input_bytes = 2u << 20;
+    face.output_bytes = 20u << 10;
+    face.parallelism = 8;
+    g.add_task(face);
+    g.add_edge("collectImage", "faceRecognition");
+
+    TaskDef dedup;
+    dedup.name = "deduplication";
+    dedup.data_in = "recognitionStats";
+    dedup.data_out = "dedupList";
+    dedup.code_path = "tasks/deduplication";
+    dedup.args["sync"] = "all";
+    dedup.work_core_ms = 420.0;
+    dedup.input_bytes = 256u << 10;
+    dedup.output_bytes = 8u << 10;
+    dedup.parallelism = 8;
+    g.add_task(dedup);
+    g.add_edge("faceRecognition", "deduplication");
+
+    g.parallel("obstacleAvoidance", "faceRecognition");
+    g.serial("faceRecognition", "deduplication");
+    g.synchronize("deduplication", "all");
+    g.learn("faceRecognition", LearnScope::Global);
+    g.place("obstacleAvoidance", PlacementHint::Edge);
+    g.persist("faceRecognition");
+    g.persist("deduplication");
+    return g;
+}
+
+TaskGraph
+treasure_hunt_graph()
+{
+    TaskGraph g("treasure_hunt");
+    GraphConstraints c;
+    c.exec_time_s = 600.0;
+    g.constrain(c);
+
+    TaskDef nav;
+    nav.name = "navigate";
+    nav.data_in = "target";
+    nav.data_out = "position";
+    nav.code_path = "tasks/navigate";
+    nav.actuator_sink = true;
+    nav.work_core_ms = 15.0;
+    nav.output_bytes = 1u << 10;
+    g.add_task(nav);
+
+    TaskDef photo;
+    photo.name = "photographPanel";
+    photo.data_in = "position";
+    photo.data_out = "panelImage";
+    photo.code_path = "tasks/photograph_panel";
+    photo.sensor_source = true;
+    photo.work_core_ms = 5.0;
+    photo.output_bytes = 2u << 20;
+    g.add_task(photo);
+    g.add_edge("navigate", "photographPanel");
+
+    TaskDef ocr;
+    ocr.name = "readInstructions";
+    ocr.data_in = "panelImage";
+    ocr.data_out = "target";
+    ocr.code_path = "tasks/read_instructions";
+    ocr.args["algorithm"] = "img2text";
+    ocr.work_core_ms = 500.0;
+    ocr.input_bytes = 2u << 20;
+    ocr.output_bytes = 1u << 10;
+    ocr.parallelism = 12;
+    g.add_task(ocr);
+    g.add_edge("photographPanel", "readInstructions");
+
+    g.serial("photographPanel", "readInstructions");
+    g.persist("readInstructions");
+    return g;
+}
+
+TaskGraph
+rover_maze_graph()
+{
+    TaskGraph g("rover_maze");
+    GraphConstraints c;
+    c.exec_time_s = 900.0;
+    g.constrain(c);
+
+    TaskDef sense;
+    sense.name = "senseWalls";
+    sense.data_in = "pose";
+    sense.data_out = "wallScan";
+    sense.code_path = "tasks/sense_walls";
+    sense.sensor_source = true;
+    sense.work_core_ms = 4.0;
+    sense.output_bytes = 64u << 10;
+    g.add_task(sense);
+
+    TaskDef plan;
+    plan.name = "planStep";
+    plan.data_in = "wallScan";
+    plan.data_out = "move";
+    plan.code_path = "tasks/plan_step";
+    plan.args["algorithm"] = "wall_follower";
+    plan.work_core_ms = 700.0;
+    plan.input_bytes = 64u << 10;
+    plan.output_bytes = 1u << 10;
+    plan.parallelism = 2;
+    g.add_task(plan);
+    g.add_edge("senseWalls", "planStep");
+
+    TaskDef drive;
+    drive.name = "driveStep";
+    drive.data_in = "move";
+    drive.data_out = "pose";
+    drive.code_path = "tasks/drive_step";
+    drive.actuator_sink = true;
+    drive.work_core_ms = 8.0;
+    drive.input_bytes = 1u << 10;
+    g.add_task(drive);
+    g.add_edge("planStep", "driveStep");
+
+    g.serial("senseWalls", "planStep");
+    g.serial("planStep", "driveStep");
+    g.place("driveStep", PlacementHint::Edge);
+    return g;
+}
+
+}  // namespace hivemind::dsl

@@ -1,0 +1,34 @@
+#pragma once
+
+/**
+ * @file
+ * Canonical task graphs for the paper's end-to-end scenarios.
+ *
+ * scenario_b_graph() is the C++ rendering of Listing 3 (People
+ * Recognition and Deduplication): createRoute -> collectImage ->
+ * {obstacleAvoidance || faceRecognition} -> deduplication, with
+ * Parallel/Serial orderings, global learning on recognition, edge
+ * pinning of obstacle avoidance, and persistence of the recognition
+ * and deduplication outputs. scenario_a_graph() is the analogous
+ * graph for Stationary Item recognition (Sec. 2.1, Scenario A), and
+ * the rover graphs cover the Treasure Hunt and Maze scenarios of
+ * Sec. 5.5.
+ */
+
+#include "dsl/graph.hpp"
+
+namespace hivemind::dsl {
+
+/** Scenario A — Stationary Items (tennis balls in a field). */
+TaskGraph scenario_a_graph();
+
+/** Scenario B — Moving People (Listing 3). */
+TaskGraph scenario_b_graph();
+
+/** Rover Treasure Hunt (Sec. 5.5): navigate -> photo -> OCR -> next. */
+TaskGraph treasure_hunt_graph();
+
+/** Rover Maze (Sec. 5.5): wall-follower traversal with sensing. */
+TaskGraph rover_maze_graph();
+
+}  // namespace hivemind::dsl

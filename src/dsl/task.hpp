@@ -1,0 +1,94 @@
+#pragma once
+
+/**
+ * @file
+ * Task definitions and management directives of the HiveMind DSL.
+ *
+ * Mirrors Listings 1 and 2 of the paper: a Task carries its I/O
+ * datasets, a link to its code, optional arguments, and parent/child
+ * edges; optional management directives pin placement (Place), demand
+ * a dedicated container (Isolate), persist outputs (Persist), enable
+ * continuous learning (Learn), set a fault-tolerance policy (Restore),
+ * and set scheduling priority (Schedule). Cost annotations (work,
+ * data sizes) feed the program-synthesis cost model; in the real
+ * system they come from profiling runs.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hivemind::dsl {
+
+/** Where a task is allowed / forced to run (Place directive). */
+enum class PlacementHint
+{
+    Auto,   ///< Synthesis explores both options.
+    Edge,   ///< Pinned to the device (e.g., obstacle avoidance).
+    Cloud,  ///< Pinned to the backend.
+};
+
+/** Continuous-learning scope (Learn directive, Sec. 4.6). */
+enum class LearnScope
+{
+    Off,
+    Local,   ///< Retrain from this device's decisions only.
+    Global,  ///< Retrain from the whole swarm's decisions.
+};
+
+/** Fault-tolerance policy for a task (Restore directive). */
+enum class RestorePolicy
+{
+    None,        ///< Lost work is dropped.
+    Respawn,     ///< Re-execute on failure (OpenWhisk default).
+    Checkpoint,  ///< Resume from the last persisted output.
+};
+
+/** Human-readable enum names. */
+const char* to_string(PlacementHint p);
+const char* to_string(LearnScope s);
+const char* to_string(RestorePolicy r);
+
+/** One task in an application's task graph (Listing 1: Task(...)). */
+struct TaskDef
+{
+    std::string name;
+    /** Logical input/output dataset names. */
+    std::string data_in;
+    std::string data_out;
+    /** Path to the task's code (opaque to the synthesis engine). */
+    std::string code_path;
+    /** Free-form task arguments (speed='4', algorithm='slam', ...). */
+    std::map<std::string, std::string> args;
+    /** Upstream dependencies. */
+    std::vector<std::string> parents;
+    /** Downstream dependents. */
+    std::vector<std::string> children;
+
+    // --- Management directives (Listing 2) ---
+    PlacementHint placement = PlacementHint::Auto;
+    bool isolate = false;
+    bool persist = false;
+    LearnScope learn = LearnScope::Off;
+    RestorePolicy restore = RestorePolicy::Respawn;
+    int priority = 0;
+    /** Tasks that synchronize on all instances completing. */
+    bool sync_all = false;
+
+    // --- Cost annotations for the synthesis cost model ---
+    /** Reference-core milliseconds of work per activation. */
+    double work_core_ms = 10.0;
+    /** Bytes consumed from the parent per activation. */
+    std::uint64_t input_bytes = 0;
+    /** Bytes produced per activation. */
+    std::uint64_t output_bytes = 0;
+    /** Whether the task reads physical sensors (must start at edge). */
+    bool sensor_source = false;
+    /** Whether the task actuates the device (must end at edge). */
+    bool actuator_sink = false;
+    /** Exploitable intra-task parallelism in the cloud. */
+    int parallelism = 1;
+};
+
+}  // namespace hivemind::dsl

@@ -1,0 +1,170 @@
+#include "edge/device.hpp"
+
+#include <utility>
+
+namespace hivemind::edge {
+
+DeviceSpec
+DeviceSpec::drone()
+{
+    DeviceSpec s;
+    s.kind = "drone";
+    s.speed_mps = 4.0;
+    s.cpu_speed_factor = 0.12;
+    s.battery_j = 60'000.0;          // ~16.6 Wh pack.
+    s.power.motion_w = 80.0;         // Quadrotor hover + translation.
+    s.power.compute_w = 2.5;         // Cortex A8 at full load.
+    s.power.radio_j_per_byte = 1.0e-7;
+    s.power.idle_w = 1.5;
+    s.camera_fps = 8.0;
+    s.frame_bytes = 2u * 1024u * 1024u;
+    s.footprint_w = 6.7;
+    s.footprint_h = 8.75;
+    return s;
+}
+
+DeviceSpec
+DeviceSpec::rover()
+{
+    DeviceSpec s;
+    s.kind = "rover";
+    s.speed_mps = 1.0;
+    s.cpu_speed_factor = 0.25;       // Raspberry Pi class SoC.
+    s.battery_j = 100'000.0;         // Larger ground-vehicle pack.
+    s.power.motion_w = 18.0;         // Driving is far cheaper than hovering.
+    s.power.compute_w = 4.0;
+    s.power.radio_j_per_byte = 1.0e-7;
+    s.power.idle_w = 2.0;
+    s.camera_fps = 8.0;
+    s.frame_bytes = 2u * 1024u * 1024u;
+    s.footprint_w = 4.0;             // Forward-facing camera swath.
+    s.footprint_h = 5.0;
+    return s;
+}
+
+OnboardExecutor::OnboardExecutor(sim::Simulator& simulator, sim::Rng& rng,
+                                 double cpu_speed_factor,
+                                 std::size_t queue_limit)
+    : simulator_(&simulator),
+      rng_(rng.fork()),
+      speed_factor_(cpu_speed_factor),
+      queue_limit_(queue_limit)
+{
+}
+
+void
+OnboardExecutor::submit(double work_core_ms, std::function<void(double)> done)
+{
+    if (queue_.size() >= queue_limit_) {
+        // Shed the oldest queued task: its sensor data is stale.
+        queue_.pop_front();
+        ++shed_;
+    }
+    queue_.push_back(Pending{work_core_ms, std::move(done),
+                             simulator_->now()});
+    maybe_run();
+}
+
+void
+OnboardExecutor::maybe_run()
+{
+    if (running_ || queue_.empty())
+        return;
+    running_ = true;
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    // Slow single core plus thermal/DVFS jitter.
+    double exec_ms = p.work_core_ms / speed_factor_ *
+        rng_.lognormal_median(1.0, 0.10);
+    busy_seconds_ += exec_ms / 1000.0;
+    auto self = this;
+    simulator_->schedule_in(
+        sim::from_millis(exec_ms), [self, p = std::move(p)]() {
+            self->running_ = false;
+            ++self->completed_;
+            double latency_s =
+                sim::to_seconds(self->simulator_->now() - p.submit);
+            if (p.done)
+                p.done(latency_s);
+            self->maybe_run();
+        });
+}
+
+Device::Device(sim::Simulator& simulator, sim::Rng& rng, std::size_t id,
+               const DeviceSpec& spec)
+    : simulator_(&simulator),
+      id_(id),
+      spec_(spec),
+      battery_(spec.battery_j),
+      executor_(simulator, rng, spec.cpu_speed_factor, spec.queue_limit)
+{
+}
+
+void
+Device::set_route(std::vector<geo::Vec2> route)
+{
+    route_ = std::move(route);
+    cum_dist_.assign(route_.size(), 0.0);
+    for (std::size_t i = 1; i < route_.size(); ++i) {
+        cum_dist_[i] =
+            cum_dist_[i - 1] + route_[i - 1].distance_to(route_[i]);
+    }
+    route_start_ = simulator_->now();
+    double total = cum_dist_.empty() ? 0.0 : cum_dist_.back();
+    route_end_ = route_start_ + sim::from_seconds(total / spec_.speed_mps);
+}
+
+double
+Device::route_duration_s() const
+{
+    return sim::to_seconds(route_end_ - route_start_);
+}
+
+geo::Vec2
+Device::position_at(sim::Time t) const
+{
+    if (route_.empty())
+        return {0.0, 0.0};
+    if (t <= route_start_ || route_.size() == 1)
+        return route_.front();
+    if (t >= route_end_)
+        return route_.back();
+    double traveled =
+        sim::to_seconds(t - route_start_) * spec_.speed_mps;
+    // Find the active segment (cum_dist_ is nondecreasing).
+    std::size_t i = 1;
+    while (i < cum_dist_.size() && cum_dist_[i] < traveled)
+        ++i;
+    if (i >= route_.size())
+        return route_.back();
+    double seg = cum_dist_[i] - cum_dist_[i - 1];
+    double frac = seg > 0.0 ? (traveled - cum_dist_[i - 1]) / seg : 0.0;
+    return route_[i - 1] + (route_[i] - route_[i - 1]) * frac;
+}
+
+void
+Device::account_motion(double seconds)
+{
+    battery_.drain(spec_.power.motion_w * seconds);
+}
+
+void
+Device::account_radio(std::uint64_t bytes)
+{
+    battery_.drain(spec_.power.radio_j_per_byte *
+                   static_cast<double>(bytes));
+}
+
+void
+Device::account_compute(double seconds)
+{
+    battery_.drain(spec_.power.compute_w * seconds);
+}
+
+void
+Device::account_idle(double seconds)
+{
+    battery_.drain(spec_.power.idle_w * seconds);
+}
+
+}  // namespace hivemind::edge

@@ -1,0 +1,174 @@
+#pragma once
+
+/**
+ * @file
+ * Edge device models: drones and robotic cars.
+ *
+ * The drone preset mirrors the Parrot AR 2.0 testbed of Sec. 2.1:
+ * a 1 GHz 32-bit ARM Cortex A8 (modeled as a 0.12x cloud-core speed
+ * factor), 4 m/s flight speed, an 8 fps camera at 2 MB/frame with a
+ * 6.7 m x 8.75 m ground footprint, and 802.11 connectivity. The rover
+ * preset mirrors the Raspberry Pi cars of Sec. 5.5 (slower motion,
+ * larger battery, faster SoC). A device follows a waypoint route,
+ * produces camera frames, and runs tasks on a single-core on-board
+ * executor whose busy time feeds the battery model.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "edge/battery.hpp"
+#include "geo/vec2.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace hivemind::edge {
+
+/** Static description of a device class. */
+struct DeviceSpec
+{
+    std::string kind = "drone";
+    /** Cruise speed, m/s. */
+    double speed_mps = 4.0;
+    /** On-board CPU speed relative to a reference cloud core. */
+    double cpu_speed_factor = 0.12;
+    /** Usable battery capacity, J. */
+    double battery_j = 60'000.0;
+    /** Power draws. */
+    PowerModel power;
+    /** Camera frames per second. */
+    double camera_fps = 8.0;
+    /** Bytes per camera frame (default 2 MB, Sec. 2.1). */
+    std::uint64_t frame_bytes = 2u * 1024u * 1024u;
+    /** Camera ground footprint, meters (cross-track x along-track). */
+    double footprint_w = 6.7;
+    double footprint_h = 8.75;
+    /** On-board task queue bound; older tasks are shed beyond this. */
+    std::size_t queue_limit = 64;
+
+    /** The Parrot AR 2.0 drone of the paper's main testbed. */
+    static DeviceSpec drone();
+
+    /** The Raspberry Pi robotic car of Sec. 5.5. */
+    static DeviceSpec rover();
+};
+
+/**
+ * Single-core on-board executor with a bounded FIFO queue.
+ *
+ * Edge devices execute one task at a time; when sensor tasks arrive
+ * faster than they complete, the oldest queued tasks are shed (sensor
+ * data goes stale). Busy time is reported for energy accounting.
+ */
+class OnboardExecutor
+{
+  public:
+    OnboardExecutor(sim::Simulator& simulator, sim::Rng& rng,
+                    double cpu_speed_factor, std::size_t queue_limit);
+
+    /**
+     * Run @p work_core_ms (reference-core milliseconds) on the device
+     * CPU; @p done fires at completion with the task latency in
+     * seconds. Tasks shed due to queue overflow never call back.
+     */
+    void submit(double work_core_ms, std::function<void(double)> done);
+
+    /** Total CPU-busy seconds (feeds compute energy). */
+    double busy_seconds() const { return busy_seconds_; }
+
+    /** Tasks shed because the queue was full. */
+    std::uint64_t shed() const { return shed_; }
+
+    /** Tasks completed. */
+    std::uint64_t completed() const { return completed_; }
+
+    /** Queue length including the running task. */
+    std::size_t depth() const { return queue_.size() + (running_ ? 1 : 0); }
+
+  private:
+    struct Pending
+    {
+        double work_core_ms;
+        std::function<void(double)> done;
+        sim::Time submit;
+    };
+
+    void maybe_run();
+
+    sim::Simulator* simulator_;
+    sim::Rng rng_;
+    double speed_factor_;
+    std::size_t queue_limit_;
+    std::deque<Pending> queue_;
+    bool running_ = false;
+    double busy_seconds_ = 0.0;
+    std::uint64_t shed_ = 0;
+    std::uint64_t completed_ = 0;
+};
+
+/** One edge device: kinematics, camera, battery, on-board executor. */
+class Device
+{
+  public:
+    Device(sim::Simulator& simulator, sim::Rng& rng, std::size_t id,
+           const DeviceSpec& spec);
+
+    std::size_t id() const { return id_; }
+    const DeviceSpec& spec() const { return spec_; }
+    Battery& battery() { return battery_; }
+    const Battery& battery() const { return battery_; }
+    OnboardExecutor& executor() { return executor_; }
+    const OnboardExecutor& executor() const { return executor_; }
+
+    /** Assign a waypoint route; motion starts at the current time. */
+    void set_route(std::vector<geo::Vec2> route);
+
+    /** Position at time @p t (clamped to route endpoints). */
+    geo::Vec2 position_at(sim::Time t) const;
+
+    /** Simulated time at which the current route completes. */
+    sim::Time route_complete_at() const { return route_end_; }
+
+    /** Whether the route has been fully flown at @p t. */
+    bool route_done(sim::Time t) const { return t >= route_end_; }
+
+    /** Seconds of motion needed for the current route. */
+    double route_duration_s() const;
+
+    /** Charge motion energy for @p seconds of flight/drive. */
+    void account_motion(double seconds);
+
+    /** Charge radio energy for @p bytes sent or received. */
+    void account_radio(std::uint64_t bytes);
+
+    /** Charge compute energy for @p seconds of CPU busy time. */
+    void account_compute(double seconds);
+
+    /** Charge idle electronics for @p seconds. */
+    void account_idle(double seconds);
+
+    /** Mark the device failed (crash / power loss); stops heartbeats. */
+    void set_failed(bool failed) { failed_ = failed; }
+    bool failed() const { return failed_; }
+
+    /** Whether the device can still operate. */
+    bool alive() const { return !failed_ && !battery_.depleted(); }
+
+  private:
+    sim::Simulator* simulator_;
+    std::size_t id_;
+    DeviceSpec spec_;
+    Battery battery_;
+    OnboardExecutor executor_;
+    std::vector<geo::Vec2> route_;
+    std::vector<double> cum_dist_;  // Cumulative distance at waypoint i.
+    sim::Time route_start_ = 0;
+    sim::Time route_end_ = 0;
+    bool failed_ = false;
+};
+
+}  // namespace hivemind::edge

@@ -1,0 +1,142 @@
+#include "geo/astar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <queue>
+
+namespace hivemind::geo {
+
+namespace {
+
+/** Manhattan distance between two cells (admissible for 4-connected). */
+int
+manhattan(const Cell& a, const Cell& b)
+{
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+struct Node
+{
+    int f;
+    int g;
+    std::uint64_t seq;
+    Cell cell;
+};
+
+struct NodeWorse
+{
+    bool
+    operator()(const Node& a, const Node& b) const
+    {
+        if (a.f != b.f)
+            return a.f > b.f;
+        // Prefer larger g (closer to goal) then FIFO for determinism.
+        if (a.g != b.g)
+            return a.g < b.g;
+        return a.seq > b.seq;
+    }
+};
+
+}  // namespace
+
+std::optional<Path>
+AStarPlanner::plan(const Cell& start, const Cell& goal) const
+{
+    return search(start, goal, true);
+}
+
+std::optional<Path>
+AStarPlanner::plan_dijkstra(const Cell& start, const Cell& goal) const
+{
+    return search(start, goal, false);
+}
+
+std::optional<Path>
+AStarPlanner::search(const Cell& start, const Cell& goal,
+                     bool use_heuristic) const
+{
+    const Grid& g = *grid_;
+    if (g.blocked(start) || g.blocked(goal))
+        return std::nullopt;
+
+    const int w = g.width();
+    const int h = g.height();
+    auto idx = [w](const Cell& c) {
+        return static_cast<std::size_t>(c.y) * static_cast<std::size_t>(w)
+            + static_cast<std::size_t>(c.x);
+    };
+
+    constexpr int kInf = std::numeric_limits<int>::max();
+    std::vector<int> dist(static_cast<std::size_t>(w) *
+                              static_cast<std::size_t>(h),
+                          kInf);
+    std::vector<std::int32_t> parent(dist.size(), -1);
+
+    std::priority_queue<Node, std::vector<Node>, NodeWorse> open;
+    std::uint64_t seq = 0;
+    dist[idx(start)] = 0;
+    open.push({use_heuristic ? manhattan(start, goal) : 0, 0, seq++, start});
+
+    while (!open.empty()) {
+        Node n = open.top();
+        open.pop();
+        if (n.g > dist[idx(n.cell)])
+            continue;  // Stale entry.
+        if (n.cell == goal)
+            break;
+        for (const Cell& nb : g.neighbors4(n.cell)) {
+            int ng = n.g + 1;
+            std::size_t ni = idx(nb);
+            if (ng < dist[ni]) {
+                dist[ni] = ng;
+                parent[ni] = static_cast<std::int32_t>(idx(n.cell));
+                int f = ng + (use_heuristic ? manhattan(nb, goal) : 0);
+                open.push({f, ng, seq++, nb});
+            }
+        }
+    }
+
+    if (dist[idx(goal)] == kInf)
+        return std::nullopt;
+
+    Path path;
+    std::size_t cur = idx(goal);
+    std::size_t start_i = idx(start);
+    while (true) {
+        Cell c{static_cast<int>(cur % static_cast<std::size_t>(w)),
+               static_cast<int>(cur / static_cast<std::size_t>(w))};
+        path.cells.push_back(c);
+        if (cur == start_i)
+            break;
+        cur = static_cast<std::size_t>(parent[cur]);
+    }
+    std::reverse(path.cells.begin(), path.cells.end());
+    return path;
+}
+
+std::vector<Cell>
+order_visits(const Grid& grid, const Cell& start, std::vector<Cell> targets)
+{
+    std::vector<Cell> out;
+    out.reserve(targets.size());
+    Vec2 pos = grid.cell_center(start);
+    while (!targets.empty()) {
+        std::size_t best = 0;
+        double best_d = std::numeric_limits<double>::max();
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+            double d = pos.distance_to(grid.cell_center(targets[i]));
+            if (d < best_d) {
+                best_d = d;
+                best = i;
+            }
+        }
+        out.push_back(targets[best]);
+        pos = grid.cell_center(targets[best]);
+        targets.erase(targets.begin() + static_cast<std::ptrdiff_t>(best));
+    }
+    return out;
+}
+
+}  // namespace hivemind::geo

@@ -1,0 +1,70 @@
+#pragma once
+
+/**
+ * @file
+ * A* shortest-path planner on an occupancy grid.
+ *
+ * Sec. 2.1: "Routes within each region are derived using A*, where
+ * each drone tries to minimize the total distance traveled." We use
+ * 4-connected moves with a Manhattan-distance heuristic, which is
+ * admissible and therefore returns optimal paths (the property tests
+ * check this against Dijkstra).
+ */
+
+#include <optional>
+#include <vector>
+
+#include "geo/grid.hpp"
+
+namespace hivemind::geo {
+
+/** Result of a path query: sequence of cells from start to goal. */
+struct Path
+{
+    std::vector<Cell> cells;
+
+    /** Length in cell steps (cells.size() - 1), 0 when trivial/empty. */
+    std::size_t steps() const { return cells.empty() ? 0 : cells.size() - 1; }
+};
+
+/**
+ * A* planner bound to one grid.
+ *
+ * The planner is stateless between queries; it can be reused freely.
+ */
+class AStarPlanner
+{
+  public:
+    explicit AStarPlanner(const Grid& grid) : grid_(&grid) {}
+
+    /**
+     * Find a shortest path between two free cells.
+     *
+     * @return std::nullopt when start or goal is blocked or no path
+     *         exists.
+     */
+    std::optional<Path> plan(const Cell& start, const Cell& goal) const;
+
+    /**
+     * Dijkstra reference implementation (heuristic = 0), used by the
+     * property tests to cross-check A* optimality.
+     */
+    std::optional<Path> plan_dijkstra(const Cell& start,
+                                      const Cell& goal) const;
+
+  private:
+    std::optional<Path> search(const Cell& start, const Cell& goal,
+                               bool use_heuristic) const;
+
+    const Grid* grid_;
+};
+
+/**
+ * Order a set of visit points into a short tour starting at @p start
+ * (nearest-neighbour heuristic on straight-line distance). Used to
+ * sequence the waypoints A* then connects.
+ */
+std::vector<Cell> order_visits(const Grid& grid, const Cell& start,
+                               std::vector<Cell> targets);
+
+}  // namespace hivemind::geo

@@ -1,0 +1,80 @@
+#include "geo/coverage.hpp"
+
+#include <cmath>
+
+namespace hivemind::geo {
+
+std::vector<Rect>
+partition_field(const Rect& field, std::size_t n)
+{
+    std::vector<Rect> out;
+    if (n == 0)
+        return out;
+    out.reserve(n);
+    double strip = field.width() / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double x0 = field.x0 + strip * static_cast<double>(i);
+        // Last strip absorbs floating point slack.
+        double x1 = (i + 1 == n) ? field.x1 : x0 + strip;
+        out.push_back(Rect{x0, field.y0, x1, field.y1});
+    }
+    return out;
+}
+
+std::vector<Vec2>
+coverage_route(const Rect& region, double track_spacing)
+{
+    std::vector<Vec2> route;
+    if (region.width() <= 0.0 || region.height() <= 0.0)
+        return route;
+    // Number of passes needed so adjacent tracks overlap or abut.
+    int passes = static_cast<int>(
+        std::ceil(region.width() / track_spacing));
+    if (passes < 1)
+        passes = 1;
+    double dx = region.width() / static_cast<double>(passes);
+    for (int i = 0; i < passes; ++i) {
+        double x = region.x0 + dx * (static_cast<double>(i) + 0.5);
+        if (i % 2 == 0) {
+            route.push_back({x, region.y0});
+            route.push_back({x, region.y1});
+        } else {
+            route.push_back({x, region.y1});
+            route.push_back({x, region.y0});
+        }
+    }
+    return route;
+}
+
+double
+route_length(const std::vector<Vec2>& route)
+{
+    double len = 0.0;
+    for (std::size_t i = 1; i < route.size(); ++i)
+        len += route[i - 1].distance_to(route[i]);
+    return len;
+}
+
+void
+repartition_after_failure(std::vector<Rect>& regions,
+                          std::size_t failed_index)
+{
+    if (failed_index >= regions.size())
+        return;
+    Rect freed = regions[failed_index];
+    bool has_left = failed_index > 0;
+    bool has_right = failed_index + 1 < regions.size();
+    if (has_left && has_right) {
+        double mid = (freed.x0 + freed.x1) / 2.0;
+        regions[failed_index - 1].x1 = mid;
+        regions[failed_index + 1].x0 = mid;
+    } else if (has_left) {
+        regions[failed_index - 1].x1 = freed.x1;
+    } else if (has_right) {
+        regions[failed_index + 1].x0 = freed.x0;
+    }
+    regions.erase(regions.begin() +
+                  static_cast<std::ptrdiff_t>(failed_index));
+}
+
+}  // namespace hivemind::geo

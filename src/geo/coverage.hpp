@@ -1,0 +1,52 @@
+#pragma once
+
+/**
+ * @file
+ * Field partitioning and coverage-route generation.
+ *
+ * Scenario A (Sec. 2.1): "At time zero, the field is divided equally
+ * among the drones," and each drone sweeps its region collecting
+ * frames. The partitioner slices the field into equal-area strips;
+ * the route generator emits a boustrophedon (lawn-mower) sweep whose
+ * track spacing matches the camera footprint so every point is imaged.
+ * repartition_after_failure() implements the Fig. 10 recovery: a
+ * failed device's region is split among its neighbours.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/vec2.hpp"
+
+namespace hivemind::geo {
+
+/**
+ * Split @p field into @p n equal-area vertical strips, one per device.
+ *
+ * Strips are ordered left to right; strip i is assigned to device i.
+ */
+std::vector<Rect> partition_field(const Rect& field, std::size_t n);
+
+/**
+ * Generate a boustrophedon sweep of @p region with @p track_spacing
+ * meters between passes (the camera's cross-track footprint). The
+ * route starts at the region's lower-left corner.
+ */
+std::vector<Vec2> coverage_route(const Rect& region, double track_spacing);
+
+/** Total length in meters of a waypoint route. */
+double route_length(const std::vector<Vec2>& route);
+
+/**
+ * Handle a device failure (Fig. 10): remove region @p failed from the
+ * assignment and grow the regions of its immediate neighbours to cover
+ * it, splitting the freed strip between them.
+ *
+ * @param regions current strip assignment (as from partition_field);
+ *        the entry at @p failed_index is removed in-place and adjacent
+ *        entries are widened.
+ */
+void repartition_after_failure(std::vector<Rect>& regions,
+                               std::size_t failed_index);
+
+}  // namespace hivemind::geo

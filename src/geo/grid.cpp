@@ -1,0 +1,70 @@
+#include "geo/grid.hpp"
+
+#include <cmath>
+
+namespace hivemind::geo {
+
+Grid::Grid(const Rect& bounds, double cell_size)
+    : bounds_(bounds),
+      cell_size_(cell_size),
+      width_(static_cast<int>(std::ceil(bounds.width() / cell_size))),
+      height_(static_cast<int>(std::ceil(bounds.height() / cell_size))),
+      blocked_(static_cast<std::size_t>(width_) *
+                   static_cast<std::size_t>(height_),
+               false)
+{
+}
+
+void
+Grid::set_blocked(const Cell& c, bool blocked)
+{
+    if (in_bounds(c))
+        blocked_[index(c)] = blocked;
+}
+
+bool
+Grid::blocked(const Cell& c) const
+{
+    if (!in_bounds(c))
+        return true;
+    return blocked_[index(c)];
+}
+
+Cell
+Grid::cell_at(const Vec2& p) const
+{
+    Cell c{static_cast<int>((p.x - bounds_.x0) / cell_size_),
+           static_cast<int>((p.y - bounds_.y0) / cell_size_)};
+    if (c.x < 0) c.x = 0;
+    if (c.y < 0) c.y = 0;
+    if (c.x >= width_) c.x = width_ - 1;
+    if (c.y >= height_) c.y = height_ - 1;
+    return c;
+}
+
+std::vector<Cell>
+Grid::neighbors4(const Cell& c) const
+{
+    std::vector<Cell> out;
+    out.reserve(4);
+    const Cell candidates[4] = {
+        {c.x + 1, c.y}, {c.x - 1, c.y}, {c.x, c.y + 1}, {c.x, c.y - 1}};
+    for (const Cell& n : candidates) {
+        if (in_bounds(n) && !blocked(n))
+            out.push_back(n);
+    }
+    return out;
+}
+
+std::size_t
+Grid::free_count() const
+{
+    std::size_t n = 0;
+    for (bool b : blocked_) {
+        if (!b)
+            ++n;
+    }
+    return n;
+}
+
+}  // namespace hivemind::geo

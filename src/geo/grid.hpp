@@ -1,0 +1,89 @@
+#pragma once
+
+/**
+ * @file
+ * Occupancy grid over a rectangular field.
+ *
+ * The A* route planner (Sec. 2.1: "Routes within each region are
+ * derived using A*") and the coverage generator both operate on this
+ * grid; cells marked blocked stand for obstacles (trees, buildings)
+ * that the on-board obstacle-avoidance engine must route around.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/vec2.hpp"
+
+namespace hivemind::geo {
+
+/** Integer cell coordinate on a grid. */
+struct Cell
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const Cell& o) const { return x == o.x && y == o.y; }
+    bool operator!=(const Cell& o) const { return !(*this == o); }
+};
+
+/** Rectangular occupancy grid with square cells. */
+class Grid
+{
+  public:
+    /**
+     * Cover @p bounds with square cells of @p cell_size meters.
+     * Partial cells at the far edges are included.
+     */
+    Grid(const Rect& bounds, double cell_size);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    double cell_size() const { return cell_size_; }
+    const Rect& bounds() const { return bounds_; }
+
+    /** Whether the cell coordinate is on the grid. */
+    bool
+    in_bounds(const Cell& c) const
+    {
+        return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+    }
+
+    /** Mark a cell blocked (true) or free (false). */
+    void set_blocked(const Cell& c, bool blocked);
+
+    /** Whether a cell is blocked; out-of-bounds counts as blocked. */
+    bool blocked(const Cell& c) const;
+
+    /** Center of a cell in world coordinates. */
+    Vec2
+    cell_center(const Cell& c) const
+    {
+        return {bounds_.x0 + (static_cast<double>(c.x) + 0.5) * cell_size_,
+                bounds_.y0 + (static_cast<double>(c.y) + 0.5) * cell_size_};
+    }
+
+    /** Cell containing a world point (clamped to the grid). */
+    Cell cell_at(const Vec2& p) const;
+
+    /** 4-connected free neighbours of a cell. */
+    std::vector<Cell> neighbors4(const Cell& c) const;
+
+    /** Number of free (unblocked) cells. */
+    std::size_t free_count() const;
+
+  private:
+    std::size_t index(const Cell& c) const
+    {
+        return static_cast<std::size_t>(c.y) * static_cast<std::size_t>(width_)
+            + static_cast<std::size_t>(c.x);
+    }
+
+    Rect bounds_;
+    double cell_size_;
+    int width_;
+    int height_;
+    std::vector<bool> blocked_;
+};
+
+}  // namespace hivemind::geo

@@ -1,0 +1,148 @@
+#include "geo/mapping.hpp"
+
+#include <cmath>
+
+namespace hivemind::geo {
+
+RangeReading
+cast_ray(const Grid& world, const Vec2& origin, const Vec2& direction,
+         double max_range)
+{
+    RangeReading r;
+    r.origin = origin;
+    r.direction = direction;
+    double step = world.cell_size() * 0.5;
+    for (double d = step; d <= max_range; d += step) {
+        Vec2 p = origin + direction * d;
+        if (!world.bounds().contains(p))
+            break;
+        if (world.blocked(world.cell_at(p))) {
+            r.range = d;
+            r.hit = true;
+            return r;
+        }
+    }
+    r.range = max_range;
+    r.hit = false;
+    return r;
+}
+
+OccupancyMapper::OccupancyMapper(const Rect& bounds, double cell_size)
+    : bounds_(bounds),
+      cell_size_(cell_size),
+      width_(static_cast<int>(std::ceil(bounds.width() / cell_size))),
+      height_(static_cast<int>(std::ceil(bounds.height() / cell_size))),
+      log_odds_(static_cast<std::size_t>(width_) *
+                    static_cast<std::size_t>(height_),
+                0.0)
+{
+}
+
+Cell
+OccupancyMapper::cell_at(const Vec2& p) const
+{
+    return Cell{static_cast<int>((p.x - bounds_.x0) / cell_size_),
+                static_cast<int>((p.y - bounds_.y0) / cell_size_)};
+}
+
+void
+OccupancyMapper::integrate(const RangeReading& reading)
+{
+    double step = cell_size_ * 0.5;
+    Cell last_traversed{-1, -1};
+    // Free-space update along the beam, stopping short of the hit.
+    double free_extent = reading.hit ? reading.range - step : reading.range;
+    for (double d = 0.0; d < free_extent; d += step) {
+        Vec2 p = reading.origin + reading.direction * d;
+        Cell c = cell_at(p);
+        if (!in_bounds(c))
+            return;
+        if (c != last_traversed) {
+            double& lo = log_odds_[index(c)];
+            lo += kMissUpdate;
+            if (lo < -kClamp)
+                lo = -kClamp;
+            last_traversed = c;
+        }
+    }
+    if (reading.hit) {
+        Vec2 p = reading.origin + reading.direction * reading.range;
+        Cell c = cell_at(p);
+        if (in_bounds(c)) {
+            double& lo = log_odds_[index(c)];
+            lo += kHitUpdate;
+            if (lo > kClamp)
+                lo = kClamp;
+        }
+    }
+}
+
+void
+OccupancyMapper::integrate_scan(const std::vector<RangeReading>& scan)
+{
+    for (const RangeReading& r : scan)
+        integrate(r);
+}
+
+double
+OccupancyMapper::log_odds(const Cell& c) const
+{
+    if (!in_bounds(c))
+        return 0.0;
+    return log_odds_[index(c)];
+}
+
+std::size_t
+OccupancyMapper::known_count() const
+{
+    std::size_t n = 0;
+    for (int y = 0; y < height_; ++y) {
+        for (int x = 0; x < width_; ++x) {
+            if (known(Cell{x, y}))
+                ++n;
+        }
+    }
+    return n;
+}
+
+double
+OccupancyMapper::accuracy_against(const Grid& world) const
+{
+    std::size_t known_cells = 0;
+    std::size_t correct = 0;
+    for (int y = 0; y < height_; ++y) {
+        for (int x = 0; x < width_; ++x) {
+            Cell c{x, y};
+            if (!known(c))
+                continue;
+            ++known_cells;
+            // Compare against the world cell containing this map
+            // cell's center.
+            Vec2 center{bounds_.x0 + (x + 0.5) * cell_size_,
+                        bounds_.y0 + (y + 0.5) * cell_size_};
+            bool truth_blocked = world.blocked(world.cell_at(center));
+            if (occupied(c) == truth_blocked)
+                ++correct;
+        }
+    }
+    return known_cells > 0
+        ? static_cast<double>(correct) / static_cast<double>(known_cells)
+        : 1.0;
+}
+
+std::vector<RangeReading>
+scan_world(const Grid& world, const Vec2& origin, int beams,
+           double max_range)
+{
+    std::vector<RangeReading> out;
+    out.reserve(static_cast<std::size_t>(beams));
+    for (int b = 0; b < beams; ++b) {
+        double angle = 2.0 * M_PI * static_cast<double>(b) /
+            static_cast<double>(beams);
+        Vec2 dir{std::cos(angle), std::sin(angle)};
+        out.push_back(cast_ray(world, origin, dir, max_range));
+    }
+    return out;
+}
+
+}  // namespace hivemind::geo

@@ -1,0 +1,113 @@
+#pragma once
+
+/**
+ * @file
+ * Occupancy-grid mapping — the algorithmic core of S10 (SLAM).
+ *
+ * The paper's S10 runs ORB-SLAM on image+sensor data; its mapping
+ * backbone is occupancy-grid integration of range observations. This
+ * is that backbone, implemented for the simulated world: a log-odds
+ * occupancy grid updated from ray-cast range scans taken along a
+ * device's route. The scenario worlds use it to give SLAM tasks real
+ * semantics (the property tests recover a known obstacle layout from
+ * scans), while the platform models its compute cost.
+ */
+
+#include <vector>
+
+#include "geo/grid.hpp"
+#include "geo/vec2.hpp"
+
+namespace hivemind::geo {
+
+/** One simulated range-finder return. */
+struct RangeReading
+{
+    Vec2 origin;     ///< Sensor position.
+    Vec2 direction;  ///< Unit beam direction.
+    double range;    ///< Distance to the hit, or max_range if none.
+    bool hit;        ///< Whether the beam hit an obstacle.
+};
+
+/**
+ * Cast a beam through @p world from @p origin along @p direction
+ * (unit vector) up to @p max_range meters; returns the reading.
+ * Marching step is half a cell for robustness.
+ */
+RangeReading cast_ray(const Grid& world, const Vec2& origin,
+                      const Vec2& direction, double max_range);
+
+/**
+ * Log-odds occupancy grid built from range scans.
+ *
+ * Cells start unknown (log-odds 0); beams decrease the odds of the
+ * traversed cells and increase the odds of the hit cell. Thresholded
+ * queries classify cells as free / occupied / unknown.
+ */
+class OccupancyMapper
+{
+  public:
+    /** Map covering @p bounds with @p cell_size meter cells. */
+    OccupancyMapper(const Rect& bounds, double cell_size);
+
+    /** Integrate one reading. */
+    void integrate(const RangeReading& reading);
+
+    /** Integrate a full scan (e.g., 360 degrees of beams). */
+    void integrate_scan(const std::vector<RangeReading>& scan);
+
+    /** Log-odds of a cell (0 = unknown). */
+    double log_odds(const Cell& c) const;
+
+    /** Classification thresholds: occupied above, free below. */
+    bool occupied(const Cell& c) const { return log_odds(c) > 1.5; }
+    bool free(const Cell& c) const { return log_odds(c) < -1.5; }
+    bool known(const Cell& c) const { return occupied(c) || free(c); }
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    const Rect& bounds() const { return bounds_; }
+
+    /** Number of cells classified (free or occupied). */
+    std::size_t known_count() const;
+
+    /**
+     * Agreement with a ground-truth world over the known cells:
+     * fraction of known cells whose classification matches the
+     * world's blocked/free state. 1.0 = perfect map so far.
+     */
+    double accuracy_against(const Grid& world) const;
+
+  private:
+    std::size_t index(const Cell& c) const
+    {
+        return static_cast<std::size_t>(c.y) *
+            static_cast<std::size_t>(width_) +
+            static_cast<std::size_t>(c.x);
+    }
+
+    Cell cell_at(const Vec2& p) const;
+    bool in_bounds(const Cell& c) const
+    {
+        return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+    }
+
+    Rect bounds_;
+    double cell_size_;
+    int width_;
+    int height_;
+    std::vector<double> log_odds_;
+
+    static constexpr double kHitUpdate = 1.2;
+    static constexpr double kMissUpdate = -0.6;
+    static constexpr double kClamp = 8.0;
+};
+
+/**
+ * Generate a 360-degree scan of @p beams rays from @p origin in
+ * @p world (the S10 sensing step).
+ */
+std::vector<RangeReading> scan_world(const Grid& world, const Vec2& origin,
+                                     int beams, double max_range);
+
+}  // namespace hivemind::geo

@@ -1,0 +1,132 @@
+#include "geo/maze.hpp"
+
+#include <array>
+#include <utility>
+
+namespace hivemind::geo {
+
+namespace {
+
+constexpr int kDx[4] = {0, 1, 0, -1};   // N, E, S, W
+constexpr int kDy[4] = {1, 0, -1, 0};
+
+}  // namespace
+
+Dir
+left_of(Dir d)
+{
+    return static_cast<Dir>((static_cast<int>(d) + 3) % 4);
+}
+
+Dir
+right_of(Dir d)
+{
+    return static_cast<Dir>((static_cast<int>(d) + 1) % 4);
+}
+
+Dir
+reverse_of(Dir d)
+{
+    return static_cast<Dir>((static_cast<int>(d) + 2) % 4);
+}
+
+Maze::Maze(int width, int height, sim::Rng& rng)
+    : width_(width),
+      height_(height),
+      open_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+            {false, false, false, false})
+{
+    // Iterative randomized DFS: visits every cell, carving a spanning
+    // tree of passages (a perfect maze).
+    std::vector<bool> visited(open_.size(), false);
+    std::vector<std::pair<int, int>> stack;
+    stack.emplace_back(0, 0);
+    visited[0] = true;
+    while (!stack.empty()) {
+        auto [x, y] = stack.back();
+        std::vector<int> dirs{0, 1, 2, 3};
+        rng.shuffle(dirs);
+        bool advanced = false;
+        for (int di : dirs) {
+            int nx = x + kDx[di];
+            int ny = y + kDy[di];
+            if (nx < 0 || nx >= width_ || ny < 0 || ny >= height_)
+                continue;
+            if (visited[index(nx, ny)])
+                continue;
+            carve(x, y, static_cast<Dir>(di));
+            visited[index(nx, ny)] = true;
+            stack.emplace_back(nx, ny);
+            advanced = true;
+            break;
+        }
+        if (!advanced)
+            stack.pop_back();
+    }
+}
+
+void
+Maze::carve(int x, int y, Dir d)
+{
+    int di = static_cast<int>(d);
+    open_[index(x, y)][static_cast<std::size_t>(di)] = true;
+    int nx = x + kDx[di];
+    int ny = y + kDy[di];
+    open_[index(nx, ny)][static_cast<std::size_t>(
+        static_cast<int>(reverse_of(d)))] = true;
+}
+
+bool
+Maze::wall(int x, int y, Dir d) const
+{
+    if (x < 0 || x >= width_ || y < 0 || y >= height_)
+        return true;
+    int di = static_cast<int>(d);
+    int nx = x + kDx[di];
+    int ny = y + kDy[di];
+    if (nx < 0 || nx >= width_ || ny < 0 || ny >= height_)
+        return true;  // Outer boundary.
+    return !open_[index(x, y)][static_cast<std::size_t>(di)];
+}
+
+std::size_t
+Maze::passage_count() const
+{
+    std::size_t n = 0;
+    for (const auto& cell : open_) {
+        for (bool b : cell) {
+            if (b)
+                ++n;
+        }
+    }
+    return n / 2;  // Each passage counted from both sides.
+}
+
+std::vector<MazeStep>
+wall_follow(const Maze& maze, int exit_x, int exit_y, std::size_t max_steps)
+{
+    std::vector<MazeStep> trace;
+    int x = 0;
+    int y = 0;
+    Dir heading = Dir::East;
+    trace.push_back({x, y, heading});
+    while (!(x == exit_x && y == exit_y) && trace.size() < max_steps) {
+        // Left-hand rule: turn left if possible, else straight, else
+        // right, else reverse.
+        Dir order[4] = {left_of(heading), heading, right_of(heading),
+                        reverse_of(heading)};
+        for (Dir d : order) {
+            if (!maze.wall(x, y, d)) {
+                heading = d;
+                break;
+            }
+        }
+        int di = static_cast<int>(heading);
+        x += kDx[di];
+        y += kDy[di];
+        trace.push_back({x, y, heading});
+    }
+    return trace;
+}
+
+}  // namespace hivemind::geo

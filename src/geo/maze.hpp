@@ -1,0 +1,85 @@
+#pragma once
+
+/**
+ * @file
+ * Maze generation and the Wall Follower solver.
+ *
+ * Application S6 ("navigate through a walled maze using the Wall
+ * Follower algorithm") and the robotic-car "Maze" scenario (Sec. 5.5)
+ * both traverse mazes. The generator produces a perfect maze
+ * (spanning tree -> every pair of cells connected by exactly one
+ * path), on which the left-hand wall follower is guaranteed to reach
+ * the exit; the property tests verify this for random mazes.
+ */
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace hivemind::geo {
+
+/** Cardinal directions used for maze walls and headings. */
+enum class Dir : int { North = 0, East = 1, South = 2, West = 3 };
+
+/** Left of, right of, and reverse of a heading. */
+Dir left_of(Dir d);
+Dir right_of(Dir d);
+Dir reverse_of(Dir d);
+
+/**
+ * A rectangular perfect maze. Cell (0,0) is the entrance; the exit
+ * cell is configurable (defaults to the far corner).
+ */
+class Maze
+{
+  public:
+    /** Generate a random perfect maze via iterative DFS carving. */
+    Maze(int width, int height, sim::Rng& rng);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    /** Whether a wall blocks movement from (x, y) toward @p d. */
+    bool wall(int x, int y, Dir d) const;
+
+    /** Number of open (carved) walls; a perfect maze has w*h-1 passages. */
+    std::size_t passage_count() const;
+
+  private:
+    std::size_t index(int x, int y) const
+    {
+        return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_)
+            + static_cast<std::size_t>(x);
+    }
+
+    void carve(int x, int y, Dir d);
+
+    int width_;
+    int height_;
+    // open_[cell][dir] == true means no wall toward dir.
+    std::vector<std::array<bool, 4>> open_;
+};
+
+/** One step in a wall-follower traversal. */
+struct MazeStep
+{
+    int x;
+    int y;
+    Dir heading;
+};
+
+/**
+ * Left-hand wall-follower traversal from the entrance (0,0, facing
+ * East) to the given exit.
+ *
+ * @param max_steps safety bound; traversal aborts (returns partial
+ *        trace) if exceeded, which cannot happen on a perfect maze of
+ *        that size but guards against corrupted input.
+ * @return the full step trace including the exit cell as last element.
+ */
+std::vector<MazeStep> wall_follow(const Maze& maze, int exit_x, int exit_y,
+                                  std::size_t max_steps);
+
+}  // namespace hivemind::geo

@@ -1,0 +1,57 @@
+#include "geo/motion.hpp"
+
+namespace hivemind::geo {
+
+RandomWaypointWalker::RandomWaypointWalker(const Rect& bounds,
+                                           double speed_mps, double pause_s,
+                                           sim::Rng& rng)
+    : bounds_(bounds),
+      speed_(speed_mps),
+      pause_s_(pause_s),
+      rng_(rng.fork()),
+      pos_{rng_.uniform(bounds.x0, bounds.x1),
+           rng_.uniform(bounds.y0, bounds.y1)},
+      leg_from_(pos_)
+{
+    pick_next_waypoint();
+}
+
+void
+RandomWaypointWalker::pick_next_waypoint()
+{
+    target_ = {rng_.uniform(bounds_.x0, bounds_.x1),
+               rng_.uniform(bounds_.y0, bounds_.y1)};
+    leg_from_ = pos_;
+    leg_start_ = leg_end_;
+    double dist = leg_from_.distance_to(target_);
+    leg_end_ = leg_start_ + sim::from_seconds(dist / speed_);
+    pausing_ = false;
+}
+
+Vec2
+RandomWaypointWalker::position_at(sim::Time t)
+{
+    while (t >= leg_end_) {
+        if (pausing_) {
+            pick_next_waypoint();
+        } else {
+            // Arrive, then pause for an exponential dwell.
+            pos_ = target_;
+            leg_from_ = pos_;
+            leg_start_ = leg_end_;
+            leg_end_ = leg_start_ +
+                sim::from_seconds(rng_.exponential(pause_s_));
+            pausing_ = true;
+        }
+    }
+    if (pausing_ || leg_end_ == leg_start_)
+        return pos_;
+    double frac = static_cast<double>(t - leg_start_) /
+        static_cast<double>(leg_end_ - leg_start_);
+    if (frac < 0.0)
+        frac = 0.0;
+    pos_ = leg_from_ + (target_ - leg_from_) * frac;
+    return pos_;
+}
+
+}  // namespace hivemind::geo

@@ -1,0 +1,51 @@
+#pragma once
+
+/**
+ * @file
+ * Random-waypoint motion model for people in Scenario B.
+ *
+ * "People are allowed to move within the field" (Sec. 2.1): each
+ * person walks at pedestrian speed toward a uniformly chosen waypoint,
+ * pauses, and picks a new one. The scenario world samples positions
+ * from this model when drones photograph the field.
+ */
+
+#include <vector>
+
+#include "geo/vec2.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace hivemind::geo {
+
+/** One walker following the random-waypoint model. */
+class RandomWaypointWalker
+{
+  public:
+    /**
+     * @param bounds area the walker stays within
+     * @param speed_mps walking speed in m/s
+     * @param pause_s mean pause at each waypoint in seconds
+     */
+    RandomWaypointWalker(const Rect& bounds, double speed_mps,
+                         double pause_s, sim::Rng& rng);
+
+    /** Position at simulated time @p t (t must be non-decreasing). */
+    Vec2 position_at(sim::Time t);
+
+  private:
+    void pick_next_waypoint();
+
+    Rect bounds_;
+    double speed_;
+    double pause_s_;
+    sim::Rng rng_;
+    Vec2 pos_;
+    Vec2 target_;
+    sim::Time leg_start_ = 0;     // When current leg (or pause) began.
+    sim::Time leg_end_ = 0;       // When it finishes.
+    Vec2 leg_from_;
+    bool pausing_ = false;
+};
+
+}  // namespace hivemind::geo

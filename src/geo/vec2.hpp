@@ -1,0 +1,77 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal 2D geometry: vectors and axis-aligned rectangles.
+ *
+ * All field-level reasoning in HiveMind (drone routes, camera
+ * footprints, load partitioning) happens on a flat 2D plane in meters;
+ * altitude only enters through the camera footprint constants.
+ */
+
+#include <cmath>
+
+namespace hivemind::geo {
+
+/** 2D vector / point in meters. */
+struct Vec2
+{
+    double x = 0.0;
+    double y = 0.0;
+
+    Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+    Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+    Vec2 operator*(double s) const { return {x * s, y * s}; }
+    bool operator==(const Vec2& o) const { return x == o.x && y == o.y; }
+
+    /** Euclidean length. */
+    double norm() const { return std::sqrt(x * x + y * y); }
+
+    /** Euclidean distance to another point. */
+    double distance_to(const Vec2& o) const { return (*this - o).norm(); }
+
+    /** Unit vector in this direction (zero vector maps to zero). */
+    Vec2
+    normalized() const
+    {
+        double n = norm();
+        if (n == 0.0)
+            return {0.0, 0.0};
+        return {x / n, y / n};
+    }
+};
+
+/** Axis-aligned rectangle [x0, x1) x [y0, y1) in meters. */
+struct Rect
+{
+    double x0 = 0.0;
+    double y0 = 0.0;
+    double x1 = 0.0;
+    double y1 = 0.0;
+
+    double width() const { return x1 - x0; }
+    double height() const { return y1 - y0; }
+    double area() const { return width() * height(); }
+    Vec2 center() const { return {(x0 + x1) / 2.0, (y0 + y1) / 2.0}; }
+
+    /** Whether @p p lies inside the half-open rectangle. */
+    bool
+    contains(const Vec2& p) const
+    {
+        return p.x >= x0 && p.x < x1 && p.y >= y0 && p.y < y1;
+    }
+
+    /** Clamp a point to lie within the (closed) rectangle. */
+    Vec2
+    clamp(const Vec2& p) const
+    {
+        Vec2 q = p;
+        if (q.x < x0) q.x = x0;
+        if (q.x > x1) q.x = x1;
+        if (q.y < y0) q.y = y0;
+        if (q.y > y1) q.y = y1;
+        return q;
+    }
+};
+
+}  // namespace hivemind::geo

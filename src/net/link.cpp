@@ -1,0 +1,48 @@
+#include "net/link.hpp"
+
+#include <utility>
+
+namespace hivemind::net {
+
+Link::Link(sim::Simulator& simulator, std::string name, double rate_bps,
+           sim::Time propagation)
+    : simulator_(&simulator),
+      name_(std::move(name)),
+      rate_bps_(rate_bps),
+      propagation_(propagation),
+      meter_(sim::kSecond)
+{
+}
+
+sim::Time
+Link::transfer(std::uint64_t bytes, std::function<void()> done)
+{
+    sim::Time now = simulator_->now();
+    sim::Time start = busy_until_ > now ? busy_until_ : now;
+    double bits = static_cast<double>(bytes) * 8.0;
+    sim::Time serialize = sim::from_seconds(bits / rate_bps_);
+    busy_until_ = start + serialize;
+    busy_accum_ += serialize;
+    bytes_total_ += bytes;
+    meter_.add(now, static_cast<double>(bytes));
+    sim::Time arrival = busy_until_ + propagation_;
+    if (done)
+        simulator_->schedule_at(arrival, std::move(done));
+    return arrival;
+}
+
+double
+Link::utilization() const
+{
+    sim::Time now = simulator_->now();
+    if (now <= 0)
+        return 0.0;
+    // Busy time can exceed "now" when a backlog extends into the
+    // future; clip to the elapsed horizon.
+    sim::Time busy = busy_accum_;
+    if (busy > now)
+        busy = now;
+    return static_cast<double>(busy) / static_cast<double>(now);
+}
+
+}  // namespace hivemind::net

@@ -1,0 +1,85 @@
+#pragma once
+
+/**
+ * @file
+ * Flow-level network link model.
+ *
+ * A Link serializes transfers FIFO at a fixed rate and adds a
+ * propagation delay, the standard flow-level abstraction for
+ * queueing-network simulators. Congestion emerges naturally: when
+ * offered load exceeds the link rate the busy horizon grows and
+ * latency explodes, which is exactly the Fig. 3b saturation behaviour.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace hivemind::net {
+
+/** A unidirectional link with FIFO serialization and propagation. */
+class Link
+{
+  public:
+    /**
+     * @param simulator event kernel the link schedules on
+     * @param name human-readable identifier for traces
+     * @param rate_bps capacity in bits per second
+     * @param propagation one-way propagation + switching latency
+     */
+    Link(sim::Simulator& simulator, std::string name, double rate_bps,
+         sim::Time propagation);
+
+    /**
+     * Enqueue a transfer of @p bytes; @p done fires when the last bit
+     * arrives at the far end.
+     *
+     * @return the completion time of the transfer.
+     */
+    sim::Time transfer(std::uint64_t bytes, std::function<void()> done);
+
+    /** Time at which the serializer becomes free. */
+    sim::Time busy_until() const { return busy_until_; }
+
+    /** Queueing delay a new transfer would currently see. */
+    sim::Time
+    backlog() const
+    {
+        sim::Time now = simulator_->now();
+        return busy_until_ > now ? busy_until_ - now : 0;
+    }
+
+    /** Total payload bytes accepted. */
+    std::uint64_t bytes_total() const { return bytes_total_; }
+
+    /** Capacity in bits per second. */
+    double rate_bps() const { return rate_bps_; }
+
+    /** Adjust capacity (used to scale links with swarm size, Fig. 17b). */
+    void set_rate_bps(double rate_bps) { rate_bps_ = rate_bps; }
+
+    /** Per-second throughput meter in bytes (for bandwidth figures). */
+    const sim::RateMeter& meter() const { return meter_; }
+
+    /** Link name. */
+    const std::string& name() const { return name_; }
+
+    /** Fraction of time busy since construction, up to now. */
+    double utilization() const;
+
+  private:
+    sim::Simulator* simulator_;
+    std::string name_;
+    double rate_bps_;
+    sim::Time propagation_;
+    sim::Time busy_until_ = 0;
+    std::uint64_t bytes_total_ = 0;
+    sim::Time busy_accum_ = 0;  // Total serialization time granted.
+    sim::RateMeter meter_;
+};
+
+}  // namespace hivemind::net

@@ -1,0 +1,200 @@
+#include "net/topology.hpp"
+
+#include <string>
+#include <utility>
+
+namespace hivemind::net {
+
+SwarmTopology::SwarmTopology(sim::Simulator& simulator,
+                             const TopologyConfig& config, sim::Rng* rng)
+    : simulator_(&simulator),
+      config_(config),
+      rng_(rng),
+      device_bytes_(config.devices, 0),
+      air_meter_(sim::kSecond)
+{
+    double scale = config.infra_scale;
+    for (std::size_t i = 0; i < config.devices; ++i) {
+        device_up_.push_back(std::make_unique<Link>(
+            simulator, "dev" + std::to_string(i) + ".up",
+            config.device_radio_bps, config.wireless_prop));
+        device_down_.push_back(std::make_unique<Link>(
+            simulator, "dev" + std::to_string(i) + ".down",
+            config.device_radio_bps, config.wireless_prop));
+        device_rpc_.push_back(std::make_unique<RpcProcessor>(
+            simulator, RpcConfig::software_stack(1)));
+    }
+    for (std::size_t r = 0; r < config.routers; ++r) {
+        router_up_.push_back(std::make_unique<Link>(
+            simulator, "router" + std::to_string(r) + ".up",
+            config.router_bps * scale, config.lan_prop));
+        router_down_.push_back(std::make_unique<Link>(
+            simulator, "router" + std::to_string(r) + ".down",
+            config.router_bps * scale, config.lan_prop));
+    }
+    tor_up_ = std::make_unique<Link>(simulator, "tor.up",
+                                     config.tor_bps * scale,
+                                     config.lan_prop);
+    tor_down_ = std::make_unique<Link>(simulator, "tor.down",
+                                       config.tor_bps * scale,
+                                       config.lan_prop);
+    for (std::size_t s = 0; s < config.servers; ++s) {
+        nic_in_.push_back(std::make_unique<Link>(
+            simulator, "srv" + std::to_string(s) + ".in",
+            config.server_nic_bps, config.lan_prop));
+        nic_out_.push_back(std::make_unique<Link>(
+            simulator, "srv" + std::to_string(s) + ".out",
+            config.server_nic_bps, config.lan_prop));
+        server_rpc_.push_back(std::make_unique<RpcProcessor>(
+            simulator,
+            config.cloud_rpc_offload ? RpcConfig::fpga_offload(2)
+                                     : RpcConfig::software_stack(2)));
+    }
+}
+
+void
+SwarmTopology::chain(std::vector<Link*> path, std::uint64_t bytes,
+                     DeliveryCallback done)
+{
+    if (path.empty()) {
+        if (done)
+            done(simulator_->now());
+        return;
+    }
+    Link* first = path.front();
+    std::vector<Link*> rest(path.begin() + 1, path.end());
+    auto self = this;
+    first->transfer(bytes,
+                    [self, rest = std::move(rest), bytes,
+                     done = std::move(done)]() mutable {
+                        self->chain(std::move(rest), bytes, std::move(done));
+                    });
+}
+
+void
+SwarmTopology::with_retransmits(
+    std::function<void(DeliveryCallback)> attempt, DeliveryCallback done,
+    int tries_left)
+{
+    bool lossy = rng_ != nullptr && config_.wireless_loss > 0.0;
+    auto self = this;
+    attempt([self, attempt, done = std::move(done), tries_left,
+             lossy](sim::Time t) mutable {
+        if (lossy && tries_left > 0 &&
+            self->rng_->chance(self->config_.wireless_loss)) {
+            ++self->retransmissions_;
+            self->simulator_->schedule_in(
+                self->config_.retransmit_timeout,
+                [self, attempt = std::move(attempt),
+                 done = std::move(done), tries_left]() mutable {
+                    self->with_retransmits(std::move(attempt),
+                                           std::move(done), tries_left - 1);
+                });
+            return;
+        }
+        if (done)
+            done(t);
+    });
+}
+
+void
+SwarmTopology::send_uplink(std::size_t device, std::size_t server,
+                           std::uint64_t bytes, DeliveryCallback done)
+{
+    std::size_t r = device % config_.routers;
+    device_bytes_[device] += bytes;
+    // Sender-side RPC processing, then the link chain, then
+    // receiver-side RPC processing. The air meter records *delivered*
+    // bytes at arrival time, so reported bandwidth is utilization and
+    // never exceeds the physical capacity. Wireless corruption causes
+    // timed-out retransmissions of the whole transfer.
+    auto self = this;
+    auto attempt = [self, device, server, r,
+                    bytes](DeliveryCallback finished) {
+        self->device_rpc_[device]->process([self, device, server, r, bytes,
+                                            done =
+                                                std::move(finished)]() mutable {
+        std::vector<Link*> path{self->device_up_[device].get(),
+                                self->router_up_[r].get(),
+                                self->tor_up_.get(),
+                                self->nic_in_[server].get()};
+        self->chain(std::move(path), bytes,
+                    [self, server, bytes,
+                     done = std::move(done)](sim::Time t) mutable {
+                        self->air_meter_.add(t, static_cast<double>(bytes));
+                        self->server_rpc_[server]->process(
+                            [self, done = std::move(done)]() {
+                                if (done)
+                                    done(self->simulator_->now());
+                            });
+                    });
+        });
+    };
+    with_retransmits(std::move(attempt), std::move(done),
+                     config_.max_retransmits);
+}
+
+void
+SwarmTopology::send_downlink(std::size_t server, std::size_t device,
+                             std::uint64_t bytes, DeliveryCallback done)
+{
+    std::size_t r = device % config_.routers;
+    device_bytes_[device] += bytes;
+    auto self = this;
+    auto attempt = [self, device, server, r,
+                    bytes](DeliveryCallback finished) {
+        self->server_rpc_[server]->process([self, device, server, r, bytes,
+                                            done =
+                                                std::move(finished)]() mutable {
+        std::vector<Link*> path{self->nic_out_[server].get(),
+                                self->tor_down_.get(),
+                                self->router_down_[r].get(),
+                                self->device_down_[device].get()};
+        self->chain(std::move(path), bytes,
+                    [self, device, bytes,
+                     done = std::move(done)](sim::Time t) mutable {
+                        self->air_meter_.add(t, static_cast<double>(bytes));
+                        self->device_rpc_[device]->process(
+                            [self, done = std::move(done)]() {
+                                if (done)
+                                    done(self->simulator_->now());
+                            });
+                    });
+        });
+    };
+    with_retransmits(std::move(attempt), std::move(done),
+                     config_.max_retransmits);
+}
+
+void
+SwarmTopology::send_server_to_server(std::size_t from, std::size_t to,
+                                     std::uint64_t bytes,
+                                     DeliveryCallback done)
+{
+    auto self = this;
+    server_rpc_[from]->process([self, from, to, bytes,
+                                done = std::move(done)]() mutable {
+        std::vector<Link*> path{self->nic_out_[from].get(),
+                                self->tor_up_.get(),
+                                self->nic_in_[to].get()};
+        self->chain(std::move(path), bytes,
+                    [self, to, done = std::move(done)](sim::Time) mutable {
+                        self->server_rpc_[to]->process(
+                            [self, done = std::move(done)]() {
+                                if (done)
+                                    done(self->simulator_->now());
+                            });
+                    });
+    });
+}
+
+double
+SwarmTopology::cloud_rpc_cpu_seconds() const
+{
+    double total = 0.0;
+    for (const auto& p : server_rpc_)
+        total += p->cpu_seconds_used();
+    return total;
+}
+
+}  // namespace hivemind::net

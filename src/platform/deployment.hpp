@@ -1,0 +1,115 @@
+#pragma once
+
+/**
+ * @file
+ * Deployment: one fully wired swarm + cloud instance.
+ *
+ * A Deployment instantiates the whole stack for one experiment run —
+ * simulator, network topology, cluster, data store, FaaS runtime,
+ * IaaS pool, edge devices, and (for HiveMind) the scheduler — and
+ * applies the PlatformOptions feature flags: FPGA RPC offload on the
+ * cloud NICs, the remote-memory data-sharing fabric, and the
+ * HiveMind scheduler with its wide keep-alive window and co-location
+ * policy. cloud_invoke() routes a task to whichever cloud backend the
+ * platform uses and normalizes the resulting stage breakdown.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cloud/datastore.hpp"
+#include "cloud/faas.hpp"
+#include "cloud/iaas.hpp"
+#include "cloud/server.hpp"
+#include "core/scheduler.hpp"
+#include "edge/device.hpp"
+#include "net/topology.hpp"
+#include "platform/options.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace hivemind::platform {
+
+/** Sizing and tuning of one deployment. */
+struct DeploymentConfig
+{
+    std::size_t devices = 16;
+    std::size_t servers = 12;
+    int cores_per_server = 40;
+    std::uint64_t server_memory_mb = 192ull * 1024ull;
+    std::uint64_t seed = 42;
+    edge::DeviceSpec device_spec = edge::DeviceSpec::drone();
+    net::TopologyConfig net;
+    cloud::FaasConfig faas;
+    cloud::IaasConfig iaas;
+    cloud::DataStoreConfig store;
+    core::SchedulerConfig scheduler;
+    /**
+     * Scale routers/ToR/servers proportionally with the swarm (the
+     * paper's simulator experiments "scale up the network links
+     * proportionately", Sec. 5.6). Reference size is 16 devices.
+     */
+    bool scale_infra = false;
+};
+
+/** Normalized result of one cloud task (FaaS or IaaS). */
+struct CloudResult
+{
+    double mgmt_s = 0.0;   ///< Scheduling + instantiation (+ queueing).
+    double data_s = 0.0;   ///< Inter-function data exchange.
+    double exec_s = 0.0;   ///< Pure execution.
+    sim::Time done = 0;    ///< Completion time.
+    std::size_t server = cloud::kNoServer;
+};
+
+/** One wired-up experiment instance. */
+class Deployment
+{
+  public:
+    Deployment(const DeploymentConfig& config,
+               const PlatformOptions& options);
+
+    sim::Simulator& simulator() { return simulator_; }
+    sim::Rng& rng() { return rng_; }
+    net::SwarmTopology& network() { return *network_; }
+    cloud::Cluster& cluster() { return *cluster_; }
+    cloud::DataStore& store() { return *store_; }
+    cloud::FaasRuntime& faas() { return *faas_; }
+    cloud::IaasPool& iaas() { return *iaas_; }
+    /** Non-null when the HiveMind scheduler is installed. */
+    core::HiveMindScheduler* scheduler() { return scheduler_.get(); }
+    edge::Device& device(std::size_t i) { return *devices_[i]; }
+    std::size_t device_count() const { return devices_.size(); }
+    const PlatformOptions& options() const { return options_; }
+    const DeploymentConfig& config() const { return config_; }
+
+    /**
+     * Run one task on the platform's cloud backend (FaaS via the
+     * HiveMind scheduler when installed, plain FaaS otherwise, or the
+     * reserved IaaS pool for CentralizedIaas), with @p parallelism
+     * intra-task fan-out where the backend supports it.
+     */
+    void cloud_invoke(const cloud::InvokeRequest& request, int parallelism,
+                      std::function<void(const CloudResult&)> done);
+
+    /** Charge each device's radio energy from the topology counters. */
+    void settle_radio_energy();
+
+  private:
+    DeploymentConfig config_;
+    PlatformOptions options_;
+    sim::Simulator simulator_;
+    sim::Rng rng_;
+    std::unique_ptr<net::SwarmTopology> network_;
+    std::unique_ptr<cloud::Cluster> cluster_;
+    std::unique_ptr<cloud::DataStore> store_;
+    std::unique_ptr<cloud::FaasRuntime> faas_;
+    std::unique_ptr<cloud::IaasPool> iaas_;
+    std::unique_ptr<core::HiveMindScheduler> scheduler_;
+    std::vector<std::unique_ptr<edge::Device>> devices_;
+    std::vector<std::uint64_t> radio_settled_;
+};
+
+}  // namespace hivemind::platform

@@ -1,0 +1,282 @@
+#include "platform/graph_runner.hpp"
+
+#include <map>
+#include <memory>
+
+namespace hivemind::platform {
+
+namespace {
+
+/** State of one in-flight graph activation. */
+struct Activation
+{
+    std::size_t device;
+    sim::Time start = 0;
+    /** Tasks whose outputs are ready, with completion times. */
+    std::map<std::string, sim::Time> finished;
+    /** Remaining unmet parent count per task. */
+    std::map<std::string, int> waiting;
+    /** Server that ran each cloud task (co-location hints). */
+    std::map<std::string, std::size_t> servers;
+    /** Accumulated stage shares. */
+    double network_s = 0.0;
+    double mgmt_s = 0.0;
+    double data_s = 0.0;
+    double exec_s = 0.0;
+    int outstanding = 0;  ///< Tasks currently running.
+    int remaining = 0;    ///< Tasks not yet finished.
+};
+
+/** The whole run's mutable state. */
+struct GraphHarness
+{
+    Deployment* dep;
+    const dsl::TaskGraph* graph;
+    const synth::PlacementAssignment* placement;
+    const GraphJobConfig* job;
+    RunMetrics metrics;
+    sim::Rng arrivals;
+    std::size_t next_server = 0;
+
+    GraphHarness(Deployment& d, const dsl::TaskGraph& g,
+                 const synth::PlacementAssignment& p,
+                 const GraphJobConfig& j)
+        : dep(&d), graph(&g), placement(&p), job(&j),
+          arrivals(d.rng().fork())
+    {
+    }
+
+    void start_activation(std::size_t device);
+    void launch_task(const std::shared_ptr<Activation>& act,
+                     const std::string& name, sim::Time ready_at);
+    void task_finished(const std::shared_ptr<Activation>& act,
+                       const std::string& name);
+};
+
+void
+GraphHarness::start_activation(std::size_t device)
+{
+    auto act = std::make_shared<Activation>();
+    act->device = device;
+    act->start = dep->simulator().now();
+    act->remaining = static_cast<int>(graph->size());
+    for (const std::string& name : graph->task_names()) {
+        act->waiting[name] =
+            static_cast<int>(graph->task(name).parents.size());
+    }
+    for (const std::string& root : graph->roots())
+        launch_task(act, root, act->start);
+}
+
+void
+GraphHarness::launch_task(const std::shared_ptr<Activation>& act,
+                          const std::string& name, sim::Time ready_at)
+{
+    const dsl::TaskDef& task = graph->task(name);
+    synth::Location loc = placement->at(name);
+    ++act->outstanding;
+
+    // Latest-finishing parent determines the data source.
+    sim::Time parents_done = ready_at;
+    std::string latest_parent;
+    for (const std::string& p : task.parents) {
+        auto it = act->finished.find(p);
+        if (it != act->finished.end() && it->second >= parents_done) {
+            parents_done = it->second;
+            latest_parent = p;
+        }
+    }
+
+    auto self = this;
+    if (loc == synth::Location::Edge) {
+        // Crossing cloud -> edge first? Ship the parent output down.
+        auto run_local = [self, act, name, task]() {
+            edge::Device& dev = self->dep->device(act->device);
+            dev.executor().submit(
+                task.work_core_ms, [self, act, name](double exec_s) {
+                    act->exec_s += exec_s;
+                    self->task_finished(act, name);
+                });
+        };
+        bool parent_in_cloud = !latest_parent.empty() &&
+            placement->at(latest_parent) == synth::Location::Cloud;
+        if (parent_in_cloud) {
+            std::size_t from = act->servers.count(latest_parent)
+                ? act->servers[latest_parent]
+                : act->device % dep->config().servers;
+            sim::Time t0 = dep->simulator().now();
+            dep->network().send_downlink(
+                from, act->device, task.input_bytes,
+                [self, act, t0, run_local](sim::Time t1) {
+                    act->network_s += sim::to_seconds(t1 - t0);
+                    run_local();
+                });
+        } else {
+            run_local();
+        }
+        return;
+    }
+
+    // Cloud task. If the latest parent ran at the edge, the input
+    // crosses the wireless boundary; if it ran in the cloud, the
+    // sharing fabric inside the runtime handles the hand-off.
+    bool parent_at_edge = latest_parent.empty() ||
+        placement->at(latest_parent) == synth::Location::Edge;
+    cloud::InvokeRequest req;
+    req.app = graph->name() + ":" + name;
+    req.work_core_ms = task.work_core_ms;
+    req.memory_mb = 256;
+    req.input_bytes = parent_at_edge ? 0 : task.input_bytes;
+    req.output_bytes = task.persist ? task.output_bytes : 0;
+    if (task.restore == dsl::RestorePolicy::Checkpoint)
+        req.recovery = cloud::FaultRecovery::Checkpoint;
+    else if (task.restore == dsl::RestorePolicy::None)
+        req.recovery = cloud::FaultRecovery::None;
+    req.isolate = task.isolate;
+    req.priority = task.priority;
+    if (!latest_parent.empty() && !parent_at_edge &&
+        dep->options().smart_scheduler &&
+        act->servers.count(latest_parent)) {
+        req.preferred_server = act->servers[latest_parent];
+        req.colocate_with_parent = true;
+    }
+    int par = dep->options().smart_scheduler
+        ? std::max(1, task.parallelism)
+        : 1;
+
+    auto invoke_cloud = [self, act, name, req, par]() {
+        self->dep->cloud_invoke(
+            req, par, [self, act, name](const CloudResult& r) {
+                act->mgmt_s += r.mgmt_s;
+                act->data_s += r.data_s;
+                act->exec_s += r.exec_s;
+                if (r.server != cloud::kNoServer)
+                    act->servers[name] = r.server;
+                self->task_finished(act, name);
+            });
+    };
+    if (parent_at_edge) {
+        std::size_t server = next_server;
+        next_server = (next_server + 1) % dep->config().servers;
+        sim::Time t0 = dep->simulator().now();
+        dep->network().send_uplink(
+            act->device, server, task.input_bytes,
+            [self, act, t0, invoke_cloud](sim::Time t1) {
+                act->network_s += sim::to_seconds(t1 - t0);
+                invoke_cloud();
+            });
+    } else {
+        invoke_cloud();
+    }
+}
+
+void
+GraphHarness::task_finished(const std::shared_ptr<Activation>& act,
+                            const std::string& name)
+{
+    sim::Time now = dep->simulator().now();
+    act->finished[name] = now;
+    --act->outstanding;
+    --act->remaining;
+    for (const std::string& child : graph->task(name).children) {
+        if (--act->waiting[child] == 0)
+            launch_task(act, child, now);
+    }
+    if (act->remaining == 0) {
+        metrics.task_latency_s.add(sim::to_seconds(now - act->start));
+        metrics.network_s.add(act->network_s);
+        metrics.mgmt_s.add(act->mgmt_s);
+        metrics.data_s.add(act->data_s);
+        metrics.exec_s.add(act->exec_s);
+        ++metrics.tasks_completed;
+    }
+}
+
+}  // namespace
+
+RunMetrics
+run_task_graph(const dsl::TaskGraph& graph,
+               const synth::PlacementAssignment& placement,
+               const PlatformOptions& options,
+               const DeploymentConfig& deployment_config,
+               const GraphJobConfig& job)
+{
+    Deployment dep(deployment_config, options);
+    GraphHarness harness(dep, graph, placement, job);
+    sim::Simulator& simulator = dep.simulator();
+
+    for (std::size_t d = 0; d < dep.device_count(); ++d) {
+        auto gen = std::make_shared<std::function<void()>>();
+        *gen = [&harness, &simulator, &job, d, gen]() {
+            if (simulator.now() >= job.duration)
+                return;
+            harness.start_activation(d);
+            simulator.schedule_in(
+                sim::from_seconds(harness.arrivals.exponential(
+                    1.0 / job.activation_rate_hz)),
+                [gen]() { (*gen)(); });
+        };
+        simulator.schedule_in(
+            sim::from_seconds(
+                harness.arrivals.uniform(0.0, 1.0 / job.activation_rate_hz)),
+            [gen]() { (*gen)(); });
+    }
+
+    simulator.run_until(job.duration + job.drain);
+
+    dep.settle_radio_energy();
+    double active_s = sim::to_seconds(
+        std::min(simulator.now(), job.duration + job.drain));
+    for (std::size_t d = 0; d < dep.device_count(); ++d) {
+        edge::Device& dev = dep.device(d);
+        dev.account_compute(dev.executor().busy_seconds());
+        dev.account_idle(active_s);
+        if (job.include_motion_energy)
+            dev.account_motion(active_s);
+        harness.metrics.battery_pct.add(dev.battery().consumed_percent());
+        harness.metrics.tasks_shed += dev.executor().shed();
+    }
+    sim::Summary bw = dep.network().air_meter().rate_summary(job.duration);
+    for (double r : bw.samples())
+        harness.metrics.bandwidth_MBps.add(r / 1e6);
+    harness.metrics.cold_starts = dep.faas().cold_starts();
+    harness.metrics.warm_starts = dep.faas().warm_starts();
+    harness.metrics.faults = dep.faas().faults();
+    if (dep.scheduler())
+        harness.metrics.respawns = dep.scheduler()->respawns();
+    return harness.metrics;
+}
+
+synth::Profiler
+make_simulation_profiler(const PlatformOptions& options,
+                         const DeploymentConfig& deployment,
+                         const GraphJobConfig& job)
+{
+    return [options, deployment, job](
+               const dsl::TaskGraph& graph,
+               const synth::PlacementAssignment& placement) {
+        RunMetrics m =
+            run_task_graph(graph, placement, options, deployment, job);
+        synth::PlacementEstimate est;
+        est.latency_s = m.task_latency_s.mean();
+        // Joules per activation per device.
+        double activations = static_cast<double>(m.tasks_completed);
+        if (activations > 0.0) {
+            double total_j = 0.0;
+            // battery_pct holds one entry per device; convert back.
+            for (double pct : m.battery_pct.samples()) {
+                total_j +=
+                    pct / 100.0 * deployment.device_spec.battery_j;
+            }
+            est.edge_energy_j = total_j / activations;
+        }
+        est.crossing_bytes = static_cast<std::uint64_t>(
+            m.bandwidth_MBps.mean() * 1e6 /
+            std::max(1e-9,
+                     activations /
+                         sim::to_seconds(job.duration)));
+        return est;
+    };
+}
+
+}  // namespace hivemind::platform

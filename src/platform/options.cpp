@@ -1,0 +1,98 @@
+#include "platform/options.hpp"
+
+namespace hivemind::platform {
+
+const char*
+to_string(PlatformKind k)
+{
+    switch (k) {
+      case PlatformKind::CentralizedIaas:
+        return "CentralizedIaaS";
+      case PlatformKind::CentralizedFaas:
+        return "CentralizedFaaS";
+      case PlatformKind::DistributedEdge:
+        return "DistributedEdge";
+      case PlatformKind::HiveMind:
+        return "HiveMind";
+    }
+    return "?";
+}
+
+PlatformOptions
+PlatformOptions::centralized_iaas()
+{
+    PlatformOptions o;
+    o.kind = PlatformKind::CentralizedIaas;
+    o.label = "Centralized IaaS";
+    return o;
+}
+
+PlatformOptions
+PlatformOptions::centralized_faas()
+{
+    PlatformOptions o;
+    o.kind = PlatformKind::CentralizedFaas;
+    o.label = "Centralized Cloud";
+    return o;
+}
+
+PlatformOptions
+PlatformOptions::distributed_edge()
+{
+    PlatformOptions o;
+    o.kind = PlatformKind::DistributedEdge;
+    o.label = "Distributed Edge";
+    return o;
+}
+
+PlatformOptions
+PlatformOptions::hivemind()
+{
+    PlatformOptions o;
+    o.kind = PlatformKind::HiveMind;
+    o.net_accel = true;
+    o.remote_mem_accel = true;
+    o.hybrid = true;
+    o.smart_scheduler = true;
+    o.label = "HiveMind";
+    return o;
+}
+
+PlatformOptions
+PlatformOptions::centralized_net_accel()
+{
+    PlatformOptions o = centralized_faas();
+    o.net_accel = true;
+    o.label = "Centr-Net Accel";
+    return o;
+}
+
+PlatformOptions
+PlatformOptions::centralized_net_remote_mem()
+{
+    PlatformOptions o = centralized_net_accel();
+    o.remote_mem_accel = true;
+    o.label = "+Remote Mem";
+    return o;
+}
+
+PlatformOptions
+PlatformOptions::distributed_net_accel()
+{
+    PlatformOptions o = distributed_edge();
+    o.net_accel = true;
+    o.label = "Distr-Net Accel";
+    return o;
+}
+
+PlatformOptions
+PlatformOptions::hivemind_no_accel()
+{
+    PlatformOptions o = hivemind();
+    o.net_accel = false;
+    o.remote_mem_accel = false;
+    o.label = "HiveMind-No Accel";
+    return o;
+}
+
+}  // namespace hivemind::platform

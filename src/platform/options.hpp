@@ -1,0 +1,59 @@
+#pragma once
+
+/**
+ * @file
+ * Platform configurations under evaluation.
+ *
+ * The paper compares: Centralized IaaS (statically provisioned cloud
+ * of equal cost), Centralized FaaS (all compute in the serverless
+ * cloud), Distributed Edge (all compute on-board, only final outputs
+ * uplinked), and HiveMind. Fig. 13 additionally ablates HiveMind's
+ * mechanisms; the feature flags here express every column of that
+ * figure.
+ */
+
+#include <string>
+
+namespace hivemind::platform {
+
+/** Coordination strategy. */
+enum class PlatformKind
+{
+    CentralizedIaas,
+    CentralizedFaas,
+    DistributedEdge,
+    HiveMind,
+};
+
+/** Human-readable kind name. */
+const char* to_string(PlatformKind k);
+
+/** A platform plus its hardware/software feature flags. */
+struct PlatformOptions
+{
+    PlatformKind kind = PlatformKind::HiveMind;
+    /** FPGA RPC offload on the cloud NICs (Sec. 4.5). */
+    bool net_accel = false;
+    /** FPGA remote-memory fabric for function data exchange (4.4). */
+    bool remote_mem_accel = false;
+    /** Hybrid cloud/edge task placement (Sec. 4.2). */
+    bool hybrid = false;
+    /** HiveMind scheduler (co-location, keep-alive, stragglers, 4.3). */
+    bool smart_scheduler = false;
+    /** Label for result tables. */
+    std::string label;
+
+    /** The four headline platforms. */
+    static PlatformOptions centralized_iaas();
+    static PlatformOptions centralized_faas();
+    static PlatformOptions distributed_edge();
+    static PlatformOptions hivemind();
+
+    /** Fig. 13 ablation columns. */
+    static PlatformOptions centralized_net_accel();
+    static PlatformOptions centralized_net_remote_mem();
+    static PlatformOptions distributed_net_accel();
+    static PlatformOptions hivemind_no_accel();
+};
+
+}  // namespace hivemind::platform

@@ -1,0 +1,670 @@
+#include "platform/scenario.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "apps/world.hpp"
+#include "core/heartbeat.hpp"
+#include "core/learning.hpp"
+#include "core/load_balancer.hpp"
+#include "geo/maze.hpp"
+
+namespace hivemind::platform {
+
+const char*
+to_string(ScenarioKind k)
+{
+    switch (k) {
+      case ScenarioKind::StationaryItems:
+        return "Scenario A (Stationary Items)";
+      case ScenarioKind::MovingPeople:
+        return "Scenario B (Moving People)";
+      case ScenarioKind::TreasureHunt:
+        return "Treasure Hunt";
+      case ScenarioKind::RoverMaze:
+        return "Maze";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Per-task stage shares handed back by the pipelines. */
+struct StageRecord
+{
+    double total = 0.0;
+    double network = 0.0;
+    double mgmt = 0.0;
+    double data = 0.0;
+    double exec = 0.0;
+};
+
+/** Work/size constants of the scenario pipelines (from the graphs). */
+struct PipelineSpec
+{
+    double rec_work_ms = 220.0;        ///< Recognition stage.
+    double dedup_work_ms = 0.0;        ///< Second stage (0 = none).
+    /**
+     * Sensor payload per recognition task: a one-second frame batch
+     * (8 fps x 2 MB, Sec. 2.1). Centralized platforms ship all of it;
+     * HiveMind's on-board pre-filter forwards ~30%.
+     */
+    std::uint64_t frame_bytes = 16u << 20;
+    std::uint64_t inter_bytes = 128u << 10;
+    std::uint64_t result_bytes = 16u << 10;
+    int parallelism = 8;
+    std::uint64_t memory_mb = 512;
+    const char* rec_app = "scenarioRec";
+    const char* dedup_app = "scenarioDedup";
+};
+
+/**
+ * Shared state of one scenario run. The harness lives on the stack of
+ * run_scenario(); all simulator callbacks reference it and only run
+ * inside simulator.run_until().
+ */
+class ScenarioHarness
+{
+  public:
+    ScenarioHarness(Deployment& dep, const ScenarioConfig& sc)
+        : dep_(&dep),
+          sc_(&sc),
+          rng_(dep.rng().fork()),
+          balancer_(
+              geo::Rect{0.0, 0.0, sc.field_size_m, sc.field_size_m},
+              dep.device_count()),
+          detector_(dep.simulator(), dep.device_count()),
+          learning_(dep.device_count(), sc.detection, sc.retrain),
+          pass_(dep.device_count(), 0),
+          moving_until_(dep.device_count(), 0),
+          compute_settled_(dep.device_count(), 0.0),
+          done_at_(dep.device_count(), -1)
+    {
+        if (sc.kind == ScenarioKind::MovingPeople) {
+            pipeline_.rec_work_ms = 350.0;
+            pipeline_.dedup_work_ms = 420.0;
+        } else if (sc.kind == ScenarioKind::TreasureHunt) {
+            // Image-to-text on a full panel photo, then instruction
+            // parsing as a dependent stage (multi-phase, Sec. 5.5).
+            pipeline_.rec_work_ms = 1500.0;
+            pipeline_.dedup_work_ms = 300.0;
+            pipeline_.parallelism = 12;
+            pipeline_.frame_bytes = 2u << 20;
+            pipeline_.result_bytes = 1u << 10;
+        } else if (sc.kind == ScenarioKind::RoverMaze) {
+            pipeline_.rec_work_ms = 700.0;
+            pipeline_.parallelism = 2;
+            pipeline_.frame_bytes = 64u << 10;
+            pipeline_.result_bytes = 1u << 10;
+        }
+        if (sc.frame_bytes_override > 0)
+            pipeline_.frame_bytes = sc.frame_bytes_override;
+    }
+
+    void run();
+
+    RunMetrics take_metrics();
+
+  private:
+    bool is_drone_scenario() const
+    {
+        return sc_->kind == ScenarioKind::StationaryItems ||
+            sc_->kind == ScenarioKind::MovingPeople;
+    }
+
+    bool hivemind() const
+    {
+        return dep_->options().kind == PlatformKind::HiveMind;
+    }
+
+    // --- Common plumbing ---
+    void record(const StageRecord& r);
+    void finish(bool goal_met);
+    void tick();
+
+    /** Run the recognition (+dedup) pipeline on the platform. */
+    void pipeline(std::size_t device,
+                  std::function<void(const StageRecord&)> done);
+
+    // --- Drone scenarios ---
+    void setup_drones();
+    void start_pass(std::size_t device);
+    void frame_task(std::size_t device);
+    void obstacle_task(std::size_t device);
+    double goal_fraction() const;
+    bool goal_met() const;
+
+    // --- Rover scenarios ---
+    void setup_rovers();
+    void rover_leg(std::size_t device, std::size_t leg);
+
+    Deployment* dep_;
+    const ScenarioConfig* sc_;
+    sim::Rng rng_;
+    core::SwarmLoadBalancer balancer_;
+    core::FailureDetector detector_;
+    core::LearningCoordinator learning_;
+    PipelineSpec pipeline_;
+    RunMetrics metrics_;
+
+    std::unique_ptr<apps::ItemField> items_;
+    std::unique_ptr<apps::CrowdField> crowd_;
+    std::vector<apps::TreasureHunt> courses_;
+    std::vector<std::size_t> maze_steps_;
+
+    std::vector<int> pass_;
+    std::vector<sim::Time> moving_until_;
+    std::vector<double> compute_settled_;
+    std::vector<sim::Time> done_at_;  // Rover finish times (-1 = active).
+    sim::Time last_retrain_ = 0;
+    bool done_ = false;
+    sim::Time completion_ = 0;
+};
+
+void
+ScenarioHarness::record(const StageRecord& r)
+{
+    metrics_.task_latency_s.add(r.total);
+    metrics_.network_s.add(r.network);
+    metrics_.mgmt_s.add(r.mgmt);
+    metrics_.data_s.add(r.data);
+    metrics_.exec_s.add(r.exec);
+    ++metrics_.tasks_completed;
+}
+
+void
+ScenarioHarness::pipeline(std::size_t device,
+                          std::function<void(const StageRecord&)> done)
+{
+    sim::Simulator& simulator = dep_->simulator();
+    sim::Time t0 = simulator.now();
+    PlatformKind kind = dep_->options().kind;
+
+    if (kind == PlatformKind::DistributedEdge) {
+        // Everything on-board; only the final result is uplinked.
+        edge::Device& dev = dep_->device(device);
+        double total_work =
+            pipeline_.rec_work_ms + pipeline_.dedup_work_ms;
+        dev.executor().submit(
+            total_work, [this, device, t0,
+                         done = std::move(done)](double exec_s) {
+                sim::Time t1 = dep_->simulator().now();
+                dep_->network().send_uplink(
+                    device, device % dep_->config().servers,
+                    pipeline_.result_bytes,
+                    [this, t0, t1, exec_s,
+                     done = std::move(done)](sim::Time t2) {
+                        StageRecord r;
+                        r.total = sim::to_seconds(t2 - t0);
+                        r.network = sim::to_seconds(t2 - t1);
+                        r.exec = exec_s;
+                        double q = sim::to_seconds(t1 - t0) - exec_s;
+                        r.mgmt = q > 0.0 ? q : 0.0;
+                        done(r);
+                    });
+            });
+        return;
+    }
+
+    // Cloud-involving paths share the tail: recognition (+ dedup) in
+    // the cloud, result downlink, stage accounting.
+    auto cloud_tail = [this, device, t0](
+                          sim::Time uplink_done, double edge_exec_s,
+                          std::function<void(const StageRecord&)> cb) {
+        std::size_t server = device % dep_->config().servers;
+        cloud::InvokeRequest rec;
+        rec.app = pipeline_.rec_app;
+        rec.work_core_ms = pipeline_.rec_work_ms;
+        rec.memory_mb = pipeline_.memory_mb;
+        rec.input_bytes = pipeline_.inter_bytes;
+        rec.output_bytes = pipeline_.inter_bytes;
+        int par = hivemind() ? pipeline_.parallelism : 1;
+        dep_->cloud_invoke(rec, par, [this, device, server, t0, uplink_done,
+                                      edge_exec_s, par,
+                                      cb = std::move(cb)](
+                                         const CloudResult& r1) {
+            auto after_stages = [this, device, server, t0, uplink_done,
+                                 edge_exec_s,
+                                 cb = std::move(cb)](double mgmt, double data,
+                                                     double exec,
+                                                     sim::Time cloud_done) {
+                dep_->network().send_downlink(
+                    server, device, pipeline_.result_bytes,
+                    [this, t0, uplink_done, edge_exec_s, mgmt, data, exec,
+                     cloud_done, cb = std::move(cb)](sim::Time t3) {
+                        StageRecord r;
+                        r.total = sim::to_seconds(t3 - t0);
+                        r.network = sim::to_seconds(uplink_done - t0) -
+                            edge_exec_s + sim::to_seconds(t3 - cloud_done);
+                        if (r.network < 0.0)
+                            r.network = 0.0;
+                        r.mgmt = mgmt;
+                        r.data = data;
+                        r.exec = exec + edge_exec_s;
+                        cb(r);
+                    });
+            };
+            if (pipeline_.dedup_work_ms <= 0.0) {
+                after_stages(r1.mgmt_s, r1.data_s, r1.exec_s, r1.done);
+                return;
+            }
+            // Dedup child: HiveMind co-locates it with its parent so
+            // the hand-off is in-memory (Sec. 4.3).
+            cloud::InvokeRequest dd;
+            dd.app = pipeline_.dedup_app;
+            dd.work_core_ms = pipeline_.dedup_work_ms;
+            dd.memory_mb = pipeline_.memory_mb;
+            dd.input_bytes = pipeline_.inter_bytes;
+            dd.output_bytes = pipeline_.result_bytes;
+            if (dep_->options().smart_scheduler &&
+                r1.server != cloud::kNoServer) {
+                dd.preferred_server = r1.server;
+                dd.colocate_with_parent = true;
+            }
+            dep_->cloud_invoke(
+                dd, par,
+                [r1, after_stages = std::move(after_stages)](
+                    const CloudResult& r2) {
+                    after_stages(r1.mgmt_s + r2.mgmt_s,
+                                 r1.data_s + r2.data_s,
+                                 r1.exec_s + r2.exec_s, r2.done);
+                });
+        });
+    };
+
+    if (hivemind()) {
+        // Hybrid: the on-board pre-filter forwards candidate crops
+        // plus a thin resolution-dependent context stream, so the
+        // uplink grows only marginally with the raw camera rate
+        // (Fig. 17a: 8 MB @ 32 fps does not saturate the links).
+        edge::Device& dev = dep_->device(device);
+        double pre_work = pipeline_.rec_work_ms * 0.10;
+        dev.executor().submit(
+            pre_work,
+            [this, device, cloud_tail = std::move(cloud_tail),
+             done = std::move(done)](double pre_exec_s) mutable {
+                double raw = static_cast<double>(pipeline_.frame_bytes);
+                double reduced = 4.0 * 1024.0 * 1024.0 + 0.02 * raw;
+                std::uint64_t bytes = static_cast<std::uint64_t>(
+                    std::min(raw, reduced));
+                dep_->network().send_uplink(
+                    device, device % dep_->config().servers, bytes,
+                    [cloud_tail = std::move(cloud_tail), pre_exec_s,
+                     done = std::move(done)](sim::Time t1) mutable {
+                        cloud_tail(t1, pre_exec_s, std::move(done));
+                    });
+            });
+        return;
+    }
+
+    // Centralized (FaaS or IaaS): full frame uplink.
+    dep_->network().send_uplink(
+        device, device % dep_->config().servers, pipeline_.frame_bytes,
+        [cloud_tail = std::move(cloud_tail),
+         done = std::move(done)](sim::Time t1) mutable {
+            cloud_tail(t1, 0.0, std::move(done));
+        });
+}
+
+// ---------------------------------------------------------------------
+// Drone scenarios (A and B)
+// ---------------------------------------------------------------------
+
+void
+ScenarioHarness::setup_drones()
+{
+    if (sc_->kind == ScenarioKind::StationaryItems) {
+        items_ = std::make_unique<apps::ItemField>(
+            geo::Rect{0.0, 0.0, sc_->field_size_m, sc_->field_size_m},
+            sc_->targets, rng_);
+    } else {
+        crowd_ = std::make_unique<apps::CrowdField>(
+            geo::Rect{0.0, 0.0, sc_->field_size_m, sc_->field_size_m},
+            sc_->targets, 1.4, rng_);
+    }
+
+    if (hivemind()) {
+        detector_.set_on_failure([this](std::size_t device) {
+            // Fig. 10: split the failed device's region among its
+            // neighbours and rebuild their routes.
+            std::vector<std::size_t> changed =
+                balancer_.handle_failure(device);
+            for (std::size_t d : changed) {
+                if (dep_->device(d).alive())
+                    start_pass(d);
+            }
+        });
+        detector_.start();
+    }
+
+    for (std::size_t d = 0; d < dep_->device_count(); ++d) {
+        start_pass(d);
+        // Frame-driven recognition tasks.
+        auto gen = std::make_shared<std::function<void()>>();
+        *gen = [this, d, gen]() {
+            if (done_)
+                return;
+            edge::Device& dev = dep_->device(d);
+            if (dev.alive() && !detector_.is_failed(d))
+                frame_task(d);
+            dep_->simulator().schedule_in(
+                sim::from_seconds(
+                    rng_.exponential(1.0 / sc_->frame_task_rate_hz)),
+                [gen]() { (*gen)(); });
+        };
+        dep_->simulator().schedule_in(
+            sim::from_seconds(rng_.uniform(0.0, 1.0)),
+            [gen]() { (*gen)(); });
+
+        // Obstacle avoidance always runs on-board (Sec. 2.1).
+        auto oa = std::make_shared<std::function<void()>>();
+        *oa = [this, d, oa]() {
+            if (done_)
+                return;
+            if (dep_->device(d).alive())
+                obstacle_task(d);
+            dep_->simulator().schedule_in(
+                sim::from_seconds(
+                    rng_.exponential(1.0 / sc_->obstacle_rate_hz)),
+                [oa]() { (*oa)(); });
+        };
+        dep_->simulator().schedule_in(
+            sim::from_seconds(rng_.uniform(0.0, 0.5)), [oa]() { (*oa)(); });
+    }
+}
+
+void
+ScenarioHarness::start_pass(std::size_t device)
+{
+    edge::Device& dev = dep_->device(device);
+    std::vector<geo::Vec2> route =
+        balancer_.route_for(device, dev.spec().footprint_w);
+    if (route.empty())
+        return;
+    if (pass_[device] % 2 == 1)
+        std::reverse(route.begin(), route.end());
+    ++pass_[device];
+    dev.set_route(std::move(route));
+    moving_until_[device] = dev.route_complete_at();
+}
+
+void
+ScenarioHarness::frame_task(std::size_t device)
+{
+    edge::Device& dev = dep_->device(device);
+    geo::Vec2 pos = dev.position_at(dep_->simulator().now());
+    std::vector<std::size_t> visible;
+    if (items_) {
+        visible = items_->items_in_view(pos, dev.spec().footprint_w,
+                                        dev.spec().footprint_h);
+    } else if (crowd_) {
+        visible = crowd_->people_in_view(dep_->simulator().now(), pos,
+                                         dev.spec().footprint_w,
+                                         dev.spec().footprint_h);
+    }
+    pipeline(device, [this, device, visible](const StageRecord& r) {
+        record(r);
+        const apps::DetectionModel& model = learning_.model(device);
+        for (std::size_t target : visible) {
+            if (rng_.chance(model.p_correct())) {
+                if (items_)
+                    items_->mark_found(target);
+                else if (crowd_)
+                    crowd_->mark_counted(target);
+                learning_.record(device);
+            }
+        }
+        learning_.record(device);  // Every frame yields feedback.
+    });
+}
+
+void
+ScenarioHarness::obstacle_task(std::size_t device)
+{
+    // S4-style work, always on-board, kept off the latency books —
+    // it is part of flight control, not the application pipeline.
+    dep_->device(device).executor().submit(18.0 * 0.55, nullptr);
+}
+
+double
+ScenarioHarness::goal_fraction() const
+{
+    if (items_) {
+        return static_cast<double>(items_->found_count()) /
+            static_cast<double>(items_->item_count());
+    }
+    if (crowd_) {
+        return static_cast<double>(crowd_->counted_count()) /
+            static_cast<double>(crowd_->population());
+    }
+    // Rover scenarios: fraction of rovers that finished their course.
+    std::size_t finished = 0;
+    for (sim::Time t : done_at_) {
+        if (t >= 0)
+            ++finished;
+    }
+    return done_at_.empty()
+        ? 0.0
+        : static_cast<double>(finished) /
+            static_cast<double>(done_at_.size());
+}
+
+bool
+ScenarioHarness::goal_met() const
+{
+    return goal_fraction() >= 1.0;
+}
+
+// ---------------------------------------------------------------------
+// Rover scenarios
+// ---------------------------------------------------------------------
+
+void
+ScenarioHarness::setup_rovers()
+{
+    std::size_t n = dep_->device_count();
+    if (sc_->kind == ScenarioKind::TreasureHunt) {
+        for (std::size_t d = 0; d < n; ++d) {
+            auto region = balancer_.region_of(d);
+            courses_.emplace_back(*region,
+                                  static_cast<std::size_t>(sc_->course_legs),
+                                  rng_);
+        }
+    } else {
+        // Each rover gets its own random maze; steps from the
+        // wall-follower trace (S6's algorithm).
+        for (std::size_t d = 0; d < n; ++d) {
+            geo::Maze maze(sc_->maze_side, sc_->maze_side, rng_);
+            auto trace = geo::wall_follow(
+                maze, sc_->maze_side - 1, sc_->maze_side - 1,
+                static_cast<std::size_t>(sc_->maze_side) *
+                    static_cast<std::size_t>(sc_->maze_side) * 8);
+            maze_steps_.push_back(trace.size());
+        }
+    }
+    for (std::size_t d = 0; d < n; ++d)
+        rover_leg(d, 0);
+}
+
+void
+ScenarioHarness::rover_leg(std::size_t device, std::size_t leg)
+{
+    if (done_)
+        return;
+    edge::Device& dev = dep_->device(device);
+    if (!dev.alive())
+        return;
+
+    std::size_t total_legs = sc_->kind == ScenarioKind::TreasureHunt
+        ? courses_[device].panel_count()
+        : maze_steps_[device];
+    if (leg >= total_legs) {
+        done_at_[device] = dep_->simulator().now();
+        metrics_.job_latency_s.add(sim::to_seconds(done_at_[device]));
+        return;
+    }
+
+    // Drive to the next panel / through the next cell.
+    double dist;
+    if (sc_->kind == ScenarioKind::TreasureHunt) {
+        geo::Vec2 from = leg == 0 ? balancer_.region_of(device)->center()
+                                  : courses_[device].panel(leg - 1);
+        dist = from.distance_to(courses_[device].panel(leg));
+    } else {
+        dist = 1.0;  // One maze cell.
+    }
+    sim::Time drive = sim::from_seconds(dist / dev.spec().speed_mps);
+    moving_until_[device] = dep_->simulator().now() + drive;
+    dep_->simulator().schedule_in(drive, [this, device, leg]() {
+        if (done_ || !dep_->device(device).alive())
+            return;
+        // Photograph the panel / sense the walls, then wait for the
+        // processed instructions before moving on.
+        pipeline(device, [this, device, leg](const StageRecord& r) {
+            record(r);
+            learning_.record(device);
+            rover_leg(device, leg + 1);
+        });
+    });
+}
+
+// ---------------------------------------------------------------------
+// Ticking, completion, energy
+// ---------------------------------------------------------------------
+
+void
+ScenarioHarness::tick()
+{
+    if (done_)
+        return;
+    sim::Simulator& simulator = dep_->simulator();
+    sim::Time now = simulator.now();
+
+    dep_->settle_radio_energy();
+    if (sc_->inject_failure_at > 0 && now >= sc_->inject_failure_at &&
+        sc_->inject_failure_device < dep_->device_count()) {
+        dep_->device(sc_->inject_failure_device).set_failed(true);
+    }
+    for (std::size_t d = 0; d < dep_->device_count(); ++d) {
+        edge::Device& dev = dep_->device(d);
+        if (!dev.alive())
+            continue;
+        bool active = done_at_.empty() || done_at_[d] < 0;
+        if (is_drone_scenario()) {
+            // Drones hover (full motion power) for the whole mission.
+            dev.account_motion(1.0);
+        } else if (active && now <= moving_until_[d] + sim::kSecond) {
+            dev.account_motion(1.0);
+        }
+        dev.account_idle(1.0);
+        double busy = dev.executor().busy_seconds();
+        dev.account_compute(busy - compute_settled_[d]);
+        compute_settled_[d] = busy;
+
+        if (dev.battery().depleted()) {
+            dev.set_failed(true);  // Heartbeats stop; detector reacts.
+        } else if (hivemind() && is_drone_scenario()) {
+            detector_.beat(d);
+        }
+
+        // Sweeping drones start a new pass until the goal is met.
+        if (is_drone_scenario() && dev.alive() && !detector_.is_failed(d) &&
+            dev.route_done(now) && pass_[d] < sc_->max_passes &&
+            balancer_.region_of(d)) {
+            start_pass(d);
+        }
+    }
+
+    if (now - last_retrain_ >= sc_->retrain_interval) {
+        learning_.retrain();
+        last_retrain_ = now;
+    }
+
+    bool all_dead = true;
+    for (std::size_t d = 0; d < dep_->device_count(); ++d) {
+        if (dep_->device(d).alive())
+            all_dead = false;
+    }
+    bool passes_exhausted = false;
+    if (is_drone_scenario()) {
+        passes_exhausted = true;
+        for (std::size_t d = 0; d < dep_->device_count(); ++d) {
+            if (dep_->device(d).alive() && pass_[d] < sc_->max_passes)
+                passes_exhausted = false;
+        }
+    }
+
+    if (goal_met()) {
+        finish(true);
+        return;
+    }
+    if (now >= sc_->time_cap || all_dead ||
+        (passes_exhausted && metrics_.tasks_completed > 0)) {
+        finish(false);
+        return;
+    }
+    simulator.schedule_in(sim::kSecond, [this]() { tick(); });
+}
+
+void
+ScenarioHarness::finish(bool goal)
+{
+    done_ = true;
+    completion_ = dep_->simulator().now();
+    metrics_.completed = goal;
+    metrics_.goal_fraction = goal_fraction();
+    metrics_.completion_s = sim::to_seconds(completion_);
+    detector_.stop();
+    dep_->simulator().stop();
+}
+
+void
+ScenarioHarness::run()
+{
+    if (is_drone_scenario())
+        setup_drones();
+    else
+        setup_rovers();
+    dep_->simulator().schedule_in(sim::kSecond, [this]() { tick(); });
+    dep_->simulator().run_until(sc_->time_cap + 10 * sim::kSecond);
+    if (!done_)
+        finish(goal_met());
+}
+
+RunMetrics
+ScenarioHarness::take_metrics()
+{
+    for (std::size_t d = 0; d < dep_->device_count(); ++d) {
+        edge::Device& dev = dep_->device(d);
+        metrics_.battery_pct.add(dev.battery().consumed_percent());
+        metrics_.tasks_shed += dev.executor().shed();
+    }
+    sim::Summary bw = dep_->network().air_meter().rate_summary(completion_);
+    for (double r : bw.samples())
+        metrics_.bandwidth_MBps.add(r / 1e6);
+    metrics_.cold_starts = dep_->faas().cold_starts();
+    metrics_.warm_starts = dep_->faas().warm_starts();
+    metrics_.faults = dep_->faas().faults();
+    if (dep_->scheduler())
+        metrics_.respawns = dep_->scheduler()->respawns();
+    metrics_.cloud_rpc_cpu_s = dep_->network().cloud_rpc_cpu_seconds();
+    metrics_.detect_correct_pct = 100.0 * learning_.swarm_p_correct();
+    metrics_.detect_fn_pct = 100.0 * learning_.swarm_p_false_negative();
+    metrics_.detect_fp_pct = 100.0 * learning_.swarm_p_false_positive();
+    return metrics_;
+}
+
+}  // namespace
+
+RunMetrics
+run_scenario(const ScenarioConfig& scenario, const PlatformOptions& options,
+             const DeploymentConfig& deployment_config)
+{
+    Deployment dep(deployment_config, options);
+    ScenarioHarness harness(dep, scenario);
+    harness.run();
+    return harness.take_metrics();
+}
+
+}  // namespace hivemind::platform

@@ -1,0 +1,87 @@
+#pragma once
+
+/**
+ * @file
+ * End-to-end scenario runner.
+ *
+ * Drives the paper's four multi-phase scenarios to completion:
+ *  - Scenario A (Stationary Items): locate N tennis balls in a field.
+ *    The field is strip-partitioned, drones sweep their regions at
+ *    4 m/s collecting frames, an on-board obstacle-avoidance engine
+ *    always runs locally, and recognition (plus aggregation) runs
+ *    wherever the platform places it. Misses are retried on later
+ *    sweeps; retraining improves accuracy between passes.
+ *  - Scenario B (Moving People): count M moving people; recognition
+ *    feeds a deduplication stage (FaceNet-style), so the same person
+ *    seen by two drones is counted once.
+ *  - Treasure Hunt (rovers): each rover follows a chain of panels,
+ *    photographing each and waiting for image-to-text results that
+ *    reveal the next leg.
+ *  - Rover Maze: each rover traverses a maze with a wall-follower
+ *    planner invoked per step.
+ *
+ * The runner integrates battery (motion, compute, radio) once per
+ * second; a device whose battery empties fails — its heartbeats stop,
+ * and on HiveMind the controller repartitions its region (Fig. 10).
+ * Scenarios end when the goal is met, the time cap expires, or no
+ * device is left alive.
+ */
+
+#include <cstdint>
+
+#include "apps/detection.hpp"
+#include "platform/deployment.hpp"
+#include "platform/metrics.hpp"
+#include "platform/options.hpp"
+
+namespace hivemind::platform {
+
+/** Which end-to-end scenario to run. */
+enum class ScenarioKind
+{
+    StationaryItems,
+    MovingPeople,
+    TreasureHunt,
+    RoverMaze,
+};
+
+/** Human-readable scenario name. */
+const char* to_string(ScenarioKind k);
+
+/** Scenario parameters (defaults follow Sec. 2.1 / 5.5). */
+struct ScenarioConfig
+{
+    ScenarioKind kind = ScenarioKind::StationaryItems;
+    /** Operating area, meters. */
+    double field_size_m = 96.0;
+    /** Items (Scenario A: 15) or people (Scenario B: 25). */
+    std::size_t targets = 15;
+    /** Recognition tasks per device per second while sweeping. */
+    double frame_task_rate_hz = 1.0;
+    /** On-board obstacle-avoidance rate (always at the edge). */
+    double obstacle_rate_hz = 2.0;
+    /** Continuous-learning mode (Fig. 15). */
+    apps::RetrainMode retrain = apps::RetrainMode::Swarm;
+    apps::DetectionConfig detection;
+    /** Retraining round period. */
+    sim::Time retrain_interval = 10 * sim::kSecond;
+    /** Give-up horizon. */
+    sim::Time time_cap = 1500 * sim::kSecond;
+    /** Maximum coverage sweeps before declaring failure. */
+    int max_passes = 8;
+    /** Treasure hunt: panels per rover. / Maze: side length. */
+    int course_legs = 5;
+    int maze_side = 9;
+    /** Override the sensor frame size (0 = pipeline default). */
+    std::uint64_t frame_bytes_override = 0;
+    /** Fault injection: force-fail a device at this time (0 = off). */
+    sim::Time inject_failure_at = 0;
+    std::size_t inject_failure_device = 0;
+};
+
+/** Run one scenario on one platform. */
+RunMetrics run_scenario(const ScenarioConfig& scenario,
+                        const PlatformOptions& options,
+                        const DeploymentConfig& deployment_config);
+
+}  // namespace hivemind::platform

@@ -1,0 +1,18 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+
+namespace hivemind::sim {
+
+double
+Rng::bounded_pareto(double lo, double hi, double alpha)
+{
+    // Inverse-CDF sampling of the bounded Pareto distribution.
+    double u = uniform(0.0, 1.0);
+    double la = std::pow(lo, alpha);
+    double ha = std::pow(hi, alpha);
+    double x = -(u * ha - u * la - ha) / (ha * la);
+    return std::pow(x, -1.0 / alpha);
+}
+
+}  // namespace hivemind::sim

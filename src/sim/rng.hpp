@@ -1,0 +1,108 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic random-number generation for the simulator.
+ *
+ * Every source of randomness in HiveMind flows through an Rng seeded
+ * explicitly by the experiment harness, so that any run is exactly
+ * reproducible. The distributions here (lognormal service times,
+ * exponential arrivals, bounded pareto tails) are the standard
+ * building blocks for the queueing-network models the paper's
+ * simulator is based on (Sec. 5.6).
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace hivemind::sim {
+
+/** Seeded pseudo-random generator with convenience distributions. */
+class Rng
+{
+  public:
+    /** Construct with an explicit seed; identical seeds replay runs. */
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi)
+    {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    }
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return std::bernoulli_distribution(p)(engine_);
+    }
+
+    /** Exponential variate with the given mean (not rate). */
+    double exponential(double mean)
+    {
+        return std::exponential_distribution<double>(1.0 / mean)(engine_);
+    }
+
+    /** Normal variate. */
+    double normal(double mean, double stddev)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /**
+     * Lognormal variate parameterized by its median and the sigma of
+     * the underlying normal. Service times in serverless stacks are
+     * well described by lognormals (heavy right tail).
+     */
+    double lognormal_median(double median, double sigma)
+    {
+        return std::lognormal_distribution<double>(std::log(median),
+                                                   sigma)(engine_);
+    }
+
+    /**
+     * Bounded Pareto variate on [lo, hi] with shape @p alpha; used for
+     * the occasional extreme straggler.
+     */
+    double bounded_pareto(double lo, double hi, double alpha);
+
+    /** Pick an index in [0, n) uniformly. */
+    std::size_t pick(std::size_t n)
+    {
+        return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    }
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T>& v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = static_cast<std::size_t>(
+                uniform_int(0, static_cast<std::int64_t>(i) - 1));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Derive an independent child generator (stable given call order). */
+    Rng fork() { return Rng(engine_()); }
+
+    /** Access the raw engine (for std::shuffle-style use). */
+    std::mt19937_64& engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace hivemind::sim

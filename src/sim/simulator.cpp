@@ -1,0 +1,86 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace hivemind::sim {
+
+EventId
+Simulator::schedule_at(Time when, std::function<void()> fn)
+{
+    if (when < now_)
+        when = now_;
+    EventId id = next_id_++;
+    queue_.push(Entry{when, next_seq_++, id});
+    callbacks_.emplace(id, std::move(fn));
+    return id;
+}
+
+bool
+Simulator::cancel(EventId id)
+{
+    auto it = callbacks_.find(id);
+    if (it == callbacks_.end())
+        return false;
+    callbacks_.erase(it);
+    ++cancelled_count_;
+    return true;
+}
+
+bool
+Simulator::pop_live(Entry& out)
+{
+    while (!queue_.empty()) {
+        Entry e = queue_.top();
+        queue_.pop();
+        if (callbacks_.find(e.id) == callbacks_.end()) {
+            // Cancelled event: drop its tombstone.
+            --cancelled_count_;
+            continue;
+        }
+        out = e;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+Simulator::run_until(Time until)
+{
+    stopped_ = false;
+    std::uint64_t n = 0;
+    Entry e;
+    while (!stopped_ && pop_live(e)) {
+        if (e.when > until) {
+            // Requeue: caller may resume later.
+            queue_.push(e);
+            break;
+        }
+        now_ = e.when;
+        auto it = callbacks_.find(e.id);
+        auto fn = std::move(it->second);
+        callbacks_.erase(it);
+        if (fn)
+            fn();
+        ++executed_;
+        ++n;
+    }
+    return n;
+}
+
+bool
+Simulator::step()
+{
+    Entry e;
+    if (!pop_live(e))
+        return false;
+    now_ = e.when;
+    auto it = callbacks_.find(e.id);
+    auto fn = std::move(it->second);
+    callbacks_.erase(it);
+    if (fn)
+        fn();
+    ++executed_;
+    return true;
+}
+
+}  // namespace hivemind::sim

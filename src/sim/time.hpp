@@ -1,0 +1,65 @@
+#pragma once
+
+/**
+ * @file
+ * Simulated-time representation for the HiveMind discrete-event kernel.
+ *
+ * Time is an integer count of nanoseconds since the start of the
+ * simulation. Integer time keeps event ordering exact and runs
+ * reproducibly across platforms; helpers convert to and from floating
+ * point seconds for rate arithmetic.
+ */
+
+#include <cstdint>
+
+namespace hivemind::sim {
+
+/** Simulated time in nanoseconds since simulation start. */
+using Time = std::int64_t;
+
+/** One nanosecond. */
+inline constexpr Time kNanosecond = 1;
+/** One microsecond in nanoseconds. */
+inline constexpr Time kMicrosecond = 1'000;
+/** One millisecond in nanoseconds. */
+inline constexpr Time kMillisecond = 1'000'000;
+/** One second in nanoseconds. */
+inline constexpr Time kSecond = 1'000'000'000;
+
+/** Convert floating point seconds to simulated Time (rounding). */
+constexpr Time from_seconds(double s)
+{
+    return static_cast<Time>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+/** Convert floating point milliseconds to simulated Time. */
+constexpr Time from_millis(double ms)
+{
+    return static_cast<Time>(ms * static_cast<double>(kMillisecond) + 0.5);
+}
+
+/** Convert floating point microseconds to simulated Time. */
+constexpr Time from_micros(double us)
+{
+    return static_cast<Time>(us * static_cast<double>(kMicrosecond) + 0.5);
+}
+
+/** Convert simulated Time to floating point seconds. */
+constexpr double to_seconds(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/** Convert simulated Time to floating point milliseconds. */
+constexpr double to_millis(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/** Convert simulated Time to floating point microseconds. */
+constexpr double to_micros(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+}  // namespace hivemind::sim

@@ -1,0 +1,65 @@
+#pragma once
+
+/**
+ * @file
+ * Cross-tier API synthesis (Sec. 4.1).
+ *
+ * Once a placement is chosen, HiveMind "automatically synthesiz[es]
+ * the required APIs for data communication between computational
+ * steps": Thrift-style RPC stubs in C++ for edges that cross the
+ * cloud-edge boundary or connect two edge tasks on different devices,
+ * and OpenWhisk action interfaces (CouchDB data exchange, or the
+ * remote-memory fabric when available) for cloud-to-cloud edges.
+ * This module generates descriptor records and renders compilable
+ * C++ stub text — the "28,000 lines of C++ and Python" compiler path
+ * of Sec. 4.7, distilled.
+ */
+
+#include <string>
+#include <vector>
+
+#include "dsl/graph.hpp"
+#include "synth/placement.hpp"
+
+namespace hivemind::synth {
+
+/** The transport a synthesized API uses. */
+enum class ApiKind
+{
+    ThriftRpc,       ///< Edge <-> cloud or edge <-> edge (TCP/IP RPC).
+    OpenWhiskAction, ///< Cloud <-> cloud via CouchDB (default).
+    RemoteMemory,    ///< Cloud <-> cloud via the FPGA fabric (Sec. 4.4).
+    LocalCall,       ///< Same tier, same process: direct invocation.
+};
+
+/** Human-readable API kind. */
+const char* to_string(ApiKind k);
+
+/** One synthesized cross-task API. */
+struct ApiStub
+{
+    std::string name;     ///< e.g., "collectImage_to_faceRecognition".
+    std::string parent;
+    std::string child;
+    std::string dataset;  ///< The dataset flowing over the API.
+    ApiKind kind = ApiKind::LocalCall;
+
+    /** Render a compilable C++ stub declaration for this API. */
+    std::string render() const;
+};
+
+/**
+ * Synthesize the API set for @p placement.
+ *
+ * @param use_remote_memory replace CouchDB exchange with the
+ *        remote-memory fabric for cloud-to-cloud edges (Sec. 4.4).
+ */
+std::vector<ApiStub> synthesize_apis(const dsl::TaskGraph& graph,
+                                     const PlacementAssignment& placement,
+                                     bool use_remote_memory);
+
+/** Render a full C++ header for all of a placement's APIs. */
+std::string render_api_header(const dsl::TaskGraph& graph,
+                              const std::vector<ApiStub>& stubs);
+
+}  // namespace hivemind::synth

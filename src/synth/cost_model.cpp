@@ -1,0 +1,67 @@
+#include "synth/cost_model.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace hivemind::synth {
+
+PlacementEstimate
+estimate_placement(const dsl::TaskGraph& graph,
+                   const PlacementAssignment& placement,
+                   const CostModelParams& params)
+{
+    PlacementEstimate est;
+    auto topo = graph.topo_order();
+    if (!topo)
+        return est;
+
+    // Longest-path DP: finish[t] = max over parents of
+    //   finish[parent] + edge_cost(parent, t) + node_cost(t).
+    std::map<std::string, double> finish;
+
+    for (const std::string& name : *topo) {
+        const dsl::TaskDef& t = graph.task(name);
+        Location loc = placement.at(name);
+
+        // Node latency.
+        double node_s;
+        if (loc == Location::Edge) {
+            node_s = t.work_core_ms / 1000.0 / params.edge_cpu_factor;
+            est.edge_energy_j += node_s * params.compute_w;
+        } else {
+            int ways = std::min(t.parallelism, params.max_parallelism);
+            node_s = params.faas_mgmt_s + params.faas_instantiation_s +
+                t.work_core_ms / 1000.0 / static_cast<double>(ways);
+            est.cloud_cost +=
+                t.work_core_ms / 1000.0 * params.cloud_cost_per_core_s;
+        }
+
+        double start = 0.0;
+        for (const std::string& p : t.parents) {
+            auto pit = finish.find(p);
+            if (pit == finish.end())
+                continue;
+            const dsl::TaskDef& pt = graph.task(p);
+            Location ploc = placement.at(p);
+            double edge_s = 0.0;
+            std::uint64_t bytes = pt.output_bytes;
+            if (ploc != loc) {
+                // Wireless boundary crossing.
+                edge_s = params.wireless_latency_s +
+                    static_cast<double>(bytes) / params.uplink_Bps;
+                est.crossing_bytes += bytes;
+                est.edge_energy_j +=
+                    params.radio_j_per_byte * static_cast<double>(bytes);
+            } else if (loc == Location::Cloud) {
+                edge_s = params.cloud_sharing_s +
+                    static_cast<double>(bytes) / params.cloud_sharing_Bps;
+            }
+            start = std::max(start, pit->second + edge_s);
+        }
+        finish[name] = start + node_s;
+        est.latency_s = std::max(est.latency_s, finish[name]);
+    }
+    return est;
+}
+
+}  // namespace hivemind::synth

@@ -1,0 +1,75 @@
+#include "synth/placement.hpp"
+
+namespace hivemind::synth {
+
+const char*
+to_string(Location loc)
+{
+    return loc == Location::Edge ? "Edge" : "Cloud";
+}
+
+std::vector<PlacementAssignment>
+enumerate_placements(const dsl::TaskGraph& graph)
+{
+    std::vector<std::string> free_tasks;
+    PlacementAssignment pinned;
+    for (const std::string& name : graph.task_names()) {
+        const dsl::TaskDef& t = graph.task(name);
+        if (t.sensor_source || t.actuator_sink ||
+            t.placement == dsl::PlacementHint::Edge) {
+            pinned[name] = Location::Edge;
+        } else if (t.placement == dsl::PlacementHint::Cloud) {
+            pinned[name] = Location::Cloud;
+        } else {
+            free_tasks.push_back(name);
+        }
+    }
+
+    std::vector<PlacementAssignment> out;
+    std::uint64_t combos = 1ull << free_tasks.size();
+    out.reserve(combos);
+    for (std::uint64_t mask = 0; mask < combos; ++mask) {
+        PlacementAssignment a = pinned;
+        for (std::size_t i = 0; i < free_tasks.size(); ++i) {
+            a[free_tasks[i]] = (mask >> i) & 1 ? Location::Cloud
+                                               : Location::Edge;
+        }
+        out.push_back(std::move(a));
+    }
+    return out;
+}
+
+std::size_t
+count_crossings(const dsl::TaskGraph& graph,
+                const PlacementAssignment& placement)
+{
+    std::size_t n = 0;
+    for (const std::string& name : graph.task_names()) {
+        const dsl::TaskDef& t = graph.task(name);
+        auto it = placement.find(name);
+        if (it == placement.end())
+            continue;
+        for (const std::string& c : t.children) {
+            auto cit = placement.find(c);
+            if (cit != placement.end() && cit->second != it->second)
+                ++n;
+        }
+    }
+    return n;
+}
+
+std::string
+describe(const PlacementAssignment& placement)
+{
+    std::string out;
+    for (const auto& [task, loc] : placement) {
+        if (!out.empty())
+            out += ",";
+        out += task;
+        out += "@";
+        out += to_string(loc);
+    }
+    return out;
+}
+
+}  // namespace hivemind::synth

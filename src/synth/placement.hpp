@@ -1,0 +1,60 @@
+#pragma once
+
+/**
+ * @file
+ * Placement-space enumeration for program synthesis (Sec. 4.2).
+ *
+ * For a task graph with n unpinned tasks there are 2^n edge/cloud
+ * assignments; HiveMind enumerates the *meaningful* ones — "requiring
+ * the scenario to be meaningful reduces the search space by
+ * discarding execution models that would not make sense practically,
+ * e.g., collecting sensor data in the cloud." Pins come from three
+ * sources: user Place() directives, sensor sources (must run on the
+ * device), and actuator sinks (must run on the device).
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dsl/graph.hpp"
+
+namespace hivemind::synth {
+
+/** Where a task runs in a concrete execution model. */
+enum class Location
+{
+    Edge,
+    Cloud,
+};
+
+/** Human-readable location name. */
+const char* to_string(Location loc);
+
+/** One concrete execution model: task name -> location. */
+using PlacementAssignment = std::map<std::string, Location>;
+
+/**
+ * Enumerate all meaningful placements of @p graph.
+ *
+ * Pinned tasks (Place() directives, sensor sources, actuator sinks)
+ * take their forced location; all combinations of the remaining tasks
+ * are generated, in a deterministic order (task declaration order,
+ * edge-first).
+ */
+std::vector<PlacementAssignment>
+enumerate_placements(const dsl::TaskGraph& graph);
+
+/**
+ * The number of cloud-edge boundary crossings in an assignment — each
+ * crossing needs a synthesized RPC API; the count grows with the
+ * number of phases (Sec. 4.1).
+ */
+std::size_t count_crossings(const dsl::TaskGraph& graph,
+                            const PlacementAssignment& placement);
+
+/** Render an assignment as "task@Edge,task@Cloud,..." for tables. */
+std::string describe(const PlacementAssignment& placement);
+
+}  // namespace hivemind::synth

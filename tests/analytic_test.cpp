@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the queueing primitives and the analytic swarm model
+ * (src/analytic).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/model.hpp"
+#include "analytic/queueing.hpp"
+
+namespace hivemind::analytic {
+namespace {
+
+TEST(Queueing, ErlangCBasics)
+{
+    // Single server: Erlang-C reduces to rho.
+    EXPECT_NEAR(erlang_c(1, 0.5), 0.5, 1e-9);
+    EXPECT_NEAR(erlang_c(1, 0.9), 0.9, 1e-9);
+    // Overload saturates at 1.
+    EXPECT_DOUBLE_EQ(erlang_c(2, 3.0), 1.0);
+    // No load: no waiting.
+    EXPECT_DOUBLE_EQ(erlang_c(4, 0.0), 0.0);
+    // More servers at equal load wait less.
+    EXPECT_LT(erlang_c(4, 2.0), erlang_c(2, 1.8));
+}
+
+TEST(Queueing, Mm1Sojourn)
+{
+    EXPECT_NEAR(mm1_sojourn(0.5, 1.0), 2.0, 1e-9);
+    EXPECT_LT(mm1_sojourn(1.5, 1.0), 0.0);  // Unstable flagged.
+}
+
+TEST(Queueing, MmcMatchesMm1AtOneServer)
+{
+    EXPECT_NEAR(mmc_sojourn(0.5, 1.0, 1), mm1_sojourn(0.5, 1.0), 1e-9);
+}
+
+TEST(Queueing, MmcScalesWithServers)
+{
+    // 2 servers at half the per-server load wait less than 1.
+    double one = mmc_sojourn(0.8, 1.0, 1);
+    double two = mmc_sojourn(1.6, 1.0, 2);
+    EXPECT_GT(one, 0.0);
+    EXPECT_GT(two, 0.0);
+    EXPECT_LT(two, one);
+}
+
+TEST(Queueing, ExponentialPercentile)
+{
+    EXPECT_NEAR(exponential_percentile(1.0, 50.0), 0.6931, 1e-3);
+    EXPECT_NEAR(exponential_percentile(1.0, 99.0), 4.6052, 1e-3);
+    EXPECT_DOUBLE_EQ(exponential_percentile(0.0, 99.0), 0.0);
+}
+
+TEST(Queueing, SaturatedSojournGrowsWithOverload)
+{
+    double stable = saturated_sojourn(0.5, 1.0, 1, 120.0);
+    double near = saturated_sojourn(0.96, 1.0, 1, 120.0);
+    double over = saturated_sojourn(2.0, 1.0, 1, 120.0);
+    double way_over = saturated_sojourn(4.0, 1.0, 1, 120.0);
+    EXPECT_LT(stable, near);
+    EXPECT_LT(near, over);
+    EXPECT_LT(over, way_over);
+    EXPECT_GT(over, 30.0);  // Backlog over a 2-minute horizon.
+}
+
+TEST(Model, CentralizedUsesMoreBandwidthThanHiveMind)
+{
+    AnalyticInput in;
+    in.apply_platform(platform::PlatformOptions::centralized_faas());
+    auto centr = evaluate(in);
+    in = AnalyticInput{};
+    in.apply_platform(platform::PlatformOptions::hivemind());
+    auto hive = evaluate(in);
+    in = AnalyticInput{};
+    in.apply_platform(platform::PlatformOptions::distributed_edge());
+    auto distr = evaluate(in);
+    // Fig. 14b ordering: centralized > HiveMind > distributed.
+    EXPECT_GT(centr.bandwidth_MBps, hive.bandwidth_MBps);
+    EXPECT_GT(hive.bandwidth_MBps, distr.bandwidth_MBps);
+}
+
+TEST(Model, DistributedSlowerForHeavyCompute)
+{
+    AnalyticInput in;
+    in.work_core_ms = 350.0;
+    in.task_rate_hz = 0.4;  // Keep the edge core stable.
+    in.apply_platform(platform::PlatformOptions::distributed_edge());
+    auto distr = evaluate(in);
+    AnalyticInput in2 = in;
+    in2.apply_platform(platform::PlatformOptions::centralized_faas());
+    auto centr = evaluate(in2);
+    EXPECT_GT(distr.mean_latency_s, centr.mean_latency_s);
+}
+
+TEST(Model, CentralizedCollapsesAtScale)
+{
+    // Fig. 1 / 17b: with 1000+ devices the centralized stack
+    // saturates (controller + network), HiveMind does not.
+    AnalyticInput in;
+    in.devices = 1000;
+    in.scale_infra = true;
+    in.apply_platform(platform::PlatformOptions::centralized_faas());
+    auto centr = evaluate(in);
+    AnalyticInput in2;
+    in2.devices = 1000;
+    in2.scale_infra = true;
+    in2.apply_platform(platform::PlatformOptions::hivemind());
+    auto hive = evaluate(in2);
+    EXPECT_GT(centr.tail_latency_s, 10.0 * hive.tail_latency_s);
+    EXPECT_GT(centr.max_utilization, 0.97);
+    EXPECT_LT(hive.max_utilization, 0.97);
+}
+
+TEST(Model, TailAboveMean)
+{
+    AnalyticInput in;
+    for (auto opt : {platform::PlatformOptions::centralized_faas(),
+                     platform::PlatformOptions::distributed_edge(),
+                     platform::PlatformOptions::hivemind()}) {
+        AnalyticInput i = in;
+        i.apply_platform(opt);
+        auto out = evaluate(i);
+        EXPECT_GT(out.tail_latency_s, out.mean_latency_s);
+        EXPECT_GT(out.mean_latency_s, 0.0);
+    }
+}
+
+TEST(Model, ApplyAppCopiesWorkload)
+{
+    AnalyticInput in;
+    in.apply_app(apps::app_by_id("S1"));
+    EXPECT_DOUBLE_EQ(in.work_core_ms, 350.0);
+    EXPECT_EQ(in.input_bytes, 8u << 20);
+    EXPECT_EQ(in.parallelism, 8);
+}
+
+TEST(Model, BatteryDominatedByMotion)
+{
+    AnalyticInput in;
+    in.apply_platform(platform::PlatformOptions::hivemind());
+    auto out = evaluate(in);
+    // 80 W motion on a 60 kJ pack is ~8%/min; idle adds a little.
+    EXPECT_GT(out.battery_pct_per_min, 7.0);
+    EXPECT_LT(out.battery_pct_per_min, 12.0);
+}
+
+/** Property: latency is monotone in offered load (fixed capacity). */
+class LoadMonotonicity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LoadMonotonicity, MoreDevicesNeverFaster)
+{
+    double prev = 0.0;
+    platform::PlatformOptions opt =
+        GetParam() == 0 ? platform::PlatformOptions::centralized_faas()
+                        : platform::PlatformOptions::hivemind();
+    for (std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
+        AnalyticInput in;
+        in.devices = n;
+        in.apply_platform(opt);
+        auto out = evaluate(in);
+        EXPECT_GE(out.mean_latency_s, prev * 0.999);
+        prev = out.mean_latency_s;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, LoadMonotonicity,
+                         ::testing::Values(0, 1));
+
+}  // namespace
+}  // namespace hivemind::analytic

@@ -1,0 +1,551 @@
+/**
+ * @file
+ * Tests for the cloud substrate: servers, the CouchDB-model store,
+ * data-sharing protocols, the FaaS runtime, and the IaaS pool
+ * (src/cloud).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cloud/datastore.hpp"
+#include "cloud/faas.hpp"
+#include "cloud/iaas.hpp"
+#include "cloud/server.hpp"
+#include "cloud/sharing.hpp"
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace hivemind::cloud {
+namespace {
+
+TEST(Server, CoreAndMemoryAccounting)
+{
+    Server s(0, 4, 1024);
+    EXPECT_TRUE(s.can_host(256));
+    s.acquire_core();
+    s.acquire_memory(256);
+    EXPECT_EQ(s.busy_cores(), 1);
+    EXPECT_EQ(s.free_cores(), 3);
+    EXPECT_EQ(s.used_memory_mb(), 256u);
+    EXPECT_DOUBLE_EQ(s.occupancy(), 0.25);
+    s.release_core();
+    s.release_memory(256);
+    EXPECT_EQ(s.busy_cores(), 0);
+    EXPECT_EQ(s.used_memory_mb(), 0u);
+}
+
+TEST(Server, CapacityLimits)
+{
+    Server s(0, 1, 512);
+    s.acquire_core();
+    EXPECT_FALSE(s.can_host(128));  // No core left.
+    s.release_core();
+    s.acquire_memory(512);
+    EXPECT_FALSE(s.can_host(1));  // No memory left.
+    EXPECT_TRUE(s.has_memory(0));
+}
+
+TEST(Server, ProbationExcludesFromHosting)
+{
+    Server s(0, 4, 1024);
+    s.set_probation(true);
+    EXPECT_FALSE(s.can_host(128));
+    s.set_probation(false);
+    EXPECT_TRUE(s.can_host(128));
+}
+
+TEST(Cluster, LeastLoadedPicksEmptiest)
+{
+    Cluster c(3, 4, 1024);
+    c.server(0).acquire_core();
+    c.server(0).acquire_core();
+    c.server(1).acquire_core();
+    auto pick = c.least_loaded(128);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 2u);
+    EXPECT_EQ(c.total_free_cores(), 9);
+}
+
+TEST(Cluster, LeastLoadedNulloptWhenFull)
+{
+    Cluster c(2, 1, 1024);
+    c.server(0).acquire_core();
+    c.server(1).acquire_core();
+    EXPECT_FALSE(c.least_loaded(128).has_value());
+}
+
+TEST(DataStore, BaseLatency)
+{
+    sim::Simulator s;
+    sim::Rng rng(1);
+    DataStoreConfig cfg;
+    cfg.jitter_sigma = 0.0;  // Deterministic for the assertion.
+    DataStore store(s, rng, cfg);
+    sim::Time done = 0;
+    store.access(0, [&] { done = s.now(); });
+    s.run();
+    // handle_lookup + base_latency = 3 + 10 ms.
+    EXPECT_EQ(done, sim::from_millis(13.0));
+}
+
+TEST(DataStore, SizeDependentTransfer)
+{
+    sim::Simulator s;
+    sim::Rng rng(1);
+    DataStoreConfig cfg;
+    cfg.jitter_sigma = 0.0;
+    DataStore store(s, rng, cfg);
+    sim::Time small = 0, large = 0;
+    store.access(1024, [&] { small = s.now(); });
+    s.run();
+    sim::Simulator s2;
+    DataStore store2(s2, rng, cfg);
+    store2.access(100u << 20, [&] { large = s2.now(); });
+    s2.run();
+    EXPECT_GT(large, small + sim::from_millis(300.0));
+}
+
+TEST(DataStore, ContentionQueues)
+{
+    sim::Simulator s;
+    sim::Rng rng(1);
+    DataStoreConfig cfg;
+    cfg.handlers = 2;
+    cfg.jitter_sigma = 0.0;
+    DataStore store(s, rng, cfg);
+    sim::Time last = 0;
+    for (int i = 0; i < 10; ++i)
+        store.access(0, [&] { last = s.now(); });
+    s.run();
+    // 10 requests over 2 handlers at 10 ms -> ~5 rounds of service.
+    EXPECT_GE(last, sim::from_millis(3.0 + 5 * 10.0 - 0.01));
+    EXPECT_EQ(store.requests(), 10u);
+}
+
+TEST(Sharing, ProtocolOrdering)
+{
+    // Fig. 6c: CouchDB > direct RPC > in-memory, and the FPGA remote
+    // memory fabric sits near in-memory.
+    sim::Simulator s;
+    sim::Rng rng(2);
+    DataStoreConfig dcfg;
+    DataStore store(s, rng, dcfg);
+    DataSharingFabric fabric(s, rng, store, SharingConfig{});
+    const std::uint64_t bytes = 256 << 10;
+    for (int i = 0; i < 40; ++i) {
+        fabric.share(SharingProtocol::CouchDb, bytes, nullptr);
+        fabric.share(SharingProtocol::DirectRpc, bytes, nullptr);
+        fabric.share(SharingProtocol::InMemory, bytes, nullptr);
+        fabric.share(SharingProtocol::RemoteMemory, bytes, nullptr);
+        s.run();
+    }
+    double couch = fabric.latency(SharingProtocol::CouchDb).mean();
+    double rpc = fabric.latency(SharingProtocol::DirectRpc).mean();
+    double mem = fabric.latency(SharingProtocol::InMemory).mean();
+    double rdma = fabric.latency(SharingProtocol::RemoteMemory).mean();
+    EXPECT_GT(couch, rpc);
+    EXPECT_GT(rpc, mem);
+    EXPECT_GT(rpc, rdma);
+    EXPECT_LT(rdma, 10.0 * mem + 1e-4);
+}
+
+TEST(Sharing, ToStringNames)
+{
+    EXPECT_STREQ(to_string(SharingProtocol::CouchDb), "CouchDB");
+    EXPECT_STREQ(to_string(SharingProtocol::RemoteMemory), "RemoteMem");
+}
+
+class FaasFixture : public ::testing::Test
+{
+  protected:
+    FaasFixture()
+        : rng_(99),
+          cluster_(4, 8, 32 * 1024),
+          store_(simulator_, rng_, DataStoreConfig{})
+    {
+    }
+
+    FaasRuntime
+    make(FaasConfig cfg)
+    {
+        return FaasRuntime(simulator_, rng_, cluster_, store_, cfg);
+    }
+
+    sim::Simulator simulator_;
+    sim::Rng rng_;
+    Cluster cluster_;
+    DataStore store_;
+};
+
+TEST_F(FaasFixture, TraceIsMonotone)
+{
+    FaasRuntime rt = make(FaasConfig{});
+    InvokeRequest req;
+    req.app = "a";
+    req.work_core_ms = 50.0;
+    req.input_bytes = 64 << 10;
+    req.output_bytes = 16 << 10;
+    InvocationTrace trace;
+    bool done = false;
+    rt.invoke(req, [&](const InvocationTrace& t) {
+        trace = t;
+        done = true;
+    });
+    simulator_.run();
+    ASSERT_TRUE(done);
+    EXPECT_LE(trace.submit, trace.scheduled);
+    EXPECT_LE(trace.scheduled, trace.container_ready);
+    EXPECT_LE(trace.container_ready, trace.input_ready);
+    EXPECT_LE(trace.input_ready, trace.exec_done);
+    EXPECT_LE(trace.exec_done, trace.done);
+    EXPECT_TRUE(trace.cold_start);
+    EXPECT_GT(trace.instantiation_s(), 0.05);  // Cold start dominates.
+    EXPECT_GT(trace.exec_s(), 0.0);
+    EXPECT_NEAR(trace.total_s(),
+                trace.mgmt_s() + trace.instantiation_s() + trace.data_s() +
+                    trace.exec_s(),
+                1e-9);
+}
+
+TEST_F(FaasFixture, WarmReuseWithinKeepalive)
+{
+    FaasConfig cfg;
+    cfg.keepalive = 5 * sim::kSecond;
+    FaasRuntime rt = make(cfg);
+    InvokeRequest req;
+    req.app = "a";
+    req.work_core_ms = 10.0;
+    bool second_cold = true;
+    rt.invoke(req, [&](const InvocationTrace&) {
+        simulator_.schedule_in(sim::kSecond, [&]() {
+            rt.invoke(req, [&](const InvocationTrace& t2) {
+                second_cold = t2.cold_start;
+            });
+        });
+    });
+    simulator_.run();
+    EXPECT_FALSE(second_cold);
+    EXPECT_EQ(rt.cold_starts(), 1u);
+    EXPECT_EQ(rt.warm_starts(), 1u);
+}
+
+TEST_F(FaasFixture, KeepaliveExpiryForcesColdStart)
+{
+    FaasConfig cfg;
+    cfg.keepalive = sim::from_millis(200.0);
+    FaasRuntime rt = make(cfg);
+    InvokeRequest req;
+    req.app = "a";
+    req.work_core_ms = 10.0;
+    bool second_cold = false;
+    rt.invoke(req, [&](const InvocationTrace&) {
+        simulator_.schedule_in(10 * sim::kSecond, [&]() {
+            rt.invoke(req, [&](const InvocationTrace& t2) {
+                second_cold = t2.cold_start;
+            });
+        });
+    });
+    simulator_.run();
+    EXPECT_TRUE(second_cold);
+    EXPECT_EQ(rt.cold_starts(), 2u);
+}
+
+TEST_F(FaasFixture, WarmContainersArelPerApp)
+{
+    FaasConfig cfg;
+    cfg.keepalive = 20 * sim::kSecond;
+    FaasRuntime rt = make(cfg);
+    InvokeRequest a;
+    a.app = "a";
+    a.work_core_ms = 5.0;
+    InvokeRequest b;
+    b.app = "b";
+    b.work_core_ms = 5.0;
+    bool b_cold = false;
+    rt.invoke(a, [&](const InvocationTrace&) {
+        simulator_.schedule_in(sim::kSecond, [&]() {
+            rt.invoke(b, [&](const InvocationTrace& t) {
+                b_cold = t.cold_start;
+            });
+        });
+    });
+    simulator_.run();
+    EXPECT_TRUE(b_cold);  // "a"'s container cannot serve "b".
+}
+
+TEST_F(FaasFixture, FaultsRespawnAndComplete)
+{
+    FaasConfig cfg;
+    cfg.fault_prob = 0.5;
+    FaasRuntime rt = make(cfg);
+    int completions = 0;
+    int attempts_total = 0;
+    InvokeRequest req;
+    req.app = "a";
+    req.work_core_ms = 20.0;
+    for (int i = 0; i < 40; ++i) {
+        rt.invoke(req, [&](const InvocationTrace& t) {
+            ++completions;
+            attempts_total += t.attempts;
+        });
+    }
+    simulator_.run();
+    EXPECT_EQ(completions, 40);      // Every task eventually completes.
+    EXPECT_GT(rt.faults(), 5u);      // Faults actually happened.
+    EXPECT_GT(attempts_total, 40);   // Respawns recorded.
+}
+
+TEST_F(FaasFixture, ConcurrencyLimitQueues)
+{
+    FaasConfig cfg;
+    cfg.max_concurrency = 4;
+    FaasRuntime rt = make(cfg);
+    int completions = 0;
+    InvokeRequest req;
+    req.app = "a";
+    req.work_core_ms = 100.0;
+    for (int i = 0; i < 20; ++i)
+        rt.invoke(req, [&](const InvocationTrace&) { ++completions; });
+    simulator_.run();
+    EXPECT_EQ(completions, 20);
+}
+
+TEST_F(FaasFixture, CoresNeverOversubscribed)
+{
+    FaasConfig cfg;
+    FaasRuntime rt = make(cfg);
+    InvokeRequest req;
+    req.app = "a";
+    req.work_core_ms = 200.0;
+    // 4 servers x 8 cores = 32 cores; offer 100 tasks.
+    int completions = 0;
+    for (int i = 0; i < 100; ++i)
+        rt.invoke(req, [&](const InvocationTrace&) { ++completions; });
+    bool ok = true;
+    for (int t = 1; t <= 50; ++t) {
+        simulator_.schedule_in(t * sim::from_millis(20.0), [&]() {
+            for (const Server& s : cluster_.servers()) {
+                if (s.busy_cores() > s.cores())
+                    ok = false;
+            }
+        });
+    }
+    simulator_.run();
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(completions, 100);
+    EXPECT_EQ(cluster_.total_free_cores(), 32);
+}
+
+TEST_F(FaasFixture, PlacementPolicyOverride)
+{
+    FaasRuntime rt = make(FaasConfig{});
+    rt.set_placement_policy(
+        [](const InvokeRequest&, const Cluster&,
+           std::optional<std::size_t>) -> std::optional<std::size_t> {
+            return 3;
+        });
+    InvokeRequest req;
+    req.app = "a";
+    req.work_core_ms = 5.0;
+    std::size_t server = kNoServer;
+    rt.invoke(req, [&](const InvocationTrace& t) { server = t.server; });
+    simulator_.run();
+    EXPECT_EQ(server, 3u);
+}
+
+TEST_F(FaasFixture, ParallelFanoutFasterForLargeWork)
+{
+    FaasConfig cfg;
+    cfg.straggler_prob = 0.0;
+    FaasRuntime rt = make(cfg);
+    InvokeRequest req;
+    req.app = "big";
+    req.work_core_ms = 2000.0;
+    double serial_s = 0.0, parallel_s = 0.0;
+    rt.invoke(req, [&](const InvocationTrace& t) { serial_s = t.total_s(); });
+    simulator_.run();
+    rt.invoke_parallel(req, 8, [&](const InvocationTrace& t) {
+        parallel_s = t.total_s();
+    });
+    simulator_.run();
+    EXPECT_GT(serial_s, 0.0);
+    EXPECT_GT(parallel_s, 0.0);
+    EXPECT_LT(parallel_s, serial_s * 0.55);
+}
+
+TEST_F(FaasFixture, ActiveSeriesTracksLoad)
+{
+    FaasRuntime rt = make(FaasConfig{});
+    InvokeRequest req;
+    req.app = "a";
+    req.work_core_ms = 50.0;
+    for (int i = 0; i < 5; ++i)
+        rt.invoke(req, nullptr);
+    EXPECT_EQ(rt.active(), 5);
+    simulator_.run();
+    EXPECT_EQ(rt.active(), 0);
+    EXPECT_FALSE(rt.active_series().empty());
+    EXPECT_EQ(rt.completed(), 5u);
+}
+
+TEST(Iaas, NoInstantiationFastPath)
+{
+    sim::Simulator s;
+    sim::Rng rng(4);
+    IaasConfig cfg;
+    cfg.workers = 2;
+    IaasPool pool(s, rng, cfg);
+    IaasTrace trace;
+    pool.submit(50.0, [&](const IaasTrace& t) { trace = t; });
+    s.run();
+    // LB service (1/800 s) + dispatch hop only; no instantiation.
+    EXPECT_NEAR(trace.queue_s(), 0.0008 + 1.0 / 800.0, 1e-4);
+    EXPECT_GT(trace.total_s(), 0.04);
+}
+
+TEST(Iaas, SaturationQueues)
+{
+    sim::Simulator s;
+    sim::Rng rng(4);
+    IaasConfig cfg;
+    cfg.workers = 2;
+    cfg.interference_sigma = 0.0;
+    cfg.straggler_prob = 0.0;
+    IaasPool pool(s, rng, cfg);
+    sim::Summary waits;
+    for (int i = 0; i < 20; ++i) {
+        pool.submit(100.0,
+                    [&](const IaasTrace& t) { waits.add(t.queue_s()); });
+    }
+    s.run();
+    EXPECT_EQ(pool.completed(), 20u);
+    // 20 tasks, 2 workers, 100 ms each: the last waits ~900 ms.
+    EXPECT_GT(waits.max(), 0.5);
+    EXPECT_EQ(pool.active(), 0);
+}
+
+TEST_F(FaasFixture, WarmParkingDeclinesUnderMemoryPressure)
+{
+    // Tiny-memory servers: after completion there is no headroom to
+    // keep the idle container resident, so the next start is cold.
+    sim::Simulator s;
+    sim::Rng rng(7);
+    Cluster tight(1, 4, 300);  // 300 MB total.
+    DataStore store(s, rng, DataStoreConfig{});
+    FaasConfig cfg;
+    cfg.keepalive = 30 * sim::kSecond;
+    FaasRuntime rt(s, rng, tight, store, cfg);
+    InvokeRequest req;
+    req.app = "fat";
+    req.memory_mb = 256;
+    req.work_core_ms = 10.0;
+    bool second_cold = false;
+    rt.invoke(req, [&](const InvocationTrace&) {
+        s.schedule_in(sim::kSecond, [&]() {
+            // A second app occupies the memory the parked container
+            // would have needed.
+            InvokeRequest other;
+            other.app = "other";
+            other.memory_mb = 256;
+            other.work_core_ms = 5.0;
+            rt.invoke(other, [&](const InvocationTrace& t2) {
+                second_cold = t2.cold_start;
+            });
+        });
+    });
+    s.run();
+    // The fat container could not stay warm (only 300 - 256 < 256 MB
+    // headroom), so "other" cold-starts but can be placed.
+    EXPECT_TRUE(second_cold);
+    EXPECT_EQ(tight.server(0).used_memory_mb(), 0u);
+}
+
+TEST_F(FaasFixture, WarmClaimFollowsFreeCoreToAnotherServer)
+{
+    FaasConfig cfg;
+    cfg.keepalive = 30 * sim::kSecond;
+    FaasRuntime rt = make(cfg);
+    InvokeRequest req;
+    req.app = "a";
+    req.work_core_ms = 5.0;
+    // Warm a container on some server, then saturate that server's
+    // cores and warm another elsewhere; the claim must follow.
+    std::size_t first_server = kNoServer;
+    rt.invoke(req, [&](const InvocationTrace& t) {
+        first_server = t.server;
+    });
+    simulator_.run();
+    ASSERT_NE(first_server, kNoServer);
+    for (int i = 0; i < 8; ++i)
+        cluster_.server(first_server).acquire_core();
+    bool warm = false;
+    std::size_t second_server = kNoServer;
+    req.preferred_server = first_server;
+    rt.invoke(req, [&](const InvocationTrace& t) {
+        warm = !t.cold_start;
+        second_server = t.server;
+    });
+    simulator_.run();
+    // No core on the warm server: the invocation runs elsewhere
+    // (cold) rather than deadlocking.
+    EXPECT_NE(second_server, first_server);
+    EXPECT_FALSE(warm);
+}
+
+TEST(LinkExtras, RateChangeAffectsNewTransfers)
+{
+    sim::Simulator s;
+    net::Link link(s, "l", 8e6, 0);
+    sim::Time first = link.transfer(1'000'000, nullptr);
+    EXPECT_EQ(first, sim::kSecond);
+    link.set_rate_bps(16e6);
+    sim::Time second = link.transfer(1'000'000, nullptr);
+    EXPECT_EQ(second, sim::kSecond + sim::kSecond / 2);
+    EXPECT_DOUBLE_EQ(link.rate_bps(), 16e6);
+}
+
+/** Property: interference grows with server occupancy. */
+class InterferenceProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(InterferenceProperty, BusyClusterIsMoreVariable)
+{
+    sim::Simulator s;
+    sim::Rng rng(static_cast<std::uint64_t>(GetParam()));
+    Cluster idle_cluster(2, 32, 64 * 1024);
+    Cluster busy_cluster(2, 32, 64 * 1024);
+    DataStore store(s, rng, DataStoreConfig{});
+    FaasConfig cfg;
+    cfg.straggler_prob = 0.0;
+    FaasRuntime idle_rt(s, rng, idle_cluster, store, cfg);
+    FaasRuntime busy_rt(s, rng, busy_cluster, store, cfg);
+    // Pre-occupy the busy cluster.
+    for (int i = 0; i < 28; ++i) {
+        busy_cluster.server(0).acquire_core();
+        busy_cluster.server(1).acquire_core();
+    }
+    sim::Summary idle_lat, busy_lat;
+    InvokeRequest req;
+    req.app = "x";
+    req.work_core_ms = 100.0;
+    for (int i = 0; i < 60; ++i) {
+        idle_rt.invoke(req, [&](const InvocationTrace& t) {
+            idle_lat.add(t.exec_s());
+        });
+        busy_rt.invoke(req, [&](const InvocationTrace& t) {
+            busy_lat.add(t.exec_s());
+        });
+        s.run();
+    }
+    double idle_spread = idle_lat.p99() / idle_lat.median();
+    double busy_spread = busy_lat.p99() / busy_lat.median();
+    EXPECT_GT(busy_spread, idle_spread * 0.9);
+    EXPECT_GT(busy_lat.stddev(), idle_lat.stddev() * 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterferenceProperty,
+                         ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace hivemind::cloud

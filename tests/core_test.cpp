@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Tests for the HiveMind controller: heartbeats, load balancing,
+ * the serverless scheduler, and continuous learning (src/core).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "core/heartbeat.hpp"
+#include "core/learning.hpp"
+#include "core/load_balancer.hpp"
+#include "core/monitor.hpp"
+#include "core/scheduler.hpp"
+
+namespace hivemind::core {
+namespace {
+
+TEST(FailureDetector, DetectsSilenceAfterTimeout)
+{
+    sim::Simulator s;
+    FailureDetector fd(s, 3);
+    std::vector<std::size_t> failures;
+    fd.set_on_failure([&](std::size_t d) { failures.push_back(d); });
+    fd.start();
+    // Devices 0 and 2 keep beating; device 1 goes silent at t=5 s.
+    for (int t = 1; t <= 20; ++t) {
+        s.schedule_at(t * sim::kSecond - 1, [&fd, t]() {
+            fd.beat(0);
+            fd.beat(2);
+            if (t <= 5)
+                fd.beat(1);
+        });
+    }
+    s.run_until(20 * sim::kSecond);
+    fd.stop();
+    s.run();
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0], 1u);
+    EXPECT_TRUE(fd.is_failed(1));
+    EXPECT_FALSE(fd.is_failed(0));
+    EXPECT_EQ(fd.failed_count(), 1u);
+    // Detection within ~timeout + one sweep (3 + 1 s).
+    ASSERT_EQ(fd.detection_latencies().size(), 1u);
+    EXPECT_LE(fd.detection_latencies()[0], 4.1);
+    EXPECT_GT(fd.detection_latencies()[0], 3.0);
+}
+
+TEST(FailureDetector, NoFalsePositivesWhileBeating)
+{
+    sim::Simulator s;
+    FailureDetector fd(s, 4);
+    int failures = 0;
+    fd.set_on_failure([&](std::size_t) { ++failures; });
+    fd.start();
+    for (int t = 1; t <= 30; ++t) {
+        s.schedule_at(t * sim::kSecond - 1, [&fd]() {
+            for (std::size_t d = 0; d < 4; ++d)
+                fd.beat(d);
+        });
+    }
+    s.run_until(30 * sim::kSecond);
+    fd.stop();
+    s.run();
+    EXPECT_EQ(failures, 0);
+}
+
+TEST(LoadBalancer, EqualInitialPartition)
+{
+    geo::Rect field{0, 0, 96, 96};
+    SwarmLoadBalancer lb(field, 16);
+    EXPECT_EQ(lb.active_devices().size(), 16u);
+    for (std::size_t d = 0; d < 16; ++d) {
+        auto r = lb.region_of(d);
+        ASSERT_TRUE(r.has_value());
+        EXPECT_NEAR(r->area(), field.area() / 16.0, 1e-9);
+    }
+    EXPECT_NEAR(lb.assigned_area(), field.area(), 1e-6);
+}
+
+TEST(LoadBalancer, FailureRepartitionConservesArea)
+{
+    geo::Rect field{0, 0, 96, 96};
+    SwarmLoadBalancer lb(field, 8);
+    auto changed = lb.handle_failure(3);
+    // Fig. 10: the neighbours absorb the freed strip.
+    ASSERT_EQ(changed.size(), 2u);
+    EXPECT_EQ(changed[0], 2u);
+    EXPECT_EQ(changed[1], 4u);
+    EXPECT_FALSE(lb.region_of(3).has_value());
+    EXPECT_EQ(lb.active_devices().size(), 7u);
+    EXPECT_NEAR(lb.assigned_area(), field.area(), 1e-6);
+    // Neighbours' regions grew.
+    EXPECT_GT(lb.region_of(2)->area(), field.area() / 8.0);
+    EXPECT_GT(lb.region_of(4)->area(), field.area() / 8.0);
+}
+
+TEST(LoadBalancer, CascadingFailuresDownToOne)
+{
+    geo::Rect field{0, 0, 90, 30};
+    SwarmLoadBalancer lb(field, 5);
+    for (std::size_t d = 0; d < 4; ++d)
+        lb.handle_failure(d);
+    EXPECT_EQ(lb.active_devices().size(), 1u);
+    EXPECT_NEAR(lb.region_of(4)->area(), field.area(), 1e-6);
+    // Last device failing leaves nothing assigned.
+    lb.handle_failure(4);
+    EXPECT_TRUE(lb.active_devices().empty());
+    EXPECT_DOUBLE_EQ(lb.assigned_area(), 0.0);
+}
+
+TEST(LoadBalancer, RouteForCoversRegion)
+{
+    SwarmLoadBalancer lb(geo::Rect{0, 0, 96, 96}, 16);
+    auto route = lb.route_for(0, 6.7);
+    EXPECT_FALSE(route.empty());
+    EXPECT_TRUE(lb.route_for(99, 6.7).empty());  // Unknown device.
+}
+
+class SchedulerFixture : public ::testing::Test
+{
+  protected:
+    SchedulerFixture()
+        : rng_(5),
+          cluster_(4, 8, 32 * 1024),
+          store_(simulator_, rng_, cloud::DataStoreConfig{}),
+          runtime_(simulator_, rng_, cluster_, store_,
+                   cloud::FaasConfig{}),
+          scheduler_(simulator_, rng_, runtime_, SchedulerConfig{})
+    {
+        scheduler_.install();
+    }
+
+    sim::Simulator simulator_;
+    sim::Rng rng_;
+    cloud::Cluster cluster_;
+    cloud::DataStore store_;
+    cloud::FaasRuntime runtime_;
+    HiveMindScheduler scheduler_;
+};
+
+TEST_F(SchedulerFixture, InstallWidensKeepalive)
+{
+    // Sec. 4.3: keep-alive between 10 and 30 s.
+    EXPECT_GE(runtime_.config().keepalive, 10 * sim::kSecond);
+    EXPECT_LE(runtime_.config().keepalive, 30 * sim::kSecond);
+}
+
+TEST_F(SchedulerFixture, ParentCoLocationHonored)
+{
+    cloud::InvokeRequest req;
+    req.app = "child";
+    req.work_core_ms = 10.0;
+    req.preferred_server = 2;
+    req.colocate_with_parent = true;
+    std::size_t server = cloud::kNoServer;
+    scheduler_.invoke(req, [&](const cloud::InvocationTrace& t) {
+        server = t.server;
+    });
+    simulator_.run();
+    EXPECT_EQ(server, 2u);
+}
+
+TEST_F(SchedulerFixture, FullParentFallsBackToLeastLoaded)
+{
+    // Fill server 2 completely.
+    for (int i = 0; i < 8; ++i)
+        cluster_.server(2).acquire_core();
+    cloud::InvokeRequest req;
+    req.app = "child";
+    req.work_core_ms = 10.0;
+    req.preferred_server = 2;
+    std::size_t server = cloud::kNoServer;
+    scheduler_.invoke(req, [&](const cloud::InvocationTrace& t) {
+        server = t.server;
+    });
+    simulator_.run();
+    EXPECT_NE(server, 2u);
+    EXPECT_NE(server, cloud::kNoServer);
+}
+
+TEST_F(SchedulerFixture, StragglerRespawnsAfterHistory)
+{
+    cloud::InvokeRequest req;
+    req.app = "job";
+    req.work_core_ms = 40.0;
+    int completions = 0;
+    // Build enough history first.
+    for (int i = 0; i < 60; ++i) {
+        scheduler_.invoke(req,
+                          [&](const cloud::InvocationTrace&) {
+                              ++completions;
+                          });
+        simulator_.run();
+    }
+    EXPECT_EQ(completions, 60);
+    EXPECT_GE(scheduler_.history("job").count(), 60u);
+    // Now a pathological straggler: inflate work dramatically; the
+    // watchdog should fire a duplicate (which is equally slow, but the
+    // respawn count proves mitigation engaged).
+    std::uint64_t before = scheduler_.respawns();
+    cloud::InvokeRequest slow = req;
+    slow.work_core_ms = 50000.0;
+    bool done = false;
+    scheduler_.invoke(slow,
+                      [&](const cloud::InvocationTrace&) { done = true; });
+    simulator_.run();
+    EXPECT_TRUE(done);
+    EXPECT_GT(scheduler_.respawns(), before);
+}
+
+TEST_F(SchedulerFixture, FirstFinisherWinsOnce)
+{
+    cloud::InvokeRequest req;
+    req.app = "race";
+    req.work_core_ms = 30.0;
+    for (int i = 0; i < 40; ++i) {
+        scheduler_.invoke(req, nullptr);
+        simulator_.run();
+    }
+    int calls = 0;
+    cloud::InvokeRequest slow = req;
+    slow.work_core_ms = 20000.0;
+    scheduler_.invoke(slow, [&](const cloud::InvocationTrace&) { ++calls; });
+    simulator_.run();
+    EXPECT_EQ(calls, 1);  // Duplicate completion is suppressed.
+}
+
+TEST(Learning, SwarmConvergesFasterThanSelf)
+{
+    apps::DetectionConfig cfg;
+    LearningCoordinator self(16, cfg, apps::RetrainMode::Self);
+    LearningCoordinator swarm(16, cfg, apps::RetrainMode::Swarm);
+    LearningCoordinator none(16, cfg, apps::RetrainMode::None);
+    for (int round = 0; round < 10; ++round) {
+        for (std::size_t d = 0; d < 16; ++d) {
+            self.record(d, 10);
+            swarm.record(d, 10);
+            none.record(d, 10);
+        }
+        self.retrain();
+        swarm.retrain();
+        none.retrain();
+    }
+    EXPECT_GT(swarm.swarm_p_correct(), self.swarm_p_correct());
+    EXPECT_GT(self.swarm_p_correct(), none.swarm_p_correct());
+    EXPECT_DOUBLE_EQ(none.swarm_p_correct(), cfg.base_correct);
+    // Fig. 15: swarm-wide retraining nearly eliminates errors.
+    EXPECT_GT(swarm.swarm_p_correct(), 0.97);
+    EXPECT_LT(swarm.swarm_p_false_negative(), 0.02);
+    EXPECT_LT(swarm.swarm_p_false_positive(), 0.02);
+}
+
+TEST(Learning, BuffersResetAfterRetrain)
+{
+    apps::DetectionConfig cfg;
+    LearningCoordinator c(2, cfg, apps::RetrainMode::Self);
+    c.record(0, 100);
+    c.retrain();
+    double after_first = c.model(0).p_correct();
+    c.retrain();  // No new samples: accuracy unchanged.
+    EXPECT_DOUBLE_EQ(c.model(0).p_correct(), after_first);
+    EXPECT_EQ(c.total_samples(), 100u);
+}
+
+TEST(Monitor, SummariesAndCounters)
+{
+    MetricRegistry m;
+    m.observe("lat", 1.0);
+    m.observe("lat", 3.0);
+    m.count("requests");
+    m.count("requests", 4);
+    EXPECT_DOUBLE_EQ(m.summary("lat").mean(), 2.0);
+    EXPECT_EQ(m.counter("requests"), 5u);
+    EXPECT_EQ(m.counter("unknown"), 0u);
+    EXPECT_TRUE(m.summary("unknown").empty());
+    EXPECT_EQ(m.summary_names(), (std::vector<std::string>{"lat"}));
+    m.clear();
+    EXPECT_EQ(m.counter("requests"), 0u);
+}
+
+TEST(Controller, FailureTriggersReassignment)
+{
+    sim::Simulator s;
+    ControllerConfig cfg;
+    HiveMindController ctl(s, geo::Rect{0, 0, 96, 96}, 8, cfg);
+    std::vector<std::size_t> reassigned;
+    ctl.set_on_reassign([&](std::vector<std::size_t> changed) {
+        reassigned = std::move(changed);
+    });
+    ctl.start();
+    // All devices beat except device 5.
+    for (int t = 1; t <= 10; ++t) {
+        s.schedule_at(t * sim::kSecond - 1, [&ctl]() {
+            for (std::size_t d = 0; d < 8; ++d) {
+                if (d != 5)
+                    ctl.heartbeat(d);
+            }
+        });
+    }
+    s.run_until(10 * sim::kSecond);
+    ctl.stop();
+    s.run();
+    ASSERT_EQ(reassigned.size(), 2u);
+    EXPECT_EQ(reassigned[0], 4u);
+    EXPECT_EQ(reassigned[1], 6u);
+    EXPECT_EQ(ctl.metrics().counter("device_failures"), 1u);
+    EXPECT_FALSE(ctl.load_balancer().region_of(5).has_value());
+}
+
+TEST(Controller, PeriodicRetraining)
+{
+    sim::Simulator s;
+    ControllerConfig cfg;
+    cfg.retrain_interval = 5 * sim::kSecond;
+    HiveMindController ctl(s, geo::Rect{0, 0, 10, 10}, 4, cfg);
+    ctl.start();
+    for (int t = 1; t <= 20; ++t) {
+        s.schedule_at(t * sim::kSecond, [&ctl]() {
+            for (std::size_t d = 0; d < 4; ++d) {
+                ctl.heartbeat(d);
+                ctl.record_decision(d, 5);
+            }
+        });
+    }
+    s.run_until(21 * sim::kSecond);
+    double acc = ctl.learning().swarm_p_correct();
+    ctl.stop();
+    s.run();
+    EXPECT_GT(acc, cfg.detection.base_correct);
+}
+
+}  // namespace
+}  // namespace hivemind::core

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the HiveMind DSL: task-graph builder, validation, text
+ * parser, and the canonical scenario graphs (src/dsl).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dsl/graph.hpp"
+#include "dsl/parser.hpp"
+#include "dsl/scenarios.hpp"
+
+namespace hivemind::dsl {
+namespace {
+
+TaskDef
+simple_task(const std::string& name)
+{
+    TaskDef t;
+    t.name = name;
+    return t;
+}
+
+TEST(TaskGraph, BuildAndQuery)
+{
+    TaskGraph g("app");
+    g.add_task(simple_task("a"));
+    g.add_task(simple_task("b"));
+    g.add_edge("a", "b");
+    EXPECT_EQ(g.size(), 2u);
+    EXPECT_TRUE(g.has_task("a"));
+    EXPECT_FALSE(g.has_task("c"));
+    EXPECT_TRUE(g.has_edge("a", "b"));
+    EXPECT_FALSE(g.has_edge("b", "a"));
+    EXPECT_EQ(g.roots(), (std::vector<std::string>{"a"}));
+    EXPECT_EQ(g.leaves(), (std::vector<std::string>{"b"}));
+    EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(TaskGraph, DuplicateEdgeIsIdempotent)
+{
+    TaskGraph g;
+    g.add_task(simple_task("a")).add_task(simple_task("b"));
+    g.add_edge("a", "b").add_edge("a", "b");
+    EXPECT_EQ(g.task("a").children.size(), 1u);
+    EXPECT_EQ(g.task("b").parents.size(), 1u);
+}
+
+TEST(TaskGraph, DuplicateTaskIsError)
+{
+    TaskGraph g;
+    g.add_task(simple_task("a")).add_task(simple_task("a"));
+    auto errors = g.validate();
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("duplicate"), std::string::npos);
+}
+
+TEST(TaskGraph, UnknownReferenceIsError)
+{
+    TaskGraph g;
+    g.add_task(simple_task("a"));
+    g.add_edge("a", "ghost");
+    g.place("phantom", PlacementHint::Edge);
+    auto errors = g.validate();
+    EXPECT_GE(errors.size(), 2u);
+}
+
+TEST(TaskGraph, CycleDetected)
+{
+    TaskGraph g;
+    g.add_task(simple_task("a"));
+    g.add_task(simple_task("b"));
+    g.add_task(simple_task("c"));
+    g.add_edge("a", "b").add_edge("b", "c").add_edge("c", "a");
+    EXPECT_FALSE(g.topo_order().has_value());
+    auto errors = g.validate();
+    bool has_cycle_error = false;
+    for (const auto& e : errors) {
+        if (e.find("cycle") != std::string::npos)
+            has_cycle_error = true;
+    }
+    EXPECT_TRUE(has_cycle_error);
+}
+
+TEST(TaskGraph, TopoOrderRespectsEdges)
+{
+    TaskGraph g;
+    for (const char* n : {"e", "d", "c", "b", "a"})
+        g.add_task(simple_task(n));
+    g.add_edge("a", "b").add_edge("b", "c").add_edge("a", "d");
+    g.add_edge("d", "e").add_edge("c", "e");
+    auto topo = g.topo_order();
+    ASSERT_TRUE(topo.has_value());
+    auto pos = [&](const std::string& n) {
+        return std::find(topo->begin(), topo->end(), n) - topo->begin();
+    };
+    EXPECT_LT(pos("a"), pos("b"));
+    EXPECT_LT(pos("b"), pos("c"));
+    EXPECT_LT(pos("c"), pos("e"));
+    EXPECT_LT(pos("d"), pos("e"));
+}
+
+TEST(TaskGraph, ContradictoryOrderingDetected)
+{
+    TaskGraph g;
+    g.add_task(simple_task("a")).add_task(simple_task("b"));
+    g.parallel("a", "b");
+    g.serial("b", "a");  // Same pair, opposite order of names.
+    auto errors = g.validate();
+    bool found = false;
+    for (const auto& e : errors) {
+        if (e.find("contradictory") != std::string::npos)
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(TaskGraph, SensorSourcePinnedToCloudIsError)
+{
+    TaskGraph g;
+    TaskDef t = simple_task("collect");
+    t.sensor_source = true;
+    g.add_task(t);
+    g.place("collect", PlacementHint::Cloud);
+    auto errors = g.validate();
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("sensor source"), std::string::npos);
+}
+
+TEST(TaskGraph, DatasetWiringChecked)
+{
+    TaskGraph g;
+    TaskDef a = simple_task("a");
+    a.data_out = "images";
+    TaskDef b = simple_task("b");
+    b.data_in = "pointclouds";  // Nobody produces this.
+    g.add_task(a).add_task(b);
+    g.add_edge("a", "b");
+    auto errors = g.validate();
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("pointclouds"), std::string::npos);
+}
+
+TEST(TaskGraph, DirectivesApply)
+{
+    TaskGraph g;
+    g.add_task(simple_task("t"));
+    g.isolate("t").persist("t").learn("t", LearnScope::Global);
+    g.restore("t", RestorePolicy::Checkpoint).schedule_priority("t", 7);
+    g.synchronize("t", "all");
+    const TaskDef& t = g.task("t");
+    EXPECT_TRUE(t.isolate);
+    EXPECT_TRUE(t.persist);
+    EXPECT_EQ(t.learn, LearnScope::Global);
+    EXPECT_EQ(t.restore, RestorePolicy::Checkpoint);
+    EXPECT_EQ(t.priority, 7);
+    EXPECT_TRUE(t.sync_all);
+}
+
+TEST(Parser, SizeLiterals)
+{
+    std::uint64_t b = 0;
+    EXPECT_TRUE(parse_size("512KB", b));
+    EXPECT_EQ(b, 512u * 1024u);
+    EXPECT_TRUE(parse_size("2MB", b));
+    EXPECT_EQ(b, 2u * 1024u * 1024u);
+    EXPECT_TRUE(parse_size("64", b));
+    EXPECT_EQ(b, 64u);
+    EXPECT_FALSE(parse_size("2XB", b));
+    EXPECT_FALSE(parse_size("abc", b));
+}
+
+TEST(Parser, DurationLiterals)
+{
+    double s = 0.0;
+    EXPECT_TRUE(parse_duration("250ms", s));
+    EXPECT_DOUBLE_EQ(s, 0.25);
+    EXPECT_TRUE(parse_duration("10s", s));
+    EXPECT_DOUBLE_EQ(s, 10.0);
+    EXPECT_TRUE(parse_duration("80us", s));
+    EXPECT_DOUBLE_EQ(s, 8e-5);
+    EXPECT_TRUE(parse_duration("2min", s));
+    EXPECT_DOUBLE_EQ(s, 120.0);
+    EXPECT_FALSE(parse_duration("5parsecs", s));
+}
+
+TEST(Parser, FullDocument)
+{
+    const char* doc = R"(
+# Scenario B in the text front-end (mirrors Listing 3).
+taskgraph people_count
+constraint exec_time=10s
+
+task createRoute out=route code="tasks/route" work=40ms
+task collectImage in=route out=sensorData sensor work=5ms output=2MB
+task obstacleAvoid in=sensorData out=adjust actuator work=18ms
+task faceRec in=sensorData out=stats work=350ms input=2MB parallelism=8 arg.algorithm=tensorflow_zoo
+task dedup in=stats out=list work=420ms input=256KB
+
+edge createRoute collectImage
+edge collectImage obstacleAvoid
+edge collectImage faceRec
+edge faceRec dedup
+
+parallel obstacleAvoid faceRec
+serial faceRec dedup
+synchronize dedup all
+place obstacleAvoid edge
+learn faceRec global
+persist faceRec
+persist dedup
+restore dedup respawn
+priority faceRec 3
+)";
+    ParseResult r = parse(doc);
+    ASSERT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0]);
+    EXPECT_EQ(r.graph.name(), "people_count");
+    EXPECT_EQ(r.graph.size(), 5u);
+    EXPECT_DOUBLE_EQ(r.graph.constraints().exec_time_s, 10.0);
+    const TaskDef& face = r.graph.task("faceRec");
+    EXPECT_DOUBLE_EQ(face.work_core_ms, 350.0);
+    EXPECT_EQ(face.input_bytes, 2u * 1024u * 1024u);
+    EXPECT_EQ(face.parallelism, 8);
+    EXPECT_EQ(face.args.at("algorithm"), "tensorflow_zoo");
+    EXPECT_EQ(face.learn, LearnScope::Global);
+    EXPECT_EQ(face.priority, 3);
+    EXPECT_TRUE(r.graph.task("collectImage").sensor_source);
+    EXPECT_EQ(r.graph.task("obstacleAvoid").placement, PlacementHint::Edge);
+    EXPECT_TRUE(r.graph.task("dedup").persist);
+    EXPECT_TRUE(r.graph.validate().empty());
+}
+
+TEST(Parser, ForwardReferencesWork)
+{
+    const char* doc = R"(
+taskgraph fw
+edge a b
+task a out=x
+task b in=x
+)";
+    ParseResult r = parse(doc);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.graph.has_edge("a", "b"));
+}
+
+TEST(Parser, ErrorsCarryLineNumbers)
+{
+    ParseResult r = parse("task t work=banana\nbogus x y\n");
+    ASSERT_EQ(r.errors.size(), 2u);
+    EXPECT_NE(r.errors[0].find("line 1"), std::string::npos);
+    EXPECT_NE(r.errors[1].find("line 2"), std::string::npos);
+}
+
+TEST(Parser, MissingFileReportsError)
+{
+    ParseResult r = parse_file("/nonexistent/path.hm");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Scenarios, AllCanonicalGraphsValidate)
+{
+    for (const TaskGraph& g :
+         {scenario_a_graph(), scenario_b_graph(), treasure_hunt_graph(),
+          rover_maze_graph()}) {
+        auto errors = g.validate();
+        EXPECT_TRUE(errors.empty())
+            << g.name() << ": " << (errors.empty() ? "" : errors[0]);
+        EXPECT_TRUE(g.topo_order().has_value());
+    }
+}
+
+TEST(Scenarios, ScenarioBMatchesListing3)
+{
+    TaskGraph g = scenario_b_graph();
+    EXPECT_EQ(g.size(), 5u);
+    EXPECT_TRUE(g.has_edge("createRoute", "collectImage"));
+    EXPECT_TRUE(g.has_edge("collectImage", "obstacleAvoidance"));
+    EXPECT_TRUE(g.has_edge("collectImage", "faceRecognition"));
+    EXPECT_TRUE(g.has_edge("faceRecognition", "deduplication"));
+    EXPECT_EQ(g.task("obstacleAvoidance").placement, PlacementHint::Edge);
+    EXPECT_EQ(g.task("faceRecognition").learn, LearnScope::Global);
+    EXPECT_TRUE(g.task("faceRecognition").persist);
+    EXPECT_TRUE(g.task("deduplication").persist);
+    EXPECT_TRUE(g.task("deduplication").sync_all);
+    EXPECT_TRUE(g.task("collectImage").sensor_source);
+}
+
+}  // namespace
+}  // namespace hivemind::dsl

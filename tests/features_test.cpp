@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Tests for the extension features: fault-recovery policies,
+ * performance isolation, controller failover, multi-tenancy, the
+ * generic task-graph runner, the trace log, and the scheduler's
+ * percentile tracker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+#include "core/trace.hpp"
+#include "dsl/scenarios.hpp"
+#include "platform/graph_runner.hpp"
+#include "platform/single_phase.hpp"
+
+namespace hivemind {
+namespace {
+
+// ---------------------------------------------------------------------
+// Fault-recovery policies (DSL Restore, Listing 2)
+// ---------------------------------------------------------------------
+
+class RecoveryFixture : public ::testing::Test
+{
+  protected:
+    RecoveryFixture()
+        : rng_(21),
+          cluster_(4, 8, 32 * 1024),
+          store_(simulator_, rng_, cloud::DataStoreConfig{})
+    {
+    }
+
+    sim::Simulator simulator_;
+    sim::Rng rng_;
+    cloud::Cluster cluster_;
+    cloud::DataStore store_;
+};
+
+TEST_F(RecoveryFixture, NoneLosesTasksButReports)
+{
+    cloud::FaasConfig cfg;
+    cfg.fault_prob = 0.6;
+    cloud::FaasRuntime rt(simulator_, rng_, cluster_, store_, cfg);
+    int callbacks = 0;
+    int lost = 0;
+    cloud::InvokeRequest req;
+    req.app = "a";
+    req.work_core_ms = 30.0;
+    req.recovery = cloud::FaultRecovery::None;
+    for (int i = 0; i < 60; ++i) {
+        rt.invoke(req, [&](const cloud::InvocationTrace& t) {
+            ++callbacks;
+            if (t.lost)
+                ++lost;
+        });
+    }
+    simulator_.run();
+    EXPECT_EQ(callbacks, 60);      // Every submission reports back.
+    EXPECT_GT(lost, 10);           // Many are lost at 60% fault rate.
+    EXPECT_EQ(rt.lost(), static_cast<std::uint64_t>(lost));
+}
+
+TEST_F(RecoveryFixture, CheckpointRecoversFasterThanRespawn)
+{
+    // With heavy faults, checkpoint-resume repeats less work, so the
+    // total execution time (and hence mean latency) is lower.
+    auto run_mode = [&](cloud::FaultRecovery mode) {
+        sim::Simulator simulator;
+        sim::Rng rng(33);
+        cloud::Cluster cluster(4, 8, 32 * 1024);
+        cloud::DataStore store(simulator, rng, cloud::DataStoreConfig{});
+        cloud::FaasConfig cfg;
+        cfg.fault_prob = 0.7;
+        cfg.straggler_prob = 0.0;
+        cloud::FaasRuntime rt(simulator, rng, cluster, store, cfg);
+        sim::Summary lat;
+        cloud::InvokeRequest req;
+        req.app = "a";
+        req.work_core_ms = 400.0;
+        req.recovery = mode;
+        for (int i = 0; i < 80; ++i) {
+            rt.invoke(req, [&](const cloud::InvocationTrace& t) {
+                lat.add(t.total_s());
+            });
+            simulator.run();
+        }
+        return lat;
+    };
+    sim::Summary respawn = run_mode(cloud::FaultRecovery::Respawn);
+    sim::Summary checkpoint = run_mode(cloud::FaultRecovery::Checkpoint);
+    EXPECT_EQ(respawn.count(), 80u);
+    EXPECT_EQ(checkpoint.count(), 80u);
+    EXPECT_LT(checkpoint.mean(), respawn.mean());
+}
+
+TEST_F(RecoveryFixture, CheckpointGranularityBoundsRedo)
+{
+    // granularity 0 -> resume exactly where it died (no floor step).
+    cloud::FaasConfig cfg;
+    cfg.fault_prob = 0.9;
+    cloud::FaasRuntime rt(simulator_, rng_, cluster_, store_, cfg);
+    cloud::InvokeRequest req;
+    req.app = "a";
+    req.work_core_ms = 100.0;
+    req.recovery = cloud::FaultRecovery::Checkpoint;
+    req.checkpoint_granularity = 0.0;
+    int done = 0;
+    for (int i = 0; i < 20; ++i)
+        rt.invoke(req, [&](const cloud::InvocationTrace&) { ++done; });
+    simulator_.run();
+    EXPECT_EQ(done, 20);
+}
+
+TEST_F(RecoveryFixture, IsolateNeverReusesWarmContainers)
+{
+    cloud::FaasConfig cfg;
+    cfg.keepalive = 20 * sim::kSecond;
+    cloud::FaasRuntime rt(simulator_, rng_, cluster_, store_, cfg);
+    cloud::InvokeRequest req;
+    req.app = "iso";
+    req.work_core_ms = 5.0;
+    req.isolate = true;
+    int colds = 0;
+    // Sequential isolated invocations: every one must cold-start.
+    std::function<void(int)> chain = [&](int remaining) {
+        if (remaining == 0)
+            return;
+        rt.invoke(req, [&, remaining](const cloud::InvocationTrace& t) {
+            if (t.cold_start)
+                ++colds;
+            chain(remaining - 1);
+        });
+    };
+    chain(5);
+    simulator_.run();
+    EXPECT_EQ(colds, 5);
+    EXPECT_EQ(rt.warm_starts(), 0u);
+}
+
+TEST_F(RecoveryFixture, PriorityDrainsHighFirst)
+{
+    // One-core cluster: everything queues behind the first task, so
+    // the drain order exposes the priority policy.
+    sim::Simulator simulator;
+    sim::Rng rng(44);
+    cloud::Cluster cluster(1, 1, 4096);
+    cloud::DataStore store(simulator, rng, cloud::DataStoreConfig{});
+    cloud::FaasConfig cfg;
+    cfg.straggler_prob = 0.0;
+    cloud::FaasRuntime rt(simulator, rng, cluster, store, cfg);
+    std::vector<int> order;
+    auto submit = [&](int priority, int tag) {
+        cloud::InvokeRequest req;
+        req.app = "p" + std::to_string(tag);
+        req.work_core_ms = 50.0;
+        req.priority = priority;
+        rt.invoke(req,
+                  [&order, tag](const cloud::InvocationTrace&) {
+                      order.push_back(tag);
+                  });
+    };
+    submit(0, 0);   // Occupies the core.
+    submit(0, 1);   // Queued at low priority.
+    submit(5, 2);   // Queued at high priority.
+    submit(9, 3);   // Queued at highest priority.
+    simulator.run();
+    ASSERT_EQ(order.size(), 4u);
+    // Whichever submission won the (jittered) front-end race runs
+    // first; the queued rest drain in descending priority order.
+    const int priority_of[4] = {0, 0, 5, 9};
+    for (std::size_t i = 2; i < order.size(); ++i) {
+        EXPECT_GE(priority_of[order[i - 1]], priority_of[order[i]])
+            << "queued tasks must drain high-priority-first";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Performance isolation (Sec. 4.3)
+// ---------------------------------------------------------------------
+
+TEST(Isolation, RemovesLoadDependentJitter)
+{
+    auto run_with = [](bool isolated) {
+        sim::Simulator simulator;
+        sim::Rng rng(5);
+        cloud::Cluster cluster(2, 16, 64 * 1024);
+        // Pre-load the servers to high occupancy.
+        for (int i = 0; i < 13; ++i) {
+            cluster.server(0).acquire_core();
+            cluster.server(1).acquire_core();
+        }
+        cloud::DataStore store(simulator, rng, cloud::DataStoreConfig{});
+        cloud::FaasConfig cfg;
+        cfg.straggler_prob = 0.0;
+        cfg.performance_isolation = isolated;
+        cloud::FaasRuntime rt(simulator, rng, cluster, store, cfg);
+        sim::Summary exec;
+        cloud::InvokeRequest req;
+        req.app = "x";
+        req.work_core_ms = 100.0;
+        for (int i = 0; i < 80; ++i) {
+            rt.invoke(req, [&](const cloud::InvocationTrace& t) {
+                exec.add(t.exec_s());
+            });
+            simulator.run();
+        }
+        return exec;
+    };
+    sim::Summary shared = run_with(false);
+    sim::Summary isolated = run_with(true);
+    EXPECT_LT(isolated.stddev(), shared.stddev());
+}
+
+// ---------------------------------------------------------------------
+// Controller hot-standby failover (Sec. 4.7)
+// ---------------------------------------------------------------------
+
+TEST(ControllerFailover, StallsThenRecovers)
+{
+    sim::Simulator simulator;
+    sim::Rng rng(9);
+    cloud::Cluster cluster(4, 8, 32 * 1024);
+    cloud::DataStore store(simulator, rng, cloud::DataStoreConfig{});
+    cloud::FaasRuntime rt(simulator, rng, cluster, store,
+                          cloud::FaasConfig{});
+    cloud::InvokeRequest req;
+    req.app = "a";
+    req.work_core_ms = 10.0;
+
+    // Baseline latency.
+    double normal_s = 0.0;
+    rt.invoke(req, [&](const cloud::InvocationTrace& t) {
+        normal_s = t.total_s();
+    });
+    simulator.run();
+
+    // Fail the controller with a 500 ms standby takeover; the next
+    // request pays the takeover, subsequent ones do not.
+    rt.fail_controller(sim::from_millis(500.0));
+    double during_s = 0.0;
+    rt.invoke(req, [&](const cloud::InvocationTrace& t) {
+        during_s = t.total_s();
+    });
+    simulator.run();
+    double after_s = 0.0;
+    rt.invoke(req, [&](const cloud::InvocationTrace& t) {
+        after_s = t.total_s();
+    });
+    simulator.run();
+
+    EXPECT_EQ(rt.controller_failures(), 1u);
+    EXPECT_GT(during_s, normal_s + 0.4);
+    EXPECT_LT(after_s, normal_s * 3.0);
+}
+
+// ---------------------------------------------------------------------
+// Multi-tenancy (Sec. 2.1)
+// ---------------------------------------------------------------------
+
+TEST(MultiTenant, RunsConcurrentAppsOnOneDeployment)
+{
+    platform::DeploymentConfig dep;
+    dep.devices = 8;
+    dep.servers = 6;
+    dep.cores_per_server = 20;
+    dep.seed = 3;
+    platform::JobConfig job;
+    job.duration = 20 * sim::kSecond;
+    job.drain = 20 * sim::kSecond;
+    std::vector<apps::AppSpec> tenants{apps::app_by_id("S1"),
+                                       apps::app_by_id("S7")};
+    auto results = platform::run_multi_tenant(
+        tenants, platform::PlatformOptions::centralized_faas(), dep, job);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_GT(results[0].tasks_completed, 20u);
+    EXPECT_GT(results[1].tasks_completed, 20u);
+    // Per-app latencies reflect the apps, not each other.
+    EXPECT_GT(results[0].task_latency_s.median(),
+              results[1].task_latency_s.median());
+}
+
+TEST(MultiTenant, InterferenceRaisesVariabilityVsSolo)
+{
+    platform::DeploymentConfig dep;
+    dep.devices = 8;
+    dep.servers = 2;  // Tight cluster so tenants actually collide.
+    dep.cores_per_server = 8;
+    dep.seed = 3;
+    platform::JobConfig job;
+    job.duration = 30 * sim::kSecond;
+    job.drain = 30 * sim::kSecond;
+
+    platform::RunMetrics solo = platform::run_single_phase(
+        apps::app_by_id("S1"), platform::PlatformOptions::centralized_faas(),
+        dep, job);
+    std::vector<apps::AppSpec> tenants{
+        apps::app_by_id("S1"), apps::app_by_id("S9"),
+        apps::app_by_id("S10")};
+    auto shared = platform::run_multi_tenant(
+        tenants, platform::PlatformOptions::centralized_faas(), dep, job);
+    // S1's latency under co-tenancy is no better than alone.
+    EXPECT_GE(shared[0].task_latency_s.median(),
+              solo.task_latency_s.median() * 0.9);
+}
+
+// ---------------------------------------------------------------------
+// Generic task-graph runner
+// ---------------------------------------------------------------------
+
+TEST(GraphRunner, RunsListing3Graph)
+{
+    dsl::TaskGraph graph = dsl::scenario_b_graph();
+    synth::PlacementAssignment placement;
+    for (const std::string& name : graph.task_names()) {
+        const dsl::TaskDef& t = graph.task(name);
+        bool edge = t.sensor_source || t.actuator_sink ||
+            t.placement == dsl::PlacementHint::Edge;
+        placement[name] =
+            edge ? synth::Location::Edge : synth::Location::Cloud;
+    }
+    platform::DeploymentConfig dep;
+    dep.devices = 8;
+    dep.servers = 6;
+    dep.cores_per_server = 20;
+    dep.seed = 4;
+    platform::GraphJobConfig job;
+    job.duration = 20 * sim::kSecond;
+    job.activation_rate_hz = 0.5;
+    platform::RunMetrics m = platform::run_task_graph(
+        graph, placement, platform::PlatformOptions::hivemind(), dep, job);
+    EXPECT_GT(m.tasks_completed, 30u);
+    EXPECT_GT(m.task_latency_s.median(), 0.0);
+    // The activation spans five tasks including slow edge stages.
+    EXPECT_GT(m.task_latency_s.median(), 0.3);
+}
+
+TEST(GraphRunner, AllEdgeSlowerThanHybridForHeavyGraph)
+{
+    dsl::TaskGraph graph = dsl::scenario_b_graph();
+    synth::PlacementAssignment all_edge, hybrid;
+    for (const std::string& name : graph.task_names()) {
+        all_edge[name] = synth::Location::Edge;
+        const dsl::TaskDef& t = graph.task(name);
+        bool edge = t.sensor_source || t.actuator_sink ||
+            t.placement == dsl::PlacementHint::Edge;
+        hybrid[name] =
+            edge ? synth::Location::Edge : synth::Location::Cloud;
+    }
+    platform::DeploymentConfig dep;
+    dep.devices = 4;
+    dep.servers = 6;
+    dep.cores_per_server = 20;
+    dep.seed = 6;
+    platform::GraphJobConfig job;
+    job.duration = 20 * sim::kSecond;
+    job.activation_rate_hz = 0.05;  // Keep the edge core stable.
+    platform::RunMetrics edge_m = platform::run_task_graph(
+        graph, all_edge, platform::PlatformOptions::distributed_edge(), dep,
+        job);
+    platform::RunMetrics hybrid_m = platform::run_task_graph(
+        graph, hybrid, platform::PlatformOptions::hivemind(), dep, job);
+    EXPECT_GT(edge_m.task_latency_s.median(),
+              hybrid_m.task_latency_s.median());
+}
+
+TEST(GraphRunner, SimulationProfilerPrefersCloudForHeavyWork)
+{
+    dsl::TaskGraph graph("two");
+    dsl::TaskDef a;
+    a.name = "sense";
+    a.sensor_source = true;
+    a.work_core_ms = 4.0;
+    a.output_bytes = 256u << 10;
+    dsl::TaskDef b;
+    b.name = "crunch";
+    b.work_core_ms = 500.0;
+    b.parallelism = 8;
+    b.input_bytes = 256u << 10;
+    graph.add_task(a).add_task(b).add_edge("sense", "crunch");
+
+    platform::DeploymentConfig dep;
+    dep.devices = 4;
+    dep.servers = 6;
+    dep.cores_per_server = 20;
+    dep.seed = 8;
+    platform::GraphJobConfig job;
+    job.duration = 15 * sim::kSecond;
+    job.activation_rate_hz = 0.2;
+
+    synth::PlacementExplorer explorer(graph, synth::CostModelParams{});
+    explorer.set_profiler(platform::make_simulation_profiler(
+        platform::PlatformOptions::hivemind(), dep, job));
+    auto best = explorer.best(synth::Objective{});
+    EXPECT_EQ(best.placement.at("crunch"), synth::Location::Cloud);
+    EXPECT_EQ(best.placement.at("sense"), synth::Location::Edge);
+    EXPECT_GT(best.estimate.latency_s, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Trace log
+// ---------------------------------------------------------------------
+
+TEST(Trace, RecordsAndFilters)
+{
+    core::TraceLog log;
+    log.add(sim::kSecond, core::TraceEvent::TaskSubmit, 3, "S1");
+    log.add(2 * sim::kSecond, core::TraceEvent::TaskComplete, 3, "S1", 0.42);
+    log.add(3 * sim::kSecond, core::TraceEvent::DeviceFailure, 7);
+    EXPECT_EQ(log.size(), 3u);
+    EXPECT_EQ(log.count(core::TraceEvent::TaskSubmit), 1u);
+    EXPECT_EQ(log.count(core::TraceEvent::WarmStart), 0u);
+    auto fails = log.filter(core::TraceEvent::DeviceFailure);
+    ASSERT_EQ(fails.size(), 1u);
+    EXPECT_EQ(fails[0].subject, 7);
+    log.clear();
+    EXPECT_TRUE(log.empty());
+}
+
+TEST(Trace, CsvEscapesAndHeaders)
+{
+    core::TraceLog log;
+    log.add(0, core::TraceEvent::Custom, 1, "hello, \"world\"", 1.5);
+    std::string csv = log.to_csv();
+    EXPECT_NE(csv.find("time_s,event,subject,label,value"),
+              std::string::npos);
+    EXPECT_NE(csv.find("\"hello, \"\"world\"\"\""), std::string::npos);
+}
+
+TEST(Trace, JsonlEscapes)
+{
+    core::TraceLog log;
+    log.add(sim::kSecond, core::TraceEvent::Repartition, 2, "a\"b\\c");
+    std::string j = log.to_jsonl();
+    EXPECT_NE(j.find("\"event\":\"repartition\""), std::string::npos);
+    EXPECT_NE(j.find("a\\\"b\\\\c"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// PercentileTracker (scheduler support)
+// ---------------------------------------------------------------------
+
+TEST(PercentileTracker, TracksRecentWindow)
+{
+    core::PercentileTracker t(100, 1);
+    for (int i = 1; i <= 100; ++i)
+        t.add(static_cast<double>(i));
+    EXPECT_EQ(t.count(), 100u);
+    EXPECT_NEAR(t.threshold(50.0), 50.5, 1.0);
+    // Shift the window: add 100 large values; the median follows.
+    for (int i = 0; i < 100; ++i)
+        t.add(1000.0);
+    EXPECT_NEAR(t.threshold(50.0), 1000.0, 1e-9);
+}
+
+TEST(PercentileTracker, CacheRefreshes)
+{
+    core::PercentileTracker t(64, 8);
+    for (int i = 0; i < 8; ++i)
+        t.add(1.0);
+    double v1 = t.threshold(90.0);
+    EXPECT_DOUBLE_EQ(v1, 1.0);
+    // Within the refresh window the cached value persists...
+    for (int i = 0; i < 4; ++i)
+        t.add(100.0);
+    EXPECT_DOUBLE_EQ(t.threshold(90.0), 1.0);
+    // ...and refreshes afterwards.
+    for (int i = 0; i < 8; ++i)
+        t.add(100.0);
+    EXPECT_GT(t.threshold(90.0), 50.0);
+}
+
+}  // namespace
+}  // namespace hivemind

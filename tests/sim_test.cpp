@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Unit and property tests for the discrete-event kernel, RNG, and
+ * statistics (src/sim).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace hivemind::sim {
+namespace {
+
+TEST(Time, Conversions)
+{
+    EXPECT_EQ(from_seconds(1.0), kSecond);
+    EXPECT_EQ(from_millis(1.0), kMillisecond);
+    EXPECT_EQ(from_micros(1.0), kMicrosecond);
+    EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+    EXPECT_DOUBLE_EQ(to_millis(kMillisecond), 1.0);
+    EXPECT_DOUBLE_EQ(to_micros(kMicrosecond), 1.0);
+    EXPECT_EQ(from_seconds(2.5), 2 * kSecond + 500 * kMillisecond);
+}
+
+TEST(Simulator, ExecutesInTimeOrder)
+{
+    Simulator s;
+    std::vector<int> order;
+    s.schedule_at(30, [&] { order.push_back(3); });
+    s.schedule_at(10, [&] { order.push_back(1); });
+    s.schedule_at(20, [&] { order.push_back(2); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Simulator, TiesBreakInScheduleOrder)
+{
+    Simulator s;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        s.schedule_at(5, [&order, i] { order.push_back(i); });
+    s.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, PastSchedulingClampsToNow)
+{
+    Simulator s;
+    Time seen = -1;
+    s.schedule_at(100, [&] {
+        s.schedule_at(50, [&] { seen = s.now(); });
+    });
+    s.run();
+    EXPECT_EQ(seen, 100);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive)
+{
+    Simulator s;
+    int ran = 0;
+    s.schedule_at(10, [&] { ++ran; });
+    s.schedule_at(20, [&] { ++ran; });
+    s.schedule_at(21, [&] { ++ran; });
+    EXPECT_EQ(s.run_until(20), 2u);
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(s.pending(), 1u);
+    s.run();
+    EXPECT_EQ(ran, 3);
+}
+
+TEST(Simulator, CancelPreventsExecution)
+{
+    Simulator s;
+    bool ran = false;
+    EventId id = s.schedule_at(10, [&] { ran = true; });
+    EXPECT_TRUE(s.cancel(id));
+    EXPECT_FALSE(s.cancel(id));  // Already cancelled.
+    s.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, EventsScheduledDuringRunAreExecuted)
+{
+    Simulator s;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 5)
+            s.schedule_in(10, recurse);
+    };
+    s.schedule_at(0, recurse);
+    s.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(s.now(), 40);
+}
+
+TEST(Simulator, StopHaltsTheLoop)
+{
+    Simulator s;
+    int ran = 0;
+    s.schedule_at(1, [&] {
+        ++ran;
+        s.stop();
+    });
+    s.schedule_at(2, [&] { ++ran; });
+    s.run();
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Simulator, StepExecutesExactlyOne)
+{
+    Simulator s;
+    int ran = 0;
+    s.schedule_at(1, [&] { ++ran; });
+    s.schedule_at(2, [&] { ++ran; });
+    EXPECT_TRUE(s.step());
+    EXPECT_EQ(ran, 1);
+    EXPECT_TRUE(s.step());
+    EXPECT_FALSE(s.step());
+    EXPECT_EQ(ran, 2);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(7);
+    Rng b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng a(7);
+    Rng child = a.fork();
+    // Child stream should differ from the parent's continued stream.
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i) {
+        if (a.uniform(0, 1) != child.uniform(0, 1))
+            any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        double x = r.uniform(2.0, 3.0);
+        EXPECT_GE(x, 2.0);
+        EXPECT_LT(x, 3.0);
+    }
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng r(3);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(5);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(2.0);
+    EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, LognormalMedian)
+{
+    Rng r(5);
+    Summary s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(r.lognormal_median(10.0, 0.5));
+    EXPECT_NEAR(s.median(), 10.0, 0.5);
+}
+
+TEST(Rng, BoundedParetoRange)
+{
+    Rng r(9);
+    for (int i = 0; i < 5000; ++i) {
+        double x = r.bounded_pareto(1.0, 8.0, 1.2);
+        EXPECT_GE(x, 1.0 - 1e-9);
+        EXPECT_LE(x, 8.0 + 1e-9);
+    }
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng r(1);
+    std::vector<int> v{1, 2, 3, 4, 5, 6};
+    auto orig = v;
+    r.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Summary, BasicMoments)
+{
+    Summary s;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+    EXPECT_NEAR(s.stddev(), 1.118, 0.001);
+}
+
+TEST(Summary, EmptyIsSafe)
+{
+    Summary s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+}
+
+TEST(Summary, PercentileInterpolation)
+{
+    Summary s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_NEAR(s.median(), 50.5, 1e-9);
+    EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+    EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+    EXPECT_NEAR(s.p99(), 99.01, 0.01);
+}
+
+TEST(Summary, MergeCombinesSamples)
+{
+    Summary a, b;
+    a.add(1.0);
+    a.add(2.0);
+    b.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Summary, PercentileAfterIncrementalAdds)
+{
+    Summary s;
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.median(), 10.0);
+    s.add(20.0);  // Sorted cache must invalidate.
+    EXPECT_DOUBLE_EQ(s.max(), 20.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(0.0);
+    h.add(5.5);
+    h.add(9.999);
+    h.add(10.0);
+    h.add(100.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(5), 1u);
+    EXPECT_EQ(h.bucket(9), 1u);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_DOUBLE_EQ(h.bucket_lo(5), 5.0);
+}
+
+TEST(TimeSeries, WindowMeans)
+{
+    TimeSeries ts;
+    ts.add(0, 1.0);
+    ts.add(kSecond / 2, 3.0);
+    ts.add(kSecond, 10.0);
+    auto means = ts.window_means(kSecond, 2 * kSecond);
+    ASSERT_EQ(means.size(), 2u);
+    EXPECT_DOUBLE_EQ(means[0], 2.0);
+    EXPECT_DOUBLE_EQ(means[1], 10.0);
+}
+
+TEST(RateMeter, RatesPerWindow)
+{
+    RateMeter m(kSecond);
+    m.add(0, 100.0);
+    m.add(kSecond / 2, 100.0);
+    m.add(3 * kSecond / 2, 50.0);
+    auto rates = m.rates(3 * kSecond);
+    ASSERT_EQ(rates.size(), 3u);
+    EXPECT_DOUBLE_EQ(rates[0], 200.0);
+    EXPECT_DOUBLE_EQ(rates[1], 50.0);
+    EXPECT_DOUBLE_EQ(rates[2], 0.0);
+    EXPECT_DOUBLE_EQ(m.total(), 250.0);
+}
+
+/** Property sweep: percentiles are monotone in p for random data. */
+class SummaryPercentileProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SummaryPercentileProperty, MonotoneInP)
+{
+    Rng r(static_cast<std::uint64_t>(GetParam()));
+    Summary s;
+    for (int i = 0; i < 500; ++i)
+        s.add(r.lognormal_median(5.0, 1.0));
+    double prev = s.percentile(0);
+    for (double p = 5; p <= 100; p += 5) {
+        double cur = s.percentile(p);
+        EXPECT_GE(cur, prev);
+        prev = cur;
+    }
+    EXPECT_GE(s.mean(), s.min());
+    EXPECT_LE(s.mean(), s.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SummaryPercentileProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+/** Property: the simulator never runs events out of order. */
+class EventOrderProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EventOrderProperty, MonotoneClock)
+{
+    Rng r(static_cast<std::uint64_t>(GetParam()) * 977);
+    Simulator s;
+    Time last = -1;
+    bool ok = true;
+    for (int i = 0; i < 300; ++i) {
+        Time when = static_cast<Time>(r.uniform_int(0, 10000));
+        s.schedule_at(when, [&s, &last, &ok] {
+            if (s.now() < last)
+                ok = false;
+            last = s.now();
+        });
+    }
+    s.run();
+    EXPECT_TRUE(ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventOrderProperty,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace hivemind::sim
