@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dedup_quality.dir/abl_dedup_quality.cpp.o"
+  "CMakeFiles/abl_dedup_quality.dir/abl_dedup_quality.cpp.o.d"
+  "abl_dedup_quality"
+  "abl_dedup_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dedup_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_isolation.dir/abl_isolation.cpp.o"
+  "CMakeFiles/abl_isolation.dir/abl_isolation.cpp.o.d"
+  "abl_isolation"
+  "abl_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

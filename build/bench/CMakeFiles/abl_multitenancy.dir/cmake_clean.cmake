@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_multitenancy.dir/abl_multitenancy.cpp.o"
+  "CMakeFiles/abl_multitenancy.dir/abl_multitenancy.cpp.o.d"
+  "abl_multitenancy"
+  "abl_multitenancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multitenancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_recovery.dir/abl_recovery.cpp.o"
+  "CMakeFiles/abl_recovery.dir/abl_recovery.cpp.o.d"
+  "abl_recovery"
+  "abl_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_wireless_loss.dir/abl_wireless_loss.cpp.o"
+  "CMakeFiles/abl_wireless_loss.dir/abl_wireless_loss.cpp.o.d"
+  "abl_wireless_loss"
+  "abl_wireless_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_wireless_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_treasure_hunt.dir/fig01_treasure_hunt.cpp.o"
+  "CMakeFiles/fig01_treasure_hunt.dir/fig01_treasure_hunt.cpp.o.d"
+  "fig01_treasure_hunt"
+  "fig01_treasure_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_treasure_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03b_network_saturation.dir/fig03b_network_saturation.cpp.o"
+  "CMakeFiles/fig03b_network_saturation.dir/fig03b_network_saturation.cpp.o.d"
+  "fig03b_network_saturation"
+  "fig03b_network_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03b_network_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_centralized_vs_distributed.dir/fig04_centralized_vs_distributed.cpp.o"
+  "CMakeFiles/fig04_centralized_vs_distributed.dir/fig04_centralized_vs_distributed.cpp.o.d"
+  "fig04_centralized_vs_distributed"
+  "fig04_centralized_vs_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_centralized_vs_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_centralized_vs_distributed.
+# This may be replaced when dependencies are built.

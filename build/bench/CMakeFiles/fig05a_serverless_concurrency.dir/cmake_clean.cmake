@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05a_serverless_concurrency.dir/fig05a_serverless_concurrency.cpp.o"
+  "CMakeFiles/fig05a_serverless_concurrency.dir/fig05a_serverless_concurrency.cpp.o.d"
+  "fig05a_serverless_concurrency"
+  "fig05a_serverless_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05a_serverless_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05a_serverless_concurrency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05b_elasticity.dir/fig05b_elasticity.cpp.o"
+  "CMakeFiles/fig05b_elasticity.dir/fig05b_elasticity.cpp.o.d"
+  "fig05b_elasticity"
+  "fig05b_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05b_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

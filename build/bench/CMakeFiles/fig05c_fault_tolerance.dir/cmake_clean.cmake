@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05c_fault_tolerance.dir/fig05c_fault_tolerance.cpp.o"
+  "CMakeFiles/fig05c_fault_tolerance.dir/fig05c_fault_tolerance.cpp.o.d"
+  "fig05c_fault_tolerance"
+  "fig05c_fault_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05c_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

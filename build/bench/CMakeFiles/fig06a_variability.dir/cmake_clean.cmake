@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06a_variability.dir/fig06a_variability.cpp.o"
+  "CMakeFiles/fig06a_variability.dir/fig06a_variability.cpp.o.d"
+  "fig06a_variability"
+  "fig06a_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06a_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

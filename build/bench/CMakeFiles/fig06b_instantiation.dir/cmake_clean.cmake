@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06b_instantiation.dir/fig06b_instantiation.cpp.o"
+  "CMakeFiles/fig06b_instantiation.dir/fig06b_instantiation.cpp.o.d"
+  "fig06b_instantiation"
+  "fig06b_instantiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06b_instantiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06c_data_sharing.dir/fig06c_data_sharing.cpp.o"
+  "CMakeFiles/fig06c_data_sharing.dir/fig06c_data_sharing.cpp.o.d"
+  "fig06c_data_sharing"
+  "fig06c_data_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06c_data_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_learning.dir/fig15_learning.cpp.o"
+  "CMakeFiles/fig15_learning.dir/fig15_learning.cpp.o.d"
+  "fig15_learning"
+  "fig15_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

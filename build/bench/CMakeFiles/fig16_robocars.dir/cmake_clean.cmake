@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_robocars.dir/fig16_robocars.cpp.o"
+  "CMakeFiles/fig16_robocars.dir/fig16_robocars.cpp.o.d"
+  "fig16_robocars"
+  "fig16_robocars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_robocars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17a_resolution_sweep.dir/fig17a_resolution_sweep.cpp.o"
+  "CMakeFiles/fig17a_resolution_sweep.dir/fig17a_resolution_sweep.cpp.o.d"
+  "fig17a_resolution_sweep"
+  "fig17a_resolution_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17a_resolution_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

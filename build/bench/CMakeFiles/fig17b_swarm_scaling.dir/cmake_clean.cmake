@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17b_swarm_scaling.dir/fig17b_swarm_scaling.cpp.o"
+  "CMakeFiles/fig17b_swarm_scaling.dir/fig17b_swarm_scaling.cpp.o.d"
+  "fig17b_swarm_scaling"
+  "fig17b_swarm_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17b_swarm_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

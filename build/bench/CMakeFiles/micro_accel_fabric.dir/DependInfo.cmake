@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_accel_fabric.cpp" "bench/CMakeFiles/micro_accel_fabric.dir/micro_accel_fabric.cpp.o" "gcc" "bench/CMakeFiles/micro_accel_fabric.dir/micro_accel_fabric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/hm_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_accel_fabric.dir/micro_accel_fabric.cpp.o"
+  "CMakeFiles/micro_accel_fabric.dir/micro_accel_fabric.cpp.o.d"
+  "micro_accel_fabric"
+  "micro_accel_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_accel_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_sim_kernel.cpp" "bench/CMakeFiles/micro_sim_kernel.dir/micro_sim_kernel.cpp.o" "gcc" "bench/CMakeFiles/micro_sim_kernel.dir/micro_sim_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/hm_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/hm_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/hm_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sim_kernel.dir/micro_sim_kernel.cpp.o"
+  "CMakeFiles/micro_sim_kernel.dir/micro_sim_kernel.cpp.o.d"
+  "micro_sim_kernel"
+  "micro_sim_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sim_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

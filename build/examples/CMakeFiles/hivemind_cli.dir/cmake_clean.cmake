@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hivemind_cli.dir/hivemind_cli.cpp.o"
+  "CMakeFiles/hivemind_cli.dir/hivemind_cli.cpp.o.d"
+  "hivemind_cli"
+  "hivemind_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hivemind_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_profiler.dir/placement_profiler.cpp.o"
+  "CMakeFiles/placement_profiler.dir/placement_profiler.cpp.o.d"
+  "placement_profiler"
+  "placement_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robocar_treasure_hunt.dir/robocar_treasure_hunt.cpp.o"
+  "CMakeFiles/robocar_treasure_hunt.dir/robocar_treasure_hunt.cpp.o.d"
+  "robocar_treasure_hunt"
+  "robocar_treasure_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robocar_treasure_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_items.dir/scenario_items.cpp.o"
+  "CMakeFiles/scenario_items.dir/scenario_items.cpp.o.d"
+  "scenario_items"
+  "scenario_items.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_items.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_people.dir/scenario_people.cpp.o"
+  "CMakeFiles/scenario_people.dir/scenario_people.cpp.o.d"
+  "scenario_people"
+  "scenario_people.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_people.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarm_scale.dir/swarm_scale.cpp.o"
+  "CMakeFiles/swarm_scale.dir/swarm_scale.cpp.o.d"
+  "swarm_scale"
+  "swarm_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarm_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_analytic.dir/model.cpp.o"
+  "CMakeFiles/hm_analytic.dir/model.cpp.o.d"
+  "CMakeFiles/hm_analytic.dir/queueing.cpp.o"
+  "CMakeFiles/hm_analytic.dir/queueing.cpp.o.d"
+  "libhm_analytic.a"
+  "libhm_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

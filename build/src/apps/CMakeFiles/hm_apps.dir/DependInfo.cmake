@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/appspec.cpp" "src/apps/CMakeFiles/hm_apps.dir/appspec.cpp.o" "gcc" "src/apps/CMakeFiles/hm_apps.dir/appspec.cpp.o.d"
+  "/root/repo/src/apps/detection.cpp" "src/apps/CMakeFiles/hm_apps.dir/detection.cpp.o" "gcc" "src/apps/CMakeFiles/hm_apps.dir/detection.cpp.o.d"
+  "/root/repo/src/apps/embedding.cpp" "src/apps/CMakeFiles/hm_apps.dir/embedding.cpp.o" "gcc" "src/apps/CMakeFiles/hm_apps.dir/embedding.cpp.o.d"
+  "/root/repo/src/apps/workload.cpp" "src/apps/CMakeFiles/hm_apps.dir/workload.cpp.o" "gcc" "src/apps/CMakeFiles/hm_apps.dir/workload.cpp.o.d"
+  "/root/repo/src/apps/world.cpp" "src/apps/CMakeFiles/hm_apps.dir/world.cpp.o" "gcc" "src/apps/CMakeFiles/hm_apps.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/hm_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_apps.dir/appspec.cpp.o"
+  "CMakeFiles/hm_apps.dir/appspec.cpp.o.d"
+  "CMakeFiles/hm_apps.dir/detection.cpp.o"
+  "CMakeFiles/hm_apps.dir/detection.cpp.o.d"
+  "CMakeFiles/hm_apps.dir/embedding.cpp.o"
+  "CMakeFiles/hm_apps.dir/embedding.cpp.o.d"
+  "CMakeFiles/hm_apps.dir/workload.cpp.o"
+  "CMakeFiles/hm_apps.dir/workload.cpp.o.d"
+  "CMakeFiles/hm_apps.dir/world.cpp.o"
+  "CMakeFiles/hm_apps.dir/world.cpp.o.d"
+  "libhm_apps.a"
+  "libhm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/datastore.cpp" "src/cloud/CMakeFiles/hm_cloud.dir/datastore.cpp.o" "gcc" "src/cloud/CMakeFiles/hm_cloud.dir/datastore.cpp.o.d"
+  "/root/repo/src/cloud/faas.cpp" "src/cloud/CMakeFiles/hm_cloud.dir/faas.cpp.o" "gcc" "src/cloud/CMakeFiles/hm_cloud.dir/faas.cpp.o.d"
+  "/root/repo/src/cloud/iaas.cpp" "src/cloud/CMakeFiles/hm_cloud.dir/iaas.cpp.o" "gcc" "src/cloud/CMakeFiles/hm_cloud.dir/iaas.cpp.o.d"
+  "/root/repo/src/cloud/sharing.cpp" "src/cloud/CMakeFiles/hm_cloud.dir/sharing.cpp.o" "gcc" "src/cloud/CMakeFiles/hm_cloud.dir/sharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

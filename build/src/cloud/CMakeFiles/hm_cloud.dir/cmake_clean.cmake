@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_cloud.dir/datastore.cpp.o"
+  "CMakeFiles/hm_cloud.dir/datastore.cpp.o.d"
+  "CMakeFiles/hm_cloud.dir/faas.cpp.o"
+  "CMakeFiles/hm_cloud.dir/faas.cpp.o.d"
+  "CMakeFiles/hm_cloud.dir/iaas.cpp.o"
+  "CMakeFiles/hm_cloud.dir/iaas.cpp.o.d"
+  "CMakeFiles/hm_cloud.dir/sharing.cpp.o"
+  "CMakeFiles/hm_cloud.dir/sharing.cpp.o.d"
+  "libhm_cloud.a"
+  "libhm_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/hm_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/hm_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/heartbeat.cpp" "src/core/CMakeFiles/hm_core.dir/heartbeat.cpp.o" "gcc" "src/core/CMakeFiles/hm_core.dir/heartbeat.cpp.o.d"
+  "/root/repo/src/core/learning.cpp" "src/core/CMakeFiles/hm_core.dir/learning.cpp.o" "gcc" "src/core/CMakeFiles/hm_core.dir/learning.cpp.o.d"
+  "/root/repo/src/core/load_balancer.cpp" "src/core/CMakeFiles/hm_core.dir/load_balancer.cpp.o" "gcc" "src/core/CMakeFiles/hm_core.dir/load_balancer.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/hm_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/hm_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/hm_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/hm_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/hm_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/hm_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hm_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_core.dir/controller.cpp.o"
+  "CMakeFiles/hm_core.dir/controller.cpp.o.d"
+  "CMakeFiles/hm_core.dir/heartbeat.cpp.o"
+  "CMakeFiles/hm_core.dir/heartbeat.cpp.o.d"
+  "CMakeFiles/hm_core.dir/learning.cpp.o"
+  "CMakeFiles/hm_core.dir/learning.cpp.o.d"
+  "CMakeFiles/hm_core.dir/load_balancer.cpp.o"
+  "CMakeFiles/hm_core.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/hm_core.dir/scheduler.cpp.o"
+  "CMakeFiles/hm_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/hm_core.dir/trace.cpp.o"
+  "CMakeFiles/hm_core.dir/trace.cpp.o.d"
+  "libhm_core.a"
+  "libhm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/graph.cpp" "src/dsl/CMakeFiles/hm_dsl.dir/graph.cpp.o" "gcc" "src/dsl/CMakeFiles/hm_dsl.dir/graph.cpp.o.d"
+  "/root/repo/src/dsl/parser.cpp" "src/dsl/CMakeFiles/hm_dsl.dir/parser.cpp.o" "gcc" "src/dsl/CMakeFiles/hm_dsl.dir/parser.cpp.o.d"
+  "/root/repo/src/dsl/scenarios.cpp" "src/dsl/CMakeFiles/hm_dsl.dir/scenarios.cpp.o" "gcc" "src/dsl/CMakeFiles/hm_dsl.dir/scenarios.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

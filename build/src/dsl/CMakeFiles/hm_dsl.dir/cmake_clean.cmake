@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_dsl.dir/graph.cpp.o"
+  "CMakeFiles/hm_dsl.dir/graph.cpp.o.d"
+  "CMakeFiles/hm_dsl.dir/parser.cpp.o"
+  "CMakeFiles/hm_dsl.dir/parser.cpp.o.d"
+  "CMakeFiles/hm_dsl.dir/scenarios.cpp.o"
+  "CMakeFiles/hm_dsl.dir/scenarios.cpp.o.d"
+  "libhm_dsl.a"
+  "libhm_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

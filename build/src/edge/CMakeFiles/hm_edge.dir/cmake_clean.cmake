@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_edge.dir/device.cpp.o"
+  "CMakeFiles/hm_edge.dir/device.cpp.o.d"
+  "libhm_edge.a"
+  "libhm_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/astar.cpp" "src/geo/CMakeFiles/hm_geo.dir/astar.cpp.o" "gcc" "src/geo/CMakeFiles/hm_geo.dir/astar.cpp.o.d"
+  "/root/repo/src/geo/coverage.cpp" "src/geo/CMakeFiles/hm_geo.dir/coverage.cpp.o" "gcc" "src/geo/CMakeFiles/hm_geo.dir/coverage.cpp.o.d"
+  "/root/repo/src/geo/grid.cpp" "src/geo/CMakeFiles/hm_geo.dir/grid.cpp.o" "gcc" "src/geo/CMakeFiles/hm_geo.dir/grid.cpp.o.d"
+  "/root/repo/src/geo/mapping.cpp" "src/geo/CMakeFiles/hm_geo.dir/mapping.cpp.o" "gcc" "src/geo/CMakeFiles/hm_geo.dir/mapping.cpp.o.d"
+  "/root/repo/src/geo/maze.cpp" "src/geo/CMakeFiles/hm_geo.dir/maze.cpp.o" "gcc" "src/geo/CMakeFiles/hm_geo.dir/maze.cpp.o.d"
+  "/root/repo/src/geo/motion.cpp" "src/geo/CMakeFiles/hm_geo.dir/motion.cpp.o" "gcc" "src/geo/CMakeFiles/hm_geo.dir/motion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_geo.dir/astar.cpp.o"
+  "CMakeFiles/hm_geo.dir/astar.cpp.o.d"
+  "CMakeFiles/hm_geo.dir/coverage.cpp.o"
+  "CMakeFiles/hm_geo.dir/coverage.cpp.o.d"
+  "CMakeFiles/hm_geo.dir/grid.cpp.o"
+  "CMakeFiles/hm_geo.dir/grid.cpp.o.d"
+  "CMakeFiles/hm_geo.dir/mapping.cpp.o"
+  "CMakeFiles/hm_geo.dir/mapping.cpp.o.d"
+  "CMakeFiles/hm_geo.dir/maze.cpp.o"
+  "CMakeFiles/hm_geo.dir/maze.cpp.o.d"
+  "CMakeFiles/hm_geo.dir/motion.cpp.o"
+  "CMakeFiles/hm_geo.dir/motion.cpp.o.d"
+  "libhm_geo.a"
+  "libhm_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_net.dir/link.cpp.o"
+  "CMakeFiles/hm_net.dir/link.cpp.o.d"
+  "CMakeFiles/hm_net.dir/rpc.cpp.o"
+  "CMakeFiles/hm_net.dir/rpc.cpp.o.d"
+  "CMakeFiles/hm_net.dir/topology.cpp.o"
+  "CMakeFiles/hm_net.dir/topology.cpp.o.d"
+  "libhm_net.a"
+  "libhm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

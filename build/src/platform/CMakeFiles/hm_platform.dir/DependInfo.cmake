@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/deployment.cpp" "src/platform/CMakeFiles/hm_platform.dir/deployment.cpp.o" "gcc" "src/platform/CMakeFiles/hm_platform.dir/deployment.cpp.o.d"
+  "/root/repo/src/platform/graph_runner.cpp" "src/platform/CMakeFiles/hm_platform.dir/graph_runner.cpp.o" "gcc" "src/platform/CMakeFiles/hm_platform.dir/graph_runner.cpp.o.d"
+  "/root/repo/src/platform/metrics.cpp" "src/platform/CMakeFiles/hm_platform.dir/metrics.cpp.o" "gcc" "src/platform/CMakeFiles/hm_platform.dir/metrics.cpp.o.d"
+  "/root/repo/src/platform/options.cpp" "src/platform/CMakeFiles/hm_platform.dir/options.cpp.o" "gcc" "src/platform/CMakeFiles/hm_platform.dir/options.cpp.o.d"
+  "/root/repo/src/platform/scenario.cpp" "src/platform/CMakeFiles/hm_platform.dir/scenario.cpp.o" "gcc" "src/platform/CMakeFiles/hm_platform.dir/scenario.cpp.o.d"
+  "/root/repo/src/platform/single_phase.cpp" "src/platform/CMakeFiles/hm_platform.dir/single_phase.cpp.o" "gcc" "src/platform/CMakeFiles/hm_platform.dir/single_phase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/hm_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/hm_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/hm_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/hm_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/hm_dsl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_platform.dir/deployment.cpp.o"
+  "CMakeFiles/hm_platform.dir/deployment.cpp.o.d"
+  "CMakeFiles/hm_platform.dir/graph_runner.cpp.o"
+  "CMakeFiles/hm_platform.dir/graph_runner.cpp.o.d"
+  "CMakeFiles/hm_platform.dir/metrics.cpp.o"
+  "CMakeFiles/hm_platform.dir/metrics.cpp.o.d"
+  "CMakeFiles/hm_platform.dir/options.cpp.o"
+  "CMakeFiles/hm_platform.dir/options.cpp.o.d"
+  "CMakeFiles/hm_platform.dir/scenario.cpp.o"
+  "CMakeFiles/hm_platform.dir/scenario.cpp.o.d"
+  "CMakeFiles/hm_platform.dir/single_phase.cpp.o"
+  "CMakeFiles/hm_platform.dir/single_phase.cpp.o.d"
+  "libhm_platform.a"
+  "libhm_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_sim.dir/rng.cpp.o"
+  "CMakeFiles/hm_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/hm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hm_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/hm_sim.dir/stats.cpp.o"
+  "CMakeFiles/hm_sim.dir/stats.cpp.o.d"
+  "libhm_sim.a"
+  "libhm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

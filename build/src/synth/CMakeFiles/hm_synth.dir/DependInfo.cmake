@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/api_synth.cpp" "src/synth/CMakeFiles/hm_synth.dir/api_synth.cpp.o" "gcc" "src/synth/CMakeFiles/hm_synth.dir/api_synth.cpp.o.d"
+  "/root/repo/src/synth/cost_model.cpp" "src/synth/CMakeFiles/hm_synth.dir/cost_model.cpp.o" "gcc" "src/synth/CMakeFiles/hm_synth.dir/cost_model.cpp.o.d"
+  "/root/repo/src/synth/explorer.cpp" "src/synth/CMakeFiles/hm_synth.dir/explorer.cpp.o" "gcc" "src/synth/CMakeFiles/hm_synth.dir/explorer.cpp.o.d"
+  "/root/repo/src/synth/placement.cpp" "src/synth/CMakeFiles/hm_synth.dir/placement.cpp.o" "gcc" "src/synth/CMakeFiles/hm_synth.dir/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsl/CMakeFiles/hm_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

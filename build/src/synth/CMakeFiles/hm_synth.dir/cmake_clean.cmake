@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_synth.dir/api_synth.cpp.o"
+  "CMakeFiles/hm_synth.dir/api_synth.cpp.o.d"
+  "CMakeFiles/hm_synth.dir/cost_model.cpp.o"
+  "CMakeFiles/hm_synth.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hm_synth.dir/explorer.cpp.o"
+  "CMakeFiles/hm_synth.dir/explorer.cpp.o.d"
+  "CMakeFiles/hm_synth.dir/placement.cpp.o"
+  "CMakeFiles/hm_synth.dir/placement.cpp.o.d"
+  "libhm_synth.a"
+  "libhm_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
