@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Extension — chaos sweep: fault rate x recovery policy.
+ *
+ * Runs Scenario A under increasingly hostile FaultPlans (device churn,
+ * a server crash, bursty links, plus a matching function fault_prob)
+ * crossed with the three Restore policies, and reports the recovery
+ * ledger per cell: MTTD/MTTR, completion time and its overhead versus
+ * the same policy's fault-free baseline, lost/re-executed work and
+ * dropped frames. Output is a single JSON document on stdout so the
+ * sweep can be consumed by plotting scripts directly.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "platform/options.hpp"
+#include "platform/scenario.hpp"
+
+using namespace hivemind;
+
+namespace {
+
+const char*
+policy_name(cloud::FaultRecovery p)
+{
+    switch (p) {
+      case cloud::FaultRecovery::None:
+        return "None";
+      case cloud::FaultRecovery::Respawn:
+        return "Respawn";
+      case cloud::FaultRecovery::Checkpoint:
+        return "Checkpoint";
+    }
+    return "?";
+}
+
+platform::RunMetrics
+run_cell(double rate, cloud::FaultRecovery policy, std::uint64_t seed)
+{
+    platform::ScenarioConfig sc;
+    sc.kind = platform::ScenarioKind::StationaryItems;
+    sc.field_size_m = 48.0;
+    sc.targets = 6;
+    sc.time_cap = 600 * sim::kSecond;
+    sc.recovery = policy;
+    if (rate > 0.0) {
+        // Device churn whose intensity scales with the rate, one
+        // backend crash, and a bursty-loss window that widens with it.
+        sc.faults = fault::FaultPlan::poisson_device_churn(
+            101 + seed, 8, 60 * sim::kSecond,
+            static_cast<sim::Time>(4.0 / rate) * sim::kSecond,
+            8 * sim::kSecond);
+        sc.faults.server_crash(8 * sim::kSecond, 0, 2 * sim::kSecond);
+        sc.faults.link_burst(
+            5 * sim::kSecond,
+            static_cast<sim::Time>(rate * 30.0 * sim::kSecond), 0.9);
+    }
+
+    platform::DeploymentConfig cfg;
+    cfg.devices = 8;
+    cfg.servers = 6;
+    cfg.cores_per_server = 20;
+    cfg.seed = seed;
+    cfg.faas.fault_prob = rate * 0.1;  // Function self-faults too.
+    return platform::run_scenario(sc, platform::PlatformOptions::hivemind(),
+                                  cfg);
+}
+
+}  // namespace
+
+int
+main()
+{
+    const std::vector<double> rates = {0.0, 0.1, 0.3};
+    const std::vector<cloud::FaultRecovery> policies = {
+        cloud::FaultRecovery::None, cloud::FaultRecovery::Respawn,
+        cloud::FaultRecovery::Checkpoint};
+    const std::vector<std::uint64_t> seeds = {1, 2, 3};
+
+    std::printf("{\n  \"bench\": \"abl_chaos\",\n  \"scenario\": "
+                "\"StationaryItems 48m / 6 targets / 8 drones\",\n"
+                "  \"cells\": [\n");
+    bool first = true;
+    for (cloud::FaultRecovery policy : policies) {
+        double baseline_completion = 0.0;
+        for (double rate : rates) {
+            platform::RunMetrics sum;
+            bool merged = false;
+            for (std::uint64_t seed : seeds) {
+                platform::RunMetrics m = run_cell(rate, policy, seed);
+                if (!merged) {
+                    sum = m;
+                    merged = true;
+                } else {
+                    sum.merge(m);
+                }
+            }
+            double n = static_cast<double>(seeds.size());
+            double completion = sum.completion_s / n;
+            if (rate == 0.0)
+                baseline_completion = completion;
+            double overhead_pct = baseline_completion > 0.0
+                ? 100.0 * (completion - baseline_completion) /
+                    baseline_completion
+                : 0.0;
+            const fault::RecoveryMetrics& r = sum.recovery;
+            if (!first)
+                std::printf(",\n");
+            first = false;
+            std::printf(
+                "    {\"fault_rate\": %.2f, \"policy\": \"%s\", "
+                "\"completion_s\": %.2f, \"overhead_pct\": %.1f, "
+                "\"completed_runs\": %s, "
+                "\"mttd_s\": %.3f, \"mttr_s\": %.3f, "
+                "\"mttd_samples\": %zu, \"mttr_samples\": %zu, "
+                "\"work_lost_core_ms\": %.1f, "
+                "\"reexecuted_core_ms\": %.1f, "
+                "\"frames_dropped\": %llu, \"killed_invocations\": %llu, "
+                "\"device_crashes\": %llu, \"device_rejoins\": %llu, "
+                "\"offload_retries\": %llu, \"offloads_abandoned\": %llu}",
+                rate, policy_name(policy), completion, overhead_pct,
+                sum.completed ? "true" : "false",
+                r.mttd_s.empty() ? 0.0 : r.mttd_s.mean(),
+                r.mttr_s.empty() ? 0.0 : r.mttr_s.mean(),
+                r.mttd_s.count(), r.mttr_s.count(), r.work_lost_core_ms,
+                r.reexecuted_core_ms,
+                static_cast<unsigned long long>(r.frames_dropped),
+                static_cast<unsigned long long>(r.killed_invocations),
+                static_cast<unsigned long long>(r.device_crashes),
+                static_cast<unsigned long long>(r.device_rejoins),
+                static_cast<unsigned long long>(r.offload_retries),
+                static_cast<unsigned long long>(r.offloads_abandoned));
+        }
+    }
+    std::printf("\n  ]\n}\n");
+    return 0;
+}

@@ -39,9 +39,8 @@ run_policy(cloud::FaultRecovery policy, double fault_prob)
     req.app = "S1";
     req.work_core_ms = 350.0;
     req.recovery = policy;
-    auto gen = std::make_shared<std::function<void()>>();
     auto grng = std::make_shared<sim::Rng>(rng.fork());
-    *gen = [&, gen, grng]() {
+    auto gen = sim::recurring([&, grng](const std::function<void()>& self) {
         if (simulator.now() >= 60 * sim::kSecond)
             return;
         rt.invoke(req, [&](const cloud::InvocationTrace& t) {
@@ -49,10 +48,9 @@ run_policy(cloud::FaultRecovery policy, double fault_prob)
                 out.latency.add(t.total_s());
         });
         simulator.schedule_in(
-            sim::from_seconds(grng->exponential(1.0 / 8.0)),
-            [gen]() { (*gen)(); });
-    };
-    simulator.schedule_at(0, [gen]() { (*gen)(); });
+            sim::from_seconds(grng->exponential(1.0 / 8.0)), self);
+    });
+    simulator.schedule_at(0, gen);
     simulator.run();
     out.lost = rt.lost();
     out.faults = rt.faults();
@@ -102,9 +100,8 @@ main()
         cloud::InvokeRequest req;
         req.app = "S1";
         req.work_core_ms = 350.0;
-        auto gen = std::make_shared<std::function<void()>>();
         auto grng = std::make_shared<sim::Rng>(rng.fork());
-        *gen = [&, gen, grng]() {
+        auto gen = sim::recurring([&, grng](const std::function<void()>& self) {
             if (simulator.now() >= 60 * sim::kSecond)
                 return;
             sim::Time submit = simulator.now();
@@ -115,10 +112,9 @@ main()
                 }
             });
             simulator.schedule_in(
-                sim::from_seconds(grng->exponential(1.0 / 8.0)),
-                [gen]() { (*gen)(); });
-        };
-        simulator.schedule_at(0, [gen]() { (*gen)(); });
+                sim::from_seconds(grng->exponential(1.0 / 8.0)), self);
+        });
+        simulator.schedule_at(0, gen);
         sim::Time t = takeover;
         simulator.schedule_at(30 * sim::kSecond,
                               [&rt, t]() { rt.fail_controller(t); });

@@ -29,17 +29,16 @@ void
 drive(sim::Simulator& simulator, sim::Rng& rng, double rate_hz,
       sim::Time duration, Fn submit)
 {
-    auto gen = std::make_shared<std::function<void()>>();
     auto rng_ptr = std::make_shared<sim::Rng>(rng.fork());
-    *gen = [&simulator, rng_ptr, rate_hz, duration, submit, gen]() {
+    auto gen = sim::recurring([&simulator, rng_ptr, rate_hz, duration,
+                               submit](const std::function<void()>& self) {
         if (simulator.now() >= duration)
             return;
         submit();
         simulator.schedule_in(
-            sim::from_seconds(rng_ptr->exponential(1.0 / rate_hz)),
-            [gen]() { (*gen)(); });
-    };
-    simulator.schedule_at(0, [gen]() { (*gen)(); });
+            sim::from_seconds(rng_ptr->exponential(1.0 / rate_hz)), self);
+    });
+    simulator.schedule_at(0, gen);
 }
 
 }  // namespace

@@ -76,9 +76,8 @@ main()
         cloud::DataStore store(simulator, rng, cloud::DataStoreConfig{});
         cloud::FaasRuntime rt(simulator, rng, cluster, store,
                               cloud::FaasConfig{});
-        auto gen = std::make_shared<std::function<void()>>();
         auto grng = std::make_shared<sim::Rng>(rng.fork());
-        *gen = [&, gen, grng]() {
+        auto gen = sim::recurring([&, grng](const std::function<void()>& self) {
             if (simulator.now() >= kDuration)
                 return;
             cloud::InvokeRequest req;
@@ -90,10 +89,9 @@ main()
             });
             double rate = std::max(pattern.rate_at(simulator.now()), 0.2);
             simulator.schedule_in(
-                sim::from_seconds(grng->exponential(1.0 / rate)),
-                [gen]() { (*gen)(); });
-        };
-        simulator.schedule_at(0, [gen]() { (*gen)(); });
+                sim::from_seconds(grng->exponential(1.0 / rate)), self);
+        });
+        simulator.schedule_at(0, gen);
         simulator.run();
     }
 
@@ -107,9 +105,8 @@ main()
             1, static_cast<int>(std::ceil(
                    provision_rate * app.work_core_ms / 1000.0 * 1.15)));
         cloud::IaasPool pool(simulator, rng, cfg);
-        auto gen = std::make_shared<std::function<void()>>();
         auto grng = std::make_shared<sim::Rng>(rng.fork());
-        *gen = [&, gen, grng]() {
+        auto gen = sim::recurring([&, grng](const std::function<void()>& self) {
             if (simulator.now() >= kDuration)
                 return;
             pool.submit(app.work_core_ms, [&](const cloud::IaasTrace& t) {
@@ -117,10 +114,9 @@ main()
             });
             double rate = std::max(pattern.rate_at(simulator.now()), 0.2);
             simulator.schedule_in(
-                sim::from_seconds(grng->exponential(1.0 / rate)),
-                [gen]() { (*gen)(); });
-        };
-        simulator.schedule_at(0, [gen]() { (*gen)(); });
+                sim::from_seconds(grng->exponential(1.0 / rate)), self);
+        });
+        simulator.schedule_at(0, gen);
         simulator.run();
         return cfg.workers;
     };

@@ -40,9 +40,8 @@ run_with_faults(double fault_prob)
     cloud::FaasConfig cfg;
     cfg.fault_prob = fault_prob;
     cloud::FaasRuntime rt(simulator, rng, cluster, store, cfg);
-    auto gen = std::make_shared<std::function<void()>>();
     auto grng = std::make_shared<sim::Rng>(rng.fork());
-    *gen = [&, gen, grng]() {
+    auto gen = sim::recurring([&, grng](const std::function<void()>& self) {
         if (simulator.now() >= kDuration)
             return;
         cloud::InvokeRequest req;
@@ -52,10 +51,9 @@ run_with_faults(double fault_prob)
         rt.invoke(req, nullptr);
         double rate = std::max(pattern.rate_at(simulator.now()), 0.2);
         simulator.schedule_in(
-            sim::from_seconds(grng->exponential(1.0 / rate)),
-            [gen]() { (*gen)(); });
-    };
-    simulator.schedule_at(0, [gen]() { (*gen)(); });
+            sim::from_seconds(grng->exponential(1.0 / rate)), self);
+    });
+    simulator.schedule_at(0, gen);
     simulator.run();
     SeriesResult out;
     out.active = rt.active_series().window_means(kWindow, kDuration);

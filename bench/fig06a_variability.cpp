@@ -25,17 +25,16 @@ void
 drive(sim::Simulator& simulator, sim::Rng& rng, double rate_hz,
       SubmitFn submit)
 {
-    auto gen = std::make_shared<std::function<void()>>();
     auto grng = std::make_shared<sim::Rng>(rng.fork());
-    *gen = [&simulator, grng, rate_hz, submit, gen]() {
+    auto gen = sim::recurring([&simulator, grng, rate_hz,
+                               submit](const std::function<void()>& self) {
         if (simulator.now() >= kDuration)
             return;
         submit();
         simulator.schedule_in(
-            sim::from_seconds(grng->exponential(1.0 / rate_hz)),
-            [gen]() { (*gen)(); });
-    };
-    simulator.schedule_at(0, [gen]() { (*gen)(); });
+            sim::from_seconds(grng->exponential(1.0 / rate_hz)), self);
+    });
+    simulator.schedule_at(0, gen);
 }
 
 }  // namespace

@@ -38,9 +38,8 @@ main()
         cloud::FaasRuntime rt(simulator, rng, cluster, store,
                               cloud::FaasConfig{});
         double rate = app.task_rate_hz * 16.0;
-        auto gen = std::make_shared<std::function<void()>>();
         auto grng = std::make_shared<sim::Rng>(rng.fork());
-        *gen = [&, gen, grng]() {
+        auto gen = sim::recurring([&, grng](const std::function<void()>& self) {
             if (simulator.now() >= kDuration)
                 return;
             cloud::InvokeRequest req;
@@ -55,10 +54,9 @@ main()
                 exec.add(t.exec_s());
             });
             simulator.schedule_in(
-                sim::from_seconds(grng->exponential(1.0 / rate)),
-                [gen]() { (*gen)(); });
-        };
-        simulator.schedule_at(0, [gen]() { (*gen)(); });
+                sim::from_seconds(grng->exponential(1.0 / rate)), self);
+        });
+        simulator.schedule_at(0, gen);
         simulator.run();
 
         auto shares = [](double a, double b, double c, double out[3]) {

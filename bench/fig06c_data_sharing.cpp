@@ -44,9 +44,9 @@ main()
             cfg.sharing = proto;
             cloud::FaasRuntime rt(simulator, rng, cluster, store, cfg);
             double rate = app.task_rate_hz * 16.0;
-            auto gen = std::make_shared<std::function<void()>>();
             auto grng = std::make_shared<sim::Rng>(rng.fork());
-            *gen = [&, gen, grng]() {
+            auto gen =
+                sim::recurring([&, grng](const std::function<void()>& self) {
                 if (simulator.now() >= kDuration)
                     return;
                 // Parent function writes, dependent child reads: two
@@ -61,10 +61,9 @@ main()
                     lat.add(t.total_s());
                 });
                 simulator.schedule_in(
-                    sim::from_seconds(grng->exponential(1.0 / rate)),
-                    [gen]() { (*gen)(); });
-            };
-            simulator.schedule_at(0, [gen]() { (*gen)(); });
+                    sim::from_seconds(grng->exponential(1.0 / rate)), self);
+                });
+            simulator.schedule_at(0, gen);
             simulator.run();
             med[col++] = 1000.0 * lat.median();
         }

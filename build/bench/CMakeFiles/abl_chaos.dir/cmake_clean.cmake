@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_chaos.dir/abl_chaos.cpp.o"
+  "CMakeFiles/abl_chaos.dir/abl_chaos.cpp.o.d"
+  "abl_chaos"
+  "abl_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -243,6 +243,7 @@ bench/CMakeFiles/fig04_centralized_vs_distributed.dir/fig04_centralized_vs_distr
  /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/time.hpp /root/repo/src/sim/stats.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/cloud/faas.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
@@ -254,7 +255,8 @@ bench/CMakeFiles/fig04_centralized_vs_distributed.dir/fig04_centralized_vs_distr
  /root/repo/src/edge/battery.hpp /root/repo/src/geo/vec2.hpp \
  /root/repo/src/net/topology.hpp /root/repo/src/net/link.hpp \
  /root/repo/src/net/rpc.hpp /root/repo/src/platform/options.hpp \
- /root/repo/src/platform/metrics.hpp /root/repo/src/platform/scenario.hpp \
- /root/repo/src/apps/detection.hpp \
+ /root/repo/src/platform/metrics.hpp /root/repo/src/fault/metrics.hpp \
+ /root/repo/src/platform/scenario.hpp /root/repo/src/apps/detection.hpp \
+ /root/repo/src/fault/plan.hpp /root/repo/src/fault/retry.hpp \
  /root/repo/src/platform/single_phase.hpp \
  /root/repo/src/apps/workload.hpp

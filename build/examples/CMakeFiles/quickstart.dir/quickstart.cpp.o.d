@@ -247,6 +247,7 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/stats.hpp /usr/include/c++/12/cstddef \
  /root/repo/src/cloud/faas.hpp /root/repo/src/cloud/server.hpp \
  /root/repo/src/cloud/sharing.hpp /root/repo/src/cloud/iaas.hpp \
@@ -255,5 +256,6 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/geo/vec2.hpp /root/repo/src/net/topology.hpp \
  /root/repo/src/net/link.hpp /root/repo/src/net/rpc.hpp \
  /root/repo/src/platform/options.hpp /root/repo/src/platform/metrics.hpp \
- /root/repo/src/synth/api_synth.hpp /root/repo/src/synth/placement.hpp \
- /root/repo/src/synth/explorer.hpp /root/repo/src/synth/cost_model.hpp
+ /root/repo/src/fault/metrics.hpp /root/repo/src/synth/api_synth.hpp \
+ /root/repo/src/synth/placement.hpp /root/repo/src/synth/explorer.hpp \
+ /root/repo/src/synth/cost_model.hpp

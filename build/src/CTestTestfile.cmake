@@ -13,5 +13,6 @@ subdirs("apps")
 subdirs("dsl")
 subdirs("synth")
 subdirs("core")
+subdirs("fault")
 subdirs("platform")
 subdirs("analytic")

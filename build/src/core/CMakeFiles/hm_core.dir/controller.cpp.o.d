@@ -213,6 +213,7 @@ src/core/CMakeFiles/hm_core.dir/controller.cpp.o: \
  /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/time.hpp /root/repo/src/core/learning.hpp \
  /root/repo/src/core/load_balancer.hpp /usr/include/c++/12/optional \
  /root/repo/src/geo/coverage.hpp /root/repo/src/geo/vec2.hpp \

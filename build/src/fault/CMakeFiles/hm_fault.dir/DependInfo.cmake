@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/chaos.cpp" "src/fault/CMakeFiles/hm_fault.dir/chaos.cpp.o" "gcc" "src/fault/CMakeFiles/hm_fault.dir/chaos.cpp.o.d"
+  "/root/repo/src/fault/metrics.cpp" "src/fault/CMakeFiles/hm_fault.dir/metrics.cpp.o" "gcc" "src/fault/CMakeFiles/hm_fault.dir/metrics.cpp.o.d"
+  "/root/repo/src/fault/plan.cpp" "src/fault/CMakeFiles/hm_fault.dir/plan.cpp.o" "gcc" "src/fault/CMakeFiles/hm_fault.dir/plan.cpp.o.d"
+  "/root/repo/src/fault/retry.cpp" "src/fault/CMakeFiles/hm_fault.dir/retry.cpp.o" "gcc" "src/fault/CMakeFiles/hm_fault.dir/retry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/hm_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/hm_cloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_fault.dir/chaos.cpp.o"
+  "CMakeFiles/hm_fault.dir/chaos.cpp.o.d"
+  "CMakeFiles/hm_fault.dir/metrics.cpp.o"
+  "CMakeFiles/hm_fault.dir/metrics.cpp.o.d"
+  "CMakeFiles/hm_fault.dir/plan.cpp.o"
+  "CMakeFiles/hm_fault.dir/plan.cpp.o.d"
+  "CMakeFiles/hm_fault.dir/retry.cpp.o"
+  "CMakeFiles/hm_fault.dir/retry.cpp.o.d"
+  "libhm_fault.a"
+  "libhm_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

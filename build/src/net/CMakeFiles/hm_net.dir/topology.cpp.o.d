@@ -211,6 +211,7 @@ src/net/CMakeFiles/hm_net.dir/topology.cpp.o: \
  /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/time.hpp /root/repo/src/sim/stats.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/net/rpc.hpp \
  /root/repo/src/sim/rng.hpp /usr/include/c++/12/cmath /usr/include/math.h \
@@ -240,5 +241,4 @@ src/net/CMakeFiles/hm_net.dir/topology.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h
+ /usr/include/c++/12/pstl/glue_numeric_defs.h

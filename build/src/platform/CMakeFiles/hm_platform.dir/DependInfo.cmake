@@ -27,6 +27,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/hm_core.dir/DependInfo.cmake"
   "/root/repo/build/src/synth/CMakeFiles/hm_synth.dir/DependInfo.cmake"
   "/root/repo/build/src/dsl/CMakeFiles/hm_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/hm_fault.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -240,6 +240,7 @@ src/platform/CMakeFiles/hm_platform.dir/deployment.cpp.o: \
  /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/time.hpp /root/repo/src/sim/stats.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/cloud/faas.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
@@ -253,5 +254,4 @@ src/platform/CMakeFiles/hm_platform.dir/deployment.cpp.o: \
  /root/repo/src/net/rpc.hpp /root/repo/src/platform/options.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

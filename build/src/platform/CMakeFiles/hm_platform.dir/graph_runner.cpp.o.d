@@ -245,6 +245,7 @@ src/platform/CMakeFiles/hm_platform.dir/graph_runner.cpp.o: \
  /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/time.hpp /root/repo/src/sim/stats.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/cloud/faas.hpp \
  /root/repo/src/cloud/server.hpp /root/repo/src/cloud/sharing.hpp \
@@ -253,5 +254,6 @@ src/platform/CMakeFiles/hm_platform.dir/graph_runner.cpp.o: \
  /root/repo/src/edge/battery.hpp /root/repo/src/geo/vec2.hpp \
  /root/repo/src/net/topology.hpp /root/repo/src/net/link.hpp \
  /root/repo/src/net/rpc.hpp /root/repo/src/platform/options.hpp \
- /root/repo/src/platform/metrics.hpp /root/repo/src/synth/cost_model.hpp \
- /root/repo/src/synth/placement.hpp /root/repo/src/synth/explorer.hpp
+ /root/repo/src/platform/metrics.hpp /root/repo/src/fault/metrics.hpp \
+ /root/repo/src/synth/cost_model.hpp /root/repo/src/synth/placement.hpp \
+ /root/repo/src/synth/explorer.hpp

@@ -117,7 +117,8 @@ src/platform/CMakeFiles/hm_platform.dir/metrics.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/sim/stats.hpp \
+ /usr/include/c++/12/bits/basic_string.tcc \
+ /root/repo/src/fault/metrics.hpp /root/repo/src/sim/stats.hpp \
  /usr/include/c++/12/cstddef /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \

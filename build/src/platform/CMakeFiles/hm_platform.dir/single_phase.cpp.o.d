@@ -244,6 +244,7 @@ src/platform/CMakeFiles/hm_platform.dir/single_phase.cpp.o: \
  /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/stats.hpp /usr/include/c++/12/cstddef \
  /root/repo/src/cloud/faas.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
@@ -254,7 +255,7 @@ src/platform/CMakeFiles/hm_platform.dir/single_phase.cpp.o: \
  /root/repo/src/edge/battery.hpp /root/repo/src/geo/vec2.hpp \
  /root/repo/src/net/topology.hpp /root/repo/src/net/link.hpp \
  /root/repo/src/net/rpc.hpp /root/repo/src/platform/options.hpp \
- /root/repo/src/platform/metrics.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/platform/metrics.hpp /root/repo/src/fault/metrics.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

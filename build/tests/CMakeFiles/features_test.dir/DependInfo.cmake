@@ -17,11 +17,12 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/hm_core.dir/DependInfo.cmake"
   "/root/repo/build/src/dsl/CMakeFiles/hm_dsl.dir/DependInfo.cmake"
   "/root/repo/build/src/synth/CMakeFiles/hm_synth.dir/DependInfo.cmake"
-  "/root/repo/build/src/net/CMakeFiles/hm_net.dir/DependInfo.cmake"
-  "/root/repo/build/src/cloud/CMakeFiles/hm_cloud.dir/DependInfo.cmake"
   "/root/repo/build/src/edge/CMakeFiles/hm_edge.dir/DependInfo.cmake"
   "/root/repo/build/src/apps/CMakeFiles/hm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/hm_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/geo/CMakeFiles/hm_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/hm_cloud.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/hm_sim.dir/DependInfo.cmake"
   )
 

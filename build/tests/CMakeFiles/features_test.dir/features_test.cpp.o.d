@@ -334,7 +334,7 @@ tests/CMakeFiles/features_test.dir/features_test.cpp.o: \
  /root/repo/src/geo/vec2.hpp /root/repo/src/net/topology.hpp \
  /root/repo/src/net/link.hpp /root/repo/src/net/rpc.hpp \
  /root/repo/src/platform/options.hpp /root/repo/src/platform/metrics.hpp \
- /root/repo/src/synth/cost_model.hpp /root/repo/src/synth/placement.hpp \
- /root/repo/src/synth/explorer.hpp \
+ /root/repo/src/fault/metrics.hpp /root/repo/src/synth/cost_model.hpp \
+ /root/repo/src/synth/placement.hpp /root/repo/src/synth/explorer.hpp \
  /root/repo/src/platform/single_phase.hpp /root/repo/src/apps/appspec.hpp \
  /root/repo/src/apps/workload.hpp

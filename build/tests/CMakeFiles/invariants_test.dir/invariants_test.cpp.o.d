@@ -295,9 +295,9 @@ tests/CMakeFiles/invariants_test.dir/invariants_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/analytic/model.hpp /root/repo/src/apps/appspec.hpp \
  /root/repo/src/platform/options.hpp /root/repo/src/platform/scenario.hpp \
- /root/repo/src/apps/detection.hpp /root/repo/src/platform/deployment.hpp \
- /root/repo/src/cloud/datastore.hpp /root/repo/src/sim/rng.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/apps/detection.hpp /root/repo/src/fault/plan.hpp \
+ /root/repo/src/sim/time.hpp /root/repo/src/fault/retry.hpp \
+ /root/repo/src/sim/rng.hpp /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -324,16 +324,17 @@ tests/CMakeFiles/invariants_test.dir/invariants_test.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/time.hpp /root/repo/src/sim/stats.hpp \
+ /root/repo/src/platform/deployment.hpp \
+ /root/repo/src/cloud/datastore.hpp /root/repo/src/sim/simulator.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/stats.hpp \
  /root/repo/src/cloud/faas.hpp /root/repo/src/cloud/server.hpp \
  /root/repo/src/cloud/sharing.hpp /root/repo/src/cloud/iaas.hpp \
  /root/repo/src/core/scheduler.hpp /root/repo/src/core/trace.hpp \
  /root/repo/src/edge/device.hpp /root/repo/src/edge/battery.hpp \
  /root/repo/src/geo/vec2.hpp /root/repo/src/net/topology.hpp \
  /root/repo/src/net/link.hpp /root/repo/src/net/rpc.hpp \
- /root/repo/src/platform/metrics.hpp \
+ /root/repo/src/platform/metrics.hpp /root/repo/src/fault/metrics.hpp \
  /root/repo/src/platform/single_phase.hpp \
  /root/repo/src/apps/workload.hpp

@@ -333,6 +333,7 @@ tests/CMakeFiles/platform_test.dir/platform_test.cpp.o: \
  /root/repo/src/geo/vec2.hpp /root/repo/src/net/topology.hpp \
  /root/repo/src/net/link.hpp /root/repo/src/net/rpc.hpp \
  /root/repo/src/platform/options.hpp /root/repo/src/platform/metrics.hpp \
- /root/repo/src/platform/scenario.hpp /root/repo/src/apps/detection.hpp \
- /root/repo/src/platform/single_phase.hpp \
+ /root/repo/src/fault/metrics.hpp /root/repo/src/platform/scenario.hpp \
+ /root/repo/src/apps/detection.hpp /root/repo/src/fault/plan.hpp \
+ /root/repo/src/fault/retry.hpp /root/repo/src/platform/single_phase.hpp \
  /root/repo/src/apps/workload.hpp

@@ -13,6 +13,7 @@ include("/root/repo/build/tests/apps_test[1]_include.cmake")
 include("/root/repo/build/tests/dsl_test[1]_include.cmake")
 include("/root/repo/build/tests/synth_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
 include("/root/repo/build/tests/analytic_test[1]_include.cmake")
 include("/root/repo/build/tests/platform_test[1]_include.cmake")
 include("/root/repo/build/tests/features_test[1]_include.cmake")

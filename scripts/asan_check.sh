@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Configure, build and run the full test suite under AddressSanitizer
+# in a separate build tree (build-asan/). Usage: scripts/asan_check.sh
+# [undefined] — pass 'undefined' to run UBSan instead.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SAN="${1:-address}"
+BUILD_DIR="build-${SAN}"
+
+cmake -B "$BUILD_DIR" -S . -DHIVEMIND_SANITIZE="$SAN"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure

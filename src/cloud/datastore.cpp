@@ -15,11 +15,25 @@ DataStore::DataStore(sim::Simulator& simulator, sim::Rng& rng,
 }
 
 void
+DataStore::fail_until(sim::Time until)
+{
+    if (until <= simulator_->now())
+        return;
+    ++outages_;
+    outage_until_ = std::max(outage_until_, until);
+    // Handlers ride out the outage; queued work resumes afterwards.
+    for (sim::Time& t : handler_free_)
+        t = std::max(t, outage_until_);
+}
+
+void
 DataStore::access(std::uint64_t bytes, std::function<void()> done)
 {
     sim::Time now = simulator_->now();
     // Controller round trip for the object handle precedes queueing.
-    sim::Time enqueue = now + config_.handle_lookup;
+    // During an outage window the request stalls until the store is
+    // back (handler_free_ was pushed past the window at fail time).
+    sim::Time enqueue = std::max(now + config_.handle_lookup, outage_until_);
     auto it = std::min_element(handler_free_.begin(), handler_free_.end());
     sim::Time start = std::max(*it, enqueue);
     double base_ms = sim::to_millis(config_.base_latency);

@@ -37,6 +37,122 @@ FaasRuntime::fail_controller(sim::Time takeover)
         t = std::max(t, resume);
 }
 
+bool
+FaasRuntime::container_lost(const PendingInvocation& inv) const
+{
+    return inv.trace.server != kNoServer &&
+        cluster_->server(inv.trace.server).epoch() != inv.epoch;
+}
+
+void
+FaasRuntime::crash_server(std::size_t server, sim::Time down_for)
+{
+    if (server >= cluster_->size())
+        return;
+    Server& srv = cluster_->server(server);
+    if (srv.down())
+        return;
+    ++server_crashes_;
+    srv.set_down(true);
+    srv.bump_epoch();
+
+    // Warm containers on the host die with it: drop their pool entries
+    // and cancel the keep-alive expiries. Their memory claims (and the
+    // ones of every in-flight container) are wiped wholesale below, so
+    // per-entry releases would double-free.
+    for (auto& [app, pool] : warm_) {
+        (void)app;
+        auto it = pool.by_server.find(server);
+        if (it == pool.by_server.end())
+            continue;
+        for (WarmEntry& e : it->second)
+            simulator_->cancel(e.expiry);
+        pool.total -= it->second.size();
+        pool.by_server.erase(it);
+    }
+    srv.reset_occupancy();
+
+    // Kill the bodies executing on the host and re-drive each through
+    // its Restore policy. Invocations caught in another phase
+    // (instantiation, data sharing) notice the epoch bump when their
+    // callback fires. body_inflight_ is an ordered map, so victims are
+    // processed in a deterministic order.
+    std::vector<std::uint64_t> victims;
+    for (const auto& [id, body] : body_inflight_) {
+        if (body.inv.trace.server == server)
+            victims.push_back(id);
+    }
+    for (std::uint64_t id : victims) {
+        auto it = body_inflight_.find(id);
+        BodyInFlight body = std::move(it->second);
+        body_inflight_.erase(it);
+        simulator_->cancel(body.event);
+        double elapsed_ms =
+            sim::to_millis(simulator_->now() - body.exec_start);
+        double frac = body.full_exec_ms > 0.0
+            ? std::clamp(elapsed_ms / body.full_exec_ms, 0.0, 1.0)
+            : 1.0;
+        double progressed = body.inv.completed_fraction +
+            (1.0 - body.inv.completed_fraction) * frac;
+        redrive_after_crash(std::move(body.inv), progressed);
+    }
+
+    if (down_for > 0) {
+        auto self = this;
+        simulator_->schedule_in(down_for, [self, server]() {
+            self->restore_server(server);
+        });
+    }
+}
+
+void
+FaasRuntime::restore_server(std::size_t server)
+{
+    if (server >= cluster_->size())
+        return;
+    Server& srv = cluster_->server(server);
+    if (!srv.down())
+        return;
+    srv.set_down(false);
+    drain_queue();
+}
+
+void
+FaasRuntime::redrive_after_crash(PendingInvocation inv, double progressed)
+{
+    --running_;
+    ++killed_invocations_;
+    double saved = inv.completed_fraction;
+    if (inv.request.recovery == FaultRecovery::Checkpoint) {
+        double g = inv.request.checkpoint_granularity;
+        if (g > 0.0)
+            saved = std::max(saved, std::floor(progressed / g) * g);
+    }
+    work_lost_core_ms_ += (progressed - saved) * inv.request.work_core_ms;
+    drain_queue();
+    if (inv.request.recovery == FaultRecovery::None) {
+        ++lost_;
+        inv.trace.lost = true;
+        inv.trace.exec_done = simulator_->now();
+        inv.trace.done = inv.trace.exec_done;
+        ++completed_;
+        bump_active(-1);
+        if (inv.done)
+            inv.done(inv.trace);
+        return;
+    }
+    reexecuted_core_ms_ += (progressed - saved) * inv.request.work_core_ms;
+    inv.completed_fraction = saved;
+    inv.trace.attempts += 1;
+    auto self = this;
+    simulator_->schedule_in(
+        config_.sched_overhead + config_.bus_delay,
+        [self, inv = std::move(inv)]() mutable {
+            inv.trace.scheduled = self->simulator_->now();
+            self->try_start(std::move(inv));
+        });
+}
+
 void
 FaasRuntime::bump_active(int delta)
 {
@@ -99,7 +215,7 @@ FaasRuntime::claim_warm(const std::string& app, std::size_t preferred)
     WarmPool& pool = it->second;
     auto usable = [this](std::size_t server) {
         const Server& s = cluster_->server(server);
-        return s.free_cores() > 0 && !s.on_probation();
+        return !s.down() && s.free_cores() > 0 && !s.on_probation();
     };
     std::size_t chosen = kNoServer;
     auto pref = pool.by_server.find(preferred);
@@ -189,6 +305,7 @@ FaasRuntime::start_on_server(PendingInvocation inv, std::size_t server,
     srv.acquire_memory(inv.request.memory_mb);
     ++running_;
     inv.trace.server = server;
+    inv.epoch = srv.epoch();
 
     sim::Time start_latency;
     if (reuse_warm) {
@@ -208,6 +325,12 @@ FaasRuntime::start_on_server(PendingInvocation inv, std::size_t server,
     auto self = this;
     simulator_->schedule_in(
         start_latency, [self, inv = std::move(inv)]() mutable {
+            if (self->container_lost(inv)) {
+                // The host crashed while the container was starting.
+                double progressed = inv.completed_fraction;
+                self->redrive_after_crash(std::move(inv), progressed);
+                return;
+            }
             inv.trace.container_ready = self->simulator_->now();
             // Fetch input produced by a parent function, if any.
             if (inv.request.input_bytes > 0) {
@@ -230,6 +353,12 @@ FaasRuntime::start_on_server(PendingInvocation inv, std::size_t server,
 void
 FaasRuntime::run_body(PendingInvocation inv)
 {
+    if (container_lost(inv)) {
+        // The host crashed while the input was being fetched.
+        double progressed = inv.completed_fraction;
+        redrive_after_crash(std::move(inv), progressed);
+        return;
+    }
     const Server& srv = cluster_->server(inv.trace.server);
     // Interference scales with how full the host is (Sec. 3.3);
     // optional performance isolation (cache/bandwidth partitioning,
@@ -245,60 +374,87 @@ FaasRuntime::run_body(PendingInvocation inv)
     double remaining = 1.0 - inv.completed_fraction;
     double exec_ms = inv.request.work_core_ms * factor * remaining;
 
-    if (rng_.chance(config_.fault_prob * remaining)) {
-        // The function dies partway through; recovery follows the
-        // task's Restore policy (Listing 2 / Sec. 3.2).
-        double dead_frac = rng_.uniform(0.05, 0.95);
-        double dead_ms = exec_ms * dead_frac;
+    // The body is registered while it runs so a server crash can kill
+    // it (cancel the event, measure progress, re-drive). A self-fault
+    // (fault_prob, Listing 2 / Sec. 3.2) schedules the death instead
+    // of the completion; a crash arriving first wins either way.
+    bool self_fault = rng_.chance(config_.fault_prob * remaining);
+    double dead_frac = 0.0;
+    if (self_fault) {
+        dead_frac = rng_.uniform(0.05, 0.95);
         ++faults_;
-        auto self = this;
-        simulator_->schedule_in(
-            sim::from_millis(dead_ms), [self, dead_frac,
-                                        inv = std::move(inv)]() mutable {
-                Server& s = self->cluster_->server(inv.trace.server);
-                s.release_core();
-                s.release_memory(inv.request.memory_mb);
-                --self->running_;
-                self->drain_queue();
-                if (inv.request.recovery == FaultRecovery::None) {
-                    // Lost: report once so callers can count misses.
-                    ++self->lost_;
-                    inv.trace.lost = true;
-                    inv.trace.exec_done = self->simulator_->now();
-                    inv.trace.done = inv.trace.exec_done;
-                    ++self->completed_;
-                    self->bump_active(-1);
-                    if (inv.done)
-                        inv.done(inv.trace);
-                    return;
-                }
-                if (inv.request.recovery == FaultRecovery::Checkpoint) {
-                    // Work up to the last checkpoint boundary survives.
-                    double progressed = inv.completed_fraction +
-                        (1.0 - inv.completed_fraction) * dead_frac;
-                    double g = inv.request.checkpoint_granularity;
-                    if (g > 0.0) {
-                        inv.completed_fraction =
-                            std::floor(progressed / g) * g;
-                    }
-                }
-                inv.trace.attempts += 1;
-                // Retry skips the front-end but re-enters scheduling.
-                self->simulator_->schedule_in(
-                    self->config_.sched_overhead + self->config_.bus_delay,
-                    [self, inv = std::move(inv)]() mutable {
-                        inv.trace.scheduled = self->simulator_->now();
-                        self->try_start(std::move(inv));
-                    });
-            });
+    }
+    sim::Time fire_in =
+        sim::from_millis(self_fault ? exec_ms * dead_frac : exec_ms);
+
+    std::uint64_t id = next_body_id_++;
+    auto self = this;
+    sim::EventId event = simulator_->schedule_in(fire_in, [self, id]() {
+        auto it = self->body_inflight_.find(id);
+        if (it == self->body_inflight_.end())
+            return;  // Killed by a server crash.
+        BodyInFlight body = std::move(it->second);
+        self->body_inflight_.erase(it);
+        if (body.self_fault) {
+            self->body_self_fault(std::move(body.inv), body.dead_frac);
+        } else {
+            body.inv.trace.exec_done = self->simulator_->now();
+            self->finish(std::move(body.inv));
+        }
+    });
+
+    BodyInFlight body;
+    body.event = event;
+    body.exec_start = simulator_->now();
+    body.full_exec_ms = exec_ms;
+    body.self_fault = self_fault;
+    body.dead_frac = dead_frac;
+    body.inv = std::move(inv);
+    body_inflight_.emplace(id, std::move(body));
+}
+
+void
+FaasRuntime::body_self_fault(PendingInvocation inv, double dead_frac)
+{
+    // The function dies partway through; recovery follows the task's
+    // Restore policy (Listing 2 / Sec. 3.2).
+    Server& s = cluster_->server(inv.trace.server);
+    s.release_core();
+    s.release_memory(inv.request.memory_mb);
+    --running_;
+    drain_queue();
+    double progressed = inv.completed_fraction +
+        (1.0 - inv.completed_fraction) * dead_frac;
+    double saved = inv.completed_fraction;
+    if (inv.request.recovery == FaultRecovery::Checkpoint) {
+        // Work up to the last checkpoint boundary survives.
+        double g = inv.request.checkpoint_granularity;
+        if (g > 0.0)
+            saved = std::max(saved, std::floor(progressed / g) * g);
+    }
+    work_lost_core_ms_ += (progressed - saved) * inv.request.work_core_ms;
+    if (inv.request.recovery == FaultRecovery::None) {
+        // Lost: report once so callers can count misses.
+        ++lost_;
+        inv.trace.lost = true;
+        inv.trace.exec_done = simulator_->now();
+        inv.trace.done = inv.trace.exec_done;
+        ++completed_;
+        bump_active(-1);
+        if (inv.done)
+            inv.done(inv.trace);
         return;
     }
-
+    reexecuted_core_ms_ += (progressed - saved) * inv.request.work_core_ms;
+    inv.completed_fraction = saved;
+    inv.trace.attempts += 1;
+    // Retry skips the front-end but re-enters scheduling.
     auto self = this;
     simulator_->schedule_in(
-        sim::from_millis(exec_ms), [self, inv = std::move(inv)]() mutable {
-            inv.trace.exec_done = self->simulator_->now();
-            self->finish(std::move(inv));
+        config_.sched_overhead + config_.bus_delay,
+        [self, inv = std::move(inv)]() mutable {
+            inv.trace.scheduled = self->simulator_->now();
+            self->try_start(std::move(inv));
         });
 }
 
@@ -306,6 +462,13 @@ void
 FaasRuntime::finish(PendingInvocation inv)
 {
     auto complete = [this](PendingInvocation done_inv) {
+        if (container_lost(done_inv)) {
+            // The host crashed while the output was being published;
+            // the work itself finished, so progress is 1.0 and a
+            // Checkpoint re-drive only re-publishes.
+            redrive_after_crash(std::move(done_inv), 1.0);
+            return;
+        }
         Server& srv = cluster_->server(done_inv.trace.server);
         srv.release_core();
         srv.release_memory(done_inv.request.memory_mb);

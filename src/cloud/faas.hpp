@@ -22,7 +22,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <functional>
 #include <limits>
 #include <map>
 #include <string>
@@ -225,8 +224,34 @@ class FaasRuntime
      */
     void fail_controller(sim::Time takeover);
 
+    /**
+     * Crash a backend server (Sec. 4.7 robustness): every container on
+     * it dies instantly — warm pool entries evaporate, in-flight
+     * invocations are killed and re-driven through their Restore
+     * policies (None loses them, Respawn restarts from scratch,
+     * Checkpoint resumes from the last boundary). The server rejoins
+     * placement after @p down_for (0 keeps it down until someone calls
+     * restore_server). No-op when the server is already down.
+     */
+    void crash_server(std::size_t server, sim::Time down_for);
+
+    /** Bring a crashed server back into placement immediately. */
+    void restore_server(std::size_t server);
+
     /** Controller failures injected. */
     std::uint64_t controller_failures() const { return controller_failures_; }
+
+    /** Backend server crashes injected. */
+    std::uint64_t server_crashes() const { return server_crashes_; }
+
+    /** In-flight invocations killed by server crashes. */
+    std::uint64_t killed_invocations() const { return killed_invocations_; }
+
+    /** Function progress discarded by faults and crashes, core-ms. */
+    double work_lost_core_ms() const { return work_lost_core_ms_; }
+
+    /** Previously executed work re-driven after recovery, core-ms. */
+    double reexecuted_core_ms() const { return reexecuted_core_ms_; }
 
     /** Currently running + queued invocations. */
     int active() const { return active_; }
@@ -270,6 +295,19 @@ class FaasRuntime
         InvocationTrace trace;
         /** Fraction of the work already checkpointed (Checkpoint). */
         double completed_fraction = 0.0;
+        /** Host epoch when the container started (crash detection). */
+        std::uint64_t epoch = 0;
+    };
+
+    /** A function body currently executing on a core. */
+    struct BodyInFlight
+    {
+        PendingInvocation inv;
+        sim::EventId event = 0;     ///< Completion (or self-fault) event.
+        sim::Time exec_start = 0;
+        double full_exec_ms = 0.0;  ///< Time to finish the remaining work.
+        bool self_fault = false;    ///< Scheduled to die mid-run.
+        double dead_frac = 0.0;
     };
 
     /**
@@ -287,6 +325,21 @@ class FaasRuntime
 
     /** Function body finished; publish output. */
     void finish(PendingInvocation inv);
+
+    /** Whether the invocation's container died in a server crash. */
+    bool container_lost(const PendingInvocation& inv) const;
+
+    /**
+     * Recovery path after a server crash killed the invocation's
+     * container: account the lost work at overall progress
+     * @p progressed and re-drive (or lose) it per its Restore policy.
+     * The crashed host's occupancy was already wiped wholesale, so
+     * nothing is released here.
+     */
+    void redrive_after_crash(PendingInvocation inv, double progressed);
+
+    /** The function's own mid-run fault fired (fault_prob path). */
+    void body_self_fault(PendingInvocation inv, double dead_frac);
 
     /** Look up (and claim) a warm container for an app. */
     std::optional<std::size_t> claim_warm(const std::string& app,
@@ -327,6 +380,12 @@ class FaasRuntime
 
     /** Pending queues by priority (higher priorities drain first). */
     std::map<int, std::deque<PendingInvocation>, std::greater<int>> queue_;
+    /**
+     * Executing bodies by id — ordered map so crash sweeps visit
+     * victims in a deterministic order (bit-identical recovery runs).
+     */
+    std::map<std::uint64_t, BodyInFlight> body_inflight_;
+    std::uint64_t next_body_id_ = 0;
     std::vector<sim::Time> controller_free_;  // Per-replica next-free.
     int active_ = 0;
     int running_ = 0;  // Functions holding a core (gated by the limit).
@@ -337,6 +396,10 @@ class FaasRuntime
     std::uint64_t faults_ = 0;
     std::uint64_t lost_ = 0;
     std::uint64_t controller_failures_ = 0;
+    std::uint64_t server_crashes_ = 0;
+    std::uint64_t killed_invocations_ = 0;
+    double work_lost_core_ms_ = 0.0;
+    double reexecuted_core_ms_ = 0.0;
 };
 
 }  // namespace hivemind::cloud

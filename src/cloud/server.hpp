@@ -54,7 +54,8 @@ class Server
     bool
     can_host(std::uint64_t memory_mb) const
     {
-        return !on_probation_ && free_cores() > 0 && has_memory(memory_mb);
+        return !down_ && !on_probation_ && free_cores() > 0 &&
+            has_memory(memory_mb);
     }
 
     /** Whether @p memory_mb of RAM is available. */
@@ -86,6 +87,29 @@ class Server
     void note_straggler() { ++straggler_count_; }
     void reset_stragglers() { straggler_count_ = 0; }
 
+    /**
+     * Crash state (chaos injection, Sec. 4.7): a down server hosts
+     * nothing and is excluded from placement until it restarts.
+     */
+    bool down() const { return down_; }
+    void set_down(bool d) { down_ = d; }
+
+    /**
+     * Container-generation counter: bumped on every crash so in-flight
+     * invocations can detect that the container they were running in no
+     * longer exists (their core/memory claims died with it).
+     */
+    std::uint64_t epoch() const { return epoch_; }
+    void bump_epoch() { ++epoch_; }
+
+    /** Wipe all core/memory claims — everything on the host died. */
+    void
+    reset_occupancy()
+    {
+        busy_cores_ = 0;
+        used_memory_mb_ = 0;
+    }
+
   private:
     std::size_t id_;
     int cores_;
@@ -93,6 +117,8 @@ class Server
     int busy_cores_ = 0;
     std::uint64_t used_memory_mb_ = 0;
     bool on_probation_ = false;
+    bool down_ = false;
+    std::uint64_t epoch_ = 0;
     int straggler_count_ = 0;
 };
 

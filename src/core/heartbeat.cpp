@@ -9,7 +9,8 @@ FailureDetector::FailureDetector(sim::Simulator& simulator,
       beat_interval_(beat_interval),
       timeout_(timeout),
       last_beat_(devices, 0),
-      failed_(devices, false)
+      failed_(devices, false),
+      failed_at_(devices, 0)
 {
 }
 
@@ -26,8 +27,20 @@ FailureDetector::start()
 void
 FailureDetector::beat(std::size_t device)
 {
-    if (device < last_beat_.size() && !failed_[device])
-        last_beat_[device] = simulator_->now();
+    if (device >= last_beat_.size())
+        return;
+    sim::Time now = simulator_->now();
+    if (failed_[device]) {
+        // The device is back: clear the mark and report the rejoin.
+        failed_[device] = false;
+        recovery_latencies_.push_back(
+            sim::to_seconds(now - failed_at_[device]));
+        last_beat_[device] = now;
+        if (on_recovery_)
+            on_recovery_(device);
+        return;
+    }
+    last_beat_[device] = now;
 }
 
 void
@@ -41,6 +54,7 @@ FailureDetector::sweep()
             continue;
         if (now - last_beat_[d] > timeout_) {
             failed_[d] = true;
+            failed_at_[d] = last_beat_[d];
             detection_latencies_.push_back(
                 sim::to_seconds(now - last_beat_[d]));
             if (on_failure_)

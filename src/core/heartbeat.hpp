@@ -9,6 +9,11 @@
  * than 3s, it assumes that the device has failed." Detection is
  * implemented as a periodic sweep over last-seen timestamps; the
  * failure callback feeds the load balancer's repartitioning (Fig. 10).
+ *
+ * Failures are not terminal: a heartbeat from a device previously
+ * declared failed clears the mark and fires the recovery callback, so
+ * transient faults (reboot, temporary partition) hand the device's
+ * region back via SwarmLoadBalancer::handle_rejoin.
  */
 
 #include <cstddef>
@@ -48,8 +53,20 @@ class FailureDetector
         on_failure_ = std::move(fn);
     }
 
-    /** Whether a device has been declared failed. */
-    bool is_failed(std::size_t device) const { return failed_[device]; }
+    /** Invoked when a failed device resumes heartbeating. */
+    void set_on_recovery(std::function<void(std::size_t)> fn)
+    {
+        on_recovery_ = std::move(fn);
+    }
+
+    /**
+     * Whether a device has been declared failed. Out-of-range ids are
+     * not tracked and report not-failed.
+     */
+    bool is_failed(std::size_t device) const
+    {
+        return device < failed_.size() && failed_[device];
+    }
 
     /** Number of devices declared failed. */
     std::size_t failed_count() const;
@@ -60,6 +77,12 @@ class FailureDetector
         return detection_latencies_;
     }
 
+    /** Failure-to-recovery latency for each rejoin (seconds). */
+    const std::vector<double>& recovery_latencies() const
+    {
+        return recovery_latencies_;
+    }
+
   private:
     void sweep();
 
@@ -68,8 +91,11 @@ class FailureDetector
     sim::Time timeout_;
     std::vector<sim::Time> last_beat_;
     std::vector<bool> failed_;
+    std::vector<sim::Time> failed_at_;
     std::function<void(std::size_t)> on_failure_;
+    std::function<void(std::size_t)> on_recovery_;
     std::vector<double> detection_latencies_;
+    std::vector<double> recovery_latencies_;
     bool running_ = false;
 };
 

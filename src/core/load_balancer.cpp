@@ -59,6 +59,40 @@ SwarmLoadBalancer::handle_failure(std::size_t device)
     return changed;
 }
 
+std::vector<std::size_t>
+SwarmLoadBalancer::handle_rejoin(std::size_t device)
+{
+    std::vector<std::size_t> changed;
+    for (const Assignment& a : assignments_) {
+        if (a.device == device)
+            return changed;  // Still holds a region; nothing to do.
+    }
+    if (assignments_.empty()) {
+        // Everyone was gone: the rejoiner takes the whole field.
+        assignments_.push_back({device, field_});
+        changed.push_back(device);
+        return changed;
+    }
+    // Split the widest strip (deterministic first-max, left to right):
+    // the donor keeps the left half, the rejoiner works the right.
+    std::size_t widest = 0;
+    for (std::size_t i = 1; i < assignments_.size(); ++i) {
+        if (assignments_[i].region.width() >
+            assignments_[widest].region.width())
+            widest = i;
+    }
+    geo::Rect& donor = assignments_[widest].region;
+    double mid = (donor.x0 + donor.x1) / 2.0;
+    geo::Rect given{mid, donor.y0, donor.x1, donor.y1};
+    donor.x1 = mid;
+    changed.push_back(assignments_[widest].device);
+    changed.push_back(device);
+    assignments_.insert(
+        assignments_.begin() + static_cast<std::ptrdiff_t>(widest) + 1,
+        {device, given});
+    return changed;
+}
+
 std::vector<geo::Vec2>
 SwarmLoadBalancer::route_for(std::size_t device, double track_spacing) const
 {

@@ -46,6 +46,16 @@ class SwarmLoadBalancer
      */
     std::vector<std::size_t> handle_failure(std::size_t device);
 
+    /**
+     * Handle a device rejoining after a transient failure: the widest
+     * current strip is split in half and the right half handed to the
+     * rejoiner (the inverse of the neighbour-absorbs-strip recovery).
+     * No-op when the device still holds a region.
+     *
+     * @return the devices whose regions changed (donor + rejoiner).
+     */
+    std::vector<std::size_t> handle_rejoin(std::size_t device);
+
     /** Coverage sweep of a device's current region. */
     std::vector<geo::Vec2> route_for(std::size_t device,
                                      double track_spacing) const;

@@ -1,0 +1,237 @@
+#include "fault/chaos.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hivemind::fault {
+
+ChaosEngine::ChaosEngine(sim::Simulator& simulator, sim::Rng& rng,
+                         FaultPlan plan)
+    : simulator_(&simulator), rng_(rng.fork()), plan_(std::move(plan))
+{
+}
+
+void
+ChaosEngine::attach_devices(std::size_t count,
+                            std::function<void(std::size_t, bool)> set_failed,
+                            std::function<geo::Vec2(std::size_t)> position)
+{
+    device_count_ = count;
+    set_failed_ = std::move(set_failed);
+    position_ = std::move(position);
+    down_.assign(count, 0);
+}
+
+void
+ChaosEngine::attach_network(net::SwarmTopology& network)
+{
+    network_ = &network;
+}
+
+void
+ChaosEngine::attach_faas(cloud::FaasRuntime& faas)
+{
+    faas_ = &faas;
+}
+
+void
+ChaosEngine::attach_datastore(cloud::DataStore& store)
+{
+    store_ = &store;
+}
+
+void
+ChaosEngine::start()
+{
+    running_ = true;
+    for (const FaultEvent& e : plan_.events) {
+        simulator_->schedule_at(e.at, [this, e]() {
+            if (running_)
+                fire(e);
+        });
+    }
+}
+
+void
+ChaosEngine::stop()
+{
+    running_ = false;
+    if (finalized_)
+        return;
+    finalized_ = true;
+    if (network_ != nullptr)
+        metrics_.frames_dropped = network_->frames_dropped();
+    if (faas_ != nullptr) {
+        metrics_.killed_invocations = faas_->killed_invocations();
+        metrics_.work_lost_core_ms = faas_->work_lost_core_ms();
+        metrics_.reexecuted_core_ms = faas_->reexecuted_core_ms();
+    }
+    if (store_ != nullptr)
+        metrics_.datastore_outages = store_->outages();
+}
+
+bool
+ChaosEngine::device_down(std::size_t device) const
+{
+    return device < down_.size() && down_[device] != 0;
+}
+
+void
+ChaosEngine::note_detected(std::size_t device)
+{
+    auto it = crash_at_.find(device);
+    if (it == crash_at_.end())
+        return;  // Not our fault (battery death etc.).
+    metrics_.mttd_s.add(sim::to_seconds(simulator_->now() - it->second.at));
+}
+
+void
+ChaosEngine::note_repaired(std::size_t device)
+{
+    auto it = crash_at_.find(device);
+    if (it == crash_at_.end())
+        return;
+    // A transient crash stays an open incident until the device itself
+    // rejoins; the interim repartition only patches around it.
+    if (it->second.transient && device_down(device))
+        return;
+    metrics_.mttr_s.add(sim::to_seconds(simulator_->now() - it->second.at));
+    crash_at_.erase(it);
+}
+
+void
+ChaosEngine::fire(const FaultEvent& e)
+{
+    switch (e.kind) {
+    case FaultKind::DeviceCrash:
+        crash_device(e.target, e.duration);
+        break;
+    case FaultKind::SpatialBurst:
+        fire_spatial_burst(e);
+        break;
+    case FaultKind::LinkBurst:
+        fire_link_burst(e);
+        break;
+    case FaultKind::Partition:
+        if (network_ != nullptr && e.target < device_count_) {
+            ++metrics_.partitions;
+            network_->set_device_blocked(e.target, true);
+            if (e.duration > 0) {
+                std::size_t device = e.target;
+                simulator_->schedule_in(e.duration, [this, device]() {
+                    network_->set_device_blocked(device, false);
+                });
+            }
+        }
+        break;
+    case FaultKind::ServerCrash:
+        if (faas_ != nullptr) {
+            ++metrics_.server_crashes;
+            faas_->crash_server(e.target, e.duration);
+            // Cluster-side detection is immediate (worker monitors);
+            // repair lands when the server rejoins placement.
+            if (e.duration > 0)
+                metrics_.mttr_s.add(sim::to_seconds(e.duration));
+        }
+        break;
+    case FaultKind::DatastoreOutage:
+        if (store_ != nullptr && e.duration > 0)
+            store_->fail_until(simulator_->now() + e.duration);
+        break;
+    case FaultKind::ControllerFailover:
+        if (faas_ != nullptr) {
+            ++metrics_.controller_failovers;
+            faas_->fail_controller(e.takeover ? e.duration : 0);
+        }
+        break;
+    }
+}
+
+void
+ChaosEngine::crash_device(std::size_t device, sim::Time rejoin_after)
+{
+    if (device >= device_count_ || device_down(device))
+        return;
+    down_[device] = 1;
+    crash_at_[device] = {simulator_->now(), rejoin_after > 0};
+    ++metrics_.device_crashes;
+    if (set_failed_)
+        set_failed_(device, true);
+    if (rejoin_after > 0) {
+        simulator_->schedule_in(rejoin_after, [this, device]() {
+            if (running_)
+                rejoin_device(device);
+        });
+    }
+}
+
+void
+ChaosEngine::rejoin_device(std::size_t device)
+{
+    if (!device_down(device))
+        return;
+    down_[device] = 0;
+    ++metrics_.device_rejoins;
+    if (set_failed_)
+        set_failed_(device, false);
+}
+
+void
+ChaosEngine::fire_spatial_burst(const FaultEvent& e)
+{
+    if (!position_)
+        return;
+    geo::Vec2 center{e.center_x, e.center_y};
+    // Victims sorted by (distance, id): deterministic, and burst_count
+    // trims to the devices nearest the epicentre.
+    std::vector<std::pair<double, std::size_t>> in_radius;
+    for (std::size_t d = 0; d < device_count_; ++d) {
+        if (device_down(d))
+            continue;
+        double dist = position_(d).distance_to(center);
+        if (dist <= e.radius_m)
+            in_radius.emplace_back(dist, d);
+    }
+    std::sort(in_radius.begin(), in_radius.end());
+    std::size_t limit = e.burst_count > 0
+        ? std::min(e.burst_count, in_radius.size())
+        : in_radius.size();
+    for (std::size_t i = 0; i < limit; ++i)
+        crash_device(in_radius[i].second, e.duration);
+}
+
+void
+ChaosEngine::fire_link_burst(const FaultEvent& e)
+{
+    if (network_ == nullptr || e.duration <= 0)
+        return;
+    ++metrics_.link_burst_windows;
+    sim::Time window_end = simulator_->now() + e.duration;
+    // The window opens in the good state; transitions follow the
+    // two-state Gilbert-Elliott chain until the window closes.
+    network_->set_loss_override(e.loss_good);
+    ge_transition(e, window_end, /*to_bad=*/true);
+    simulator_->schedule_at(window_end, [this]() {
+        if (running_ && network_ != nullptr)
+            network_->set_loss_override(-1.0);
+    });
+}
+
+void
+ChaosEngine::ge_transition(FaultEvent e, sim::Time window_end, bool to_bad)
+{
+    sim::Time dwell = static_cast<sim::Time>(rng_.exponential(
+        static_cast<double>(to_bad ? e.mean_good : e.mean_bad)));
+    sim::Time when = simulator_->now() + std::max<sim::Time>(dwell, 1);
+    if (when >= window_end)
+        return;  // The window closes before the next transition.
+    simulator_->schedule_at(when, [this, e, window_end, to_bad]() {
+        if (!running_ || network_ == nullptr ||
+            simulator_->now() >= window_end)
+            return;
+        network_->set_loss_override(to_bad ? e.loss_bad : e.loss_good);
+        ge_transition(e, window_end, !to_bad);
+    });
+}
+
+}  // namespace hivemind::fault

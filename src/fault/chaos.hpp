@@ -1,0 +1,129 @@
+#pragma once
+
+/**
+ * @file
+ * ChaosEngine: deterministic fault injection across every layer.
+ *
+ * The engine interprets a FaultPlan (fault/plan.hpp) against a live
+ * deployment: it schedules each event on the simulator and drives the
+ * attached components — device failure flags, the wireless topology's
+ * loss override and per-device blackouts, the FaaS runtime's server
+ * crashes and controller failovers, and datastore outage windows. All
+ * randomness (Gilbert-Elliott state dwell times, spatial-burst victim
+ * ordering ties) flows through a forked sim::Rng, so identical seeds
+ * and identical plans replay bit-identically — the property the
+ * determinism acceptance test pins down.
+ *
+ * Detection/repair timing is reported back by the harness through
+ * note_detected()/note_repaired(); the engine matches those against
+ * its own injection times to produce MTTD/MTTR samples, and ignores
+ * devices it did not crash (e.g. battery deaths).
+ */
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "cloud/datastore.hpp"
+#include "cloud/faas.hpp"
+#include "fault/metrics.hpp"
+#include "fault/plan.hpp"
+#include "geo/vec2.hpp"
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace hivemind::fault {
+
+/** Executes a FaultPlan against attached components. */
+class ChaosEngine
+{
+  public:
+    /** @param rng parent stream; the engine forks its own child. */
+    ChaosEngine(sim::Simulator& simulator, sim::Rng& rng, FaultPlan plan);
+
+    /**
+     * Attach the device fleet. @p set_failed flips a device's failed
+     * flag (crash/rejoin); @p position reports a device's current
+     * location for spatial bursts (may be empty — bursts then match
+     * nothing).
+     */
+    void attach_devices(std::size_t count,
+                        std::function<void(std::size_t, bool)> set_failed,
+                        std::function<geo::Vec2(std::size_t)> position = {});
+
+    /** Attach the wireless topology (link bursts, partitions). */
+    void attach_network(net::SwarmTopology& network);
+
+    /** Attach the FaaS runtime (server crashes, controller failovers). */
+    void attach_faas(cloud::FaasRuntime& faas);
+
+    /** Attach the datastore (outage windows). */
+    void attach_datastore(cloud::DataStore& store);
+
+    /** Schedule every plan event on the simulator. */
+    void start();
+
+    /**
+     * Stop injecting (pending events become no-ops) and pull the
+     * attached components' counters into the metrics block. Idempotent.
+     */
+    void stop();
+
+    /** Whether the engine currently holds this device down. */
+    bool device_down(std::size_t device) const;
+
+    /** The harness detected a failure (MTTD sample if we injected it). */
+    void note_detected(std::size_t device);
+
+    /**
+     * The harness restored service for the device — its region was
+     * re-absorbed (permanent crash) or handed back (rejoin). Records
+     * the MTTR sample. For a transient crash the repartition after
+     * detection does NOT close the incident; only the rejoin does.
+     */
+    void note_repaired(std::size_t device);
+
+    /** The accumulated ledger (complete after stop()). */
+    const RecoveryMetrics& metrics() const { return metrics_; }
+    RecoveryMetrics& metrics() { return metrics_; }
+
+    const FaultPlan& plan() const { return plan_; }
+
+  private:
+    struct CrashRecord
+    {
+        sim::Time at = 0;
+        bool transient = false;
+    };
+
+    void fire(const FaultEvent& e);
+    void crash_device(std::size_t device, sim::Time rejoin_after);
+    void rejoin_device(std::size_t device);
+    void fire_spatial_burst(const FaultEvent& e);
+    void fire_link_burst(const FaultEvent& e);
+    /** One Gilbert-Elliott state transition inside a burst window. */
+    void ge_transition(FaultEvent e, sim::Time window_end, bool to_bad);
+
+    sim::Simulator* simulator_;
+    sim::Rng rng_;
+    FaultPlan plan_;
+    RecoveryMetrics metrics_;
+
+    std::size_t device_count_ = 0;
+    std::function<void(std::size_t, bool)> set_failed_;
+    std::function<geo::Vec2(std::size_t)> position_;
+    net::SwarmTopology* network_ = nullptr;
+    cloud::FaasRuntime* faas_ = nullptr;
+    cloud::DataStore* store_ = nullptr;
+
+    std::vector<char> down_;
+    /** Open incidents: device -> injection record (ordered map for
+     *  deterministic iteration). */
+    std::map<std::size_t, CrashRecord> crash_at_;
+    bool running_ = false;
+    bool finalized_ = false;
+};
+
+}  // namespace hivemind::fault

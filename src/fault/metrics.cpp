@@ -1,0 +1,26 @@
+#include "fault/metrics.hpp"
+
+namespace hivemind::fault {
+
+void
+RecoveryMetrics::merge(const RecoveryMetrics& other)
+{
+    mttd_s.merge(other.mttd_s);
+    mttr_s.merge(other.mttr_s);
+    work_lost_core_ms += other.work_lost_core_ms;
+    reexecuted_core_ms += other.reexecuted_core_ms;
+    frames_dropped += other.frames_dropped;
+    offloads_abandoned += other.offloads_abandoned;
+    offload_retries += other.offload_retries;
+    circuit_open_events += other.circuit_open_events;
+    device_crashes += other.device_crashes;
+    device_rejoins += other.device_rejoins;
+    server_crashes += other.server_crashes;
+    killed_invocations += other.killed_invocations;
+    datastore_outages += other.datastore_outages;
+    controller_failovers += other.controller_failovers;
+    link_burst_windows += other.link_burst_windows;
+    partitions += other.partitions;
+}
+
+}  // namespace hivemind::fault

@@ -1,0 +1,55 @@
+#pragma once
+
+/**
+ * @file
+ * Recovery accounting for chaos experiments (Secs. 4.6-4.7).
+ *
+ * RecoveryMetrics is the ledger every fault-injection run fills in:
+ * how fast failures were detected (MTTD), how fast service was
+ * restored (MTTR), how much work was thrown away and re-executed, and
+ * how many frames the wireless layer dropped during partitions. The
+ * block is embedded in platform::RunMetrics so every scenario run
+ * reports it alongside the latency/energy figures.
+ */
+
+#include <cstdint>
+
+#include "sim/stats.hpp"
+
+namespace hivemind::fault {
+
+/** Ledger of one run's failures and recoveries. */
+struct RecoveryMetrics
+{
+    /** Mean-time-to-detect samples: fault injection -> detection, s. */
+    sim::Summary mttd_s;
+    /** Mean-time-to-repair samples: fault injection -> service restored, s. */
+    sim::Summary mttr_s;
+    /** Function progress discarded by faults/crashes, core-ms. */
+    double work_lost_core_ms = 0.0;
+    /** Previously executed work re-driven after recovery, core-ms. */
+    double reexecuted_core_ms = 0.0;
+    /** Wireless frames dropped (retry budget exhausted in a partition). */
+    std::uint64_t frames_dropped = 0;
+    /** Pipeline offloads abandoned after the app-level retry budget. */
+    std::uint64_t offloads_abandoned = 0;
+    /** App-level offload retry attempts (backoff + jitter). */
+    std::uint64_t offload_retries = 0;
+    /** Times a per-device circuit breaker opened (probation, Sec. 4.6). */
+    std::uint64_t circuit_open_events = 0;
+    /** Counters per fault class. */
+    std::uint64_t device_crashes = 0;
+    std::uint64_t device_rejoins = 0;
+    std::uint64_t server_crashes = 0;
+    /** In-flight invocations killed by server crashes. */
+    std::uint64_t killed_invocations = 0;
+    std::uint64_t datastore_outages = 0;
+    std::uint64_t controller_failovers = 0;
+    std::uint64_t link_burst_windows = 0;
+    std::uint64_t partitions = 0;
+
+    /** Fold another ledger into this one (summaries append). */
+    void merge(const RecoveryMetrics& other);
+};
+
+}  // namespace hivemind::fault

@@ -1,0 +1,127 @@
+#include "fault/plan.hpp"
+
+#include "sim/rng.hpp"
+
+namespace hivemind::fault {
+
+FaultPlan&
+FaultPlan::device_crash(sim::Time at, std::size_t device,
+                        sim::Time rejoin_after)
+{
+    FaultEvent e;
+    e.kind = FaultKind::DeviceCrash;
+    e.at = at;
+    e.duration = rejoin_after;
+    e.target = device;
+    events.push_back(e);
+    return *this;
+}
+
+FaultPlan&
+FaultPlan::spatial_burst(sim::Time at, double x, double y, double radius_m,
+                         std::size_t count, sim::Time rejoin_after)
+{
+    FaultEvent e;
+    e.kind = FaultKind::SpatialBurst;
+    e.at = at;
+    e.duration = rejoin_after;
+    e.center_x = x;
+    e.center_y = y;
+    e.radius_m = radius_m;
+    e.burst_count = count;
+    events.push_back(e);
+    return *this;
+}
+
+FaultPlan&
+FaultPlan::link_burst(sim::Time at, sim::Time duration, double loss_bad,
+                      sim::Time mean_good, sim::Time mean_bad)
+{
+    FaultEvent e;
+    e.kind = FaultKind::LinkBurst;
+    e.at = at;
+    e.duration = duration;
+    e.loss_bad = loss_bad;
+    e.mean_good = mean_good;
+    e.mean_bad = mean_bad;
+    events.push_back(e);
+    return *this;
+}
+
+FaultPlan&
+FaultPlan::partition(sim::Time at, sim::Time duration, std::size_t device)
+{
+    FaultEvent e;
+    e.kind = FaultKind::Partition;
+    e.at = at;
+    e.duration = duration;
+    e.target = device;
+    events.push_back(e);
+    return *this;
+}
+
+FaultPlan&
+FaultPlan::server_crash(sim::Time at, std::size_t server, sim::Time down_for)
+{
+    FaultEvent e;
+    e.kind = FaultKind::ServerCrash;
+    e.at = at;
+    e.duration = down_for;
+    e.target = server;
+    events.push_back(e);
+    return *this;
+}
+
+FaultPlan&
+FaultPlan::datastore_outage(sim::Time at, sim::Time duration)
+{
+    FaultEvent e;
+    e.kind = FaultKind::DatastoreOutage;
+    e.at = at;
+    e.duration = duration;
+    events.push_back(e);
+    return *this;
+}
+
+FaultPlan&
+FaultPlan::controller_failover(sim::Time at, bool takeover)
+{
+    FaultEvent e;
+    e.kind = FaultKind::ControllerFailover;
+    e.at = at;
+    e.takeover = takeover;
+    events.push_back(e);
+    return *this;
+}
+
+FaultPlan&
+FaultPlan::merge(const FaultPlan& other)
+{
+    events.insert(events.end(), other.events.begin(), other.events.end());
+    return *this;
+}
+
+FaultPlan
+FaultPlan::poisson_device_churn(std::uint64_t seed, std::size_t devices,
+                                sim::Time horizon,
+                                sim::Time mean_interarrival,
+                                sim::Time rejoin_after)
+{
+    FaultPlan plan;
+    if (devices == 0 || horizon <= 0 || mean_interarrival <= 0)
+        return plan;
+    sim::Rng rng(seed);
+    sim::Time t = 0;
+    while (true) {
+        t += static_cast<sim::Time>(
+            rng.exponential(static_cast<double>(mean_interarrival)));
+        if (t >= horizon)
+            break;
+        std::size_t victim =
+            static_cast<std::size_t>(rng.uniform_int(0, devices - 1));
+        plan.device_crash(t, victim, rejoin_after);
+    }
+    return plan;
+}
+
+}  // namespace hivemind::fault

@@ -1,0 +1,124 @@
+#pragma once
+
+/**
+ * @file
+ * Declarative fault plans for chaos experiments (Secs. 4.6-4.7).
+ *
+ * A FaultPlan is an ordered list of typed fault events with absolute
+ * injection times: device crashes (optionally transient, with a
+ * scheduled rejoin), correlated spatial bursts (k devices in a radius
+ * fail together), Gilbert-Elliott bursty packet-loss windows, hard
+ * wireless partitions, cloud server crashes, datastore outage windows
+ * and controller failovers. Plans are plain data — the ChaosEngine
+ * (fault/chaos.hpp) interprets them against a live deployment — so a
+ * plan can be built once and replayed bit-identically across seeds,
+ * platforms and recovery policies.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hivemind::fault {
+
+/** The fault classes the ChaosEngine knows how to inject. */
+enum class FaultKind
+{
+    /** One device stops heartbeating (rejoins after `duration` if > 0). */
+    DeviceCrash,
+    /** Correlated burst: k devices inside a radius crash together. */
+    SpatialBurst,
+    /** Gilbert-Elliott bursty-loss window on the wireless links. */
+    LinkBurst,
+    /** Hard partition: one device's radio is blacked out for `duration`. */
+    Partition,
+    /** Cloud server crash: kills in-flight invocations, down `duration`. */
+    ServerCrash,
+    /** Datastore outage: all accesses stall until the window closes. */
+    DatastoreOutage,
+    /** Scheduled front-end controller failover (hot standby takes over). */
+    ControllerFailover,
+};
+
+/** One scheduled fault. Unused fields are ignored per kind. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::DeviceCrash;
+    /** Absolute injection time. */
+    sim::Time at = 0;
+    /** Fault window / time-to-rejoin; 0 means permanent. */
+    sim::Time duration = 0;
+    /** Device or server index (DeviceCrash, Partition, ServerCrash). */
+    std::size_t target = 0;
+    /** SpatialBurst epicentre and radius. */
+    double center_x = 0.0;
+    double center_y = 0.0;
+    double radius_m = 0.0;
+    /** SpatialBurst: crash at most this many devices (0 = all in radius). */
+    std::size_t burst_count = 0;
+    /** LinkBurst Gilbert-Elliott parameters: per-state loss and mean
+     *  state dwell times. */
+    double loss_good = 0.0;
+    double loss_bad = 0.9;
+    sim::Time mean_good = 2 * sim::kSecond;
+    sim::Time mean_bad = 500 * sim::kMillisecond;
+    /** ControllerFailover: whether the hot standby takes over. */
+    bool takeover = true;
+};
+
+/** A full chaos schedule. Builder methods append and return *this. */
+struct FaultPlan
+{
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+
+    /** Crash `device` at `at`; rejoin after `rejoin_after` (0 = never). */
+    FaultPlan& device_crash(sim::Time at, std::size_t device,
+                            sim::Time rejoin_after = 0);
+
+    /** Crash up to `count` devices within `radius_m` of (x, y) at `at`.
+     *  `count` == 0 crashes every device in the radius. */
+    FaultPlan& spatial_burst(sim::Time at, double x, double y,
+                             double radius_m, std::size_t count = 0,
+                             sim::Time rejoin_after = 0);
+
+    /** Gilbert-Elliott bursty-loss window over [at, at + duration). */
+    FaultPlan& link_burst(sim::Time at, sim::Time duration,
+                          double loss_bad = 0.9,
+                          sim::Time mean_good = 2 * sim::kSecond,
+                          sim::Time mean_bad = 500 * sim::kMillisecond);
+
+    /** Black out `device`'s radio over [at, at + duration). */
+    FaultPlan& partition(sim::Time at, sim::Time duration,
+                         std::size_t device);
+
+    /** Crash cloud server `server` at `at`; back after `down_for`. */
+    FaultPlan& server_crash(sim::Time at, std::size_t server,
+                            sim::Time down_for = 5 * sim::kSecond);
+
+    /** Stall every datastore access over [at, at + duration). */
+    FaultPlan& datastore_outage(sim::Time at, sim::Time duration);
+
+    /** Fail the active front-end controller at `at`. */
+    FaultPlan& controller_failover(sim::Time at, bool takeover = true);
+
+    /** Append another plan's events. */
+    FaultPlan& merge(const FaultPlan& other);
+
+    /**
+     * Seeded Poisson device churn: crash/rejoin cycles with
+     * exponentially distributed inter-arrival times (`mean_interarrival`)
+     * over [0, horizon), victims drawn uniformly. Deterministic for a
+     * given seed, so churn plans replay bit-identically.
+     */
+    static FaultPlan poisson_device_churn(std::uint64_t seed,
+                                          std::size_t devices,
+                                          sim::Time horizon,
+                                          sim::Time mean_interarrival,
+                                          sim::Time rejoin_after);
+};
+
+}  // namespace hivemind::fault

@@ -1,0 +1,55 @@
+#include "fault/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hivemind::fault {
+
+OffloadRetrier::OffloadRetrier(std::size_t devices, RetryConfig config)
+    : config_(config), state_(devices)
+{
+}
+
+bool
+OffloadRetrier::circuit_open(std::size_t device, sim::Time now) const
+{
+    if (device >= state_.size())
+        return false;
+    return now < state_[device].open_until;
+}
+
+void
+OffloadRetrier::record_success(std::size_t device)
+{
+    if (device >= state_.size())
+        return;
+    state_[device].consecutive_failures = 0;
+}
+
+bool
+OffloadRetrier::record_failure(std::size_t device, sim::Time now)
+{
+    if (device >= state_.size())
+        return false;
+    DeviceState& st = state_[device];
+    ++st.consecutive_failures;
+    if (st.consecutive_failures < config_.breaker_threshold)
+        return false;
+    // Trip: fail fast for the cooldown, then allow a fresh probe run.
+    st.consecutive_failures = 0;
+    st.open_until = now + config_.breaker_cooldown;
+    ++breaker_trips_;
+    return true;
+}
+
+sim::Time
+OffloadRetrier::backoff(int attempt, sim::Rng& rng) const
+{
+    double scale = std::pow(config_.multiplier, std::max(attempt, 0));
+    double base = static_cast<double>(config_.base_backoff) * scale;
+    double jittered =
+        base * rng.uniform(1.0 - config_.jitter, 1.0 + config_.jitter);
+    return std::max<sim::Time>(1, static_cast<sim::Time>(jittered));
+}
+
+}  // namespace hivemind::fault

@@ -1,0 +1,79 @@
+#pragma once
+
+/**
+ * @file
+ * Edge-to-cloud offload retry policy (Sec. 4.6).
+ *
+ * Wireless offloads that fail outright (hard partitions, exhausted
+ * link-layer retransmits) are retried from the application layer with
+ * exponential backoff plus jitter and a capped attempt budget. A
+ * per-device circuit breaker trips after consecutive failures and
+ * fails offloads fast for a cooldown window — the same probation idea
+ * the scheduler applies to misbehaving servers, applied to a device's
+ * own uplink.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace hivemind::fault {
+
+/** Tuning for the offload retry loop and circuit breaker. */
+struct RetryConfig
+{
+    /** Total offload attempts per frame (first try + retries). */
+    int max_attempts = 4;
+    /** Backoff before retry k is base * multiplier^k, jittered. */
+    sim::Time base_backoff = 100 * sim::kMillisecond;
+    double multiplier = 2.0;
+    /** Uniform jitter fraction applied to each backoff (+/- jitter). */
+    double jitter = 0.25;
+    /** Consecutive failures that trip the per-device breaker. */
+    int breaker_threshold = 3;
+    /** How long a tripped breaker fails offloads fast. */
+    sim::Time breaker_cooldown = 5 * sim::kSecond;
+};
+
+/** Per-device retry/circuit-breaker state for a fleet. */
+class OffloadRetrier
+{
+  public:
+    OffloadRetrier(std::size_t devices, RetryConfig config = {});
+
+    const RetryConfig& config() const { return config_; }
+
+    /** Whether `device`'s breaker is open (still cooling down) at `now`. */
+    bool circuit_open(std::size_t device, sim::Time now) const;
+
+    /** Record a successful offload: closes the breaker's failure run. */
+    void record_success(std::size_t device);
+
+    /**
+     * Record a failed offload attempt at `now`. Returns true when this
+     * failure trips the breaker open.
+     */
+    bool record_failure(std::size_t device, sim::Time now);
+
+    /** Jittered exponential backoff before retry `attempt` (0-based). */
+    sim::Time backoff(int attempt, sim::Rng& rng) const;
+
+    /** Total times any breaker tripped open. */
+    std::uint64_t breaker_trips() const { return breaker_trips_; }
+
+  private:
+    struct DeviceState
+    {
+        int consecutive_failures = 0;
+        sim::Time open_until = 0;
+    };
+
+    RetryConfig config_;
+    std::vector<DeviceState> state_;
+    std::uint64_t breaker_trips_ = 0;
+};
+
+}  // namespace hivemind::fault

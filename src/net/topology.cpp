@@ -10,6 +10,7 @@ SwarmTopology::SwarmTopology(sim::Simulator& simulator,
     : simulator_(&simulator),
       config_(config),
       rng_(rng),
+      blocked_(config.devices, 0),
       device_bytes_(config.devices, 0),
       air_meter_(sim::kSecond)
 {
@@ -72,22 +73,63 @@ SwarmTopology::chain(std::vector<Link*> path, std::uint64_t bytes,
 }
 
 void
-SwarmTopology::with_retransmits(
-    std::function<void(DeliveryCallback)> attempt, DeliveryCallback done,
-    int tries_left)
+SwarmTopology::set_device_blocked(std::size_t device, bool blocked)
 {
-    bool lossy = rng_ != nullptr && config_.wireless_loss > 0.0;
+    if (device < blocked_.size())
+        blocked_[device] = blocked ? 1 : 0;
+}
+
+bool
+SwarmTopology::device_blocked(std::size_t device) const
+{
+    return device < blocked_.size() && blocked_[device] != 0;
+}
+
+double
+SwarmTopology::wireless_loss_now(std::size_t device) const
+{
+    if (device_blocked(device))
+        return 1.0;
+    return loss_override_ >= 0.0 ? loss_override_ : config_.wireless_loss;
+}
+
+void
+SwarmTopology::with_retransmits(
+    std::size_t device, std::function<void(DeliveryCallback)> attempt,
+    DeliveryCallback done, int tries_left)
+{
     auto self = this;
-    attempt([self, attempt, done = std::move(done), tries_left,
-             lossy](sim::Time t) mutable {
-        if (lossy && tries_left > 0 &&
-            self->rng_->chance(self->config_.wireless_loss)) {
+    if (wireless_loss_now(device) >= 1.0) {
+        // Radio blackout: nothing reaches the air. Each retry only
+        // burns a retransmit timeout; when the budget runs out the
+        // frame is dropped and the caller is told via kDropped.
+        if (tries_left <= 0) {
+            ++frames_dropped_;
+            if (done)
+                done(kDropped);
+            return;
+        }
+        ++retransmissions_;
+        simulator_->schedule_in(
+            config_.retransmit_timeout,
+            [self, device, attempt = std::move(attempt),
+             done = std::move(done), tries_left]() mutable {
+                self->with_retransmits(device, std::move(attempt),
+                                       std::move(done), tries_left - 1);
+            });
+        return;
+    }
+    attempt([self, device, attempt, done = std::move(done),
+             tries_left](sim::Time t) mutable {
+        double loss = self->wireless_loss_now(device);
+        if (self->rng_ != nullptr && loss > 0.0 && loss < 1.0 &&
+            tries_left > 0 && self->rng_->chance(loss)) {
             ++self->retransmissions_;
             self->simulator_->schedule_in(
                 self->config_.retransmit_timeout,
-                [self, attempt = std::move(attempt),
+                [self, device, attempt = std::move(attempt),
                  done = std::move(done), tries_left]() mutable {
-                    self->with_retransmits(std::move(attempt),
+                    self->with_retransmits(device, std::move(attempt),
                                            std::move(done), tries_left - 1);
                 });
             return;
@@ -130,7 +172,7 @@ SwarmTopology::send_uplink(std::size_t device, std::size_t server,
                     });
         });
     };
-    with_retransmits(std::move(attempt), std::move(done),
+    with_retransmits(device, std::move(attempt), std::move(done),
                      config_.max_retransmits);
 }
 
@@ -162,7 +204,7 @@ SwarmTopology::send_downlink(std::size_t server, std::size_t device,
                     });
         });
     };
-    with_retransmits(std::move(attempt), std::move(done),
+    with_retransmits(device, std::move(attempt), std::move(done),
                      config_.max_retransmits);
 }
 

@@ -31,6 +31,7 @@ RunMetrics::merge(const RunMetrics& other)
     detect_correct_pct += other.detect_correct_pct;
     detect_fn_pct += other.detect_fn_pct;
     detect_fp_pct += other.detect_fp_pct;
+    recovery.merge(other.recovery);
 }
 
 std::string

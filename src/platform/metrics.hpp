@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/metrics.hpp"
 #include "sim/stats.hpp"
 
 namespace hivemind::platform {
@@ -53,6 +54,8 @@ struct RunMetrics
     double detect_correct_pct = 0.0;
     double detect_fn_pct = 0.0;
     double detect_fp_pct = 0.0;
+    /** Fault-injection ledger (MTTD/MTTR, lost work, retries). */
+    fault::RecoveryMetrics recovery;
 
     /** Merge a repeat run into this record (summaries append). */
     void merge(const RunMetrics& other);

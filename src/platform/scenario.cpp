@@ -8,6 +8,7 @@
 #include "core/heartbeat.hpp"
 #include "core/learning.hpp"
 #include "core/load_balancer.hpp"
+#include "fault/chaos.hpp"
 #include "geo/maze.hpp"
 
 namespace hivemind::platform {
@@ -38,7 +39,19 @@ struct StageRecord
     double mgmt = 0.0;
     double data = 0.0;
     double exec = 0.0;
+    /** The offload never completed (partition / breaker / blackout). */
+    bool dropped = false;
 };
+
+/** The chaos plan actually run: config plan + legacy injection shim. */
+fault::FaultPlan
+effective_plan(const ScenarioConfig& sc)
+{
+    fault::FaultPlan plan = sc.faults;
+    if (sc.inject_failure_at > 0)
+        plan.device_crash(sc.inject_failure_at, sc.inject_failure_device);
+    return plan;
+}
 
 /** Work/size constants of the scenario pipelines (from the graphs). */
 struct PipelineSpec
@@ -71,6 +84,8 @@ class ScenarioHarness
         : dep_(&dep),
           sc_(&sc),
           rng_(dep.rng().fork()),
+          chaos_(dep.simulator(), dep.rng(), effective_plan(sc)),
+          retrier_(dep.device_count(), sc.retry),
           balancer_(
               geo::Rect{0.0, 0.0, sc.field_size_m, sc.field_size_m},
               dep.device_count()),
@@ -100,6 +115,18 @@ class ScenarioHarness
         }
         if (sc.frame_bytes_override > 0)
             pipeline_.frame_bytes = sc.frame_bytes_override;
+
+        chaos_.attach_devices(
+            dep.device_count(),
+            [this](std::size_t d, bool failed) {
+                dep_->device(d).set_failed(failed);
+            },
+            [this](std::size_t d) {
+                return dep_->device(d).position_at(dep_->simulator().now());
+            });
+        chaos_.attach_network(dep.network());
+        chaos_.attach_faas(dep.faas());
+        chaos_.attach_datastore(dep.store());
     }
 
     void run();
@@ -127,6 +154,14 @@ class ScenarioHarness
     void pipeline(std::size_t device,
                   std::function<void(const StageRecord&)> done);
 
+    /**
+     * Uplink with exponential-backoff retries and a per-device circuit
+     * breaker. @p done receives the delivery time, or net::kDropped
+     * once attempts are exhausted or the breaker is open.
+     */
+    void uplink_with_retry(std::size_t device, std::uint64_t bytes,
+                           net::DeliveryCallback done, int attempt = 0);
+
     // --- Drone scenarios ---
     void setup_drones();
     void start_pass(std::size_t device);
@@ -142,6 +177,8 @@ class ScenarioHarness
     Deployment* dep_;
     const ScenarioConfig* sc_;
     sim::Rng rng_;
+    fault::ChaosEngine chaos_;
+    fault::OffloadRetrier retrier_;
     core::SwarmLoadBalancer balancer_;
     core::FailureDetector detector_;
     core::LearningCoordinator learning_;
@@ -165,12 +202,56 @@ class ScenarioHarness
 void
 ScenarioHarness::record(const StageRecord& r)
 {
+    if (r.dropped)
+        return;  // Abandoned offloads are counted where they drop.
     metrics_.task_latency_s.add(r.total);
     metrics_.network_s.add(r.network);
     metrics_.mgmt_s.add(r.mgmt);
     metrics_.data_s.add(r.data);
     metrics_.exec_s.add(r.exec);
     ++metrics_.tasks_completed;
+}
+
+void
+ScenarioHarness::uplink_with_retry(std::size_t device, std::uint64_t bytes,
+                                   net::DeliveryCallback done, int attempt)
+{
+    sim::Simulator& simulator = dep_->simulator();
+    if (retrier_.circuit_open(device, simulator.now())) {
+        // Breaker open: fail fast instead of queueing radio traffic —
+        // the device sits out its probation window (Sec. 4.6).
+        ++metrics_.recovery.offloads_abandoned;
+        simulator.schedule_in(
+            0, [done = std::move(done)]() { done(net::kDropped); });
+        return;
+    }
+    dep_->network().send_uplink(
+        device, device % dep_->config().servers, bytes,
+        [this, device, bytes, attempt,
+         done = std::move(done)](sim::Time t) mutable {
+            if (t >= 0) {
+                retrier_.record_success(device);
+                done(t);
+                return;
+            }
+            sim::Time now = dep_->simulator().now();
+            if (retrier_.record_failure(device, now))
+                ++metrics_.recovery.circuit_open_events;
+            if (attempt + 1 >= retrier_.config().max_attempts ||
+                retrier_.circuit_open(device, now)) {
+                ++metrics_.recovery.offloads_abandoned;
+                done(net::kDropped);
+                return;
+            }
+            ++metrics_.recovery.offload_retries;
+            dep_->simulator().schedule_in(
+                retrier_.backoff(attempt, rng_),
+                [this, device, bytes, attempt,
+                 done = std::move(done)]() mutable {
+                    uplink_with_retry(device, bytes, std::move(done),
+                                      attempt + 1);
+                });
+        });
 }
 
 void
@@ -190,12 +271,16 @@ ScenarioHarness::pipeline(std::size_t device,
             total_work, [this, device, t0,
                          done = std::move(done)](double exec_s) {
                 sim::Time t1 = dep_->simulator().now();
-                dep_->network().send_uplink(
-                    device, device % dep_->config().servers,
-                    pipeline_.result_bytes,
+                uplink_with_retry(
+                    device, pipeline_.result_bytes,
                     [this, t0, t1, exec_s,
                      done = std::move(done)](sim::Time t2) {
                         StageRecord r;
+                        if (t2 < 0) {
+                            r.dropped = true;
+                            done(r);
+                            return;
+                        }
                         r.total = sim::to_seconds(t2 - t0);
                         r.network = sim::to_seconds(t2 - t1);
                         r.exec = exec_s;
@@ -219,6 +304,7 @@ ScenarioHarness::pipeline(std::size_t device,
         rec.memory_mb = pipeline_.memory_mb;
         rec.input_bytes = pipeline_.inter_bytes;
         rec.output_bytes = pipeline_.inter_bytes;
+        rec.recovery = sc_->recovery;
         int par = hivemind() ? pipeline_.parallelism : 1;
         dep_->cloud_invoke(rec, par, [this, device, server, t0, uplink_done,
                                       edge_exec_s, par,
@@ -234,6 +320,14 @@ ScenarioHarness::pipeline(std::size_t device,
                     [this, t0, uplink_done, edge_exec_s, mgmt, data, exec,
                      cloud_done, cb = std::move(cb)](sim::Time t3) {
                         StageRecord r;
+                        if (t3 < 0) {
+                            // Result stranded behind a partition: the
+                            // work ran but never reached the device.
+                            ++metrics_.recovery.offloads_abandoned;
+                            r.dropped = true;
+                            cb(r);
+                            return;
+                        }
                         r.total = sim::to_seconds(t3 - t0);
                         r.network = sim::to_seconds(uplink_done - t0) -
                             edge_exec_s + sim::to_seconds(t3 - cloud_done);
@@ -257,6 +351,7 @@ ScenarioHarness::pipeline(std::size_t device,
             dd.memory_mb = pipeline_.memory_mb;
             dd.input_bytes = pipeline_.inter_bytes;
             dd.output_bytes = pipeline_.result_bytes;
+            dd.recovery = sc_->recovery;
             if (dep_->options().smart_scheduler &&
                 r1.server != cloud::kNoServer) {
                 dd.preferred_server = r1.server;
@@ -288,10 +383,16 @@ ScenarioHarness::pipeline(std::size_t device,
                 double reduced = 4.0 * 1024.0 * 1024.0 + 0.02 * raw;
                 std::uint64_t bytes = static_cast<std::uint64_t>(
                     std::min(raw, reduced));
-                dep_->network().send_uplink(
-                    device, device % dep_->config().servers, bytes,
+                uplink_with_retry(
+                    device, bytes,
                     [cloud_tail = std::move(cloud_tail), pre_exec_s,
                      done = std::move(done)](sim::Time t1) mutable {
+                        if (t1 < 0) {
+                            StageRecord r;
+                            r.dropped = true;
+                            done(r);
+                            return;
+                        }
                         cloud_tail(t1, pre_exec_s, std::move(done));
                     });
             });
@@ -299,10 +400,16 @@ ScenarioHarness::pipeline(std::size_t device,
     }
 
     // Centralized (FaaS or IaaS): full frame uplink.
-    dep_->network().send_uplink(
-        device, device % dep_->config().servers, pipeline_.frame_bytes,
+    uplink_with_retry(
+        device, pipeline_.frame_bytes,
         [cloud_tail = std::move(cloud_tail),
          done = std::move(done)](sim::Time t1) mutable {
+            if (t1 < 0) {
+                StageRecord r;
+                r.dropped = true;
+                done(r);
+                return;
+            }
             cloud_tail(t1, 0.0, std::move(done));
         });
 }
@@ -326,6 +433,7 @@ ScenarioHarness::setup_drones()
 
     if (hivemind()) {
         detector_.set_on_failure([this](std::size_t device) {
+            chaos_.note_detected(device);
             // Fig. 10: split the failed device's region among its
             // neighbours and rebuild their routes.
             std::vector<std::size_t> changed =
@@ -334,6 +442,20 @@ ScenarioHarness::setup_drones()
                 if (dep_->device(d).alive())
                     start_pass(d);
             }
+            // Service restored by repartition; a transient crash keeps
+            // its incident open inside the engine until the rejoin.
+            chaos_.note_repaired(device);
+        });
+        detector_.set_on_recovery([this](std::size_t device) {
+            // The device rejoined: carve it a region back out of the
+            // widest survivor's strip and restart both sweeps.
+            std::vector<std::size_t> changed =
+                balancer_.handle_rejoin(device);
+            for (std::size_t d : changed) {
+                if (dep_->device(d).alive())
+                    start_pass(d);
+            }
+            chaos_.note_repaired(device);
         });
         detector_.start();
     }
@@ -341,36 +463,35 @@ ScenarioHarness::setup_drones()
     for (std::size_t d = 0; d < dep_->device_count(); ++d) {
         start_pass(d);
         // Frame-driven recognition tasks.
-        auto gen = std::make_shared<std::function<void()>>();
-        *gen = [this, d, gen]() {
-            if (done_)
-                return;
-            edge::Device& dev = dep_->device(d);
-            if (dev.alive() && !detector_.is_failed(d))
-                frame_task(d);
-            dep_->simulator().schedule_in(
-                sim::from_seconds(
-                    rng_.exponential(1.0 / sc_->frame_task_rate_hz)),
-                [gen]() { (*gen)(); });
-        };
+        auto gen = sim::recurring(
+            [this, d](const std::function<void()>& self) {
+                if (done_)
+                    return;
+                edge::Device& dev = dep_->device(d);
+                if (dev.alive() && !detector_.is_failed(d))
+                    frame_task(d);
+                dep_->simulator().schedule_in(
+                    sim::from_seconds(
+                        rng_.exponential(1.0 / sc_->frame_task_rate_hz)),
+                    self);
+            });
         dep_->simulator().schedule_in(
-            sim::from_seconds(rng_.uniform(0.0, 1.0)),
-            [gen]() { (*gen)(); });
+            sim::from_seconds(rng_.uniform(0.0, 1.0)), gen);
 
         // Obstacle avoidance always runs on-board (Sec. 2.1).
-        auto oa = std::make_shared<std::function<void()>>();
-        *oa = [this, d, oa]() {
-            if (done_)
-                return;
-            if (dep_->device(d).alive())
-                obstacle_task(d);
-            dep_->simulator().schedule_in(
-                sim::from_seconds(
-                    rng_.exponential(1.0 / sc_->obstacle_rate_hz)),
-                [oa]() { (*oa)(); });
-        };
+        auto oa = sim::recurring(
+            [this, d](const std::function<void()>& self) {
+                if (done_)
+                    return;
+                if (dep_->device(d).alive())
+                    obstacle_task(d);
+                dep_->simulator().schedule_in(
+                    sim::from_seconds(
+                        rng_.exponential(1.0 / sc_->obstacle_rate_hz)),
+                    self);
+            });
         dep_->simulator().schedule_in(
-            sim::from_seconds(rng_.uniform(0.0, 0.5)), [oa]() { (*oa)(); });
+            sim::from_seconds(rng_.uniform(0.0, 0.5)), oa);
     }
 }
 
@@ -405,6 +526,8 @@ ScenarioHarness::frame_task(std::size_t device)
     }
     pipeline(device, [this, device, visible](const StageRecord& r) {
         record(r);
+        if (r.dropped)
+            return;  // The frames never made it; no detections.
         const apps::DetectionModel& model = learning_.model(device);
         for (std::size_t target : visible) {
             if (rng_.chance(model.p_correct())) {
@@ -523,6 +646,17 @@ ScenarioHarness::rover_leg(std::size_t device, std::size_t leg)
         // processed instructions before moving on.
         pipeline(device, [this, device, leg](const StageRecord& r) {
             record(r);
+            if (r.dropped) {
+                // The instructions never arrived (partition / open
+                // breaker); retry the same leg after a beat instead of
+                // stalling the rover forever.
+                dep_->simulator().schedule_in(
+                    sim::kSecond, [this, device, leg]() {
+                        if (!done_ && dep_->device(device).alive())
+                            rover_leg(device, leg);
+                    });
+                return;
+            }
             learning_.record(device);
             rover_leg(device, leg + 1);
         });
@@ -542,10 +676,8 @@ ScenarioHarness::tick()
     sim::Time now = simulator.now();
 
     dep_->settle_radio_energy();
-    if (sc_->inject_failure_at > 0 && now >= sc_->inject_failure_at &&
-        sc_->inject_failure_device < dep_->device_count()) {
-        dep_->device(sc_->inject_failure_device).set_failed(true);
-    }
+    // (Legacy inject_failure_at crashes now arrive via the ChaosEngine —
+    // see effective_plan().)
     for (std::size_t d = 0; d < dep_->device_count(); ++d) {
         edge::Device& dev = dep_->device(d);
         if (!dev.alive())
@@ -616,6 +748,7 @@ ScenarioHarness::finish(bool goal)
     metrics_.goal_fraction = goal_fraction();
     metrics_.completion_s = sim::to_seconds(completion_);
     detector_.stop();
+    chaos_.stop();
     dep_->simulator().stop();
 }
 
@@ -626,6 +759,7 @@ ScenarioHarness::run()
         setup_drones();
     else
         setup_rovers();
+    chaos_.start();
     dep_->simulator().schedule_in(sim::kSecond, [this]() { tick(); });
     dep_->simulator().run_until(sc_->time_cap + 10 * sim::kSecond);
     if (!done_)
@@ -649,6 +783,8 @@ ScenarioHarness::take_metrics()
     if (dep_->scheduler())
         metrics_.respawns = dep_->scheduler()->respawns();
     metrics_.cloud_rpc_cpu_s = dep_->network().cloud_rpc_cpu_seconds();
+    chaos_.stop();  // Idempotent; finalizes the counter pulls.
+    metrics_.recovery.merge(chaos_.metrics());
     metrics_.detect_correct_pct = 100.0 * learning_.swarm_p_correct();
     metrics_.detect_fn_pct = 100.0 * learning_.swarm_p_false_negative();
     metrics_.detect_fp_pct = 100.0 * learning_.swarm_p_false_positive();

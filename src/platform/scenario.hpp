@@ -30,6 +30,8 @@
 #include <cstdint>
 
 #include "apps/detection.hpp"
+#include "fault/plan.hpp"
+#include "fault/retry.hpp"
 #include "platform/deployment.hpp"
 #include "platform/metrics.hpp"
 #include "platform/options.hpp"
@@ -74,9 +76,19 @@ struct ScenarioConfig
     int maze_side = 9;
     /** Override the sensor frame size (0 = pipeline default). */
     std::uint64_t frame_bytes_override = 0;
-    /** Fault injection: force-fail a device at this time (0 = off). */
+    /**
+     * Legacy fault injection: force-fail a device at this time
+     * (0 = off). Kept as a shim — it is translated into a permanent
+     * FaultPlan::device_crash event and merged into @ref faults.
+     */
     sim::Time inject_failure_at = 0;
     std::size_t inject_failure_device = 0;
+    /** Declarative chaos plan executed by fault::ChaosEngine. */
+    fault::FaultPlan faults;
+    /** Restore policy applied to cloud pipeline stages. */
+    cloud::FaultRecovery recovery = cloud::FaultRecovery::Respawn;
+    /** Edge->cloud offload retry / circuit-breaker tuning (Sec. 4.6). */
+    fault::RetryConfig retry;
 };
 
 /** Run one scenario on one platform. */

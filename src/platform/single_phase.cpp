@@ -191,8 +191,8 @@ install_arrivals(JobHarness& harness, Deployment& dep, const JobConfig& job,
     sim::Simulator& simulator = dep.simulator();
     if (job.pattern) {
         // Aggregate open-loop arrivals assigned to random devices.
-        auto gen = std::make_shared<std::function<void()>>();
-        *gen = [&harness, &simulator, &job, &dep, gen]() {
+        auto gen = sim::recurring([&harness, &simulator, &job, &dep](
+                                      const std::function<void()>& self) {
             if (simulator.now() >= job.duration)
                 return;
             double rate = job.pattern->rate_at(simulator.now());
@@ -205,26 +205,26 @@ install_arrivals(JobHarness& harness, Deployment& dep, const JobConfig& job,
             simulator.schedule_in(
                 sim::from_seconds(harness.arrivals.exponential(
                     1.0 / next_rate)),
-                [gen]() { (*gen)(); });
-        };
-        simulator.schedule_at(0, [gen]() { (*gen)(); });
+                self);
+        });
+        simulator.schedule_at(0, gen);
     } else {
         // Independent per-device Poisson arrivals.
         double rate = app.task_rate_hz * job.load_scale;
         for (std::size_t d = 0; d < dep.device_count(); ++d) {
-            auto gen = std::make_shared<std::function<void()>>();
-            *gen = [&harness, &simulator, &job, d, rate, gen]() {
+            auto gen = sim::recurring([&harness, &simulator, &job, d, rate](
+                                          const std::function<void()>& self) {
                 if (simulator.now() >= job.duration)
                     return;
                 harness.handle_task(d);
                 simulator.schedule_in(
                     sim::from_seconds(
                         harness.arrivals.exponential(1.0 / rate)),
-                    [gen]() { (*gen)(); });
-            };
+                    self);
+            });
             simulator.schedule_in(
                 sim::from_seconds(harness.arrivals.uniform(0.0, 1.0 / rate)),
-                [gen]() { (*gen)(); });
+                gen);
         }
     }
 

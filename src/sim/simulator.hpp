@@ -14,8 +14,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -123,5 +125,32 @@ class Simulator
     // Callback storage is keyed by EventId; erased on execution/cancel.
     std::unordered_map<EventId, std::function<void()>> callbacks_;
 };
+
+/**
+ * Wrap @p body as a self-rescheduling task.
+ *
+ * @p body receives a `self` callable; handing `self` back to
+ * schedule_in()/schedule_at() re-arms the task for another round.
+ * Pending events hold the only strong references to the underlying
+ * state — the stored callable refers to itself weakly — so the chain
+ * frees itself as soon as an invocation returns without rescheduling.
+ * (The naive `make_shared<std::function>` self-capture idiom keeps a
+ * strong cycle alive forever; LeakSanitizer flags it.)
+ */
+template <typename Body>
+std::function<void()> recurring(Body body)
+{
+    struct State
+    {
+        std::function<void()> tick;
+    };
+    auto state = std::make_shared<State>();
+    state->tick = [weak = std::weak_ptr<State>(state),
+                   body = std::move(body)]() mutable {
+        if (auto self = weak.lock())
+            body(std::function<void()>([self]() { self->tick(); }));
+    };
+    return [state]() { state->tick(); };
+}
 
 }  // namespace hivemind::sim

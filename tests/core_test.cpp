@@ -65,6 +65,68 @@ TEST(FailureDetector, NoFalsePositivesWhileBeating)
     EXPECT_EQ(failures, 0);
 }
 
+TEST(FailureDetector, RecoveryClearsFailureAndReportsLatency)
+{
+    sim::Simulator s;
+    FailureDetector fd(s, 2);
+    std::vector<std::size_t> recoveries;
+    fd.set_on_recovery([&](std::size_t d) { recoveries.push_back(d); });
+    fd.start();
+    // Device 0 beats until t=5 s, goes silent, resumes at t=15 s.
+    for (int t = 1; t <= 25; ++t) {
+        s.schedule_at(t * sim::kSecond - 1, [&fd, t]() {
+            fd.beat(1);
+            if (t <= 5 || t >= 15)
+                fd.beat(0);
+        });
+    }
+    s.run_until(25 * sim::kSecond);
+    fd.stop();
+    s.run();
+    EXPECT_FALSE(fd.is_failed(0));  // Un-stuck by the resumed beat.
+    ASSERT_EQ(recoveries.size(), 1u);
+    EXPECT_EQ(recoveries[0], 0u);
+    // Silence began at the last beat (~5 s); recovery at ~15 s.
+    ASSERT_EQ(fd.recovery_latencies().size(), 1u);
+    EXPECT_GT(fd.recovery_latencies()[0], 8.0);
+    EXPECT_LT(fd.recovery_latencies()[0], 12.0);
+}
+
+TEST(FailureDetector, OutOfRangeDeviceIsIgnored)
+{
+    sim::Simulator s;
+    FailureDetector fd(s, 2);
+    fd.beat(7);  // Must not crash or grow state.
+    EXPECT_FALSE(fd.is_failed(7));
+    EXPECT_EQ(fd.failed_count(), 0u);
+}
+
+TEST(LoadBalancer, RejoinSplitsWidestStrip)
+{
+    SwarmLoadBalancer lb(geo::Rect{0, 0, 90, 30}, 3);
+    lb.handle_failure(1);
+    ASSERT_FALSE(lb.region_of(1).has_value());
+    auto changed = lb.handle_rejoin(1);
+    ASSERT_EQ(changed.size(), 2u);
+    ASSERT_TRUE(lb.region_of(1).has_value());
+    EXPECT_NEAR(lb.assigned_area(), 90.0 * 30.0, 1e-9);
+    EXPECT_EQ(lb.active_devices().size(), 3u);
+    // Rejoining while still holding a region is a no-op.
+    EXPECT_TRUE(lb.handle_rejoin(1).empty());
+}
+
+TEST(LoadBalancer, RejoinIntoEmptyFieldTakesEverything)
+{
+    SwarmLoadBalancer lb(geo::Rect{0, 0, 60, 20}, 2);
+    lb.handle_failure(0);
+    lb.handle_failure(1);
+    EXPECT_EQ(lb.active_devices().size(), 0u);
+    auto changed = lb.handle_rejoin(0);
+    ASSERT_EQ(changed.size(), 1u);
+    ASSERT_TRUE(lb.region_of(0).has_value());
+    EXPECT_NEAR(lb.region_of(0)->area(), 60.0 * 20.0, 1e-9);
+}
+
 TEST(LoadBalancer, EqualInitialPartition)
 {
     geo::Rect field{0, 0, 96, 96};

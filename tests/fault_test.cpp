@@ -1,0 +1,591 @@
+/**
+ * @file
+ * Tests for the chaos/fault-injection subsystem (src/fault): retry
+ * policy and circuit breaker, fault plans, network blackouts and
+ * outage windows, the ChaosEngine's crash/rejoin + MTTD/MTTR
+ * accounting, server-crash recovery under each Restore policy, and
+ * bit-identical replay of full scenario runs under a rich plan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cloud/datastore.hpp"
+#include "cloud/faas.hpp"
+#include "core/heartbeat.hpp"
+#include "core/load_balancer.hpp"
+#include "fault/chaos.hpp"
+#include "fault/metrics.hpp"
+#include "fault/plan.hpp"
+#include "fault/retry.hpp"
+#include "net/topology.hpp"
+#include "platform/options.hpp"
+#include "platform/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace hivemind::fault {
+namespace {
+
+// ---------------------------------------------------------------------
+// OffloadRetrier
+// ---------------------------------------------------------------------
+
+TEST(OffloadRetrier, BreakerTripsAfterConsecutiveFailures)
+{
+    RetryConfig cfg;
+    cfg.breaker_threshold = 3;
+    cfg.breaker_cooldown = 5 * sim::kSecond;
+    OffloadRetrier r(2, cfg);
+
+    EXPECT_FALSE(r.record_failure(0, sim::kSecond));
+    EXPECT_FALSE(r.record_failure(0, sim::kSecond));
+    EXPECT_TRUE(r.record_failure(0, sim::kSecond));  // Third trips.
+    EXPECT_EQ(r.breaker_trips(), 1u);
+    EXPECT_TRUE(r.circuit_open(0, 2 * sim::kSecond));
+    EXPECT_FALSE(r.circuit_open(1, 2 * sim::kSecond));  // Per-device.
+    // Cooled down after now + cooldown.
+    EXPECT_FALSE(r.circuit_open(0, 7 * sim::kSecond));
+}
+
+TEST(OffloadRetrier, SuccessResetsFailureRun)
+{
+    OffloadRetrier r(1);
+    r.record_failure(0, 0);
+    r.record_failure(0, 0);
+    r.record_success(0);
+    // The run restarts: two more failures do not trip a threshold of 3.
+    EXPECT_FALSE(r.record_failure(0, 0));
+    EXPECT_FALSE(r.record_failure(0, 0));
+    EXPECT_EQ(r.breaker_trips(), 0u);
+}
+
+TEST(OffloadRetrier, BackoffGrowsExponentiallyWithJitter)
+{
+    RetryConfig cfg;
+    cfg.base_backoff = 100 * sim::kMillisecond;
+    cfg.multiplier = 2.0;
+    cfg.jitter = 0.25;
+    OffloadRetrier r(1, cfg);
+    sim::Rng rng(7);
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        double nominal = 100.0 * (1 << attempt);  // ms
+        double b = sim::to_seconds(r.backoff(attempt, rng)) * 1e3;
+        EXPECT_GE(b, nominal * 0.75 - 1e-6);
+        EXPECT_LE(b, nominal * 1.25 + 1e-6);
+    }
+}
+
+TEST(OffloadRetrier, OutOfRangeDeviceIsNoop)
+{
+    OffloadRetrier r(1);
+    EXPECT_FALSE(r.record_failure(9, 0));
+    r.record_success(9);
+    EXPECT_FALSE(r.circuit_open(9, 0));
+}
+
+// ---------------------------------------------------------------------
+// FaultPlan
+// ---------------------------------------------------------------------
+
+TEST(FaultPlan, BuildersAppendEvents)
+{
+    FaultPlan p;
+    p.device_crash(sim::kSecond, 3, 2 * sim::kSecond)
+        .link_burst(2 * sim::kSecond, 4 * sim::kSecond)
+        .partition(3 * sim::kSecond, sim::kSecond, 1)
+        .server_crash(4 * sim::kSecond, 0)
+        .datastore_outage(5 * sim::kSecond, sim::kSecond)
+        .controller_failover(6 * sim::kSecond);
+    ASSERT_EQ(p.events.size(), 6u);
+    EXPECT_EQ(p.events[0].kind, FaultKind::DeviceCrash);
+    EXPECT_EQ(p.events[0].duration, 2 * sim::kSecond);
+    EXPECT_EQ(p.events[5].kind, FaultKind::ControllerFailover);
+
+    FaultPlan q;
+    q.spatial_burst(sim::kSecond, 10.0, 20.0, 5.0, 2);
+    p.merge(q);
+    EXPECT_EQ(p.events.size(), 7u);
+    EXPECT_EQ(p.events[6].kind, FaultKind::SpatialBurst);
+}
+
+TEST(FaultPlan, PoissonChurnIsSeedDeterministic)
+{
+    FaultPlan a = FaultPlan::poisson_device_churn(
+        42, 8, 100 * sim::kSecond, 10 * sim::kSecond, 5 * sim::kSecond);
+    FaultPlan b = FaultPlan::poisson_device_churn(
+        42, 8, 100 * sim::kSecond, 10 * sim::kSecond, 5 * sim::kSecond);
+    ASSERT_EQ(a.events.size(), b.events.size());
+    ASSERT_FALSE(a.empty());
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+        EXPECT_EQ(a.events[i].at, b.events[i].at);
+        EXPECT_EQ(a.events[i].target, b.events[i].target);
+        EXPECT_LT(a.events[i].at, 100 * sim::kSecond);
+        EXPECT_LT(a.events[i].target, 8u);
+        EXPECT_EQ(a.events[i].duration, 5 * sim::kSecond);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Network blackouts / datastore outages
+// ---------------------------------------------------------------------
+
+TEST(Blackout, PartitionDropsAfterRetransmitsExhaust)
+{
+    sim::Simulator s;
+    sim::Rng rng(5);
+    net::TopologyConfig cfg;
+    cfg.devices = 2;
+    cfg.servers = 2;
+    net::SwarmTopology topo(s, cfg, &rng);
+    topo.set_device_blocked(0, true);
+    sim::Time seen = 0;
+    topo.send_uplink(0, 0, 64 << 10, [&](sim::Time t) { seen = t; });
+    s.run();
+    EXPECT_EQ(seen, net::kDropped);
+    EXPECT_EQ(topo.frames_dropped(), 1u);
+
+    // Unblocked device delivers again.
+    topo.set_device_blocked(0, false);
+    seen = net::kDropped;
+    topo.send_uplink(0, 0, 64 << 10, [&](sim::Time t) { seen = t; });
+    s.run();
+    EXPECT_GT(seen, 0);
+}
+
+TEST(Blackout, LossOverrideRestores)
+{
+    sim::Simulator s;
+    sim::Rng rng(5);
+    net::TopologyConfig cfg;
+    cfg.devices = 1;
+    cfg.servers = 1;
+    net::SwarmTopology topo(s, cfg, &rng);
+    topo.set_loss_override(1.0);  // Total blackout for everyone.
+    sim::Time seen = 0;
+    topo.send_uplink(0, 0, 1 << 10, [&](sim::Time t) { seen = t; });
+    s.run();
+    EXPECT_EQ(seen, net::kDropped);
+    topo.set_loss_override(-1.0);  // Back to the configured loss (0).
+    topo.send_uplink(0, 0, 1 << 10, [&](sim::Time t) { seen = t; });
+    s.run();
+    EXPECT_GT(seen, 0);
+}
+
+TEST(Outage, DatastoreAccessesStallUntilWindowCloses)
+{
+    sim::Simulator s;
+    sim::Rng rng(3);
+    cloud::DataStore store(s, rng, cloud::DataStoreConfig{});
+    store.fail_until(2 * sim::kSecond);
+    EXPECT_TRUE(store.in_outage());
+    sim::Time done = 0;
+    store.access(0, [&] { done = s.now(); });
+    s.run();
+    EXPECT_GE(done, 2 * sim::kSecond);
+    EXPECT_EQ(store.outages(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// ChaosEngine: crash + rejoin with detection and repartitioning
+// (acceptance criterion a)
+// ---------------------------------------------------------------------
+
+TEST(ChaosEngine, CrashRejoinDetectedAndRegionRestored)
+{
+    constexpr std::size_t kDevices = 4;
+    sim::Simulator s;
+    sim::Rng rng(21);
+
+    core::FailureDetector detector(s, kDevices);
+    core::SwarmLoadBalancer balancer(geo::Rect{0, 0, 40, 40}, kDevices);
+
+    FaultPlan plan;
+    plan.device_crash(10 * sim::kSecond, 1, 8 * sim::kSecond);
+    ChaosEngine chaos(s, rng, plan);
+    std::vector<char> failed(kDevices, 0);
+    chaos.attach_devices(kDevices, [&](std::size_t d, bool f) {
+        failed[d] = f ? 1 : 0;
+    });
+
+    detector.set_on_failure([&](std::size_t device) {
+        chaos.note_detected(device);
+        balancer.handle_failure(device);
+        chaos.note_repaired(device);  // No-op: incident stays open.
+    });
+    detector.set_on_recovery([&](std::size_t device) {
+        balancer.handle_rejoin(device);
+        chaos.note_repaired(device);
+    });
+    detector.start();
+
+    // 1 Hz heartbeats from every non-failed device.
+    for (std::size_t d = 0; d < kDevices; ++d) {
+        auto beat = sim::recurring([&, d](const std::function<void()>& self) {
+            if (s.now() > 30 * sim::kSecond)
+                return;
+            if (!failed[d])
+                detector.beat(d);
+            s.schedule_in(sim::kSecond, self);
+        });
+        s.schedule_in(sim::kSecond, beat);
+    }
+
+    chaos.start();
+    s.run_until(31 * sim::kSecond);
+    detector.stop();
+    chaos.stop();
+
+    // Silence starts at the crash; the sweep declares failure within
+    // the 3 s timeout plus at most one beat+sweep period of slack.
+    ASSERT_EQ(detector.detection_latencies().size(), 1u);
+    double mttd = detector.detection_latencies()[0];
+    EXPECT_GT(mttd, 3.0);
+    EXPECT_LE(mttd, 4.2);
+    ASSERT_EQ(chaos.metrics().mttd_s.count(), 1u);
+    EXPECT_LE(chaos.metrics().mttd_s.mean(), mttd + 1.0 + 1e-9);
+
+    // The rejoin closed the incident: MTTR covers the full outage.
+    EXPECT_EQ(chaos.metrics().device_crashes, 1u);
+    EXPECT_EQ(chaos.metrics().device_rejoins, 1u);
+    ASSERT_EQ(chaos.metrics().mttr_s.count(), 1u);
+    EXPECT_GE(chaos.metrics().mttr_s.mean(), 8.0);
+    EXPECT_LE(chaos.metrics().mttr_s.mean(), 11.0);
+
+    // The region came back and the field is fully covered again.
+    ASSERT_TRUE(balancer.region_of(1).has_value());
+    EXPECT_NEAR(balancer.assigned_area(), 40.0 * 40.0, 1e-6);
+    EXPECT_EQ(balancer.active_devices().size(), kDevices);
+}
+
+TEST(ChaosEngine, PermanentCrashClosesIncidentAtRepartition)
+{
+    sim::Simulator s;
+    sim::Rng rng(22);
+    core::FailureDetector detector(s, 2);
+    FaultPlan plan;
+    plan.device_crash(5 * sim::kSecond, 0);  // Never rejoins.
+    ChaosEngine chaos(s, rng, plan);
+    std::vector<char> failed(2, 0);
+    chaos.attach_devices(2, [&](std::size_t d, bool f) {
+        failed[d] = f ? 1 : 0;
+    });
+    detector.set_on_failure([&](std::size_t device) {
+        chaos.note_detected(device);
+        chaos.note_repaired(device);  // Repartition restores service.
+    });
+    detector.start();
+    for (std::size_t d = 0; d < 2; ++d) {
+        auto beat = sim::recurring([&, d](const std::function<void()>& self) {
+            if (s.now() > 15 * sim::kSecond)
+                return;
+            if (!failed[d])
+                detector.beat(d);
+            s.schedule_in(sim::kSecond, self);
+        });
+        s.schedule_in(sim::kSecond, beat);
+    }
+    chaos.start();
+    s.run_until(16 * sim::kSecond);
+    detector.stop();
+    chaos.stop();
+    EXPECT_EQ(chaos.metrics().device_crashes, 1u);
+    EXPECT_EQ(chaos.metrics().device_rejoins, 0u);
+    EXPECT_EQ(chaos.metrics().mttd_s.count(), 1u);
+    // MTTR == detection-to-repartition == detection latency here.
+    ASSERT_EQ(chaos.metrics().mttr_s.count(), 1u);
+    EXPECT_NEAR(chaos.metrics().mttr_s.mean(),
+                chaos.metrics().mttd_s.mean(), 1e-9);
+}
+
+TEST(ChaosEngine, SpatialBurstCrashesNearestK)
+{
+    sim::Simulator s;
+    sim::Rng rng(23);
+    FaultPlan plan;
+    plan.spatial_burst(sim::kSecond, 0.0, 0.0, 15.0, 2);
+    ChaosEngine chaos(s, rng, plan);
+    std::vector<char> failed(4, 0);
+    // Devices sit at x = 0, 10, 20, 30.
+    chaos.attach_devices(
+        4, [&](std::size_t d, bool f) { failed[d] = f ? 1 : 0; },
+        [](std::size_t d) {
+            return geo::Vec2{10.0 * static_cast<double>(d), 0.0};
+        });
+    chaos.start();
+    s.run_until(2 * sim::kSecond);
+    chaos.stop();
+    EXPECT_EQ(chaos.metrics().device_crashes, 2u);
+    EXPECT_TRUE(failed[0]);   // 0 m from the epicentre.
+    EXPECT_TRUE(failed[1]);   // 10 m.
+    EXPECT_FALSE(failed[2]);  // In no case: 20 m > 15 m radius.
+    EXPECT_FALSE(failed[3]);
+}
+
+// ---------------------------------------------------------------------
+// Server crash recovery under the Restore policies
+// (acceptance criterion b)
+// ---------------------------------------------------------------------
+
+struct CrashRunResult
+{
+    cloud::InvocationTrace trace;
+    bool done = false;
+    std::uint64_t killed = 0;
+    double work_lost = 0.0;
+    double reexecuted = 0.0;
+    std::uint64_t lost = 0;
+};
+
+CrashRunResult
+run_crash_recovery(cloud::FaultRecovery policy)
+{
+    sim::Simulator s;
+    sim::Rng rng(99);
+    cloud::Cluster cluster(1, 8, 32 * 1024);  // One server: known target.
+    cloud::DataStore store(s, rng, cloud::DataStoreConfig{});
+    cloud::FaasRuntime rt(s, rng, cluster, store, cloud::FaasConfig{});
+
+    cloud::InvokeRequest req;
+    req.app = "victim";
+    req.work_core_ms = 2000.0;  // Executes for ~2 s.
+    req.recovery = policy;
+    req.checkpoint_granularity = 0.25;
+
+    CrashRunResult out;
+    rt.invoke(req, [&](const cloud::InvocationTrace& t) {
+        out.trace = t;
+        out.done = true;
+    });
+    // The body starts after front-end + cold start (~170 ms); by 1.2 s
+    // the function is mid-run, past at least one checkpoint boundary.
+    s.schedule_at(1200 * sim::kMillisecond, [&]() {
+        rt.crash_server(0, 500 * sim::kMillisecond);
+    });
+    s.run();
+    out.killed = rt.killed_invocations();
+    out.work_lost = rt.work_lost_core_ms();
+    out.reexecuted = rt.reexecuted_core_ms();
+    out.lost = rt.lost();
+    return out;
+}
+
+TEST(ServerCrash, RespawnReexecutesKilledInvocation)
+{
+    CrashRunResult r = run_crash_recovery(cloud::FaultRecovery::Respawn);
+    ASSERT_TRUE(r.done);
+    EXPECT_FALSE(r.trace.lost);
+    EXPECT_GE(r.trace.attempts, 2);
+    EXPECT_EQ(r.killed, 1u);
+    EXPECT_GT(r.work_lost, 0.0);
+    EXPECT_GT(r.reexecuted, 0.0);
+    // Completion lands after the server came back.
+    EXPECT_GT(r.trace.done, 1700 * sim::kMillisecond);
+}
+
+TEST(ServerCrash, CheckpointRedoesLessThanRespawn)
+{
+    CrashRunResult respawn =
+        run_crash_recovery(cloud::FaultRecovery::Respawn);
+    CrashRunResult checkpoint =
+        run_crash_recovery(cloud::FaultRecovery::Checkpoint);
+    ASSERT_TRUE(respawn.done);
+    ASSERT_TRUE(checkpoint.done);
+    EXPECT_EQ(checkpoint.killed, 1u);
+    // Checkpoint resumes from the last 25% boundary instead of zero:
+    // strictly less progress is re-driven, and strictly less is lost.
+    EXPECT_GT(checkpoint.reexecuted, 0.0);
+    EXPECT_LT(checkpoint.reexecuted, respawn.reexecuted);
+    EXPECT_LT(checkpoint.work_lost, respawn.work_lost);
+    // Both finish the full job.
+    EXPECT_FALSE(checkpoint.trace.lost);
+    EXPECT_GE(checkpoint.trace.attempts, 2);
+}
+
+TEST(ServerCrash, NonePolicyLosesTheInvocation)
+{
+    CrashRunResult r = run_crash_recovery(cloud::FaultRecovery::None);
+    ASSERT_TRUE(r.done);  // The caller still hears back...
+    EXPECT_TRUE(r.trace.lost);  // ...but the work is gone.
+    EXPECT_EQ(r.lost, 1u);
+    EXPECT_EQ(r.killed, 1u);
+    EXPECT_DOUBLE_EQ(r.reexecuted, 0.0);
+}
+
+TEST(ServerCrash, WarmPoolEvaporatesAndServerRejoins)
+{
+    sim::Simulator s;
+    sim::Rng rng(7);
+    cloud::Cluster cluster(1, 8, 32 * 1024);
+    cloud::DataStore store(s, rng, cloud::DataStoreConfig{});
+    cloud::FaasConfig cfg;
+    cfg.keepalive = 60 * sim::kSecond;  // Containers stay warm.
+    cloud::FaasRuntime rt(s, rng, cluster, store, cfg);
+
+    cloud::InvokeRequest req;
+    req.app = "a";
+    req.work_core_ms = 20.0;
+    int completions = 0;
+    rt.invoke(req, [&](const cloud::InvocationTrace&) { ++completions; });
+    s.run();
+    ASSERT_EQ(completions, 1);
+
+    // Crash while idle: the warm container dies with the host.
+    rt.crash_server(0, 100 * sim::kMillisecond);
+    s.run();
+    rt.invoke(req, [&](const cloud::InvocationTrace& t) {
+        ++completions;
+        EXPECT_TRUE(t.cold_start);  // No warm container survived.
+    });
+    s.run();
+    EXPECT_EQ(completions, 2);
+    EXPECT_EQ(rt.warm_starts(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Deterministic replay of a full scenario under a rich plan
+// (acceptance criterion c)
+// ---------------------------------------------------------------------
+
+/**
+ * A scenario that reliably outlives its fault plan: far more targets
+ * than one sweep can find and a hard 45 s cap, so every plan event
+ * below fires on every run regardless of how the goal chase goes.
+ */
+platform::ScenarioConfig
+chaotic_scenario()
+{
+    platform::ScenarioConfig sc;
+    sc.kind = platform::ScenarioKind::StationaryItems;
+    sc.field_size_m = 96.0;
+    sc.targets = 50;
+    sc.time_cap = 45 * sim::kSecond;
+    sc.recovery = cloud::FaultRecovery::Checkpoint;
+    sc.faults = FaultPlan::poisson_device_churn(
+        7, 8, 120 * sim::kSecond, 40 * sim::kSecond, 10 * sim::kSecond);
+    sc.faults.device_crash(12 * sim::kSecond, 3, 9 * sim::kSecond)
+        .server_crash(15 * sim::kSecond, 0, 3 * sim::kSecond)
+        .link_burst(18 * sim::kSecond, 8 * sim::kSecond, 0.9)
+        .datastore_outage(20 * sim::kSecond, 2 * sim::kSecond)
+        .controller_failover(22 * sim::kSecond)
+        .partition(26 * sim::kSecond, 4 * sim::kSecond, 2);
+    return sc;
+}
+
+platform::DeploymentConfig
+chaotic_deployment()
+{
+    platform::DeploymentConfig cfg;
+    cfg.devices = 8;
+    cfg.servers = 6;
+    cfg.cores_per_server = 20;
+    cfg.seed = 2024;
+    return cfg;
+}
+
+TEST(Determinism, IdenticalSeedsAndPlansReplayBitIdentically)
+{
+    platform::RunMetrics a =
+        run_scenario(chaotic_scenario(), platform::PlatformOptions::hivemind(),
+                     chaotic_deployment());
+    platform::RunMetrics b =
+        run_scenario(chaotic_scenario(), platform::PlatformOptions::hivemind(),
+                     chaotic_deployment());
+
+    const RecoveryMetrics& ra = a.recovery;
+    const RecoveryMetrics& rb = b.recovery;
+    EXPECT_EQ(ra.mttd_s.count(), rb.mttd_s.count());
+    if (!ra.mttd_s.empty()) {
+        EXPECT_DOUBLE_EQ(ra.mttd_s.mean(), rb.mttd_s.mean());
+    }
+    EXPECT_EQ(ra.mttr_s.count(), rb.mttr_s.count());
+    if (!ra.mttr_s.empty()) {
+        EXPECT_DOUBLE_EQ(ra.mttr_s.mean(), rb.mttr_s.mean());
+    }
+    EXPECT_DOUBLE_EQ(ra.work_lost_core_ms, rb.work_lost_core_ms);
+    EXPECT_DOUBLE_EQ(ra.reexecuted_core_ms, rb.reexecuted_core_ms);
+    EXPECT_EQ(ra.frames_dropped, rb.frames_dropped);
+    EXPECT_EQ(ra.offloads_abandoned, rb.offloads_abandoned);
+    EXPECT_EQ(ra.offload_retries, rb.offload_retries);
+    EXPECT_EQ(ra.circuit_open_events, rb.circuit_open_events);
+    EXPECT_EQ(ra.device_crashes, rb.device_crashes);
+    EXPECT_EQ(ra.device_rejoins, rb.device_rejoins);
+    EXPECT_EQ(ra.server_crashes, rb.server_crashes);
+    EXPECT_EQ(ra.killed_invocations, rb.killed_invocations);
+    EXPECT_EQ(ra.datastore_outages, rb.datastore_outages);
+    EXPECT_EQ(ra.controller_failovers, rb.controller_failovers);
+    EXPECT_EQ(ra.link_burst_windows, rb.link_burst_windows);
+    EXPECT_EQ(ra.partitions, rb.partitions);
+
+    EXPECT_DOUBLE_EQ(a.completion_s, b.completion_s);
+    EXPECT_EQ(a.tasks_completed, b.tasks_completed);
+    EXPECT_EQ(a.task_latency_s.count(), b.task_latency_s.count());
+    if (!a.task_latency_s.empty()) {
+        EXPECT_DOUBLE_EQ(a.task_latency_s.mean(), b.task_latency_s.mean());
+    }
+
+    // The plan actually did something in both runs.
+    EXPECT_GE(ra.device_crashes, 1u);
+    EXPECT_EQ(ra.server_crashes, 1u);
+    EXPECT_EQ(ra.link_burst_windows, 1u);
+    EXPECT_EQ(ra.partitions, 1u);
+    EXPECT_EQ(ra.datastore_outages, 1u);
+    EXPECT_EQ(ra.controller_failovers, 1u);
+}
+
+/** A long-lived drone scenario (huge goal, hard cap) for fault tests. */
+platform::ScenarioConfig
+capped_scenario(sim::Time cap)
+{
+    platform::ScenarioConfig sc;
+    sc.kind = platform::ScenarioKind::StationaryItems;
+    sc.field_size_m = 96.0;
+    sc.targets = 50;
+    sc.time_cap = cap;
+    return sc;
+}
+
+TEST(Scenario, CrashedDeviceRejoinsMidScenario)
+{
+    platform::ScenarioConfig sc = capped_scenario(30 * sim::kSecond);
+    sc.faults.device_crash(10 * sim::kSecond, 2, 8 * sim::kSecond);
+
+    platform::DeploymentConfig cfg;
+    cfg.devices = 8;
+    cfg.servers = 6;
+    cfg.cores_per_server = 20;
+    cfg.seed = 31;
+
+    platform::RunMetrics m = run_scenario(
+        sc, platform::PlatformOptions::hivemind(), cfg);
+    EXPECT_EQ(m.recovery.device_crashes, 1u);
+    EXPECT_EQ(m.recovery.device_rejoins, 1u);
+    ASSERT_EQ(m.recovery.mttd_s.count(), 1u);
+    EXPECT_GT(m.recovery.mttd_s.mean(), 2.0);
+    EXPECT_LT(m.recovery.mttd_s.mean(), 6.0);
+    ASSERT_EQ(m.recovery.mttr_s.count(), 1u);
+    EXPECT_GE(m.recovery.mttr_s.mean(), 8.0);
+    EXPECT_GT(m.tasks_completed, 0u);
+}
+
+TEST(Scenario, LegacyInjectFailureShimStillCrashesDevice)
+{
+    platform::ScenarioConfig sc = capped_scenario(30 * sim::kSecond);
+    sc.inject_failure_at = 15 * sim::kSecond;  // Old-style knob.
+    sc.inject_failure_device = 1;
+
+    platform::DeploymentConfig cfg;
+    cfg.devices = 8;
+    cfg.servers = 6;
+    cfg.cores_per_server = 20;
+    cfg.seed = 32;
+
+    platform::RunMetrics m = run_scenario(
+        sc, platform::PlatformOptions::hivemind(), cfg);
+    EXPECT_EQ(m.recovery.device_crashes, 1u);
+    EXPECT_EQ(m.recovery.device_rejoins, 0u);  // Permanent, as before.
+    EXPECT_EQ(m.recovery.mttd_s.count(), 1u);
+}
+
+}  // namespace
+}  // namespace hivemind::fault

@@ -223,6 +223,47 @@ TEST(Coverage, RepartitionEdgeFailures)
     EXPECT_DOUBLE_EQ(strips[0].x1, 90.0);
 }
 
+TEST(Coverage, RepartitionFirstAndLastAbsorbFullStrip)
+{
+    // First index: the right neighbour inherits the freed strip whole.
+    auto strips = partition_field(Rect{0, 0, 80, 10}, 4);
+    repartition_after_failure(strips, 0);
+    ASSERT_EQ(strips.size(), 3u);
+    EXPECT_DOUBLE_EQ(strips[0].x0, 0.0);
+    EXPECT_DOUBLE_EQ(strips[0].x1, 40.0);
+
+    // Last index: the left neighbour absorbs it instead.
+    strips = partition_field(Rect{0, 0, 80, 10}, 4);
+    repartition_after_failure(strips, 3);
+    ASSERT_EQ(strips.size(), 3u);
+    EXPECT_DOUBLE_EQ(strips[2].x0, 40.0);
+    EXPECT_DOUBLE_EQ(strips[2].x1, 80.0);
+    double area = 0.0;
+    for (const Rect& r : strips)
+        area += r.area();
+    EXPECT_NEAR(area, 800.0, 1e-9);
+}
+
+TEST(Coverage, RepartitionSingleRegionLeavesFieldUncovered)
+{
+    auto strips = partition_field(Rect{0, 0, 50, 10}, 1);
+    repartition_after_failure(strips, 0);  // No neighbour to absorb it.
+    EXPECT_TRUE(strips.empty());
+}
+
+TEST(Coverage, RepartitionOutOfRangeIndexIsNoop)
+{
+    auto strips = partition_field(Rect{0, 0, 50, 10}, 2);
+    auto before = strips;
+    repartition_after_failure(strips, 2);  // One past the end.
+    repartition_after_failure(strips, 99);
+    ASSERT_EQ(strips.size(), before.size());
+    for (std::size_t i = 0; i < strips.size(); ++i) {
+        EXPECT_DOUBLE_EQ(strips[i].x0, before[i].x0);
+        EXPECT_DOUBLE_EQ(strips[i].x1, before[i].x1);
+    }
+}
+
 TEST(Maze, PerfectMazeHasSpanningTreePassages)
 {
     sim::Rng rng(42);

@@ -114,6 +114,26 @@ TEST(Simulator, StopHaltsTheLoop)
     EXPECT_EQ(s.pending(), 1u);
 }
 
+TEST(Simulator, RecurringTaskReschedulesItselfAndStops)
+{
+    Simulator s;
+    int ticks = 0;
+    auto task = recurring([&](const std::function<void()>& self) {
+        ++ticks;
+        if (ticks < 5)
+            s.schedule_in(10, self);
+    });
+    s.schedule_at(0, task);
+    s.run();
+    EXPECT_EQ(ticks, 5);
+    EXPECT_EQ(s.now(), 40);
+    // The chain released its state: re-arming the original handle
+    // still works (it holds its own strong reference).
+    s.schedule_in(10, task);
+    s.run();
+    EXPECT_EQ(ticks, 6);
+}
+
 TEST(Simulator, StepExecutesExactlyOne)
 {
     Simulator s;
