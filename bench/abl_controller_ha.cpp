@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Ablation — controller high availability (Secs. 4.6-4.7).
+ *
+ * The swarm controller "runs as a centralized process with two hot
+ * standbys" and "periodically checkpoints its state". This bench
+ * kills the primary mid-scenario and sweeps the checkpoint interval:
+ * a fresher checkpoint means less post-checkpoint drift to replay, so
+ * recovery time (MTTR) shrinks monotonically as checkpoints get more
+ * frequent — at the cost of more checkpoint traffic. It also shows a
+ * controller partition (no failover, degraded-mode autonomy only) and
+ * emits BENCH_abl_controller_ha.json for scripts.
+ */
+
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace hivemind;
+using namespace hivemind::bench;
+
+namespace {
+
+constexpr double kCrashAtS = 15.7;
+constexpr int kSeeds = 3;
+
+platform::ScenarioConfig
+crash_scenario()
+{
+    platform::ScenarioConfig sc = scenario_a();
+    sc.targets = 50;  // Unreachable: the cap ends every run alike.
+    sc.time_cap = 60 * sim::kSecond;
+    sc.faults.controller_crash(sim::from_seconds(kCrashAtS));
+    return sc;
+}
+
+struct SweepPoint
+{
+    double interval_s = 0.0;
+    double mttd_s = 0.0;
+    double mttr_s = 0.0;
+    double ckpt_age_s = 0.0;
+    double outage_s = 0.0;
+    double ckpts_per_run = 0.0;
+    double ckpt_kb_per_run = 0.0;
+    double redriven_per_run = 0.0;
+    double buffered_per_run = 0.0;
+    double drained_per_run = 0.0;
+    double outage_goodput = 0.0;
+};
+
+SweepPoint
+run_interval(sim::Time interval)
+{
+    SweepPoint p;
+    p.interval_s = sim::to_seconds(interval);
+    platform::RunMetrics merged;
+    for (int r = 0; r < kSeeds; ++r) {
+        platform::ScenarioConfig sc = crash_scenario();
+        sc.ha.checkpoint_interval = interval;
+        merged.merge(platform::run_scenario(
+            sc, platform::PlatformOptions::hivemind(),
+            paper_deployment(42 + static_cast<std::uint64_t>(r))));
+    }
+    const fault::RecoveryMetrics& rec = merged.recovery;
+    p.mttd_s = rec.controller_mttd_s.mean();
+    p.mttr_s = rec.controller_mttr_s.mean();
+    p.ckpt_age_s = rec.checkpoint_age_s.mean();
+    p.outage_s = rec.controller_outage_s / kSeeds;
+    p.ckpts_per_run =
+        static_cast<double>(rec.checkpoints_taken) / kSeeds;
+    p.ckpt_kb_per_run =
+        static_cast<double>(rec.checkpoint_bytes) / kSeeds / 1024.0;
+    p.redriven_per_run =
+        static_cast<double>(rec.tasks_redriven_on_failover) / kSeeds;
+    p.buffered_per_run =
+        static_cast<double>(rec.frames_buffered_degraded) / kSeeds;
+    p.drained_per_run =
+        static_cast<double>(rec.buffered_frames_drained) / kSeeds;
+    p.outage_goodput =
+        static_cast<double>(rec.outage_tasks_completed) / kSeeds;
+    return p;
+}
+
+}  // namespace
+
+int
+main()
+{
+    print_header("Ablation: controller HA",
+                 "Hot-standby failover vs checkpoint interval "
+                 "(primary killed at t=15.7 s, Scenario A)");
+
+    std::printf("%-10s %8s %8s %9s %9s %7s %9s %9s\n", "interval",
+                "MTTD(s)", "MTTR(s)", "ckpt age", "outage s", "ckpts",
+                "ckpt KB", "redriven");
+    std::vector<SweepPoint> sweep;
+    for (double interval_s : {1.0, 2.0, 4.0, 8.0, 16.0})
+        sweep.push_back(run_interval(sim::from_seconds(interval_s)));
+    for (const SweepPoint& p : sweep) {
+        std::printf("%7.0f s  %8.2f %8.2f %9.2f %9.2f %7.1f %9.1f %9.1f\n",
+                    p.interval_s, p.mttd_s, p.mttr_s, p.ckpt_age_s,
+                    p.outage_s, p.ckpts_per_run, p.ckpt_kb_per_run,
+                    p.redriven_per_run);
+    }
+
+    // The headline claim: fresher checkpoints -> faster recovery.
+    bool monotone = true;
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        if (sweep[i].mttr_s < sweep[i - 1].mttr_s - 1e-9)
+            monotone = false;
+    }
+    std::printf("\nRecovery time decreases monotonically with checkpoint "
+                "frequency: %s\n", monotone ? "yes" : "NO (unexpected)");
+    std::printf("(Detection is the election timeout and does not depend on "
+                "the interval; the\n spread above is the drift-replay term "
+                "growing with checkpoint age.)\n");
+
+    // --- Degraded-mode autonomy during the outage window ---
+    std::printf("\nDegraded-mode edge autonomy while no controller was "
+                "reachable (per run):\n%-10s %10s %10s %10s\n", "interval",
+                "buffered", "drained", "goodput");
+    for (const SweepPoint& p : sweep) {
+        std::printf("%7.0f s  %10.1f %10.1f %10.1f\n", p.interval_s,
+                    p.buffered_per_run, p.drained_per_run,
+                    p.outage_goodput);
+    }
+
+    // --- Partition: unreachable primary, no standby consumed ---
+    platform::ScenarioConfig part = crash_scenario();
+    part.faults = fault::FaultPlan{};
+    part.faults.controller_partition(sim::from_seconds(kCrashAtS),
+                                     6 * sim::kSecond);
+    platform::RunMetrics pm = platform::run_scenario(
+        part, platform::PlatformOptions::hivemind(), paper_deployment(42));
+    std::printf("\nController partition (6 s) for contrast: outage %.1f s, "
+                "failovers %llu,\nframes buffered %llu and drained %llu by "
+                "local autonomy.\n", pm.recovery.controller_outage_s,
+                static_cast<unsigned long long>(
+                    pm.recovery.controller_crashes),
+                static_cast<unsigned long long>(
+                    pm.recovery.frames_buffered_degraded),
+                static_cast<unsigned long long>(
+                    pm.recovery.buffered_frames_drained));
+
+    // --- Machine-readable output ---
+    Json series = Json::array();
+    for (const SweepPoint& p : sweep) {
+        series.push(Json::object()
+                        .kv("checkpoint_interval_s", p.interval_s)
+                        .kv("controller_mttd_s", p.mttd_s)
+                        .kv("controller_mttr_s", p.mttr_s)
+                        .kv("checkpoint_age_s", p.ckpt_age_s)
+                        .kv("outage_s", p.outage_s)
+                        .kv("checkpoints_per_run", p.ckpts_per_run)
+                        .kv("checkpoint_kb_per_run", p.ckpt_kb_per_run)
+                        .kv("tasks_redriven_per_run", p.redriven_per_run)
+                        .kv("frames_buffered_per_run", p.buffered_per_run)
+                        .kv("frames_drained_per_run", p.drained_per_run)
+                        .kv("outage_goodput_tasks", p.outage_goodput));
+    }
+    Json doc = Json::object()
+                   .kv("bench", "abl_controller_ha")
+                   .kv("scenario", "A")
+                   .kv("crash_at_s", kCrashAtS)
+                   .kv("seeds", kSeeds)
+                   .kv("mttr_monotone_in_checkpoint_freq", monotone)
+                   .kv("sweep", series)
+                   .kv("partition",
+                       Json::object()
+                           .kv("duration_s", 6.0)
+                           .kv("outage_s", pm.recovery.controller_outage_s)
+                           .kv("frames_buffered",
+                               pm.recovery.frames_buffered_degraded)
+                           .kv("frames_drained",
+                               pm.recovery.buffered_frames_drained));
+    write_bench_json("abl_controller_ha", doc);
+    return monotone ? 0 : 1;
+}

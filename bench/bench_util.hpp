@@ -11,6 +11,7 @@
  * reproduction target — see EXPERIMENTS.md.
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -126,6 +127,119 @@ print_header(const std::string& figure, const std::string& caption)
     std::printf("%s — %s\n", figure.c_str(), caption.c_str());
     std::printf("=============================================================="
                 "==================\n");
+}
+
+/**
+ * Minimal JSON builder for machine-readable bench output.
+ *
+ * Benches print human-readable tables for eyes and, via
+ * write_bench_json(), a BENCH_<name>.json file for scripts/CI to
+ * diff. Build with Json::object()/Json::array(), chain kv()/push().
+ */
+class Json
+{
+  public:
+    static Json object() { return Json(true); }
+    static Json array() { return Json(false); }
+
+    Json& kv(const std::string& key, double v)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+        return raw_kv(key, buf);
+    }
+    Json& kv(const std::string& key, std::uint64_t v)
+    {
+        return raw_kv(key, std::to_string(v));
+    }
+    Json& kv(const std::string& key, int v)
+    {
+        return raw_kv(key, std::to_string(v));
+    }
+    Json& kv(const std::string& key, bool v)
+    {
+        return raw_kv(key, v ? "true" : "false");
+    }
+    Json& kv(const std::string& key, const std::string& v)
+    {
+        return raw_kv(key, quote(v));
+    }
+    Json& kv(const std::string& key, const char* v)
+    {
+        return raw_kv(key, quote(v));
+    }
+    Json& kv(const std::string& key, const Json& v)
+    {
+        return raw_kv(key, v.str());
+    }
+
+    Json& push(double v)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+        return raw_push(buf);
+    }
+    Json& push(const std::string& v) { return raw_push(quote(v)); }
+    Json& push(const Json& v) { return raw_push(v.str()); }
+
+    std::string str() const
+    {
+        return (object_ ? "{" : "[") + body_ + (object_ ? "}" : "]");
+    }
+
+  private:
+    explicit Json(bool object) : object_(object) {}
+
+    static std::string quote(const std::string& s)
+    {
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            if (c == '\n') {
+                out += "\\n";
+                continue;
+            }
+            out += c;
+        }
+        out += '"';
+        return out;
+    }
+
+    Json& raw_kv(const std::string& key, const std::string& value)
+    {
+        if (!body_.empty())
+            body_ += ',';
+        body_ += quote(key) + ":" + value;
+        return *this;
+    }
+
+    Json& raw_push(const std::string& value)
+    {
+        if (!body_.empty())
+            body_ += ',';
+        body_ += value;
+        return *this;
+    }
+
+    bool object_;
+    std::string body_;
+};
+
+/** Write @p doc to BENCH_<name>.json in the working directory. */
+inline void
+write_bench_json(const std::string& name, const Json& doc)
+{
+    std::string path = "BENCH_" + name + ".json";
+    std::string text = doc.str();
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("\n[json] %s (%zu bytes)\n", path.c_str(), text.size());
+    } else {
+        std::printf("\n[json] could not write %s\n", path.c_str());
+    }
 }
 
 }  // namespace hivemind::bench

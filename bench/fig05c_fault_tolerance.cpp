@@ -6,6 +6,11 @@
  *
  * Paper anchor: "Even for 20% failed tasks, OpenWhisk is able to hide
  * the increased workload, by quickly respawning tasks on new cores."
+ *
+ * A second section widens the lens from function failures to the four
+ * failure domains of the full stack — device, link, server, and swarm
+ * controller — each injected mid-scenario on HiveMind, with the
+ * detection/recovery ledger each domain's machinery reports.
  */
 
 #include <memory>
@@ -95,5 +100,66 @@ main()
     std::printf("\n(Paper: respawning hides up to 20%% failures; active "
                 "tasks rise slightly with the fault rate but every task "
                 "completes.)\n");
+
+    // --- Four failure domains, one fault each, mid-Scenario-A ---
+    print_header("Fig. 5c (extended)",
+                 "One injected fault per failure domain, HiveMind, "
+                 "Scenario A (45 s window)");
+    struct Domain
+    {
+        const char* name;
+        platform::ScenarioConfig sc;
+    };
+    auto base = []() {
+        platform::ScenarioConfig sc = scenario_a();
+        sc.targets = 50;  // Out of reach: every run spans the window.
+        sc.time_cap = 45 * sim::kSecond;
+        return sc;
+    };
+    Domain domains[] = {
+        {"none (baseline)", base()},
+        {"device", base()},
+        {"link", base()},
+        {"server", base()},
+        {"controller", base()},
+    };
+    domains[1].sc.faults.device_crash(12 * sim::kSecond, 3,
+                                      9 * sim::kSecond);
+    domains[2].sc.faults.link_burst(12 * sim::kSecond, 8 * sim::kSecond,
+                                    0.9);
+    domains[3].sc.faults.server_crash(12 * sim::kSecond, 0,
+                                      3 * sim::kSecond);
+    domains[4].sc.faults.controller_crash(12 * sim::kSecond);
+
+    std::printf("%-18s %8s %8s %8s %10s %10s\n", "failure domain",
+                "tasks", "dropped", "MTTD(s)", "MTTR(s)", "redo(cms)");
+    for (const Domain& d : domains) {
+        platform::RunMetrics m = platform::run_scenario(
+            d.sc, platform::PlatformOptions::hivemind(),
+            paper_deployment(42));
+        const fault::RecoveryMetrics& rec = m.recovery;
+        // Each domain reports detection/recovery through its own
+        // machinery: heartbeats (device), retries (link), respawn
+        // (server), standby election (controller).
+        sim::Summary mttd = rec.mttd_s;
+        mttd.merge(rec.controller_mttd_s);
+        sim::Summary mttr = rec.mttr_s;
+        mttr.merge(rec.controller_mttr_s);
+        char mttd_buf[16] = "-";
+        char mttr_buf[16] = "-";
+        if (!mttd.empty())
+            std::snprintf(mttd_buf, sizeof mttd_buf, "%.1f", mttd.mean());
+        if (!mttr.empty())
+            std::snprintf(mttr_buf, sizeof mttr_buf, "%.1f", mttr.mean());
+        std::printf("%-18s %8llu %8llu %8s %10s %10.0f\n", d.name,
+                    static_cast<unsigned long long>(m.tasks_completed),
+                    static_cast<unsigned long long>(
+                        rec.offloads_abandoned + rec.frames_dropped),
+                    mttd_buf, mttr_buf, rec.reexecuted_core_ms);
+    }
+    std::printf("\n(Every domain degrades throughput but none is fatal: "
+                "repartitioning covers lost\ndevices, retries+breakers ride "
+                "out link bursts, respawn redoes server work, and\nthe hot "
+                "standby replays a checkpoint after a controller crash.)\n");
     return 0;
 }

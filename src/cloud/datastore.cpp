@@ -44,6 +44,7 @@ DataStore::access(std::uint64_t bytes, std::function<void()> done)
     *it = start + service;
     sim::Time completion = *it;
     ++requests_;
+    bytes_transferred_ += bytes;
     latency_.add(sim::to_seconds(completion - now));
     if (done)
         simulator_->schedule_at(completion, std::move(done));

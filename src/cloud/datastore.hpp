@@ -55,6 +55,9 @@ class DataStore
     /** Requests completed so far. */
     std::uint64_t requests() const { return requests_; }
 
+    /** Total payload bytes moved through the store. */
+    std::uint64_t bytes_transferred() const { return bytes_transferred_; }
+
     /** Observed access latencies (seconds). */
     const sim::Summary& latency() const { return latency_; }
 
@@ -79,6 +82,7 @@ class DataStore
     sim::Time outage_until_ = 0;
     std::uint64_t outages_ = 0;
     std::uint64_t requests_ = 0;
+    std::uint64_t bytes_transferred_ = 0;
     sim::Summary latency_;
 };
 

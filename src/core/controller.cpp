@@ -28,10 +28,67 @@ HiveMindController::HiveMindController(sim::Simulator& simulator,
 }
 
 void
+HiveMindController::enable_ha(cloud::DataStore* store)
+{
+    ha_ = std::make_unique<HaCluster>(*simulator_, store, config_.ha);
+    ha_->set_snapshot([this]() {
+        ControllerCheckpoint cp;
+        std::size_t n = learning_.device_count();
+        cp.device_failed.reserve(n);
+        for (std::size_t d = 0; d < n; ++d)
+            cp.device_failed.push_back(detector_.is_failed(d) ? 1 : 0);
+        cp.partition = balancer_.snapshot();
+        cp.inflight.assign(n, 0);
+        return cp;
+    });
+    ha_->set_on_checkpoint([this](std::uint64_t seq, std::uint64_t bytes) {
+        trace_.add(simulator_->now(), TraceEvent::Checkpoint,
+                   static_cast<std::int64_t>(seq), "controller state",
+                   static_cast<double>(bytes));
+    });
+    ha_->set_on_detected([this]() {
+        trace_.add(simulator_->now(), TraceEvent::FailoverElection, -1,
+                   "standby promoted");
+        metrics_.count("controller_elections");
+    });
+    ha_->set_on_takeover([this](const ControllerCheckpoint& cp) {
+        ReconcileReport rep;
+        if (!cp.partition.assignments.empty())
+            balancer_.restore(cp.partition);
+        // Re-register every device against the detector's live view
+        // and repartition the drift between checkpoint and now.
+        std::size_t n = learning_.device_count();
+        std::vector<std::size_t> changed;
+        for (std::size_t d = 0; d < n; ++d) {
+            ++rep.devices_reregistered;
+            bool live = !detector_.is_failed(d);
+            if (live && !balancer_.region_of(d)) {
+                for (std::size_t c : balancer_.handle_rejoin(d))
+                    changed.push_back(c);
+            } else if (!live && balancer_.region_of(d)) {
+                for (std::size_t c : balancer_.handle_failure(d))
+                    changed.push_back(c);
+            }
+        }
+        rep.regions_repartitioned = changed.size();
+        if (on_reassign_ && !changed.empty())
+            on_reassign_(changed);
+        return rep;
+    });
+    ha_->set_on_restored([this](double checkpoint_age_s) {
+        trace_.add(simulator_->now(), TraceEvent::FailoverComplete, -1,
+                   "takeover complete", checkpoint_age_s);
+        metrics_.count("controller_failovers");
+    });
+}
+
+void
 HiveMindController::start()
 {
     running_ = true;
     detector_.start();
+    if (ha_)
+        ha_->start();
     retrain_tick();
 }
 
@@ -40,6 +97,8 @@ HiveMindController::stop()
 {
     running_ = false;
     detector_.stop();
+    if (ha_)
+        ha_->stop();
 }
 
 void

@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "apps/detection.hpp"
+#include "core/ha.hpp"
 #include "core/heartbeat.hpp"
 #include "core/learning.hpp"
 #include "core/load_balancer.hpp"
@@ -44,6 +45,8 @@ struct ControllerConfig
     apps::DetectionConfig detection;
     /** Hot-standby takeover delay on controller failure (Sec. 4.7). */
     sim::Time standby_takeover = sim::from_millis(500.0);
+    /** High-availability stack tuning (checkpoint/election/replay). */
+    HaConfig ha;
 };
 
 /**
@@ -59,6 +62,17 @@ class HiveMindController
      */
     HiveMindController(sim::Simulator& simulator, const geo::Rect& field,
                        std::size_t devices, const ControllerConfig& config);
+
+    /**
+     * Enable the HA stack (config().ha tuning): checkpoints this
+     * controller's registry + partition to @p store (nullptr = local
+     * durable store) and reconciles them back on failover. Call before
+     * start().
+     */
+    void enable_ha(cloud::DataStore* store);
+
+    /** The HA cluster, or nullptr when enable_ha() was not called. */
+    HaCluster* ha() { return ha_.get(); }
 
     /** Start heartbeat sweeping and periodic retraining. */
     void start();
@@ -105,6 +119,7 @@ class HiveMindController
     LearningCoordinator learning_;
     MetricRegistry metrics_;
     TraceLog trace_;
+    std::unique_ptr<HaCluster> ha_;
     std::function<void(std::vector<std::size_t>)> on_reassign_;
     bool running_ = false;
 };

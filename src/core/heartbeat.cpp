@@ -18,10 +18,11 @@ void
 FailureDetector::start()
 {
     running_ = true;
-    // Devices are assumed alive at start.
+    // Devices are assumed alive at start (a standby restart follows up
+    // with reconcile() to re-mark the ones that are actually down).
     for (auto& t : last_beat_)
         t = simulator_->now();
-    sweep();
+    sweep(++epoch_);
 }
 
 void
@@ -44,9 +45,24 @@ FailureDetector::beat(std::size_t device)
 }
 
 void
-FailureDetector::sweep()
+FailureDetector::reconcile(std::size_t device, bool alive)
 {
-    if (!running_)
+    if (device >= last_beat_.size())
+        return;
+    sim::Time now = simulator_->now();
+    if (alive) {
+        failed_[device] = false;
+        last_beat_[device] = now;
+    } else if (!failed_[device]) {
+        failed_[device] = true;
+        failed_at_[device] = last_beat_[device];
+    }
+}
+
+void
+FailureDetector::sweep(std::uint64_t epoch)
+{
+    if (!running_ || epoch != epoch_)
         return;
     sim::Time now = simulator_->now();
     for (std::size_t d = 0; d < last_beat_.size(); ++d) {
@@ -61,7 +77,7 @@ FailureDetector::sweep()
                 on_failure_(d);
         }
     }
-    simulator_->schedule_in(beat_interval_, [this]() { sweep(); });
+    simulator_->schedule_in(beat_interval_, [this, epoch]() { sweep(epoch); });
 }
 
 std::size_t

@@ -47,6 +47,14 @@ class FailureDetector
     /** Record a heartbeat from @p device. */
     void beat(std::size_t device);
 
+    /**
+     * Standby reconciliation after a controller takeover (Sec. 4.6):
+     * overwrite the tracked state with the re-registration ping's
+     * ground truth. Unlike beat()/sweep() this fires no callbacks and
+     * records no latency samples — the caller repartitions explicitly.
+     */
+    void reconcile(std::size_t device, bool alive);
+
     /** Invoked once per newly detected failure. */
     void set_on_failure(std::function<void(std::size_t)> fn)
     {
@@ -84,7 +92,8 @@ class FailureDetector
     }
 
   private:
-    void sweep();
+    /** @p epoch guards against stale chains after stop()/start(). */
+    void sweep(std::uint64_t epoch);
 
     sim::Simulator* simulator_;
     sim::Time beat_interval_;
@@ -97,6 +106,7 @@ class FailureDetector
     std::vector<double> detection_latencies_;
     std::vector<double> recovery_latencies_;
     bool running_ = false;
+    std::uint64_t epoch_ = 0;
 };
 
 }  // namespace hivemind::core

@@ -52,6 +52,9 @@ class LearningCoordinator
 
     apps::RetrainMode mode() const { return mode_; }
 
+    /** Devices managed (one model per device). */
+    std::size_t device_count() const { return models_.size(); }
+
     /** Total feedback samples recorded across all devices. */
     std::uint64_t total_samples() const { return total_samples_; }
 

@@ -102,6 +102,25 @@ SwarmLoadBalancer::route_for(std::size_t device, double track_spacing) const
     return geo::coverage_route(*region, track_spacing);
 }
 
+SwarmLoadBalancer::Snapshot
+SwarmLoadBalancer::snapshot() const
+{
+    Snapshot snap;
+    snap.assignments.reserve(assignments_.size());
+    for (const Assignment& a : assignments_)
+        snap.assignments.emplace_back(a.device, a.region);
+    return snap;
+}
+
+void
+SwarmLoadBalancer::restore(const Snapshot& snap)
+{
+    assignments_.clear();
+    assignments_.reserve(snap.assignments.size());
+    for (const auto& [device, region] : snap.assignments)
+        assignments_.push_back({device, region});
+}
+
 double
 SwarmLoadBalancer::assigned_area() const
 {

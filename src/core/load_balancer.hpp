@@ -65,6 +65,21 @@ class SwarmLoadBalancer
 
     const geo::Rect& field() const { return field_; }
 
+    /**
+     * Serializable partition state for controller checkpoints
+     * (Sec. 4.6): the ordered (device, region) list.
+     */
+    struct Snapshot
+    {
+        std::vector<std::pair<std::size_t, geo::Rect>> assignments;
+    };
+
+    /** Capture the current partition. */
+    Snapshot snapshot() const;
+
+    /** Replace the partition with a checkpointed one (standby replay). */
+    void restore(const Snapshot& snap);
+
   private:
     struct Assignment
     {

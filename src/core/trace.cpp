@@ -30,6 +30,12 @@ to_string(TraceEvent e)
         return "controller_failover";
       case TraceEvent::RetrainRound:
         return "retrain_round";
+      case TraceEvent::Checkpoint:
+        return "checkpoint";
+      case TraceEvent::FailoverElection:
+        return "failover_election";
+      case TraceEvent::FailoverComplete:
+        return "failover_complete";
       case TraceEvent::Custom:
         return "custom";
     }

@@ -34,6 +34,12 @@ enum class TraceEvent
     StragglerRespawn,
     ControllerFailover,
     RetrainRound,
+    /** Controller state checkpoint persisted (value = bytes). */
+    Checkpoint,
+    /** Standby declared the primary dead and started the takeover. */
+    FailoverElection,
+    /** Takeover complete: checkpoint replayed, devices reconciled. */
+    FailoverComplete,
     Custom,
 };
 

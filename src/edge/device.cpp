@@ -142,6 +142,37 @@ Device::position_at(sim::Time t) const
     return route_[i - 1] + (route_[i] - route_[i - 1]) * frac;
 }
 
+bool
+Device::buffer_frame(std::uint64_t bytes)
+{
+    if (buffered_frames_ >= spec_.frame_buffer_limit) {
+        ++frames_dropped_;  // Bounded store: oldest data ages out of
+        return false;       // relevance, so new frames are refused.
+    }
+    ++buffered_frames_;
+    buffered_bytes_ += bytes;
+    return true;
+}
+
+Device::DrainedFrames
+Device::drain_buffered()
+{
+    DrainedFrames out{buffered_frames_, buffered_bytes_};
+    buffered_frames_ = 0;
+    buffered_bytes_ = 0;
+    return out;
+}
+
+bool
+Device::resume_route_reversed()
+{
+    if (route_.size() < 2)
+        return false;
+    std::vector<geo::Vec2> reversed(route_.rbegin(), route_.rend());
+    set_route(std::move(reversed));
+    return true;
+}
+
 void
 Device::account_motion(double seconds)
 {

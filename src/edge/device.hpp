@@ -49,6 +49,8 @@ struct DeviceSpec
     double footprint_h = 8.75;
     /** On-board task queue bound; older tasks are shed beyond this. */
     std::size_t queue_limit = 64;
+    /** Sensor frames bufferable on-board while disconnected (Sec. 4.6). */
+    std::size_t frame_buffer_limit = 256;
 
     /** The Parrot AR 2.0 drone of the paper's main testbed. */
     static DeviceSpec drone();
@@ -158,6 +160,46 @@ class Device
     /** Whether the device can still operate. */
     bool alive() const { return !failed_ && !battery_.depleted(); }
 
+    // --- Degraded-mode local autonomy (Sec. 4.6) ---
+    // While no controller is reachable the device falls back to
+    // on-board control: it keeps flying locally-derived waypoints and
+    // buffers sensor frames instead of offloading them, draining the
+    // buffer once a controller is back.
+
+    /** Enter/leave on-board local control. */
+    void set_degraded(bool on) { degraded_ = on; }
+    bool degraded() const { return degraded_; }
+
+    /**
+     * Buffer one sensor frame of @p bytes on-board.
+     * @return false when the (bounded) buffer is full — the frame is
+     *         dropped and counted in frames_dropped_onboard().
+     */
+    bool buffer_frame(std::uint64_t bytes);
+
+    std::uint64_t buffered_frames() const { return buffered_frames_; }
+    std::uint64_t buffered_bytes() const { return buffered_bytes_; }
+    std::uint64_t frames_dropped_onboard() const { return frames_dropped_; }
+
+    /** Drained buffer contents on reconnect. */
+    struct DrainedFrames
+    {
+        std::uint64_t frames = 0;
+        std::uint64_t bytes = 0;
+    };
+
+    /** Take (and clear) the buffered frames for uplink. */
+    DrainedFrames drain_buffered();
+
+    /**
+     * Local waypoint continuation: with no controller to hand out a
+     * fresh route, re-fly the just-finished route in reverse so the
+     * device keeps covering its last-known region instead of freezing.
+     * @return false when there is no route to continue (device holds
+     *         position).
+     */
+    bool resume_route_reversed();
+
   private:
     sim::Simulator* simulator_;
     std::size_t id_;
@@ -169,6 +211,10 @@ class Device
     sim::Time route_start_ = 0;
     sim::Time route_end_ = 0;
     bool failed_ = false;
+    bool degraded_ = false;
+    std::uint64_t buffered_frames_ = 0;
+    std::uint64_t buffered_bytes_ = 0;
+    std::uint64_t frames_dropped_ = 0;
 };
 
 }  // namespace hivemind::edge

@@ -41,6 +41,12 @@ ChaosEngine::attach_datastore(cloud::DataStore& store)
 }
 
 void
+ChaosEngine::attach_controller(std::function<void(const FaultEvent&)> handler)
+{
+    controller_handler_ = std::move(handler);
+}
+
+void
 ChaosEngine::start()
 {
     running_ = true;
@@ -100,6 +106,29 @@ ChaosEngine::note_repaired(std::size_t device)
 }
 
 void
+ChaosEngine::note_controller_detected()
+{
+    if (controller_crash_at_ < 0 || controller_detected_)
+        return;
+    controller_detected_ = true;
+    metrics_.controller_mttd_s.add(
+        sim::to_seconds(simulator_->now() - controller_crash_at_));
+}
+
+void
+ChaosEngine::note_controller_restored(double checkpoint_age_s)
+{
+    if (controller_crash_at_ < 0)
+        return;
+    metrics_.controller_mttr_s.add(
+        sim::to_seconds(simulator_->now() - controller_crash_at_));
+    if (checkpoint_age_s >= 0.0)
+        metrics_.checkpoint_age_s.add(checkpoint_age_s);
+    controller_crash_at_ = -1;
+    controller_detected_ = false;
+}
+
+void
 ChaosEngine::fire(const FaultEvent& e)
 {
     switch (e.kind) {
@@ -143,6 +172,20 @@ ChaosEngine::fire(const FaultEvent& e)
             ++metrics_.controller_failovers;
             faas_->fail_controller(e.takeover ? e.duration : 0);
         }
+        break;
+    case FaultKind::ControllerCrash:
+        ++metrics_.controller_crashes;
+        if (controller_crash_at_ < 0) {
+            controller_crash_at_ = simulator_->now();
+            controller_detected_ = false;
+        }
+        if (controller_handler_)
+            controller_handler_(e);
+        break;
+    case FaultKind::ControllerPartition:
+        ++metrics_.controller_partitions;
+        if (controller_handler_)
+            controller_handler_(e);
         break;
     }
 }

@@ -62,6 +62,14 @@ class ChaosEngine
     /** Attach the datastore (outage windows). */
     void attach_datastore(cloud::DataStore& store);
 
+    /**
+     * Attach the swarm-controller HA layer. ControllerCrash and
+     * ControllerPartition events are handed to @p handler (the platform
+     * wires it to core::HaCluster — the fault layer stays independent
+     * of hm_core). Without a handler those events only count.
+     */
+    void attach_controller(std::function<void(const FaultEvent&)> handler);
+
     /** Schedule every plan event on the simulator. */
     void start();
 
@@ -84,6 +92,20 @@ class ChaosEngine
      * detection does NOT close the incident; only the rejoin does.
      */
     void note_repaired(std::size_t device);
+
+    /**
+     * The standby elected itself after a controller crash we injected:
+     * records the controller MTTD sample (injection -> election).
+     */
+    void note_controller_detected();
+
+    /**
+     * Controller service is restored (takeover complete or partition
+     * healed). For a crash incident this records MTTR and the
+     * checkpoint-age-at-failover sample; @p checkpoint_age_s < 0 means
+     * no checkpoint was replayed (partition heal).
+     */
+    void note_controller_restored(double checkpoint_age_s);
 
     /** The accumulated ledger (complete after stop()). */
     const RecoveryMetrics& metrics() const { return metrics_; }
@@ -117,6 +139,10 @@ class ChaosEngine
     net::SwarmTopology* network_ = nullptr;
     cloud::FaasRuntime* faas_ = nullptr;
     cloud::DataStore* store_ = nullptr;
+    std::function<void(const FaultEvent&)> controller_handler_;
+    /** Open swarm-controller crash incident (-1 = none). */
+    sim::Time controller_crash_at_ = -1;
+    bool controller_detected_ = false;
 
     std::vector<char> down_;
     /** Open incidents: device -> injection record (ordered map for

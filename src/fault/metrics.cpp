@@ -21,6 +21,18 @@ RecoveryMetrics::merge(const RecoveryMetrics& other)
     controller_failovers += other.controller_failovers;
     link_burst_windows += other.link_burst_windows;
     partitions += other.partitions;
+    controller_mttd_s.merge(other.controller_mttd_s);
+    controller_mttr_s.merge(other.controller_mttr_s);
+    checkpoint_age_s.merge(other.checkpoint_age_s);
+    controller_crashes += other.controller_crashes;
+    controller_partitions += other.controller_partitions;
+    checkpoints_taken += other.checkpoints_taken;
+    checkpoint_bytes += other.checkpoint_bytes;
+    tasks_redriven_on_failover += other.tasks_redriven_on_failover;
+    frames_buffered_degraded += other.frames_buffered_degraded;
+    buffered_frames_drained += other.buffered_frames_drained;
+    controller_outage_s += other.controller_outage_s;
+    outage_tasks_completed += other.outage_tasks_completed;
 }
 
 }  // namespace hivemind::fault

@@ -48,6 +48,32 @@ struct RecoveryMetrics
     std::uint64_t link_burst_windows = 0;
     std::uint64_t partitions = 0;
 
+    // --- Swarm-controller high availability (Sec. 4.6-4.7) ---
+    /** Controller fault injection -> standby election, seconds. */
+    sim::Summary controller_mttd_s;
+    /** Controller fault injection -> takeover complete, seconds. */
+    sim::Summary controller_mttr_s;
+    /** Age of the replayed checkpoint at failover (lost-work bound), s. */
+    sim::Summary checkpoint_age_s;
+    /** Primary swarm-controller crashes injected. */
+    std::uint64_t controller_crashes = 0;
+    /** Swarm-controller partition windows injected. */
+    std::uint64_t controller_partitions = 0;
+    /** Controller state checkpoints persisted to the datastore. */
+    std::uint64_t checkpoints_taken = 0;
+    /** Bytes of checkpoint state written. */
+    std::uint64_t checkpoint_bytes = 0;
+    /** Offloads redriven by the standby after replaying a checkpoint. */
+    std::uint64_t tasks_redriven_on_failover = 0;
+    /** Sensor frames buffered on-board while no controller was up. */
+    std::uint64_t frames_buffered_degraded = 0;
+    /** Buffered frames successfully drained after reconnect. */
+    std::uint64_t buffered_frames_drained = 0;
+    /** Total seconds with no controller reachable. */
+    double controller_outage_s = 0.0;
+    /** Tasks that still completed during controller outages (goodput). */
+    std::uint64_t outage_tasks_completed = 0;
+
     /** Fold another ledger into this one (summaries append). */
     void merge(const RecoveryMetrics& other);
 };

@@ -95,6 +95,27 @@ FaultPlan::controller_failover(sim::Time at, bool takeover)
 }
 
 FaultPlan&
+FaultPlan::controller_crash(sim::Time at)
+{
+    FaultEvent e;
+    e.kind = FaultKind::ControllerCrash;
+    e.at = at;
+    events.push_back(e);
+    return *this;
+}
+
+FaultPlan&
+FaultPlan::controller_partition(sim::Time at, sim::Time duration)
+{
+    FaultEvent e;
+    e.kind = FaultKind::ControllerPartition;
+    e.at = at;
+    e.duration = duration;
+    events.push_back(e);
+    return *this;
+}
+
+FaultPlan&
 FaultPlan::merge(const FaultPlan& other)
 {
     events.insert(events.end(), other.events.begin(), other.events.end());

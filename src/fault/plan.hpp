@@ -40,6 +40,12 @@ enum class FaultKind
     DatastoreOutage,
     /** Scheduled front-end controller failover (hot standby takes over). */
     ControllerFailover,
+    /** Crash the primary swarm controller; the HA standby must elect
+     *  itself, replay the latest checkpoint and reconcile (Sec. 4.6). */
+    ControllerCrash,
+    /** The swarm controller is unreachable for `duration` (network
+     *  partition); no failover — the same instance comes back. */
+    ControllerPartition,
 };
 
 /** One scheduled fault. Unused fields are ignored per kind. */
@@ -104,6 +110,12 @@ struct FaultPlan
 
     /** Fail the active front-end controller at `at`. */
     FaultPlan& controller_failover(sim::Time at, bool takeover = true);
+
+    /** Crash the primary swarm controller at `at` (HA failover path). */
+    FaultPlan& controller_crash(sim::Time at);
+
+    /** Make the swarm controller unreachable over [at, at + duration). */
+    FaultPlan& controller_partition(sim::Time at, sim::Time duration);
 
     /** Append another plan's events. */
     FaultPlan& merge(const FaultPlan& other);

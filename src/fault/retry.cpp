@@ -32,6 +32,10 @@ OffloadRetrier::record_failure(std::size_t device, sim::Time now)
     if (device >= state_.size())
         return false;
     DeviceState& st = state_[device];
+    if (now < st.open_until)
+        return false;  // Already open: the probation window absorbs
+                       // failures of in-flight sends, they must not
+                       // accumulate toward a second trip.
     ++st.consecutive_failures;
     if (st.consecutive_failures < config_.breaker_threshold)
         return false;

@@ -54,7 +54,9 @@ class OffloadRetrier
 
     /**
      * Record a failed offload attempt at `now`. Returns true when this
-     * failure trips the breaker open.
+     * failure trips the breaker open. Failures recorded while the
+     * breaker is already open are swallowed — they never count toward
+     * another trip.
      */
     bool record_failure(std::size_t device, sim::Time now);
 

@@ -53,6 +53,18 @@ effective_plan(const ScenarioConfig& sc)
     return plan;
 }
 
+/** Whether the plan targets the swarm controller (needs the HA stack). */
+bool
+plan_has_controller_faults(const fault::FaultPlan& plan)
+{
+    for (const fault::FaultEvent& e : plan.events) {
+        if (e.kind == fault::FaultKind::ControllerCrash ||
+            e.kind == fault::FaultKind::ControllerPartition)
+            return true;
+    }
+    return false;
+}
+
 /** Work/size constants of the scenario pipelines (from the graphs). */
 struct PipelineSpec
 {
@@ -94,7 +106,8 @@ class ScenarioHarness
           pass_(dep.device_count(), 0),
           moving_until_(dep.device_count(), 0),
           compute_settled_(dep.device_count(), 0.0),
-          done_at_(dep.device_count(), -1)
+          done_at_(dep.device_count(), -1),
+          inflight_(dep.device_count(), 0)
     {
         if (sc.kind == ScenarioKind::MovingPeople) {
             pipeline_.rec_work_ms = 350.0;
@@ -127,6 +140,36 @@ class ScenarioHarness
         chaos_.attach_network(dep.network());
         chaos_.attach_faas(dep.faas());
         chaos_.attach_datastore(dep.store());
+
+        // Controller HA (Sec. 4.6): checkpointed hot-standby failover
+        // plus degraded-mode edge autonomy. Only instantiated when the
+        // run can actually lose its swarm controller, so every other
+        // run replays bit-identically to the pre-HA code.
+        if (hivemind() &&
+            (sc.ha.enabled || plan_has_controller_faults(chaos_.plan()))) {
+            core::HaConfig hc = sc.ha;
+            hc.enabled = true;
+            ha_ = std::make_unique<core::HaCluster>(dep.simulator(),
+                                                    &dep.store(), hc);
+            ha_->set_snapshot([this]() { return make_checkpoint(); });
+            ha_->set_on_takeover(
+                [this](const core::ControllerCheckpoint& cp) {
+                    return reconcile_after_takeover(cp);
+                });
+            ha_->set_on_availability(
+                [this](bool up) { availability_changed(up); });
+            ha_->set_on_detected(
+                [this]() { chaos_.note_controller_detected(); });
+            ha_->set_on_restored([this](double checkpoint_age_s) {
+                chaos_.note_controller_restored(checkpoint_age_s);
+            });
+            chaos_.attach_controller([this](const fault::FaultEvent& e) {
+                if (e.kind == fault::FaultKind::ControllerCrash)
+                    ha_->crash_active();
+                else
+                    ha_->partition(e.duration);
+            });
+        }
     }
 
     void run();
@@ -144,6 +187,15 @@ class ScenarioHarness
     {
         return dep_->options().kind == PlatformKind::HiveMind;
     }
+
+    /** No swarm controller reachable (crash/partition window open). */
+    bool controller_down() const { return ha_ && !ha_->available(); }
+
+    // --- Controller HA (Sec. 4.6) ---
+    core::ControllerCheckpoint make_checkpoint() const;
+    core::ReconcileReport
+    reconcile_after_takeover(const core::ControllerCheckpoint& cp);
+    void availability_changed(bool up);
 
     // --- Common plumbing ---
     void record(const StageRecord& r);
@@ -182,6 +234,7 @@ class ScenarioHarness
     core::SwarmLoadBalancer balancer_;
     core::FailureDetector detector_;
     core::LearningCoordinator learning_;
+    std::unique_ptr<core::HaCluster> ha_;
     PipelineSpec pipeline_;
     RunMetrics metrics_;
 
@@ -197,6 +250,10 @@ class ScenarioHarness
     sim::Time last_retrain_ = 0;
     bool done_ = false;
     sim::Time completion_ = 0;
+    // Controller task-graph bookkeeping (checkpointed by the HA stack).
+    std::vector<std::uint32_t> inflight_;
+    std::uint64_t tasks_started_ = 0;
+    std::uint64_t outage_completed_ = 0;
 };
 
 void
@@ -210,6 +267,8 @@ ScenarioHarness::record(const StageRecord& r)
     metrics_.data_s.add(r.data);
     metrics_.exec_s.add(r.exec);
     ++metrics_.tasks_completed;
+    if (controller_down())
+        ++outage_completed_;  // Goodput inside the outage window.
 }
 
 void
@@ -261,6 +320,27 @@ ScenarioHarness::pipeline(std::size_t device,
     sim::Simulator& simulator = dep_->simulator();
     sim::Time t0 = simulator.now();
     PlatformKind kind = dep_->options().kind;
+
+    if (controller_down()) {
+        // The offload path routes through the (dead) controller: fail
+        // fast so callers apply their degraded-mode fallbacks.
+        simulator.schedule_in(0, [done = std::move(done)]() {
+            StageRecord r;
+            r.dropped = true;
+            done(r);
+        });
+        return;
+    }
+    // Task-graph bookkeeping the HA checkpoint captures; the wrapper
+    // settles the in-flight count on every completion path.
+    ++tasks_started_;
+    if (device < inflight_.size())
+        ++inflight_[device];
+    done = [this, device, inner = std::move(done)](const StageRecord& r) {
+        if (device < inflight_.size() && inflight_[device] > 0)
+            --inflight_[device];
+        inner(r);
+    };
 
     if (kind == PlatformKind::DistributedEdge) {
         // Everything on-board; only the final result is uplinked.
@@ -514,6 +594,13 @@ void
 ScenarioHarness::frame_task(std::size_t device)
 {
     edge::Device& dev = dep_->device(device);
+    if (controller_down()) {
+        // Degraded mode: keep sensing, buffer the frame on-board and
+        // drain it once a controller is reachable again (Sec. 4.6).
+        if (dev.buffer_frame(pipeline_.frame_bytes))
+            ++metrics_.recovery.frames_buffered_degraded;
+        return;
+    }
     geo::Vec2 pos = dev.position_at(dep_->simulator().now());
     std::vector<std::size_t> visible;
     if (items_) {
@@ -548,6 +635,112 @@ ScenarioHarness::obstacle_task(std::size_t device)
     // S4-style work, always on-board, kept off the latency books —
     // it is part of flight control, not the application pipeline.
     dep_->device(device).executor().submit(18.0 * 0.55, nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Controller HA: checkpointing, takeover reconciliation, degraded mode
+// ---------------------------------------------------------------------
+
+core::ControllerCheckpoint
+ScenarioHarness::make_checkpoint() const
+{
+    core::ControllerCheckpoint cp;
+    std::size_t n = dep_->device_count();
+    cp.device_failed.reserve(n);
+    for (std::size_t d = 0; d < n; ++d)
+        cp.device_failed.push_back(detector_.is_failed(d) ? 1 : 0);
+    cp.partition = balancer_.snapshot();
+    cp.inflight.assign(inflight_.begin(), inflight_.end());
+    cp.tasks_started = tasks_started_;
+    return cp;
+}
+
+core::ReconcileReport
+ScenarioHarness::reconcile_after_takeover(const core::ControllerCheckpoint& cp)
+{
+    core::ReconcileReport rep;
+    // 1. Replay: the standby's world is the checkpointed partition.
+    if (!cp.partition.assignments.empty())
+        balancer_.restore(cp.partition);
+    // 2. Re-register every device and repartition the drift between
+    //    checkpoint time and now (deaths/rejoins the dead primary
+    //    never processed).
+    std::vector<std::size_t> changed;
+    for (std::size_t d = 0; d < dep_->device_count(); ++d) {
+        ++rep.devices_reregistered;
+        bool live = dep_->device(d).alive();
+        detector_.reconcile(d, live);
+        if (live && !balancer_.region_of(d)) {
+            for (std::size_t c : balancer_.handle_rejoin(d))
+                changed.push_back(c);
+        } else if (!live && balancer_.region_of(d)) {
+            // Found dead during re-registration: this is the detection
+            // instant for crashes that happened while we were blind.
+            chaos_.note_detected(d);
+            for (std::size_t c : balancer_.handle_failure(d))
+                changed.push_back(c);
+            chaos_.note_repaired(d);
+        }
+    }
+    rep.regions_repartitioned = changed.size();
+    // 3. Redrive: offloads in flight at the checkpoint plus everything
+    //    started since its watermark go through the epoch-redrive path.
+    std::uint64_t inflight_total = 0;
+    for (std::uint32_t c : cp.inflight)
+        inflight_total += c;
+    std::uint64_t delta = tasks_started_ >= cp.tasks_started
+        ? tasks_started_ - cp.tasks_started
+        : 0;
+    rep.offloads_redriven =
+        static_cast<std::size_t>(inflight_total + delta);
+    metrics_.recovery.tasks_redriven_on_failover += rep.offloads_redriven;
+    dep_->faas().poke();
+    // Refreshed routes for devices whose regions moved.
+    if (is_drone_scenario()) {
+        for (std::size_t d : changed) {
+            if (dep_->device(d).alive())
+                start_pass(d);
+        }
+    }
+    return rep;
+}
+
+void
+ScenarioHarness::availability_changed(bool up)
+{
+    bool drone = hivemind() && is_drone_scenario();
+    if (!up) {
+        // The controller-side detector is blind while no controller
+        // runs; reconciliation rebuilds its state on takeover.
+        if (drone)
+            detector_.stop();
+        for (std::size_t d = 0; d < dep_->device_count(); ++d) {
+            if (dep_->device(d).alive())
+                dep_->device(d).set_degraded(true);
+        }
+        return;
+    }
+    if (drone)
+        detector_.start();
+    for (std::size_t d = 0; d < dep_->device_count(); ++d) {
+        edge::Device& dev = dep_->device(d);
+        dev.set_degraded(false);
+        edge::Device::DrainedFrames backlog = dev.drain_buffered();
+        if (backlog.frames == 0 || !dev.alive())
+            continue;
+        // Drain the buffered backlog through the pre-filtered uplink
+        // (the on-board filter kept running while buffering).
+        double raw = static_cast<double>(pipeline_.frame_bytes);
+        double reduced =
+            std::min(raw, 4.0 * 1024.0 * 1024.0 + 0.02 * raw);
+        std::uint64_t bytes = static_cast<std::uint64_t>(
+            reduced * static_cast<double>(backlog.frames));
+        uplink_with_retry(
+            d, bytes, [this, frames = backlog.frames](sim::Time t) {
+                if (t >= 0)
+                    metrics_.recovery.buffered_frames_drained += frames;
+            });
+    }
 }
 
 double
@@ -696,15 +889,22 @@ ScenarioHarness::tick()
 
         if (dev.battery().depleted()) {
             dev.set_failed(true);  // Heartbeats stop; detector reacts.
-        } else if (hivemind() && is_drone_scenario()) {
-            detector_.beat(d);
+        } else if (hivemind() && is_drone_scenario() && !controller_down()) {
+            detector_.beat(d);  // Beats cannot reach a dead controller.
         }
 
         // Sweeping drones start a new pass until the goal is met.
-        if (is_drone_scenario() && dev.alive() && !detector_.is_failed(d) &&
-            dev.route_done(now) && pass_[d] < sc_->max_passes &&
-            balancer_.region_of(d)) {
-            start_pass(d);
+        if (is_drone_scenario() && dev.alive() && dev.route_done(now)) {
+            if (controller_down()) {
+                // Degraded-mode autonomy (Sec. 4.6): no controller to
+                // hand out a fresh route, so retrace the last one
+                // locally instead of hovering in place.
+                if (dev.degraded())
+                    dev.resume_route_reversed();
+            } else if (!detector_.is_failed(d) &&
+                       pass_[d] < sc_->max_passes && balancer_.region_of(d)) {
+                start_pass(d);
+            }
         }
     }
 
@@ -748,6 +948,8 @@ ScenarioHarness::finish(bool goal)
     metrics_.goal_fraction = goal_fraction();
     metrics_.completion_s = sim::to_seconds(completion_);
     detector_.stop();
+    if (ha_)
+        ha_->stop();
     chaos_.stop();
     dep_->simulator().stop();
 }
@@ -759,6 +961,8 @@ ScenarioHarness::run()
         setup_drones();
     else
         setup_rovers();
+    if (ha_)
+        ha_->start();
     chaos_.start();
     dep_->simulator().schedule_in(sim::kSecond, [this]() { tick(); });
     dep_->simulator().run_until(sc_->time_cap + 10 * sim::kSecond);
@@ -783,6 +987,13 @@ ScenarioHarness::take_metrics()
     if (dep_->scheduler())
         metrics_.respawns = dep_->scheduler()->respawns();
     metrics_.cloud_rpc_cpu_s = dep_->network().cloud_rpc_cpu_seconds();
+    if (ha_) {
+        ha_->stop();  // Idempotent; closes any open outage window.
+        metrics_.recovery.checkpoints_taken += ha_->checkpoints_taken();
+        metrics_.recovery.checkpoint_bytes += ha_->checkpoint_bytes();
+        metrics_.recovery.controller_outage_s += ha_->unavailable_seconds();
+        metrics_.recovery.outage_tasks_completed += outage_completed_;
+    }
     chaos_.stop();  // Idempotent; finalizes the counter pulls.
     metrics_.recovery.merge(chaos_.metrics());
     metrics_.detect_correct_pct = 100.0 * learning_.swarm_p_correct();

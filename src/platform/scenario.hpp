@@ -30,6 +30,7 @@
 #include <cstdint>
 
 #include "apps/detection.hpp"
+#include "core/ha.hpp"
 #include "fault/plan.hpp"
 #include "fault/retry.hpp"
 #include "platform/deployment.hpp"
@@ -89,6 +90,13 @@ struct ScenarioConfig
     cloud::FaultRecovery recovery = cloud::FaultRecovery::Respawn;
     /** Edge->cloud offload retry / circuit-breaker tuning (Sec. 4.6). */
     fault::RetryConfig retry;
+    /**
+     * Swarm-controller HA tuning (Sec. 4.6-4.7). The HA stack spins up
+     * on HiveMind when `ha.enabled` is set or the fault plan contains
+     * controller_crash / controller_partition events; otherwise runs
+     * are byte-identical to the pre-HA behavior.
+     */
+    core::HaConfig ha;
 };
 
 /** Run one scenario on one platform. */

@@ -76,6 +76,46 @@ TEST(OffloadRetrier, BackoffGrowsExponentiallyWithJitter)
     }
 }
 
+TEST(OffloadRetrier, BreakerClosesAtExactlyOpenUntil)
+{
+    RetryConfig cfg;
+    cfg.breaker_threshold = 3;
+    cfg.breaker_cooldown = 5 * sim::kSecond;
+    OffloadRetrier r(1, cfg);
+    r.record_failure(0, sim::kSecond);
+    r.record_failure(0, sim::kSecond);
+    ASSERT_TRUE(r.record_failure(0, sim::kSecond));
+    // open_until = trip time + cooldown = 6 s; open strictly before,
+    // closed from that instant on (probes are allowed again).
+    sim::Time open_until = 6 * sim::kSecond;
+    EXPECT_TRUE(r.circuit_open(0, open_until - 1));
+    EXPECT_FALSE(r.circuit_open(0, open_until));
+    EXPECT_FALSE(r.circuit_open(0, open_until + 1));
+}
+
+TEST(OffloadRetrier, FailuresWhileOpenDoNotAccumulateTrips)
+{
+    RetryConfig cfg;
+    cfg.breaker_threshold = 3;
+    cfg.breaker_cooldown = 5 * sim::kSecond;
+    OffloadRetrier r(1, cfg);
+    r.record_failure(0, sim::kSecond);
+    r.record_failure(0, sim::kSecond);
+    ASSERT_TRUE(r.record_failure(0, sim::kSecond));
+    EXPECT_EQ(r.breaker_trips(), 1u);
+    // In-flight sends keep failing inside the probation window; they
+    // must neither re-trip nor count toward the next run.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(r.record_failure(0, 2 * sim::kSecond));
+    EXPECT_EQ(r.breaker_trips(), 1u);
+    // After cooldown the streak restarts from zero: it takes a full
+    // threshold of fresh failures to open the breaker again.
+    EXPECT_FALSE(r.record_failure(0, 7 * sim::kSecond));
+    EXPECT_FALSE(r.record_failure(0, 7 * sim::kSecond));
+    EXPECT_TRUE(r.record_failure(0, 7 * sim::kSecond));
+    EXPECT_EQ(r.breaker_trips(), 2u);
+}
+
 TEST(OffloadRetrier, OutOfRangeDeviceIsNoop)
 {
     OffloadRetrier r(1);
@@ -468,6 +508,7 @@ chaotic_scenario()
         .link_burst(18 * sim::kSecond, 8 * sim::kSecond, 0.9)
         .datastore_outage(20 * sim::kSecond, 2 * sim::kSecond)
         .controller_failover(22 * sim::kSecond)
+        .controller_crash(24 * sim::kSecond)
         .partition(26 * sim::kSecond, 4 * sim::kSecond, 2);
     return sc;
 }
@@ -517,6 +558,28 @@ TEST(Determinism, IdenticalSeedsAndPlansReplayBitIdentically)
     EXPECT_EQ(ra.link_burst_windows, rb.link_burst_windows);
     EXPECT_EQ(ra.partitions, rb.partitions);
 
+    // Controller-HA ledger replays bit-identically too.
+    EXPECT_EQ(ra.controller_crashes, rb.controller_crashes);
+    EXPECT_EQ(ra.controller_partitions, rb.controller_partitions);
+    EXPECT_EQ(ra.controller_mttd_s.count(), rb.controller_mttd_s.count());
+    if (!ra.controller_mttd_s.empty()) {
+        EXPECT_DOUBLE_EQ(ra.controller_mttd_s.mean(),
+                         rb.controller_mttd_s.mean());
+    }
+    EXPECT_EQ(ra.controller_mttr_s.count(), rb.controller_mttr_s.count());
+    if (!ra.controller_mttr_s.empty()) {
+        EXPECT_DOUBLE_EQ(ra.controller_mttr_s.mean(),
+                         rb.controller_mttr_s.mean());
+    }
+    EXPECT_EQ(ra.checkpoint_age_s.count(), rb.checkpoint_age_s.count());
+    EXPECT_EQ(ra.checkpoints_taken, rb.checkpoints_taken);
+    EXPECT_EQ(ra.checkpoint_bytes, rb.checkpoint_bytes);
+    EXPECT_EQ(ra.tasks_redriven_on_failover, rb.tasks_redriven_on_failover);
+    EXPECT_EQ(ra.frames_buffered_degraded, rb.frames_buffered_degraded);
+    EXPECT_EQ(ra.buffered_frames_drained, rb.buffered_frames_drained);
+    EXPECT_DOUBLE_EQ(ra.controller_outage_s, rb.controller_outage_s);
+    EXPECT_EQ(ra.outage_tasks_completed, rb.outage_tasks_completed);
+
     EXPECT_DOUBLE_EQ(a.completion_s, b.completion_s);
     EXPECT_EQ(a.tasks_completed, b.tasks_completed);
     EXPECT_EQ(a.task_latency_s.count(), b.task_latency_s.count());
@@ -531,6 +594,7 @@ TEST(Determinism, IdenticalSeedsAndPlansReplayBitIdentically)
     EXPECT_EQ(ra.partitions, 1u);
     EXPECT_EQ(ra.datastore_outages, 1u);
     EXPECT_EQ(ra.controller_failovers, 1u);
+    EXPECT_EQ(ra.controller_crashes, 1u);
 }
 
 /** A long-lived drone scenario (huge goal, hard cap) for fault tests. */
