@@ -11,9 +11,11 @@
  * sweep can be consumed by plotting scripts directly.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "platform/options.hpp"
 #include "platform/scenario.hpp"
 
@@ -69,6 +71,18 @@ run_cell(double rate, cloud::FaultRecovery policy, std::uint64_t seed)
 
 }  // namespace
 
+namespace {
+
+/** One independent simulation of the sweep: a (policy, rate, seed). */
+struct CellPoint
+{
+    double rate = 0.0;
+    cloud::FaultRecovery policy = cloud::FaultRecovery::None;
+    std::uint64_t seed = 0;
+};
+
+}  // namespace
+
 int
 main()
 {
@@ -78,17 +92,37 @@ main()
         cloud::FaultRecovery::Checkpoint};
     const std::vector<std::uint64_t> seeds = {1, 2, 3};
 
+    // Every (policy, rate, seed) run is independent: parcel them all
+    // out to the run_sweep() pool, then reduce per cell in a fixed
+    // order so the emitted JSON is identical to a serial run.
+    std::vector<CellPoint> points;
+    for (cloud::FaultRecovery policy : policies)
+        for (double rate : rates)
+            for (std::uint64_t seed : seeds)
+                points.push_back({rate, policy, seed});
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<platform::RunMetrics> runs =
+        bench::run_sweep(points, [](const CellPoint& p) {
+            return run_cell(p.rate, p.policy, p.seed);
+        });
+    double wall_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    std::fprintf(stderr, "[sweep] %zu runs on %u thread(s): %.2f s wall\n",
+                 points.size(), bench::sweep_threads(), wall_s);
+
     std::printf("{\n  \"bench\": \"abl_chaos\",\n  \"scenario\": "
                 "\"StationaryItems 48m / 6 targets / 8 drones\",\n"
                 "  \"cells\": [\n");
     bool first = true;
+    std::size_t point_index = 0;
     for (cloud::FaultRecovery policy : policies) {
         double baseline_completion = 0.0;
         for (double rate : rates) {
             platform::RunMetrics sum;
             bool merged = false;
-            for (std::uint64_t seed : seeds) {
-                platform::RunMetrics m = run_cell(rate, policy, seed);
+            for (std::size_t s = 0; s < seeds.size(); ++s) {
+                const platform::RunMetrics& m = runs[point_index++];
                 if (!merged) {
                     sum = m;
                     merged = true;

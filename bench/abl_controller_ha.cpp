@@ -49,19 +49,32 @@ struct SweepPoint
     double outage_goodput = 0.0;
 };
 
+/** One independent crash-failover run: (checkpoint interval, seed). */
+struct RunPoint
+{
+    sim::Time interval = 0;
+    std::uint64_t seed = 0;
+};
+
+platform::RunMetrics
+run_point(const RunPoint& p)
+{
+    platform::ScenarioConfig sc = crash_scenario();
+    sc.ha.checkpoint_interval = p.interval;
+    return platform::run_scenario(sc,
+                                  platform::PlatformOptions::hivemind(),
+                                  paper_deployment(p.seed));
+}
+
 SweepPoint
-run_interval(sim::Time interval)
+reduce_interval(sim::Time interval,
+                const platform::RunMetrics* runs)
 {
     SweepPoint p;
     p.interval_s = sim::to_seconds(interval);
     platform::RunMetrics merged;
-    for (int r = 0; r < kSeeds; ++r) {
-        platform::ScenarioConfig sc = crash_scenario();
-        sc.ha.checkpoint_interval = interval;
-        merged.merge(platform::run_scenario(
-            sc, platform::PlatformOptions::hivemind(),
-            paper_deployment(42 + static_cast<std::uint64_t>(r))));
-    }
+    for (int r = 0; r < kSeeds; ++r)
+        merged.merge(runs[r]);
     const fault::RecoveryMetrics& rec = merged.recovery;
     p.mttd_s = rec.controller_mttd_s.mean();
     p.mttr_s = rec.controller_mttr_s.mean();
@@ -94,9 +107,20 @@ main()
     std::printf("%-10s %8s %8s %9s %9s %7s %9s %9s\n", "interval",
                 "MTTD(s)", "MTTR(s)", "ckpt age", "outage s", "ckpts",
                 "ckpt KB", "redriven");
+    // All (interval, seed) runs are independent: fan them out on the
+    // run_sweep() pool and reduce per interval in deterministic order.
+    const std::vector<double> intervals_s = {1.0, 2.0, 4.0, 8.0, 16.0};
+    std::vector<RunPoint> points;
+    for (double interval_s : intervals_s)
+        for (int r = 0; r < kSeeds; ++r)
+            points.push_back({sim::from_seconds(interval_s),
+                              42 + static_cast<std::uint64_t>(r)});
+    std::vector<platform::RunMetrics> runs = run_sweep(points, run_point);
     std::vector<SweepPoint> sweep;
-    for (double interval_s : {1.0, 2.0, 4.0, 8.0, 16.0})
-        sweep.push_back(run_interval(sim::from_seconds(interval_s)));
+    for (std::size_t i = 0; i < intervals_s.size(); ++i)
+        sweep.push_back(
+            reduce_interval(sim::from_seconds(intervals_s[i]),
+                            &runs[i * static_cast<std::size_t>(kSeeds)]));
     for (const SweepPoint& p : sweep) {
         std::printf("%7.0f s  %8.2f %8.2f %9.2f %9.2f %7.1f %9.1f %9.1f\n",
                     p.interval_s, p.mttd_s, p.mttr_s, p.ckpt_age_s,

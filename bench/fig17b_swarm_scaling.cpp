@@ -8,7 +8,13 @@
  * Paper anchor: bandwidth grows much more slowly than the device
  * count (sub-linear), versus a linear increase for the centralized
  * system; latency stays flat for HiveMind.
+ *
+ * The sweep points are independent, so they run on the run_sweep()
+ * thread pool; set HIVEMIND_SWEEP_THREADS=1 for a serial reference
+ * run (the table and the BENCH json are identical either way).
  */
+
+#include <chrono>
 
 #include "analytic/model.hpp"
 #include "bench_util.hpp"
@@ -34,6 +40,28 @@ scenario_input(bool scenario_b, std::size_t devices,
     return in;
 }
 
+struct Row
+{
+    std::size_t drones = 0;
+    analytic::AnalyticOutput hive_a, centr_a, hive_b, centr_b;
+};
+
+Row
+evaluate_point(std::size_t n)
+{
+    Row row;
+    row.drones = n;
+    row.hive_a = analytic::evaluate(
+        scenario_input(false, n, platform::PlatformOptions::hivemind()));
+    row.centr_a = analytic::evaluate(scenario_input(
+        false, n, platform::PlatformOptions::centralized_faas()));
+    row.hive_b = analytic::evaluate(
+        scenario_input(true, n, platform::PlatformOptions::hivemind()));
+    row.centr_b = analytic::evaluate(scenario_input(
+        true, n, platform::PlatformOptions::centralized_faas()));
+    return row;
+}
+
 }  // namespace
 
 int
@@ -46,23 +74,46 @@ main()
     std::printf("%-8s %10s %10s %10s %10s %10s %10s\n", "drones",
                 "HM bw", "HM p99", "Centr bw", "HM bw", "HM p99",
                 "Centr bw");
-    for (std::size_t n :
-         {16u, 32u, 64u, 128u, 256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
-        auto hive_a = analytic::evaluate(scenario_input(
-            false, n, platform::PlatformOptions::hivemind()));
-        auto centr_a = analytic::evaluate(scenario_input(
-            false, n, platform::PlatformOptions::centralized_faas()));
-        auto hive_b = analytic::evaluate(scenario_input(
-            true, n, platform::PlatformOptions::hivemind()));
-        auto centr_b = analytic::evaluate(scenario_input(
-            true, n, platform::PlatformOptions::centralized_faas()));
-        std::printf("%-8zu %10.0f %10.2f %10.0f %10.0f %10.2f %10.0f\n", n,
-                    hive_a.bandwidth_MBps, hive_a.tail_latency_s,
-                    centr_a.bandwidth_MBps, hive_b.bandwidth_MBps,
-                    hive_b.tail_latency_s, centr_b.bandwidth_MBps);
+
+    const std::vector<std::size_t> sizes = {16,  32,   64,   128,  256,
+                                            512, 1024, 2048, 4096, 8192};
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<Row> rows = run_sweep(sizes, evaluate_point);
+    double wall_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+
+    for (const Row& r : rows) {
+        std::printf("%-8zu %10.0f %10.2f %10.0f %10.0f %10.2f %10.0f\n",
+                    r.drones, r.hive_a.bandwidth_MBps,
+                    r.hive_a.tail_latency_s, r.centr_a.bandwidth_MBps,
+                    r.hive_b.bandwidth_MBps, r.hive_b.tail_latency_s,
+                    r.centr_b.bandwidth_MBps);
     }
     std::printf("\n(Paper: HiveMind's bandwidth grows far more slowly than "
                 "the device count; the centralized system's grows "
                 "linearly. HiveMind latency stays flat.)\n");
+    std::printf("[sweep] %zu points on %u thread(s): %.3f s wall\n",
+                sizes.size(), sweep_threads(), wall_s);
+
+    // Machine-readable output: deterministic fields only, so serial
+    // and parallel runs produce byte-identical json.
+    Json series = Json::array();
+    for (const Row& r : rows) {
+        series.push(Json::object()
+                        .kv("drones", static_cast<std::uint64_t>(r.drones))
+                        .kv("hivemind_a_bw_MBps", r.hive_a.bandwidth_MBps)
+                        .kv("hivemind_a_p99_s", r.hive_a.tail_latency_s)
+                        .kv("centralized_a_bw_MBps",
+                            r.centr_a.bandwidth_MBps)
+                        .kv("hivemind_b_bw_MBps", r.hive_b.bandwidth_MBps)
+                        .kv("hivemind_b_p99_s", r.hive_b.tail_latency_s)
+                        .kv("centralized_b_bw_MBps",
+                            r.centr_b.bandwidth_MBps));
+    }
+    write_bench_json("fig17b_swarm_scaling",
+                     Json::object()
+                         .kv("bench", "fig17b_swarm_scaling")
+                         .kv("rows", series));
     return 0;
 }

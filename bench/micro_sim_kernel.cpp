@@ -4,10 +4,19 @@
  * google-benchmark: event-kernel throughput, A* planning, maze
  * generation/solving, and placement enumeration. These bound how
  * large a swarm the DES can handle (Sec. 5.6 methodology).
+ *
+ * The BM_EventKernel* results are additionally written to
+ * BENCH_sim_kernel.json next to the recorded pre-overhaul baseline
+ * (unordered_map callbacks + priority_queue only, no slab / wheel),
+ * so the speedup of the slab+wheel kernel is tracked by scripts/CI.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <string>
+
+#include "bench_util.hpp"
 #include "dsl/scenarios.hpp"
 #include "geo/astar.hpp"
 #include "geo/maze.hpp"
@@ -19,6 +28,18 @@
 namespace {
 
 using namespace hivemind;
+
+/**
+ * Pre-overhaul kernel numbers (events/sec), measured at the PR that
+ * introduced the slab+wheel kernel: Release (-O3), g++ 12, one-core
+ * reference container. Absolute numbers are machine-specific; the
+ * tracked target is after/before >= 2x on the same machine.
+ */
+const std::map<std::string, double> kPrePrBaseline = {
+    {"BM_EventKernelThroughput", 24.15e6},
+    {"BM_EventKernelDeepQueue/1000", 10.29e6},
+    {"BM_EventKernelDeepQueue/100000", 3.66e6},
+};
 
 /** Raw schedule+dispatch throughput of the event kernel. */
 void
@@ -57,6 +78,61 @@ BM_EventKernelDeepQueue(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * depth);
 }
 BENCHMARK(BM_EventKernelDeepQueue)->Arg(1000)->Arg(100000);
+
+/** Schedule/cancel churn: O(1) slab cancel + tombstone compaction. */
+void
+BM_EventKernelCancelChurn(benchmark::State& state)
+{
+    sim::Simulator simulator;
+    sim::Time t = 0;
+    std::uint64_t cancelled = 0;
+    for (auto _ : state) {
+        // Timeout-style pattern: arm a far-future guard, then cancel
+        // it before it fires (retries, keep-alives, watchdogs).
+        sim::EventId guard =
+            simulator.schedule_at(t + 30 * sim::kSecond, []() {});
+        simulator.schedule_at(++t, []() {});
+        simulator.step();
+        cancelled += simulator.cancel(guard) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(cancelled);
+    state.SetItemsProcessed(static_cast<std::int64_t>(cancelled) * 2);
+}
+BENCHMARK(BM_EventKernelCancelChurn);
+
+/** Swarm-like recurring timer mix riding the timer-wheel fast lane. */
+void
+BM_EventKernelRecurringTimers(benchmark::State& state)
+{
+    const int devices = static_cast<int>(state.range(0));
+    std::uint64_t total = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        sim::Simulator simulator;
+        std::uint64_t ticks = 0;
+        for (int d = 0; d < devices; ++d) {
+            // Per-device heartbeat (1 s), link tick (10 ms) and
+            // battery drain (100 ms) — the mix that dominates runs.
+            for (sim::Time period : {sim::kSecond,
+                                     10 * sim::kMillisecond,
+                                     100 * sim::kMillisecond}) {
+                auto task = sim::recurring(
+                    [&simulator, &ticks,
+                     period](const std::function<void()>& self) {
+                        ++ticks;
+                        simulator.schedule_in(period, self);
+                    });
+                simulator.schedule_in(period, task);
+            }
+        }
+        state.ResumeTiming();
+        simulator.run_until(2 * sim::kSecond);
+        total += ticks;
+        benchmark::DoNotOptimize(ticks);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_EventKernelRecurringTimers)->Arg(64)->Arg(1024);
 
 /** A* route planning on a 64x64 field with obstacles. */
 void
@@ -112,6 +188,69 @@ BM_PlacementSynthesis(benchmark::State& state)
 }
 BENCHMARK(BM_PlacementSynthesis);
 
+/** Console reporter that also captures items/sec per benchmark. */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void ReportRuns(const std::vector<Run>& runs) override
+    {
+        benchmark::ConsoleReporter::ReportRuns(runs);
+        for (const Run& r : runs) {
+            if (r.error_occurred)
+                continue;
+            auto it = r.counters.find("items_per_second");
+            if (it != r.counters.end())
+                captured_[r.benchmark_name()] =
+                    static_cast<double>(it->second);
+        }
+    }
+
+    const std::map<std::string, double>& captured() const
+    {
+        return captured_;
+    }
+
+  private:
+    std::map<std::string, double> captured_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    // Kernel before/after ledger for scripts and CI.
+    bench::Json results = bench::Json::array();
+    for (const auto& [name, ips] : reporter.captured()) {
+        if (name.rfind("BM_EventKernel", 0) != 0)
+            continue;
+        bench::Json row = bench::Json::object()
+                              .kv("benchmark", name)
+                              .kv("events_per_sec", ips);
+        auto base = kPrePrBaseline.find(name);
+        if (base != kPrePrBaseline.end()) {
+            row.kv("pre_pr_events_per_sec", base->second)
+                .kv("speedup", ips / base->second);
+        }
+        results.push(row);
+    }
+    bench::Json doc =
+        bench::Json::object()
+            .kv("bench", "micro_sim_kernel")
+            .kv("kernel",
+                "slab slots + inline callables + 2-level timer wheel")
+            .kv("baseline_kernel",
+                "unordered_map callbacks + std::priority_queue")
+            .kv("baseline_toolchain",
+                "g++ 12, Release -O3, 1-core reference container")
+            .kv("results", results);
+    bench::write_bench_json("sim_kernel", doc);
+    return 0;
+}

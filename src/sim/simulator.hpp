@@ -4,40 +4,85 @@
  * @file
  * Discrete-event simulation kernel.
  *
- * The Simulator owns a time-ordered event queue. Components schedule
+ * The Simulator owns a time-ordered event set. Components schedule
  * closures to run at future simulated times; the kernel pops them in
  * (time, insertion-order) order so that ties break deterministically.
  * This is the substrate every HiveMind model (network, cloud, edge
  * devices) is built on, mirroring the validated event-driven simulator
  * the paper uses for its scalability studies (Sec. 5.6).
+ *
+ * Internals (see DESIGN.md "Simulation kernel"):
+ *  - Callbacks live in a generation-tagged slot slab: a free-listed
+ *    vector of slots holding a move-only InlineFn each. EventId packs
+ *    {generation, slot index}, so cancel() and callback lookup are
+ *    O(1) array operations — no hashing, no per-event heap allocation
+ *    for small captures.
+ *  - Near-future events ride a two-level hierarchical timer wheel
+ *    (the fast lane for the short recurring timers that dominate
+ *    swarm runs: heartbeats, link ticks, battery drain); far-future
+ *    or irregular events fall back to a binary heap. The merge rule
+ *    that preserves determinism: whichever lane, the next event
+ *    executed is always the globally smallest (time, seq) pair, and
+ *    seq is assigned once, at schedule time.
+ *  - Cancellation is lazy in both lanes (stale generation tags are
+ *    skipped on pop), but the heap compacts itself whenever cancelled
+ *    entries outnumber live ones, so long-lived simulations cannot
+ *    accumulate unbounded tombstones.
  */
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
+#ifdef HM_KERNEL_SHADOW
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <tuple>
+#endif
 #include <functional>
 #include <memory>
-#include <queue>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "sim/inline_fn.hpp"
 #include "sim/time.hpp"
 
 namespace hivemind::sim {
 
-/** Handle used to cancel a scheduled event. */
+/**
+ * Handle used to cancel a scheduled event.
+ *
+ * Packs {generation:32, slot:32}. Slots are recycled after an event
+ * runs or is cancelled, but each recycle bumps the slot's generation,
+ * so a stale handle can never cancel the slot's next tenant. 0 is
+ * never a valid id (generations start at 1).
+ */
 using EventId = std::uint64_t;
+
+/** Kernel tuning knobs (mainly for tests and benchmarks). */
+struct KernelConfig
+{
+    /**
+     * Route near-future events through the timer wheel. Disabling
+     * forces every event onto the binary heap; execution order is
+     * identical either way (the determinism tests assert this).
+     */
+    bool use_timer_wheel = true;
+};
 
 /**
  * Discrete-event simulator with deterministic event ordering.
  *
  * Events scheduled for the same timestamp run in the order they were
- * scheduled. Cancellation is lazy: cancelled events stay in the queue
- * but are skipped when popped.
+ * scheduled. Cancellation is lazy: cancelled events stay queued but
+ * are skipped when popped (the heap lane additionally compacts when
+ * cancelled entries outnumber live ones).
  */
 class Simulator
 {
   public:
     Simulator() = default;
+    explicit Simulator(const KernelConfig& config) : config_(config) {}
 
     Simulator(const Simulator&) = delete;
     Simulator& operator=(const Simulator&) = delete;
@@ -52,13 +97,55 @@ class Simulator
      * current time, after already-pending events for that time.
      *
      * @return an EventId usable with cancel().
+     *
+     * Defined inline (with the rest of the schedule/execute hot path)
+     * so the ping-pong pattern — schedule one event, run it, repeat —
+     * compiles down to slab and vector operations in the caller's
+     * loop with no cross-TU calls.
      */
-    EventId schedule_at(Time when, std::function<void()> fn);
+    EventId schedule_at(Time when, InlineFn fn)
+    {
+        const bool to_heap = pick_lane(when);
+        const EventId id = alloc_slot(std::move(fn), to_heap);
+        commit_entry(when, id, to_heap);
+        return id;
+    }
+
+    /**
+     * Schedule any `void()` callable. This overload builds the
+     * callable directly inside its slab slot — no InlineFn temporary,
+     * no buffer move — and is what lambda call sites resolve to.
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    EventId schedule_at(Time when, F&& f)
+    {
+        const bool to_heap = pick_lane(when);
+        std::uint32_t index;
+        Slot& s = grab_slot(index);
+        s.fn.assign(std::forward<F>(f));
+        const EventId id = finish_slot(s, index, to_heap);
+        commit_entry(when, id, to_heap);
+        return id;
+    }
 
     /** Schedule @p fn to run @p delay after the current time. */
-    EventId schedule_in(Time delay, std::function<void()> fn)
+    EventId schedule_in(Time delay, InlineFn fn)
     {
         return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+    }
+
+    /** Delay-relative variant of the emplacing overload above. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    EventId schedule_in(Time delay, F&& f)
+    {
+        return schedule_at(now_ + (delay < 0 ? 0 : delay),
+                           std::forward<F>(f));
     }
 
     /**
@@ -80,19 +167,39 @@ class Simulator
     std::uint64_t run() { return run_until(kMaxTime); }
 
     /** Execute at most one pending event. @return false if none left. */
-    bool step();
+    bool step() { return execute_next(kMaxTime); }
 
     /** Request that run()/run_until() return after the current event. */
     void stop() { stopped_ = true; }
 
-    /** Number of events currently pending (including cancelled ones). */
-    std::size_t pending() const { return queue_.size() - cancelled_count_; }
+    /** Number of live (scheduled, not cancelled) pending events. */
+    std::size_t pending() const { return live_; }
 
     /** Total events executed since construction. */
     std::uint64_t executed() const { return executed_; }
 
+    /// @name Introspection for tests and benchmarks.
+    /// @{
+    /** Entries currently in the heap lane (live + cancelled). */
+    std::size_t heap_entries() const { return heap_.size(); }
+    /** Entries currently in the wheel lane (live + cancelled). */
+    std::size_t wheel_entries() const { return wheel_count_; }
+    /** High-water mark of concurrently pending events (slab size). */
+    std::size_t slab_slots() const { return slots_.size(); }
+    /// @}
+
   private:
     static constexpr Time kMaxTime = INT64_MAX;
+
+    // Timer-wheel geometry: level 0 buckets span 2^17 ns (~131 us);
+    // level 1 buckets span one full level-0 lap (2^25 ns, ~33.5 ms),
+    // for a total wheel horizon of 2^33 ns (~8.6 s) past the cursor.
+    // Anything farther out (or scheduled while the wheel lane is
+    // disabled) goes to the binary heap.
+    static constexpr int kBucketBits = 8;
+    static constexpr int kBuckets = 1 << kBucketBits;
+    static constexpr int kGranularityBits = 17;
+    static constexpr std::uint64_t kBucketMask = kBuckets - 1;
 
     struct Entry
     {
@@ -101,10 +208,10 @@ class Simulator
         EventId id;
     };
 
+    /** Heap comparator: max-heap on "later", i.e. min (when, seq) top. */
     struct EntryLater
     {
-        bool
-        operator()(const Entry& a, const Entry& b) const
+        bool operator()(const Entry& a, const Entry& b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -112,18 +219,320 @@ class Simulator
         }
     };
 
-    /** Pop the next live entry, skipping cancelled events. */
-    bool pop_live(Entry& out);
+    /** One slab slot: the callback plus its reuse generation. */
+    struct Slot
+    {
+        InlineFn fn;
+        std::uint32_t gen = 1;
+        std::uint32_t next_free = 0;
+        bool live = false;
+        bool in_heap = false;  ///< Lane tag for cancel bookkeeping.
+    };
 
+    /** One wheel level: 256 unsorted buckets + occupancy bitmap. */
+    struct Level
+    {
+        std::array<std::vector<Entry>, kBuckets> buckets;
+        std::array<std::uint64_t, kBuckets / 64> occupied{};
+    };
+
+    static std::uint32_t slot_of(EventId id)
+    {
+        return static_cast<std::uint32_t>(id);
+    }
+    static std::uint32_t gen_of(EventId id)
+    {
+        return static_cast<std::uint32_t>(id >> 32);
+    }
+
+    bool slot_live(EventId id) const
+    {
+        const Slot& s = slots_[slot_of(id)];
+        return s.live && s.gen == gen_of(id);
+    }
+
+    /** Ascending (when, seq): the order events must execute in. */
+    static bool entry_earlier(const Entry& a, const Entry& b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    /**
+     * Clamp @p when to now(), re-anchor an idle wheel at the present,
+     * and pick the lane: false = timer wheel, true = binary heap
+     * (beyond the wheel horizon, or the wheel lane is disabled).
+     */
+    bool pick_lane(Time& when)
+    {
+        if (when < now_)
+            when = now_;
+        if (!config_.use_timer_wheel)
+            return true;
+        if (wheel_count_ == 0) {
+            // Wheel idle: re-anchor the horizon at the present so
+            // near-future events keep taking the fast lane even after
+            // a heap-only stretch advanced now_ past the cursor.
+            ready_.clear();
+            ready_pos_ = 0;
+            const std::uint64_t now_tick =
+                static_cast<std::uint64_t>(now_) >> kGranularityBits;
+            if (now_tick > cur_tick_)
+                cur_tick_ = now_tick;
+        }
+        const std::uint64_t tick =
+            static_cast<std::uint64_t>(when) >> kGranularityBits;
+        return tick > cur_tick_ &&
+               (tick >> kBucketBits) != (cur_tick_ >> kBucketBits) &&
+               (tick >> kBucketBits) - (cur_tick_ >> kBucketBits) >=
+                   static_cast<std::uint64_t>(kBuckets);
+    }
+
+    /** Pop a free slot (or grow the slab); callback not yet set. */
+    Slot& grab_slot(std::uint32_t& index)
+    {
+        if (free_head_ != kNoFree) {
+            index = free_head_;
+            free_head_ = slots_[index].next_free;
+        } else {
+            index = static_cast<std::uint32_t>(slots_.size());
+            slots_.emplace_back();
+        }
+        return slots_[index];
+    }
+
+    /** Mark a grabbed slot live and produce its generation-tagged id. */
+    EventId finish_slot(Slot& s, std::uint32_t index, bool in_heap)
+    {
+        s.live = true;
+        s.in_heap = in_heap;
+        ++live_;
+        return (static_cast<EventId>(s.gen) << 32) | index;
+    }
+
+    EventId alloc_slot(InlineFn&& fn, bool in_heap)
+    {
+        std::uint32_t index;
+        Slot& s = grab_slot(index);
+        s.fn = std::move(fn);
+        return finish_slot(s, index, in_heap);
+    }
+
+    /** Assign the event's (when, seq) and enqueue it on its lane. */
+    void commit_entry(Time when, EventId id, bool to_heap)
+    {
+        Entry e{when, next_seq_++, id};
+#ifdef HM_KERNEL_SHADOW
+        shadow_.emplace(when, e.seq, id);
+#endif
+        if (to_heap)
+            heap_push(e);
+        else
+            wheel_insert(e);
+    }
+
+    void release_slot(std::uint32_t index)
+    {
+        Slot& s = slots_[index];
+#ifdef HM_KERNEL_SHADOW
+        const EventId rid = (static_cast<EventId>(s.gen) << 32) | index;
+        for (const auto& t : shadow_) {
+            if (std::get<2>(t) == rid) {
+                std::fprintf(stderr,
+                             "SHADOW BAD RELEASE: slot %u gen %u released "
+                             "while shadow holds (when=%lld seq=%llu)\n",
+                             index, s.gen, (long long)std::get<0>(t),
+                             (unsigned long long)std::get<1>(t));
+                std::abort();
+            }
+        }
+#endif
+        s.fn.reset();
+        s.live = false;
+        if (++s.gen == 0)
+            s.gen = 1;  // Keep EventId 0 forever invalid across wraps.
+        s.next_free = free_head_;
+        free_head_ = index;
+        --live_;
+    }
+
+    void heap_push(Entry e)
+    {
+        heap_.push_back(e);
+        std::push_heap(heap_.begin(), heap_.end(), EntryLater{});
+    }
+
+    void heap_compact();
+    /** Out-of-line part of heap_peek: pop stale tops, find the head. */
+    const Entry* heap_peek_slow();
+
+    /** Live heap head, lazily dropping stale tops. nullptr if none. */
+    const Entry* heap_peek()
+    {
+        if (heap_.empty())
+            return nullptr;
+        if (slot_live(heap_.front().id))
+            return &heap_.front();
+        return heap_peek_slow();
+    }
+
+    /** Out-of-line insert: bucket routing and mid-run splices. */
+    void wheel_insert_slow(Entry e, std::uint64_t tick);
+
+    void wheel_insert(Entry e)
+    {
+        const std::uint64_t tick =
+            static_cast<std::uint64_t>(e.when) >> kGranularityBits;
+        // Hot case: schedule-soon-run-soon chains arrive in
+        // (when, seq) order and append to the sorted ready run.
+        if (tick <= cur_tick_ &&
+            (ready_.empty() || entry_earlier(ready_.back(), e))) {
+            ++wheel_count_;
+            ready_.push_back(e);
+            return;
+        }
+        wheel_insert_slow(e, tick);
+    }
+
+    /** Stage the next occupied bucket into ready_; false if empty. */
+    bool wheel_advance();
+    /** Out-of-line wheel head: stage buckets, skip stale, advance. */
+    const Entry* wheel_peek_slow();
+    void wheel_compact();
+
+    /** Live wheel head (sorted ready run), advancing as needed. */
+    const Entry* wheel_peek()
+    {
+        // Fast path: nothing staged in the cursor's own bucket and
+        // the head of the ready run is live.
+        const std::uint64_t idx0 = cur_tick_ & kBucketMask;
+        if (!(levels_[0].occupied[idx0 >> 6] &
+              (std::uint64_t{1} << (idx0 & 63))) &&
+            ready_pos_ < ready_.size()) {
+            const Entry& e = ready_[ready_pos_];
+            if (slot_live(e.id))
+                return &e;
+        }
+        return wheel_peek_slow();
+    }
+
+    /** Execute one event if (peeked) min time <= until. */
+    bool execute_next(Time until)
+    {
+        const Entry* w = config_.use_timer_wheel ? wheel_peek() : nullptr;
+        const Entry* h = heap_peek();
+        // Lane merge rule: always execute the globally smallest
+        // (time, seq) pair; seq was assigned once at schedule time, so
+        // cross-lane ties are impossible and order is deterministic.
+        bool from_wheel;
+        if (w && h)
+            from_wheel = entry_earlier(*w, *h);
+        else
+            from_wheel = w != nullptr;
+        const Entry* next = from_wheel ? w : h;
+#ifdef HM_KERNEL_SHADOW
+        if (!next && !shadow_.empty()) {
+            const auto& s = *shadow_.begin();
+            std::fprintf(stderr,
+                         "SHADOW LOST: queue drained but %zu shadow "
+                         "entries remain, first (when=%lld seq=%llu "
+                         "id=%llx) cur_tick=%llu ready=%zu/%zu "
+                         "wheel_count=%zu heap=%zu\n",
+                         shadow_.size(), (long long)std::get<0>(s),
+                         (unsigned long long)std::get<1>(s),
+                         (unsigned long long)std::get<2>(s),
+                         (unsigned long long)cur_tick_, ready_pos_,
+                         ready_.size(), wheel_count_, heap_.size());
+            for (std::size_t i = 0; i < ready_.size(); ++i) {
+                std::fprintf(
+                    stderr,
+                    "  ready[%zu]: when=%lld seq=%llu id=%llx live=%d\n",
+                    i, (long long)ready_[i].when,
+                    (unsigned long long)ready_[i].seq,
+                    (unsigned long long)ready_[i].id,
+                    (int)slot_live(ready_[i].id));
+            }
+            std::fprintf(stderr, "  use_wheel=%d now=%lld\n",
+                         (int)config_.use_timer_wheel, (long long)now_);
+            std::abort();
+        }
+#endif
+        if (!next || next->when > until)
+            return false;
+        const Entry e = *next;
+#ifdef HM_KERNEL_SHADOW
+        if (shadow_.empty() ||
+            *shadow_.begin() != std::tuple(e.when, e.seq, e.id)) {
+            std::fprintf(stderr,
+                         "SHADOW MISMATCH: popped (when=%lld seq=%llu "
+                         "id=%llx from_wheel=%d) expected (when=%lld "
+                         "seq=%llu id=%llx) cur_tick=%llu ready=%zu/%zu "
+                         "wheel_count=%zu heap=%zu\n",
+                         (long long)e.when, (unsigned long long)e.seq,
+                         (unsigned long long)e.id, (int)from_wheel,
+                         shadow_.empty()
+                             ? -1LL
+                             : (long long)std::get<0>(*shadow_.begin()),
+                         shadow_.empty() ? 0ULL
+                                         : (unsigned long long)std::get<1>(
+                                               *shadow_.begin()),
+                         shadow_.empty() ? 0ULL
+                                         : (unsigned long long)std::get<2>(
+                                               *shadow_.begin()),
+                         (unsigned long long)cur_tick_, ready_pos_,
+                         ready_.size(), wheel_count_, heap_.size());
+            std::abort();
+        }
+        shadow_.erase(shadow_.begin());
+#endif
+        if (from_wheel) {
+            ++ready_pos_;
+            --wheel_count_;
+        } else {
+            std::pop_heap(heap_.begin(), heap_.end(), EntryLater{});
+            heap_.pop_back();
+        }
+        now_ = e.when;
+        InlineFn fn = std::move(slots_[slot_of(e.id)].fn);
+        release_slot(slot_of(e.id));
+        if (fn)
+            fn();
+        ++executed_;
+        return true;
+    }
+
+    KernelConfig config_;
     Time now_ = 0;
     std::uint64_t next_seq_ = 0;
-    EventId next_id_ = 1;
     std::uint64_t executed_ = 0;
     bool stopped_ = false;
-    std::size_t cancelled_count_ = 0;
-    std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
-    // Callback storage is keyed by EventId; erased on execution/cancel.
-    std::unordered_map<EventId, std::function<void()>> callbacks_;
+
+    // --- Slab ---
+    std::vector<Slot> slots_;
+    std::uint32_t free_head_ = kNoFree;
+    std::size_t live_ = 0;
+    static constexpr std::uint32_t kNoFree = 0xffffffffu;
+
+    // --- Heap lane ---
+    std::vector<Entry> heap_;
+    std::size_t heap_dead_ = 0;
+
+    // --- Wheel lane ---
+    std::array<Level, 2> levels_;
+    /** Level-0 tick (time >> kGranularityBits) the cursor sits on. */
+    std::uint64_t cur_tick_ = 0;
+    /** Sorted run of all wheel entries with tick <= cur_tick_. */
+    std::vector<Entry> ready_;
+    std::size_t ready_pos_ = 0;
+    /** Entries in ready_ + buckets, including cancelled ones. */
+    std::size_t wheel_count_ = 0;
+    std::size_t wheel_dead_ = 0;
+
+#ifdef HM_KERNEL_SHADOW
+  public:
+    std::set<std::tuple<Time, std::uint64_t, EventId>> shadow_;
+#endif
 };
 
 /**

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * End-to-end determinism regression tests for the event kernel.
+ *
+ * The kernel overhaul (slab slots, inline callables, timer-wheel fast
+ * lane) must preserve the ordering contract bit-for-bit: two runs of
+ * the same scenario with the same seed produce identical metrics and
+ * identical sample *traces* (insertion order included — Summary keeps
+ * samples in the order events recorded them, so any kernel reordering
+ * shows up as a checksum mismatch even when the sorted percentiles
+ * would agree). The fig01-style scenario exercises every lane the
+ * kernel has: short recurring timers (heartbeats, battery, link
+ * ticks) ride the wheel, far-future guards sit on the heap, and retry
+ * timeouts are cancelled when responses win the race.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "platform/metrics.hpp"
+#include "platform/options.hpp"
+#include "platform/scenario.hpp"
+
+namespace {
+
+using namespace hivemind;
+
+/** FNV-1a over a stream of 64-bit words. */
+class Checksum
+{
+  public:
+    void add(std::uint64_t word)
+    {
+        hash_ ^= word;
+        hash_ *= 0x100000001b3ull;
+    }
+
+    void add(double value)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &value, sizeof bits);
+        add(bits);
+    }
+
+    void add(const sim::Summary& s)
+    {
+        add(static_cast<std::uint64_t>(s.count()));
+        for (double v : s.samples())
+            add(v);  // Insertion order: an event-order trace.
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+/** Order-sensitive digest of everything a run measured. */
+std::uint64_t
+run_checksum(const platform::RunMetrics& m)
+{
+    Checksum c;
+    c.add(m.task_latency_s);
+    c.add(m.network_s);
+    c.add(m.mgmt_s);
+    c.add(m.data_s);
+    c.add(m.exec_s);
+    c.add(m.battery_pct);
+    c.add(m.job_latency_s);
+    c.add(m.bandwidth_MBps);
+    c.add(m.completion_s);
+    c.add(static_cast<std::uint64_t>(m.completed));
+    c.add(m.goal_fraction);
+    c.add(m.tasks_completed);
+    c.add(m.tasks_shed);
+    c.add(m.cold_starts);
+    c.add(m.warm_starts);
+    c.add(m.faults);
+    c.add(m.respawns);
+    c.add(m.cloud_rpc_cpu_s);
+    return c.value();
+}
+
+/** Fig. 1 scenario A, shrunk to unit-test scale (same code paths). */
+platform::ScenarioConfig
+fig01_scenario()
+{
+    platform::ScenarioConfig sc;
+    sc.kind = platform::ScenarioKind::StationaryItems;
+    sc.field_size_m = 48.0;
+    sc.targets = 6;
+    sc.time_cap = 300 * sim::kSecond;
+    return sc;
+}
+
+platform::DeploymentConfig
+fig01_deployment(std::uint64_t seed)
+{
+    platform::DeploymentConfig cfg;
+    cfg.devices = 8;
+    cfg.servers = 4;
+    cfg.cores_per_server = 8;
+    cfg.seed = seed;
+    return cfg;
+}
+
+platform::RunMetrics
+run_once(const platform::PlatformOptions& opt, sim::Time inject_at)
+{
+    platform::ScenarioConfig sc = fig01_scenario();
+    // A mid-run device crash exercises cancellation at scale: pending
+    // heartbeats, retries and timers of the dead device are torn down
+    // while wheel and heap events from the rest interleave.
+    sc.inject_failure_at = inject_at;
+    sc.inject_failure_device = 2;
+    return platform::run_scenario(sc, opt, fig01_deployment(42));
+}
+
+class DeterminismTest
+    : public ::testing::TestWithParam<std::tuple<const char*, sim::Time>>
+{
+  protected:
+    platform::PlatformOptions options() const
+    {
+        const char* name = std::get<0>(GetParam());
+        if (std::strcmp(name, "hivemind") == 0)
+            return platform::PlatformOptions::hivemind();
+        return platform::PlatformOptions::centralized_faas();
+    }
+};
+
+TEST_P(DeterminismTest, SameSeedRunsAreByteIdentical)
+{
+    const sim::Time inject_at = std::get<1>(GetParam());
+    platform::RunMetrics a = run_once(options(), inject_at);
+    platform::RunMetrics b = run_once(options(), inject_at);
+
+    EXPECT_EQ(a.tasks_completed, b.tasks_completed);
+    EXPECT_EQ(a.cold_starts, b.cold_starts);
+    EXPECT_EQ(a.faults, b.faults);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_DOUBLE_EQ(a.completion_s, b.completion_s);
+    EXPECT_EQ(run_checksum(a), run_checksum(b))
+        << "same-seed runs diverged: the kernel broke (time, seq) "
+           "ordering somewhere";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, DeterminismTest,
+    ::testing::Values(
+        std::tuple<const char*, sim::Time>{"hivemind", 0},
+        std::tuple<const char*, sim::Time>{"hivemind",
+                                           60 * sim::kSecond},
+        std::tuple<const char*, sim::Time>{"centralized", 0}));
+
+}  // namespace

@@ -61,6 +61,22 @@ TEST(Simulator, PastSchedulingClampsToNow)
     EXPECT_EQ(seen, 100);
 }
 
+TEST(Simulator, PastSchedulingRunsAfterPendingSameTimeEvents)
+{
+    // The documented clamp contract: an event scheduled in the past
+    // runs at now(), AFTER events already pending for that time.
+    Simulator s;
+    std::vector<int> order;
+    s.schedule_at(100, [&] {
+        order.push_back(1);
+        s.schedule_at(50, [&] { order.push_back(3); });  // Clamped.
+    });
+    s.schedule_at(100, [&] { order.push_back(2); });  // Already pending.
+    s.schedule_at(200, [&] { order.push_back(4); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
 TEST(Simulator, RunUntilStopsAtBoundaryInclusive)
 {
     Simulator s;
@@ -132,6 +148,243 @@ TEST(Simulator, RecurringTaskReschedulesItselfAndStops)
     s.schedule_in(10, task);
     s.run();
     EXPECT_EQ(ticks, 6);
+}
+
+TEST(Simulator, GenerationTagsRejectStaleIdsAfterSlotReuse)
+{
+    Simulator s;
+    bool first_ran = false;
+    bool second_ran = false;
+    EventId stale = s.schedule_at(10, [&] { first_ran = true; });
+    EXPECT_TRUE(s.cancel(stale));
+    // The slab recycles the slot; the recycled id must differ and the
+    // stale handle must not be able to cancel the new tenant.
+    EventId fresh = s.schedule_at(20, [&] { second_ran = true; });
+    EXPECT_NE(stale, fresh);
+    EXPECT_FALSE(s.cancel(stale));
+    s.run();
+    EXPECT_FALSE(first_ran);
+    EXPECT_TRUE(second_ran);
+    // Handles of executed events are stale too.
+    EXPECT_FALSE(s.cancel(fresh));
+}
+
+TEST(Simulator, CancellationStress100kInterleaved)
+{
+    Simulator s;
+    Rng rng(123);
+    std::vector<EventId> pendings;
+    std::vector<EventId> stale;
+    std::uint64_t ran = 0;
+    const int kOps = 100000;
+    for (int i = 0; i < kOps; ++i) {
+        // Mix near (wheel-lane) and far (heap-lane) events.
+        Time when = rng.chance(0.5)
+            ? rng.uniform_int(0, 2 * kMillisecond)
+            : rng.uniform_int(0, 60 * kSecond);
+        pendings.push_back(s.schedule_at(when, [&ran] { ++ran; }));
+        if (rng.chance(0.5) && !pendings.empty()) {
+            std::size_t pick = static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(pendings.size()) - 1));
+            EventId victim = pendings[pick];
+            EXPECT_TRUE(s.cancel(victim));
+            pendings[pick] = pendings.back();
+            pendings.pop_back();
+            stale.push_back(victim);
+        }
+    }
+    // Every stale handle must be rejected, even after heavy slot reuse.
+    for (EventId id : stale)
+        EXPECT_FALSE(s.cancel(id));
+    EXPECT_EQ(s.pending(), pendings.size());
+    s.run();
+    EXPECT_EQ(ran, pendings.size());
+    EXPECT_EQ(s.pending(), 0u);
+    // Slab never grew beyond the concurrent high-water mark.
+    EXPECT_LT(s.slab_slots(), static_cast<std::size_t>(kOps));
+    for (EventId id : pendings)
+        EXPECT_FALSE(s.cancel(id));  // Executed -> stale.
+}
+
+TEST(Simulator, HeapCompactionBoundsTombstones)
+{
+    Simulator s;
+    std::vector<EventId> ids;
+    // Far-future events take the heap lane.
+    for (int i = 0; i < 1000; ++i)
+        ids.push_back(s.schedule_at(100 * kSecond + i, [] {}));
+    ASSERT_EQ(s.heap_entries(), 1000u);
+    // Cancel most: the heap must compact instead of accumulating
+    // tombstones (trigger: cancelled > half of the queue).
+    for (int i = 0; i < 999; ++i)
+        EXPECT_TRUE(s.cancel(ids[static_cast<std::size_t>(i)]));
+    EXPECT_EQ(s.pending(), 1u);
+    EXPECT_LE(s.heap_entries(), 500u);
+    EXPECT_EQ(s.run(), 1u);
+}
+
+TEST(Simulator, WheelCompactionBoundsTombstones)
+{
+    Simulator s;
+    std::vector<EventId> ids;
+    // Near-future events take the wheel lane.
+    for (int i = 0; i < 1000; ++i)
+        ids.push_back(s.schedule_at(i * kMicrosecond, [] {}));
+    ASSERT_EQ(s.wheel_entries(), 1000u);
+    for (int i = 0; i < 999; ++i)
+        EXPECT_TRUE(s.cancel(ids[static_cast<std::size_t>(i)]));
+    EXPECT_EQ(s.pending(), 1u);
+    EXPECT_LE(s.wheel_entries(), 500u);
+    EXPECT_EQ(s.run(), 1u);
+}
+
+/**
+ * The determinism merge rule: with the timer wheel on or off, a
+ * randomized schedule/cancel workload must execute the exact same
+ * events in the exact same (time, seq) order.
+ */
+class WheelDeterminismProperty : public ::testing::TestWithParam<int>
+{
+  protected:
+    struct TraceRecord
+    {
+        Time when;
+        int tag;
+        bool operator==(const TraceRecord&) const = default;
+    };
+
+    /** Random workload with reschedules + cancels; returns the trace. */
+    std::vector<TraceRecord> run_workload(bool use_wheel)
+    {
+        KernelConfig cfg;
+        cfg.use_timer_wheel = use_wheel;
+        Simulator s(cfg);
+        Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+        std::vector<TraceRecord> trace;
+        std::vector<EventId> cancellable;
+        int tag = 0;
+        auto chain = recurring([&](const std::function<void()>& self) {
+            trace.push_back({s.now(), -1});
+            if (s.now() < 2 * kSecond)
+                s.schedule_in(3 * kMillisecond, self);
+        });
+        s.schedule_at(0, chain);
+        for (int i = 0; i < 2000; ++i) {
+            // Spread across wheel ticks, lap boundaries and the heap
+            // horizon so every lane and cascade path is exercised.
+            Time when = rng.uniform_int(0, 12 * kSecond);
+            int t = tag++;
+            EventId id = s.schedule_at(when, [&trace, &s, t] {
+                trace.push_back({s.now(), t});
+            });
+            if (rng.chance(0.25))
+                cancellable.push_back(id);
+            if (rng.chance(0.2) && !cancellable.empty()) {
+                s.cancel(cancellable.back());
+                cancellable.pop_back();
+            }
+        }
+        s.run();
+        return trace;
+    }
+};
+
+TEST_P(WheelDeterminismProperty, WheelAndHeapOnlyKernelsAgree)
+{
+    auto with_wheel = run_workload(true);
+    auto heap_only = run_workload(false);
+    ASSERT_EQ(with_wheel.size(), heap_only.size());
+    EXPECT_EQ(with_wheel, heap_only);
+    // And the clock never went backwards.
+    for (std::size_t i = 1; i < with_wheel.size(); ++i)
+        EXPECT_GE(with_wheel[i].when, with_wheel[i - 1].when);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WheelDeterminismProperty,
+                         ::testing::Range(1, 7));
+
+TEST(InlineFn, SmallCapturesStayInline)
+{
+    int hits = 0;
+    int* p = &hits;
+    auto small = [p]() { ++*p; };
+    static_assert(InlineFn::stores_inline<decltype(small)>());
+    InlineFn f(small);
+    ASSERT_TRUE(static_cast<bool>(f));
+    f();
+    EXPECT_EQ(hits, 1);
+    // Move transfers the callable and nulls the source.
+    InlineFn g(std::move(f));
+    EXPECT_FALSE(static_cast<bool>(f));
+    g();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, OversizedCapturesFallBackToHeap)
+{
+    struct Big
+    {
+        char payload[96];
+    };
+    Big big{};
+    big.payload[0] = 7;
+    int seen = 0;
+    auto fat = [big, &seen]() { seen = big.payload[0]; };
+    static_assert(!InlineFn::stores_inline<decltype(fat)>());
+    InlineFn f(fat);
+    InlineFn g = std::move(f);
+    g();
+    EXPECT_EQ(seen, 7);
+}
+
+TEST(InlineFn, EmptyStdFunctionBecomesNull)
+{
+    std::function<void()> empty;
+    InlineFn f(empty);
+    EXPECT_FALSE(static_cast<bool>(f));
+    // The kernel tolerates scheduling it: time advances, nothing runs.
+    Simulator s;
+    s.schedule_at(10, std::function<void()>());
+    EXPECT_EQ(s.run(), 1u);
+    EXPECT_EQ(s.now(), 10);
+}
+
+TEST(InlineFn, DestroysCaptureExactlyOnce)
+{
+    auto token = std::make_shared<int>(42);
+    std::weak_ptr<int> watch = token;
+    {
+        InlineFn f([token]() {});
+        token.reset();
+        EXPECT_FALSE(watch.expired());
+        InlineFn g = std::move(f);
+        EXPECT_FALSE(watch.expired());
+    }
+    EXPECT_TRUE(watch.expired());
+}
+
+TEST(Simulator, RecurringShortTimersInterleaveWithFarEvents)
+{
+    // Heartbeat-style recurring timers (wheel lane) interleaved with
+    // far-future one-shots (heap lane) must merge in time order.
+    Simulator s;
+    std::vector<Time> beats;
+    auto beat = recurring([&](const std::function<void()>& self) {
+        beats.push_back(s.now());
+        if (beats.size() < 50)
+            s.schedule_in(kSecond, self);
+    });
+    s.schedule_at(0, beat);
+    bool far_ran = false;
+    s.schedule_at(20 * kSecond + 1, [&] {
+        far_ran = true;
+        EXPECT_EQ(beats.size(), 21u);  // Beats 0..20 s already fired.
+    });
+    s.run();
+    EXPECT_TRUE(far_ran);
+    ASSERT_EQ(beats.size(), 50u);
+    for (std::size_t i = 0; i < beats.size(); ++i)
+        EXPECT_EQ(beats[i], static_cast<Time>(i) * kSecond);
 }
 
 TEST(Simulator, StepExecutesExactlyOne)
