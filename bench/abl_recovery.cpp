@@ -40,17 +40,15 @@ run_policy(cloud::FaultRecovery policy, double fault_prob)
     req.work_core_ms = 350.0;
     req.recovery = policy;
     auto grng = std::make_shared<sim::Rng>(rng.fork());
-    auto gen = sim::recurring([&, grng](const std::function<void()>& self) {
+    sim::recurring(simulator, 0, [&, grng](const sim::Recur& self) {
         if (simulator.now() >= 60 * sim::kSecond)
             return;
         rt.invoke(req, [&](const cloud::InvocationTrace& t) {
             if (!t.lost)
                 out.latency.add(t.total_s());
         });
-        simulator.schedule_in(
-            sim::from_seconds(grng->exponential(1.0 / 8.0)), self);
+        self.again_in(sim::from_seconds(grng->exponential(1.0 / 8.0)));
     });
-    simulator.schedule_at(0, gen);
     simulator.run();
     out.lost = rt.lost();
     out.faults = rt.faults();
@@ -101,7 +99,7 @@ main()
         req.app = "S1";
         req.work_core_ms = 350.0;
         auto grng = std::make_shared<sim::Rng>(rng.fork());
-        auto gen = sim::recurring([&, grng](const std::function<void()>& self) {
+        sim::recurring(simulator, 0, [&, grng](const sim::Recur& self) {
             if (simulator.now() >= 60 * sim::kSecond)
                 return;
             sim::Time submit = simulator.now();
@@ -111,10 +109,8 @@ main()
                     episode.add(t.total_s());
                 }
             });
-            simulator.schedule_in(
-                sim::from_seconds(grng->exponential(1.0 / 8.0)), self);
+            self.again_in(sim::from_seconds(grng->exponential(1.0 / 8.0)));
         });
-        simulator.schedule_at(0, gen);
         sim::Time t = takeover;
         simulator.schedule_at(30 * sim::kSecond,
                               [&rt, t]() { rt.fail_controller(t); });

@@ -30,15 +30,15 @@ drive(sim::Simulator& simulator, sim::Rng& rng, double rate_hz,
       sim::Time duration, Fn submit)
 {
     auto rng_ptr = std::make_shared<sim::Rng>(rng.fork());
-    auto gen = sim::recurring([&simulator, rng_ptr, rate_hz, duration,
-                               submit](const std::function<void()>& self) {
-        if (simulator.now() >= duration)
-            return;
-        submit();
-        simulator.schedule_in(
-            sim::from_seconds(rng_ptr->exponential(1.0 / rate_hz)), self);
-    });
-    simulator.schedule_at(0, gen);
+    sim::recurring(simulator, 0,
+                   [&simulator, rng_ptr, rate_hz, duration,
+                    submit](const sim::Recur& self) {
+                       if (simulator.now() >= duration)
+                           return;
+                       submit();
+                       self.again_in(sim::from_seconds(
+                           rng_ptr->exponential(1.0 / rate_hz)));
+                   });
 }
 
 }  // namespace

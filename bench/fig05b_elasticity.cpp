@@ -77,7 +77,7 @@ main()
         cloud::FaasRuntime rt(simulator, rng, cluster, store,
                               cloud::FaasConfig{});
         auto grng = std::make_shared<sim::Rng>(rng.fork());
-        auto gen = sim::recurring([&, grng](const std::function<void()>& self) {
+        sim::recurring(simulator, 0, [&, grng](const sim::Recur& self) {
             if (simulator.now() >= kDuration)
                 return;
             cloud::InvokeRequest req;
@@ -88,10 +88,8 @@ main()
                 faas_s.emplace_back(t.done, t.total_s());
             });
             double rate = std::max(pattern.rate_at(simulator.now()), 0.2);
-            simulator.schedule_in(
-                sim::from_seconds(grng->exponential(1.0 / rate)), self);
+            self.again_in(sim::from_seconds(grng->exponential(1.0 / rate)));
         });
-        simulator.schedule_at(0, gen);
         simulator.run();
     }
 
@@ -106,17 +104,15 @@ main()
                    provision_rate * app.work_core_ms / 1000.0 * 1.15)));
         cloud::IaasPool pool(simulator, rng, cfg);
         auto grng = std::make_shared<sim::Rng>(rng.fork());
-        auto gen = sim::recurring([&, grng](const std::function<void()>& self) {
+        sim::recurring(simulator, 0, [&, grng](const sim::Recur& self) {
             if (simulator.now() >= kDuration)
                 return;
             pool.submit(app.work_core_ms, [&](const cloud::IaasTrace& t) {
                 out.emplace_back(t.done, t.total_s());
             });
             double rate = std::max(pattern.rate_at(simulator.now()), 0.2);
-            simulator.schedule_in(
-                sim::from_seconds(grng->exponential(1.0 / rate)), self);
+            self.again_in(sim::from_seconds(grng->exponential(1.0 / rate)));
         });
-        simulator.schedule_at(0, gen);
         simulator.run();
         return cfg.workers;
     };

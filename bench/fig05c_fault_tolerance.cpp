@@ -46,7 +46,7 @@ run_with_faults(double fault_prob)
     cfg.fault_prob = fault_prob;
     cloud::FaasRuntime rt(simulator, rng, cluster, store, cfg);
     auto grng = std::make_shared<sim::Rng>(rng.fork());
-    auto gen = sim::recurring([&, grng](const std::function<void()>& self) {
+    sim::recurring(simulator, 0, [&, grng](const sim::Recur& self) {
         if (simulator.now() >= kDuration)
             return;
         cloud::InvokeRequest req;
@@ -55,10 +55,8 @@ run_with_faults(double fault_prob)
         req.memory_mb = app.memory_mb;
         rt.invoke(req, nullptr);
         double rate = std::max(pattern.rate_at(simulator.now()), 0.2);
-        simulator.schedule_in(
-            sim::from_seconds(grng->exponential(1.0 / rate)), self);
+        self.again_in(sim::from_seconds(grng->exponential(1.0 / rate)));
     });
-    simulator.schedule_at(0, gen);
     simulator.run();
     SeriesResult out;
     out.active = rt.active_series().window_means(kWindow, kDuration);

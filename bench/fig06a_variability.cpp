@@ -26,15 +26,15 @@ drive(sim::Simulator& simulator, sim::Rng& rng, double rate_hz,
       SubmitFn submit)
 {
     auto grng = std::make_shared<sim::Rng>(rng.fork());
-    auto gen = sim::recurring([&simulator, grng, rate_hz,
-                               submit](const std::function<void()>& self) {
-        if (simulator.now() >= kDuration)
-            return;
-        submit();
-        simulator.schedule_in(
-            sim::from_seconds(grng->exponential(1.0 / rate_hz)), self);
-    });
-    simulator.schedule_at(0, gen);
+    sim::recurring(simulator, 0,
+                   [&simulator, grng, rate_hz,
+                    submit](const sim::Recur& self) {
+                       if (simulator.now() >= kDuration)
+                           return;
+                       submit();
+                       self.again_in(sim::from_seconds(
+                           grng->exponential(1.0 / rate_hz)));
+                   });
 }
 
 }  // namespace

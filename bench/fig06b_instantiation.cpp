@@ -39,7 +39,7 @@ main()
                               cloud::FaasConfig{});
         double rate = app.task_rate_hz * 16.0;
         auto grng = std::make_shared<sim::Rng>(rng.fork());
-        auto gen = sim::recurring([&, grng](const std::function<void()>& self) {
+        sim::recurring(simulator, 0, [&, grng](const sim::Recur& self) {
             if (simulator.now() >= kDuration)
                 return;
             cloud::InvokeRequest req;
@@ -53,10 +53,8 @@ main()
                 data.add(t.data_s());
                 exec.add(t.exec_s());
             });
-            simulator.schedule_in(
-                sim::from_seconds(grng->exponential(1.0 / rate)), self);
+            self.again_in(sim::from_seconds(grng->exponential(1.0 / rate)));
         });
-        simulator.schedule_at(0, gen);
         simulator.run();
 
         auto shares = [](double a, double b, double c, double out[3]) {

@@ -45,8 +45,7 @@ main()
             cloud::FaasRuntime rt(simulator, rng, cluster, store, cfg);
             double rate = app.task_rate_hz * 16.0;
             auto grng = std::make_shared<sim::Rng>(rng.fork());
-            auto gen =
-                sim::recurring([&, grng](const std::function<void()>& self) {
+            sim::recurring(simulator, 0, [&, grng](const sim::Recur& self) {
                 if (simulator.now() >= kDuration)
                     return;
                 // Parent function writes, dependent child reads: two
@@ -60,10 +59,9 @@ main()
                 rt.invoke(req, [&](const cloud::InvocationTrace& t) {
                     lat.add(t.total_s());
                 });
-                simulator.schedule_in(
-                    sim::from_seconds(grng->exponential(1.0 / rate)), self);
-                });
-            simulator.schedule_at(0, gen);
+                self.again_in(
+                    sim::from_seconds(grng->exponential(1.0 / rate)));
+            });
             simulator.run();
             med[col++] = 1000.0 * lat.median();
         }

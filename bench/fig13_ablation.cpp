@@ -8,7 +8,15 @@
  * Paper anchor: "no single technique in HiveMind is sufficient ... in
  * isolation"; the distributed system barely benefits from hardware
  * acceleration.
+ *
+ * Every (job, config) and (scenario, config) cell is an independent
+ * simulation, so the whole grid fans out over the run_sweep() pool;
+ * results come back in point order, keeping the table byte-identical
+ * to a serial run.
  */
+
+#include <utility>
+#include <vector>
 
 #include "bench_util.hpp"
 
@@ -29,20 +37,36 @@ main()
         platform::PlatformOptions::distributed_net_accel(),
         platform::PlatformOptions::hivemind_no_accel(),
     };
+    constexpr std::size_t kConfigs = std::size(configs);
     std::printf("%-5s", "Job");
     for (const auto& c : configs)
         std::printf(" %19s", c.label.c_str());
     std::printf("\n");
 
-    for (const apps::AppSpec& app : apps::all_apps()) {
-        std::printf("%-5s", app.id.c_str());
-        for (const auto& c : configs) {
+    const auto& jobs = apps::all_apps();
+    struct JobPoint
+    {
+        const apps::AppSpec* app;
+        const platform::PlatformOptions* opt;
+    };
+    std::vector<JobPoint> job_points;
+    for (const apps::AppSpec& app : jobs)
+        for (const auto& c : configs)
+            job_points.push_back({&app, &c});
+    std::vector<std::pair<double, double>> job_cells =
+        run_sweep(job_points, [](const JobPoint& p) {
             platform::RunMetrics m =
-                run_job_repeated(app, c, paper_job(), 2);
+                run_job_repeated(*p.app, *p.opt, paper_job(), 2);
+            return std::pair{1000.0 * m.task_latency_s.median(),
+                             1000.0 * m.task_latency_s.p99()};
+        });
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        std::printf("%-5s", jobs[j].id.c_str());
+        for (std::size_t c = 0; c < kConfigs; ++c) {
+            const auto& [median_ms, p99_ms] = job_cells[j * kConfigs + c];
             char cell[32];
-            std::snprintf(cell, sizeof(cell), "%.0f (%.0f)",
-                          1000.0 * m.task_latency_s.median(),
-                          1000.0 * m.task_latency_s.p99());
+            std::snprintf(cell, sizeof(cell), "%.0f (%.0f)", median_ms,
+                          p99_ms);
             std::printf(" %19s", cell);
         }
         std::printf("\n");
@@ -53,15 +77,31 @@ main()
     for (const auto& c : configs)
         std::printf(" %19s", c.label.c_str());
     std::printf("\n");
+    struct ScenarioPoint
+    {
+        const char* name;
+        platform::ScenarioConfig sc;
+        const platform::PlatformOptions* opt;
+    };
+    std::vector<ScenarioPoint> sc_points;
     for (auto [name, sc] : {std::pair{"ScA", scenario_a()},
-                            std::pair{"ScB", scenario_b()}}) {
-        std::printf("%-5s", name);
-        for (const auto& c : configs) {
+                            std::pair{"ScB", scenario_b()}})
+        for (const auto& c : configs)
+            sc_points.push_back({name, sc, &c});
+    std::vector<std::pair<double, bool>> sc_cells =
+        run_sweep(sc_points, [](const ScenarioPoint& p) {
             platform::RunMetrics m = run_scenario_repeated(
-                sc, c, paper_deployment(42), 2);
+                p.sc, *p.opt, paper_deployment(42), 2);
+            return std::pair{m.completion_s, m.completed};
+        });
+    for (std::size_t s = 0; s < sc_points.size() / kConfigs; ++s) {
+        std::printf("%-5s", sc_points[s * kConfigs].name);
+        for (std::size_t c = 0; c < kConfigs; ++c) {
+            const auto& [completion_s, completed] =
+                sc_cells[s * kConfigs + c];
             char cell[32];
-            std::snprintf(cell, sizeof(cell), "%.0f%s", m.completion_s,
-                          m.completed ? "" : "*");
+            std::snprintf(cell, sizeof(cell), "%.0f%s", completion_s,
+                          completed ? "" : "*");
             std::printf(" %19s", cell);
         }
         std::printf("\n");

@@ -9,6 +9,8 @@
  * latency low" — unlike the centralized system in Fig. 3.
  */
 
+#include <vector>
+
 #include "bench_util.hpp"
 
 using namespace hivemind;
@@ -25,7 +27,7 @@ sweep(const char* name, platform::ScenarioConfig base)
         std::uint64_t frame_bytes;
         double fps;
     };
-    const Point points[] = {
+    const std::vector<Point> points = {
         {"0.5MB 8fps", 512u << 10, 8.0}, {"1MB 8fps", 1u << 20, 8.0},
         {"2MB 8fps", 2u << 20, 8.0},     {"4MB 8fps", 4u << 20, 8.0},
         {"8MB 8fps", 8u << 20, 8.0},     {"8MB 16fps", 8u << 20, 16.0},
@@ -33,16 +35,23 @@ sweep(const char* name, platform::ScenarioConfig base)
     };
     std::printf("%s\n%-12s %14s %14s %12s\n", name, "setting",
                 "bandwidth MB/s", "p99 lat (s)", "completion");
-    for (const Point& pt : points) {
-        platform::ScenarioConfig sc = base;
-        // Per-second batch: fps x frame size crosses the sensor
-        // boundary; HiveMind's pre-filter forwards its usual fraction.
-        sc.frame_bytes_override =
-            static_cast<std::uint64_t>(pt.fps * pt.frame_bytes);
-        platform::RunMetrics m = run_scenario_repeated(
-            sc, platform::PlatformOptions::hivemind(), paper_deployment(42),
-            2);
-        std::printf("%-12s %14.1f %14.2f %11.1fs%s\n", pt.label,
+    // Each resolution point is its own simulation: parcel them out to
+    // the run_sweep() pool; results print in point order either way.
+    std::vector<platform::RunMetrics> rows =
+        run_sweep(points, [&base](const Point& pt) {
+            platform::ScenarioConfig sc = base;
+            // Per-second batch: fps x frame size crosses the sensor
+            // boundary; HiveMind's pre-filter forwards its usual
+            // fraction.
+            sc.frame_bytes_override =
+                static_cast<std::uint64_t>(pt.fps * pt.frame_bytes);
+            return run_scenario_repeated(
+                sc, platform::PlatformOptions::hivemind(),
+                paper_deployment(42), 2);
+        });
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const platform::RunMetrics& m = rows[i];
+        std::printf("%-12s %14.1f %14.2f %11.1fs%s\n", points[i].label,
                     m.bandwidth_MBps.mean(), m.task_latency_s.p99(),
                     m.completion_s, m.completed ? "" : " [cap]");
     }

@@ -15,9 +15,11 @@
  */
 
 #include <chrono>
+#include <thread>
 
 #include "analytic/model.hpp"
 #include "bench_util.hpp"
+#include "platform/sharded_swarm.hpp"
 
 using namespace hivemind;
 using namespace hivemind::bench;
@@ -115,5 +117,76 @@ main()
                      Json::object()
                          .kv("bench", "fig17b_swarm_scaling")
                          .kv("rows", series));
-    return 0;
+
+    // --- Shard-count axis: the same swarm on 1/2/4 shard kernels ---
+    // Discrete-event counterpart of the analytic sweep above: the
+    // SwarmRuntime partitions the swarm across threads while the
+    // conservative sync keeps the run byte-identical, so the speedup
+    // column is pure wall-clock and the checksum column is the proof
+    // nothing else moved. Single-core hosts (CI) still verify the
+    // checksums; the speedup needs real cores to show.
+    print_header("Fig. 17b (sharded runtime)",
+                 "Wall-clock per shard count, same-seed checksum "
+                 "verified across counts");
+    const unsigned hw_threads = std::thread::hardware_concurrency();
+    std::printf("host hardware threads: %u\n\n", hw_threads);
+    std::printf("%-8s %-7s %12s %12s %10s %9s %10s\n", "devices",
+                "shards", "events", "epochs", "wall(s)", "speedup",
+                "checksum");
+
+    Json shard_rows = Json::array();
+    const std::size_t device_counts[] = {512, 1024, 2048};
+    const int shard_counts[] = {1, 2, 4};
+    bool checksums_ok = true;
+    for (std::size_t devices : device_counts) {
+        std::uint64_t reference = 0;
+        double wall_one = 0.0;
+        for (int shards : shard_counts) {
+            platform::ShardedSwarmConfig cfg;
+            cfg.shards = shards;
+            cfg.devices = devices;
+            cfg.seed = 42;
+            cfg.duration = 10 * sim::kSecond;
+            cfg.obstacle_work = 64;
+            platform::ShardedSwarmResult r =
+                platform::run_sharded_swarm(cfg);
+            if (shards == 1) {
+                reference = r.checksum;
+                wall_one = r.wall_s;
+            } else if (r.checksum != reference) {
+                checksums_ok = false;
+            }
+            const double speedup =
+                r.wall_s > 0.0 ? wall_one / r.wall_s : 0.0;
+            std::printf("%-8zu %-7d %12llu %12llu %10.3f %9.2f %10llx\n",
+                        devices, shards,
+                        static_cast<unsigned long long>(r.executed),
+                        static_cast<unsigned long long>(r.epochs),
+                        r.wall_s, speedup,
+                        static_cast<unsigned long long>(r.checksum));
+            shard_rows.push(
+                Json::object()
+                    .kv("devices", static_cast<std::uint64_t>(devices))
+                    .kv("shards", static_cast<std::uint64_t>(shards))
+                    .kv("events", r.executed)
+                    .kv("epochs", r.epochs)
+                    .kv("forwarded", r.forwarded)
+                    .kv("wall_s", r.wall_s)
+                    .kv("speedup_vs_1shard", speedup)
+                    .kv("checksum_matches_1shard",
+                        static_cast<std::uint64_t>(
+                            r.checksum == reference ? 1 : 0)));
+        }
+    }
+    std::printf("\nchecksums across shard counts: %s\n",
+                checksums_ok ? "all identical" : "MISMATCH");
+    write_bench_json(
+        "shard_scaling",
+        Json::object()
+            .kv("bench", "shard_scaling")
+            .kv("hw_threads", static_cast<std::uint64_t>(hw_threads))
+            .kv("checksums_identical",
+                static_cast<std::uint64_t>(checksums_ok ? 1 : 0))
+            .kv("rows", shard_rows));
+    return checksums_ok ? 0 : 1;
 }

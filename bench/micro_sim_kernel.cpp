@@ -116,13 +116,11 @@ BM_EventKernelRecurringTimers(benchmark::State& state)
             for (sim::Time period : {sim::kSecond,
                                      10 * sim::kMillisecond,
                                      100 * sim::kMillisecond}) {
-                auto task = sim::recurring(
-                    [&simulator, &ticks,
-                     period](const std::function<void()>& self) {
-                        ++ticks;
-                        simulator.schedule_in(period, self);
-                    });
-                simulator.schedule_in(period, task);
+                sim::recurring(simulator, period,
+                               [&ticks, period](const sim::Recur& self) {
+                                   ++ticks;
+                                   self.again_in(period);
+                               });
             }
         }
         state.ResumeTiming();

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Configure, build and run the full test suite under AddressSanitizer
-# in a separate build tree (build-asan/). Usage: scripts/asan_check.sh
-# [undefined] — pass 'undefined' to run UBSan instead.
+# in a separate build tree (build-<san>/). Usage: scripts/asan_check.sh
+# [undefined|thread] — pass 'undefined' for UBSan or 'thread' for
+# TSan (the sharded runtime is the multi-threaded path TSan covers).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

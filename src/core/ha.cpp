@@ -62,22 +62,20 @@ HaCluster::start()
     // Bootstrap checkpoint so a crash before the first interval still
     // has (early, stale) state to replay.
     checkpoint_tick();
-    auto watchdog = sim::recurring(
-        [this](const std::function<void()>& self) {
-            if (!running_)
-                return;
-            watchdog_tick();
-            simulator_->schedule_in(config_.primary_beat_interval, self);
-        });
-    simulator_->schedule_in(config_.primary_beat_interval, watchdog);
-    auto ckpt = sim::recurring(
-        [this](const std::function<void()>& self) {
-            if (!running_)
-                return;
-            checkpoint_tick();
-            simulator_->schedule_in(config_.checkpoint_interval, self);
-        });
-    simulator_->schedule_in(config_.checkpoint_interval, ckpt);
+    sim::recurring(*simulator_, config_.primary_beat_interval,
+                   [this](const sim::Recur& self) {
+                       if (!running_)
+                           return;
+                       watchdog_tick();
+                       self.again_in(config_.primary_beat_interval);
+                   });
+    sim::recurring(*simulator_, config_.checkpoint_interval,
+                   [this](const sim::Recur& self) {
+                       if (!running_)
+                           return;
+                       checkpoint_tick();
+                       self.again_in(config_.checkpoint_interval);
+                   });
 }
 
 void

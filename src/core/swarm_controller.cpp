@@ -1,0 +1,155 @@
+#include "core/swarm_controller.hpp"
+
+#include <utility>
+
+namespace hivemind::core {
+
+SwarmController::SwarmController(sim::Simulator& shard0,
+                                 const Config& config, Downlink send)
+    : simulator_(&shard0),
+      config_(config),
+      send_(std::move(send)),
+      detector_(shard0, config.devices, config.beat_interval,
+                config.timeout)
+{
+    detector_.set_on_failure([this](std::size_t device) {
+        ++stats_.failures;
+        mix(3, device);
+        repartition();
+    });
+    detector_.set_on_recovery([this](std::size_t device) {
+        ++stats_.recoveries;
+        mix(4, device);
+        repartition();
+    });
+}
+
+void
+SwarmController::start()
+{
+    detector_.start();
+    repartition();
+    if (config_.crash_at > 0) {
+        simulator_->schedule_at(config_.crash_at, [this] { crash_now(); });
+        simulator_->schedule_at(config_.crash_at + config_.takeover,
+                                [this] { takeover_now(); });
+    }
+}
+
+void
+SwarmController::crash_now()
+{
+    down_ = true;
+    detector_.stop();
+    mix(5, 0);
+}
+
+void
+SwarmController::takeover_now()
+{
+    down_ = false;
+    mix(6, 0);
+    detector_.start();
+    for (std::size_t d = 0; d < config_.devices; ++d) {
+        DownMsg msg;
+        msg.kind = DownMsg::Kind::ReRegister;
+        send_(d, msg);
+    }
+}
+
+void
+SwarmController::stop()
+{
+    detector_.stop();
+}
+
+void
+SwarmController::on_register(std::size_t device)
+{
+    if (down_) {
+        ++stats_.dropped;
+        return;
+    }
+    ++stats_.registers;
+    mix(1, device);
+    // Post-takeover ground truth (Sec. 4.6): responding == alive.
+    const bool was_failed = detector_.is_failed(device);
+    detector_.reconcile(device, true);
+    detector_.beat(device);
+    if (was_failed) {
+        ++stats_.recoveries;
+        mix(4, device);
+        repartition();
+    }
+}
+
+void
+SwarmController::on_beat(std::size_t device)
+{
+    if (down_) {
+        ++stats_.dropped;
+        return;
+    }
+    ++stats_.beats;
+    mix(2, device);
+    detector_.beat(device);
+}
+
+void
+SwarmController::on_frame(std::size_t device, std::uint64_t frame)
+{
+    if (down_) {
+        ++stats_.dropped;
+        return;
+    }
+    ++stats_.frames;
+    mix(7, device * 1315423911u + frame);
+    DownMsg msg;
+    msg.kind = DownMsg::Kind::FrameAck;
+    msg.frame = frame;
+    send_(device, msg);
+}
+
+void
+SwarmController::repartition()
+{
+    ++stats_.repartitions;
+    std::size_t live = 0;
+    for (std::size_t d = 0; d < config_.devices; ++d)
+        if (!detector_.is_failed(d))
+            ++live;
+    if (live == 0)
+        return;
+    // Strip rule: live devices split [0, strip_width) evenly, in id
+    // order, so the assignment is a pure function of the failed set.
+    std::size_t index = 0;
+    for (std::size_t d = 0; d < config_.devices; ++d) {
+        if (detector_.is_failed(d))
+            continue;
+        DownMsg msg;
+        msg.kind = DownMsg::Kind::Assign;
+        msg.lo = static_cast<int>(index * config_.strip_width / live);
+        msg.hi = static_cast<int>((index + 1) * config_.strip_width / live);
+        mix(8, (static_cast<std::uint64_t>(d) << 32) ^
+                   static_cast<std::uint64_t>(msg.hi));
+        send_(d, msg);
+        ++index;
+    }
+}
+
+void
+SwarmController::mix(std::uint64_t a, std::uint64_t b)
+{
+    const std::uint64_t prime = 1099511628211ull;
+    auto eat = [&](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            digest_ ^= (v >> (i * 8)) & 0xff;
+            digest_ *= prime;
+        }
+    };
+    eat(static_cast<std::uint64_t>(simulator_->now()));
+    eat(a);
+    eat(b);
+}
+
+}  // namespace hivemind::core

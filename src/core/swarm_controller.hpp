@@ -1,0 +1,126 @@
+#pragma once
+
+/**
+ * @file
+ * Swarm controller for the sharded runtime, pinned to shard 0.
+ *
+ * Under the SwarmRuntime the controller is an ordinary actor living
+ * on shard 0's kernel: every uplink message (register, heartbeat,
+ * recognition frame) arrives through the runtime's mailbox path in
+ * deterministic (time, origin) order, and every downlink message
+ * (frame acks, strip assignments, re-register pings) leaves through a
+ * per-device sender the scenario wires to a shard-0 -> owner-shard
+ * ShardLink. That keeps one invariant simple: the controller never
+ * touches device state directly, so partitioning the swarm across
+ * shards cannot change what it observes.
+ *
+ * It reuses the heartbeat FailureDetector and a strip repartitioning
+ * rule (live devices split the target strip evenly, in id order), and
+ * models hot-standby failover: between crash_at and takeover the
+ * controller drops everything on the floor; on takeover it pings
+ * every device to re-register and reconciles liveness from the
+ * responses, Sec. 4.6 style.
+ *
+ * A running FNV-1a digest over every handled event doubles as the
+ * byte-identity witness for the shard-invariance tests.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/heartbeat.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace hivemind::core {
+
+/** Controller -> device message (serialized over a downlink). */
+struct DownMsg
+{
+    enum class Kind : std::uint8_t
+    {
+        FrameAck,    ///< Recognition frame processed.
+        Assign,      ///< New strip assignment [lo, hi).
+        ReRegister,  ///< Standby took over; re-register now.
+    };
+    Kind kind = Kind::FrameAck;
+    int lo = 0;               ///< Assign: strip start.
+    int hi = 0;               ///< Assign: strip end (exclusive).
+    std::uint64_t frame = 0;  ///< FrameAck: echoed frame id.
+};
+
+/** Shard-0 swarm controller: liveness, strips, frame acks, failover. */
+class SwarmController
+{
+  public:
+    struct Config
+    {
+        std::size_t devices = 0;
+        int strip_width = 1024;  ///< Total strip divided among live devices.
+        sim::Time beat_interval = sim::kSecond;
+        sim::Time timeout = 3 * sim::kSecond;
+        sim::Time crash_at = 0;  ///< 0 = no controller crash.
+        sim::Time takeover = 800 * sim::kMillisecond;
+    };
+
+    struct Stats
+    {
+        std::uint64_t registers = 0;
+        std::uint64_t beats = 0;
+        std::uint64_t frames = 0;
+        std::uint64_t dropped = 0;  ///< Messages lost while down.
+        std::uint64_t repartitions = 0;
+        std::uint64_t failures = 0;
+        std::uint64_t recoveries = 0;
+    };
+
+    /** @p send delivers a DownMsg toward @p device's shard. */
+    using Downlink = std::function<void(std::size_t device, DownMsg)>;
+
+    SwarmController(sim::Simulator& shard0, const Config& config,
+                    Downlink send);
+
+    /** Arm heartbeat sweeping and the optional crash/takeover pair. */
+    void start();
+
+    /** Stop sweeping so the shard-0 kernel can drain. */
+    void stop();
+
+    /// @name Uplink handlers — invoked on shard 0 at delivery time.
+    /// @{
+    void on_register(std::size_t device);
+    void on_beat(std::size_t device);
+    void on_frame(std::size_t device, std::uint64_t frame);
+    /// @}
+
+    /// @name Failover hooks for plan-driven chaos (shard 0 only).
+    /// @{
+    /** Primary dies: drop traffic, stop sweeping. */
+    void crash_now();
+    /** Standby takes over: resume and ping devices to re-register. */
+    void takeover_now();
+    /// @}
+
+    const Stats& stats() const { return stats_; }
+    const FailureDetector& detector() const { return detector_; }
+    bool down() const { return down_; }
+
+    /** Order-sensitive digest of every event handled (FNV-1a). */
+    std::uint64_t digest() const { return digest_; }
+
+  private:
+    void mix(std::uint64_t a, std::uint64_t b);
+    void repartition();
+
+    sim::Simulator* simulator_;
+    Config config_;
+    Downlink send_;
+    FailureDetector detector_;
+    Stats stats_;
+    bool down_ = false;
+    std::uint64_t digest_ = 1469598103934665603ull;  // FNV offset basis.
+};
+
+}  // namespace hivemind::core

@@ -1,0 +1,56 @@
+#include "fault/shard_chaos.hpp"
+
+namespace hivemind::fault {
+
+ShardChaosReport
+route_plan(sim::SwarmRuntime& runtime, const FaultPlan& plan,
+           const std::function<int(std::size_t)>& owner,
+           const ShardChaosHooks& hooks)
+{
+    ShardChaosReport report;
+    for (const FaultEvent& e : plan.events) {
+        switch (e.kind) {
+        case FaultKind::DeviceCrash: {
+            const std::size_t device = e.target;
+            sim::Simulator& shard = runtime.shard(owner(device));
+            if (hooks.crash_device)
+                shard.schedule_at(e.at, [fn = hooks.crash_device, device] {
+                    fn(device);
+                });
+            if (e.duration > 0 && hooks.rejoin_device)
+                shard.schedule_at(e.at + e.duration,
+                                  [fn = hooks.rejoin_device, device] {
+                                      fn(device);
+                                  });
+            ++report.routed;
+            break;
+        }
+        case FaultKind::ControllerCrash:
+        case FaultKind::ControllerFailover: {
+            sim::Simulator& shard0 = runtime.shard(0);
+            if (hooks.crash_controller)
+                shard0.schedule_at(e.at, [fn = hooks.crash_controller] {
+                    fn();
+                });
+            if (e.takeover && hooks.recover_controller) {
+                const sim::Time back =
+                    e.at + (e.duration > 0
+                                ? e.duration
+                                : 800 * sim::kMillisecond);
+                shard0.schedule_at(back,
+                                   [fn = hooks.recover_controller] {
+                                       fn();
+                                   });
+            }
+            ++report.routed;
+            break;
+        }
+        default:
+            ++report.unsupported;
+            break;
+        }
+    }
+    return report;
+}
+
+}  // namespace hivemind::fault

@@ -1,0 +1,62 @@
+#pragma once
+
+/**
+ * @file
+ * Fault-plan routing for the sharded runtime.
+ *
+ * Chaos injection must happen on the shard that owns the faulted
+ * component, or the injection itself would race the shard's event
+ * loop. route_plan() walks a FaultPlan and schedules each supported
+ * event on the owning shard's kernel *before* the run starts, so the
+ * injections participate in the deterministic (time, seq) order like
+ * any other event:
+ *
+ *  - DeviceCrash (and its rejoin) fire on the device's owner shard.
+ *  - ControllerCrash / ControllerFailover fire on shard 0, where the
+ *    SwarmController lives. The controller usually arms its own
+ *    crash from Config::crash_at; the plan path exists so chaos
+ *    schedules written against FaultPlan keep working.
+ *
+ * Kinds that need the flow-level network or cloud models (link
+ * bursts, server crashes, datastore outages) have no sharded
+ * counterpart yet and are counted, not dropped silently.
+ */
+
+#include <cstddef>
+#include <functional>
+
+#include "fault/plan.hpp"
+#include "sim/swarm_runtime.hpp"
+
+namespace hivemind::fault {
+
+/** Callbacks a sharded scenario exposes to the router. */
+struct ShardChaosHooks
+{
+    /** Take device @p d dark; runs on the owner shard. */
+    std::function<void(std::size_t)> crash_device;
+    /** Bring device @p d back; runs on the owner shard. */
+    std::function<void(std::size_t)> rejoin_device;
+    /** Controller crash; runs on shard 0. */
+    std::function<void()> crash_controller;
+    /** Standby takeover; runs on shard 0. */
+    std::function<void()> recover_controller;
+};
+
+/** What route_plan() scheduled. */
+struct ShardChaosReport
+{
+    std::size_t routed = 0;       ///< Events scheduled on a shard.
+    std::size_t unsupported = 0;  ///< Kinds with no sharded model.
+};
+
+/**
+ * Schedule @p plan's events onto the owning shards. @p owner maps a
+ * device id to its shard. Call before SwarmRuntime::run_until().
+ */
+ShardChaosReport route_plan(sim::SwarmRuntime& runtime,
+                            const FaultPlan& plan,
+                            const std::function<int(std::size_t)>& owner,
+                            const ShardChaosHooks& hooks);
+
+}  // namespace hivemind::fault

@@ -1,0 +1,37 @@
+#include "net/shard_link.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace hivemind::net {
+
+ShardLink::ShardLink(sim::SwarmRuntime& runtime, int src, int dst,
+                     std::uint64_t origin, double rate_bps,
+                     sim::Time propagation)
+    : runtime_(&runtime),
+      src_(src),
+      dst_(dst),
+      origin_(origin),
+      rate_bps_(rate_bps),
+      propagation_(propagation)
+{
+    assert(propagation >= 1);
+    runtime.declare_channel(src, dst, propagation);
+}
+
+sim::Time
+ShardLink::transfer(std::uint64_t bytes, sim::InlineFn done)
+{
+    sim::Time now = runtime_->shard(src_).now();
+    sim::Time start = busy_until_ > now ? busy_until_ : now;
+    double bits = static_cast<double>(bytes) * 8.0;
+    sim::Time serialize = sim::from_seconds(bits / rate_bps_);
+    busy_until_ = start + serialize;
+    bytes_total_ += bytes;
+    sim::Time arrival = busy_until_ + propagation_;
+    if (done)
+        runtime_->post(src_, dst_, arrival, origin_, std::move(done));
+    return arrival;
+}
+
+}  // namespace hivemind::net

@@ -206,20 +206,17 @@ run_task_graph(const dsl::TaskGraph& graph,
     sim::Simulator& simulator = dep.simulator();
 
     for (std::size_t d = 0; d < dep.device_count(); ++d) {
-        auto gen = sim::recurring([&harness, &simulator, &job, d](
-                                      const std::function<void()>& self) {
-            if (simulator.now() >= job.duration)
-                return;
-            harness.start_activation(d);
-            simulator.schedule_in(
-                sim::from_seconds(harness.arrivals.exponential(
-                    1.0 / job.activation_rate_hz)),
-                self);
-        });
-        simulator.schedule_in(
+        sim::recurring(
+            simulator,
             sim::from_seconds(
                 harness.arrivals.uniform(0.0, 1.0 / job.activation_rate_hz)),
-            gen);
+            [&harness, &simulator, &job, d](const sim::Recur& self) {
+                if (simulator.now() >= job.duration)
+                    return;
+                harness.start_activation(d);
+                self.again_in(sim::from_seconds(harness.arrivals.exponential(
+                    1.0 / job.activation_rate_hz)));
+            });
     }
 
     simulator.run_until(job.duration + job.drain);

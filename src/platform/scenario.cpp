@@ -543,35 +543,29 @@ ScenarioHarness::setup_drones()
     for (std::size_t d = 0; d < dep_->device_count(); ++d) {
         start_pass(d);
         // Frame-driven recognition tasks.
-        auto gen = sim::recurring(
-            [this, d](const std::function<void()>& self) {
+        sim::recurring(
+            dep_->simulator(), sim::from_seconds(rng_.uniform(0.0, 1.0)),
+            [this, d](const sim::Recur& self) {
                 if (done_)
                     return;
                 edge::Device& dev = dep_->device(d);
                 if (dev.alive() && !detector_.is_failed(d))
                     frame_task(d);
-                dep_->simulator().schedule_in(
-                    sim::from_seconds(
-                        rng_.exponential(1.0 / sc_->frame_task_rate_hz)),
-                    self);
+                self.again_in(sim::from_seconds(
+                    rng_.exponential(1.0 / sc_->frame_task_rate_hz)));
             });
-        dep_->simulator().schedule_in(
-            sim::from_seconds(rng_.uniform(0.0, 1.0)), gen);
 
         // Obstacle avoidance always runs on-board (Sec. 2.1).
-        auto oa = sim::recurring(
-            [this, d](const std::function<void()>& self) {
+        sim::recurring(
+            dep_->simulator(), sim::from_seconds(rng_.uniform(0.0, 0.5)),
+            [this, d](const sim::Recur& self) {
                 if (done_)
                     return;
                 if (dep_->device(d).alive())
                     obstacle_task(d);
-                dep_->simulator().schedule_in(
-                    sim::from_seconds(
-                        rng_.exponential(1.0 / sc_->obstacle_rate_hz)),
-                    self);
+                self.again_in(sim::from_seconds(
+                    rng_.exponential(1.0 / sc_->obstacle_rate_hz)));
             });
-        dep_->simulator().schedule_in(
-            sim::from_seconds(rng_.uniform(0.0, 0.5)), oa);
     }
 }
 

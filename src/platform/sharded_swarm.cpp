@@ -1,0 +1,266 @@
+#include "platform/sharded_swarm.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "net/shard_link.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/swarm_runtime.hpp"
+
+namespace hivemind::platform {
+
+namespace {
+
+constexpr std::uint64_t kFnvBasis = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+constexpr std::uint64_t kDownlinkOrigin = 1u << 20;  ///< Above any device.
+constexpr std::uint64_t kCtrlMsgBytes = 64;
+constexpr double kFieldM = 48.0;
+constexpr int kStripWidth = 1024;
+
+void
+mix(std::uint64_t& hash, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i) {
+        hash ^= (value >> (i * 8)) & 0xff;
+        hash *= kFnvPrime;
+    }
+}
+
+std::uint64_t
+bits(double value)
+{
+    std::uint64_t u = 0;
+    std::memcpy(&u, &value, sizeof(u));
+    return u;
+}
+
+/** One edge device; all state is touched only by its owner shard. */
+struct Device
+{
+    std::size_t id = 0;
+    sim::Rng rng;
+    double x = 0.0;
+    double y = 0.0;
+    double battery = 1.0;
+    int lo = 0;
+    int hi = 0;
+    bool alive = true;
+    std::uint64_t frames = 0;
+    std::uint64_t acks = 0;
+    std::uint64_t ticks = 0;
+    std::uint64_t hash = kFnvBasis;
+    net::ShardLink* up = nullptr;
+    core::SwarmController* ctrl = nullptr;
+
+    explicit Device(std::uint64_t seed) : rng(seed) {}
+
+    void send_register()
+    {
+        core::SwarmController* c = ctrl;
+        const std::size_t d = id;
+        up->transfer(kCtrlMsgBytes,
+                     sim::InlineFn([c, d] { c->on_register(d); }));
+    }
+
+    /** Runs on the owner shard when a downlink message lands. */
+    void apply(const core::DownMsg& msg)
+    {
+        if (!alive)
+            return;  // Dark devices miss their mail.
+        switch (msg.kind) {
+        case core::DownMsg::Kind::FrameAck:
+            ++acks;
+            mix(hash, 0xac ^ msg.frame);
+            break;
+        case core::DownMsg::Kind::Assign:
+            lo = msg.lo;
+            hi = msg.hi;
+            mix(hash, (static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(msg.lo))
+                       << 32) |
+                          static_cast<std::uint32_t>(msg.hi));
+            break;
+        case core::DownMsg::Kind::ReRegister:
+            mix(hash, 0x5e);
+            send_register();
+            break;
+        }
+    }
+};
+
+}  // namespace
+
+ShardedSwarmResult
+run_sharded_swarm(const ShardedSwarmConfig& config)
+{
+    const std::size_t n = config.devices;
+    sim::SwarmRuntime runtime(config.shards);
+
+    std::vector<Device> devices;
+    devices.reserve(n);
+    for (std::size_t d = 0; d < n; ++d) {
+        devices.emplace_back(config.seed ^
+                             (0x9e3779b97f4a7c15ull * (d + 1)));
+        devices.back().id = d;
+        devices.back().x = kFieldM * 0.5;
+        devices.back().y =
+            kFieldM * static_cast<double>(d + 1) / static_cast<double>(n + 1);
+    }
+
+    std::vector<net::ShardLink> uplinks;
+    std::vector<net::ShardLink> downlinks;
+    uplinks.reserve(n);
+    downlinks.reserve(n);
+    for (std::size_t d = 0; d < n; ++d) {
+        const int owner = runtime.owner_of(d);
+        uplinks.emplace_back(runtime, owner, 0, d, config.uplink_bps,
+                             config.propagation);
+        downlinks.emplace_back(runtime, 0, owner, kDownlinkOrigin + d,
+                               config.downlink_bps, config.propagation);
+    }
+
+    core::SwarmController::Config cc;
+    cc.devices = n;
+    cc.strip_width = kStripWidth;
+    cc.crash_at = config.crash_controller_at;
+    core::SwarmController controller(
+        runtime.shard(0), cc,
+        [&devices, &downlinks](std::size_t d, core::DownMsg msg) {
+            Device* dev = &devices[d];
+            downlinks[d].transfer(
+                kCtrlMsgBytes,
+                sim::InlineFn([dev, msg] { dev->apply(msg); }));
+        });
+
+    for (std::size_t d = 0; d < n; ++d) {
+        Device& dev = devices[d];
+        dev.up = &uplinks[d];
+        dev.ctrl = &controller;
+        sim::Simulator& shard = runtime.shard(runtime.owner_of(d));
+
+        // Registration rides the uplink before the run starts, so the
+        // controller learns the roster in deterministic merge order.
+        dev.send_register();
+
+        // 1 Hz heartbeat (Sec. 4.6) — silence > 3 s means failed.
+        sim::recurring(shard, sim::kSecond,
+                       [&dev](const sim::Recur& self) {
+                           if (dev.alive) {
+                               core::SwarmController* c = dev.ctrl;
+                               const std::size_t id = dev.id;
+                               dev.up->transfer(
+                                   kCtrlMsgBytes,
+                                   sim::InlineFn([c, id] {
+                                       c->on_beat(id);
+                                   }));
+                           }
+                           self.again_in(sim::kSecond);
+                       });
+
+        // Poisson recognition frames toward the controller.
+        const double mean_s = 1.0 / config.frame_rate_hz;
+        sim::recurring(
+            shard, sim::from_seconds(dev.rng.exponential(mean_s)),
+            [&dev, &config, mean_s](const sim::Recur& self) {
+                if (dev.alive) {
+                    const std::uint64_t frame = ++dev.frames;
+                    core::SwarmController* c = dev.ctrl;
+                    const std::size_t id = dev.id;
+                    mix(dev.hash, 0xf0 ^ frame);
+                    dev.up->transfer(config.frame_bytes,
+                                     sim::InlineFn([c, id, frame] {
+                                         c->on_frame(id, frame);
+                                     }));
+                }
+                self.again_in(
+                    sim::from_seconds(dev.rng.exponential(mean_s)));
+            });
+
+        // Motion tick: steer toward the assigned strip's centre with
+        // configurable per-tick arithmetic (the obstacle-avoidance
+        // stand-in that gives shards real work to parallelize).
+        sim::recurring(
+            shard, config.motion_tick,
+            [&dev, &config](const sim::Recur& self) {
+                if (dev.alive) {
+                    ++dev.ticks;
+                    const double target = kFieldM * (dev.lo + dev.hi) *
+                                          0.5 / kStripWidth;
+                    double vx = (target - dev.x) * 0.05;
+                    for (int i = 0; i < config.obstacle_work; ++i) {
+                        vx = vx * 0.999 + 0.001 * (target - dev.x);
+                        dev.x += vx * 0.01;
+                    }
+                    dev.y += dev.rng.uniform(-0.05, 0.05);
+                    dev.battery -= 1e-5;
+                    mix(dev.hash, bits(dev.x));
+                    mix(dev.hash, bits(dev.y));
+                }
+                self.again_in(config.motion_tick);
+            });
+    }
+
+    controller.start();
+
+    fault::ShardChaosHooks hooks;
+    hooks.crash_device = [&devices](std::size_t d) {
+        devices[d].alive = false;
+        mix(devices[d].hash, 0xdead);
+    };
+    hooks.rejoin_device = [&devices](std::size_t d) {
+        Device& dev = devices[d];
+        dev.alive = true;
+        mix(dev.hash, 0x11fe);
+        dev.send_register();
+    };
+    hooks.crash_controller = [&controller] { controller.crash_now(); };
+    hooks.recover_controller = [&controller] { controller.takeover_now(); };
+    ShardedSwarmResult result;
+    result.chaos = fault::route_plan(
+        runtime, config.faults,
+        [&runtime](std::size_t d) { return runtime.owner_of(d); }, hooks);
+
+    const auto wall0 = std::chrono::steady_clock::now();
+    sim::SwarmRuntime::Report report = runtime.run_until(config.duration);
+    const auto wall1 = std::chrono::steady_clock::now();
+
+    result.epochs = report.epochs;
+    result.executed = report.executed;
+    result.forwarded = report.forwarded;
+    result.wall_s =
+        std::chrono::duration<double>(wall1 - wall0).count();
+    result.controller = controller.stats();
+
+    // Checksum in device-id order, then the controller's event
+    // digest: both keys are shard-agnostic, so this is the quantity
+    // the invariance tests compare across shard counts.
+    std::uint64_t cs = kFnvBasis;
+    for (const Device& dev : devices) {
+        mix(cs, dev.hash);
+        mix(cs, dev.frames);
+        mix(cs, dev.acks);
+        mix(cs, dev.ticks);
+        mix(cs, (static_cast<std::uint64_t>(
+                     static_cast<std::uint32_t>(dev.lo))
+                 << 32) |
+                    static_cast<std::uint32_t>(dev.hi));
+        mix(cs, dev.alive ? 1 : 0);
+        mix(cs, bits(dev.x));
+        mix(cs, bits(dev.y));
+        mix(cs, bits(dev.battery));
+        result.frames_sent += dev.frames;
+        result.acks += dev.acks;
+        result.motion_ticks += dev.ticks;
+    }
+    mix(cs, controller.digest());
+    mix(cs, result.controller.beats);
+    mix(cs, result.controller.frames);
+    mix(cs, result.controller.repartitions);
+    result.checksum = cs;
+    return result;
+}
+
+}  // namespace hivemind::platform

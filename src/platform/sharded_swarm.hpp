@@ -1,0 +1,73 @@
+#pragma once
+
+/**
+ * @file
+ * Fig. 1-style swarm scenario running natively on the sharded
+ * runtime.
+ *
+ * Devices are partitioned round-robin across SwarmRuntime shards;
+ * each device is a self-contained actor (own RNG stream, position,
+ * battery, strip assignment) driven by recurring kernel tasks on its
+ * owner shard: a motion tick that burns configurable arithmetic work
+ * steering toward its strip, a 1 Hz heartbeat, and a Poisson
+ * recognition-frame process. All interaction with the shard-0
+ * SwarmController rides per-device ShardLinks (uplink owner -> 0,
+ * downlink 0 -> owner), whose propagation doubles as the runtime's
+ * lookahead bound.
+ *
+ * Because every message crosses the mailbox path and all per-device
+ * state is keyed by device id — never by shard — a run's checksum is
+ * byte-identical for any shard count, which tests/shard_test.cpp and
+ * the determinism suite assert for {1, 2, 4} shards, chaos included.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/swarm_controller.hpp"
+#include "fault/plan.hpp"
+#include "fault/shard_chaos.hpp"
+#include "sim/time.hpp"
+
+namespace hivemind::platform {
+
+/** Knobs for one sharded swarm run. */
+struct ShardedSwarmConfig
+{
+    int shards = 1;
+    std::size_t devices = 8;
+    std::uint64_t seed = 42;
+    sim::Time duration = 60 * sim::kSecond;
+
+    sim::Time motion_tick = 50 * sim::kMillisecond;
+    int obstacle_work = 16;     ///< Arithmetic iterations per tick.
+    double frame_rate_hz = 4.0; ///< Poisson frames per device.
+    std::uint64_t frame_bytes = 32 * 1024;
+
+    double uplink_bps = 20e6;
+    double downlink_bps = 50e6;
+    sim::Time propagation = 2 * sim::kMillisecond;  ///< Lookahead bound.
+
+    sim::Time crash_controller_at = 0;  ///< 0 = no failover episode.
+    fault::FaultPlan faults;            ///< Device crash/rejoin chaos.
+};
+
+/** Aggregated outcome; checksum is the byte-identity witness. */
+struct ShardedSwarmResult
+{
+    std::uint64_t checksum = 0;  ///< Devices in id order + controller.
+    core::SwarmController::Stats controller;
+    std::uint64_t frames_sent = 0;
+    std::uint64_t acks = 0;
+    std::uint64_t motion_ticks = 0;
+    std::uint64_t epochs = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t forwarded = 0;
+    fault::ShardChaosReport chaos;
+    double wall_s = 0.0;  ///< Host time inside run_until.
+};
+
+/** Run the swarm on @p config.shards shard kernels. */
+ShardedSwarmResult run_sharded_swarm(const ShardedSwarmConfig& config);
+
+}  // namespace hivemind::platform

@@ -191,40 +191,35 @@ install_arrivals(JobHarness& harness, Deployment& dep, const JobConfig& job,
     sim::Simulator& simulator = dep.simulator();
     if (job.pattern) {
         // Aggregate open-loop arrivals assigned to random devices.
-        auto gen = sim::recurring([&harness, &simulator, &job, &dep](
-                                      const std::function<void()>& self) {
-            if (simulator.now() >= job.duration)
-                return;
-            double rate = job.pattern->rate_at(simulator.now());
-            if (rate > 1e-9) {
-                std::size_t device =
-                    harness.arrivals.pick(dep.device_count());
-                harness.handle_task(device);
-            }
-            double next_rate = std::max(rate, 0.2);
-            simulator.schedule_in(
-                sim::from_seconds(harness.arrivals.exponential(
-                    1.0 / next_rate)),
-                self);
-        });
-        simulator.schedule_at(0, gen);
+        sim::recurring(
+            simulator, 0,
+            [&harness, &simulator, &job, &dep](const sim::Recur& self) {
+                if (simulator.now() >= job.duration)
+                    return;
+                double rate = job.pattern->rate_at(simulator.now());
+                if (rate > 1e-9) {
+                    std::size_t device =
+                        harness.arrivals.pick(dep.device_count());
+                    harness.handle_task(device);
+                }
+                double next_rate = std::max(rate, 0.2);
+                self.again_in(sim::from_seconds(
+                    harness.arrivals.exponential(1.0 / next_rate)));
+            });
     } else {
         // Independent per-device Poisson arrivals.
         double rate = app.task_rate_hz * job.load_scale;
         for (std::size_t d = 0; d < dep.device_count(); ++d) {
-            auto gen = sim::recurring([&harness, &simulator, &job, d, rate](
-                                          const std::function<void()>& self) {
-                if (simulator.now() >= job.duration)
-                    return;
-                harness.handle_task(d);
-                simulator.schedule_in(
-                    sim::from_seconds(
-                        harness.arrivals.exponential(1.0 / rate)),
-                    self);
-            });
-            simulator.schedule_in(
+            sim::recurring(
+                simulator,
                 sim::from_seconds(harness.arrivals.uniform(0.0, 1.0 / rate)),
-                gen);
+                [&harness, &simulator, &job, d, rate](const sim::Recur& self) {
+                    if (simulator.now() >= job.duration)
+                        return;
+                    harness.handle_task(d);
+                    self.again_in(sim::from_seconds(
+                        harness.arrivals.exponential(1.0 / rate)));
+                });
         }
     }
 

@@ -83,7 +83,9 @@ Simulator::wheel_insert_slow(Entry e, std::uint64_t tick)
             // Out-of-order arrivals for the cursor's own tick
             // accumulate unsorted in its bucket; wheel_peek sorts and
             // merges them in one batch (bulk pre-scheduling would be
-            // quadratic if each insert spliced the run directly).
+            // quadratic if each insert spliced the run directly). The
+            // staging epoch tells wheel_peek a re-merge is due.
+            ++stage_epoch_;
             levels_[0]
                 .buckets[static_cast<std::size_t>(tick & kBucketMask)]
                 .push_back(e);
@@ -149,6 +151,10 @@ Simulator::wheel_advance()
         const int j = next_bit(l0.occupied, idx0 + 1);
         if (j >= 0) {
             cur_tick_ += static_cast<std::uint64_t>(j - idx0);
+            // The cursor landed on an occupied bucket filled while it
+            // was a future tick (no epoch bump at insert): mark the
+            // staging epoch dirty so wheel_peek merges it.
+            ++stage_epoch_;
             return true;  // wheel_peek merges bucket j at the cursor.
         }
         // Level-0 lap exhausted: cascade the next occupied level-1
@@ -187,10 +193,13 @@ Simulator::wheel_peek_slow()
     while (true) {
         // Merge entries that accumulated in the cursor's own bucket
         // (scheduled for the current tick, possibly while the ready
-        // run was mid-consumption).
+        // run was mid-consumption). Guarded by the staging epoch: when
+        // nothing new arrived for the current tick since the last
+        // merge, the sort + inplace_merge is skipped entirely.
         Level& l0 = levels_[0];
         const std::uint64_t idx0 = cur_tick_ & kBucketMask;
-        if (l0.occupied[idx0 >> 6] & (std::uint64_t{1} << (idx0 & 63))) {
+        if (stage_epoch_ != staged_epoch_ &&
+            (l0.occupied[idx0 >> 6] & (std::uint64_t{1} << (idx0 & 63)))) {
             std::vector<Entry>& b =
                 l0.buckets[static_cast<std::size_t>(idx0)];
             std::sort(b.begin(), b.end(), EntryEarlier{});
@@ -206,6 +215,7 @@ Simulator::wheel_peek_slow()
             b.clear();
             l0.occupied[idx0 >> 6] &= ~(std::uint64_t{1} << (idx0 & 63));
         }
+        staged_epoch_ = stage_epoch_;  // Cursor bucket staged (or empty).
         while (ready_pos_ < ready_.size()) {
             const Entry& e = ready_[ready_pos_];
             if (slot_live(e.id))

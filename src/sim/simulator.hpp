@@ -81,6 +81,9 @@ struct KernelConfig
 class Simulator
 {
   public:
+    /** Sentinel returned by next_time() when no live event is pending. */
+    static constexpr Time kNever = INT64_MAX;
+
     Simulator() = default;
     explicit Simulator(const KernelConfig& config) : config_(config) {}
 
@@ -89,6 +92,26 @@ class Simulator
 
     /** Current simulated time. */
     Time now() const { return now_; }
+
+    /**
+     * Timestamp of the earliest pending live event, or kNever.
+     *
+     * Non-const because peeking lazily drops cancelled tombstones and
+     * stages wheel buckets. This is the primitive the sharded
+     * SwarmRuntime uses to compute conservative lookahead windows.
+     */
+    Time next_time()
+    {
+        const Entry* w = config_.use_timer_wheel ? wheel_peek() : nullptr;
+        const Entry* h = heap_peek();
+        if (w && h)
+            return entry_earlier(*w, *h) ? w->when : h->when;
+        if (w)
+            return w->when;
+        if (h)
+            return h->when;
+        return kNever;
+    }
 
     /**
      * Schedule @p fn to run at absolute time @p when.
@@ -146,6 +169,36 @@ class Simulator
     {
         return schedule_at(now_ + (delay < 0 ? 0 : delay),
                            std::forward<F>(f));
+    }
+
+    /**
+     * Re-arm the currently executing callback to run again at @p when.
+     *
+     * Only valid from inside an event callback. The running closure is
+     * relocated into a fresh slab slot (an inline buffer copy or a
+     * heap-cell pointer steal — never a new allocation), so recurring
+     * tasks re-arm with zero per-tick heap traffic. After the call the
+     * callback's captures may have been moved from: for closures whose
+     * captures are not trivially relocatable, rearm_at() must be the
+     * last statement that touches them.
+     *
+     * @return the new EventId, or 0 when no callback is executing (or
+     *         the running closure was already re-armed this tick).
+     */
+    EventId rearm_at(Time when)
+    {
+        if (!running_ || !*running_)
+            return 0;
+        const bool to_heap = pick_lane(when);
+        const EventId id = alloc_slot(std::move(*running_), to_heap);
+        commit_entry(when, id, to_heap);
+        return id;
+    }
+
+    /** Delay-relative rearm_at(). */
+    EventId rearm_in(Time delay)
+    {
+        return rearm_at(now_ + (delay < 0 ? 0 : delay));
     }
 
     /**
@@ -276,6 +329,7 @@ class Simulator
             // a heap-only stretch advanced now_ past the cursor.
             ready_.clear();
             ready_pos_ = 0;
+            staged_epoch_ = stage_epoch_;  // Empty wheel: nothing to stage.
             const std::uint64_t now_tick =
                 static_cast<std::uint64_t>(now_) >> kGranularityBits;
             if (now_tick > cur_tick_)
@@ -404,12 +458,11 @@ class Simulator
     /** Live wheel head (sorted ready run), advancing as needed. */
     const Entry* wheel_peek()
     {
-        // Fast path: nothing staged in the cursor's own bucket and
-        // the head of the ready run is live.
-        const std::uint64_t idx0 = cur_tick_ & kBucketMask;
-        if (!(levels_[0].occupied[idx0 >> 6] &
-              (std::uint64_t{1} << (idx0 & 63))) &&
-            ready_pos_ < ready_.size()) {
+        // Fast path: the per-tick staging epoch says nothing new
+        // arrived for the cursor's tick since the last merge (one
+        // counter compare, no occupancy-bitmap probe) and the head of
+        // the ready run is live.
+        if (stage_epoch_ == staged_epoch_ && ready_pos_ < ready_.size()) {
             const Entry& e = ready_[ready_pos_];
             if (slot_live(e.id))
                 return &e;
@@ -496,8 +549,11 @@ class Simulator
         now_ = e.when;
         InlineFn fn = std::move(slots_[slot_of(e.id)].fn);
         release_slot(slot_of(e.id));
-        if (fn)
+        if (fn) {
+            running_ = &fn;
             fn();
+            running_ = nullptr;
+        }
         ++executed_;
         return true;
     }
@@ -528,6 +584,18 @@ class Simulator
     /** Entries in ready_ + buckets, including cancelled ones. */
     std::size_t wheel_count_ = 0;
     std::size_t wheel_dead_ = 0;
+    /**
+     * Per-tick staging epochs: stage_epoch_ bumps whenever entries
+     * land in (or the cursor moves onto) an occupied cursor bucket;
+     * staged_epoch_ records the value at the last ready-run merge.
+     * Equal epochs mean wheel_peek can skip the bucket probe and the
+     * re-sort entirely — nothing new arrived for the current tick.
+     */
+    std::uint64_t stage_epoch_ = 0;
+    std::uint64_t staged_epoch_ = 0;
+
+    /** Closure currently executing (for rearm_at), else nullptr. */
+    InlineFn* running_ = nullptr;
 
 #ifdef HM_KERNEL_SHADOW
   public:
@@ -536,30 +604,74 @@ class Simulator
 };
 
 /**
- * Wrap @p body as a self-rescheduling task.
+ * Re-arm handle passed to recurring() bodies.
  *
- * @p body receives a `self` callable; handing `self` back to
- * schedule_in()/schedule_at() re-arms the task for another round.
- * Pending events hold the only strong references to the underlying
- * state — the stored callable refers to itself weakly — so the chain
- * frees itself as soon as an invocation returns without rescheduling.
- * (The naive `make_shared<std::function>` self-capture idiom keeps a
- * strong cycle alive forever; LeakSanitizer flags it.)
+ * Calling again_in()/again_at() relocates the running closure into a
+ * fresh slab slot (Simulator::rearm_at), so a recurring task re-arms
+ * with no per-tick heap allocation: small bodies stay inline in the
+ * slot, oversized bodies keep reusing the single heap cell allocated
+ * when the chain started. Not re-arming ends the chain — the closure
+ * (and its captures) are destroyed when the invocation returns, which
+ * is what frees the state the old shared_ptr-based recurring() leaked
+ * behind strong self-cycles.
+ *
+ * Because re-arming moves the closure, again_*() must be the last
+ * statement of the body that touches its captures.
+ */
+class Recur
+{
+  public:
+    explicit Recur(Simulator& simulator) : simulator_(&simulator) {}
+
+    /** Run this body again @p delay after now. */
+    EventId again_in(Time delay) const { return simulator_->rearm_in(delay); }
+
+    /** Run this body again at absolute time @p when. */
+    EventId again_at(Time when) const { return simulator_->rearm_at(when); }
+
+    /** The kernel this task runs on. */
+    Simulator& sim() const { return *simulator_; }
+
+    /** Current simulated time (shorthand for sim().now()). */
+    Time now() const { return simulator_->now(); }
+
+  private:
+    Simulator* simulator_;
+};
+
+namespace detail {
+
+/** The slab-resident wrapper recurring() schedules. */
+template <typename Body>
+struct RecurringTask
+{
+    Simulator* simulator;
+    Body body;
+
+    void operator()() { body(Recur{*simulator}); }
+};
+
+}  // namespace detail
+
+/**
+ * Schedule @p body as a self-rescheduling task, first run after
+ * @p first_delay.
+ *
+ * @p body is `void(const Recur&)`; calling `self.again_in(dt)` (or
+ * again_at) re-arms it for another round, returning without re-arming
+ * ends the chain and frees the captures. The body lives directly in
+ * the event-kernel slab slot and re-arms by relocation, so steady-state
+ * ticking allocates nothing.
+ *
+ * @return the EventId of the first arming (cancellable like any event;
+ *         later re-armings produce fresh ids returned by again_*()).
  */
 template <typename Body>
-std::function<void()> recurring(Body body)
+EventId recurring(Simulator& simulator, Time first_delay, Body body)
 {
-    struct State
-    {
-        std::function<void()> tick;
-    };
-    auto state = std::make_shared<State>();
-    state->tick = [weak = std::weak_ptr<State>(state),
-                   body = std::move(body)]() mutable {
-        if (auto self = weak.lock())
-            body(std::function<void()>([self]() { self->tick(); }));
-    };
-    return [state]() { state->tick(); };
+    return simulator.schedule_in(
+        first_delay,
+        detail::RecurringTask<Body>{&simulator, std::move(body)});
 }
 
 }  // namespace hivemind::sim

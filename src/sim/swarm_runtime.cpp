@@ -1,0 +1,165 @@
+#include "sim/swarm_runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace hivemind::sim {
+
+SwarmRuntime::SwarmRuntime(int shards, const KernelConfig& config)
+{
+    assert(shards >= 1);
+    sims_.reserve(static_cast<std::size_t>(shards));
+    for (int i = 0; i < shards; ++i)
+        sims_.push_back(std::make_unique<Simulator>(config));
+    mail_.resize(static_cast<std::size_t>(shards) *
+                 static_cast<std::size_t>(shards));
+    if (shards > 1) {
+        start_ = std::make_unique<std::barrier<>>(shards);
+        finish_ = std::make_unique<std::barrier<>>(shards);
+        threads_.reserve(static_cast<std::size_t>(shards) - 1);
+        for (int i = 1; i < shards; ++i)
+            threads_.emplace_back([this, i] { worker(i); });
+    }
+}
+
+SwarmRuntime::~SwarmRuntime()
+{
+    if (!threads_.empty()) {
+        quit_ = true;
+        start_->arrive_and_wait();  // Release workers into the quit check.
+        threads_.clear();           // jthread joins.
+    }
+}
+
+void
+SwarmRuntime::worker(int i)
+{
+    for (;;) {
+        start_->arrive_and_wait();
+        if (quit_)
+            return;
+        sims_[static_cast<std::size_t>(i)]->run_until(window_);
+        finish_->arrive_and_wait();
+    }
+}
+
+void
+SwarmRuntime::declare_channel(int src, int dst, Time min_latency)
+{
+    (void)src;
+    (void)dst;
+    assert(min_latency >= 1);
+    lookahead_ = std::min(lookahead_, min_latency);
+}
+
+void
+SwarmRuntime::post(int src, int dst, Time when, std::uint64_t origin,
+                   InlineFn fn)
+{
+    Envelope e;
+    e.when = when;
+    e.origin = origin;
+    e.fn = std::move(fn);
+    mail_[static_cast<std::size_t>(src) * sims_.size() +
+          static_cast<std::size_t>(dst)]
+        .push_back(std::move(e));
+}
+
+std::uint64_t
+SwarmRuntime::drain(Time window)
+{
+    const std::size_t n = sims_.size();
+    std::uint64_t forwarded = 0;
+    for (std::size_t dst = 0; dst < n; ++dst) {
+        merge_.clear();
+        for (std::size_t src = 0; src < n; ++src) {
+            auto& box = mail_[src * n + dst];
+            for (Envelope& e : box)
+                merge_.push_back(std::move(e));
+            box.clear();
+        }
+        if (merge_.empty())
+            continue;
+        // Stable by (when, origin): per-actor FIFO survives (an
+        // actor's posts all sit in one mailbox, in post order), and
+        // the key does not depend on which shard the actor lives on,
+        // so the delivery order is invariant across shard counts.
+        std::stable_sort(merge_.begin(), merge_.end(),
+                         [](const Envelope& a, const Envelope& b) {
+                             return a.when != b.when ? a.when < b.when
+                                                     : a.origin < b.origin;
+                         });
+        Simulator& s = *sims_[dst];
+        for (Envelope& e : merge_) {
+            // Conservative-sync contract: the channel latency keeps
+            // every delivery strictly beyond the window just run.
+            assert(e.when > window);
+            (void)window;
+            s.schedule_at(e.when, std::move(e.fn));
+            ++forwarded;
+        }
+    }
+    return forwarded;
+}
+
+SwarmRuntime::Report
+SwarmRuntime::run_until(Time until)
+{
+    Report report;
+    std::uint64_t before = 0;
+    for (const auto& s : sims_)
+        before += s->executed();
+
+    // Mail posted before the run (wiring-time registrations, initial
+    // assignments) must become shard events before the first window
+    // is computed, or the window could leap past their delivery times.
+    report.forwarded += drain(-1);
+
+    for (;;) {
+        Time h = Simulator::kNever;
+        for (const auto& s : sims_)
+            h = std::min(h, s->next_time());
+        if (h == Simulator::kNever || h > until)
+            break;
+
+        Time window = until;
+        if (lookahead_ != Simulator::kNever) {
+            const Time slack = lookahead_ - 1;
+            window = (h > Simulator::kNever - slack) ? Simulator::kNever
+                                                     : h + slack;
+            window = std::min(window, until);
+        }
+
+        if (threads_.empty()) {
+            sims_[0]->run_until(window);
+        } else {
+            window_ = window;
+            start_->arrive_and_wait();
+            sims_[0]->run_until(window);
+            finish_->arrive_and_wait();
+        }
+        ++report.epochs;
+        report.horizon = window;
+        report.forwarded += drain(window);
+    }
+
+    std::uint64_t after = 0;
+    for (const auto& s : sims_)
+        after += s->executed();
+    report.executed = after - before;
+    return report;
+}
+
+std::size_t
+SwarmRuntime::pending() const
+{
+    std::size_t n = 0;
+    for (const auto& s : sims_)
+        n += s->pending();
+    for (const auto& box : mail_)
+        n += box.size();
+    return n;
+}
+
+}  // namespace hivemind::sim

@@ -1,0 +1,138 @@
+#pragma once
+
+/**
+ * @file
+ * Sharded simulation runtime: conservative parallel discrete-event
+ * execution over N Simulator shards.
+ *
+ * The SwarmRuntime partitions a swarm across shard kernels and runs
+ * them on separate threads using epoch-based conservative
+ * synchronization (the classic null-message/lookahead discipline, in
+ * barrier form):
+ *
+ *  - Every cross-shard interaction goes through a *channel* with a
+ *    declared minimum latency L >= 1 tick. The global lookahead is
+ *    the minimum over all declared channels.
+ *  - Each epoch computes H = min over shards of next_time() and the
+ *    window W = min(until, H + lookahead - 1). Every shard may run
+ *    events with when <= W without any cross-shard information: a
+ *    message sent at time t >= H arrives no earlier than t + L > W.
+ *  - Shards run run_until(W) in parallel (shard 0 on the caller's
+ *    thread, shards 1..N-1 on persistent worker threads bracketed by
+ *    two std::barrier phases). Messages sent during the epoch land in
+ *    per-(src,dst) mailboxes that only the source shard's thread
+ *    writes; the coordinator drains them between epochs, so no locks
+ *    are needed on the hot path.
+ *  - At the barrier, each destination's envelopes are stable-sorted
+ *    by (delivery time, origin actor) and scheduled in that order.
+ *
+ * Determinism across shard counts: the epoch sequence depends only on
+ * the global event horizon and the declared lookahead — neither
+ * changes with N — and the merge key (when, origin) is independent of
+ * which shard an actor landed on. Provided actors interact *only*
+ * through post() (including same-shard neighbours), a run is
+ * byte-identical for any shard count, N=1 included.
+ */
+
+#include <barrier>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/inline_fn.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace hivemind::sim {
+
+/** Coordinates N Simulator shards under conservative epoch sync. */
+class SwarmRuntime
+{
+  public:
+    /** One cross-shard message awaiting delivery. */
+    struct Envelope
+    {
+        Time when = 0;              ///< Absolute delivery time.
+        std::uint64_t origin = 0;   ///< Sending actor (merge tiebreak).
+        InlineFn fn;                ///< Runs on the destination shard.
+    };
+
+    /** What one run_until() call did. */
+    struct Report
+    {
+        std::uint64_t epochs = 0;     ///< Barrier rounds executed.
+        std::uint64_t executed = 0;   ///< Events run across all shards.
+        std::uint64_t forwarded = 0;  ///< Envelopes delivered.
+        Time horizon = 0;             ///< Last window upper bound.
+    };
+
+    explicit SwarmRuntime(int shards, const KernelConfig& config = {});
+    ~SwarmRuntime();
+
+    SwarmRuntime(const SwarmRuntime&) = delete;
+    SwarmRuntime& operator=(const SwarmRuntime&) = delete;
+
+    int shards() const { return static_cast<int>(sims_.size()); }
+
+    /** The shard kernels. Schedule shard-local work directly on them. */
+    Simulator& shard(int i) { return *sims_[static_cast<std::size_t>(i)]; }
+
+    /** Default round-robin owner for an actor id. */
+    int owner_of(std::uint64_t actor) const
+    {
+        return static_cast<int>(actor % sims_.size());
+    }
+
+    /**
+     * Declare a channel between two shards (src == dst allowed — and
+     * required for shard-count invariance, so that the lookahead does
+     * not depend on how actors happen to be partitioned). Every post
+     * on the channel must add at least @p min_latency to the sending
+     * shard's current time. Tightens the global lookahead.
+     */
+    void declare_channel(int src, int dst, Time min_latency);
+
+    /** Minimum declared channel latency (kNever if none declared). */
+    Time lookahead() const { return lookahead_; }
+
+    /**
+     * Send @p fn to run on shard @p dst at absolute time @p when.
+     * Must be called from @p src's thread (shard 0 = the coordinator
+     * thread) during an epoch or before run_until(). @p when must
+     * respect the declared channel latency; the drain step enforces
+     * that it lands strictly beyond the current window.
+     */
+    void post(int src, int dst, Time when, std::uint64_t origin,
+              InlineFn fn);
+
+    /**
+     * Run every shard up to @p until (inclusive) in lookahead-bounded
+     * epochs, delivering cross-shard envelopes at each barrier.
+     * Returns once no shard holds an event at or before @p until.
+     */
+    Report run_until(Time until);
+
+    /** Sum of pending events across shards (between epochs only). */
+    std::size_t pending() const;
+
+  private:
+    void worker(int i);
+    /** Deliver all mailboxes; returns envelopes forwarded. */
+    std::uint64_t drain(Time window);
+
+    std::vector<std::unique_ptr<Simulator>> sims_;
+    /// mail_[src * N + dst]: written only by src's thread in-epoch.
+    std::vector<std::vector<Envelope>> mail_;
+    std::vector<Envelope> merge_;  ///< Drain scratch, one dst at a time.
+    Time lookahead_ = Simulator::kNever;
+
+    // Parallel machinery (absent for N == 1).
+    std::vector<std::jthread> threads_;
+    std::unique_ptr<std::barrier<>> start_;
+    std::unique_ptr<std::barrier<>> finish_;
+    Time window_ = 0;    ///< Set by coordinator before the start barrier.
+    bool quit_ = false;  ///< Read by workers after the start barrier.
+};
+
+}  // namespace hivemind::sim

@@ -22,6 +22,7 @@
 #include "platform/metrics.hpp"
 #include "platform/options.hpp"
 #include "platform/scenario.hpp"
+#include "platform/sharded_swarm.hpp"
 
 namespace {
 
@@ -154,5 +155,37 @@ INSTANTIATE_TEST_SUITE_P(
         std::tuple<const char*, sim::Time>{"hivemind",
                                            60 * sim::kSecond},
         std::tuple<const char*, sim::Time>{"centralized", 0}));
+
+/**
+ * The sharded runtime extends the contract across kernels: a
+ * fig01-style swarm on the SwarmRuntime produces the same checksum at
+ * shard counts {1, 2, 4} — including a mid-run device crash whose
+ * owner shard changes with N, and a controller failover whose
+ * re-registration wave crosses every shard boundary. The deeper
+ * shard_test.cpp suite varies the chaos; this is the byte-identity
+ * gate next to the single-kernel one above.
+ */
+TEST(ShardDeterminismTest, ShardCountDoesNotChangeTheRun)
+{
+    auto cfg = [](int shards) {
+        platform::ShardedSwarmConfig c;
+        c.shards = shards;
+        c.devices = 8;
+        c.seed = 42;
+        c.duration = 30 * sim::kSecond;
+        c.faults.device_crash(6 * sim::kSecond, 2, 8 * sim::kSecond);
+        c.crash_controller_at = 15 * sim::kSecond;
+        return c;
+    };
+    platform::ShardedSwarmResult one = platform::run_sharded_swarm(cfg(1));
+    platform::ShardedSwarmResult two = platform::run_sharded_swarm(cfg(2));
+    platform::ShardedSwarmResult four = platform::run_sharded_swarm(cfg(4));
+    EXPECT_EQ(two.checksum, one.checksum);
+    EXPECT_EQ(four.checksum, one.checksum);
+    EXPECT_EQ(two.epochs, one.epochs);
+    EXPECT_EQ(four.epochs, one.epochs);
+    EXPECT_GE(one.controller.failures, 1u);
+    EXPECT_GT(one.controller.dropped, 0u);
+}
 
 }  // namespace

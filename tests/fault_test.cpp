@@ -261,14 +261,13 @@ TEST(ChaosEngine, CrashRejoinDetectedAndRegionRestored)
 
     // 1 Hz heartbeats from every non-failed device.
     for (std::size_t d = 0; d < kDevices; ++d) {
-        auto beat = sim::recurring([&, d](const std::function<void()>& self) {
+        sim::recurring(s, sim::kSecond, [&, d](const sim::Recur& self) {
             if (s.now() > 30 * sim::kSecond)
                 return;
             if (!failed[d])
                 detector.beat(d);
-            s.schedule_in(sim::kSecond, self);
+            self.again_in(sim::kSecond);
         });
-        s.schedule_in(sim::kSecond, beat);
     }
 
     chaos.start();
@@ -316,14 +315,13 @@ TEST(ChaosEngine, PermanentCrashClosesIncidentAtRepartition)
     });
     detector.start();
     for (std::size_t d = 0; d < 2; ++d) {
-        auto beat = sim::recurring([&, d](const std::function<void()>& self) {
+        sim::recurring(s, sim::kSecond, [&, d](const sim::Recur& self) {
             if (s.now() > 15 * sim::kSecond)
                 return;
             if (!failed[d])
                 detector.beat(d);
-            s.schedule_in(sim::kSecond, self);
+            self.again_in(sim::kSecond);
         });
-        s.schedule_in(sim::kSecond, beat);
     }
     chaos.start();
     s.run_until(16 * sim::kSecond);

@@ -339,14 +339,13 @@ TEST(Controller, EnableHaFailoverRestoresAndTraces)
     ctrl.start();
     // Healthy fleet: every device heartbeats so the failure detector
     // never empties the partition underneath the failover.
-    auto beats = sim::recurring([&](const std::function<void()>& self) {
+    sim::recurring(s, sim::kSecond, [&](const sim::Recur& self) {
         if (s.now() > 19 * sim::kSecond)
             return;
         for (std::size_t d = 0; d < 4; ++d)
             ctrl.heartbeat(d);
-        s.schedule_in(sim::kSecond, self);
+        self.again_in(sim::kSecond);
     });
-    s.schedule_in(sim::kSecond, beats);
     s.schedule_at(7 * sim::kSecond, [&]() { ctrl.ha()->crash_active(); });
     s.run_until(20 * sim::kSecond);
     ctrl.stop();

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Sharded runtime tests: conservative window math, deterministic
+ * mailbox merge, N=1 reduction, cross-shard links, fault routing, and
+ * the headline property — a swarm run's checksum is byte-identical
+ * for shard counts {1, 2, 4}, chaos and controller failover included.
+ *
+ * Set HIVEMIND_SHARDS to fold an extra shard count into the
+ * invariance sweep (the CI HIVEMIND_SHARDS=4 leg does).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fault/shard_chaos.hpp"
+#include "net/shard_link.hpp"
+#include "platform/sharded_swarm.hpp"
+#include "sim/swarm_runtime.hpp"
+
+namespace {
+
+using namespace hivemind;
+
+TEST(SwarmRuntimeTest, SingleShardRunsLikeASimulator)
+{
+    sim::SwarmRuntime rt(1);
+    std::vector<int> order;
+    rt.shard(0).schedule_at(20, [&] { order.push_back(2); });
+    rt.shard(0).schedule_at(10, [&] { order.push_back(1); });
+    rt.shard(0).schedule_at(30, [&] { order.push_back(3); });
+    sim::SwarmRuntime::Report r = rt.run_until(25);
+    EXPECT_EQ(r.executed, 2u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    rt.run_until(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(rt.pending(), 0u);
+}
+
+TEST(SwarmRuntimeTest, LookaheadIsMinDeclaredChannelLatency)
+{
+    sim::SwarmRuntime rt(2);
+    EXPECT_EQ(rt.lookahead(), sim::Simulator::kNever);
+    rt.declare_channel(0, 1, 50);
+    rt.declare_channel(1, 0, 20);
+    rt.declare_channel(0, 0, 80);
+    EXPECT_EQ(rt.lookahead(), 20);
+}
+
+TEST(SwarmRuntimeTest, WindowBoundsEpochCount)
+{
+    sim::SwarmRuntime rt(2);
+    rt.declare_channel(0, 1, 10);
+    // Events at 0, 10, 20 on shard 0: with lookahead 10 the windows
+    // are [0,9], [10,19], [20,29] — three epochs, one event each.
+    int fired = 0;
+    for (sim::Time t : {0, 10, 20})
+        rt.shard(0).schedule_at(t, [&] { ++fired; });
+    sim::SwarmRuntime::Report r = rt.run_until(100);
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(r.epochs, 3u);
+    EXPECT_EQ(r.executed, 3u);
+}
+
+TEST(SwarmRuntimeTest, PostDeliversAcrossShards)
+{
+    sim::SwarmRuntime rt(2);
+    rt.declare_channel(0, 1, 5);
+    std::vector<int> seen;
+    rt.shard(0).schedule_at(10, [&rt, &seen] {
+        rt.post(0, 1, 15, 7, sim::InlineFn([&seen] { seen.push_back(1); }));
+    });
+    sim::SwarmRuntime::Report r = rt.run_until(50);
+    EXPECT_EQ(seen, std::vector<int>{1});
+    EXPECT_EQ(r.forwarded, 1u);
+    EXPECT_EQ(rt.shard(1).now(), 15);
+}
+
+TEST(SwarmRuntimeTest, MergeOrdersByTimeThenOrigin)
+{
+    // Same delivery time from two senders: the lower origin id runs
+    // first regardless of posting order or source shard.
+    sim::SwarmRuntime rt(3);
+    rt.declare_channel(0, 2, 5);
+    rt.declare_channel(1, 2, 5);
+    std::vector<int> seen;
+    rt.shard(1).schedule_at(1, [&rt, &seen] {
+        rt.post(1, 2, 10, 9, sim::InlineFn([&seen] { seen.push_back(9); }));
+        rt.post(1, 2, 10, 3, sim::InlineFn([&seen] { seen.push_back(3); }));
+    });
+    rt.shard(0).schedule_at(1, [&rt, &seen] {
+        rt.post(0, 2, 10, 5, sim::InlineFn([&seen] { seen.push_back(5); }));
+        rt.post(0, 2, 12, 1, sim::InlineFn([&seen] { seen.push_back(1); }));
+    });
+    rt.run_until(50);
+    EXPECT_EQ(seen, (std::vector<int>{3, 5, 9, 1}));
+}
+
+TEST(SwarmRuntimeTest, PreRunMailIsDrainedBeforeFirstWindow)
+{
+    // Mail posted before run_until() must not be outrun by the first
+    // epoch window, even when the first shard event is far away.
+    sim::SwarmRuntime rt(2);
+    rt.declare_channel(0, 1, 1000);
+    std::vector<int> seen;
+    rt.post(0, 1, 5, 1, sim::InlineFn([&seen] { seen.push_back(5); }));
+    rt.shard(1).schedule_at(2000, [&seen] { seen.push_back(2000); });
+    rt.run_until(5000);
+    EXPECT_EQ(seen, (std::vector<int>{5, 2000}));
+}
+
+TEST(ShardLinkTest, SerializesFifoAndDeclaresChannel)
+{
+    sim::SwarmRuntime rt(2);
+    // 8 Mbps, 1 ms propagation: 1000 bytes serialize in 1 ms.
+    net::ShardLink link(rt, 0, 1, 42, 8e6, sim::kMillisecond);
+    EXPECT_EQ(rt.lookahead(), sim::kMillisecond);
+    std::vector<sim::Time> arrivals;
+    sim::Time a1 = link.transfer(1000, sim::InlineFn(nullptr));
+    sim::Time a2 = link.transfer(1000, sim::InlineFn(nullptr));
+    // Second transfer queues behind the first: one extra serialization.
+    EXPECT_EQ(a1, 2 * sim::kMillisecond);
+    EXPECT_EQ(a2, 3 * sim::kMillisecond);
+    EXPECT_EQ(link.bytes_total(), 2000u);
+}
+
+TEST(ShardChaosTest, RoutesDeviceAndControllerFaults)
+{
+    sim::SwarmRuntime rt(2);
+    rt.declare_channel(0, 1, 1);
+    fault::FaultPlan plan;
+    plan.device_crash(10, 1, 5);  // Device 1 -> shard 1; back at 15.
+    plan.controller_crash(20);
+    plan.link_burst(30, 5, 0.9);  // No sharded model: counted.
+    std::vector<std::string> log;
+    fault::ShardChaosHooks hooks;
+    hooks.crash_device = [&](std::size_t d) {
+        log.push_back("crash" + std::to_string(d));
+    };
+    hooks.rejoin_device = [&](std::size_t d) {
+        log.push_back("rejoin" + std::to_string(d));
+    };
+    hooks.crash_controller = [&] { log.push_back("ctrl-down"); };
+    hooks.recover_controller = [&] { log.push_back("ctrl-up"); };
+    fault::ShardChaosReport rep = fault::route_plan(
+        rt, plan, [&rt](std::size_t d) { return rt.owner_of(d); }, hooks);
+    EXPECT_EQ(rep.routed, 2u);
+    EXPECT_EQ(rep.unsupported, 1u);
+    rt.run_until(100 * sim::kSecond);
+    ASSERT_EQ(log.size(), 4u);
+    EXPECT_EQ(log[0], "crash1");
+    EXPECT_EQ(log[1], "rejoin1");
+    EXPECT_EQ(log[2], "ctrl-down");
+    EXPECT_EQ(log[3], "ctrl-up");
+}
+
+platform::ShardedSwarmConfig
+swarm_config(int shards)
+{
+    platform::ShardedSwarmConfig cfg;
+    cfg.shards = shards;
+    cfg.devices = 8;
+    cfg.seed = 42;
+    cfg.duration = 20 * sim::kSecond;
+    return cfg;
+}
+
+TEST(ShardedSwarmTest, RunsAndMeasures)
+{
+    platform::ShardedSwarmResult r =
+        platform::run_sharded_swarm(swarm_config(2));
+    EXPECT_GT(r.motion_ticks, 0u);
+    EXPECT_GT(r.frames_sent, 0u);
+    EXPECT_GT(r.acks, 0u);
+    EXPECT_GT(r.controller.beats, 0u);
+    EXPECT_GE(r.controller.registers, 8u);
+    EXPECT_GT(r.epochs, 0u);
+    EXPECT_GT(r.forwarded, 0u);
+    // Every ack answers a frame the controller actually processed.
+    EXPECT_LE(r.acks, r.controller.frames);
+}
+
+TEST(ShardedSwarmTest, SameSeedSameShardsIsByteIdentical)
+{
+    platform::ShardedSwarmResult a =
+        platform::run_sharded_swarm(swarm_config(2));
+    platform::ShardedSwarmResult b =
+        platform::run_sharded_swarm(swarm_config(2));
+    EXPECT_EQ(a.checksum, b.checksum);
+}
+
+/** Shard counts exercised by the invariance sweep. */
+std::vector<int>
+shard_counts()
+{
+    std::vector<int> counts = {1, 2, 4};
+    if (const char* env = std::getenv("HIVEMIND_SHARDS")) {
+        int extra = std::atoi(env);
+        if (extra >= 1 &&
+            std::find(counts.begin(), counts.end(), extra) == counts.end())
+            counts.push_back(extra);
+    }
+    return counts;
+}
+
+TEST(ShardedSwarmTest, ChecksumInvariantAcrossShardCounts)
+{
+    platform::ShardedSwarmResult ref =
+        platform::run_sharded_swarm(swarm_config(1));
+    for (int n : shard_counts()) {
+        platform::ShardedSwarmResult r =
+            platform::run_sharded_swarm(swarm_config(n));
+        EXPECT_EQ(r.checksum, ref.checksum) << "shards=" << n;
+        EXPECT_EQ(r.frames_sent, ref.frames_sent) << "shards=" << n;
+        EXPECT_EQ(r.acks, ref.acks) << "shards=" << n;
+        EXPECT_EQ(r.motion_ticks, ref.motion_ticks) << "shards=" << n;
+        EXPECT_EQ(r.epochs, ref.epochs) << "shards=" << n;
+    }
+}
+
+TEST(ShardedSwarmTest, InvariantUnderDeviceCrashAcrossShardBoundary)
+{
+    // Device 3 lives on shard 3 of 4, shard 1 of 2, shard 0 of 1: the
+    // crash and its rejoin cross shard boundaries as N varies.
+    auto cfg = [](int shards) {
+        platform::ShardedSwarmConfig c = swarm_config(shards);
+        c.faults.device_crash(6 * sim::kSecond, 3, 5 * sim::kSecond);
+        return c;
+    };
+    platform::ShardedSwarmResult ref = platform::run_sharded_swarm(cfg(1));
+    EXPECT_GE(ref.controller.failures, 1u);
+    EXPECT_GE(ref.controller.recoveries, 1u);
+    for (int n : shard_counts()) {
+        platform::ShardedSwarmResult r = platform::run_sharded_swarm(cfg(n));
+        EXPECT_EQ(r.checksum, ref.checksum) << "shards=" << n;
+    }
+}
+
+TEST(ShardedSwarmTest, InvariantUnderControllerFailover)
+{
+    auto cfg = [](int shards) {
+        platform::ShardedSwarmConfig c = swarm_config(shards);
+        c.crash_controller_at = 8 * sim::kSecond;
+        return c;
+    };
+    platform::ShardedSwarmResult ref = platform::run_sharded_swarm(cfg(1));
+    EXPECT_GT(ref.controller.dropped, 0u);  // The outage was real.
+    EXPECT_GE(ref.controller.registers, 16u);  // Everyone re-registered.
+    for (int n : shard_counts()) {
+        platform::ShardedSwarmResult r = platform::run_sharded_swarm(cfg(n));
+        EXPECT_EQ(r.checksum, ref.checksum) << "shards=" << n;
+    }
+}
+
+}  // namespace

@@ -134,18 +134,17 @@ TEST(Simulator, RecurringTaskReschedulesItselfAndStops)
 {
     Simulator s;
     int ticks = 0;
-    auto task = recurring([&](const std::function<void()>& self) {
+    recurring(s, 0, [&](const Recur& self) {
         ++ticks;
         if (ticks < 5)
-            s.schedule_in(10, self);
+            self.again_in(10);
     });
-    s.schedule_at(0, task);
     s.run();
     EXPECT_EQ(ticks, 5);
     EXPECT_EQ(s.now(), 40);
-    // The chain released its state: re-arming the original handle
-    // still works (it holds its own strong reference).
-    s.schedule_in(10, task);
+    EXPECT_EQ(s.pending(), 0u);  // The chain released its slab slot.
+    // A fresh chain starts cleanly on the same kernel.
+    recurring(s, 10, [&](const Recur&) { ++ticks; });
     s.run();
     EXPECT_EQ(ticks, 6);
 }
@@ -263,12 +262,11 @@ class WheelDeterminismProperty : public ::testing::TestWithParam<int>
         std::vector<TraceRecord> trace;
         std::vector<EventId> cancellable;
         int tag = 0;
-        auto chain = recurring([&](const std::function<void()>& self) {
+        recurring(s, 0, [&](const Recur& self) {
             trace.push_back({s.now(), -1});
             if (s.now() < 2 * kSecond)
-                s.schedule_in(3 * kMillisecond, self);
+                self.again_in(3 * kMillisecond);
         });
-        s.schedule_at(0, chain);
         for (int i = 0; i < 2000; ++i) {
             // Spread across wheel ticks, lap boundaries and the heap
             // horizon so every lane and cascade path is exercised.
@@ -369,12 +367,11 @@ TEST(Simulator, RecurringShortTimersInterleaveWithFarEvents)
     // far-future one-shots (heap lane) must merge in time order.
     Simulator s;
     std::vector<Time> beats;
-    auto beat = recurring([&](const std::function<void()>& self) {
+    recurring(s, 0, [&](const Recur& self) {
         beats.push_back(s.now());
         if (beats.size() < 50)
-            s.schedule_in(kSecond, self);
+            self.again_in(kSecond);
     });
-    s.schedule_at(0, beat);
     bool far_ran = false;
     s.schedule_at(20 * kSecond + 1, [&] {
         far_ran = true;
