@@ -64,59 +64,80 @@ main()
                  "S1 under function failures: Restore policy comparison");
     std::printf("%-12s %-12s %10s %10s %10s %10s\n", "fault rate",
                 "policy", "p50 (ms)", "p99 (ms)", "lost", "faults");
+    struct Cell
+    {
+        const char* name;
+        cloud::FaultRecovery policy;
+        double rate;
+    };
+    std::vector<Cell> cells;
     for (double rate : {0.1, 0.3, 0.5}) {
         for (auto [name, policy] :
              {std::pair{"None", cloud::FaultRecovery::None},
               std::pair{"Respawn", cloud::FaultRecovery::Respawn},
               std::pair{"Checkpoint", cloud::FaultRecovery::Checkpoint}}) {
-            Result r = run_policy(policy, rate);
-            char rl[16];
-            std::snprintf(rl, sizeof(rl), "%.0f%%", rate * 100.0);
-            std::printf("%-12s %-12s %10.0f %10.0f %10llu %10llu\n",
-                        rl, name,
-                        1000.0 * r.latency.median(),
-                        1000.0 * r.latency.p99(),
-                        static_cast<unsigned long long>(r.lost),
-                        static_cast<unsigned long long>(r.faults));
+            cells.push_back({name, policy, rate});
         }
+    }
+    // Every (rate, policy) cell is an independent simulation: run the
+    // grid on the run_sweep() pool, print in point order.
+    std::vector<Result> grid = run_sweep(cells, [](const Cell& c) {
+        return run_policy(c.policy, c.rate);
+    });
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Result& r = grid[i];
+        char rl[16];
+        std::snprintf(rl, sizeof(rl), "%.0f%%", cells[i].rate * 100.0);
+        std::printf("%-12s %-12s %10.0f %10.0f %10llu %10llu\n", rl,
+                    cells[i].name, 1000.0 * r.latency.median(),
+                    1000.0 * r.latency.p99(),
+                    static_cast<unsigned long long>(r.lost),
+                    static_cast<unsigned long long>(r.faults));
     }
 
     // --- Controller failover episode (Sec. 4.7) ---
     std::printf("\nController failure at t=30 s (hot standby takeover vs "
                 "cold restart):\n%-24s %16s\n", "takeover", "p99 during "
                 "episode (ms)");
-    for (auto [label, takeover] :
-         {std::pair{"hot standby (0.5 s)", sim::from_millis(500.0)},
-          std::pair{"cold restart (20 s)", 20 * sim::kSecond}}) {
-        sim::Simulator simulator;
-        sim::Rng rng(19);
-        cloud::Cluster cluster(12, 40, 192 * 1024);
-        cloud::DataStore store(simulator, rng, cloud::DataStoreConfig{});
-        cloud::FaasRuntime rt(simulator, rng, cluster, store,
-                              cloud::FaasConfig{});
-        sim::Summary episode;
-        cloud::InvokeRequest req;
-        req.app = "S1";
-        req.work_core_ms = 350.0;
-        auto grng = std::make_shared<sim::Rng>(rng.fork());
-        sim::recurring(simulator, 0, [&, grng](const sim::Recur& self) {
-            if (simulator.now() >= 60 * sim::kSecond)
-                return;
-            sim::Time submit = simulator.now();
-            rt.invoke(req, [&, submit](const cloud::InvocationTrace& t) {
-                if (submit >= 28 * sim::kSecond &&
-                    submit <= 45 * sim::kSecond) {
-                    episode.add(t.total_s());
-                }
+    const std::vector<std::pair<const char*, sim::Time>> takeovers = {
+        {"hot standby (0.5 s)", sim::from_millis(500.0)},
+        {"cold restart (20 s)", 20 * sim::kSecond}};
+    std::vector<double> episode_p99 = run_sweep(
+        takeovers, [](const std::pair<const char*, sim::Time>& point) {
+            sim::Simulator simulator;
+            sim::Rng rng(19);
+            cloud::Cluster cluster(12, 40, 192 * 1024);
+            cloud::DataStore store(simulator, rng,
+                                   cloud::DataStoreConfig{});
+            cloud::FaasRuntime rt(simulator, rng, cluster, store,
+                                  cloud::FaasConfig{});
+            sim::Summary episode;
+            cloud::InvokeRequest req;
+            req.app = "S1";
+            req.work_core_ms = 350.0;
+            auto grng = std::make_shared<sim::Rng>(rng.fork());
+            sim::recurring(simulator, 0, [&, grng](const sim::Recur& self) {
+                if (simulator.now() >= 60 * sim::kSecond)
+                    return;
+                sim::Time submit = simulator.now();
+                rt.invoke(req,
+                          [&, submit](const cloud::InvocationTrace& t) {
+                              if (submit >= 28 * sim::kSecond &&
+                                  submit <= 45 * sim::kSecond) {
+                                  episode.add(t.total_s());
+                              }
+                          });
+                self.again_in(
+                    sim::from_seconds(grng->exponential(1.0 / 8.0)));
             });
-            self.again_in(sim::from_seconds(grng->exponential(1.0 / 8.0)));
+            sim::Time t = point.second;
+            simulator.schedule_at(30 * sim::kSecond,
+                                  [&rt, t]() { rt.fail_controller(t); });
+            simulator.run();
+            return 1000.0 * episode.p99();
         });
-        sim::Time t = takeover;
-        simulator.schedule_at(30 * sim::kSecond,
-                              [&rt, t]() { rt.fail_controller(t); });
-        simulator.run();
-        std::printf("%-24s %16.0f\n", label, 1000.0 * episode.p99());
-    }
+    for (std::size_t i = 0; i < takeovers.size(); ++i)
+        std::printf("%-24s %16.0f\n", takeovers[i].first, episode_p99[i]);
     std::printf("\n(Checkpoint keeps tail latency near Respawn's median "
                 "even at 50%% fault rates; the hot standby makes a "
                 "controller crash a blip instead of an outage.)\n");

@@ -42,34 +42,23 @@ window_medians(const std::vector<std::pair<sim::Time, double>>& samples)
     return out;
 }
 
-}  // namespace
+/** One deployment under test. */
+enum class Mode { Serverless, FixedAvg, FixedMax };
 
-int
-main()
+struct Row
 {
-    print_header("Figure 5b",
-                 "S1 latency under fluctuating load: serverless vs fixed "
-                 "(avg / max provisioned); per-20s-window median ms");
+    std::vector<std::pair<sim::Time, double>> samples;
+    int workers = 0;  // Fixed pools only.
+};
+
+Row
+run_mode(Mode mode)
+{
     const apps::AppSpec& app = apps::app_by_id("S1");
     apps::LoadPattern pattern =
         apps::LoadPattern::fluctuating(1.0, 80.0, kDuration);
-    double avg_rate = pattern.average(kDuration);
-    double peak_rate = pattern.peak();
-
-    auto drive_pattern = [&](auto submit) {
-        // Shared driver: open-loop arrivals following the pattern.
-        static thread_local int dummy = 0;
-        (void)dummy;
-        return submit;
-    };
-    (void)drive_pattern;
-
-    // Collected series per deployment.
-    std::vector<std::pair<sim::Time, double>> faas_s, avg_s, max_s;
-    std::vector<double> util_avg, util_max;
-
-    // --- Serverless ---
-    {
+    Row out;
+    if (mode == Mode::Serverless) {
         sim::Simulator simulator;
         sim::Rng rng(3);
         cloud::Cluster cluster(12, 40, 192 * 1024);
@@ -85,50 +74,66 @@ main()
             req.work_core_ms = app.work_core_ms;
             req.memory_mb = app.memory_mb;
             rt.invoke(req, [&](const cloud::InvocationTrace& t) {
-                faas_s.emplace_back(t.done, t.total_s());
+                out.samples.emplace_back(t.done, t.total_s());
             });
             double rate = std::max(pattern.rate_at(simulator.now()), 0.2);
             self.again_in(sim::from_seconds(grng->exponential(1.0 / rate)));
         });
         simulator.run();
+        return out;
     }
-
-    // --- Fixed pools ---
-    auto run_fixed = [&](double provision_rate,
-                         std::vector<std::pair<sim::Time, double>>& out) {
-        sim::Simulator simulator;
-        sim::Rng rng(3);
-        cloud::IaasConfig cfg;
-        cfg.workers = std::max(
-            1, static_cast<int>(std::ceil(
-                   provision_rate * app.work_core_ms / 1000.0 * 1.15)));
-        cloud::IaasPool pool(simulator, rng, cfg);
-        auto grng = std::make_shared<sim::Rng>(rng.fork());
-        sim::recurring(simulator, 0, [&, grng](const sim::Recur& self) {
-            if (simulator.now() >= kDuration)
-                return;
-            pool.submit(app.work_core_ms, [&](const cloud::IaasTrace& t) {
-                out.emplace_back(t.done, t.total_s());
-            });
-            double rate = std::max(pattern.rate_at(simulator.now()), 0.2);
-            self.again_in(sim::from_seconds(grng->exponential(1.0 / rate)));
+    double provision_rate = mode == Mode::FixedAvg
+                                ? pattern.average(kDuration)
+                                : pattern.peak();
+    sim::Simulator simulator;
+    sim::Rng rng(3);
+    cloud::IaasConfig cfg;
+    cfg.workers = std::max(
+        1, static_cast<int>(std::ceil(
+               provision_rate * app.work_core_ms / 1000.0 * 1.15)));
+    cloud::IaasPool pool(simulator, rng, cfg);
+    auto grng = std::make_shared<sim::Rng>(rng.fork());
+    sim::recurring(simulator, 0, [&, grng](const sim::Recur& self) {
+        if (simulator.now() >= kDuration)
+            return;
+        pool.submit(app.work_core_ms, [&](const cloud::IaasTrace& t) {
+            out.samples.emplace_back(t.done, t.total_s());
         });
-        simulator.run();
-        return cfg.workers;
-    };
-    int avg_workers = run_fixed(avg_rate, avg_s);
-    int max_workers = run_fixed(peak_rate, max_s);
+        double rate = std::max(pattern.rate_at(simulator.now()), 0.2);
+        self.again_in(sim::from_seconds(grng->exponential(1.0 / rate)));
+    });
+    simulator.run();
+    out.workers = cfg.workers;
+    return out;
+}
+
+}  // namespace
+
+int
+main()
+{
+    print_header("Figure 5b",
+                 "S1 latency under fluctuating load: serverless vs fixed "
+                 "(avg / max provisioned); per-20s-window median ms");
+    apps::LoadPattern pattern =
+        apps::LoadPattern::fluctuating(1.0, 80.0, kDuration);
+
+    // The three deployments are independent simulations: run them on
+    // the run_sweep() pool; results come back in point order.
+    const std::vector<Mode> modes = {Mode::Serverless, Mode::FixedAvg,
+                                     Mode::FixedMax};
+    std::vector<Row> rows = run_sweep(modes, run_mode);
 
     std::printf("offered load: low 1.0 Hz, peak %.0f Hz, average %.1f Hz\n",
-                peak_rate, avg_rate);
+                pattern.peak(), pattern.average(kDuration));
     std::printf("fixed pools: avg-provisioned %d workers, max-provisioned "
                 "%d workers\n\n",
-                avg_workers, max_workers);
+                rows[1].workers, rows[2].workers);
     std::printf("%8s %12s %14s %14s %14s\n", "time(s)", "load(Hz)",
                 "serverless", "fixed-avg", "fixed-max");
-    auto f = window_medians(faas_s);
-    auto a = window_medians(avg_s);
-    auto m = window_medians(max_s);
+    auto f = window_medians(rows[0].samples);
+    auto a = window_medians(rows[1].samples);
+    auto m = window_medians(rows[2].samples);
     for (std::size_t w = 0; w < f.size(); ++w) {
         sim::Time t = static_cast<sim::Time>(w) * kWindow + kWindow / 2;
         std::printf("%8.0f %12.1f %14.0f %14.0f %14.0f\n",

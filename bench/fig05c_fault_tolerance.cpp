@@ -73,10 +73,9 @@ main()
     print_header("Figure 5c",
                  "Active serverless tasks over time under function "
                  "failures (per-10s-window mean)");
-    const double rates[] = {0.0, 0.05, 0.10, 0.20};
-    SeriesResult results[4];
-    for (int i = 0; i < 4; ++i)
-        results[i] = run_with_faults(rates[i]);
+    const std::vector<double> rates = {0.0, 0.05, 0.10, 0.20};
+    // Each fault rate is its own simulation: sweep them in parallel.
+    std::vector<SeriesResult> results = run_sweep(rates, run_with_faults);
 
     std::printf("%8s %12s %12s %12s %12s\n", "time(s)", "no faults", "5%",
                 "10%", "20%");
@@ -131,10 +130,18 @@ main()
 
     std::printf("%-18s %8s %8s %8s %10s %10s\n", "failure domain",
                 "tasks", "dropped", "MTTD(s)", "MTTR(s)", "redo(cms)");
-    for (const Domain& d : domains) {
-        platform::RunMetrics m = platform::run_scenario(
-            d.sc, platform::PlatformOptions::hivemind(),
-            paper_deployment(42));
+    // One scenario run per domain: independent sims, sweep them too.
+    std::vector<Domain> domain_points(std::begin(domains),
+                                      std::end(domains));
+    std::vector<platform::RunMetrics> domain_rows =
+        run_sweep(domain_points, [](const Domain& d) {
+            return platform::run_scenario(
+                d.sc, platform::PlatformOptions::hivemind(),
+                paper_deployment(42));
+        });
+    for (std::size_t i = 0; i < domain_points.size(); ++i) {
+        const Domain& d = domain_points[i];
+        const platform::RunMetrics& m = domain_rows[i];
         const fault::RecoveryMetrics& rec = m.recovery;
         // Each domain reports detection/recovery through its own
         // machinery: heartbeats (device), retries (link), respawn

@@ -37,6 +37,54 @@ drive(sim::Simulator& simulator, sim::Rng& rng, double rate_hz,
                    });
 }
 
+struct Row
+{
+    sim::Summary reserved;
+    sim::Summary faas;
+};
+
+Row
+run_app(const apps::AppSpec& app)
+{
+    // Modest load: half the paper's default swarm rate.
+    double rate = app.task_rate_hz * 8.0;
+    Row row;
+    {
+        sim::Simulator simulator;
+        sim::Rng rng(4);
+        cloud::IaasConfig cfg;
+        cfg.workers = 64;  // Amply provisioned reserved pool.
+        cloud::IaasPool pool(simulator, rng, cfg);
+        drive(simulator, rng, rate, [&]() {
+            pool.submit(app.work_core_ms, [&](const cloud::IaasTrace& t) {
+                row.reserved.add(t.total_s());
+            });
+        });
+        simulator.run();
+    }
+    {
+        sim::Simulator simulator;
+        sim::Rng rng(4);
+        cloud::Cluster cluster(12, 40, 192 * 1024);
+        cloud::DataStore store(simulator, rng, cloud::DataStoreConfig{});
+        cloud::FaasRuntime rt(simulator, rng, cluster, store,
+                              cloud::FaasConfig{});
+        drive(simulator, rng, rate, [&]() {
+            cloud::InvokeRequest req;
+            req.app = app.id;
+            req.work_core_ms = app.work_core_ms;
+            req.memory_mb = app.memory_mb;
+            req.input_bytes = app.inter_bytes;
+            req.output_bytes = app.inter_bytes;
+            rt.invoke(req, [&](const cloud::InvocationTrace& t) {
+                row.faas.add(t.total_s());
+            });
+        });
+        simulator.run();
+    }
+    return row;
+}
+
 }  // namespace
 
 int
@@ -51,60 +99,23 @@ main()
     std::printf("%-5s %7s %7s %7s %9s  %7s %7s %7s %9s\n", "Job", "p5",
                 "p50", "p95", "p95/p50", "p5", "p50", "p95", "p95/p50");
 
-    for (const apps::AppSpec& app : apps::all_apps()) {
-        // Modest load: half the paper's default swarm rate.
-        double rate = app.task_rate_hz * 8.0;
+    // Per-app pairs of sims are independent: sweep the app list.
+    const std::vector<apps::AppSpec>& apps = apps::all_apps();
+    std::vector<Row> rows = run_sweep(apps, run_app);
 
-        sim::Summary reserved;
-        {
-            sim::Simulator simulator;
-            sim::Rng rng(4);
-            cloud::IaasConfig cfg;
-            cfg.workers = 64;  // Amply provisioned reserved pool.
-            cloud::IaasPool pool(simulator, rng, cfg);
-            drive(simulator, rng, rate, [&]() {
-                pool.submit(app.work_core_ms,
-                            [&](const cloud::IaasTrace& t) {
-                                reserved.add(t.total_s());
-                            });
-            });
-            simulator.run();
-        }
-
-        sim::Summary faas;
-        {
-            sim::Simulator simulator;
-            sim::Rng rng(4);
-            cloud::Cluster cluster(12, 40, 192 * 1024);
-            cloud::DataStore store(simulator, rng,
-                                   cloud::DataStoreConfig{});
-            cloud::FaasRuntime rt(simulator, rng, cluster, store,
-                                  cloud::FaasConfig{});
-            drive(simulator, rng, rate, [&]() {
-                cloud::InvokeRequest req;
-                req.app = app.id;
-                req.work_core_ms = app.work_core_ms;
-                req.memory_mb = app.memory_mb;
-                req.input_bytes = app.inter_bytes;
-                req.output_bytes = app.inter_bytes;
-                rt.invoke(req, [&](const cloud::InvocationTrace& t) {
-                    faas.add(t.total_s());
-                });
-            });
-            simulator.run();
-        }
-
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const Row& r = rows[i];
         auto spread = [](const sim::Summary& s) {
             double med = s.median();
             return med > 0.0 ? s.percentile(95) / med : 0.0;
         };
         std::printf(
             "%-5s %7.0f %7.0f %7.0f %9.2f  %7.0f %7.0f %7.0f %9.2f\n",
-            app.id.c_str(), 1000.0 * reserved.percentile(5),
-            1000.0 * reserved.median(), 1000.0 * reserved.percentile(95),
-            spread(reserved), 1000.0 * faas.percentile(5),
-            1000.0 * faas.median(), 1000.0 * faas.percentile(95),
-            spread(faas));
+            apps[i].id.c_str(), 1000.0 * r.reserved.percentile(5),
+            1000.0 * r.reserved.median(),
+            1000.0 * r.reserved.percentile(95), spread(r.reserved),
+            1000.0 * r.faas.percentile(5), 1000.0 * r.faas.median(),
+            1000.0 * r.faas.percentile(95), spread(r.faas));
     }
     std::printf("\n(Paper: the p95/p50 spread is consistently wider under "
                 "serverless.)\n");

@@ -16,6 +16,51 @@
 using namespace hivemind;
 using namespace hivemind::bench;
 
+namespace {
+
+constexpr sim::Time kDuration = 90 * sim::kSecond;
+
+struct Row
+{
+    sim::Summary inst;
+    sim::Summary data;
+    sim::Summary exec;
+};
+
+Row
+run_app(const apps::AppSpec& app)
+{
+    Row row;
+    sim::Simulator simulator;
+    sim::Rng rng(6);
+    cloud::Cluster cluster(12, 40, 192 * 1024);
+    cloud::DataStore store(simulator, rng, cloud::DataStoreConfig{});
+    cloud::FaasRuntime rt(simulator, rng, cluster, store,
+                          cloud::FaasConfig{});
+    double rate = app.task_rate_hz * 16.0;
+    auto grng = std::make_shared<sim::Rng>(rng.fork());
+    sim::recurring(simulator, 0, [&, grng](const sim::Recur& self) {
+        if (simulator.now() >= kDuration)
+            return;
+        cloud::InvokeRequest req;
+        req.app = app.id;
+        req.work_core_ms = app.work_core_ms;
+        req.memory_mb = app.memory_mb;
+        req.input_bytes = app.inter_bytes;
+        req.output_bytes = app.inter_bytes;
+        rt.invoke(req, [&](const cloud::InvocationTrace& t) {
+            row.inst.add(t.instantiation_s());
+            row.data.add(t.data_s());
+            row.exec.add(t.exec_s());
+        });
+        self.again_in(sim::from_seconds(grng->exponential(1.0 / rate)));
+    });
+    simulator.run();
+    return row;
+}
+
+}  // namespace
+
 int
 main()
 {
@@ -27,36 +72,13 @@ main()
     std::printf("%-5s %8s %9s %8s   %8s %9s %8s\n", "Job", "inst", "dataIO",
                 "exec", "inst", "dataIO", "exec");
 
-    constexpr sim::Time kDuration = 90 * sim::kSecond;
-    double inst_med_sum = 0.0, inst_tail_sum = 0.0;
-    for (const apps::AppSpec& app : apps::all_apps()) {
-        sim::Summary inst, data, exec;
-        sim::Simulator simulator;
-        sim::Rng rng(6);
-        cloud::Cluster cluster(12, 40, 192 * 1024);
-        cloud::DataStore store(simulator, rng, cloud::DataStoreConfig{});
-        cloud::FaasRuntime rt(simulator, rng, cluster, store,
-                              cloud::FaasConfig{});
-        double rate = app.task_rate_hz * 16.0;
-        auto grng = std::make_shared<sim::Rng>(rng.fork());
-        sim::recurring(simulator, 0, [&, grng](const sim::Recur& self) {
-            if (simulator.now() >= kDuration)
-                return;
-            cloud::InvokeRequest req;
-            req.app = app.id;
-            req.work_core_ms = app.work_core_ms;
-            req.memory_mb = app.memory_mb;
-            req.input_bytes = app.inter_bytes;
-            req.output_bytes = app.inter_bytes;
-            rt.invoke(req, [&](const cloud::InvocationTrace& t) {
-                inst.add(t.instantiation_s());
-                data.add(t.data_s());
-                exec.add(t.exec_s());
-            });
-            self.again_in(sim::from_seconds(grng->exponential(1.0 / rate)));
-        });
-        simulator.run();
+    // One independent simulation per app: sweep the app list.
+    const std::vector<apps::AppSpec>& apps = apps::all_apps();
+    std::vector<Row> rows = run_sweep(apps, run_app);
 
+    double inst_med_sum = 0.0, inst_tail_sum = 0.0;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const Row& r = rows[i];
         auto shares = [](double a, double b, double c, double out[3]) {
             double sum = a + b + c;
             out[0] = 100.0 * a / sum;
@@ -64,12 +86,12 @@ main()
             out[2] = 100.0 * c / sum;
         };
         double med[3], tail[3];
-        shares(inst.median(), data.median(), exec.median(), med);
-        shares(inst.p99(), data.p99(), exec.p99(), tail);
+        shares(r.inst.median(), r.data.median(), r.exec.median(), med);
+        shares(r.inst.p99(), r.data.p99(), r.exec.p99(), tail);
         inst_med_sum += med[0];
         inst_tail_sum += tail[0];
         std::printf("%-5s %8.1f %9.1f %8.1f   %8.1f %9.1f %8.1f\n",
-                    app.id.c_str(), med[0], med[1], med[2], tail[0],
+                    apps[i].id.c_str(), med[0], med[1], med[2], tail[0],
                     tail[1], tail[2]);
     }
     std::printf("\nMean instantiation share: median %.1f%% (paper 22%%), "

@@ -9,12 +9,64 @@
  * store accesses), direct RPC considerably faster, in-memory fastest.
  */
 
+#include <array>
 #include <memory>
 
 #include "bench_util.hpp"
 
 using namespace hivemind;
 using namespace hivemind::bench;
+
+namespace {
+
+constexpr sim::Time kDuration = 60 * sim::kSecond;
+
+constexpr std::array<cloud::SharingProtocol, 4> kProtocols = {
+    cloud::SharingProtocol::CouchDb, cloud::SharingProtocol::DirectRpc,
+    cloud::SharingProtocol::InMemory,
+    cloud::SharingProtocol::RemoteMemory};
+
+/** Median latency (ms) per sharing protocol for one app. */
+std::array<double, 4>
+run_app(const apps::AppSpec& app)
+{
+    std::array<double, 4> med{};
+    int col = 0;
+    for (cloud::SharingProtocol proto : kProtocols) {
+        sim::Summary lat;
+        sim::Simulator simulator;
+        sim::Rng rng(8);
+        cloud::Cluster cluster(12, 40, 192 * 1024);
+        cloud::DataStore store(simulator, rng, cloud::DataStoreConfig{});
+        cloud::FaasConfig cfg;
+        cfg.sharing = proto;
+        cloud::FaasRuntime rt(simulator, rng, cluster, store, cfg);
+        double rate = app.task_rate_hz * 16.0;
+        auto grng = std::make_shared<sim::Rng>(rng.fork());
+        sim::recurring(simulator, 0, [&, grng](const sim::Recur& self) {
+            if (simulator.now() >= kDuration)
+                return;
+            // Parent function writes, dependent child reads: two
+            // hand-offs of the app's intermediate data per task.
+            cloud::InvokeRequest req;
+            req.app = app.id;
+            req.work_core_ms = app.work_core_ms;
+            req.memory_mb = app.memory_mb;
+            req.input_bytes = app.inter_bytes;
+            req.output_bytes = app.inter_bytes;
+            rt.invoke(req, [&](const cloud::InvocationTrace& t) {
+                lat.add(t.total_s());
+            });
+            self.again_in(
+                sim::from_seconds(grng->exponential(1.0 / rate)));
+        });
+        simulator.run();
+        med[col++] = 1000.0 * lat.median();
+    }
+    return med;
+}
+
+}  // namespace
 
 int
 main()
@@ -25,48 +77,15 @@ main()
     std::printf("%-5s %12s %12s %12s %12s\n", "Job", "CouchDB", "RPC",
                 "In-memory", "RemoteMem");
 
-    constexpr sim::Time kDuration = 60 * sim::kSecond;
-    for (const apps::AppSpec& app : apps::all_apps()) {
-        double med[4];
-        int col = 0;
-        for (cloud::SharingProtocol proto :
-             {cloud::SharingProtocol::CouchDb,
-              cloud::SharingProtocol::DirectRpc,
-              cloud::SharingProtocol::InMemory,
-              cloud::SharingProtocol::RemoteMemory}) {
-            sim::Summary lat;
-            sim::Simulator simulator;
-            sim::Rng rng(8);
-            cloud::Cluster cluster(12, 40, 192 * 1024);
-            cloud::DataStore store(simulator, rng,
-                                   cloud::DataStoreConfig{});
-            cloud::FaasConfig cfg;
-            cfg.sharing = proto;
-            cloud::FaasRuntime rt(simulator, rng, cluster, store, cfg);
-            double rate = app.task_rate_hz * 16.0;
-            auto grng = std::make_shared<sim::Rng>(rng.fork());
-            sim::recurring(simulator, 0, [&, grng](const sim::Recur& self) {
-                if (simulator.now() >= kDuration)
-                    return;
-                // Parent function writes, dependent child reads: two
-                // hand-offs of the app's intermediate data per task.
-                cloud::InvokeRequest req;
-                req.app = app.id;
-                req.work_core_ms = app.work_core_ms;
-                req.memory_mb = app.memory_mb;
-                req.input_bytes = app.inter_bytes;
-                req.output_bytes = app.inter_bytes;
-                rt.invoke(req, [&](const cloud::InvocationTrace& t) {
-                    lat.add(t.total_s());
-                });
-                self.again_in(
-                    sim::from_seconds(grng->exponential(1.0 / rate)));
-            });
-            simulator.run();
-            med[col++] = 1000.0 * lat.median();
-        }
-        std::printf("%-5s %12.1f %12.1f %12.1f %12.1f\n", app.id.c_str(),
-                    med[0], med[1], med[2], med[3]);
+    // Each app's four protocol runs form one sweep point; the ten
+    // apps fan out across the run_sweep() pool.
+    const std::vector<apps::AppSpec>& apps = apps::all_apps();
+    std::vector<std::array<double, 4>> rows = run_sweep(apps, run_app);
+
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const std::array<double, 4>& med = rows[i];
+        std::printf("%-5s %12.1f %12.1f %12.1f %12.1f\n",
+                    apps[i].id.c_str(), med[0], med[1], med[2], med[3]);
     }
     std::printf("\n(Paper: CouchDB > RPC > in-memory; HiveMind's FPGA "
                 "remote memory approaches in-memory without requiring "

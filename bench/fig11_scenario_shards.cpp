@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Scenario A on the sharded runtime — wall-clock scaling and the
+ * invariance check in one table.
+ *
+ * Runs the same Scenario-A configuration through
+ * run_scenario_sharded() at 1, 2 and 4 shard kernels (plus
+ * HIVEMIND_SHARDS if it names another count) and reports, per count:
+ * host wall-clock, speedup over the 1-shard run, conservative-sync
+ * epochs, cross-shard envelopes, and the result checksum — which must
+ * be identical on every row, or the sharding is broken, not just
+ * slow. A larger swarm than the paper's 16 drones is used so each
+ * shard has enough per-epoch work to amortize the two barriers.
+ *
+ * Writes BENCH_scenario_shards.json (hw_threads included) for CI to
+ * diff and for EXPERIMENTS.md's multi-core section.
+ */
+
+#include <thread>
+
+#include "bench_util.hpp"
+#include "platform/sharded_scenario.hpp"
+
+using namespace hivemind;
+using namespace hivemind::bench;
+
+namespace {
+
+/** Scenario A scaled up so the barrier cost is amortized. */
+platform::ScenarioConfig
+shard_scenario()
+{
+    platform::ScenarioConfig sc = scenario_a();
+    sc.targets = 30;
+    sc.field_size_m = 128.0;
+    sc.time_cap = 600 * sim::kSecond;
+    return sc;
+}
+
+platform::DeploymentConfig
+shard_deployment()
+{
+    platform::DeploymentConfig cfg = paper_deployment(42);
+    cfg.devices = 64;  // 4x the paper swarm: work for every shard.
+    return cfg;
+}
+
+std::vector<int>
+shard_counts()
+{
+    std::vector<int> counts = {1, 2, 4};
+    if (const char* env = std::getenv("HIVEMIND_SHARDS")) {
+        int extra = std::atoi(env);
+        if (extra >= 1 &&
+            std::find(counts.begin(), counts.end(), extra) == counts.end())
+            counts.push_back(extra);
+    }
+    return counts;
+}
+
+}  // namespace
+
+int
+main()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    print_header("Scenario shards",
+                 "Scenario A (64 drones) on the sharded runtime: "
+                 "wall-clock vs shard count, checksum-verified");
+    std::printf("host hardware threads: %u\n\n", hw);
+    std::printf("%-8s %10s %9s %10s %12s %12s  %s\n", "shards", "wall(s)",
+                "speedup", "epochs", "forwarded", "sim-compl(s)",
+                "checksum");
+
+    platform::ScenarioConfig sc = shard_scenario();
+    platform::DeploymentConfig dep = shard_deployment();
+    platform::PlatformOptions opt = platform::PlatformOptions::hivemind();
+
+    // Shard counts run sequentially on purpose: each run owns all its
+    // shard threads, so timing them concurrently would only contend.
+    std::vector<platform::ShardedScenarioResult> results;
+    for (int n : shard_counts())
+        results.push_back(platform::run_scenario_sharded(sc, opt, dep, n));
+
+    bool invariant = true;
+    Json rows = Json::array();
+    const double base_wall = results.front().wall_s;
+    for (const platform::ShardedScenarioResult& r : results) {
+        if (r.checksum != results.front().checksum)
+            invariant = false;
+        char digest[32];
+        std::snprintf(digest, sizeof digest, "%016llx",
+                      static_cast<unsigned long long>(r.checksum));
+        std::printf("%-8d %10.2f %8.2fx %10llu %12llu %12.1f  %s\n",
+                    r.shards, r.wall_s,
+                    r.wall_s > 0.0 ? base_wall / r.wall_s : 0.0,
+                    static_cast<unsigned long long>(r.epochs),
+                    static_cast<unsigned long long>(r.forwarded),
+                    r.metrics.completion_s, digest);
+        rows.push(Json::object()
+                      .kv("shards", r.shards)
+                      .kv("wall_s", r.wall_s)
+                      .kv("speedup",
+                          r.wall_s > 0.0 ? base_wall / r.wall_s : 0.0)
+                      .kv("epochs", r.epochs)
+                      .kv("forwarded", r.forwarded)
+                      .kv("completion_s", r.metrics.completion_s)
+                      .kv("tasks_completed", r.metrics.tasks_completed)
+                      .kv("checksum", std::string(digest)));
+    }
+    write_bench_json("scenario_shards",
+                     Json::object()
+                         .kv("bench", "fig11_scenario_shards")
+                         .kv("hw_threads", static_cast<std::uint64_t>(hw))
+                         .kv("devices", static_cast<std::uint64_t>(
+                                            shard_deployment().devices))
+                         .kv("checksum_invariant", invariant)
+                         .kv("rows", rows));
+    std::printf("\nchecksum invariant across shard counts: %s\n",
+                invariant ? "yes" : "NO — BUG");
+    if (hw < 2) {
+        std::printf("NOTE: this host exposes %u hardware thread(s); shard "
+                    "threads serialize, so the speedup column only shows "
+                    "barrier overhead here. Re-run on a multi-core host "
+                    "for the scaling curve (see EXPERIMENTS.md).\n",
+                    hw);
+    }
+    std::printf("(The speedup column is the point of the sharded runtime; "
+                "the checksum column is its correctness contract.)\n");
+    return invariant ? 0 : 1;
+}

@@ -65,8 +65,10 @@ ChaosEngine::stop()
     if (finalized_)
         return;
     finalized_ = true;
-    if (network_ != nullptr)
+    if (network_ != nullptr) {
         metrics_.frames_dropped = network_->frames_dropped();
+        metrics_.wireless_retransmissions = network_->retransmissions();
+    }
     if (faas_ != nullptr) {
         metrics_.killed_invocations = faas_->killed_invocations();
         metrics_.work_lost_core_ms = faas_->work_lost_core_ms();

@@ -10,6 +10,7 @@ RecoveryMetrics::merge(const RecoveryMetrics& other)
     work_lost_core_ms += other.work_lost_core_ms;
     reexecuted_core_ms += other.reexecuted_core_ms;
     frames_dropped += other.frames_dropped;
+    wireless_retransmissions += other.wireless_retransmissions;
     offloads_abandoned += other.offloads_abandoned;
     offload_retries += other.offload_retries;
     circuit_open_events += other.circuit_open_events;

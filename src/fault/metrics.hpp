@@ -31,6 +31,8 @@ struct RecoveryMetrics
     double reexecuted_core_ms = 0.0;
     /** Wireless frames dropped (retry budget exhausted in a partition). */
     std::uint64_t frames_dropped = 0;
+    /** Wireless link-layer retransmissions performed. */
+    std::uint64_t wireless_retransmissions = 0;
     /** Pipeline offloads abandoned after the app-level retry budget. */
     std::uint64_t offloads_abandoned = 0;
     /** App-level offload retry attempts (backoff + jitter). */

@@ -5,7 +5,7 @@ namespace hivemind::fault {
 ShardChaosReport
 route_plan(sim::SwarmRuntime& runtime, const FaultPlan& plan,
            const std::function<int(std::size_t)>& owner,
-           const ShardChaosHooks& hooks)
+           const ShardChaosHooks& hooks, int cloud_shard)
 {
     ShardChaosReport report;
     for (const FaultEvent& e : plan.events) {
@@ -22,6 +22,91 @@ route_plan(sim::SwarmRuntime& runtime, const FaultPlan& plan,
                                   [fn = hooks.rejoin_device, device] {
                                       fn(device);
                                   });
+            ++report.routed;
+            break;
+        }
+        case FaultKind::LinkBurst: {
+            if (!hooks.set_device_loss || hooks.devices == 0 ||
+                e.duration <= 0) {
+                ++report.unsupported;
+                break;
+            }
+            // Open the bad-state loss window on every device's owner
+            // shard; close it by restoring the configured loss. The
+            // per-device schedule keeps the loss state local to the
+            // owner, so runs stay shard-count invariant.
+            for (std::size_t d = 0; d < hooks.devices; ++d) {
+                sim::Simulator& shard = runtime.shard(owner(d));
+                shard.schedule_at(
+                    e.at, [fn = hooks.set_device_loss, d,
+                           loss = e.loss_bad] { fn(d, loss); });
+                shard.schedule_at(e.at + e.duration,
+                                  [fn = hooks.set_device_loss, d] {
+                                      fn(d, -1.0);
+                                  });
+            }
+            ++report.routed;
+            break;
+        }
+        case FaultKind::Partition: {
+            if (!hooks.partition_device || e.duration <= 0) {
+                ++report.unsupported;
+                break;
+            }
+            const std::size_t device = e.target;
+            sim::Simulator& shard = runtime.shard(owner(device));
+            shard.schedule_at(e.at, [fn = hooks.partition_device, device] {
+                fn(device, true);
+            });
+            shard.schedule_at(e.at + e.duration,
+                              [fn = hooks.partition_device, device] {
+                                  fn(device, false);
+                              });
+            ++report.routed;
+            break;
+        }
+        case FaultKind::ServerCrash: {
+            if (!hooks.crash_server) {
+                ++report.unsupported;
+                break;
+            }
+            const std::size_t server = e.target;
+            sim::Simulator& shard = runtime.shard(cloud_shard);
+            shard.schedule_at(e.at, [fn = hooks.crash_server, server] {
+                fn(server);
+            });
+            if (e.duration > 0 && hooks.recover_server)
+                shard.schedule_at(e.at + e.duration,
+                                  [fn = hooks.recover_server, server] {
+                                      fn(server);
+                                  });
+            ++report.routed;
+            break;
+        }
+        case FaultKind::DatastoreOutage: {
+            if (!hooks.datastore_outage || e.duration <= 0) {
+                ++report.unsupported;
+                break;
+            }
+            sim::Simulator& shard = runtime.shard(cloud_shard);
+            shard.schedule_at(e.at, [fn = hooks.datastore_outage,
+                                     until = e.duration] { fn(until); });
+            ++report.routed;
+            break;
+        }
+        case FaultKind::ControllerPartition: {
+            if (!hooks.crash_controller || e.duration <= 0) {
+                ++report.unsupported;
+                break;
+            }
+            // Same instance goes dark and comes back; no takeover.
+            sim::Simulator& shard0 = runtime.shard(0);
+            shard0.schedule_at(e.at, [fn = hooks.crash_controller] { fn(); });
+            if (hooks.recover_controller)
+                shard0.schedule_at(e.at + e.duration,
+                                   [fn = hooks.recover_controller] {
+                                       fn();
+                                   });
             ++report.routed;
             break;
         }

@@ -12,14 +12,21 @@
  * any other event:
  *
  *  - DeviceCrash (and its rejoin) fire on the device's owner shard.
- *  - ControllerCrash / ControllerFailover fire on shard 0, where the
- *    SwarmController lives. The controller usually arms its own
- *    crash from Config::crash_at; the plan path exists so chaos
- *    schedules written against FaultPlan keep working.
+ *  - LinkBurst opens/closes a per-device wireless-loss window on every
+ *    owner shard; Partition blacks out one device's radio the same
+ *    way. Loss state is per-device on its owner shard, so the sharded
+ *    loss model stays deterministic at any shard count (the legacy
+ *    Gilbert-Elliott dwell-time chain shares one RNG and is replaced
+ *    by a static bad-state loss over the window).
+ *  - ServerCrash / DatastoreOutage fire on the cloud shard, where the
+ *    FaaS cluster and DataStore live in a sharded scenario.
+ *  - ControllerCrash / ControllerFailover / ControllerPartition fire
+ *    on shard 0, where the SwarmController lives. The controller
+ *    usually arms its own crash from Config::crash_at; the plan path
+ *    exists so chaos schedules written against FaultPlan keep working.
  *
- * Kinds that need the flow-level network or cloud models (link
- * bursts, server crashes, datastore outages) have no sharded
- * counterpart yet and are counted, not dropped silently.
+ * Kinds with no sharded counterpart (SpatialBurst needs global device
+ * positions at injection time) are counted, not dropped silently.
  */
 
 #include <cstddef>
@@ -41,6 +48,20 @@ struct ShardChaosHooks
     std::function<void()> crash_controller;
     /** Standby takeover; runs on shard 0. */
     std::function<void()> recover_controller;
+    /**
+     * Wireless loss override for device @p d (negative restores the
+     * configured loss); runs on the owner shard (LinkBurst windows).
+     */
+    std::function<void(std::size_t, double)> set_device_loss;
+    /** Radio blackout on/off for device @p d; runs on the owner shard. */
+    std::function<void(std::size_t, bool)> partition_device;
+    /** Cloud server crash/recovery; runs on the cloud shard. */
+    std::function<void(std::size_t)> crash_server;
+    std::function<void(std::size_t)> recover_server;
+    /** Datastore outage for a duration; runs on the cloud shard. */
+    std::function<void(sim::Time)> datastore_outage;
+    /** Device ids the LinkBurst loss window must cover. */
+    std::size_t devices = 0;
 };
 
 /** What route_plan() scheduled. */
@@ -52,11 +73,13 @@ struct ShardChaosReport
 
 /**
  * Schedule @p plan's events onto the owning shards. @p owner maps a
- * device id to its shard. Call before SwarmRuntime::run_until().
+ * device id to its shard; @p cloud_shard owns the FaaS cluster and
+ * DataStore. Call before SwarmRuntime::run_until().
  */
 ShardChaosReport route_plan(sim::SwarmRuntime& runtime,
                             const FaultPlan& plan,
                             const std::function<int(std::size_t)>& owner,
-                            const ShardChaosHooks& hooks);
+                            const ShardChaosHooks& hooks,
+                            int cloud_shard = 0);
 
 }  // namespace hivemind::fault

@@ -78,7 +78,12 @@ class Link
     sim::Time propagation_;
     sim::Time busy_until_ = 0;
     std::uint64_t bytes_total_ = 0;
-    sim::Time busy_accum_ = 0;  // Total serialization time granted.
+    /// Busy time of completed busy periods (periods that ended before
+    /// the serializer next went idle). The open period, if any, spans
+    /// [busy_start_, busy_until_] and is clipped to now on read, so a
+    /// queued backlog never counts as utilization before it happens.
+    sim::Time busy_accum_ = 0;
+    sim::Time busy_start_ = 0;
     sim::RateMeter meter_;
 };
 

@@ -123,7 +123,16 @@ SwarmTopology::with_retransmits(
              tries_left](sim::Time t) mutable {
         double loss = self->wireless_loss_now(device);
         if (self->rng_ != nullptr && loss > 0.0 && loss < 1.0 &&
-            tries_left > 0 && self->rng_->chance(loss)) {
+            self->rng_->chance(loss)) {
+            // The final attempt rolls the loss like every other one;
+            // with the budget exhausted the frame is dropped, not
+            // silently delivered.
+            if (tries_left <= 0) {
+                ++self->frames_dropped_;
+                if (done)
+                    done(kDropped);
+                return;
+            }
             ++self->retransmissions_;
             self->simulator_->schedule_in(
                 self->config_.retransmit_timeout,
@@ -206,6 +215,44 @@ SwarmTopology::send_downlink(std::size_t server, std::size_t device,
     };
     with_retransmits(device, std::move(attempt), std::move(done),
                      config_.max_retransmits);
+}
+
+void
+SwarmTopology::send_uplink_wired(std::size_t device, std::size_t server,
+                                 std::uint64_t bytes, DeliveryCallback done)
+{
+    std::size_t r = device % config_.routers;
+    auto self = this;
+    std::vector<Link*> path{router_up_[r].get(), tor_up_.get(),
+                            nic_in_[server].get()};
+    chain(std::move(path), bytes,
+          [self, server, done = std::move(done)](sim::Time) mutable {
+              self->server_rpc_[server]->process(
+                  [self, done = std::move(done)]() {
+                      if (done)
+                          done(self->simulator_->now());
+                  });
+          });
+}
+
+void
+SwarmTopology::send_downlink_wired(std::size_t server, std::size_t device,
+                                   std::uint64_t bytes,
+                                   DeliveryCallback done)
+{
+    std::size_t r = device % config_.routers;
+    auto self = this;
+    server_rpc_[server]->process([self, r, server, bytes,
+                                  done = std::move(done)]() mutable {
+        std::vector<Link*> path{self->nic_out_[server].get(),
+                                self->tor_down_.get(),
+                                self->router_down_[r].get()};
+        self->chain(std::move(path), bytes,
+                    [self, done = std::move(done)](sim::Time t) mutable {
+                        if (done)
+                            done(t);
+                    });
+    });
 }
 
 void

@@ -65,10 +65,10 @@ using DeliveryCallback = std::function<void(sim::Time)>;
 
 /**
  * Delivery-time sentinel passed to a DeliveryCallback when a wireless
- * transfer was dropped: the device's radio was hard-partitioned and the
- * retransmit budget ran out. Probabilistic loss never drops — corrupted
- * frames are retransmitted and eventually delivered — only a blackout
- * (effective loss >= 1) can exhaust the budget without an air success.
+ * transfer was dropped: the retransmit budget ran out, either because
+ * the device's radio was hard-partitioned (every attempt burns a
+ * timeout without touching the air) or because probabilistic loss
+ * corrupted every attempt including the last one.
  */
 inline constexpr sim::Time kDropped = -1;
 
@@ -99,6 +99,23 @@ class SwarmTopology
     /** Intra-cluster transfer between two servers via the ToR. */
     void send_server_to_server(std::size_t from, std::size_t to,
                                std::uint64_t bytes, DeliveryCallback done);
+
+    /**
+     * Wired half of an uplink: router -> ToR -> server NIC plus the
+     * receiving server's RPC processing. No radio hop, no wireless
+     * loss model — the sharded scenario runtime serializes the air
+     * segment on the device's owner shard (net::ShardLink) and hands
+     * the frame to the cloud shard here.
+     */
+    void send_uplink_wired(std::size_t device, std::size_t server,
+                           std::uint64_t bytes, DeliveryCallback done);
+
+    /**
+     * Wired half of a downlink: server RPC + NIC -> ToR -> router.
+     * The radio hop back to the device is the caller's ShardLink.
+     */
+    void send_downlink_wired(std::size_t server, std::size_t device,
+                             std::uint64_t bytes, DeliveryCallback done);
 
     /** Total bytes a device has sent + received (radio energy input). */
     std::uint64_t device_bytes(std::size_t device) const

@@ -1,0 +1,40 @@
+#pragma once
+
+/**
+ * @file
+ * FNV-1a digest helpers shared by the sharded runtime checksums.
+ *
+ * The invariance tests compare a run's end state across shard counts
+ * by hashing per-device state in device-id order. Both the synthetic
+ * sharded swarm and the sharded scenario engine build that digest the
+ * same way, so the helpers live here instead of being duplicated.
+ */
+
+#include <cstdint>
+#include <cstring>
+
+namespace hivemind::platform::fnv {
+
+constexpr std::uint64_t kBasis = 1469598103934665603ull;
+constexpr std::uint64_t kPrime = 1099511628211ull;
+
+/** Fold a 64-bit value into @p hash byte by byte (FNV-1a). */
+inline void
+mix(std::uint64_t& hash, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i) {
+        hash ^= (value >> (i * 8)) & 0xff;
+        hash *= kPrime;
+    }
+}
+
+/** Raw bit pattern of a double, for hashing exact numeric state. */
+inline std::uint64_t
+bits(double value)
+{
+    std::uint64_t u = 0;
+    std::memcpy(&u, &value, sizeof(u));
+    return u;
+}
+
+}  // namespace hivemind::platform::fnv

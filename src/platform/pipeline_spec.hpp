@@ -1,0 +1,64 @@
+#pragma once
+
+/**
+ * @file
+ * Work/size constants of the scenario pipelines (from the task graphs
+ * in Sec. 5.5). Shared by the legacy single-kernel harness and the
+ * sharded scenario engine so the two execution paths always model the
+ * same application, whatever runtime carries it.
+ */
+
+#include <cstdint>
+
+#include "platform/scenario_kind.hpp"
+
+namespace hivemind::platform {
+
+/** Per-task stage work and payload sizes of one scenario pipeline. */
+struct PipelineSpec
+{
+    double rec_work_ms = 220.0;        ///< Recognition stage.
+    double dedup_work_ms = 0.0;        ///< Second stage (0 = none).
+    /**
+     * Sensor payload per recognition task: a one-second frame batch
+     * (8 fps x 2 MB, Sec. 2.1). Centralized platforms ship all of it;
+     * HiveMind's on-board pre-filter forwards ~30%.
+     */
+    std::uint64_t frame_bytes = 16u << 20;
+    std::uint64_t inter_bytes = 128u << 10;
+    std::uint64_t result_bytes = 16u << 10;
+    int parallelism = 8;
+    std::uint64_t memory_mb = 512;
+    const char* rec_app = "scenarioRec";
+    const char* dedup_app = "scenarioDedup";
+};
+
+/** Pipeline constants for @p kind, with @p frame_bytes_override > 0
+ *  replacing the sensor payload (Fig. 17a resolution sweeps). */
+inline PipelineSpec
+pipeline_for(ScenarioKind kind, std::uint64_t frame_bytes_override = 0)
+{
+    PipelineSpec spec;
+    if (kind == ScenarioKind::MovingPeople) {
+        spec.rec_work_ms = 350.0;
+        spec.dedup_work_ms = 420.0;
+    } else if (kind == ScenarioKind::TreasureHunt) {
+        // Image-to-text on a full panel photo, then instruction
+        // parsing as a dependent stage (multi-phase, Sec. 5.5).
+        spec.rec_work_ms = 1500.0;
+        spec.dedup_work_ms = 300.0;
+        spec.parallelism = 12;
+        spec.frame_bytes = 2u << 20;
+        spec.result_bytes = 1u << 10;
+    } else if (kind == ScenarioKind::RoverMaze) {
+        spec.rec_work_ms = 700.0;
+        spec.parallelism = 2;
+        spec.frame_bytes = 64u << 10;
+        spec.result_bytes = 1u << 10;
+    }
+    if (frame_bytes_override > 0)
+        spec.frame_bytes = frame_bytes_override;
+    return spec;
+}
+
+}  // namespace hivemind::platform

@@ -10,6 +10,8 @@
 #include "core/load_balancer.hpp"
 #include "fault/chaos.hpp"
 #include "geo/maze.hpp"
+#include "platform/pipeline_spec.hpp"
+#include "platform/sharded_scenario.hpp"
 
 namespace hivemind::platform {
 
@@ -65,25 +67,6 @@ plan_has_controller_faults(const fault::FaultPlan& plan)
     return false;
 }
 
-/** Work/size constants of the scenario pipelines (from the graphs). */
-struct PipelineSpec
-{
-    double rec_work_ms = 220.0;        ///< Recognition stage.
-    double dedup_work_ms = 0.0;        ///< Second stage (0 = none).
-    /**
-     * Sensor payload per recognition task: a one-second frame batch
-     * (8 fps x 2 MB, Sec. 2.1). Centralized platforms ship all of it;
-     * HiveMind's on-board pre-filter forwards ~30%.
-     */
-    std::uint64_t frame_bytes = 16u << 20;
-    std::uint64_t inter_bytes = 128u << 10;
-    std::uint64_t result_bytes = 16u << 10;
-    int parallelism = 8;
-    std::uint64_t memory_mb = 512;
-    const char* rec_app = "scenarioRec";
-    const char* dedup_app = "scenarioDedup";
-};
-
 /**
  * Shared state of one scenario run. The harness lives on the stack of
  * run_scenario(); all simulator callbacks reference it and only run
@@ -109,25 +92,7 @@ class ScenarioHarness
           done_at_(dep.device_count(), -1),
           inflight_(dep.device_count(), 0)
     {
-        if (sc.kind == ScenarioKind::MovingPeople) {
-            pipeline_.rec_work_ms = 350.0;
-            pipeline_.dedup_work_ms = 420.0;
-        } else if (sc.kind == ScenarioKind::TreasureHunt) {
-            // Image-to-text on a full panel photo, then instruction
-            // parsing as a dependent stage (multi-phase, Sec. 5.5).
-            pipeline_.rec_work_ms = 1500.0;
-            pipeline_.dedup_work_ms = 300.0;
-            pipeline_.parallelism = 12;
-            pipeline_.frame_bytes = 2u << 20;
-            pipeline_.result_bytes = 1u << 10;
-        } else if (sc.kind == ScenarioKind::RoverMaze) {
-            pipeline_.rec_work_ms = 700.0;
-            pipeline_.parallelism = 2;
-            pipeline_.frame_bytes = 64u << 10;
-            pipeline_.result_bytes = 1u << 10;
-        }
-        if (sc.frame_bytes_override > 0)
-            pipeline_.frame_bytes = sc.frame_bytes_override;
+        pipeline_ = pipeline_for(sc.kind, sc.frame_bytes_override);
 
         chaos_.attach_devices(
             dep.device_count(),
@@ -1002,6 +967,14 @@ RunMetrics
 run_scenario(const ScenarioConfig& scenario, const PlatformOptions& options,
              const DeploymentConfig& deployment_config)
 {
+    // shards > 1 routes the drone scenarios onto the sharded runtime;
+    // shards <= 1 (and the rover kinds, which the sharded engine does
+    // not model) runs the legacy single-kernel harness unchanged.
+    if (scenario.shards > 1 && scenario_shardable(scenario)) {
+        return run_scenario_sharded(scenario, options, deployment_config,
+                                    scenario.shards)
+            .metrics;
+    }
     Deployment dep(deployment_config, options);
     ScenarioHarness harness(dep, scenario);
     harness.run();

@@ -36,20 +36,9 @@
 #include "platform/deployment.hpp"
 #include "platform/metrics.hpp"
 #include "platform/options.hpp"
+#include "platform/scenario_kind.hpp"
 
 namespace hivemind::platform {
-
-/** Which end-to-end scenario to run. */
-enum class ScenarioKind
-{
-    StationaryItems,
-    MovingPeople,
-    TreasureHunt,
-    RoverMaze,
-};
-
-/** Human-readable scenario name. */
-const char* to_string(ScenarioKind k);
 
 /** Scenario parameters (defaults follow Sec. 2.1 / 5.5). */
 struct ScenarioConfig
@@ -97,6 +86,17 @@ struct ScenarioConfig
      * are byte-identical to the pre-HA behavior.
      */
     core::HaConfig ha;
+    /**
+     * Simulation shards. 1 (the default) runs the legacy single-kernel
+     * harness, byte-identical to the pre-sharding behavior. Values > 1
+     * run the drone scenarios on sim::SwarmRuntime with device actors
+     * spread over that many shard kernels; the sharded engine's result
+     * is checksum-identical for any shard count, but is a different
+     * (message-passing) model than the shards=1 harness, so its
+     * numbers are compared against other sharded runs, not against
+     * shards=1. Rover scenarios always use the legacy harness.
+     */
+    int shards = 1;
 };
 
 /** Run one scenario on one platform. */

@@ -1,0 +1,19 @@
+#pragma once
+
+/** @file Scenario identifiers, shared by configs and pipeline specs. */
+
+namespace hivemind::platform {
+
+/** Which end-to-end scenario to run. */
+enum class ScenarioKind
+{
+    StationaryItems,
+    MovingPeople,
+    TreasureHunt,
+    RoverMaze,
+};
+
+/** Human-readable scenario name. */
+const char* to_string(ScenarioKind k);
+
+}  // namespace hivemind::platform

@@ -1,0 +1,1141 @@
+#include "platform/sharded_scenario.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "apps/world.hpp"
+#include "core/heartbeat.hpp"
+#include "core/learning.hpp"
+#include "core/load_balancer.hpp"
+#include "core/scheduler.hpp"
+#include "fault/retry.hpp"
+#include "net/shard_link.hpp"
+#include "net/topology.hpp"
+#include "platform/fnv.hpp"
+#include "platform/pipeline_spec.hpp"
+#include "sim/swarm_runtime.hpp"
+
+namespace hivemind::platform {
+
+namespace {
+
+using fnv::bits;
+using fnv::mix;
+
+constexpr std::uint64_t kCtrlMsgBytes = 64;
+// Origin-id planes for the merge tiebreak. Device ids occupy [0, 2^20);
+// each link family gets its own plane so the (when, origin) key never
+// collides across channels.
+constexpr std::uint64_t kDataUpOrigin = 0;
+constexpr std::uint64_t kDataDownOrigin = 1u << 20;
+constexpr std::uint64_t kCtrlUpOrigin = 2u << 20;
+constexpr std::uint64_t kCtrlDownOrigin = 3u << 20;
+
+/** The chaos plan actually run: config plan + legacy injection shim. */
+fault::FaultPlan
+effective_plan(const ScenarioConfig& sc)
+{
+    fault::FaultPlan plan = sc.faults;
+    if (sc.inject_failure_at > 0)
+        plan.device_crash(sc.inject_failure_at, sc.inject_failure_device);
+    return plan;
+}
+
+/** Stage shares of one completed frame (mirrors the legacy math). */
+struct StageShares
+{
+    double total = 0.0;
+    double network = 0.0;
+    double mgmt = 0.0;
+    double data = 0.0;
+    double exec = 0.0;
+};
+
+/**
+ * One edge device actor. Everything here is owned by — and only ever
+ * touched from — the device's owner shard, except during wiring and
+ * the single-threaded post-run metric sweep.
+ */
+struct DeviceActor
+{
+    std::size_t id;
+    sim::Simulator* sim;  ///< Owner shard kernel.
+    sim::Rng rng;         ///< Device-local stream (jitter, loss, backoff).
+    edge::Device dev;
+    fault::OffloadRetrier retrier;  ///< Single-slot breaker (index 0).
+
+    // Wireless state the chaos hooks flip on the owner shard.
+    double loss_override = -1.0;  ///< Negative = use configured loss.
+    bool blocked = false;         ///< Hard partition (loss = 1).
+    double configured_loss = 0.0;
+
+    net::ShardLink* data_up = nullptr;
+    net::ShardLink* ctrl_up = nullptr;
+
+    // Per-frame state awaiting the cloud round trip.
+    struct PendingFrame
+    {
+        sim::Time t0 = 0;         ///< Capture time.
+        sim::Time t1_edge = 0;    ///< On-board stage done (edge kinds).
+        double edge_exec_s = 0.0; ///< On-board execution share.
+        geo::Vec2 pos;            ///< Capture position (for detection).
+    };
+    std::map<std::uint64_t, PendingFrame> pending;
+    std::uint64_t next_frame = 0;
+
+    // Local result partials, merged in id order after the run.
+    sim::Summary task_latency, network_s, mgmt_s, data_s, exec_s;
+    std::uint64_t frames = 0;
+    std::uint64_t completions = 0;
+    std::uint64_t wireless_drops = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t offload_retries = 0;
+    std::uint64_t abandoned = 0;
+    std::uint64_t breaker_opens = 0;
+    std::uint64_t radio_bytes = 0;
+    std::uint64_t radio_settled = 0;
+    double compute_settled = 0.0;
+
+    // Route protocol.
+    bool awaiting_route = false;
+    sim::Time route_requested_at = 0;
+
+    DeviceActor(sim::Simulator& shard, std::uint64_t seed, std::size_t d,
+                const edge::DeviceSpec& spec, const fault::RetryConfig& retry)
+        : id(d), sim(&shard), rng(seed), dev(shard, rng, d, spec),
+          retrier(1, retry)
+    {
+    }
+
+    double loss_now() const
+    {
+        if (blocked)
+            return 1.0;
+        return loss_override >= 0.0 ? loss_override : configured_loss;
+    }
+};
+
+/**
+ * The cloud tier: wired topology, cluster, FaaS + DataStore, IaaS
+ * pool and (on HiveMind) the scheduler — all on the cloud shard.
+ * Construction mirrors Deployment's wiring, including infra scaling.
+ */
+struct CloudTier
+{
+    sim::Simulator* sim;
+    sim::Rng rng;
+    DeploymentConfig cfg;  ///< Post scale_infra mutation.
+    PlatformOptions opt;
+    std::unique_ptr<net::SwarmTopology> topo;
+    std::unique_ptr<cloud::Cluster> cluster;
+    std::unique_ptr<cloud::DataStore> store;
+    std::unique_ptr<cloud::FaasRuntime> faas;
+    std::unique_ptr<cloud::IaasPool> iaas;
+    std::unique_ptr<core::HiveMindScheduler> scheduler;
+    sim::RateMeter air_meter{sim::kSecond};
+    std::uint64_t corrupt_frames = 0;
+
+    CloudTier(sim::Simulator& shard, const DeploymentConfig& config,
+              const PlatformOptions& options)
+        : sim(&shard), rng(config.seed ^ 0x5eedc0deull), cfg(config),
+          opt(options)
+    {
+        net::TopologyConfig net = cfg.net;
+        net.devices = cfg.devices;
+        net.servers = cfg.servers;
+        net.cloud_rpc_offload = opt.net_accel;
+        if (cfg.scale_infra && cfg.devices > 16) {
+            double factor = static_cast<double>(cfg.devices) / 16.0;
+            net.infra_scale = factor;
+            cfg.servers = static_cast<std::size_t>(
+                static_cast<double>(cfg.servers) * factor);
+            net.servers = cfg.servers;
+        }
+        // The radio segment is simulated device-side on the owner
+        // shards; this topology only carries the wired legs, so it
+        // needs no loss RNG.
+        topo = std::make_unique<net::SwarmTopology>(shard, net, nullptr);
+
+        cluster = std::make_unique<cloud::Cluster>(
+            cfg.servers, cfg.cores_per_server, cfg.server_memory_mb);
+        store = std::make_unique<cloud::DataStore>(shard, rng, cfg.store);
+        cloud::FaasConfig faas_cfg = cfg.faas;
+        if (opt.remote_mem_accel)
+            faas_cfg.sharing = cloud::SharingProtocol::RemoteMemory;
+        if (opt.smart_scheduler) {
+            faas_cfg.controllers = std::max<int>(
+                2, static_cast<int>(cfg.devices / 8));
+            faas_cfg.max_concurrency = 100000;
+        }
+        faas = std::make_unique<cloud::FaasRuntime>(shard, rng, *cluster,
+                                                    *store, faas_cfg);
+        iaas = std::make_unique<cloud::IaasPool>(shard, rng, cfg.iaas);
+        if (opt.smart_scheduler) {
+            scheduler = std::make_unique<core::HiveMindScheduler>(
+                shard, rng, *faas, cfg.scheduler);
+            scheduler->install();
+        }
+    }
+
+    /** Deployment::cloud_invoke, cloud-shard edition. */
+    void invoke(const cloud::InvokeRequest& request, int parallelism,
+                std::function<void(const CloudResult&)> done)
+    {
+        if (opt.kind == PlatformKind::CentralizedIaas) {
+            iaas->submit(request.work_core_ms,
+                         [done = std::move(done)](const cloud::IaasTrace& t) {
+                             CloudResult r;
+                             r.mgmt_s = t.queue_s();
+                             r.exec_s = t.total_s() - t.queue_s();
+                             r.done = t.done;
+                             if (done)
+                                 done(r);
+                         });
+            return;
+        }
+        auto to_result = [done = std::move(done)](
+                             const cloud::InvocationTrace& t) {
+            CloudResult r;
+            r.mgmt_s = t.mgmt_s() + t.instantiation_s();
+            r.data_s = t.data_s();
+            r.exec_s = t.exec_s();
+            r.done = t.done;
+            r.server = t.server;
+            if (done)
+                done(r);
+        };
+        if (scheduler) {
+            if (parallelism > 1)
+                scheduler->invoke_parallel(request, parallelism,
+                                           std::move(to_result));
+            else
+                scheduler->invoke(request, std::move(to_result));
+        } else {
+            if (parallelism > 1)
+                faas->invoke_parallel(request, parallelism,
+                                      std::move(to_result));
+            else
+                faas->invoke(request, std::move(to_result));
+        }
+    }
+};
+
+/** Controller tier state, pinned to shard 0. */
+struct ControllerTier
+{
+    sim::Simulator* sim;
+    sim::Rng rng;  ///< World construction + detection rolls.
+    core::SwarmLoadBalancer balancer;
+    core::FailureDetector detector;
+    core::LearningCoordinator learning;
+    std::unique_ptr<apps::ItemField> items;
+    std::unique_ptr<apps::CrowdField> crowd;
+    std::vector<int> pass;
+    std::vector<char> alive_known;
+    bool down = false;  ///< Crash/partition window open.
+    bool done = false;
+    bool goal = false;
+    double final_goal_fraction = 0.0;
+    sim::Time completion = 0;
+    sim::Time last_retrain = 0;
+    std::uint64_t reports = 0;
+    std::uint64_t dropped_msgs = 0;  ///< Messages lost to a dead controller.
+    std::uint64_t crashes = 0;
+    std::uint64_t takeovers = 0;
+
+    ControllerTier(sim::Simulator& shard, const ScenarioConfig& sc,
+                   std::size_t devices, std::uint64_t seed)
+        : sim(&shard), rng(seed),
+          balancer(geo::Rect{0.0, 0.0, sc.field_size_m, sc.field_size_m},
+                   devices),
+          detector(shard, devices),
+          learning(devices, sc.detection, sc.retrain),
+          pass(devices, 0), alive_known(devices, 1)
+    {
+        if (sc.kind == ScenarioKind::StationaryItems) {
+            items = std::make_unique<apps::ItemField>(
+                geo::Rect{0.0, 0.0, sc.field_size_m, sc.field_size_m},
+                sc.targets, rng);
+        } else {
+            crowd = std::make_unique<apps::CrowdField>(
+                geo::Rect{0.0, 0.0, sc.field_size_m, sc.field_size_m},
+                sc.targets, 1.4, rng);
+        }
+    }
+
+    double goal_fraction() const
+    {
+        if (items) {
+            return static_cast<double>(items->found_count()) /
+                static_cast<double>(items->item_count());
+        }
+        return static_cast<double>(crowd->counted_count()) /
+            static_cast<double>(crowd->population());
+    }
+};
+
+/**
+ * One sharded scenario run. Lives on the stack of
+ * run_scenario_sharded(); shard kernels call back into it, each
+ * callback touching only the state its shard owns.
+ */
+class ShardedScenarioEngine
+{
+  public:
+    ShardedScenarioEngine(const ScenarioConfig& sc,
+                          const PlatformOptions& opt,
+                          const DeploymentConfig& dep, int shards)
+        : sc_(sc), opt_(opt),
+          pipe_(pipeline_for(sc.kind, sc.frame_bytes_override)),
+          runtime_(shards),
+          cloud_shard_(shards > 1 ? 1 : 0),
+          cloud_(runtime_.shard(cloud_shard_), dep, opt),
+          ctrl_(runtime_.shard(0), sc, dep.devices, dep.seed ^ 0x5ca1ab1eull)
+    {
+        wire_devices(dep);
+        wire_controller();
+        arm_chaos();
+    }
+
+    ShardedScenarioResult run();
+
+  private:
+    bool hivemind() const { return opt_.kind == PlatformKind::HiveMind; }
+
+    // --- Device side (owner shards) ---
+    void device_tick(DeviceActor& a);
+    void frame_task(DeviceActor& a);
+    void offload(DeviceActor& a, std::uint64_t frame, std::uint64_t bytes,
+                 int attempt);
+    void air_attempt(DeviceActor& a, std::uint64_t frame,
+                     std::uint64_t bytes, int attempt, int tries_left);
+    void air_failed(DeviceActor& a, std::uint64_t frame,
+                    std::uint64_t bytes, int attempt);
+    void on_result(DeviceActor& a, std::uint64_t frame,
+                   const StageShares& cloud_shares, sim::Time t1,
+                   sim::Time cloud_done, bool edge_ack);
+
+    // --- Cloud side (cloud shard) ---
+    void cloud_ingress(std::size_t device, std::uint64_t frame,
+                       std::uint64_t bytes);
+    void invoke_stages(std::size_t device, std::uint64_t frame,
+                       std::size_t server, sim::Time t1);
+    void send_result(std::size_t device, std::uint64_t frame,
+                     const StageShares& shares, sim::Time t1,
+                     sim::Time cloud_done, bool edge_ack);
+
+    // --- Controller side (shard 0) ---
+    void controller_tick();
+    void on_beat(std::size_t device);
+    void on_report(std::size_t device, geo::Vec2 pos);
+    void on_route_request(std::size_t device);
+    void send_route(std::size_t device);
+    void on_device_failed(std::size_t device);
+    void on_device_recovered(std::size_t device);
+    void controller_takeover();
+    void finish(bool goal);
+
+    void wire_devices(const DeploymentConfig& dep);
+    void wire_controller();
+    void arm_chaos();
+    RunMetrics collect_metrics();
+    std::uint64_t checksum() const;
+
+    ScenarioConfig sc_;
+    PlatformOptions opt_;
+    PipelineSpec pipe_;
+    sim::SwarmRuntime runtime_;
+    int cloud_shard_;
+    CloudTier cloud_;
+    ControllerTier ctrl_;
+    std::vector<std::unique_ptr<DeviceActor>> devices_;
+    std::vector<net::ShardLink> data_up_, data_down_, ctrl_up_, ctrl_down_;
+    fault::ShardChaosReport chaos_;
+    std::uint64_t server_crashes_ = 0;
+    std::uint64_t datastore_outages_ = 0;
+    std::uint64_t link_burst_devices_ = 0;
+    std::uint64_t partitions_ = 0;
+    std::uint64_t device_crashes_ = 0;
+    std::uint64_t device_rejoins_ = 0;
+};
+
+void
+ShardedScenarioEngine::wire_devices(const DeploymentConfig& dep)
+{
+    const std::size_t n = dep.devices;
+    const net::TopologyConfig& net = dep.net;
+    devices_.reserve(n);
+    data_up_.reserve(n);
+    data_down_.reserve(n);
+    ctrl_up_.reserve(n);
+    ctrl_down_.reserve(n);
+    for (std::size_t d = 0; d < n; ++d) {
+        const int owner = runtime_.owner_of(d);
+        sim::Simulator& shard = runtime_.shard(owner);
+        devices_.push_back(std::make_unique<DeviceActor>(
+            shard, dep.seed ^ (0x9e3779b97f4a7c15ull * (d + 1)), d,
+            dep.device_spec, sc_.retry));
+        DeviceActor* a = devices_.back().get();
+        a->configured_loss = net.wireless_loss;
+        // Data plane to/from the cloud shard; control plane to/from
+        // shard 0. All four share the radio's propagation delay, which
+        // doubles as the declared channel lookahead.
+        data_up_.emplace_back(runtime_, owner, cloud_shard_,
+                              kDataUpOrigin + d, net.device_radio_bps,
+                              net.wireless_prop);
+        data_down_.emplace_back(runtime_, cloud_shard_, owner,
+                                kDataDownOrigin + d, net.device_radio_bps,
+                                net.wireless_prop);
+        ctrl_up_.emplace_back(runtime_, owner, 0, kCtrlUpOrigin + d,
+                              net.device_radio_bps, net.wireless_prop);
+        ctrl_down_.emplace_back(runtime_, 0, owner, kCtrlDownOrigin + d,
+                                net.device_radio_bps, net.wireless_prop);
+    }
+    for (std::size_t d = 0; d < n; ++d) {
+        DeviceActor* a = devices_[d].get();
+        a->data_up = &data_up_[d];
+        a->ctrl_up = &ctrl_up_[d];
+        sim::Simulator& shard = *a->sim;
+
+        // 1 Hz housekeeping: energy accounting, heartbeat, route asks.
+        sim::recurring(shard, sim::kSecond,
+                       [this, a](const sim::Recur& self) {
+                           device_tick(*a);
+                           self.again_in(sim::kSecond);
+                       });
+
+        // Poisson recognition frames while alive.
+        sim::recurring(
+            shard, sim::from_seconds(a->rng.uniform(0.0, 1.0)),
+            [this, a](const sim::Recur& self) {
+                if (a->dev.alive())
+                    frame_task(*a);
+                self.again_in(sim::from_seconds(
+                    a->rng.exponential(1.0 / sc_.frame_task_rate_hz)));
+            });
+
+        // Obstacle avoidance always runs on-board (Sec. 2.1).
+        sim::recurring(
+            shard, sim::from_seconds(a->rng.uniform(0.0, 0.5)),
+            [a, this](const sim::Recur& self) {
+                if (a->dev.alive())
+                    a->dev.executor().submit(18.0 * 0.55, nullptr);
+                self.again_in(sim::from_seconds(
+                    a->rng.exponential(1.0 / sc_.obstacle_rate_hz)));
+            });
+    }
+}
+
+void
+ShardedScenarioEngine::wire_controller()
+{
+    ctrl_.detector.set_on_failure(
+        [this](std::size_t d) { on_device_failed(d); });
+    ctrl_.detector.set_on_recovery(
+        [this](std::size_t d) { on_device_recovered(d); });
+    ctrl_.detector.start();
+
+    // Initial sweep routes ride the control downlinks before the run
+    // starts, landing in deterministic merge order like any message.
+    for (std::size_t d = 0; d < devices_.size(); ++d)
+        send_route(d);
+
+    sim::recurring(*ctrl_.sim, sim::kSecond,
+                   [this](const sim::Recur& self) {
+                       controller_tick();
+                       if (!ctrl_.done)
+                           self.again_in(sim::kSecond);
+                   });
+}
+
+void
+ShardedScenarioEngine::arm_chaos()
+{
+    fault::ShardChaosHooks hooks;
+    hooks.devices = devices_.size();
+    hooks.crash_device = [this](std::size_t d) {
+        devices_[d]->dev.set_failed(true);
+        ++device_crashes_;
+    };
+    hooks.rejoin_device = [this](std::size_t d) {
+        devices_[d]->dev.set_failed(false);
+        ++device_rejoins_;  // Heartbeats resume; the detector rejoins it.
+    };
+    hooks.set_device_loss = [this](std::size_t d, double loss) {
+        devices_[d]->loss_override = loss;
+        if (loss >= 0.0)
+            ++link_burst_devices_;
+    };
+    hooks.partition_device = [this](std::size_t d, bool on) {
+        devices_[d]->blocked = on;
+        if (on)
+            ++partitions_;
+    };
+    hooks.crash_server = [this](std::size_t s) {
+        cloud_.faas->crash_server(s, 0);
+        ++server_crashes_;
+    };
+    hooks.recover_server = [this](std::size_t s) {
+        cloud_.faas->restore_server(s);
+    };
+    hooks.datastore_outage = [this](sim::Time duration) {
+        cloud_.store->fail_until(cloud_.sim->now() + duration);
+        ++datastore_outages_;
+    };
+    hooks.crash_controller = [this] {
+        ctrl_.down = true;
+        ctrl_.detector.stop();
+        ++ctrl_.crashes;
+    };
+    hooks.recover_controller = [this] { controller_takeover(); };
+    chaos_ = fault::route_plan(
+        runtime_, effective_plan(sc_),
+        [this](std::size_t d) { return runtime_.owner_of(d); }, hooks,
+        cloud_shard_);
+}
+
+// ---------------------------------------------------------------------
+// Device side
+// ---------------------------------------------------------------------
+
+void
+ShardedScenarioEngine::device_tick(DeviceActor& a)
+{
+    if (!a.dev.alive())
+        return;
+    // Drones hover (full motion power) for the whole mission.
+    a.dev.account_motion(1.0);
+    a.dev.account_idle(1.0);
+    double busy = a.dev.executor().busy_seconds();
+    a.dev.account_compute(busy - a.compute_settled);
+    a.compute_settled = busy;
+    std::uint64_t delta = a.radio_bytes - a.radio_settled;
+    a.radio_settled = a.radio_bytes;
+    a.dev.account_radio(delta);
+    if (a.dev.battery().depleted()) {
+        a.dev.set_failed(true);  // Heartbeats stop; detector reacts.
+        return;
+    }
+    const std::size_t d = a.id;
+    a.ctrl_up->transfer(kCtrlMsgBytes,
+                        sim::InlineFn([this, d] { on_beat(d); }));
+    sim::Time now = a.sim->now();
+    if (a.dev.route_done(now) &&
+        (!a.awaiting_route ||
+         now - a.route_requested_at >= 3 * sim::kSecond)) {
+        a.awaiting_route = true;
+        a.route_requested_at = now;
+        a.ctrl_up->transfer(
+            kCtrlMsgBytes,
+            sim::InlineFn([this, d] { on_route_request(d); }));
+    }
+}
+
+void
+ShardedScenarioEngine::frame_task(DeviceActor& a)
+{
+    const std::uint64_t frame = ++a.next_frame;
+    ++a.frames;
+    sim::Time t0 = a.sim->now();
+    DeviceActor::PendingFrame p;
+    p.t0 = t0;
+    p.pos = a.dev.position_at(t0);
+    a.pending.emplace(frame, p);
+
+    if (opt_.kind == PlatformKind::DistributedEdge) {
+        // Everything on-board; only the final result is uplinked.
+        double total_work = pipe_.rec_work_ms + pipe_.dedup_work_ms;
+        a.dev.executor().submit(
+            total_work, [this, ap = &a, frame](double exec_s) {
+                auto it = ap->pending.find(frame);
+                if (it == ap->pending.end())
+                    return;
+                it->second.edge_exec_s = exec_s;
+                it->second.t1_edge = ap->sim->now();
+                offload(*ap, frame, pipe_.result_bytes, 0);
+            });
+        return;
+    }
+    if (hivemind()) {
+        // On-board pre-filter, then the reduced candidate stream.
+        double pre_work = pipe_.rec_work_ms * 0.10;
+        a.dev.executor().submit(
+            pre_work, [this, ap = &a, frame](double pre_exec_s) {
+                auto it = ap->pending.find(frame);
+                if (it == ap->pending.end())
+                    return;
+                it->second.edge_exec_s = pre_exec_s;
+                double raw = static_cast<double>(pipe_.frame_bytes);
+                double reduced = 4.0 * 1024.0 * 1024.0 + 0.02 * raw;
+                offload(*ap, frame,
+                        static_cast<std::uint64_t>(std::min(raw, reduced)),
+                        0);
+            });
+        return;
+    }
+    // Centralized (FaaS or IaaS): full frame uplink.
+    offload(a, frame, pipe_.frame_bytes, 0);
+}
+
+void
+ShardedScenarioEngine::offload(DeviceActor& a, std::uint64_t frame,
+                               std::uint64_t bytes, int attempt)
+{
+    if (a.retrier.circuit_open(0, a.sim->now())) {
+        // Breaker open: fail fast; the device sits out its probation
+        // window instead of queueing radio traffic (Sec. 4.6).
+        ++a.abandoned;
+        a.pending.erase(frame);
+        return;
+    }
+    a.radio_bytes += bytes;  // Radio energy per offload attempt.
+    air_attempt(a, frame, bytes, attempt,
+                cloud_.cfg.net.max_retransmits);
+}
+
+void
+ShardedScenarioEngine::air_attempt(DeviceActor& a, std::uint64_t frame,
+                                   std::uint64_t bytes, int attempt,
+                                   int tries_left)
+{
+    const double loss = a.loss_now();
+    const sim::Time timeout = cloud_.cfg.net.retransmit_timeout;
+    if (loss >= 1.0) {
+        // Radio blackout: nothing reaches the air; each retry burns a
+        // retransmit timeout until the budget is gone.
+        if (tries_left <= 0) {
+            ++a.wireless_drops;
+            air_failed(a, frame, bytes, attempt);
+            return;
+        }
+        ++a.retransmits;
+        a.sim->schedule_in(timeout, [this, ap = &a, frame, bytes, attempt,
+                                     tries_left] {
+            air_attempt(*ap, frame, bytes, attempt, tries_left - 1);
+        });
+        return;
+    }
+    const bool corrupt = loss > 0.0 && a.rng.chance(loss);
+    CloudTier* cloud = &cloud_;
+    const std::size_t d = a.id;
+    if (corrupt) {
+        // The transfer still occupies the serializer and the air — it
+        // arrives as garbage, counted cloud-side, and is retried one
+        // timeout after that arrival (the sender learns of the loss no
+        // earlier). The final attempt drops like any other lossy one.
+        sim::Time arrival = a.data_up->transfer(
+            bytes, sim::InlineFn([cloud] { ++cloud->corrupt_frames; }));
+        if (tries_left <= 0) {
+            ++a.wireless_drops;
+            air_failed(a, frame, bytes, attempt);
+            return;
+        }
+        ++a.retransmits;
+        a.sim->schedule_at(arrival + timeout,
+                           [this, ap = &a, frame, bytes, attempt,
+                            tries_left] {
+                               air_attempt(*ap, frame, bytes, attempt,
+                                           tries_left - 1);
+                           });
+        return;
+    }
+    a.retrier.record_success(0);
+    a.data_up->transfer(bytes, sim::InlineFn([this, d, frame, bytes] {
+                            cloud_ingress(d, frame, bytes);
+                        }));
+}
+
+void
+ShardedScenarioEngine::air_failed(DeviceActor& a, std::uint64_t frame,
+                                  std::uint64_t bytes, int attempt)
+{
+    sim::Time now = a.sim->now();
+    if (a.retrier.record_failure(0, now))
+        ++a.breaker_opens;
+    if (attempt + 1 >= a.retrier.config().max_attempts ||
+        a.retrier.circuit_open(0, now)) {
+        ++a.abandoned;
+        a.pending.erase(frame);
+        return;
+    }
+    ++a.offload_retries;
+    a.sim->schedule_in(a.retrier.backoff(attempt, a.rng),
+                       [this, ap = &a, frame, bytes, attempt] {
+                           offload(*ap, frame, bytes, attempt + 1);
+                       });
+}
+
+void
+ShardedScenarioEngine::on_result(DeviceActor& a, std::uint64_t frame,
+                                 const StageShares& cloud_shares,
+                                 sim::Time t1, sim::Time cloud_done,
+                                 bool edge_ack)
+{
+    auto it = a.pending.find(frame);
+    if (it == a.pending.end())
+        return;
+    DeviceActor::PendingFrame p = it->second;
+    a.pending.erase(it);
+
+    StageShares r;
+    if (edge_ack) {
+        // DistributedEdge: t1 is the result's arrival at the cloud.
+        r.total = sim::to_seconds(t1 - p.t0);
+        r.network = sim::to_seconds(t1 - p.t1_edge);
+        r.exec = p.edge_exec_s;
+        double q = sim::to_seconds(p.t1_edge - p.t0) - p.edge_exec_s;
+        r.mgmt = q > 0.0 ? q : 0.0;
+    } else {
+        sim::Time t3 = a.sim->now();
+        a.radio_bytes += pipe_.result_bytes;  // Downlink radio energy.
+        r.total = sim::to_seconds(t3 - p.t0);
+        r.network = sim::to_seconds(t1 - p.t0) - p.edge_exec_s +
+            sim::to_seconds(t3 - cloud_done);
+        if (r.network < 0.0)
+            r.network = 0.0;
+        r.mgmt = cloud_shares.mgmt;
+        r.data = cloud_shares.data;
+        r.exec = cloud_shares.exec + p.edge_exec_s;
+    }
+    a.task_latency.add(r.total);
+    a.network_s.add(r.network);
+    a.mgmt_s.add(r.mgmt);
+    a.data_s.add(r.data);
+    a.exec_s.add(r.exec);
+    ++a.completions;
+
+    const std::size_t d = a.id;
+    const geo::Vec2 pos = p.pos;
+    a.ctrl_up->transfer(kCtrlMsgBytes, sim::InlineFn([this, d, pos] {
+                            on_report(d, pos);
+                        }));
+}
+
+// ---------------------------------------------------------------------
+// Cloud side
+// ---------------------------------------------------------------------
+
+void
+ShardedScenarioEngine::cloud_ingress(std::size_t device,
+                                     std::uint64_t frame,
+                                     std::uint64_t bytes)
+{
+    cloud_.air_meter.add(cloud_.sim->now(), static_cast<double>(bytes));
+    const std::size_t server = device % cloud_.cfg.servers;
+    if (opt_.kind == PlatformKind::DistributedEdge) {
+        // The on-board result only needs ingesting; the ack carries
+        // its cloud arrival time back for the latency books.
+        cloud_.topo->send_uplink_wired(
+            device, server, bytes, [this, device, frame](sim::Time t2) {
+                send_result(device, frame, {}, t2, t2, true);
+            });
+        return;
+    }
+    cloud_.topo->send_uplink_wired(
+        device, server, bytes, [this, device, frame, server](sim::Time t1) {
+            invoke_stages(device, frame, server, t1);
+        });
+}
+
+void
+ShardedScenarioEngine::invoke_stages(std::size_t device,
+                                     std::uint64_t frame,
+                                     std::size_t server, sim::Time t1)
+{
+    cloud::InvokeRequest rec;
+    rec.app = pipe_.rec_app;
+    rec.work_core_ms = pipe_.rec_work_ms;
+    rec.memory_mb = pipe_.memory_mb;
+    rec.input_bytes = pipe_.inter_bytes;
+    rec.output_bytes = pipe_.inter_bytes;
+    rec.recovery = sc_.recovery;
+    const int par = hivemind() ? pipe_.parallelism : 1;
+    cloud_.invoke(rec, par, [this, device, frame, server, t1,
+                             par](const CloudResult& r1) {
+        if (pipe_.dedup_work_ms <= 0.0) {
+            StageShares s;
+            s.mgmt = r1.mgmt_s;
+            s.data = r1.data_s;
+            s.exec = r1.exec_s;
+            send_result(device, frame, s, t1, r1.done, false);
+            return;
+        }
+        // Dedup child: HiveMind co-locates it with its parent so the
+        // hand-off is in-memory (Sec. 4.3).
+        cloud::InvokeRequest dd;
+        dd.app = pipe_.dedup_app;
+        dd.work_core_ms = pipe_.dedup_work_ms;
+        dd.memory_mb = pipe_.memory_mb;
+        dd.input_bytes = pipe_.inter_bytes;
+        dd.output_bytes = pipe_.result_bytes;
+        dd.recovery = sc_.recovery;
+        if (opt_.smart_scheduler && r1.server != cloud::kNoServer) {
+            dd.preferred_server = r1.server;
+            dd.colocate_with_parent = true;
+        }
+        cloud_.invoke(dd, par,
+                      [this, device, frame, t1, r1](const CloudResult& r2) {
+                          StageShares s;
+                          s.mgmt = r1.mgmt_s + r2.mgmt_s;
+                          s.data = r1.data_s + r2.data_s;
+                          s.exec = r1.exec_s + r2.exec_s;
+                          send_result(device, frame, s, t1, r2.done, false);
+                      });
+        (void)server;
+    });
+}
+
+void
+ShardedScenarioEngine::send_result(std::size_t device, std::uint64_t frame,
+                                   const StageShares& shares, sim::Time t1,
+                                   sim::Time cloud_done, bool edge_ack)
+{
+    const std::size_t server = device % cloud_.cfg.servers;
+    const std::uint64_t bytes =
+        edge_ack ? kCtrlMsgBytes : pipe_.result_bytes;
+    cloud_.topo->send_downlink_wired(
+        server, device,
+        bytes, [this, device, frame, shares, t1, cloud_done, edge_ack,
+                bytes](sim::Time) {
+            if (!edge_ack) {
+                cloud_.air_meter.add(cloud_.sim->now(),
+                                     static_cast<double>(bytes));
+            }
+            DeviceActor* a = devices_[device].get();
+            data_down_[device].transfer(
+                bytes, sim::InlineFn([this, a, frame, shares, t1, cloud_done,
+                                      edge_ack] {
+                    on_result(*a, frame, shares, t1, cloud_done, edge_ack);
+                }));
+        });
+}
+
+// ---------------------------------------------------------------------
+// Controller side
+// ---------------------------------------------------------------------
+
+void
+ShardedScenarioEngine::on_beat(std::size_t device)
+{
+    if (ctrl_.down) {
+        ++ctrl_.dropped_msgs;
+        return;
+    }
+    ctrl_.alive_known[device] = 1;
+    ctrl_.detector.beat(device);
+}
+
+void
+ShardedScenarioEngine::on_report(std::size_t device, geo::Vec2 pos)
+{
+    if (ctrl_.down) {
+        ++ctrl_.dropped_msgs;
+        return;
+    }
+    if (ctrl_.done)
+        return;
+    ++ctrl_.reports;
+    const edge::DeviceSpec& spec = devices_[device]->dev.spec();
+    std::vector<std::size_t> visible;
+    if (ctrl_.items) {
+        visible = ctrl_.items->items_in_view(pos, spec.footprint_w,
+                                             spec.footprint_h);
+    } else {
+        visible = ctrl_.crowd->people_in_view(ctrl_.sim->now(), pos,
+                                              spec.footprint_w,
+                                              spec.footprint_h);
+    }
+    const apps::DetectionModel& model = ctrl_.learning.model(device);
+    for (std::size_t target : visible) {
+        if (ctrl_.rng.chance(model.p_correct())) {
+            if (ctrl_.items)
+                ctrl_.items->mark_found(target);
+            else
+                ctrl_.crowd->mark_counted(target);
+            ctrl_.learning.record(device);
+        }
+    }
+    ctrl_.learning.record(device);  // Every frame yields feedback.
+}
+
+void
+ShardedScenarioEngine::on_route_request(std::size_t device)
+{
+    if (ctrl_.down) {
+        ++ctrl_.dropped_msgs;
+        return;
+    }
+    if (ctrl_.done)
+        return;
+    ctrl_.alive_known[device] = 1;
+    if (ctrl_.detector.is_failed(device))
+        return;
+    if (ctrl_.pass[device] >= sc_.max_passes)
+        return;
+    if (!ctrl_.balancer.region_of(device))
+        return;
+    send_route(device);
+}
+
+void
+ShardedScenarioEngine::send_route(std::size_t device)
+{
+    const edge::DeviceSpec& spec = devices_[device]->dev.spec();
+    std::vector<geo::Vec2> route =
+        ctrl_.balancer.route_for(device, spec.footprint_w);
+    if (route.empty())
+        return;
+    if (ctrl_.pass[device] % 2 == 1)
+        std::reverse(route.begin(), route.end());
+    ++ctrl_.pass[device];
+    DeviceActor* a = devices_[device].get();
+    const std::uint64_t bytes = kCtrlMsgBytes + 16ull * route.size();
+    ctrl_down_[device].transfer(
+        bytes, sim::InlineFn([a, route = std::move(route)]() mutable {
+            if (!a->dev.alive())
+                return;  // Dark devices miss their mail.
+            a->dev.set_route(std::move(route));
+            a->awaiting_route = false;
+        }));
+}
+
+void
+ShardedScenarioEngine::on_device_failed(std::size_t device)
+{
+    ctrl_.alive_known[device] = 0;
+    if (!hivemind())
+        return;
+    // Fig. 10: split the failed device's region among its neighbours
+    // and hand the survivors fresh routes.
+    for (std::size_t c : ctrl_.balancer.handle_failure(device)) {
+        if (ctrl_.alive_known[c])
+            send_route(c);
+    }
+}
+
+void
+ShardedScenarioEngine::on_device_recovered(std::size_t device)
+{
+    ctrl_.alive_known[device] = 1;
+    if (!hivemind())
+        return;
+    for (std::size_t c : ctrl_.balancer.handle_rejoin(device)) {
+        if (ctrl_.alive_known[c])
+            send_route(c);
+    }
+}
+
+void
+ShardedScenarioEngine::controller_takeover()
+{
+    if (!ctrl_.down)
+        return;
+    ctrl_.down = false;
+    ++ctrl_.takeovers;
+    // Reconcile the drift the dead controller never processed: rebuild
+    // detector state from the last-known roster, repartition devices
+    // whose liveness and region disagree, refresh affected routes.
+    std::vector<std::size_t> changed;
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+        ctrl_.detector.reconcile(d, ctrl_.alive_known[d] != 0);
+        if (!hivemind())
+            continue;
+        if (ctrl_.alive_known[d] && !ctrl_.balancer.region_of(d)) {
+            for (std::size_t c : ctrl_.balancer.handle_rejoin(d))
+                changed.push_back(c);
+        } else if (!ctrl_.alive_known[d] && ctrl_.balancer.region_of(d)) {
+            for (std::size_t c : ctrl_.balancer.handle_failure(d))
+                changed.push_back(c);
+        }
+    }
+    ctrl_.detector.start();
+    for (std::size_t c : changed) {
+        if (ctrl_.alive_known[c])
+            send_route(c);
+    }
+}
+
+void
+ShardedScenarioEngine::controller_tick()
+{
+    if (ctrl_.done)
+        return;
+    sim::Time now = ctrl_.sim->now();
+    if (!ctrl_.down) {
+        if (now - ctrl_.last_retrain >= sc_.retrain_interval) {
+            ctrl_.learning.retrain();
+            ctrl_.last_retrain = now;
+        }
+        if (ctrl_.goal_fraction() >= 1.0) {
+            finish(true);
+            return;
+        }
+    }
+    bool all_dead = true;
+    bool passes_exhausted = true;
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+        if (ctrl_.alive_known[d]) {
+            all_dead = false;
+            if (ctrl_.pass[d] < sc_.max_passes)
+                passes_exhausted = false;
+        }
+    }
+    if (now >= sc_.time_cap || all_dead ||
+        (passes_exhausted && ctrl_.reports > 0)) {
+        finish(false);
+    }
+}
+
+void
+ShardedScenarioEngine::finish(bool goal)
+{
+    ctrl_.done = true;
+    ctrl_.goal = goal;
+    ctrl_.completion = ctrl_.sim->now();
+    ctrl_.final_goal_fraction = ctrl_.goal_fraction();
+    ctrl_.detector.stop();
+}
+
+// ---------------------------------------------------------------------
+// Run + results
+// ---------------------------------------------------------------------
+
+ShardedScenarioResult
+ShardedScenarioEngine::run()
+{
+    const auto wall0 = std::chrono::steady_clock::now();
+    // The stop predicate is evaluated between epochs, where the epoch
+    // sequence is invariant in the shard count, so the early stop
+    // preserves checksum identity at any N.
+    sim::SwarmRuntime::Report report = runtime_.run_until(
+        sc_.time_cap + 10 * sim::kSecond, [this] { return ctrl_.done; });
+    const auto wall1 = std::chrono::steady_clock::now();
+    if (!ctrl_.done)
+        finish(ctrl_.goal_fraction() >= 1.0);
+
+    ShardedScenarioResult result;
+    result.metrics = collect_metrics();
+    result.checksum = checksum();
+    result.epochs = report.epochs;
+    result.forwarded = report.forwarded;
+    result.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+    result.shards = runtime_.shards();
+    result.chaos = chaos_;
+    return result;
+}
+
+RunMetrics
+ShardedScenarioEngine::collect_metrics()
+{
+    RunMetrics m;
+    for (const auto& ap : devices_) {
+        const DeviceActor& a = *ap;
+        m.task_latency_s.merge(a.task_latency);
+        m.network_s.merge(a.network_s);
+        m.mgmt_s.merge(a.mgmt_s);
+        m.data_s.merge(a.data_s);
+        m.exec_s.merge(a.exec_s);
+        m.battery_pct.add(a.dev.battery().consumed_percent());
+        m.tasks_shed += a.dev.executor().shed();
+        m.tasks_completed += a.completions;
+        m.recovery.offload_retries += a.offload_retries;
+        m.recovery.offloads_abandoned += a.abandoned;
+        m.recovery.circuit_open_events += a.breaker_opens;
+        m.recovery.frames_dropped += a.wireless_drops;
+        m.recovery.wireless_retransmissions += a.retransmits;
+    }
+    sim::Summary bw = cloud_.air_meter.rate_summary(ctrl_.completion);
+    for (double r : bw.samples())
+        m.bandwidth_MBps.add(r / 1e6);
+    m.cold_starts = cloud_.faas->cold_starts();
+    m.warm_starts = cloud_.faas->warm_starts();
+    m.faults = cloud_.faas->faults();
+    if (cloud_.scheduler)
+        m.respawns = cloud_.scheduler->respawns();
+    m.cloud_rpc_cpu_s = cloud_.topo->cloud_rpc_cpu_seconds();
+    m.completed = ctrl_.goal;
+    m.goal_fraction = ctrl_.final_goal_fraction;
+    m.completion_s = sim::to_seconds(ctrl_.completion);
+    m.detect_correct_pct = 100.0 * ctrl_.learning.swarm_p_correct();
+    m.detect_fn_pct = 100.0 * ctrl_.learning.swarm_p_false_negative();
+    m.detect_fp_pct = 100.0 * ctrl_.learning.swarm_p_false_positive();
+    m.recovery.device_crashes = device_crashes_;
+    m.recovery.device_rejoins = device_rejoins_;
+    m.recovery.server_crashes = server_crashes_;
+    m.recovery.datastore_outages = datastore_outages_;
+    m.recovery.partitions = partitions_;
+    m.recovery.link_burst_windows = link_burst_devices_;
+    m.recovery.controller_crashes = ctrl_.crashes;
+    m.recovery.controller_failovers = ctrl_.takeovers;
+    return m;
+}
+
+std::uint64_t
+ShardedScenarioEngine::checksum() const
+{
+    // Device-id order, then controller and cloud digests: every key is
+    // shard-agnostic, so this is the quantity the invariance tests
+    // compare across shard counts.
+    std::uint64_t cs = fnv::kBasis;
+    for (const auto& ap : devices_) {
+        const DeviceActor& a = *ap;
+        mix(cs, a.frames);
+        mix(cs, a.completions);
+        mix(cs, a.wireless_drops);
+        mix(cs, a.retransmits);
+        mix(cs, a.offload_retries);
+        mix(cs, a.abandoned);
+        mix(cs, a.breaker_opens);
+        mix(cs, a.radio_bytes);
+        mix(cs, a.dev.alive() ? 1 : 0);
+        mix(cs, bits(a.dev.battery().consumed_percent()));
+        mix(cs, bits(a.task_latency.sum()));
+        mix(cs, bits(a.network_s.sum()));
+        mix(cs, bits(a.exec_s.sum()));
+        geo::Vec2 pos = a.dev.position_at(ctrl_.completion);
+        mix(cs, bits(pos.x));
+        mix(cs, bits(pos.y));
+        mix(cs, static_cast<std::uint64_t>(
+                    ctrl_.pass[a.id] >= 0 ? ctrl_.pass[a.id] : 0));
+    }
+    mix(cs, ctrl_.reports);
+    mix(cs, ctrl_.dropped_msgs);
+    mix(cs, ctrl_.takeovers);
+    mix(cs, ctrl_.items ? ctrl_.items->found_count()
+                        : ctrl_.crowd->counted_count());
+    mix(cs, bits(ctrl_.learning.swarm_p_correct()));
+    mix(cs, ctrl_.detector.failed_count());
+    mix(cs, cloud_.corrupt_frames);
+    mix(cs, cloud_.faas->cold_starts());
+    mix(cs, cloud_.faas->warm_starts());
+    mix(cs, cloud_.faas->faults());
+    mix(cs, bits(cloud_.topo->cloud_rpc_cpu_seconds()));
+    mix(cs, bits(sim::to_seconds(ctrl_.completion)));
+    return cs;
+}
+
+}  // namespace
+
+bool
+scenario_shardable(const ScenarioConfig& scenario)
+{
+    return scenario.kind == ScenarioKind::StationaryItems ||
+        scenario.kind == ScenarioKind::MovingPeople;
+}
+
+ShardedScenarioResult
+run_scenario_sharded(const ScenarioConfig& scenario,
+                     const PlatformOptions& options,
+                     const DeploymentConfig& deployment_config,
+                     int runtime_shards)
+{
+    ShardedScenarioEngine engine(scenario, options, deployment_config,
+                                 runtime_shards < 1 ? 1 : runtime_shards);
+    return engine.run();
+}
+
+}  // namespace hivemind::platform

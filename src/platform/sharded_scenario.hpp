@@ -1,0 +1,67 @@
+#pragma once
+
+/**
+ * @file
+ * Paper scenarios on the sharded runtime.
+ *
+ * run_scenario_sharded() executes the drone scenarios (Stationary
+ * Items, Moving People) as a distributed system on sim::SwarmRuntime:
+ *
+ *  - Each edge device is a shard-local actor (motion, sensing,
+ *    on-board execution, offload decisions, battery) on shard
+ *    `id % N`, with net::ShardLink uplinks for frames and control.
+ *  - The swarm controller tier (load balancer, failure detector,
+ *    learning coordinator, the ground-truth world) is pinned to
+ *    shard 0 and reachable only through control-plane links.
+ *  - The cloud tier (wired topology, FaaS runtime + DataStore, IaaS
+ *    pool, scheduler) lives on its own shard (shard 1 when N > 1),
+ *    with the data-plane radio links declared as runtime channels.
+ *
+ * All cross-actor interaction rides ShardLinks, so a run is
+ * checksum-identical for any shard count (N = 1 included); the
+ * invariance tests assert this with the result's FNV digest. The
+ * engine is a message-passing re-implementation of the legacy
+ * ScenarioHarness semantics — per-frame pipelines, retry/breaker
+ * offload, heartbeat-driven repartitioning, continuous learning —
+ * not an event-for-event replay of it, so compare sharded runs with
+ * sharded runs and legacy runs with legacy runs.
+ */
+
+#include <cstdint>
+
+#include "fault/shard_chaos.hpp"
+#include "platform/deployment.hpp"
+#include "platform/metrics.hpp"
+#include "platform/options.hpp"
+#include "platform/scenario.hpp"
+
+namespace hivemind::platform {
+
+/** Outcome of one sharded scenario run. */
+struct ShardedScenarioResult
+{
+    RunMetrics metrics;
+    /** FNV digest of end state in device-id order (shard-agnostic). */
+    std::uint64_t checksum = 0;
+    std::uint64_t epochs = 0;     ///< Conservative-sync barrier rounds.
+    std::uint64_t forwarded = 0;  ///< Cross-shard envelopes delivered.
+    double wall_s = 0.0;          ///< Host wall-clock for the run.
+    int shards = 1;
+    fault::ShardChaosReport chaos;
+};
+
+/** Whether the sharded engine models this scenario (drone kinds). */
+bool scenario_shardable(const ScenarioConfig& scenario);
+
+/**
+ * Run @p scenario on @p runtime_shards shard kernels. Requires
+ * scenario_shardable(); the checksum (and metrics) are invariant in
+ * @p runtime_shards.
+ */
+ShardedScenarioResult
+run_scenario_sharded(const ScenarioConfig& scenario,
+                     const PlatformOptions& options,
+                     const DeploymentConfig& deployment_config,
+                     int runtime_shards);
+
+}  // namespace hivemind::platform

@@ -1,10 +1,10 @@
 #include "platform/sharded_swarm.hpp"
 
 #include <chrono>
-#include <cstring>
 #include <vector>
 
 #include "net/shard_link.hpp"
+#include "platform/fnv.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/swarm_runtime.hpp"
@@ -13,29 +13,14 @@ namespace hivemind::platform {
 
 namespace {
 
-constexpr std::uint64_t kFnvBasis = 1469598103934665603ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+using fnv::bits;
+using fnv::mix;
+
+constexpr std::uint64_t kFnvBasis = fnv::kBasis;
 constexpr std::uint64_t kDownlinkOrigin = 1u << 20;  ///< Above any device.
 constexpr std::uint64_t kCtrlMsgBytes = 64;
 constexpr double kFieldM = 48.0;
 constexpr int kStripWidth = 1024;
-
-void
-mix(std::uint64_t& hash, std::uint64_t value)
-{
-    for (int i = 0; i < 8; ++i) {
-        hash ^= (value >> (i * 8)) & 0xff;
-        hash *= kFnvPrime;
-    }
-}
-
-std::uint64_t
-bits(double value)
-{
-    std::uint64_t u = 0;
-    std::memcpy(&u, &value, sizeof(u));
-    return u;
-}
 
 /** One edge device; all state is touched only by its owner shard. */
 struct Device

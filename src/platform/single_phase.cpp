@@ -243,6 +243,9 @@ collect_shared(JobHarness& harness, Deployment& dep, const JobConfig& job)
     if (dep.scheduler())
         harness.metrics.respawns = dep.scheduler()->respawns();
     harness.metrics.cloud_rpc_cpu_s = dep.network().cloud_rpc_cpu_seconds();
+    harness.metrics.recovery.frames_dropped = dep.network().frames_dropped();
+    harness.metrics.recovery.wireless_retransmissions =
+        dep.network().retransmissions();
 }
 
 /** Settle device energy at the end of a run. */

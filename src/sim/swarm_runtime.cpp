@@ -106,6 +106,12 @@ SwarmRuntime::drain(Time window)
 SwarmRuntime::Report
 SwarmRuntime::run_until(Time until)
 {
+    return run_until(until, {});
+}
+
+SwarmRuntime::Report
+SwarmRuntime::run_until(Time until, const std::function<bool()>& stop)
+{
     Report report;
     std::uint64_t before = 0;
     for (const auto& s : sims_)
@@ -142,6 +148,8 @@ SwarmRuntime::run_until(Time until)
         ++report.epochs;
         report.horizon = window;
         report.forwarded += drain(window);
+        if (stop && stop())
+            break;
     }
 
     std::uint64_t after = 0;

@@ -36,6 +36,7 @@
 
 #include <barrier>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -112,6 +113,17 @@ class SwarmRuntime
      * Returns once no shard holds an event at or before @p until.
      */
     Report run_until(Time until);
+
+    /**
+     * Like run_until(), but additionally evaluates @p stop on the
+     * coordinator thread between epochs (after the drain) and returns
+     * early once it yields true. Because the epoch window sequence
+     * depends only on the global event horizon and the declared
+     * lookahead, the epoch in which a deterministic simulation-time
+     * condition is first observed is invariant across shard counts —
+     * an early stop preserves byte-identical state at any N.
+     */
+    Report run_until(Time until, const std::function<bool()>& stop);
 
     /** Sum of pending events across shards (between epochs only). */
     std::size_t pending() const;

@@ -188,4 +188,33 @@ TEST(ShardDeterminismTest, ShardCountDoesNotChangeTheRun)
     EXPECT_GT(one.controller.dropped, 0u);
 }
 
+/**
+ * The ScenarioConfig::shards knob at its default must be a pure
+ * pass-through: shards=1 takes the legacy single-kernel path and the
+ * full metric trace is byte-identical to a config that never set it.
+ */
+TEST(ShardDeterminismTest, ShardsOneIsByteIdenticalToLegacyRun)
+{
+    platform::ScenarioConfig sc = fig01_scenario();
+    platform::RunMetrics legacy = platform::run_scenario(
+        sc, platform::PlatformOptions::hivemind(), fig01_deployment(42));
+    sc.shards = 1;
+    platform::RunMetrics knob = platform::run_scenario(
+        sc, platform::PlatformOptions::hivemind(), fig01_deployment(42));
+    EXPECT_EQ(run_checksum(knob), run_checksum(legacy));
+}
+
+/** Same seed, same shard count: the sharded engine replays exactly. */
+TEST(ShardDeterminismTest, ShardedScenarioRepeatsByteIdentical)
+{
+    platform::ScenarioConfig sc = fig01_scenario();
+    sc.shards = 2;
+    platform::RunMetrics a = platform::run_scenario(
+        sc, platform::PlatformOptions::hivemind(), fig01_deployment(42));
+    platform::RunMetrics b = platform::run_scenario(
+        sc, platform::PlatformOptions::hivemind(), fig01_deployment(42));
+    EXPECT_EQ(run_checksum(a), run_checksum(b));
+    EXPECT_GT(a.tasks_completed, 0u);
+}
+
 }  // namespace

@@ -75,6 +75,54 @@ TEST(Link, MeterTracksThroughput)
     EXPECT_DOUBLE_EQ(rates[0], 1'000'000.0);
 }
 
+TEST(Link, UtilizationCountsOnlyElapsedBusyTime)
+{
+    sim::Simulator s;
+    Link link(s, "l", 8e6 /* 1 MB/s */, 0);
+    // 10 MB queued at t=0 keeps the serializer busy until t=10 s, but
+    // at t=1 s only one second of that work has actually happened.
+    for (int i = 0; i < 10; ++i)
+        link.transfer(1'000'000, nullptr);
+    s.schedule_at(sim::kSecond, [&] {
+        EXPECT_NEAR(link.utilization(), 1.0, 1e-9);
+    });
+    s.schedule_at(10 * sim::kSecond, [&] {
+        EXPECT_NEAR(link.utilization(), 1.0, 1e-9);
+    });
+    // Two idle seconds after drain: 10 s busy out of 12 elapsed.
+    s.schedule_at(12 * sim::kSecond, [&] {
+        EXPECT_NEAR(link.utilization(), 10.0 / 12.0, 1e-9);
+    });
+    s.run();
+}
+
+TEST(Link, UtilizationSurvivesIdleGaps)
+{
+    sim::Simulator s;
+    Link link(s, "l", 8e6, 0);
+    link.transfer(1'000'000, [] {});  // Busy [0, 1 s).
+    s.schedule_at(3 * sim::kSecond, [&] {
+        link.transfer(1'000'000, [] {});  // Busy [3 s, 4 s).
+    });
+    s.run();
+    EXPECT_NEAR(link.utilization(), 2.0 / 4.0, 1e-9);
+}
+
+TEST(Link, MeterChargesAtSerializationStart)
+{
+    sim::Simulator s;
+    Link link(s, "l", 8e6 /* 1 MB/s */, 0);
+    // Both frames enqueue at t=0 but the second only crosses the wire
+    // during [1 s, 2 s): the per-second rate must never exceed the
+    // physical capacity.
+    link.transfer(1'000'000, nullptr);
+    link.transfer(1'000'000, nullptr);
+    auto rates = link.meter().rates(2 * sim::kSecond);
+    ASSERT_EQ(rates.size(), 2u);
+    EXPECT_DOUBLE_EQ(rates[0], 1'000'000.0);
+    EXPECT_DOUBLE_EQ(rates[1], 1'000'000.0);
+}
+
 TEST(RpcConfig, Presets)
 {
     RpcConfig sw = RpcConfig::software_stack(2);
@@ -237,6 +285,58 @@ TEST(Topology, WirelessLossRetransmits)
     s.run();
     EXPECT_EQ(delivered, 60);  // Everything eventually arrives.
     EXPECT_GT(topo.retransmissions(), 10u);
+}
+
+TEST(Topology, ExhaustedRetryBudgetDropsAndSignalsCaller)
+{
+    // A blackout (loss >= 1) burns every retry, then the frame must be
+    // reported dropped — never silently delivered on the last attempt.
+    sim::Simulator s;
+    sim::Rng rng(7);
+    TopologyConfig cfg;
+    cfg.devices = 1;
+    cfg.servers = 1;
+    cfg.wireless_loss = 1.0;
+    cfg.max_retransmits = 3;
+    SwarmTopology topo(s, cfg, &rng);
+    int callbacks = 0;
+    sim::Time verdict = 0;
+    topo.send_uplink(0, 0, 64 << 10, [&](sim::Time at) {
+        ++callbacks;
+        verdict = at;
+    });
+    s.run();
+    EXPECT_EQ(callbacks, 1);
+    EXPECT_EQ(verdict, kDropped);
+    EXPECT_EQ(topo.frames_dropped(), 1u);
+    EXPECT_EQ(topo.retransmissions(), 3u);
+}
+
+TEST(Topology, LossyFinalAttemptStillRollsTheDice)
+{
+    // Probabilistic loss with a tight budget: every frame must resolve
+    // exactly once, as either a delivery or a counted drop.
+    sim::Simulator s;
+    sim::Rng rng(11);
+    TopologyConfig cfg;
+    cfg.devices = 1;
+    cfg.servers = 1;
+    cfg.wireless_loss = 0.9;
+    cfg.max_retransmits = 1;
+    SwarmTopology topo(s, cfg, &rng);
+    const int frames = 50;
+    int delivered = 0;
+    int dropped = 0;
+    for (int i = 0; i < frames; ++i) {
+        topo.send_uplink(0, 0, 16 << 10, [&](sim::Time at) {
+            at == kDropped ? ++dropped : ++delivered;
+        });
+    }
+    s.run();
+    EXPECT_EQ(delivered + dropped, frames);
+    EXPECT_GT(dropped, 0);
+    EXPECT_GT(delivered, 0);
+    EXPECT_EQ(topo.frames_dropped(), static_cast<std::uint64_t>(dropped));
 }
 
 TEST(Topology, LossFreeByDefault)

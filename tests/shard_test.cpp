@@ -18,6 +18,7 @@
 
 #include "fault/shard_chaos.hpp"
 #include "net/shard_link.hpp"
+#include "platform/sharded_scenario.hpp"
 #include "platform/sharded_swarm.hpp"
 #include "sim/swarm_runtime.hpp"
 
@@ -253,6 +254,129 @@ TEST(ShardedSwarmTest, InvariantUnderControllerFailover)
         platform::ShardedSwarmResult r = platform::run_sharded_swarm(cfg(n));
         EXPECT_EQ(r.checksum, ref.checksum) << "shards=" << n;
     }
+}
+
+// --- Paper scenarios on the sharded runtime ---------------------------
+
+platform::ScenarioConfig
+scenario_config()
+{
+    platform::ScenarioConfig sc;
+    sc.kind = platform::ScenarioKind::StationaryItems;
+    sc.field_size_m = 48.0;
+    sc.targets = 6;
+    sc.time_cap = 120 * sim::kSecond;
+    return sc;
+}
+
+platform::DeploymentConfig
+scenario_deployment()
+{
+    platform::DeploymentConfig cfg;
+    cfg.devices = 8;
+    cfg.servers = 4;
+    cfg.cores_per_server = 8;
+    cfg.seed = 42;
+    return cfg;
+}
+
+TEST(ShardedScenarioTest, OnlyDroneScenariosAreShardable)
+{
+    platform::ScenarioConfig sc = scenario_config();
+    EXPECT_TRUE(platform::scenario_shardable(sc));
+    sc.kind = platform::ScenarioKind::MovingPeople;
+    EXPECT_TRUE(platform::scenario_shardable(sc));
+    sc.kind = platform::ScenarioKind::TreasureHunt;
+    EXPECT_FALSE(platform::scenario_shardable(sc));
+    sc.kind = platform::ScenarioKind::RoverMaze;
+    EXPECT_FALSE(platform::scenario_shardable(sc));
+}
+
+TEST(ShardedScenarioTest, RunsTheScenarioToAVerdict)
+{
+    platform::ShardedScenarioResult r = platform::run_scenario_sharded(
+        scenario_config(), platform::PlatformOptions::hivemind(),
+        scenario_deployment(), 2);
+    EXPECT_GT(r.epochs, 0u);
+    EXPECT_GT(r.forwarded, 0u);
+    EXPECT_GT(r.metrics.tasks_completed, 0u);
+    EXPECT_GT(r.metrics.completion_s, 0.0);
+    EXPECT_GT(r.metrics.task_latency_s.count(), 0u);
+    EXPECT_GT(r.metrics.bandwidth_MBps.count(), 0u);
+}
+
+TEST(ShardedScenarioTest, ChecksumInvariantAcrossShardCounts)
+{
+    platform::ShardedScenarioResult ref = platform::run_scenario_sharded(
+        scenario_config(), platform::PlatformOptions::hivemind(),
+        scenario_deployment(), 1);
+    for (int n : shard_counts()) {
+        if (n == 1)
+            continue;
+        platform::ShardedScenarioResult r = platform::run_scenario_sharded(
+            scenario_config(), platform::PlatformOptions::hivemind(),
+            scenario_deployment(), n);
+        EXPECT_EQ(r.checksum, ref.checksum) << "shards=" << n;
+        EXPECT_EQ(r.metrics.tasks_completed, ref.metrics.tasks_completed)
+            << "shards=" << n;
+        EXPECT_EQ(r.metrics.completed, ref.metrics.completed)
+            << "shards=" << n;
+    }
+}
+
+TEST(ShardedScenarioTest, CentralizedPlatformIsInvariantToo)
+{
+    platform::ScenarioConfig sc = scenario_config();
+    sc.time_cap = 60 * sim::kSecond;
+    platform::ShardedScenarioResult ref = platform::run_scenario_sharded(
+        sc, platform::PlatformOptions::centralized_faas(),
+        scenario_deployment(), 1);
+    for (int n : shard_counts()) {
+        platform::ShardedScenarioResult r = platform::run_scenario_sharded(
+            sc, platform::PlatformOptions::centralized_faas(),
+            scenario_deployment(), n);
+        EXPECT_EQ(r.checksum, ref.checksum) << "shards=" << n;
+    }
+}
+
+TEST(ShardedScenarioTest, InvariantUnderChaosPlan)
+{
+    // A mid-run device crash (with rejoin), a cloud server crash and a
+    // controller failover all cross shard boundaries; the checksum must
+    // not care where the victims live.
+    platform::ScenarioConfig sc = scenario_config();
+    sc.faults.device_crash(3 * sim::kSecond, 2, 4 * sim::kSecond);
+    sc.faults.server_crash(4 * sim::kSecond, 1, 3 * sim::kSecond);
+    sc.faults.controller_crash(6 * sim::kSecond);
+    platform::ShardedScenarioResult ref = platform::run_scenario_sharded(
+        sc, platform::PlatformOptions::hivemind(), scenario_deployment(), 1);
+    EXPECT_GE(ref.metrics.recovery.device_crashes, 1u);
+    EXPECT_GE(ref.metrics.recovery.device_rejoins, 1u);
+    EXPECT_GE(ref.metrics.recovery.server_crashes, 1u);
+    EXPECT_GE(ref.metrics.recovery.controller_failovers, 1u);
+    for (int n : shard_counts()) {
+        platform::ShardedScenarioResult r = platform::run_scenario_sharded(
+            sc, platform::PlatformOptions::hivemind(), scenario_deployment(),
+            n);
+        EXPECT_EQ(r.checksum, ref.checksum) << "shards=" << n;
+    }
+}
+
+TEST(ShardedScenarioTest, ShardsKnobRoutesThroughRunScenario)
+{
+    // run_scenario(shards=N>1) must hand off to the sharded engine and
+    // return its metrics verbatim.
+    platform::ScenarioConfig sc = scenario_config();
+    sc.shards = 2;
+    platform::RunMetrics via_knob = platform::run_scenario(
+        sc, platform::PlatformOptions::hivemind(), scenario_deployment());
+    platform::ShardedScenarioResult direct = platform::run_scenario_sharded(
+        sc, platform::PlatformOptions::hivemind(), scenario_deployment(), 2);
+    EXPECT_EQ(via_knob.tasks_completed, direct.metrics.tasks_completed);
+    EXPECT_EQ(via_knob.completed, direct.metrics.completed);
+    EXPECT_EQ(via_knob.task_latency_s.count(),
+              direct.metrics.task_latency_s.count());
+    EXPECT_DOUBLE_EQ(via_knob.completion_s, direct.metrics.completion_s);
 }
 
 }  // namespace
