@@ -7,14 +7,18 @@
  * kills the primary mid-scenario and sweeps the checkpoint interval:
  * a fresher checkpoint means less post-checkpoint drift to replay, so
  * recovery time (MTTR) shrinks monotonically as checkpoints get more
- * frequent — at the cost of more checkpoint traffic. It also shows a
- * controller partition (no failover, degraded-mode autonomy only) and
- * emits BENCH_abl_controller_ha.json for scripts.
+ * frequent — at the cost of more checkpoint traffic. The same sweep
+ * runs on the sharded engine at shard counts {1, 2, 4}: the HA stack
+ * there rides dedicated checkpoint ShardLinks, and the ledger must be
+ * invariant in the shard count with the same monotone shape. It also
+ * shows a controller partition (no failover, degraded-mode autonomy
+ * only) on both engines and emits BENCH_abl_controller_ha.json.
  */
 
 #include <vector>
 
 #include "bench_util.hpp"
+#include "platform/sharded_scenario.hpp"
 
 using namespace hivemind;
 using namespace hivemind::bench;
@@ -23,6 +27,9 @@ namespace {
 
 constexpr double kCrashAtS = 15.7;
 constexpr int kSeeds = 3;
+
+/** Shard counts for the sharded-engine leg (0 = legacy engine). */
+const std::vector<int> kShardCounts = {1, 2, 4};
 
 platform::ScenarioConfig
 crash_scenario()
@@ -49,11 +56,16 @@ struct SweepPoint
     double outage_goodput = 0.0;
 };
 
-/** One independent crash-failover run: (checkpoint interval, seed). */
+/**
+ * One independent crash-failover run: (checkpoint interval, seed,
+ * engine). shards == 0 runs the legacy single-kernel harness; any
+ * other value runs the sharded engine on that many shard kernels.
+ */
 struct RunPoint
 {
     sim::Time interval = 0;
     std::uint64_t seed = 0;
+    int shards = 0;
 };
 
 platform::RunMetrics
@@ -61,6 +73,12 @@ run_point(const RunPoint& p)
 {
     platform::ScenarioConfig sc = crash_scenario();
     sc.ha.checkpoint_interval = p.interval;
+    if (p.shards > 0) {
+        return platform::run_scenario_sharded(
+                   sc, platform::PlatformOptions::hivemind(),
+                   paper_deployment(p.seed), p.shards)
+            .metrics;
+    }
     return platform::run_scenario(sc,
                                   platform::PlatformOptions::hivemind(),
                                   paper_deployment(p.seed));
@@ -95,79 +113,33 @@ reduce_interval(sim::Time interval,
     return p;
 }
 
-}  // namespace
-
-int
-main()
+bool
+mttr_monotone(const std::vector<SweepPoint>& sweep)
 {
-    print_header("Ablation: controller HA",
-                 "Hot-standby failover vs checkpoint interval "
-                 "(primary killed at t=15.7 s, Scenario A)");
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        if (sweep[i].mttr_s < sweep[i - 1].mttr_s - 1e-9)
+            return false;
+    }
+    return true;
+}
 
+void
+print_sweep(const std::vector<SweepPoint>& sweep)
+{
     std::printf("%-10s %8s %8s %9s %9s %7s %9s %9s\n", "interval",
                 "MTTD(s)", "MTTR(s)", "ckpt age", "outage s", "ckpts",
                 "ckpt KB", "redriven");
-    // All (interval, seed) runs are independent: fan them out on the
-    // run_sweep() pool and reduce per interval in deterministic order.
-    const std::vector<double> intervals_s = {1.0, 2.0, 4.0, 8.0, 16.0};
-    std::vector<RunPoint> points;
-    for (double interval_s : intervals_s)
-        for (int r = 0; r < kSeeds; ++r)
-            points.push_back({sim::from_seconds(interval_s),
-                              42 + static_cast<std::uint64_t>(r)});
-    std::vector<platform::RunMetrics> runs = run_sweep(points, run_point);
-    std::vector<SweepPoint> sweep;
-    for (std::size_t i = 0; i < intervals_s.size(); ++i)
-        sweep.push_back(
-            reduce_interval(sim::from_seconds(intervals_s[i]),
-                            &runs[i * static_cast<std::size_t>(kSeeds)]));
     for (const SweepPoint& p : sweep) {
         std::printf("%7.0f s  %8.2f %8.2f %9.2f %9.2f %7.1f %9.1f %9.1f\n",
                     p.interval_s, p.mttd_s, p.mttr_s, p.ckpt_age_s,
                     p.outage_s, p.ckpts_per_run, p.ckpt_kb_per_run,
                     p.redriven_per_run);
     }
+}
 
-    // The headline claim: fresher checkpoints -> faster recovery.
-    bool monotone = true;
-    for (std::size_t i = 1; i < sweep.size(); ++i) {
-        if (sweep[i].mttr_s < sweep[i - 1].mttr_s - 1e-9)
-            monotone = false;
-    }
-    std::printf("\nRecovery time decreases monotonically with checkpoint "
-                "frequency: %s\n", monotone ? "yes" : "NO (unexpected)");
-    std::printf("(Detection is the election timeout and does not depend on "
-                "the interval; the\n spread above is the drift-replay term "
-                "growing with checkpoint age.)\n");
-
-    // --- Degraded-mode autonomy during the outage window ---
-    std::printf("\nDegraded-mode edge autonomy while no controller was "
-                "reachable (per run):\n%-10s %10s %10s %10s\n", "interval",
-                "buffered", "drained", "goodput");
-    for (const SweepPoint& p : sweep) {
-        std::printf("%7.0f s  %10.1f %10.1f %10.1f\n", p.interval_s,
-                    p.buffered_per_run, p.drained_per_run,
-                    p.outage_goodput);
-    }
-
-    // --- Partition: unreachable primary, no standby consumed ---
-    platform::ScenarioConfig part = crash_scenario();
-    part.faults = fault::FaultPlan{};
-    part.faults.controller_partition(sim::from_seconds(kCrashAtS),
-                                     6 * sim::kSecond);
-    platform::RunMetrics pm = platform::run_scenario(
-        part, platform::PlatformOptions::hivemind(), paper_deployment(42));
-    std::printf("\nController partition (6 s) for contrast: outage %.1f s, "
-                "failovers %llu,\nframes buffered %llu and drained %llu by "
-                "local autonomy.\n", pm.recovery.controller_outage_s,
-                static_cast<unsigned long long>(
-                    pm.recovery.controller_crashes),
-                static_cast<unsigned long long>(
-                    pm.recovery.frames_buffered_degraded),
-                static_cast<unsigned long long>(
-                    pm.recovery.buffered_frames_drained));
-
-    // --- Machine-readable output ---
+Json
+sweep_json(const std::vector<SweepPoint>& sweep)
+{
     Json series = Json::array();
     for (const SweepPoint& p : sweep) {
         series.push(Json::object()
@@ -183,21 +155,157 @@ main()
                         .kv("frames_drained_per_run", p.drained_per_run)
                         .kv("outage_goodput_tasks", p.outage_goodput));
     }
-    Json doc = Json::object()
-                   .kv("bench", "abl_controller_ha")
-                   .kv("scenario", "A")
-                   .kv("crash_at_s", kCrashAtS)
-                   .kv("seeds", kSeeds)
-                   .kv("mttr_monotone_in_checkpoint_freq", monotone)
-                   .kv("sweep", series)
-                   .kv("partition",
-                       Json::object()
-                           .kv("duration_s", 6.0)
-                           .kv("outage_s", pm.recovery.controller_outage_s)
-                           .kv("frames_buffered",
-                               pm.recovery.frames_buffered_degraded)
-                           .kv("frames_drained",
-                               pm.recovery.buffered_frames_drained));
+    return series;
+}
+
+}  // namespace
+
+int
+main()
+{
+    print_header("Ablation: controller HA",
+                 "Hot-standby failover vs checkpoint interval "
+                 "(primary killed at t=15.7 s, Scenario A)");
+
+    // All (interval, seed, engine) runs are independent: fan them out
+    // on the run_sweep() pool and reduce per interval in deterministic
+    // order. The legacy sweep comes first, then the sharded engine at
+    // every shard count.
+    const std::vector<double> intervals_s = {1.0, 2.0, 4.0, 8.0, 16.0};
+    std::vector<int> engines = {0};
+    engines.insert(engines.end(), kShardCounts.begin(), kShardCounts.end());
+    std::vector<RunPoint> points;
+    for (int shards : engines)
+        for (double interval_s : intervals_s)
+            for (int r = 0; r < kSeeds; ++r)
+                points.push_back({sim::from_seconds(interval_s),
+                                  42 + static_cast<std::uint64_t>(r),
+                                  shards});
+    std::vector<platform::RunMetrics> runs = run_sweep(points, run_point);
+
+    // Reduce: engines x intervals, kSeeds runs per cell, point order.
+    std::size_t cursor = 0;
+    std::vector<std::vector<SweepPoint>> sweeps;
+    for (std::size_t e = 0; e < engines.size(); ++e) {
+        std::vector<SweepPoint> sweep;
+        for (double interval_s : intervals_s) {
+            sweep.push_back(reduce_interval(sim::from_seconds(interval_s),
+                                            &runs[cursor]));
+            cursor += static_cast<std::size_t>(kSeeds);
+        }
+        sweeps.push_back(std::move(sweep));
+    }
+
+    std::printf("Legacy single-kernel engine:\n");
+    print_sweep(sweeps[0]);
+
+    // The headline claim: fresher checkpoints -> faster recovery —
+    // on the legacy engine and at every shard count of the sharded one.
+    bool all_monotone = true;
+    std::vector<bool> monotone;
+    for (std::size_t e = 0; e < engines.size(); ++e) {
+        monotone.push_back(mttr_monotone(sweeps[e]));
+        all_monotone = all_monotone && monotone.back();
+    }
+    std::printf("\nRecovery time decreases monotonically with checkpoint "
+                "frequency: %s\n", monotone[0] ? "yes" : "NO (unexpected)");
+    std::printf("(Detection is the election timeout and does not depend on "
+                "the interval; the\n spread above is the drift-replay term "
+                "growing with checkpoint age.)\n");
+
+    // The sharded ledger must not depend on the shard count: compare
+    // each shard count's sweep against shards=1 exactly.
+    bool shard_invariant = true;
+    for (std::size_t e = 2; e < engines.size(); ++e) {
+        for (std::size_t i = 0; i < sweeps[e].size(); ++i) {
+            if (sweeps[e][i].mttr_s != sweeps[1][i].mttr_s ||
+                sweeps[e][i].ckpts_per_run != sweeps[1][i].ckpts_per_run ||
+                sweeps[e][i].drained_per_run != sweeps[1][i].drained_per_run)
+                shard_invariant = false;
+        }
+    }
+    std::printf("\nSharded engine (shards=1; ledger invariant across "
+                "{1, 2, 4}: %s):\n", shard_invariant ? "yes" : "NO");
+    print_sweep(sweeps[1]);
+    for (std::size_t e = 1; e < engines.size(); ++e) {
+        std::printf("MTTR monotone at shards=%d: %s\n", engines[e],
+                    monotone[e] ? "yes" : "NO (unexpected)");
+    }
+
+    // --- Degraded-mode autonomy during the outage window ---
+    std::printf("\nDegraded-mode edge autonomy while no controller was "
+                "reachable (legacy, per run):\n%-10s %10s %10s %10s\n",
+                "interval", "buffered", "drained", "goodput");
+    for (const SweepPoint& p : sweeps[0]) {
+        std::printf("%7.0f s  %10.1f %10.1f %10.1f\n", p.interval_s,
+                    p.buffered_per_run, p.drained_per_run,
+                    p.outage_goodput);
+    }
+
+    // --- Partition: unreachable primary, no standby consumed ---
+    platform::ScenarioConfig part = crash_scenario();
+    part.faults = fault::FaultPlan{};
+    part.faults.controller_partition(sim::from_seconds(kCrashAtS),
+                                     6 * sim::kSecond);
+    platform::RunMetrics pm = platform::run_scenario(
+        part, platform::PlatformOptions::hivemind(), paper_deployment(42));
+    platform::RunMetrics ps =
+        platform::run_scenario_sharded(part,
+                                       platform::PlatformOptions::hivemind(),
+                                       paper_deployment(42), 2)
+            .metrics;
+    std::printf("\nController partition (6 s) for contrast: outage %.1f s "
+                "legacy / %.1f s sharded,\nframes buffered %llu/%llu and "
+                "drained %llu/%llu by local autonomy.\n",
+                pm.recovery.controller_outage_s,
+                ps.recovery.controller_outage_s,
+                static_cast<unsigned long long>(
+                    pm.recovery.frames_buffered_degraded),
+                static_cast<unsigned long long>(
+                    ps.recovery.frames_buffered_degraded),
+                static_cast<unsigned long long>(
+                    pm.recovery.buffered_frames_drained),
+                static_cast<unsigned long long>(
+                    ps.recovery.buffered_frames_drained));
+    const bool drained_ok = pm.recovery.buffered_frames_drained > 0 &&
+                            ps.recovery.buffered_frames_drained > 0;
+
+    // --- Machine-readable output ---
+    Json shard_series = Json::array();
+    for (std::size_t e = 1; e < engines.size(); ++e) {
+        shard_series.push(Json::object()
+                              .kv("shards", engines[e])
+                              .kv("mttr_monotone_in_checkpoint_freq",
+                                  static_cast<bool>(monotone[e]))
+                              .kv("sweep", sweep_json(sweeps[e])));
+    }
+    Json doc =
+        Json::object()
+            .kv("bench", "abl_controller_ha")
+            .kv("scenario", "A")
+            .kv("crash_at_s", kCrashAtS)
+            .kv("seeds", kSeeds)
+            .kv("mttr_monotone_in_checkpoint_freq",
+                static_cast<bool>(monotone[0]))
+            .kv("sweep", sweep_json(sweeps[0]))
+            .kv("sharded_ledger_shard_invariant", shard_invariant)
+            .kv("sharded_sweeps", shard_series)
+            .kv("partition",
+                Json::object()
+                    .kv("duration_s", 6.0)
+                    .kv("outage_s", pm.recovery.controller_outage_s)
+                    .kv("frames_buffered",
+                        pm.recovery.frames_buffered_degraded)
+                    .kv("frames_drained",
+                        pm.recovery.buffered_frames_drained))
+            .kv("partition_sharded",
+                Json::object()
+                    .kv("shards", 2)
+                    .kv("outage_s", ps.recovery.controller_outage_s)
+                    .kv("frames_buffered",
+                        ps.recovery.frames_buffered_degraded)
+                    .kv("frames_drained",
+                        ps.recovery.buffered_frames_drained));
     write_bench_json("abl_controller_ha", doc);
-    return monotone ? 0 : 1;
+    return (all_monotone && shard_invariant && drained_ok) ? 0 : 1;
 }

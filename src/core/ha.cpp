@@ -32,7 +32,9 @@ CheckpointStore::persist(ControllerCheckpoint cp)
         ++persisted_;
         bytes_written_ += bytes;
     };
-    if (store_ != nullptr)
+    if (write_transport_)
+        write_transport_(bytes, std::move(commit));
+    else if (store_ != nullptr)
         store_->access(bytes, std::move(commit));
     else
         simulator_->schedule_in(0, std::move(commit));
@@ -41,7 +43,10 @@ CheckpointStore::persist(ControllerCheckpoint cp)
 void
 CheckpointStore::read_latest(std::function<void()> done)
 {
-    if (store_ != nullptr && durable_)
+    if (read_transport_)
+        read_transport_(durable_ ? durable_->size_bytes() : 64,
+                        std::move(done));
+    else if (store_ != nullptr && durable_)
         store_->access(durable_->size_bytes(), std::move(done));
     else
         simulator_->schedule_in(0, std::move(done));

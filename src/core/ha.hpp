@@ -113,8 +113,29 @@ struct ReconcileReport
 class CheckpointStore
 {
   public:
+    /**
+     * Ships @p bytes to or from durable storage and fires the
+     * callback when the transfer commits; a transport that never
+     * fires the callback models a lost write/read.
+     */
+    using Transport =
+        std::function<void(std::uint64_t, std::function<void()>)>;
+
     /** @param store backing store; nullptr persists after one event. */
     CheckpointStore(sim::Simulator& simulator, cloud::DataStore* store);
+
+    /**
+     * Route persistence over caller-supplied transports instead of
+     * the local DataStore pointer. The sharded engine uses this to
+     * carry checkpoint RPCs over dedicated ShardLink planes to the
+     * cloud shard's DataStore, so checkpoint traffic is metered and
+     * loss-exposed like every other byte on the air.
+     */
+    void set_transport(Transport write, Transport read)
+    {
+        write_transport_ = std::move(write);
+        read_transport_ = std::move(read);
+    }
 
     /** Begin persisting @p cp; durable when the store write lands. */
     void persist(ControllerCheckpoint cp);
@@ -141,6 +162,8 @@ class CheckpointStore
   private:
     sim::Simulator* simulator_;
     cloud::DataStore* store_;
+    Transport write_transport_;
+    Transport read_transport_;
     std::optional<ControllerCheckpoint> durable_;
     std::uint64_t persisted_ = 0;
     std::uint64_t bytes_written_ = 0;
@@ -197,6 +220,9 @@ class HaCluster
     {
         on_checkpoint_ = std::move(fn);
     }
+
+    /** Checkpoint persistence layer (transport override seam). */
+    CheckpointStore& checkpoint_store() { return store_; }
 
     /** Bootstrap checkpoint + heartbeat/watchdog/checkpoint timers. */
     void start();

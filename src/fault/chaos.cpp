@@ -124,8 +124,12 @@ ChaosEngine::note_controller_restored(double checkpoint_age_s)
         return;
     metrics_.controller_mttr_s.add(
         sim::to_seconds(simulator_->now() - controller_crash_at_));
-    if (checkpoint_age_s >= 0.0)
+    if (checkpoint_age_s >= 0.0) {
         metrics_.checkpoint_age_s.add(checkpoint_age_s);
+        // A restore with a real checkpoint age is a standby takeover;
+        // a partition heals with the same instance (age < 0).
+        ++metrics_.controller_failovers;
+    }
     controller_crash_at_ = -1;
     controller_detected_ = false;
 }

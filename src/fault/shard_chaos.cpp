@@ -1,6 +1,66 @@
 #include "fault/shard_chaos.hpp"
 
+#include <algorithm>
+
+#include "sim/rng.hpp"
+
 namespace hivemind::fault {
+
+namespace {
+
+/**
+ * Fork a per-device burst Rng. Mixing the device id with a splitmix
+ * constant and the event time keeps chains independent across devices
+ * and across LinkBurst events while staying a pure function of
+ * (seed, device, event) — the precondition for shard invariance.
+ */
+sim::Rng
+burst_rng(std::uint64_t seed, std::size_t device, sim::Time at)
+{
+    const std::uint64_t mix =
+        0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(device) + 1);
+    return sim::Rng(seed ^ mix ^ static_cast<std::uint64_t>(at));
+}
+
+/**
+ * Precompute one device's Gilbert-Elliott transition schedule for a
+ * LinkBurst window and post it on the owner shard. Mirrors
+ * ChaosEngine::fire_link_burst / ge_transition: open in the good
+ * state, alternate exponential dwells (min one tick), restore the
+ * configured loss when the window closes.
+ */
+void
+schedule_ge_chain(sim::Simulator& shard, const FaultEvent& e,
+                  std::size_t device, std::uint64_t seed,
+                  const std::function<void(std::size_t, double)>& set_loss)
+{
+    shard.schedule_at(e.at, [fn = set_loss, device, loss = e.loss_good] {
+        fn(device, loss);
+    });
+    const sim::Time window_end = e.at + e.duration;
+    sim::Rng rng = burst_rng(seed, device, e.at);
+    sim::Time t = e.at;
+    bool to_bad = true;
+    while (true) {
+        const sim::Time dwell = std::max<sim::Time>(
+            static_cast<sim::Time>(rng.exponential(
+                static_cast<double>(to_bad ? e.mean_good : e.mean_bad))),
+            1);
+        t += dwell;
+        if (t >= window_end)
+            break;
+        const double loss = to_bad ? e.loss_bad : e.loss_good;
+        shard.schedule_at(t, [fn = set_loss, device, loss] {
+            fn(device, loss);
+        });
+        to_bad = !to_bad;
+    }
+    shard.schedule_at(window_end, [fn = set_loss, device] {
+        fn(device, -1.0);
+    });
+}
+
+}  // namespace
 
 ShardChaosReport
 route_plan(sim::SwarmRuntime& runtime, const FaultPlan& plan,
@@ -31,20 +91,17 @@ route_plan(sim::SwarmRuntime& runtime, const FaultPlan& plan,
                 ++report.unsupported;
                 break;
             }
-            // Open the bad-state loss window on every device's owner
-            // shard; close it by restoring the configured loss. The
-            // per-device schedule keeps the loss state local to the
-            // owner, so runs stay shard-count invariant.
+            // Precompute every device's Gilbert-Elliott dwell chain
+            // and post it on the device's owner shard. The chain is a
+            // pure function of (burst_seed, device, event), so the
+            // loss trajectory each uplink sees is identical at any
+            // shard count.
             for (std::size_t d = 0; d < hooks.devices; ++d) {
-                sim::Simulator& shard = runtime.shard(owner(d));
-                shard.schedule_at(
-                    e.at, [fn = hooks.set_device_loss, d,
-                           loss = e.loss_bad] { fn(d, loss); });
-                shard.schedule_at(e.at + e.duration,
-                                  [fn = hooks.set_device_loss, d] {
-                                      fn(d, -1.0);
-                                  });
+                schedule_ge_chain(runtime.shard(owner(d)), e, d,
+                                  hooks.burst_seed,
+                                  hooks.set_device_loss);
             }
+            ++report.link_bursts;
             ++report.routed;
             break;
         }
@@ -95,12 +152,24 @@ route_plan(sim::SwarmRuntime& runtime, const FaultPlan& plan,
             break;
         }
         case FaultKind::ControllerPartition: {
-            if (!hooks.crash_controller || e.duration <= 0) {
+            if (e.duration <= 0) {
                 ++report.unsupported;
                 break;
             }
-            // Same instance goes dark and comes back; no takeover.
             sim::Simulator& shard0 = runtime.shard(0);
+            if (hooks.partition_controller) {
+                // HA path: the cluster models the same instance going
+                // dark and returning (no takeover, no election).
+                shard0.schedule_at(e.at, [fn = hooks.partition_controller,
+                                          d = e.duration] { fn(d); });
+                ++report.routed;
+                break;
+            }
+            if (!hooks.crash_controller) {
+                ++report.unsupported;
+                break;
+            }
+            // Legacy path: same instance goes dark and comes back.
             shard0.schedule_at(e.at, [fn = hooks.crash_controller] { fn(); });
             if (hooks.recover_controller)
                 shard0.schedule_at(e.at + e.duration,
@@ -117,7 +186,11 @@ route_plan(sim::SwarmRuntime& runtime, const FaultPlan& plan,
                 shard0.schedule_at(e.at, [fn = hooks.crash_controller] {
                     fn();
                 });
-            if (e.takeover && hooks.recover_controller) {
+            // With the HA stack active, detection/election/replay own
+            // the recovery; scheduling the legacy fixed-delay recover
+            // here would race the real failover.
+            if (!hooks.controller_ha && e.takeover &&
+                hooks.recover_controller) {
                 const sim::Time back =
                     e.at + (e.duration > 0
                                 ? e.duration

@@ -12,18 +12,22 @@
  * any other event:
  *
  *  - DeviceCrash (and its rejoin) fire on the device's owner shard.
- *  - LinkBurst opens/closes a per-device wireless-loss window on every
- *    owner shard; Partition blacks out one device's radio the same
- *    way. Loss state is per-device on its owner shard, so the sharded
- *    loss model stays deterministic at any shard count (the legacy
- *    Gilbert-Elliott dwell-time chain shares one RNG and is replaced
- *    by a static bad-state loss over the window).
+ *  - LinkBurst runs the same two-state Gilbert-Elliott chain as the
+ *    legacy ChaosEngine, but per device: each device's dwell-time
+ *    sequence is drawn from its own Rng forked deterministically from
+ *    `burst_seed` and the event time, and the whole transition
+ *    schedule is precomputed before the run starts. Burst state is
+ *    therefore local to the device's owner shard (its uplink
+ *    ShardLink), and the chain is identical at any shard count.
+ *    Partition blacks out one device's radio the same way.
  *  - ServerCrash / DatastoreOutage fire on the cloud shard, where the
  *    FaaS cluster and DataStore live in a sharded scenario.
  *  - ControllerCrash / ControllerFailover / ControllerPartition fire
- *    on shard 0, where the SwarmController lives. The controller
- *    usually arms its own crash from Config::crash_at; the plan path
- *    exists so chaos schedules written against FaultPlan keep working.
+ *    on shard 0, where the SwarmController lives. When the scenario
+ *    runs the HA stack (`controller_ha`), recovery is driven by the
+ *    HA election/replay machinery itself and route_plan() only
+ *    schedules the crash; without HA it keeps the legacy fixed
+ *    800 ms drop-and-reconcile recovery.
  *
  * Kinds with no sharded counterpart (SpatialBurst needs global device
  * positions at injection time) are counted, not dropped silently.
@@ -60,8 +64,27 @@ struct ShardChaosHooks
     std::function<void(std::size_t)> recover_server;
     /** Datastore outage for a duration; runs on the cloud shard. */
     std::function<void(sim::Time)> datastore_outage;
+    /**
+     * Controller partition for a duration; runs on shard 0. When set,
+     * ControllerPartition events route here (the HA stack models the
+     * same instance going dark and returning); otherwise they fall
+     * back to the crash/recover pair.
+     */
+    std::function<void(sim::Time)> partition_controller;
     /** Device ids the LinkBurst loss window must cover. */
     std::size_t devices = 0;
+    /**
+     * Seed for the per-device Gilbert-Elliott dwell chains. Fold the
+     * deployment seed in so different seeds see different bursts.
+     */
+    std::uint64_t burst_seed = 0;
+    /**
+     * True when the scenario runs the controller HA stack: recovery
+     * from ControllerCrash/ControllerFailover is then owned by the HA
+     * election machinery and route_plan() must not schedule the
+     * legacy fixed-delay recover_controller.
+     */
+    bool controller_ha = false;
 };
 
 /** What route_plan() scheduled. */
@@ -69,6 +92,7 @@ struct ShardChaosReport
 {
     std::size_t routed = 0;       ///< Events scheduled on a shard.
     std::size_t unsupported = 0;  ///< Kinds with no sharded model.
+    std::size_t link_bursts = 0;  ///< LinkBurst windows scheduled.
 };
 
 /**

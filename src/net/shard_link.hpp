@@ -67,6 +67,17 @@ class ShardLink
     /** Earliest possible delivery delay (the declared lookahead). */
     sim::Time propagation() const { return propagation_; }
 
+    /**
+     * Chaos loss override for this link. Negative (the default) means
+     * no override; [0, 1] is the probability a caller-rolled
+     * transmission attempt over this link is lost. The link itself
+     * never drops — callers sample against loss() with their own
+     * shard-local RNG so the roll participates in deterministic
+     * replay. Only touch from the source shard's thread.
+     */
+    void set_loss(double loss) { loss_ = loss; }
+    double loss() const { return loss_; }
+
   private:
     sim::SwarmRuntime* runtime_;
     int src_;
@@ -76,6 +87,7 @@ class ShardLink
     sim::Time propagation_;
     sim::Time busy_until_ = 0;
     std::uint64_t bytes_total_ = 0;
+    double loss_ = -1.0;
 };
 
 }  // namespace hivemind::net

@@ -28,6 +28,7 @@ RunMetrics::merge(const RunMetrics& other)
     faults += other.faults;
     respawns += other.respawns;
     cloud_rpc_cpu_s += other.cloud_rpc_cpu_s;
+    radio_bytes_total += other.radio_bytes_total;
     detect_correct_pct += other.detect_correct_pct;
     detect_fn_pct += other.detect_fn_pct;
     detect_fp_pct += other.detect_fp_pct;

@@ -50,6 +50,12 @@ struct RunMetrics
     std::uint64_t respawns = 0;
     /** Host CPU seconds spent on cloud RPC processing. */
     double cloud_rpc_cpu_s = 0.0;
+    /**
+     * Total bytes sent + received over the device radios — the radio
+     * energy ledger's input, summed over the fleet. Both engines fill
+     * this, so cross-engine accounting drift is testable.
+     */
+    std::uint64_t radio_bytes_total = 0;
     /** Final detection-model quality (scenario runs; Fig. 15). */
     double detect_correct_pct = 0.0;
     double detect_fn_pct = 0.0;

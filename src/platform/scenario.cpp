@@ -1,6 +1,7 @@
 #include "platform/scenario.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -936,6 +937,7 @@ ScenarioHarness::take_metrics()
         edge::Device& dev = dep_->device(d);
         metrics_.battery_pct.add(dev.battery().consumed_percent());
         metrics_.tasks_shed += dev.executor().shed();
+        metrics_.radio_bytes_total += dep_->network().device_bytes(d);
     }
     sim::Summary bw = dep_->network().air_meter().rate_summary(completion_);
     for (double r : bw.samples())
@@ -970,7 +972,13 @@ run_scenario(const ScenarioConfig& scenario, const PlatformOptions& options,
     // shards > 1 routes the drone scenarios onto the sharded runtime;
     // shards <= 1 (and the rover kinds, which the sharded engine does
     // not model) runs the legacy single-kernel harness unchanged.
-    if (scenario.shards > 1 && scenario_shardable(scenario)) {
+    // HIVEMIND_LEGACY_ENGINE=1 forces the legacy ScenarioHarness even
+    // for sharded requests — the escape hatch that stays behind when
+    // the default flips to the sharded engine.
+    const char* legacy_env = std::getenv("HIVEMIND_LEGACY_ENGINE");
+    const bool force_legacy =
+        legacy_env != nullptr && *legacy_env != '\0' && *legacy_env != '0';
+    if (!force_legacy && scenario.shards > 1 && scenario_shardable(scenario)) {
         return run_scenario_sharded(scenario, options, deployment_config,
                                     scenario.shards)
             .metrics;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "apps/world.hpp"
+#include "core/ha.hpp"
 #include "core/heartbeat.hpp"
 #include "core/learning.hpp"
 #include "core/load_balancer.hpp"
@@ -34,6 +35,14 @@ constexpr std::uint64_t kDataUpOrigin = 0;
 constexpr std::uint64_t kDataDownOrigin = 1u << 20;
 constexpr std::uint64_t kCtrlUpOrigin = 2u << 20;
 constexpr std::uint64_t kCtrlDownOrigin = 3u << 20;
+// Controller <-> cloud checkpoint RPC plane (one link each way, not
+// per-device, so the plane needs a single origin slot).
+constexpr std::uint64_t kCkptUpOrigin = 4u << 20;
+constexpr std::uint64_t kCkptDownOrigin = 5u << 20;
+// Controller-to-cloud backhaul rate for checkpoint traffic. The
+// controller sits cloud-side (Sec. 4.6), so this is a wired leg, not
+// the device radio.
+constexpr double kCkptLinkBps = 1e9;
 
 /** The chaos plan actually run: config plan + legacy injection shim. */
 fault::FaultPlan
@@ -43,6 +52,18 @@ effective_plan(const ScenarioConfig& sc)
     if (sc.inject_failure_at > 0)
         plan.device_crash(sc.inject_failure_at, sc.inject_failure_device);
     return plan;
+}
+
+/** Whether the plan targets the swarm controller (needs the HA stack). */
+bool
+plan_has_controller_faults(const fault::FaultPlan& plan)
+{
+    for (const fault::FaultEvent& e : plan.events) {
+        if (e.kind == fault::FaultKind::ControllerCrash ||
+            e.kind == fault::FaultKind::ControllerPartition)
+            return true;
+    }
+    return false;
 }
 
 /** Stage shares of one completed frame (mirrors the legacy math). */
@@ -68,9 +89,10 @@ struct DeviceActor
     edge::Device dev;
     fault::OffloadRetrier retrier;  ///< Single-slot breaker (index 0).
 
-    // Wireless state the chaos hooks flip on the owner shard.
-    double loss_override = -1.0;  ///< Negative = use configured loss.
-    bool blocked = false;         ///< Hard partition (loss = 1).
+    // Wireless state the chaos hooks flip on the owner shard. The
+    // Gilbert-Elliott burst state lives on the uplink ShardLink, so it
+    // stays local to the owner shard at any shard count.
+    bool blocked = false;  ///< Hard partition (loss = 1).
     double configured_loss = 0.0;
 
     net::ShardLink* data_up = nullptr;
@@ -100,6 +122,11 @@ struct DeviceActor
     std::uint64_t radio_settled = 0;
     double compute_settled = 0.0;
 
+    // Degraded-mode (controller outage) bookkeeping.
+    std::uint64_t frames_buffered = 0;   ///< Buffered while degraded.
+    std::uint64_t buffered_drained = 0;  ///< Drained after reconnect.
+    std::uint64_t outage_completions = 0;  ///< Results landed degraded.
+
     // Route protocol.
     bool awaiting_route = false;
     sim::Time route_requested_at = 0;
@@ -115,7 +142,8 @@ struct DeviceActor
     {
         if (blocked)
             return 1.0;
-        return loss_override >= 0.0 ? loss_override : configured_loss;
+        const double burst = data_up->loss();
+        return burst >= 0.0 ? burst : configured_loss;
     }
 };
 
@@ -236,6 +264,14 @@ struct ControllerTier
     std::unique_ptr<apps::CrowdField> crowd;
     std::vector<int> pass;
     std::vector<char> alive_known;
+    /**
+     * Controller-side view of per-device offload progress, refreshed
+     * by the piggybacked heartbeat payload. This is what the HA
+     * checkpoint snapshots: the controller can only checkpoint what
+     * it has been told, never peek across shards.
+     */
+    std::vector<std::uint32_t> inflight_known;
+    std::vector<std::uint64_t> started_known;
     bool down = false;  ///< Crash/partition window open.
     bool done = false;
     bool goal = false;
@@ -254,7 +290,8 @@ struct ControllerTier
                    devices),
           detector(shard, devices),
           learning(devices, sc.detection, sc.retrain),
-          pass(devices, 0), alive_known(devices, 1)
+          pass(devices, 0), alive_known(devices, 1),
+          inflight_known(devices, 0), started_known(devices, 0)
     {
         if (sc.kind == ScenarioKind::StationaryItems) {
             items = std::make_unique<apps::ItemField>(
@@ -298,6 +335,7 @@ class ShardedScenarioEngine
     {
         wire_devices(dep);
         wire_controller();
+        wire_ha(dep);
         arm_chaos();
     }
 
@@ -318,6 +356,9 @@ class ShardedScenarioEngine
     void on_result(DeviceActor& a, std::uint64_t frame,
                    const StageShares& cloud_shares, sim::Time t1,
                    sim::Time cloud_done, bool edge_ack);
+    void drain_backlog(DeviceActor& a);
+    void drain_attempt(DeviceActor& a, std::uint64_t bytes,
+                       std::uint64_t frames, int tries_left);
 
     // --- Cloud side (cloud shard) ---
     void cloud_ingress(std::size_t device, std::uint64_t frame,
@@ -330,8 +371,9 @@ class ShardedScenarioEngine
 
     // --- Controller side (shard 0) ---
     void controller_tick();
-    void on_beat(std::size_t device);
-    void on_report(std::size_t device, geo::Vec2 pos);
+    void on_beat(std::size_t device, std::uint32_t inflight,
+                 std::uint64_t started);
+    void on_report(std::size_t device, geo::Vec2 pos, sim::Time t0);
     void on_route_request(std::size_t device);
     void send_route(std::size_t device);
     void on_device_failed(std::size_t device);
@@ -339,8 +381,15 @@ class ShardedScenarioEngine
     void controller_takeover();
     void finish(bool goal);
 
+    // --- Controller HA (shard 0, checkpoint RPCs to the cloud shard) ---
+    core::ControllerCheckpoint make_checkpoint() const;
+    core::ReconcileReport reconcile_after_takeover(
+        const core::ControllerCheckpoint& cp);
+    void availability_changed(bool up);
+
     void wire_devices(const DeploymentConfig& dep);
     void wire_controller();
+    void wire_ha(const DeploymentConfig& dep);
     void arm_chaos();
     RunMetrics collect_metrics();
     std::uint64_t checksum() const;
@@ -357,10 +406,18 @@ class ShardedScenarioEngine
     fault::ShardChaosReport chaos_;
     std::uint64_t server_crashes_ = 0;
     std::uint64_t datastore_outages_ = 0;
-    std::uint64_t link_burst_devices_ = 0;
     std::uint64_t partitions_ = 0;
     std::uint64_t device_crashes_ = 0;
     std::uint64_t device_rejoins_ = 0;
+    std::uint64_t ctrl_partitions_ = 0;
+
+    // Controller HA: the cluster lives on shard 0, its checkpoints on
+    // the cloud shard's DataStore, reached over a dedicated ShardLink
+    // plane so checkpoint traffic is metered like everything else.
+    std::unique_ptr<core::HaCluster> ha_;
+    std::unique_ptr<net::ShardLink> ckpt_up_, ckpt_down_;
+    std::unique_ptr<sim::Rng> ckpt_rng_;  ///< Shard-0 write-loss rolls.
+    std::uint64_t ckpt_writes_lost_ = 0;
 };
 
 void
@@ -453,10 +510,84 @@ ShardedScenarioEngine::wire_controller()
 }
 
 void
+ShardedScenarioEngine::wire_ha(const DeploymentConfig& dep)
+{
+    // Mirror the legacy gate: only runs that can actually lose their
+    // swarm controller pay for the HA stack, so every other run
+    // replays checksum-identically to the pre-HA behavior.
+    if (!hivemind() ||
+        (!sc_.ha.enabled && !plan_has_controller_faults(effective_plan(sc_))))
+        return;
+    const net::TopologyConfig& net = dep.net;
+    // The checkpoint plane shares the radio propagation so it never
+    // tightens the declared lookahead below the existing channels.
+    ckpt_up_ = std::make_unique<net::ShardLink>(
+        runtime_, 0, cloud_shard_, kCkptUpOrigin, kCkptLinkBps,
+        net.wireless_prop);
+    ckpt_down_ = std::make_unique<net::ShardLink>(
+        runtime_, cloud_shard_, 0, kCkptDownOrigin, kCkptLinkBps,
+        net.wireless_prop);
+    ckpt_rng_ = std::make_unique<sim::Rng>(dep.seed ^ 0xc4ec9017ull);
+
+    core::HaConfig hc = sc_.ha;
+    hc.enabled = true;
+    ha_ = std::make_unique<core::HaCluster>(*ctrl_.sim, nullptr, hc);
+    // Checkpoint writes ride the RPC plane to the cloud DataStore and
+    // commit on shard 0 once the ack returns; a write lost on the
+    // plane simply never becomes durable (the next interval retries).
+    ha_->checkpoint_store().set_transport(
+        [this](std::uint64_t bytes, std::function<void()> commit) {
+            const double loss = ckpt_up_->loss();
+            if (loss > 0.0 && ckpt_rng_->chance(loss)) {
+                ++ckpt_writes_lost_;
+                return;
+            }
+            ckpt_up_->transfer(
+                bytes,
+                sim::InlineFn([this, bytes,
+                               commit = std::move(commit)]() mutable {
+                    cloud_.store->access(
+                        bytes, [this, commit = std::move(commit)]() mutable {
+                            ckpt_down_->transfer(
+                                kCtrlMsgBytes,
+                                sim::InlineFn(std::move(commit)));
+                        });
+                }));
+        },
+        [this](std::uint64_t bytes, std::function<void()> done) {
+            // Standby read: small request up, store fetch, payload back.
+            ckpt_up_->transfer(
+                kCtrlMsgBytes,
+                sim::InlineFn([this, bytes,
+                               done = std::move(done)]() mutable {
+                    cloud_.store->access(
+                        bytes, [this, bytes,
+                                done = std::move(done)]() mutable {
+                            ckpt_down_->transfer(
+                                bytes, sim::InlineFn(std::move(done)));
+                        });
+                }));
+        });
+    ha_->set_snapshot([this] { return make_checkpoint(); });
+    ha_->set_on_takeover([this](const core::ControllerCheckpoint& cp) {
+        return reconcile_after_takeover(cp);
+    });
+    ha_->set_on_availability([this](bool up) { availability_changed(up); });
+    ha_->set_on_restored([this](double checkpoint_age_s) {
+        if (checkpoint_age_s >= 0.0)
+            ++ctrl_.takeovers;  // Standby promoted; partitions return
+                                // the same instance.
+    });
+    ha_->start();
+}
+
+void
 ShardedScenarioEngine::arm_chaos()
 {
     fault::ShardChaosHooks hooks;
     hooks.devices = devices_.size();
+    hooks.burst_seed = cloud_.cfg.seed;
+    hooks.controller_ha = ha_ != nullptr;
     hooks.crash_device = [this](std::size_t d) {
         devices_[d]->dev.set_failed(true);
         ++device_crashes_;
@@ -466,9 +597,7 @@ ShardedScenarioEngine::arm_chaos()
         ++device_rejoins_;  // Heartbeats resume; the detector rejoins it.
     };
     hooks.set_device_loss = [this](std::size_t d, double loss) {
-        devices_[d]->loss_override = loss;
-        if (loss >= 0.0)
-            ++link_burst_devices_;
+        data_up_[d].set_loss(loss);
     };
     hooks.partition_device = [this](std::size_t d, bool on) {
         devices_[d]->blocked = on;
@@ -487,11 +616,23 @@ ShardedScenarioEngine::arm_chaos()
         ++datastore_outages_;
     };
     hooks.crash_controller = [this] {
-        ctrl_.down = true;
-        ctrl_.detector.stop();
         ++ctrl_.crashes;
+        if (ha_) {
+            // The real stack: missed heartbeats, election, checkpoint
+            // replay. availability_changed() flips the down flag.
+            ha_->crash_active();
+        } else {
+            ctrl_.down = true;
+            ctrl_.detector.stop();
+        }
     };
     hooks.recover_controller = [this] { controller_takeover(); };
+    if (ha_) {
+        hooks.partition_controller = [this](sim::Time duration) {
+            ++ctrl_partitions_;
+            ha_->partition(duration);
+        };
+    }
     chaos_ = fault::route_plan(
         runtime_, effective_plan(sc_),
         [this](std::size_t d) { return runtime_.owner_of(d); }, hooks,
@@ -521,9 +662,23 @@ ShardedScenarioEngine::device_tick(DeviceActor& a)
         return;
     }
     const std::size_t d = a.id;
+    // The heartbeat piggybacks the device's offload progress, which is
+    // all the controller may checkpoint — it cannot peek across shards.
+    const std::uint32_t inflight =
+        static_cast<std::uint32_t>(a.pending.size());
+    const std::uint64_t started = a.frames;
     a.ctrl_up->transfer(kCtrlMsgBytes,
-                        sim::InlineFn([this, d] { on_beat(d); }));
+                        sim::InlineFn([this, d, inflight, started] {
+                            on_beat(d, inflight, started);
+                        }));
     sim::Time now = a.sim->now();
+    if (a.dev.degraded()) {
+        // Controller outage: retrace the last route on-board instead
+        // of asking a dead controller for the next sweep (Sec. 4.6).
+        if (a.dev.route_done(now))
+            a.dev.resume_route_reversed();
+        return;
+    }
     if (a.dev.route_done(now) &&
         (!a.awaiting_route ||
          now - a.route_requested_at >= 3 * sim::kSecond)) {
@@ -538,6 +693,13 @@ ShardedScenarioEngine::device_tick(DeviceActor& a)
 void
 ShardedScenarioEngine::frame_task(DeviceActor& a)
 {
+    if (a.dev.degraded()) {
+        // Degraded mode: keep sensing, buffer the frame on-board and
+        // drain it once a controller is reachable again (Sec. 4.6).
+        if (a.dev.buffer_frame(pipe_.frame_bytes))
+            ++a.frames_buffered;
+        return;
+    }
     const std::uint64_t frame = ++a.next_frame;
     ++a.frames;
     sim::Time t0 = a.sim->now();
@@ -684,6 +846,7 @@ ShardedScenarioEngine::on_result(DeviceActor& a, std::uint64_t frame,
     StageShares r;
     if (edge_ack) {
         // DistributedEdge: t1 is the result's arrival at the cloud.
+        a.radio_bytes += kCtrlMsgBytes;  // The ack burns radio too.
         r.total = sim::to_seconds(t1 - p.t0);
         r.network = sim::to_seconds(t1 - p.t1_edge);
         r.exec = p.edge_exec_s;
@@ -707,11 +870,61 @@ ShardedScenarioEngine::on_result(DeviceActor& a, std::uint64_t frame,
     a.data_s.add(r.data);
     a.exec_s.add(r.exec);
     ++a.completions;
+    if (a.dev.degraded())
+        ++a.outage_completions;  // Outage goodput: landed while dark.
 
     const std::size_t d = a.id;
     const geo::Vec2 pos = p.pos;
-    a.ctrl_up->transfer(kCtrlMsgBytes, sim::InlineFn([this, d, pos] {
-                            on_report(d, pos);
+    const sim::Time t0 = p.t0;
+    a.ctrl_up->transfer(kCtrlMsgBytes, sim::InlineFn([this, d, pos, t0] {
+                            on_report(d, pos, t0);
+                        }));
+}
+
+void
+ShardedScenarioEngine::drain_backlog(DeviceActor& a)
+{
+    edge::Device::DrainedFrames backlog = a.dev.drain_buffered();
+    if (backlog.frames == 0 || !a.dev.alive())
+        return;
+    // Drain the buffered backlog through the pre-filtered uplink (the
+    // on-board filter kept running while buffering), with the same
+    // retransmit budget as any other offload.
+    double raw = static_cast<double>(pipe_.frame_bytes);
+    double reduced = std::min(raw, 4.0 * 1024.0 * 1024.0 + 0.02 * raw);
+    const std::uint64_t bytes = static_cast<std::uint64_t>(
+        reduced * static_cast<double>(backlog.frames));
+    a.radio_bytes += bytes;
+    drain_attempt(a, bytes, backlog.frames,
+                  cloud_.cfg.net.max_retransmits);
+}
+
+void
+ShardedScenarioEngine::drain_attempt(DeviceActor& a, std::uint64_t bytes,
+                                     std::uint64_t frames, int tries_left)
+{
+    const double loss = a.loss_now();
+    const sim::Time timeout = cloud_.cfg.net.retransmit_timeout;
+    if (loss > 0.0 && (loss >= 1.0 || a.rng.chance(loss))) {
+        if (tries_left <= 0) {
+            ++a.wireless_drops;  // Backlog lost on the air.
+            return;
+        }
+        ++a.retransmits;
+        a.sim->schedule_in(timeout,
+                           [this, ap = &a, bytes, frames, tries_left] {
+                               drain_attempt(*ap, bytes, frames,
+                                             tries_left - 1);
+                           });
+        return;
+    }
+    // A non-corrupt transfer always arrives, so the drain is settled
+    // here on the owner shard; the cloud side only meters the bytes.
+    a.buffered_drained += frames;
+    a.data_up->transfer(bytes, sim::InlineFn([this, bytes] {
+                            cloud_.air_meter.add(
+                                cloud_.sim->now(),
+                                static_cast<double>(bytes));
                         }));
 }
 
@@ -801,10 +1014,10 @@ ShardedScenarioEngine::send_result(std::size_t device, std::uint64_t frame,
         server, device,
         bytes, [this, device, frame, shares, t1, cloud_done, edge_ack,
                 bytes](sim::Time) {
-            if (!edge_ack) {
-                cloud_.air_meter.add(cloud_.sim->now(),
-                                     static_cast<double>(bytes));
-            }
+            // Every downlink burns air — the 64-byte DistributedEdge
+            // ack included (it hits the device radio ledger too).
+            cloud_.air_meter.add(cloud_.sim->now(),
+                                 static_cast<double>(bytes));
             DeviceActor* a = devices_[device].get();
             data_down_[device].transfer(
                 bytes, sim::InlineFn([this, a, frame, shares, t1, cloud_done,
@@ -819,18 +1032,22 @@ ShardedScenarioEngine::send_result(std::size_t device, std::uint64_t frame,
 // ---------------------------------------------------------------------
 
 void
-ShardedScenarioEngine::on_beat(std::size_t device)
+ShardedScenarioEngine::on_beat(std::size_t device, std::uint32_t inflight,
+                               std::uint64_t started)
 {
     if (ctrl_.down) {
         ++ctrl_.dropped_msgs;
         return;
     }
     ctrl_.alive_known[device] = 1;
+    ctrl_.inflight_known[device] = inflight;
+    ctrl_.started_known[device] = started;
     ctrl_.detector.beat(device);
 }
 
 void
-ShardedScenarioEngine::on_report(std::size_t device, geo::Vec2 pos)
+ShardedScenarioEngine::on_report(std::size_t device, geo::Vec2 pos,
+                                 sim::Time t0)
 {
     if (ctrl_.down) {
         ++ctrl_.dropped_msgs;
@@ -845,7 +1062,10 @@ ShardedScenarioEngine::on_report(std::size_t device, geo::Vec2 pos)
         visible = ctrl_.items->items_in_view(pos, spec.footprint_w,
                                              spec.footprint_h);
     } else {
-        visible = ctrl_.crowd->people_in_view(ctrl_.sim->now(), pos,
+        // Visibility is judged at capture time: the crowd is evaluated
+        // where it stood when the frame was taken, not at report time
+        // (matches the legacy harness).
+        visible = ctrl_.crowd->people_in_view(t0, pos,
                                               spec.footprint_w,
                                               spec.footprint_h);
     }
@@ -959,6 +1179,106 @@ ShardedScenarioEngine::controller_takeover()
     }
 }
 
+// ---------------------------------------------------------------------
+// Controller HA (checkpointed hot-standby failover, Sec. 4.6)
+// ---------------------------------------------------------------------
+
+core::ControllerCheckpoint
+ShardedScenarioEngine::make_checkpoint() const
+{
+    core::ControllerCheckpoint cp;
+    const std::size_t n = devices_.size();
+    cp.device_failed.reserve(n);
+    for (std::size_t d = 0; d < n; ++d)
+        cp.device_failed.push_back(ctrl_.detector.is_failed(d) ? 1 : 0);
+    cp.partition = ctrl_.balancer.snapshot();
+    cp.inflight.assign(ctrl_.inflight_known.begin(),
+                       ctrl_.inflight_known.end());
+    cp.tasks_started = 0;
+    for (std::uint64_t s : ctrl_.started_known)
+        cp.tasks_started += s;
+    return cp;
+}
+
+core::ReconcileReport
+ShardedScenarioEngine::reconcile_after_takeover(
+    const core::ControllerCheckpoint& cp)
+{
+    core::ReconcileReport rep;
+    // 1. Replay: the standby's world is the checkpointed partition.
+    if (!cp.partition.assignments.empty())
+        ctrl_.balancer.restore(cp.partition);
+    // 2. Re-register every device and repartition the drift between
+    //    checkpoint time and now. Liveness is the controller's last
+    //    heard-from roster — the new primary cannot peek across shards
+    //    any more than the real one could peek across the air.
+    std::vector<std::size_t> changed;
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+        ++rep.devices_reregistered;
+        const bool live = ctrl_.alive_known[d] != 0;
+        ctrl_.detector.reconcile(d, live);
+        if (live && !ctrl_.balancer.region_of(d)) {
+            for (std::size_t c : ctrl_.balancer.handle_rejoin(d))
+                changed.push_back(c);
+        } else if (!live && ctrl_.balancer.region_of(d)) {
+            for (std::size_t c : ctrl_.balancer.handle_failure(d))
+                changed.push_back(c);
+        }
+    }
+    rep.regions_repartitioned = changed.size();
+    // 3. Redrive: offloads in flight at the checkpoint plus everything
+    //    started since its watermark go through the epoch-redrive path.
+    std::uint64_t inflight_total = 0;
+    for (std::uint32_t c : cp.inflight)
+        inflight_total += c;
+    std::uint64_t started_now = 0;
+    for (std::uint64_t s : ctrl_.started_known)
+        started_now += s;
+    const std::uint64_t delta = started_now >= cp.tasks_started
+        ? started_now - cp.tasks_started
+        : 0;
+    rep.offloads_redriven = static_cast<std::size_t>(inflight_total + delta);
+    // Kick the FaaS queues on the cloud shard (a small RPC, like the
+    // redrive control traffic it models).
+    ckpt_up_->transfer(kCtrlMsgBytes,
+                       sim::InlineFn([this] { cloud_.faas->poke(); }));
+    // Refreshed routes for devices whose regions moved.
+    for (std::size_t d : changed) {
+        if (ctrl_.alive_known[d])
+            send_route(d);
+    }
+    return rep;
+}
+
+void
+ShardedScenarioEngine::availability_changed(bool up)
+{
+    ctrl_.down = !up;
+    if (!up) {
+        // The controller-side detector is blind while no controller
+        // runs; reconciliation rebuilds its state on takeover. Devices
+        // learn of the outage one control-downlink hop later and drop
+        // into degraded local autonomy.
+        ctrl_.detector.stop();
+        for (std::size_t d = 0; d < devices_.size(); ++d) {
+            DeviceActor* a = devices_[d].get();
+            ctrl_down_[d].transfer(kCtrlMsgBytes, sim::InlineFn([a] {
+                                       if (a->dev.alive())
+                                           a->dev.set_degraded(true);
+                                   }));
+        }
+        return;
+    }
+    ctrl_.detector.start();
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+        DeviceActor* a = devices_[d].get();
+        ctrl_down_[d].transfer(kCtrlMsgBytes, sim::InlineFn([this, a] {
+                                   a->dev.set_degraded(false);
+                                   drain_backlog(*a);
+                               }));
+    }
+}
+
 void
 ShardedScenarioEngine::controller_tick()
 {
@@ -998,6 +1318,8 @@ ShardedScenarioEngine::finish(bool goal)
     ctrl_.completion = ctrl_.sim->now();
     ctrl_.final_goal_fraction = ctrl_.goal_fraction();
     ctrl_.detector.stop();
+    if (ha_)
+        ha_->stop();
 }
 
 // ---------------------------------------------------------------------
@@ -1041,12 +1363,16 @@ ShardedScenarioEngine::collect_metrics()
         m.exec_s.merge(a.exec_s);
         m.battery_pct.add(a.dev.battery().consumed_percent());
         m.tasks_shed += a.dev.executor().shed();
+        m.radio_bytes_total += a.radio_bytes;
         m.tasks_completed += a.completions;
         m.recovery.offload_retries += a.offload_retries;
         m.recovery.offloads_abandoned += a.abandoned;
         m.recovery.circuit_open_events += a.breaker_opens;
         m.recovery.frames_dropped += a.wireless_drops;
         m.recovery.wireless_retransmissions += a.retransmits;
+        m.recovery.frames_buffered_degraded += a.frames_buffered;
+        m.recovery.buffered_frames_drained += a.buffered_drained;
+        m.recovery.outage_tasks_completed += a.outage_completions;
     }
     sim::Summary bw = cloud_.air_meter.rate_summary(ctrl_.completion);
     for (double r : bw.samples())
@@ -1068,9 +1394,20 @@ ShardedScenarioEngine::collect_metrics()
     m.recovery.server_crashes = server_crashes_;
     m.recovery.datastore_outages = datastore_outages_;
     m.recovery.partitions = partitions_;
-    m.recovery.link_burst_windows = link_burst_devices_;
+    m.recovery.link_burst_windows = chaos_.link_bursts;
     m.recovery.controller_crashes = ctrl_.crashes;
+    m.recovery.controller_partitions = ctrl_partitions_;
     m.recovery.controller_failovers = ctrl_.takeovers;
+    if (ha_) {
+        m.recovery.controller_mttd_s = ha_->detect_s();
+        m.recovery.controller_mttr_s = ha_->recover_s();
+        m.recovery.checkpoint_age_s = ha_->checkpoint_age_s();
+        m.recovery.checkpoints_taken = ha_->checkpoints_taken();
+        m.recovery.checkpoint_bytes = ha_->checkpoint_bytes();
+        m.recovery.tasks_redriven_on_failover = ha_->offloads_redriven();
+        m.recovery.controller_outage_s = ha_->unavailable_seconds();
+        m.recovery.controller_failovers = ha_->failovers();
+    }
     return m;
 }
 
@@ -1091,6 +1428,12 @@ ShardedScenarioEngine::checksum() const
         mix(cs, a.abandoned);
         mix(cs, a.breaker_opens);
         mix(cs, a.radio_bytes);
+        mix(cs, a.frames_buffered);
+        mix(cs, a.buffered_drained);
+        mix(cs, a.outage_completions);
+        mix(cs, a.dev.buffered_frames());
+        mix(cs, a.dev.frames_dropped_onboard());
+        mix(cs, a.dev.degraded() ? 1 : 0);
         mix(cs, a.dev.alive() ? 1 : 0);
         mix(cs, bits(a.dev.battery().consumed_percent()));
         mix(cs, bits(a.task_latency.sum()));
@@ -1105,6 +1448,22 @@ ShardedScenarioEngine::checksum() const
     mix(cs, ctrl_.reports);
     mix(cs, ctrl_.dropped_msgs);
     mix(cs, ctrl_.takeovers);
+    mix(cs, ctrl_.crashes);
+    mix(cs, ctrl_partitions_);
+    if (ha_) {
+        // Every HA quantity below is event-driven (no wall-time
+        // reads), so it is safe under the invariance contract.
+        mix(cs, ha_->failovers());
+        mix(cs, ha_->checkpoints_taken());
+        mix(cs, ha_->checkpoint_bytes());
+        mix(cs, ha_->offloads_redriven());
+        mix(cs, bits(ha_->detect_s().sum()));
+        mix(cs, bits(ha_->recover_s().sum()));
+        mix(cs, bits(ha_->checkpoint_age_s().sum()));
+        mix(cs, ckpt_up_->bytes_total());
+        mix(cs, ckpt_down_->bytes_total());
+        mix(cs, ckpt_writes_lost_);
+    }
     mix(cs, ctrl_.items ? ctrl_.items->found_count()
                         : ctrl_.crowd->counted_count());
     mix(cs, bits(ctrl_.learning.swarm_p_correct()));

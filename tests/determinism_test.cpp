@@ -22,6 +22,7 @@
 #include "platform/metrics.hpp"
 #include "platform/options.hpp"
 #include "platform/scenario.hpp"
+#include "platform/sharded_scenario.hpp"
 #include "platform/sharded_swarm.hpp"
 
 namespace {
@@ -215,6 +216,48 @@ TEST(ShardDeterminismTest, ShardedScenarioRepeatsByteIdentical)
         sc, platform::PlatformOptions::hivemind(), fig01_deployment(42));
     EXPECT_EQ(run_checksum(a), run_checksum(b));
     EXPECT_GT(a.tasks_completed, 0u);
+}
+
+/**
+ * Chaos on four shards replays exactly: the HA checkpoint RPCs, the
+ * Gilbert-Elliott loss chains, and the degraded-mode drains all come
+ * off seeded Rngs and shard-local event order, so two runs of the
+ * same plan agree on the engine digest and on every recovery counter.
+ */
+TEST(ShardDeterminismTest, ShardedChaosReplaysByteIdentical)
+{
+    auto run = []() {
+        platform::ScenarioConfig sc = fig01_scenario();
+        sc.time_cap = 45 * sim::kSecond;
+        sc.targets = 50;  // The cap ends the run.
+        sc.faults.device_crash(3 * sim::kSecond, 2, 4 * sim::kSecond)
+            .link_burst(5 * sim::kSecond, 6 * sim::kSecond, 0.9)
+            .controller_crash(12 * sim::kSecond)
+            .controller_partition(25 * sim::kSecond, 3 * sim::kSecond);
+        return platform::run_scenario_sharded(
+            sc, platform::PlatformOptions::hivemind(), fig01_deployment(42),
+            4);
+    };
+    platform::ShardedScenarioResult a = run();
+    platform::ShardedScenarioResult b = run();
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(run_checksum(a.metrics), run_checksum(b.metrics));
+    const fault::RecoveryMetrics& ra = a.metrics.recovery;
+    const fault::RecoveryMetrics& rb = b.metrics.recovery;
+    EXPECT_EQ(ra.controller_failovers, rb.controller_failovers);
+    EXPECT_EQ(ra.checkpoints_taken, rb.checkpoints_taken);
+    EXPECT_EQ(ra.checkpoint_bytes, rb.checkpoint_bytes);
+    EXPECT_EQ(ra.frames_buffered_degraded, rb.frames_buffered_degraded);
+    EXPECT_EQ(ra.buffered_frames_drained, rb.buffered_frames_drained);
+    EXPECT_EQ(ra.wireless_retransmissions, rb.wireless_retransmissions);
+    ASSERT_EQ(ra.controller_mttr_s.count(), rb.controller_mttr_s.count());
+    if (!ra.controller_mttr_s.empty()) {
+        EXPECT_DOUBLE_EQ(ra.controller_mttr_s.mean(),
+                         rb.controller_mttr_s.mean());
+    }
+    // The chaos actually ran.
+    EXPECT_EQ(ra.controller_crashes, 1u);
+    EXPECT_EQ(ra.link_burst_windows, 1u);
 }
 
 }  // namespace

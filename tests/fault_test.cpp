@@ -591,7 +591,9 @@ TEST(Determinism, IdenticalSeedsAndPlansReplayBitIdentically)
     EXPECT_EQ(ra.link_burst_windows, 1u);
     EXPECT_EQ(ra.partitions, 1u);
     EXPECT_EQ(ra.datastore_outages, 1u);
-    EXPECT_EQ(ra.controller_failovers, 1u);
+    // One injected ControllerFailover event plus the HA takeover that
+    // recovered the ControllerCrash.
+    EXPECT_EQ(ra.controller_failovers, 2u);
     EXPECT_EQ(ra.controller_crashes, 1u);
 }
 

@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Resilience parity between the legacy single-kernel harness and the
+ * sharded engine: the same chaos plan on the same seed must exercise
+ * the same HA/degraded-mode machinery and land comparable
+ * RecoveryMetrics on both engines, the per-ShardLink Gilbert-Elliott
+ * burst chains must be shard-count invariant with the right dwell
+ * statistics, and the HIVEMIND_LEGACY_ENGINE escape hatch must force
+ * the old harness verbatim.
+ *
+ * Set HIVEMIND_SHARDS to fold an extra shard count into the
+ * invariance sweeps (the CI HIVEMIND_SHARDS=4 leg does).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "fault/shard_chaos.hpp"
+#include "platform/scenario.hpp"
+#include "platform/sharded_scenario.hpp"
+#include "sim/swarm_runtime.hpp"
+
+namespace {
+
+using namespace hivemind;
+
+/** Shard counts exercised by the invariance sweeps. */
+std::vector<int>
+shard_counts()
+{
+    std::vector<int> counts = {1, 2, 4};
+    if (const char* env = std::getenv("HIVEMIND_SHARDS")) {
+        int extra = std::atoi(env);
+        if (extra >= 1 &&
+            std::find(counts.begin(), counts.end(), extra) == counts.end())
+            counts.push_back(extra);
+    }
+    return counts;
+}
+
+/** A scenario that outlives its fault plan on both engines. */
+platform::ScenarioConfig
+chaos_scenario()
+{
+    platform::ScenarioConfig sc;
+    sc.kind = platform::ScenarioKind::StationaryItems;
+    sc.field_size_m = 96.0;
+    sc.targets = 50;  // More than one sweep finds: the cap ends the run.
+    sc.time_cap = 45 * sim::kSecond;
+    sc.faults.controller_crash(8 * sim::kSecond)
+        .link_burst(20 * sim::kSecond, 10 * sim::kSecond, 0.9);
+    return sc;
+}
+
+platform::DeploymentConfig
+parity_deployment()
+{
+    platform::DeploymentConfig cfg;
+    cfg.devices = 8;
+    cfg.servers = 4;
+    cfg.cores_per_server = 8;
+    cfg.seed = 42;
+    return cfg;
+}
+
+platform::RunMetrics
+run_legacy(const platform::ScenarioConfig& sc,
+           const platform::PlatformOptions& opt)
+{
+    platform::ScenarioConfig legacy = sc;
+    legacy.shards = 1;
+    return run_scenario(legacy, opt, parity_deployment());
+}
+
+platform::RunMetrics
+run_sharded(const platform::ScenarioConfig& sc,
+            const platform::PlatformOptions& opt, int shards)
+{
+    return platform::run_scenario_sharded(sc, opt, parity_deployment(),
+                                          shards)
+        .metrics;
+}
+
+// ---------------------------------------------------------------------
+// Differential RecoveryMetrics parity (tentpole acceptance)
+// ---------------------------------------------------------------------
+
+TEST(ResilienceParity, ControllerHaRecoveryTracksLegacyOnSamePlanAndSeed)
+{
+    platform::ScenarioConfig sc = chaos_scenario();
+    platform::RunMetrics legacy =
+        run_legacy(sc, platform::PlatformOptions::hivemind());
+    platform::RunMetrics sharded =
+        run_sharded(sc, platform::PlatformOptions::hivemind(), 2);
+
+    // Both engines ran the real HA stack: one crash, one failover.
+    EXPECT_EQ(legacy.recovery.controller_crashes, 1u);
+    EXPECT_EQ(sharded.recovery.controller_crashes, 1u);
+    EXPECT_EQ(legacy.recovery.controller_failovers, 1u);
+    EXPECT_EQ(sharded.recovery.controller_failovers, 1u);
+
+    // Detection is the same election machinery on the same timing
+    // grid: within the (election_timeout, +watchdog beat] deadline on
+    // both, and within half a beat of each other.
+    ASSERT_EQ(legacy.recovery.controller_mttd_s.count(), 1u);
+    ASSERT_EQ(sharded.recovery.controller_mttd_s.count(), 1u);
+    const double mttd_a = legacy.recovery.controller_mttd_s.mean();
+    const double mttd_b = sharded.recovery.controller_mttd_s.mean();
+    EXPECT_GE(mttd_b, 1.5 - 1e-9);
+    EXPECT_LE(mttd_b, 2.0 + 1e-9);
+    EXPECT_NEAR(mttd_a, mttd_b, 0.25);
+
+    // Recovery = detection + checkpoint read + replay + reconcile;
+    // checkpoint sizes and redrive counts differ slightly between the
+    // engines' controller views, so compare with a loose bound.
+    ASSERT_EQ(legacy.recovery.controller_mttr_s.count(), 1u);
+    ASSERT_EQ(sharded.recovery.controller_mttr_s.count(), 1u);
+    EXPECT_NEAR(legacy.recovery.controller_mttr_s.mean(),
+                sharded.recovery.controller_mttr_s.mean(), 2.0);
+
+    // The replayed checkpoint is at most one interval stale on both.
+    ASSERT_EQ(legacy.recovery.checkpoint_age_s.count(), 1u);
+    ASSERT_EQ(sharded.recovery.checkpoint_age_s.count(), 1u);
+    EXPECT_NEAR(legacy.recovery.checkpoint_age_s.mean(),
+                sharded.recovery.checkpoint_age_s.mean(), 5.0);
+
+    // Degraded-mode edge autonomy ran on both: frames buffered during
+    // the outage and drained after the failover.
+    EXPECT_GT(legacy.recovery.frames_buffered_degraded, 0u);
+    EXPECT_GT(sharded.recovery.frames_buffered_degraded, 0u);
+    EXPECT_GT(legacy.recovery.buffered_frames_drained, 0u);
+    EXPECT_GT(sharded.recovery.buffered_frames_drained, 0u);
+
+    // The outage window is the same order of magnitude (detection +
+    // recovery), and checkpoints kept landing on both.
+    EXPECT_GT(legacy.recovery.controller_outage_s, 1.5);
+    EXPECT_GT(sharded.recovery.controller_outage_s, 1.5);
+    EXPECT_NEAR(legacy.recovery.controller_outage_s,
+                sharded.recovery.controller_outage_s, 2.5);
+    EXPECT_GE(legacy.recovery.checkpoints_taken, 2u);
+    EXPECT_GE(sharded.recovery.checkpoints_taken, 2u);
+    EXPECT_GT(sharded.recovery.checkpoint_bytes, 0u);
+
+    // The Gilbert-Elliott burst produced real wireless loss on both
+    // engines (different chains, same process: compare coarsely).
+    EXPECT_EQ(legacy.recovery.link_burst_windows, 1u);
+    EXPECT_EQ(sharded.recovery.link_burst_windows, 1u);
+    EXPECT_GT(legacy.recovery.wireless_retransmissions, 0u);
+    EXPECT_GT(sharded.recovery.wireless_retransmissions, 0u);
+    const double retrans_ratio =
+        static_cast<double>(sharded.recovery.wireless_retransmissions) /
+        static_cast<double>(legacy.recovery.wireless_retransmissions);
+    EXPECT_GT(retrans_ratio, 0.1);
+    EXPECT_LT(retrans_ratio, 10.0);
+}
+
+// ---------------------------------------------------------------------
+// DistributedEdge metrics-ack accounting (satellite)
+// ---------------------------------------------------------------------
+
+TEST(ResilienceParity, DistributedEdgeRadioBytesMatchLegacy)
+{
+    platform::ScenarioConfig sc;
+    sc.kind = platform::ScenarioKind::StationaryItems;
+    sc.field_size_m = 48.0;
+    sc.targets = 6;
+    sc.time_cap = 60 * sim::kSecond;
+    platform::RunMetrics legacy =
+        run_legacy(sc, platform::PlatformOptions::distributed_edge());
+    platform::RunMetrics sharded =
+        run_sharded(sc, platform::PlatformOptions::distributed_edge(), 2);
+
+    ASSERT_GT(legacy.radio_bytes_total, 0u);
+    ASSERT_GT(sharded.radio_bytes_total, 0u);
+    // The ack is 64 bytes against multi-hundred-byte results: if the
+    // sharded engine dropped it from the ledger again, the per-task
+    // byte cost would fall measurably below legacy.
+    const double legacy_per_task =
+        static_cast<double>(legacy.radio_bytes_total) /
+        static_cast<double>(legacy.tasks_completed);
+    const double sharded_per_task =
+        static_cast<double>(sharded.radio_bytes_total) /
+        static_cast<double>(sharded.tasks_completed);
+    const double ratio = sharded_per_task / legacy_per_task;
+    EXPECT_GT(ratio, 0.5) << "sharded radio ledger lost bytes vs legacy";
+    EXPECT_LT(ratio, 2.0) << "sharded radio ledger double-counts";
+}
+
+// ---------------------------------------------------------------------
+// Gilbert-Elliott burst chains on ShardLinks (satellite)
+// ---------------------------------------------------------------------
+
+/** One loss transition as recorded by the set_device_loss hook. */
+struct Transition
+{
+    sim::Time at;
+    double loss;
+    bool operator==(const Transition& o) const
+    {
+        return at == o.at && loss == o.loss;
+    }
+};
+
+/** Run route_plan's LinkBurst chains bare and record per-device. */
+std::vector<std::vector<Transition>>
+record_chains(int shards, std::size_t devices, const fault::FaultPlan& plan)
+{
+    sim::SwarmRuntime rt(shards);
+    auto owner = [shards, devices](std::size_t d) {
+        return static_cast<int>(d % static_cast<std::size_t>(shards));
+    };
+    for (std::size_t d = 0; d < devices; ++d) {
+        // Self-channels so every shard has a finite lookahead.
+        rt.declare_channel(owner(d), owner(d), sim::kMillisecond);
+    }
+    // Outer vector sized up front: each inner vector is only touched
+    // from its device's owner shard, so recording is race-free.
+    std::vector<std::vector<Transition>> rec(devices);
+    fault::ShardChaosHooks hooks;
+    hooks.devices = devices;
+    hooks.burst_seed = 42;
+    hooks.set_device_loss = [&rt, &rec, owner](std::size_t d, double loss) {
+        rec[d].push_back({rt.shard(owner(d)).now(), loss});
+    };
+    fault::ShardChaosReport rep =
+        fault::route_plan(rt, plan, owner, hooks, 0);
+    EXPECT_EQ(rep.link_bursts, 1u);
+    rt.run_until(120 * sim::kSecond);
+    return rec;
+}
+
+TEST(GilbertElliott, ChainsAreShardInvariantWithExponentialDwells)
+{
+    constexpr std::size_t kDevices = 8;
+    fault::FaultPlan plan;
+    plan.link_burst(sim::kSecond, 60 * sim::kSecond, 0.9);
+
+    std::vector<std::vector<Transition>> ref =
+        record_chains(1, kDevices, plan);
+    for (int n : shard_counts()) {
+        std::vector<std::vector<Transition>> rec =
+            record_chains(n, kDevices, plan);
+        EXPECT_EQ(rec, ref) << "shards=" << n;
+    }
+
+    // Shape: the window opens in the good state, alternates, and the
+    // final transition restores the configured loss (-1).
+    std::vector<double> bad_dwells, good_dwells;
+    for (std::size_t d = 0; d < kDevices; ++d) {
+        const std::vector<Transition>& t = ref[d];
+        ASSERT_GE(t.size(), 3u) << "device " << d;
+        EXPECT_EQ(t.front().at, sim::kSecond);
+        EXPECT_EQ(t.front().loss, 0.0);  // loss_good default.
+        EXPECT_EQ(t.back().at, 61 * sim::kSecond);
+        EXPECT_EQ(t.back().loss, -1.0);
+        for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+            const bool entering_bad = (i % 2) == 1;
+            EXPECT_EQ(t[i].loss, entering_bad ? 0.9 : 0.0)
+                << "device " << d << " transition " << i;
+            const double dwell = sim::to_seconds(t[i + 1].at - t[i].at);
+            if (entering_bad)
+                bad_dwells.push_back(dwell);
+            else
+                good_dwells.push_back(dwell);
+        }
+    }
+    // Dwell statistics follow the two-state chain's means (2 s good,
+    // 500 ms bad by default); loose 3-sigma-ish bounds for ~100+
+    // exponential samples.
+    ASSERT_GE(bad_dwells.size(), 30u);
+    ASSERT_GE(good_dwells.size(), 30u);
+    auto mean = [](const std::vector<double>& v) {
+        double s = 0.0;
+        for (double x : v)
+            s += x;
+        return s / static_cast<double>(v.size());
+    };
+    const double mean_bad = mean(bad_dwells);
+    const double mean_good = mean(good_dwells);
+    EXPECT_GT(mean_bad, 0.2);
+    EXPECT_LT(mean_bad, 1.2);
+    EXPECT_GT(mean_good, 1.0);
+    EXPECT_LT(mean_good, 4.0);
+    // The two states are actually distinct processes.
+    EXPECT_GT(mean_good, 1.5 * mean_bad);
+}
+
+// ---------------------------------------------------------------------
+// Sharded HA invariance with the full chaos plan (tentpole acceptance)
+// ---------------------------------------------------------------------
+
+TEST(ShardedHa, ChecksumInvariantWithFullChaosPlan)
+{
+    platform::ScenarioConfig sc;
+    sc.kind = platform::ScenarioKind::StationaryItems;
+    sc.field_size_m = 48.0;
+    sc.targets = 6;
+    sc.time_cap = 120 * sim::kSecond;
+    sc.faults.device_crash(3 * sim::kSecond, 2, 4 * sim::kSecond)
+        .server_crash(4 * sim::kSecond, 1, 3 * sim::kSecond)
+        .link_burst(5 * sim::kSecond, 6 * sim::kSecond, 0.9)
+        .controller_crash(12 * sim::kSecond)
+        .controller_partition(20 * sim::kSecond, 2 * sim::kSecond);
+    platform::ShardedScenarioResult ref = platform::run_scenario_sharded(
+        sc, platform::PlatformOptions::hivemind(), parity_deployment(), 1);
+
+    // The real HA stack drove recovery: durable checkpoints on the
+    // cloud-shard DataStore, election within the heartbeat deadline,
+    // degraded-mode buffering during the outages.
+    const fault::RecoveryMetrics& r = ref.metrics.recovery;
+    EXPECT_EQ(r.controller_crashes, 1u);
+    EXPECT_EQ(r.controller_partitions, 1u);
+    EXPECT_EQ(r.controller_failovers, 1u);
+    EXPECT_GE(r.checkpoints_taken, 2u);
+    EXPECT_GT(r.checkpoint_bytes, 0u);
+    ASSERT_EQ(r.controller_mttd_s.count(), 1u);
+    EXPECT_GE(r.controller_mttd_s.mean(), 1.5 - 1e-9);
+    EXPECT_LE(r.controller_mttd_s.mean(), 2.0 + 1e-9);
+    EXPECT_GT(r.frames_buffered_degraded, 0u);
+    EXPECT_GT(r.buffered_frames_drained, 0u);
+    EXPECT_EQ(r.link_burst_windows, 1u);
+    EXPECT_GT(r.wireless_retransmissions, 0u);
+
+    for (int n : shard_counts()) {
+        platform::ShardedScenarioResult run = platform::run_scenario_sharded(
+            sc, platform::PlatformOptions::hivemind(), parity_deployment(),
+            n);
+        EXPECT_EQ(run.checksum, ref.checksum) << "shards=" << n;
+        EXPECT_EQ(run.metrics.recovery.checkpoints_taken,
+                  ref.metrics.recovery.checkpoints_taken)
+            << "shards=" << n;
+        EXPECT_EQ(run.metrics.recovery.buffered_frames_drained,
+                  ref.metrics.recovery.buffered_frames_drained)
+            << "shards=" << n;
+    }
+}
+
+// ---------------------------------------------------------------------
+// HIVEMIND_LEGACY_ENGINE escape hatch (PR 7 groundwork satellite)
+// ---------------------------------------------------------------------
+
+TEST(LegacyEscapeHatch, EnvForcesLegacyEngineDespiteShardsKnob)
+{
+    platform::ScenarioConfig sc;
+    sc.kind = platform::ScenarioKind::StationaryItems;
+    sc.field_size_m = 48.0;
+    sc.targets = 6;
+    sc.time_cap = 60 * sim::kSecond;
+
+    platform::RunMetrics direct =
+        run_legacy(sc, platform::PlatformOptions::hivemind());
+
+    ASSERT_EQ(setenv("HIVEMIND_LEGACY_ENGINE", "1", 1), 0);
+    platform::ScenarioConfig forced = sc;
+    forced.shards = 4;  // Would route to the sharded engine without
+                        // the escape hatch.
+    platform::RunMetrics hatched = platform::run_scenario(
+        forced, platform::PlatformOptions::hivemind(), parity_deployment());
+    unsetenv("HIVEMIND_LEGACY_ENGINE");
+
+    // The hatch replays the legacy engine bit-identically.
+    EXPECT_DOUBLE_EQ(hatched.completion_s, direct.completion_s);
+    EXPECT_EQ(hatched.tasks_completed, direct.tasks_completed);
+    EXPECT_EQ(hatched.task_latency_s.count(), direct.task_latency_s.count());
+    if (!direct.task_latency_s.empty()) {
+        EXPECT_DOUBLE_EQ(hatched.task_latency_s.mean(),
+                         direct.task_latency_s.mean());
+    }
+    EXPECT_EQ(hatched.radio_bytes_total, direct.radio_bytes_total);
+
+    // And "0" (or unset) keeps the sharded routing.
+    ASSERT_EQ(setenv("HIVEMIND_LEGACY_ENGINE", "0", 1), 0);
+    platform::RunMetrics sharded = platform::run_scenario(
+        forced, platform::PlatformOptions::hivemind(), parity_deployment());
+    unsetenv("HIVEMIND_LEGACY_ENGINE");
+    platform::RunMetrics sharded_direct =
+        run_sharded(sc, platform::PlatformOptions::hivemind(), 4);
+    EXPECT_DOUBLE_EQ(sharded.completion_s, sharded_direct.completion_s);
+    EXPECT_EQ(sharded.tasks_completed, sharded_direct.tasks_completed);
+}
+
+}  // namespace

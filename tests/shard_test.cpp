@@ -362,6 +362,30 @@ TEST(ShardedScenarioTest, InvariantUnderChaosPlan)
     }
 }
 
+TEST(ShardedScenarioTest, LinkBurstLossIsInvariantAndAccounted)
+{
+    // A Gilbert-Elliott burst window drops uplink frames and forces
+    // link-layer retries; the per-device loss chains are pure functions
+    // of (seed, device, event), so the retransmission totals — and the
+    // digest they feed — must not depend on the shard layout.
+    platform::ScenarioConfig sc = scenario_config();
+    sc.faults.link_burst(2 * sim::kSecond, 8 * sim::kSecond, 0.9);
+    platform::ShardedScenarioResult ref = platform::run_scenario_sharded(
+        sc, platform::PlatformOptions::hivemind(), scenario_deployment(), 1);
+    EXPECT_EQ(ref.metrics.recovery.link_burst_windows, 1u);
+    EXPECT_EQ(ref.chaos.link_bursts, 1u);
+    EXPECT_GT(ref.metrics.recovery.wireless_retransmissions, 0u);
+    for (int n : shard_counts()) {
+        platform::ShardedScenarioResult r = platform::run_scenario_sharded(
+            sc, platform::PlatformOptions::hivemind(), scenario_deployment(),
+            n);
+        EXPECT_EQ(r.checksum, ref.checksum) << "shards=" << n;
+        EXPECT_EQ(r.metrics.recovery.wireless_retransmissions,
+                  ref.metrics.recovery.wireless_retransmissions)
+            << "shards=" << n;
+    }
+}
+
 TEST(ShardedScenarioTest, ShardsKnobRoutesThroughRunScenario)
 {
     // run_scenario(shards=N>1) must hand off to the sharded engine and
