@@ -49,6 +49,13 @@ ChaosEngine::attach_controller(std::function<void(const FaultEvent&)> handler)
 void
 ChaosEngine::start()
 {
+    // Malformed plans fail loudly before anything is scheduled: an
+    // out-of-range target or zero-width window would otherwise inject
+    // a silently-meaningless event. Server/horizon bounds are only
+    // known to the scenario layer, which validates them separately.
+    PlanBounds bounds;
+    bounds.devices = device_count_;
+    plan_.validate_or_throw(bounds);
     running_ = true;
     for (const FaultEvent& e : plan_.events) {
         simulator_->schedule_at(e.at, [this, e]() {

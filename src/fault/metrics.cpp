@@ -1,5 +1,8 @@
 #include "fault/metrics.hpp"
 
+#include <algorithm>
+#include <cstdio>
+
 namespace hivemind::fault {
 
 void
@@ -34,6 +37,129 @@ RecoveryMetrics::merge(const RecoveryMetrics& other)
     buffered_frames_drained += other.buffered_frames_drained;
     controller_outage_s += other.controller_outage_s;
     outage_tasks_completed += other.outage_tasks_completed;
+}
+
+namespace {
+
+std::string
+fmt(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::string
+fmt(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+fmt(const sim::Summary& s)
+{
+    std::string out = "count=" + std::to_string(s.count());
+    if (!s.empty())
+        out += " mean=" + fmt(s.mean()) + " min=" + fmt(s.min()) +
+               " max=" + fmt(s.max());
+    return out;
+}
+
+bool
+same(double a, double b)
+{
+    return a == b;
+}
+
+bool
+same(std::uint64_t a, std::uint64_t b)
+{
+    return a == b;
+}
+
+bool
+same(const sim::Summary& a, const sim::Summary& b)
+{
+    return a.samples() == b.samples();
+}
+
+}  // namespace
+
+std::vector<MetricsDelta>
+metrics_diff(const RecoveryMetrics& a, const RecoveryMetrics& b)
+{
+    std::vector<MetricsDelta> out;
+#define HM_METRICS_FIELD(f)                        \
+    do {                                           \
+        if (!same(a.f, b.f))                       \
+            out.push_back({#f, fmt(a.f), fmt(b.f)}); \
+    } while (0)
+    HM_METRICS_FIELD(mttd_s);
+    HM_METRICS_FIELD(mttr_s);
+    HM_METRICS_FIELD(work_lost_core_ms);
+    HM_METRICS_FIELD(reexecuted_core_ms);
+    HM_METRICS_FIELD(frames_dropped);
+    HM_METRICS_FIELD(wireless_retransmissions);
+    HM_METRICS_FIELD(offloads_abandoned);
+    HM_METRICS_FIELD(offload_retries);
+    HM_METRICS_FIELD(circuit_open_events);
+    HM_METRICS_FIELD(device_crashes);
+    HM_METRICS_FIELD(device_rejoins);
+    HM_METRICS_FIELD(server_crashes);
+    HM_METRICS_FIELD(killed_invocations);
+    HM_METRICS_FIELD(datastore_outages);
+    HM_METRICS_FIELD(controller_failovers);
+    HM_METRICS_FIELD(link_burst_windows);
+    HM_METRICS_FIELD(partitions);
+    HM_METRICS_FIELD(controller_mttd_s);
+    HM_METRICS_FIELD(controller_mttr_s);
+    HM_METRICS_FIELD(checkpoint_age_s);
+    HM_METRICS_FIELD(controller_crashes);
+    HM_METRICS_FIELD(controller_partitions);
+    HM_METRICS_FIELD(checkpoints_taken);
+    HM_METRICS_FIELD(checkpoint_bytes);
+    HM_METRICS_FIELD(tasks_redriven_on_failover);
+    HM_METRICS_FIELD(frames_buffered_degraded);
+    HM_METRICS_FIELD(buffered_frames_drained);
+    HM_METRICS_FIELD(controller_outage_s);
+    HM_METRICS_FIELD(outage_tasks_completed);
+#undef HM_METRICS_FIELD
+    return out;
+}
+
+std::vector<MetricsDelta>
+metrics_diff(const RecoveryMetrics& a, const RecoveryMetrics& b,
+             const std::vector<std::string>& fields)
+{
+    std::vector<MetricsDelta> all = metrics_diff(a, b);
+    std::vector<MetricsDelta> out;
+    for (MetricsDelta& d : all) {
+        if (std::find(fields.begin(), fields.end(), d.field) != fields.end())
+            out.push_back(std::move(d));
+    }
+    return out;
+}
+
+std::string
+metrics_diff_string(const std::vector<MetricsDelta>& deltas)
+{
+    std::string out;
+    for (const MetricsDelta& d : deltas) {
+        out += "  " + d.field + ": " + d.lhs + " != " + d.rhs + "\n";
+    }
+    return out;
+}
+
+std::string
+metrics_diff_string(const RecoveryMetrics& a, const RecoveryMetrics& b)
+{
+    return metrics_diff_string(metrics_diff(a, b));
+}
+
+bool
+operator==(const RecoveryMetrics& a, const RecoveryMetrics& b)
+{
+    return metrics_diff(a, b).empty();
 }
 
 }  // namespace hivemind::fault

@@ -13,6 +13,8 @@
  */
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "sim/stats.hpp"
 
@@ -80,5 +82,39 @@ struct RecoveryMetrics
     /** Fold another ledger into this one (summaries append). */
     void merge(const RecoveryMetrics& other);
 };
+
+/** One field where two ledgers disagree, values pre-formatted. */
+struct MetricsDelta
+{
+    std::string field;
+    std::string lhs;
+    std::string rhs;
+};
+
+/**
+ * Field-by-field comparison of two ledgers. Scalars compare exactly;
+ * summaries compare by their full sample sequences (insertion order),
+ * so two ledgers are equal iff they recorded the same history. Empty
+ * result means equal.
+ */
+std::vector<MetricsDelta> metrics_diff(const RecoveryMetrics& a,
+                                       const RecoveryMetrics& b);
+
+/**
+ * metrics_diff() restricted to the named fields — the cross-engine
+ * parity checks compare only the fields both engines model
+ * identically. Unknown names are ignored.
+ */
+std::vector<MetricsDelta> metrics_diff(const RecoveryMetrics& a,
+                                       const RecoveryMetrics& b,
+                                       const std::vector<std::string>& fields);
+
+/** Human-readable one-line-per-field diff ("" when equal). */
+std::string metrics_diff_string(const RecoveryMetrics& a,
+                                const RecoveryMetrics& b);
+std::string metrics_diff_string(const std::vector<MetricsDelta>& deltas);
+
+/** Exact equality: metrics_diff(a, b).empty(). */
+bool operator==(const RecoveryMetrics& a, const RecoveryMetrics& b);
 
 }  // namespace hivemind::fault

@@ -1,8 +1,29 @@
 #include "fault/plan.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
 #include "sim/rng.hpp"
 
 namespace hivemind::fault {
+
+const char*
+kind_name(FaultKind kind)
+{
+    switch (kind) {
+        case FaultKind::DeviceCrash: return "DeviceCrash";
+        case FaultKind::SpatialBurst: return "SpatialBurst";
+        case FaultKind::LinkBurst: return "LinkBurst";
+        case FaultKind::Partition: return "Partition";
+        case FaultKind::ServerCrash: return "ServerCrash";
+        case FaultKind::DatastoreOutage: return "DatastoreOutage";
+        case FaultKind::ControllerFailover: return "ControllerFailover";
+        case FaultKind::ControllerCrash: return "ControllerCrash";
+        case FaultKind::ControllerPartition: return "ControllerPartition";
+    }
+    return "Unknown";
+}
 
 FaultPlan&
 FaultPlan::device_crash(sim::Time at, std::size_t device,
@@ -120,6 +141,127 @@ FaultPlan::merge(const FaultPlan& other)
 {
     events.insert(events.end(), other.events.begin(), other.events.end());
     return *this;
+}
+
+std::vector<std::string>
+FaultPlan::validate(const PlanBounds& bounds) const
+{
+    std::vector<std::string> problems;
+    auto flag = [&](std::size_t i, const FaultEvent& e, const std::string& what) {
+        problems.push_back("event #" + std::to_string(i) + " (" +
+                           kind_name(e.kind) + "): " + what);
+    };
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const FaultEvent& e = events[i];
+        if (e.at < 0)
+            flag(i, e, "negative injection time");
+        if (bounds.horizon > 0 && e.at >= bounds.horizon)
+            flag(i, e, "injection at " + std::to_string(e.at) +
+                           " is past the horizon " +
+                           std::to_string(bounds.horizon));
+        if (e.duration < 0)
+            flag(i, e, "negative duration");
+        const bool device_target = e.kind == FaultKind::DeviceCrash ||
+                                   e.kind == FaultKind::Partition;
+        if (device_target && bounds.devices > 0 && e.target >= bounds.devices)
+            flag(i, e, "device target " + std::to_string(e.target) +
+                           " out of range (devices=" +
+                           std::to_string(bounds.devices) + ")");
+        if (e.kind == FaultKind::ServerCrash && bounds.servers > 0 &&
+            e.target >= bounds.servers)
+            flag(i, e, "server target " + std::to_string(e.target) +
+                           " out of range (servers=" +
+                           std::to_string(bounds.servers) + ")");
+        const bool window_kind = e.kind == FaultKind::LinkBurst ||
+                                 e.kind == FaultKind::Partition ||
+                                 e.kind == FaultKind::DatastoreOutage ||
+                                 e.kind == FaultKind::ControllerPartition;
+        if (window_kind && e.duration == 0)
+            flag(i, e, "degenerate zero-width window");
+        if (e.kind == FaultKind::SpatialBurst && e.radius_m < 0.0)
+            flag(i, e, "negative burst radius");
+        if (e.kind == FaultKind::LinkBurst) {
+            if (e.loss_good < 0.0 || e.loss_good > 1.0 || e.loss_bad < 0.0 ||
+                e.loss_bad > 1.0)
+                flag(i, e, "loss probability outside [0, 1]");
+            if (e.mean_good <= 0 || e.mean_bad <= 0)
+                flag(i, e, "non-positive Gilbert-Elliott dwell time");
+        }
+    }
+    return problems;
+}
+
+void
+FaultPlan::validate_or_throw(const PlanBounds& bounds) const
+{
+    std::vector<std::string> problems = validate(bounds);
+    if (problems.empty())
+        return;
+    std::string joined = "invalid FaultPlan: ";
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+        if (i > 0)
+            joined += "; ";
+        joined += problems[i];
+    }
+    throw std::invalid_argument(joined);
+}
+
+std::vector<bool>
+effective_device_crashes(const FaultPlan& plan)
+{
+    std::vector<bool> effective(plan.events.size(), false);
+    // Timeline entries: crashes at their injection time, rejoins (for
+    // transient crashes) at injection + duration. The kernel assigns
+    // rejoins their sequence number at crash-fire time, so at equal
+    // timestamps a plan event always precedes a rejoin — sort key
+    // (time, rejoin-flag, plan index) reproduces that order.
+    struct Entry
+    {
+        sim::Time at;
+        bool rejoin;
+        std::size_t index;  ///< Plan event the entry belongs to.
+    };
+    std::vector<Entry> timeline;
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+        const FaultEvent& e = plan.events[i];
+        if (e.kind != FaultKind::DeviceCrash)
+            continue;
+        timeline.push_back({e.at, false, i});
+        if (e.duration > 0)
+            timeline.push_back({e.at + e.duration, true, i});
+    }
+    std::sort(timeline.begin(), timeline.end(),
+              [](const Entry& a, const Entry& b) {
+                  if (a.at != b.at)
+                      return a.at < b.at;
+                  if (a.rejoin != b.rejoin)
+                      return !a.rejoin;
+                  return a.index < b.index;
+              });
+    std::vector<std::size_t> down_targets;
+    auto is_down = [&](std::size_t target) {
+        return std::find(down_targets.begin(), down_targets.end(), target) !=
+            down_targets.end();
+    };
+    for (const Entry& entry : timeline) {
+        const std::size_t target = plan.events[entry.index].target;
+        if (entry.rejoin) {
+            // A rejoin only exists if its own crash fired, and then the
+            // device is necessarily still down (no other crash can open
+            // while this incident holds it).
+            if (!effective[entry.index])
+                continue;
+            down_targets.erase(std::remove(down_targets.begin(),
+                                           down_targets.end(), target),
+                               down_targets.end());
+            continue;
+        }
+        if (is_down(target))
+            continue;  // Already held down: not a second incident.
+        effective[entry.index] = true;
+        down_targets.push_back(target);
+    }
+    return effective;
 }
 
 FaultPlan

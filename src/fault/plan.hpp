@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -72,6 +73,27 @@ struct FaultEvent
     sim::Time mean_bad = 500 * sim::kMillisecond;
     /** ControllerFailover: whether the hot standby takes over. */
     bool takeover = true;
+
+    bool operator==(const FaultEvent&) const = default;
+};
+
+/** Short stable name for a fault kind ("DeviceCrash", ...). */
+const char* kind_name(FaultKind kind);
+
+/**
+ * Deployment limits a plan is validated against. A zero field means
+ * "unknown, skip that check", so partial validation works at layers
+ * that only know part of the deployment (e.g. route_plan() may know
+ * the device count but not the horizon).
+ */
+struct PlanBounds
+{
+    /** Device ids must be < devices (0 = don't check). */
+    std::size_t devices = 0;
+    /** Server ids must be < servers (0 = don't check). */
+    std::size_t servers = 0;
+    /** Injection times must be < horizon (0 = don't check). */
+    sim::Time horizon = 0;
 };
 
 /** A full chaos schedule. Builder methods append and return *this. */
@@ -131,6 +153,38 @@ struct FaultPlan
                                           sim::Time horizon,
                                           sim::Time mean_interarrival,
                                           sim::Time rejoin_after);
+
+    bool operator==(const FaultPlan&) const = default;
+
+    /**
+     * Structural validation: every problem found, one message each,
+     * empty when the plan is well-formed. Rejects negative times,
+     * out-of-range device/server targets (when @p bounds knows the
+     * counts), events at or past the horizon (when known), degenerate
+     * zero-width windows (LinkBurst, Partition, DatastoreOutage,
+     * ControllerPartition), loss probabilities outside [0, 1],
+     * non-positive Gilbert-Elliott dwell times and negative burst
+     * radii. DeviceCrash/SpatialBurst/ServerCrash keep duration == 0
+     * as the documented "permanent" encoding.
+     */
+    std::vector<std::string> validate(const PlanBounds& bounds = {}) const;
+
+    /** validate() and throw std::invalid_argument on any finding. */
+    void validate_or_throw(const PlanBounds& bounds = {}) const;
 };
+
+/**
+ * Replay the engines' skip-if-down rule over the plan's DeviceCrash
+ * events: a crash targeting a device that is already held down by an
+ * earlier, still-open crash window is not a second incident — it
+ * neither fires nor schedules a rejoin. Returns one flag per plan
+ * event; true marks a DeviceCrash that actually takes its device down
+ * (every other kind is false). Ties are resolved crash-before-rejoin,
+ * then plan order — the legacy kernel's (time, seq) order. Both the
+ * legacy ChaosEngine and route_plan() follow this rule, which is what
+ * keeps the crash/rejoin ledgers identical across engines; SpatialBurst
+ * victims are dynamic and are not modelled here.
+ */
+std::vector<bool> effective_device_crashes(const FaultPlan& plan);
 
 }  // namespace hivemind::fault

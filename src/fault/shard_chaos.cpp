@@ -67,17 +67,30 @@ route_plan(sim::SwarmRuntime& runtime, const FaultPlan& plan,
            const std::function<int(std::size_t)>& owner,
            const ShardChaosHooks& hooks, int cloud_shard)
 {
+    // Fail loudly on malformed plans before anything lands on a shard
+    // kernel. Device targets are checked when the hooks declare the
+    // fleet size; the horizon/server bounds live at the scenario layer.
+    PlanBounds bounds;
+    bounds.devices = hooks.devices;
+    plan.validate_or_throw(bounds);
+    // The legacy engine skips a crash on a device an earlier crash
+    // still holds down — and never schedules that crash's rejoin. The
+    // skip is fully determined by the plan, so replay it statically
+    // and route only the effective crash/rejoin pairs; a stray rejoin
+    // would otherwise revive a later incident early on one engine.
+    const std::vector<bool> crash_fires = effective_device_crashes(plan);
     ShardChaosReport report;
-    for (const FaultEvent& e : plan.events) {
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+        const FaultEvent& e = plan.events[i];
         switch (e.kind) {
         case FaultKind::DeviceCrash: {
             const std::size_t device = e.target;
             sim::Simulator& shard = runtime.shard(owner(device));
-            if (hooks.crash_device)
+            if (crash_fires[i] && hooks.crash_device)
                 shard.schedule_at(e.at, [fn = hooks.crash_device, device] {
                     fn(device);
                 });
-            if (e.duration > 0 && hooks.rejoin_device)
+            if (crash_fires[i] && e.duration > 0 && hooks.rejoin_device)
                 shard.schedule_at(e.at + e.duration,
                                   [fn = hooks.rejoin_device, device] {
                                       fn(device);
@@ -101,6 +114,9 @@ route_plan(sim::SwarmRuntime& runtime, const FaultPlan& plan,
                                   hooks.burst_seed,
                                   hooks.set_device_loss);
             }
+            if (hooks.note_link_burst)
+                runtime.shard(0).schedule_at(
+                    e.at, [fn = hooks.note_link_burst] { fn(); });
             ++report.link_bursts;
             ++report.routed;
             break;

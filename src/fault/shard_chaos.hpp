@@ -71,6 +71,14 @@ struct ShardChaosHooks
      * back to the crash/recover pair.
      */
     std::function<void(sim::Time)> partition_controller;
+    /**
+     * A LinkBurst window opened; runs on shard 0 at the window's
+     * injection time. Lets the scenario count burst windows when they
+     * actually fire — the same moment the legacy ChaosEngine counts
+     * them — rather than at routing time, so a run that finishes
+     * before a window opens reports the same ledger on both engines.
+     */
+    std::function<void()> note_link_burst;
     /** Device ids the LinkBurst loss window must cover. */
     std::size_t devices = 0;
     /**

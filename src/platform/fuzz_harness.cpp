@@ -1,0 +1,62 @@
+#include "platform/fuzz_harness.hpp"
+
+#include "platform/deployment.hpp"
+#include "platform/options.hpp"
+#include "platform/scenario.hpp"
+#include "platform/sharded_scenario.hpp"
+
+namespace hivemind::platform {
+
+fault::FuzzConfig
+fuzz_config_for(const FuzzCaseOptions& opt)
+{
+    fault::FuzzConfig cfg;
+    cfg.devices = opt.devices;
+    cfg.servers = opt.servers;
+    cfg.horizon = opt.horizon;
+    return cfg;
+}
+
+fault::RunAudit
+run_fuzz_case(const fault::FaultPlan& plan, const FuzzCaseOptions& opt)
+{
+    fault::PlanBounds bounds;
+    bounds.devices = opt.devices;
+    bounds.servers = opt.servers;
+    bounds.horizon = opt.horizon;
+    plan.validate_or_throw(bounds);
+
+    ScenarioConfig sc;
+    sc.kind = ScenarioKind::StationaryItems;
+    sc.field_size_m = 96.0;
+    // Unattainable goal + unbounded pass budget: the only legitimate
+    // stop is the horizon (or a fully dead fleet), so early finishes
+    // surface as liveness violations instead of hiding as successes.
+    sc.targets = 200;
+    sc.max_passes = 1'000'000;
+    sc.time_cap = opt.horizon;
+    sc.faults = plan;
+
+    DeploymentConfig dep;
+    dep.devices = opt.devices;
+    dep.servers = opt.servers;
+    dep.seed = opt.seed;
+
+    // HiveMind platform: the HA stack wires itself when the plan can
+    // take the swarm controller down, matching the shipped scenarios.
+    const PlatformOptions platform = PlatformOptions::hivemind();
+
+    fault::RunAudit audit;
+    if (opt.engine == FuzzEngine::Sharded) {
+        audit = run_scenario_sharded(sc, platform, dep,
+                                     opt.shards < 1 ? 1 : opt.shards)
+                    .audit;
+    } else {
+        sc.shards = 1;
+        audit = run_scenario_audited(sc, platform, dep).audit;
+    }
+    audit.expect_full_horizon = true;
+    return audit;
+}
+
+}  // namespace hivemind::platform

@@ -11,6 +11,7 @@
 #include "core/load_balancer.hpp"
 #include "fault/chaos.hpp"
 #include "geo/maze.hpp"
+#include "platform/fnv.hpp"
 #include "platform/pipeline_spec.hpp"
 #include "platform/sharded_scenario.hpp"
 
@@ -142,6 +143,9 @@ class ScenarioHarness
 
     RunMetrics take_metrics();
 
+    /** Fill the oracle ledger; call after take_metrics(). */
+    fault::RunAudit build_audit(const RunMetrics& m) const;
+
   private:
     bool is_drone_scenario() const
     {
@@ -220,6 +224,13 @@ class ScenarioHarness
     std::vector<std::uint32_t> inflight_;
     std::uint64_t tasks_started_ = 0;
     std::uint64_t outage_completed_ = 0;
+    // Frame-conservation ledger terms (fault::FrameLedger): every
+    // started pipeline frame settles as completed, dropped or
+    // in-flight, and every drained backlog as delivered, lost or still
+    // in the air.
+    std::uint64_t frames_dropped_ = 0;
+    std::uint64_t drain_lost_ = 0;
+    std::uint64_t drain_inflight_ = 0;
 };
 
 void
@@ -305,6 +316,8 @@ ScenarioHarness::pipeline(std::size_t device,
     done = [this, device, inner = std::move(done)](const StageRecord& r) {
         if (device < inflight_.size() && inflight_[device] > 0)
             --inflight_[device];
+        if (r.dropped)
+            ++frames_dropped_;  // Settled: abandoned, not in-flight.
         inner(r);
     };
 
@@ -686,8 +699,14 @@ ScenarioHarness::availability_changed(bool up)
         edge::Device& dev = dep_->device(d);
         dev.set_degraded(false);
         edge::Device::DrainedFrames backlog = dev.drain_buffered();
-        if (backlog.frames == 0 || !dev.alive())
+        if (backlog.frames == 0)
             continue;
+        if (!dev.alive()) {
+            // The buffer already gave the frames up; the device died
+            // before the drain could start — book them as lost.
+            drain_lost_ += backlog.frames;
+            continue;
+        }
         // Drain the buffered backlog through the pre-filtered uplink
         // (the on-board filter kept running while buffering).
         double raw = static_cast<double>(pipeline_.frame_bytes);
@@ -695,10 +714,14 @@ ScenarioHarness::availability_changed(bool up)
             std::min(raw, 4.0 * 1024.0 * 1024.0 + 0.02 * raw);
         std::uint64_t bytes = static_cast<std::uint64_t>(
             reduced * static_cast<double>(backlog.frames));
+        drain_inflight_ += backlog.frames;
         uplink_with_retry(
             d, bytes, [this, frames = backlog.frames](sim::Time t) {
+                drain_inflight_ -= frames;
                 if (t >= 0)
                     metrics_.recovery.buffered_frames_drained += frames;
+                else
+                    drain_lost_ += frames;
             });
     }
 }
@@ -963,6 +986,82 @@ ScenarioHarness::take_metrics()
     return metrics_;
 }
 
+fault::RunAudit
+ScenarioHarness::build_audit(const RunMetrics& m) const
+{
+    fault::RunAudit audit;
+    audit.engine = "legacy";
+    audit.shards = 1;
+    audit.seed = dep_->config().seed;
+    audit.devices = dep_->device_count();
+    audit.servers = dep_->config().servers;
+    audit.horizon = sc_->time_cap;
+    audit.completion = completion_;
+    // The kernel stops dead inside finish(): an event at the same
+    // instant with a later sequence number never runs, and nothing
+    // after it does either.
+    audit.completion_margin = 0;
+    audit.completed = m.completed;
+    audit.ha_enabled = ha_ != nullptr;
+    audit.ha_standbys = sc_->ha.standbys;
+    audit.checkpoint_interval_s =
+        sim::to_seconds(sc_->ha.checkpoint_interval);
+    audit.breaker_cooldown_s = sim::to_seconds(sc_->retry.breaker_cooldown);
+    audit.configured_loss = dep_->config().net.wireless_loss;
+    audit.plan = effective_plan(*sc_);
+    audit.recovery = m.recovery;
+    audit.frames.generated = tasks_started_;
+    audit.frames.delivered = m.tasks_completed;
+    audit.frames.dropped = frames_dropped_;
+    for (std::uint32_t c : inflight_)
+        audit.frames.inflight_end += c;
+    audit.frames.buffered = m.recovery.frames_buffered_degraded;
+    audit.frames.drained = m.recovery.buffered_frames_drained;
+    audit.frames.drain_lost = drain_lost_;
+    audit.frames.drain_inflight_end = drain_inflight_;
+    for (std::size_t d = 0; d < dep_->device_count(); ++d) {
+        const edge::Device& dev = dep_->device(d);
+        audit.frames.dropped_onboard += dev.frames_dropped_onboard();
+        audit.frames.buffered_end += dev.buffered_frames();
+        fault::DeviceEndState end;
+        end.alive = dev.alive();
+        end.battery_dead = dev.battery().depleted();
+        end.breaker_open = retrier_.circuit_open(d, completion_);
+        end.buffered = dev.buffered_frames();
+        audit.device_end.push_back(end);
+    }
+    // The legacy harness has no cross-shard digest; hash the ledger so
+    // the determinism oracle still compares same-seed reruns exactly.
+    std::uint64_t cs = fnv::kBasis;
+    fnv::mix(cs, audit.frames.generated);
+    fnv::mix(cs, audit.frames.delivered);
+    fnv::mix(cs, audit.frames.dropped);
+    fnv::mix(cs, audit.frames.inflight_end);
+    fnv::mix(cs, audit.frames.buffered);
+    fnv::mix(cs, audit.frames.drained);
+    fnv::mix(cs, audit.frames.drain_lost);
+    fnv::mix(cs, audit.frames.drain_inflight_end);
+    fnv::mix(cs, audit.frames.buffered_end);
+    fnv::mix(cs, m.recovery.device_crashes);
+    fnv::mix(cs, m.recovery.device_rejoins);
+    fnv::mix(cs, m.recovery.controller_crashes);
+    fnv::mix(cs, m.recovery.controller_failovers);
+    fnv::mix(cs, m.recovery.wireless_retransmissions);
+    fnv::mix(cs, m.recovery.offload_retries);
+    fnv::mix(cs, m.recovery.offloads_abandoned);
+    fnv::mix(cs, fnv::bits(m.task_latency_s.sum()));
+    fnv::mix(cs, fnv::bits(m.goal_fraction));
+    fnv::mix(cs, fnv::bits(sim::to_seconds(completion_)));
+    for (const fault::DeviceEndState& e : audit.device_end) {
+        fnv::mix(cs, e.alive ? 1 : 0);
+        fnv::mix(cs, e.battery_dead ? 1 : 0);
+        fnv::mix(cs, e.breaker_open ? 1 : 0);
+        fnv::mix(cs, e.buffered);
+    }
+    audit.checksum = cs;
+    return audit;
+}
+
 }  // namespace
 
 RunMetrics
@@ -987,6 +1086,20 @@ run_scenario(const ScenarioConfig& scenario, const PlatformOptions& options,
     ScenarioHarness harness(dep, scenario);
     harness.run();
     return harness.take_metrics();
+}
+
+AuditedRun
+run_scenario_audited(const ScenarioConfig& scenario,
+                     const PlatformOptions& options,
+                     const DeploymentConfig& deployment_config)
+{
+    Deployment dep(deployment_config, options);
+    ScenarioHarness harness(dep, scenario);
+    harness.run();
+    AuditedRun out;
+    out.metrics = harness.take_metrics();
+    out.audit = harness.build_audit(out.metrics);
+    return out;
 }
 
 }  // namespace hivemind::platform

@@ -31,6 +31,7 @@
 
 #include "apps/detection.hpp"
 #include "core/ha.hpp"
+#include "fault/oracle.hpp"
 #include "fault/plan.hpp"
 #include "fault/retry.hpp"
 #include "platform/deployment.hpp"
@@ -103,5 +104,22 @@ struct ScenarioConfig
 RunMetrics run_scenario(const ScenarioConfig& scenario,
                         const PlatformOptions& options,
                         const DeploymentConfig& deployment_config);
+
+/** One legacy-harness run plus the ledger the oracles audit. */
+struct AuditedRun
+{
+    RunMetrics metrics;
+    fault::RunAudit audit;
+};
+
+/**
+ * Run @p scenario on the legacy single-kernel harness (regardless of
+ * `scenario.shards`) and return the metrics together with a filled
+ * fault::RunAudit for the invariant oracles. The sharded engine's
+ * equivalent is ShardedScenarioResult::audit.
+ */
+AuditedRun run_scenario_audited(const ScenarioConfig& scenario,
+                                const PlatformOptions& options,
+                                const DeploymentConfig& deployment_config);
 
 }  // namespace hivemind::platform

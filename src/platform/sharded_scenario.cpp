@@ -43,6 +43,11 @@ constexpr std::uint64_t kCkptDownOrigin = 5u << 20;
 // controller sits cloud-side (Sec. 4.6), so this is a wired leg, not
 // the device radio.
 constexpr double kCkptLinkBps = 1e9;
+// The heard-from roster must look fully dead for this many consecutive
+// 1 Hz controller ticks before the mission aborts. Heartbeats lag
+// reality by up to one beat period plus control-plane transfer, so a
+// single all-dead reading can race a rejoin already on the wire.
+constexpr int kFleetDeadDwellTicks = 3;
 
 /** The chaos plan actually run: config plan + legacy injection shim. */
 fault::FaultPlan
@@ -93,6 +98,7 @@ struct DeviceActor
     // Gilbert-Elliott burst state lives on the uplink ShardLink, so it
     // stays local to the owner shard at any shard count.
     bool blocked = false;  ///< Hard partition (loss = 1).
+    bool chaos_down = false;  ///< Held down by an injected crash.
     double configured_loss = 0.0;
 
     net::ShardLink* data_up = nullptr;
@@ -125,6 +131,8 @@ struct DeviceActor
     // Degraded-mode (controller outage) bookkeeping.
     std::uint64_t frames_buffered = 0;   ///< Buffered while degraded.
     std::uint64_t buffered_drained = 0;  ///< Drained after reconnect.
+    std::uint64_t drain_lost = 0;      ///< Lost draining (air/death).
+    std::uint64_t drain_inflight = 0;  ///< Drain chains still in the air.
     std::uint64_t outage_completions = 0;  ///< Results landed degraded.
 
     // Route protocol.
@@ -273,6 +281,16 @@ struct ControllerTier
     std::vector<std::uint32_t> inflight_known;
     std::vector<std::uint64_t> started_known;
     bool down = false;  ///< Crash/partition window open.
+    /**
+     * Consecutive 1 Hz ticks the heard-from roster has looked fully
+     * dead. The roster is heartbeat-derived and so runs ~1 s stale: a
+     * device that just rejoined announces itself with its next beat.
+     * Aborting the mission on the first all-dead reading loses that
+     * race (the fuzzer found it: overlapping crash windows on a small
+     * fleet, a rejoin one tick before the abort), so the abort waits
+     * for the view to stay dead across a short dwell.
+     */
+    int dead_ticks = 0;
     bool done = false;
     bool goal = false;
     double final_goal_fraction = 0.0;
@@ -392,6 +410,7 @@ class ShardedScenarioEngine
     void wire_ha(const DeploymentConfig& dep);
     void arm_chaos();
     RunMetrics collect_metrics();
+    fault::RunAudit build_audit(const RunMetrics& m) const;
     std::uint64_t checksum() const;
 
     ScenarioConfig sc_;
@@ -410,6 +429,7 @@ class ShardedScenarioEngine
     std::uint64_t device_crashes_ = 0;
     std::uint64_t device_rejoins_ = 0;
     std::uint64_t ctrl_partitions_ = 0;
+    std::uint64_t link_bursts_fired_ = 0;  ///< Windows actually opened.
 
     // Controller HA: the cluster lives on shard 0, its checkpoints on
     // the cloud shard's DataStore, reached over a dedicated ShardLink
@@ -589,16 +609,30 @@ ShardedScenarioEngine::arm_chaos()
     hooks.burst_seed = cloud_.cfg.seed;
     hooks.controller_ha = ha_ != nullptr;
     hooks.crash_device = [this](std::size_t d) {
-        devices_[d]->dev.set_failed(true);
+        DeviceActor& a = *devices_[d];
+        // A device already held down is not a second incident — the
+        // legacy ChaosEngine skips it, and the first scheduled rejoin
+        // ends the incident. Mirroring that here keeps the crash and
+        // rejoin ledgers identical across engines under overlapping
+        // crash windows (e.g. Poisson churn on a small fleet).
+        if (a.chaos_down)
+            return;
+        a.chaos_down = true;
+        a.dev.set_failed(true);
         ++device_crashes_;
     };
     hooks.rejoin_device = [this](std::size_t d) {
-        devices_[d]->dev.set_failed(false);
+        DeviceActor& a = *devices_[d];
+        if (!a.chaos_down)
+            return;
+        a.chaos_down = false;
+        a.dev.set_failed(false);
         ++device_rejoins_;  // Heartbeats resume; the detector rejoins it.
     };
     hooks.set_device_loss = [this](std::size_t d, double loss) {
         data_up_[d].set_loss(loss);
     };
+    hooks.note_link_burst = [this] { ++link_bursts_fired_; };
     hooks.partition_device = [this](std::size_t d, bool on) {
         devices_[d]->blocked = on;
         if (on)
@@ -885,8 +919,14 @@ void
 ShardedScenarioEngine::drain_backlog(DeviceActor& a)
 {
     edge::Device::DrainedFrames backlog = a.dev.drain_buffered();
-    if (backlog.frames == 0 || !a.dev.alive())
+    if (backlog.frames == 0)
         return;
+    if (!a.dev.alive()) {
+        // The buffer already gave the frames up; the device died before
+        // the drain could start, so the ledger books them as lost.
+        a.drain_lost += backlog.frames;
+        return;
+    }
     // Drain the buffered backlog through the pre-filtered uplink (the
     // on-board filter kept running while buffering), with the same
     // retransmit budget as any other offload.
@@ -895,6 +935,7 @@ ShardedScenarioEngine::drain_backlog(DeviceActor& a)
     const std::uint64_t bytes = static_cast<std::uint64_t>(
         reduced * static_cast<double>(backlog.frames));
     a.radio_bytes += bytes;
+    a.drain_inflight += backlog.frames;
     drain_attempt(a, bytes, backlog.frames,
                   cloud_.cfg.net.max_retransmits);
 }
@@ -908,6 +949,8 @@ ShardedScenarioEngine::drain_attempt(DeviceActor& a, std::uint64_t bytes,
     if (loss > 0.0 && (loss >= 1.0 || a.rng.chance(loss))) {
         if (tries_left <= 0) {
             ++a.wireless_drops;  // Backlog lost on the air.
+            a.drain_lost += frames;
+            a.drain_inflight -= frames;
             return;
         }
         ++a.retransmits;
@@ -921,6 +964,7 @@ ShardedScenarioEngine::drain_attempt(DeviceActor& a, std::uint64_t bytes,
     // A non-corrupt transfer always arrives, so the drain is settled
     // here on the owner shard; the cloud side only meters the bytes.
     a.buffered_drained += frames;
+    a.drain_inflight -= frames;
     a.data_up->transfer(bytes, sim::InlineFn([this, bytes] {
                             cloud_.air_meter.add(
                                 cloud_.sim->now(),
@@ -1304,8 +1348,11 @@ ShardedScenarioEngine::controller_tick()
                 passes_exhausted = false;
         }
     }
-    if (now >= sc_.time_cap || all_dead ||
-        (passes_exhausted && ctrl_.reports > 0)) {
+    ctrl_.dead_ticks = all_dead ? ctrl_.dead_ticks + 1 : 0;
+    // An all-dead roster makes passes_exhausted vacuously true; that
+    // stop must also wait out the dwell, not sneak past it.
+    if (now >= sc_.time_cap || ctrl_.dead_ticks >= kFleetDeadDwellTicks ||
+        (!all_dead && passes_exhausted && ctrl_.reports > 0)) {
         finish(false);
     }
 }
@@ -1342,6 +1389,8 @@ ShardedScenarioEngine::run()
     ShardedScenarioResult result;
     result.metrics = collect_metrics();
     result.checksum = checksum();
+    result.audit = build_audit(result.metrics);
+    result.audit.checksum = result.checksum;
     result.epochs = report.epochs;
     result.forwarded = report.forwarded;
     result.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
@@ -1394,7 +1443,10 @@ ShardedScenarioEngine::collect_metrics()
     m.recovery.server_crashes = server_crashes_;
     m.recovery.datastore_outages = datastore_outages_;
     m.recovery.partitions = partitions_;
-    m.recovery.link_burst_windows = chaos_.link_bursts;
+    // Fire-time count (the legacy engine's semantics), not how many
+    // windows the router accepted: a burst past the stop point never
+    // opened.
+    m.recovery.link_burst_windows = link_bursts_fired_;
     m.recovery.controller_crashes = ctrl_.crashes;
     m.recovery.controller_partitions = ctrl_partitions_;
     m.recovery.controller_failovers = ctrl_.takeovers;
@@ -1409,6 +1461,51 @@ ShardedScenarioEngine::collect_metrics()
         m.recovery.controller_failovers = ha_->failovers();
     }
     return m;
+}
+
+fault::RunAudit
+ShardedScenarioEngine::build_audit(const RunMetrics& m) const
+{
+    fault::RunAudit audit;
+    audit.engine = "sharded";
+    audit.shards = runtime_.shards();
+    audit.seed = cloud_.cfg.seed;
+    audit.devices = devices_.size();
+    audit.servers = cloud_.cfg.servers;
+    audit.horizon = sc_.time_cap;
+    audit.completion = ctrl_.completion;
+    // The stop predicate is sampled at epoch boundaries and the finish
+    // lands on a 1 Hz controller tick, so events within one second of
+    // the stop may or may not have fired.
+    audit.completion_margin = sim::kSecond;
+    audit.completed = ctrl_.goal;
+    audit.ha_enabled = ha_ != nullptr;
+    audit.ha_standbys = sc_.ha.standbys;
+    audit.checkpoint_interval_s = sim::to_seconds(sc_.ha.checkpoint_interval);
+    audit.breaker_cooldown_s = sim::to_seconds(sc_.retry.breaker_cooldown);
+    audit.configured_loss = cloud_.cfg.net.wireless_loss;
+    audit.plan = effective_plan(sc_);
+    audit.recovery = m.recovery;
+    for (const auto& ap : devices_) {
+        const DeviceActor& a = *ap;
+        audit.frames.generated += a.frames;
+        audit.frames.delivered += a.completions;
+        audit.frames.dropped += a.abandoned;
+        audit.frames.inflight_end += a.pending.size();
+        audit.frames.buffered += a.frames_buffered;
+        audit.frames.dropped_onboard += a.dev.frames_dropped_onboard();
+        audit.frames.drained += a.buffered_drained;
+        audit.frames.drain_lost += a.drain_lost;
+        audit.frames.drain_inflight_end += a.drain_inflight;
+        audit.frames.buffered_end += a.dev.buffered_frames();
+        fault::DeviceEndState end;
+        end.alive = a.dev.alive();
+        end.battery_dead = a.dev.battery().depleted();
+        end.breaker_open = a.retrier.circuit_open(0, ctrl_.completion);
+        end.buffered = a.dev.buffered_frames();
+        audit.device_end.push_back(end);
+    }
+    return audit;
 }
 
 std::uint64_t
@@ -1430,6 +1527,8 @@ ShardedScenarioEngine::checksum() const
         mix(cs, a.radio_bytes);
         mix(cs, a.frames_buffered);
         mix(cs, a.buffered_drained);
+        mix(cs, a.drain_lost);
+        mix(cs, a.drain_inflight);
         mix(cs, a.outage_completions);
         mix(cs, a.dev.buffered_frames());
         mix(cs, a.dev.frames_dropped_onboard());
@@ -1450,6 +1549,7 @@ ShardedScenarioEngine::checksum() const
     mix(cs, ctrl_.takeovers);
     mix(cs, ctrl_.crashes);
     mix(cs, ctrl_partitions_);
+    mix(cs, link_bursts_fired_);
     if (ha_) {
         // Every HA quantity below is event-driven (no wall-time
         // reads), so it is safe under the invariance contract.

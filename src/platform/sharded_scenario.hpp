@@ -29,6 +29,7 @@
 
 #include <cstdint>
 
+#include "fault/oracle.hpp"
 #include "fault/shard_chaos.hpp"
 #include "platform/deployment.hpp"
 #include "platform/metrics.hpp"
@@ -48,6 +49,8 @@ struct ShardedScenarioResult
     double wall_s = 0.0;          ///< Host wall-clock for the run.
     int shards = 1;
     fault::ShardChaosReport chaos;
+    /** Everything the invariant oracles need about this run. */
+    fault::RunAudit audit;
 };
 
 /** Whether the sharded engine models this scenario (drone kinds). */

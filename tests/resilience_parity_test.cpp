@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "fault/metrics.hpp"
+#include "fault/oracle.hpp"
 #include "fault/shard_chaos.hpp"
 #include "platform/scenario.hpp"
 #include "platform/sharded_scenario.hpp"
@@ -102,6 +104,13 @@ TEST(ResilienceParity, ControllerHaRecoveryTracksLegacyOnSamePlanAndSeed)
     EXPECT_EQ(sharded.recovery.controller_crashes, 1u);
     EXPECT_EQ(legacy.recovery.controller_failovers, 1u);
     EXPECT_EQ(sharded.recovery.controller_failovers, 1u);
+
+    // Every injected-fault counter both engines model identically must
+    // agree exactly — the same field list the fuzz oracles pin.
+    std::vector<fault::MetricsDelta> exact = fault::metrics_diff(
+        legacy.recovery, sharded.recovery,
+        fault::OracleSuite::cross_engine_parity_fields());
+    EXPECT_TRUE(exact.empty()) << fault::metrics_diff_string(exact);
 
     // Detection is the same election machinery on the same timing
     // grid: within the (election_timeout, +watchdog beat] deadline on
@@ -330,12 +339,13 @@ TEST(ShardedHa, ChecksumInvariantWithFullChaosPlan)
             sc, platform::PlatformOptions::hivemind(), parity_deployment(),
             n);
         EXPECT_EQ(run.checksum, ref.checksum) << "shards=" << n;
-        EXPECT_EQ(run.metrics.recovery.checkpoints_taken,
-                  ref.metrics.recovery.checkpoints_taken)
-            << "shards=" << n;
-        EXPECT_EQ(run.metrics.recovery.buffered_frames_drained,
-                  ref.metrics.recovery.buffered_frames_drained)
-            << "shards=" << n;
+        // The whole recovery ledger must be shard-invariant, not just a
+        // couple of sentinel counters; on mismatch the diff printer
+        // names every divergent field.
+        EXPECT_TRUE(run.metrics.recovery == ref.metrics.recovery)
+            << "shards=" << n << "\n"
+            << fault::metrics_diff_string(ref.metrics.recovery,
+                                          run.metrics.recovery);
     }
 }
 
