@@ -158,11 +158,21 @@ main()
             }
             const double speedup =
                 r.wall_s > 0.0 ? wall_one / r.wall_s : 0.0;
-            std::printf("%-8zu %-7d %12llu %12llu %10.3f %9.2f %10llx\n",
+            // On a host with fewer cores than shards the threads
+            // serialize and the speedup number is meaningless — say
+            // so loudly rather than print a bogus slowdown.
+            char speedup_col[24];
+            if (hw_threads < static_cast<unsigned>(shards))
+                std::snprintf(speedup_col, sizeof speedup_col, "%9s",
+                              "SKIPPED");
+            else
+                std::snprintf(speedup_col, sizeof speedup_col, "%8.2fx",
+                              speedup);
+            std::printf("%-8zu %-7d %12llu %12llu %10.3f %s %10llx\n",
                         devices, shards,
                         static_cast<unsigned long long>(r.executed),
                         static_cast<unsigned long long>(r.epochs),
-                        r.wall_s, speedup,
+                        r.wall_s, speedup_col,
                         static_cast<unsigned long long>(r.checksum));
             shard_rows.push(
                 Json::object()
@@ -180,6 +190,11 @@ main()
     }
     std::printf("\nchecksums across shard counts: %s\n",
                 checksums_ok ? "all identical" : "MISMATCH");
+    if (hw_threads < 4)
+        std::printf("speedup columns SKIPPED (hw_threads < shards) on "
+                    "this %u-thread host; checksums above are still the "
+                    "full correctness check.\n",
+                    hw_threads);
     write_bench_json(
         "shard_scaling",
         Json::object()

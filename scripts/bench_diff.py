@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Diff a fresh BENCH_scenario_shards.json against the checked-in baseline.
+
+The scenario-shards bench (bench/fig11_scenario_shards) writes a
+machine-readable summary next to its human table. CI re-runs the bench
+on every push; this script compares that fresh JSON with the baseline
+committed at the repo root and flags wall-time regressions.
+
+Gate: the optimized shards=1 row — the only row whose wall time is
+meaningful on any host, single-core runners included — may not regress
+by more than --max-regress (default 15%) against the baseline row.
+Checksum drift between the two files is reported as informational
+only: the baseline may legitimately change when the simulation does
+(the bench's own exit code already enforces invariance *within* a
+run).
+
+Exit codes: 0 ok / no comparable data, 1 wall-time regression, 2 bad
+input. CI wires this as a non-blocking annotation step
+(continue-on-error), so a slow runner warns rather than blocks; run it
+locally before re-baselining to catch real regressions.
+
+Inside GitHub Actions (GITHUB_ACTIONS=true) findings are emitted as
+::warning:: / ::error:: workflow commands so they surface as PR
+annotations.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def in_actions() -> bool:
+    return os.environ.get("GITHUB_ACTIONS") == "true"
+
+
+def note(kind: str, msg: str) -> None:
+    """Print msg, doubled as a workflow command under CI."""
+    print(f"[{kind}] {msg}")
+    if in_actions() and kind in ("warning", "error"):
+        print(f"::{kind} file=BENCH_scenario_shards.json::{msg}")
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        note("error", f"cannot read {path}: {e}")
+        sys.exit(2)
+
+
+def row_at(doc: dict, shards: int):
+    for row in doc.get("rows", []):
+        if row.get("shards") == shards:
+            return row
+    return None
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default="BENCH_scenario_shards.json",
+                    help="checked-in baseline JSON (repo root)")
+    ap.add_argument("--fresh", required=True,
+                    help="freshly generated JSON from this run")
+    ap.add_argument("--max-regress", type=float, default=0.15,
+                    help="allowed fractional wall-time regression at "
+                         "shards=1 (default 0.15)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    # Hard correctness signals from the fresh run come first: a bench
+    # that already failed its own gates should not hide behind noise.
+    if fresh.get("checksum_invariant") is not True:
+        note("error", "fresh run reports checksum_invariant != true")
+        return 1
+
+    print(f"{'shards':>6} {'base wall(s)':>13} {'fresh wall(s)':>14} "
+          f"{'delta':>8}")
+    for row in fresh.get("rows", []):
+        b = row_at(base, row.get("shards"))
+        if b is None or not b.get("wall_s"):
+            continue
+        delta = row["wall_s"] / b["wall_s"] - 1.0
+        print(f"{row['shards']:>6} {b['wall_s']:>13.2f} "
+              f"{row['wall_s']:>14.2f} {delta:>+7.1%}")
+
+    b1, f1 = row_at(base, 1), row_at(fresh, 1)
+    if b1 is None or f1 is None or not b1.get("wall_s"):
+        note("warning", "no comparable shards=1 row; nothing to gate")
+        return 0
+
+    if b1.get("checksum") != f1.get("checksum"):
+        note("warning",
+             f"shards=1 checksum changed {b1.get('checksum')} -> "
+             f"{f1.get('checksum')} (expected only when the simulation "
+             "itself changed; re-baseline deliberately)")
+
+    regress = f1["wall_s"] / b1["wall_s"] - 1.0
+    if regress > args.max_regress:
+        note("error",
+             f"shards=1 wall time regressed {regress:+.1%} "
+             f"({b1['wall_s']:.2f}s -> {f1['wall_s']:.2f}s), over the "
+             f"{args.max_regress:.0%} budget")
+        return 1
+
+    note("ok", f"shards=1 wall time {regress:+.1%} vs baseline "
+               f"(budget {args.max_regress:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,8 @@ SwarmTopology::SwarmTopology(sim::Simulator& simulator,
       rng_(rng),
       blocked_(config.devices, 0),
       device_bytes_(config.devices, 0),
-      air_meter_(sim::kSecond)
+      air_meter_(sim::kSecond),
+      flows_(simulator)
 {
     double scale = config.infra_scale;
     for (std::size_t i = 0; i < config.devices; ++i) {
@@ -51,25 +52,6 @@ SwarmTopology::SwarmTopology(sim::Simulator& simulator,
             config.cloud_rpc_offload ? RpcConfig::fpga_offload(2)
                                      : RpcConfig::software_stack(2)));
     }
-}
-
-void
-SwarmTopology::chain(std::vector<Link*> path, std::uint64_t bytes,
-                     DeliveryCallback done)
-{
-    if (path.empty()) {
-        if (done)
-            done(simulator_->now());
-        return;
-    }
-    Link* first = path.front();
-    std::vector<Link*> rest(path.begin() + 1, path.end());
-    auto self = this;
-    first->transfer(bytes,
-                    [self, rest = std::move(rest), bytes,
-                     done = std::move(done)]() mutable {
-                        self->chain(std::move(rest), bytes, std::move(done));
-                    });
 }
 
 void
@@ -162,24 +144,14 @@ SwarmTopology::send_uplink(std::size_t device, std::size_t server,
     auto self = this;
     auto attempt = [self, device, server, r,
                     bytes](DeliveryCallback finished) {
-        self->device_rpc_[device]->process([self, device, server, r, bytes,
-                                            done =
-                                                std::move(finished)]() mutable {
-        std::vector<Link*> path{self->device_up_[device].get(),
-                                self->router_up_[r].get(),
-                                self->tor_up_.get(),
-                                self->nic_in_[server].get()};
-        self->chain(std::move(path), bytes,
-                    [self, server, bytes,
-                     done = std::move(done)](sim::Time t) mutable {
-                        self->air_meter_.add(t, static_cast<double>(bytes));
-                        self->server_rpc_[server]->process(
-                            [self, done = std::move(done)]() {
-                                if (done)
-                                    done(self->simulator_->now());
-                            });
-                    });
-        });
+        self->flows_.launch(self->device_rpc_[device].get(),
+                            {self->device_up_[device].get(),
+                             self->router_up_[r].get(),
+                             self->tor_up_.get(),
+                             self->nic_in_[server].get()},
+                            bytes, &self->air_meter_,
+                            self->server_rpc_[server].get(),
+                            std::move(finished));
     };
     with_retransmits(device, std::move(attempt), std::move(done),
                      config_.max_retransmits);
@@ -194,24 +166,14 @@ SwarmTopology::send_downlink(std::size_t server, std::size_t device,
     auto self = this;
     auto attempt = [self, device, server, r,
                     bytes](DeliveryCallback finished) {
-        self->server_rpc_[server]->process([self, device, server, r, bytes,
-                                            done =
-                                                std::move(finished)]() mutable {
-        std::vector<Link*> path{self->nic_out_[server].get(),
-                                self->tor_down_.get(),
-                                self->router_down_[r].get(),
-                                self->device_down_[device].get()};
-        self->chain(std::move(path), bytes,
-                    [self, device, bytes,
-                     done = std::move(done)](sim::Time t) mutable {
-                        self->air_meter_.add(t, static_cast<double>(bytes));
-                        self->device_rpc_[device]->process(
-                            [self, done = std::move(done)]() {
-                                if (done)
-                                    done(self->simulator_->now());
-                            });
-                    });
-        });
+        self->flows_.launch(self->server_rpc_[server].get(),
+                            {self->nic_out_[server].get(),
+                             self->tor_down_.get(),
+                             self->router_down_[r].get(),
+                             self->device_down_[device].get()},
+                            bytes, &self->air_meter_,
+                            self->device_rpc_[device].get(),
+                            std::move(finished));
     };
     with_retransmits(device, std::move(attempt), std::move(done),
                      config_.max_retransmits);
@@ -222,17 +184,11 @@ SwarmTopology::send_uplink_wired(std::size_t device, std::size_t server,
                                  std::uint64_t bytes, DeliveryCallback done)
 {
     std::size_t r = device % config_.routers;
-    auto self = this;
-    std::vector<Link*> path{router_up_[r].get(), tor_up_.get(),
-                            nic_in_[server].get()};
-    chain(std::move(path), bytes,
-          [self, server, done = std::move(done)](sim::Time) mutable {
-              self->server_rpc_[server]->process(
-                  [self, done = std::move(done)]() {
-                      if (done)
-                          done(self->simulator_->now());
-                  });
-          });
+    flows_.launch(nullptr,
+                  {router_up_[r].get(), tor_up_.get(),
+                   nic_in_[server].get()},
+                  bytes, nullptr, server_rpc_[server].get(),
+                  std::move(done));
 }
 
 void
@@ -241,18 +197,10 @@ SwarmTopology::send_downlink_wired(std::size_t server, std::size_t device,
                                    DeliveryCallback done)
 {
     std::size_t r = device % config_.routers;
-    auto self = this;
-    server_rpc_[server]->process([self, r, server, bytes,
-                                  done = std::move(done)]() mutable {
-        std::vector<Link*> path{self->nic_out_[server].get(),
-                                self->tor_down_.get(),
-                                self->router_down_[r].get()};
-        self->chain(std::move(path), bytes,
-                    [self, done = std::move(done)](sim::Time t) mutable {
-                        if (done)
-                            done(t);
-                    });
-    });
+    flows_.launch(server_rpc_[server].get(),
+                  {nic_out_[server].get(), tor_down_.get(),
+                   router_down_[r].get()},
+                  bytes, nullptr, nullptr, std::move(done));
 }
 
 void
@@ -260,21 +208,11 @@ SwarmTopology::send_server_to_server(std::size_t from, std::size_t to,
                                      std::uint64_t bytes,
                                      DeliveryCallback done)
 {
-    auto self = this;
-    server_rpc_[from]->process([self, from, to, bytes,
-                                done = std::move(done)]() mutable {
-        std::vector<Link*> path{self->nic_out_[from].get(),
-                                self->tor_up_.get(),
-                                self->nic_in_[to].get()};
-        self->chain(std::move(path), bytes,
-                    [self, to, done = std::move(done)](sim::Time) mutable {
-                        self->server_rpc_[to]->process(
-                            [self, done = std::move(done)]() {
-                                if (done)
-                                    done(self->simulator_->now());
-                            });
-                    });
-    });
+    flows_.launch(server_rpc_[from].get(),
+                  {nic_out_[from].get(), tor_up_.get(),
+                   nic_in_[to].get()},
+                  bytes, nullptr, server_rpc_[to].get(),
+                  std::move(done));
 }
 
 double

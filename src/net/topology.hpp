@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/flow.hpp"
 #include "net/link.hpp"
 #include "net/rpc.hpp"
 #include "sim/rng.hpp"
@@ -59,9 +60,6 @@ struct TopologyConfig
     sim::Time retransmit_timeout = sim::from_millis(50.0);
     int max_retransmits = 3;
 };
-
-/** Completion callback carrying the delivery time. */
-using DeliveryCallback = std::function<void(sim::Time)>;
 
 /**
  * Delivery-time sentinel passed to a DeliveryCallback when a wireless
@@ -167,11 +165,10 @@ class SwarmTopology
     /** Wireless frames dropped after exhausting retries in a blackout. */
     std::uint64_t frames_dropped() const { return frames_dropped_; }
 
-  private:
-    /** Chain a transfer across consecutive links. */
-    void chain(std::vector<Link*> path, std::uint64_t bytes,
-               DeliveryCallback done);
+    /** The pooled-flow allocator all send paths run on (diagnostics). */
+    const FlowPool& flows() const { return flows_; }
 
+  private:
     /**
      * Run a wireless transfer with the loss model: invoke @p attempt
      * (which performs one try and reports its delivery time); on a
@@ -201,6 +198,8 @@ class SwarmTopology
     std::vector<std::unique_ptr<RpcProcessor>> server_rpc_;
     std::vector<std::uint64_t> device_bytes_;
     sim::RateMeter air_meter_;
+    /** Pooled flow records for every multi-hop transfer. */
+    FlowPool flows_;
 };
 
 }  // namespace hivemind::net

@@ -98,6 +98,21 @@ struct ScenarioConfig
      * shards=1. Rover scenarios always use the legacy harness.
      */
     int shards = 1;
+    /**
+     * Sharded engine only: drive the 1 Hz device housekeeping from
+     * one batched recurring task per shard (devices in id order)
+     * instead of one kernel event per device. Off replays the
+     * per-device event layout; results are checksum-identical either
+     * way. Ignored by the legacy shards=1 harness.
+     */
+    bool batched_ticks = true;
+    /**
+     * Sharded engine only: use adaptive per-pair lookahead windows
+     * (see sim::SwarmRuntime::set_adaptive_lookahead). Off pins the
+     * classic global-lookahead epochs. A config knob rather than an
+     * env toggle so sweeps can mix modes across concurrent runs.
+     */
+    bool adaptive_lookahead = true;
 };
 
 /** Run one scenario on one platform. */

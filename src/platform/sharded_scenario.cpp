@@ -351,6 +351,7 @@ class ShardedScenarioEngine
           cloud_(runtime_.shard(cloud_shard_), dep, opt),
           ctrl_(runtime_.shard(0), sc, dep.devices, dep.seed ^ 0x5ca1ab1eull)
     {
+        runtime_.set_adaptive_lookahead(sc.adaptive_lookahead);
         wire_devices(dep);
         wire_controller();
         wire_ha(dep);
@@ -421,6 +422,8 @@ class ShardedScenarioEngine
     CloudTier cloud_;
     ControllerTier ctrl_;
     std::vector<std::unique_ptr<DeviceActor>> devices_;
+    /** Per-shard device rosters (ascending id) for the batched drive. */
+    std::vector<std::vector<std::size_t>> tick_groups_;
     std::vector<net::ShardLink> data_up_, data_down_, ctrl_up_, ctrl_down_;
     fault::ShardChaosReport chaos_;
     std::uint64_t server_crashes_ = 0;
@@ -476,14 +479,46 @@ ShardedScenarioEngine::wire_devices(const DeploymentConfig& dep)
         DeviceActor* a = devices_[d].get();
         a->data_up = &data_up_[d];
         a->ctrl_up = &ctrl_up_[d];
+    }
+
+    // 1 Hz housekeeping: energy accounting, heartbeat, route asks.
+    // Batched mode collapses it to one wheel event per shard per tick
+    // sweeping that shard's devices in ascending id — the same order
+    // the per-device events fire in, so state transitions (and the
+    // checksum) are identical, at 1/devices-per-shard the kernel
+    // traffic. Wired before the Poisson processes below so same-time
+    // ties resolve tick-first on every shard count.
+    if (sc_.batched_ticks) {
+        std::vector<std::vector<std::size_t>> by_shard(
+            static_cast<std::size_t>(runtime_.shards()));
+        for (std::size_t d = 0; d < n; ++d)
+            by_shard[static_cast<std::size_t>(runtime_.owner_of(d))]
+                .push_back(d);
+        tick_groups_ = std::move(by_shard);
+        for (int s = 0; s < runtime_.shards(); ++s) {
+            const auto* grp = &tick_groups_[static_cast<std::size_t>(s)];
+            if (grp->empty())
+                continue;
+            sim::recurring(runtime_.shard(s), sim::kSecond,
+                           [this, grp](const sim::Recur& self) {
+                               for (std::size_t d : *grp)
+                                   device_tick(*devices_[d]);
+                               self.again_in(sim::kSecond);
+                           });
+        }
+    }
+
+    for (std::size_t d = 0; d < n; ++d) {
+        DeviceActor* a = devices_[d].get();
         sim::Simulator& shard = *a->sim;
 
-        // 1 Hz housekeeping: energy accounting, heartbeat, route asks.
-        sim::recurring(shard, sim::kSecond,
-                       [this, a](const sim::Recur& self) {
-                           device_tick(*a);
-                           self.again_in(sim::kSecond);
-                       });
+        if (!sc_.batched_ticks) {
+            sim::recurring(shard, sim::kSecond,
+                           [this, a](const sim::Recur& self) {
+                               device_tick(*a);
+                               self.again_in(sim::kSecond);
+                           });
+        }
 
         // Poisson recognition frames while alive.
         sim::recurring(
@@ -495,8 +530,13 @@ ShardedScenarioEngine::wire_devices(const DeploymentConfig& dep)
                     a->rng.exponential(1.0 / sc_.frame_task_rate_hz)));
             });
 
-        // Obstacle avoidance always runs on-board (Sec. 2.1).
-        sim::recurring(
+        // Obstacle avoidance always runs on-board (Sec. 2.1) and
+        // never leaves the device: the submit has no completion
+        // callback, so the chain is silent-classified and stays out
+        // of the shard's adaptive send horizon (the executor upgrades
+        // the in-flight completion if a send-capable task queues up
+        // behind it).
+        sim::recurring_silent(
             shard, sim::from_seconds(a->rng.uniform(0.0, 0.5)),
             [a, this](const sim::Recur& self) {
                 if (a->dev.alive())
@@ -1377,11 +1417,25 @@ ShardedScenarioResult
 ShardedScenarioEngine::run()
 {
     const auto wall0 = std::chrono::steady_clock::now();
-    // The stop predicate is evaluated between epochs, where the epoch
-    // sequence is invariant in the shard count, so the early stop
-    // preserves checksum identity at any N.
-    sim::SwarmRuntime::Report report = runtime_.run_until(
-        sc_.time_cap + 10 * sim::kSecond, [this] { return ctrl_.done; });
+    // Run in exact 1-second slices and test the stop flag only at
+    // slice boundaries. Under adaptive per-pair lookahead the epoch
+    // sequence is NOT invariant in the shard count, so a between-epoch
+    // stop predicate would cut different runs at different points; a
+    // boundary-aligned stop is shard-agnostic because every shard
+    // runs to the same simulated instant and the first boundary at
+    // which `done` holds is a property of the simulation state alone.
+    const sim::Time end = sc_.time_cap + 10 * sim::kSecond;
+    sim::SwarmRuntime::Report report;
+    for (sim::Time t = sim::kSecond;; t += sim::kSecond) {
+        const sim::Time slice = t < end ? t : end;
+        const sim::SwarmRuntime::Report r = runtime_.run_until(slice);
+        report.epochs += r.epochs;
+        report.executed += r.executed;
+        report.forwarded += r.forwarded;
+        report.horizon = r.horizon;
+        if (ctrl_.done || slice == end || runtime_.pending() == 0)
+            break;
+    }
     const auto wall1 = std::chrono::steady_clock::now();
     if (!ctrl_.done)
         finish(ctrl_.goal_fraction() >= 1.0);

@@ -120,30 +120,98 @@ run_sharded_swarm(const ShardedSwarmConfig& config)
                 sim::InlineFn([dev, msg] { dev->apply(msg); }));
         });
 
+    // One heartbeat / one motion step for one device. Shared by the
+    // per-device and batched drive modes so both produce identical
+    // per-device state transitions (and hence identical checksums).
+    auto beat_one = [](Device& dev) {
+        if (!dev.alive)
+            return;
+        core::SwarmController* c = dev.ctrl;
+        const std::size_t id = dev.id;
+        dev.up->transfer(kCtrlMsgBytes,
+                         sim::InlineFn([c, id] { c->on_beat(id); }));
+    };
+    auto tick_one = [&config](Device& dev) {
+        if (!dev.alive)
+            return;
+        ++dev.ticks;
+        const double target =
+            kFieldM * (dev.lo + dev.hi) * 0.5 / kStripWidth;
+        double vx = (target - dev.x) * 0.05;
+        for (int i = 0; i < config.obstacle_work; ++i) {
+            vx = vx * 0.999 + 0.001 * (target - dev.x);
+            dev.x += vx * 0.01;
+        }
+        dev.y += dev.rng.uniform(-0.05, 0.05);
+        dev.battery -= 1e-5;
+        mix(dev.hash, bits(dev.x));
+        mix(dev.hash, bits(dev.y));
+    };
+
     for (std::size_t d = 0; d < n; ++d) {
         Device& dev = devices[d];
         dev.up = &uplinks[d];
         dev.ctrl = &controller;
-        sim::Simulator& shard = runtime.shard(runtime.owner_of(d));
-
         // Registration rides the uplink before the run starts, so the
         // controller learns the roster in deterministic merge order.
         dev.send_register();
+    }
 
-        // 1 Hz heartbeat (Sec. 4.6) — silence > 3 s means failed.
-        sim::recurring(shard, sim::kSecond,
-                       [&dev](const sim::Recur& self) {
-                           if (dev.alive) {
-                               core::SwarmController* c = dev.ctrl;
-                               const std::size_t id = dev.id;
-                               dev.up->transfer(
-                                   kCtrlMsgBytes,
-                                   sim::InlineFn([c, id] {
-                                       c->on_beat(id);
-                                   }));
-                           }
-                           self.again_in(sim::kSecond);
-                       });
+    // Owner-shard roster in ascending device id: the batched drive
+    // visits devices in id order, pinning the intra-batch order to a
+    // shard-agnostic key (part of the checksum-invariance contract).
+    std::vector<std::vector<std::size_t>> by_shard(
+        static_cast<std::size_t>(runtime.shards()));
+    for (std::size_t d = 0; d < n; ++d)
+        by_shard[static_cast<std::size_t>(runtime.owner_of(d))]
+            .push_back(d);
+
+    if (config.batched_ticks) {
+        // One wheel event per shard per tick, not one per device. The
+        // heartbeat batch sends (it feeds the uplinks); the motion
+        // batch never does, so it runs silent and stays out of the
+        // adaptive send horizon. Batches are wired before the frame
+        // processes below so same-time ties resolve batch-first on
+        // every shard count.
+        for (int s = 0; s < runtime.shards(); ++s) {
+            if (by_shard[static_cast<std::size_t>(s)].empty())
+                continue;
+            const auto* grp = &by_shard[static_cast<std::size_t>(s)];
+            sim::Simulator& shard = runtime.shard(s);
+            // 1 Hz heartbeats (Sec. 4.6) — silence > 3 s means failed.
+            sim::recurring(shard, sim::kSecond,
+                           [&devices, grp, beat_one](
+                               const sim::Recur& self) {
+                               for (std::size_t d : *grp)
+                                   beat_one(devices[d]);
+                               self.again_in(sim::kSecond);
+                           });
+            // Motion ticks: steer toward the assigned strip's centre
+            // with configurable per-tick arithmetic (the obstacle-
+            // avoidance stand-in that gives shards real work).
+            sim::recurring_silent(
+                shard, config.motion_tick,
+                [&devices, grp, tick_one, &config](
+                    const sim::Recur& self) {
+                    for (std::size_t d : *grp)
+                        tick_one(devices[d]);
+                    self.again_in(config.motion_tick);
+                });
+        }
+    }
+
+    for (std::size_t d = 0; d < n; ++d) {
+        Device& dev = devices[d];
+        sim::Simulator& shard = runtime.shard(runtime.owner_of(d));
+
+        if (!config.batched_ticks) {
+            // Legacy drive: one kernel event per device per tick.
+            sim::recurring(shard, sim::kSecond,
+                           [&dev, beat_one](const sim::Recur& self) {
+                               beat_one(dev);
+                               self.again_in(sim::kSecond);
+                           });
+        }
 
         // Poisson recognition frames toward the controller.
         const double mean_s = 1.0 / config.frame_rate_hz;
@@ -164,28 +232,14 @@ run_sharded_swarm(const ShardedSwarmConfig& config)
                     sim::from_seconds(dev.rng.exponential(mean_s)));
             });
 
-        // Motion tick: steer toward the assigned strip's centre with
-        // configurable per-tick arithmetic (the obstacle-avoidance
-        // stand-in that gives shards real work to parallelize).
-        sim::recurring(
-            shard, config.motion_tick,
-            [&dev, &config](const sim::Recur& self) {
-                if (dev.alive) {
-                    ++dev.ticks;
-                    const double target = kFieldM * (dev.lo + dev.hi) *
-                                          0.5 / kStripWidth;
-                    double vx = (target - dev.x) * 0.05;
-                    for (int i = 0; i < config.obstacle_work; ++i) {
-                        vx = vx * 0.999 + 0.001 * (target - dev.x);
-                        dev.x += vx * 0.01;
-                    }
-                    dev.y += dev.rng.uniform(-0.05, 0.05);
-                    dev.battery -= 1e-5;
-                    mix(dev.hash, bits(dev.x));
-                    mix(dev.hash, bits(dev.y));
-                }
-                self.again_in(config.motion_tick);
-            });
+        if (!config.batched_ticks) {
+            sim::recurring_silent(
+                shard, config.motion_tick,
+                [&dev, tick_one, &config](const sim::Recur& self) {
+                    tick_one(dev);
+                    self.again_in(config.motion_tick);
+                });
+        }
     }
 
     controller.start();

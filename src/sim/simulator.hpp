@@ -32,6 +32,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cassert>
 #include <cstdint>
 #ifdef HM_KERNEL_SHADOW
 #include <cstdio>
@@ -113,6 +114,120 @@ class Simulator
         return kNever;
     }
 
+    /// @name Send-horizon tracking (adaptive per-pair lookahead).
+    ///
+    /// When enabled, every scheduled event is classified as either
+    /// *send-capable* (the default — it may emit a cross-shard message
+    /// when it runs, or schedule other events that do) or *silent*
+    /// (provably local: it touches only this shard's state and only
+    /// schedules further silent events). next_send_time() then reports
+    /// the earliest pending send-capable event, which lower-bounds the
+    /// time of the next message this shard can originate — a much
+    /// looser (larger) bound than next_time() when the queue is
+    /// dominated by local noise (motion ticks, null-callback compute).
+    /// The SwarmRuntime uses it to stretch conservative epoch windows.
+    ///
+    /// Soundness contract for callers marking events silent: a silent
+    /// event must never transfer/post, and must only schedule events
+    /// that are themselves silent. Any send chain must be rooted at a
+    /// send-capable event whose scheduled time lower-bounds the send.
+    /// @{
+
+    /** Enable/disable send-horizon tracking (off by default). */
+    void track_send_horizon(bool on)
+    {
+        track_sends_ = on;
+        if (!on) {
+            send_heap_.clear();
+        }
+    }
+
+    /** Whether send-horizon tracking is active. */
+    bool tracks_send_horizon() const { return track_sends_; }
+
+    /**
+     * Earliest pending send-capable event, or kNever. Always kNever
+     * when tracking is disabled. Lazily drops entries whose event
+     * already ran or was cancelled.
+     */
+    Time next_send_time()
+    {
+        if (!track_sends_)
+            return kNever;
+        while (!send_heap_.empty()) {
+            const Entry& top = send_heap_.front();
+            if (slot_live(top.id))
+                return top.when;
+            std::pop_heap(send_heap_.begin(), send_heap_.end(),
+                          EntryLater{});
+            send_heap_.pop_back();
+        }
+        return kNever;
+    }
+
+    /** Silent-classified schedule_at (InlineFn overload). */
+    EventId schedule_silent_at(Time when, InlineFn fn)
+    {
+        scheduling_silent_ = true;
+        const EventId id = schedule_at(when, std::move(fn));
+        scheduling_silent_ = false;
+        return id;
+    }
+
+    /** Silent-classified schedule_at (emplacing overload). */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    EventId schedule_silent_at(Time when, F&& f)
+    {
+        scheduling_silent_ = true;
+        const EventId id = schedule_at(when, std::forward<F>(f));
+        scheduling_silent_ = false;
+        return id;
+    }
+
+    /** Silent-classified schedule_in. */
+    EventId schedule_silent_in(Time delay, InlineFn fn)
+    {
+        return schedule_silent_at(now_ + (delay < 0 ? 0 : delay),
+                                  std::move(fn));
+    }
+
+    /** Silent-classified schedule_in (emplacing overload). */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    EventId schedule_silent_in(Time delay, F&& f)
+    {
+        return schedule_silent_at(now_ + (delay < 0 ? 0 : delay),
+                                  std::forward<F>(f));
+    }
+
+    /**
+     * Upgrade a pending *silent* event to send-capable.
+     *
+     * Used when new information invalidates a silent classification —
+     * e.g. the edge executor learns that a send-capable task queued
+     * up behind the silent completion it already scheduled. @p when
+     * must be the event's scheduled time. No-op when tracking is off,
+     * the id is stale, or the event is already send-capable (upgrades
+     * are sticky: an event never goes back to silent).
+     */
+    void mark_send(EventId id, Time when)
+    {
+        if (!track_sends_ || !slot_live(id))
+            return;
+        Slot& s = slots_[slot_of(id)];
+        if (!s.silent)
+            return;
+        s.silent = false;
+        send_push(Entry{when, send_seq_++, id});
+    }
+
+    /// @}
+
     /**
      * Schedule @p fn to run at absolute time @p when.
      *
@@ -191,7 +306,11 @@ class Simulator
             return 0;
         const bool to_heap = pick_lane(when);
         const EventId id = alloc_slot(std::move(*running_), to_heap);
+        // A re-armed event inherits the silence class of the running
+        // one: a silent recurring chain stays silent tick after tick.
+        scheduling_silent_ = running_silent_;
         commit_entry(when, id, to_heap);
+        scheduling_silent_ = false;
         return id;
     }
 
@@ -199,6 +318,38 @@ class Simulator
     EventId rearm_in(Time delay)
     {
         return rearm_at(now_ + (delay < 0 ? 0 : delay));
+    }
+
+    /**
+     * Schedule a message-envelope delivery.
+     *
+     * Identical to schedule_at except for the same-time tie-break,
+     * which the SwarmRuntime needs because the moment an envelope
+     * reaches the kernel depends on the shard count: cross-shard
+     * envelopes arrive at epoch boundaries, same-shard ones the
+     * instant the sender computes the arrival time. The entry's seq
+     * is therefore composed as
+     *
+     *     [envelope class bit | origin | shared counter]
+     *
+     * so at equal times (a) every envelope runs after every locally
+     * scheduled event (class bit), (b) envelopes order by the
+     * sender's shard-agnostic @p origin regardless of schedule order
+     * (matching the staging buffer's (when, origin) sort), and
+     * (c) same-origin envelopes keep FIFO order (shared counter).
+     * @p origin must fit kEnvelopeOriginBits; the counter has
+     * 63 - kEnvelopeOriginBits bits before it would carry into the
+     * origin field (~2.7e11 events — far past any run here).
+     */
+    EventId schedule_envelope_at(Time when, std::uint64_t origin,
+                                 InlineFn fn)
+    {
+        assert(origin < (1ull << kEnvelopeOriginBits));
+        seq_bias_ =
+            kEnvelopeSeqClass | (origin << (63 - kEnvelopeOriginBits));
+        const EventId id = schedule_at(when, std::move(fn));
+        seq_bias_ = 0;
+        return id;
     }
 
     /**
@@ -280,6 +431,7 @@ class Simulator
         std::uint32_t next_free = 0;
         bool live = false;
         bool in_heap = false;  ///< Lane tag for cancel bookkeeping.
+        bool silent = false;   ///< Send-horizon class (see mark_send).
     };
 
     /** One wheel level: 256 unsorted buckets + occupancy bitmap. */
@@ -376,14 +528,39 @@ class Simulator
     /** Assign the event's (when, seq) and enqueue it on its lane. */
     void commit_entry(Time when, EventId id, bool to_heap)
     {
-        Entry e{when, next_seq_++, id};
+        Entry e{when, seq_bias_ | next_seq_++, id};
 #ifdef HM_KERNEL_SHADOW
         shadow_.emplace(when, e.seq, id);
 #endif
+        slots_[slot_of(id)].silent = scheduling_silent_;
+        if (track_sends_ && !scheduling_silent_)
+            send_push(Entry{when, send_seq_++, id});
         if (to_heap)
             heap_push(e);
         else
             wheel_insert(e);
+    }
+
+    /**
+     * Push onto the send-horizon heap. Stale entries (events that ran
+     * or were cancelled) are only dropped lazily at the top, so the
+     * heap is compacted whenever it can no longer be mostly live.
+     * Entries carry their own seq counter so enabling tracking never
+     * perturbs kernel event ordering.
+     */
+    void send_push(Entry e)
+    {
+        if (send_heap_.size() > 2 * live_ + 64) {
+            std::size_t keep = 0;
+            for (const Entry& s : send_heap_)
+                if (slot_live(s.id))
+                    send_heap_[keep++] = s;
+            send_heap_.resize(keep);
+            std::make_heap(send_heap_.begin(), send_heap_.end(),
+                           EntryLater{});
+        }
+        send_heap_.push_back(e);
+        std::push_heap(send_heap_.begin(), send_heap_.end(), EntryLater{});
     }
 
     void release_slot(std::uint32_t index)
@@ -547,6 +724,7 @@ class Simulator
             heap_.pop_back();
         }
         now_ = e.when;
+        running_silent_ = slots_[slot_of(e.id)].silent;
         InlineFn fn = std::move(slots_[slot_of(e.id)].fn);
         release_slot(slot_of(e.id));
         if (fn) {
@@ -554,13 +732,21 @@ class Simulator
             fn();
             running_ = nullptr;
         }
+        running_silent_ = false;
         ++executed_;
         return true;
     }
 
+    /** Same-time tie class for envelope deliveries (see above). */
+    static constexpr std::uint64_t kEnvelopeSeqClass = 1ull << 63;
+    /** Origin field width inside an envelope seq (see above). */
+    static constexpr int kEnvelopeOriginBits = 25;
+
     KernelConfig config_;
     Time now_ = 0;
     std::uint64_t next_seq_ = 0;
+    /** OR-ed into the committed seq (schedule_envelope_at only). */
+    std::uint64_t seq_bias_ = 0;
     std::uint64_t executed_ = 0;
     bool stopped_ = false;
 
@@ -596,6 +782,16 @@ class Simulator
 
     /** Closure currently executing (for rearm_at), else nullptr. */
     InlineFn* running_ = nullptr;
+
+    // --- Send-horizon tracking (see track_send_horizon) ---
+    bool track_sends_ = false;
+    /** Set across commit_entry by the schedule_silent_* wrappers. */
+    bool scheduling_silent_ = false;
+    /** Silence class of the executing event (rearm inheritance). */
+    bool running_silent_ = false;
+    /** Min-heap of pending send-capable events (lazy stale drop). */
+    std::vector<Entry> send_heap_;
+    std::uint64_t send_seq_ = 0;
 
 #ifdef HM_KERNEL_SHADOW
   public:
@@ -670,6 +866,21 @@ template <typename Body>
 EventId recurring(Simulator& simulator, Time first_delay, Body body)
 {
     return simulator.schedule_in(
+        first_delay,
+        detail::RecurringTask<Body>{&simulator, std::move(body)});
+}
+
+/**
+ * recurring() for *silent* bodies — ticks the send-horizon tracker
+ * never has to fear (see Simulator::track_send_horizon). The silence
+ * class survives every re-arm: again_in()/again_at() inherit it from
+ * the running event. The body must uphold the silent contract: no
+ * transfers/posts, and any event it schedules must itself be silent.
+ */
+template <typename Body>
+EventId recurring_silent(Simulator& simulator, Time first_delay, Body body)
+{
+    return simulator.schedule_silent_in(
         first_delay,
         detail::RecurringTask<Body>{&simulator, std::move(body)});
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <utility>
 
 namespace hivemind::sim {
@@ -9,15 +10,21 @@ namespace hivemind::sim {
 SwarmRuntime::SwarmRuntime(int shards, const KernelConfig& config)
 {
     assert(shards >= 1);
-    sims_.reserve(static_cast<std::size_t>(shards));
+    const std::size_t n = static_cast<std::size_t>(shards);
+    sims_.reserve(n);
     for (int i = 0; i < shards; ++i)
         sims_.push_back(std::make_unique<Simulator>(config));
-    mail_.resize(static_cast<std::size_t>(shards) *
-                 static_cast<std::size_t>(shards));
+    mail_.resize(n * n);
+    staged_.resize(n);
+    lat_.assign(n * n, Simulator::kNever);
+    sends_.assign(n, Simulator::kNever);
+    windows_.assign(n, 0);
+    const char* global = std::getenv("HIVEMIND_GLOBAL_LOOKAHEAD");
+    set_adaptive_lookahead(!(global && global[0] == '1'));
     if (shards > 1) {
         start_ = std::make_unique<std::barrier<>>(shards);
         finish_ = std::make_unique<std::barrier<>>(shards);
-        threads_.reserve(static_cast<std::size_t>(shards) - 1);
+        threads_.reserve(n - 1);
         for (int i = 1; i < shards; ++i)
             threads_.emplace_back([this, i] { worker(i); });
     }
@@ -39,17 +46,31 @@ SwarmRuntime::worker(int i)
         start_->arrive_and_wait();
         if (quit_)
             return;
-        sims_[static_cast<std::size_t>(i)]->run_until(window_);
+        sims_[static_cast<std::size_t>(i)]->run_until(
+            windows_[static_cast<std::size_t>(i)]);
         finish_->arrive_and_wait();
     }
 }
 
 void
+SwarmRuntime::set_adaptive_lookahead(bool on)
+{
+    adaptive_ = on;
+    // A single shard has no cross-shard channel that could bound a
+    // window (self-posts bypass the mailbox in adaptive mode), so the
+    // send-horizon bookkeeping would only burn a heap push per event.
+    const bool track = on && sims_.size() > 1;
+    for (const auto& s : sims_)
+        s->track_send_horizon(track);
+}
+
+void
 SwarmRuntime::declare_channel(int src, int dst, Time min_latency)
 {
-    (void)src;
-    (void)dst;
     assert(min_latency >= 1);
+    Time& cell = lat_[static_cast<std::size_t>(src) * sims_.size() +
+                      static_cast<std::size_t>(dst)];
+    cell = std::min(cell, min_latency);
     lookahead_ = std::min(lookahead_, min_latency);
 }
 
@@ -57,6 +78,20 @@ void
 SwarmRuntime::post(int src, int dst, Time when, std::uint64_t origin,
                    InlineFn fn)
 {
+    // A shard never needs conservative protection from itself: the
+    // kernel already orders intra-shard causality, so in adaptive
+    // mode a self-post goes straight into the owner kernel (we are on
+    // its thread — src == dst). The origin-aware envelope seq makes
+    // the same-time merge order identical to the staged path's
+    // (when, origin) sort, so a message's execution slot never
+    // depends on which route delivered it. Global-lookahead mode
+    // keeps every post on the mailbox path (the pre-adaptive
+    // behavior, byte for byte).
+    if (adaptive_ && src == dst) {
+        sims_[static_cast<std::size_t>(dst)]->schedule_envelope_at(
+            when, origin, std::move(fn));
+        return;
+    }
     Envelope e;
     e.when = when;
     e.origin = origin;
@@ -66,41 +101,167 @@ SwarmRuntime::post(int src, int dst, Time when, std::uint64_t origin,
         .push_back(std::move(e));
 }
 
-std::uint64_t
-SwarmRuntime::drain(Time window)
+Time
+SwarmRuntime::staged_min(std::size_t dst) const
+{
+    Time m = Simulator::kNever;
+    for (const Envelope& e : staged_[dst])
+        m = std::min(m, e.when);
+    return m;
+}
+
+void
+SwarmRuntime::compute_windows(Time until, Time h)
 {
     const std::size_t n = sims_.size();
-    std::uint64_t forwarded = 0;
+    if (!adaptive_) {
+        Time window = until;
+        if (lookahead_ != Simulator::kNever) {
+            const Time slack = lookahead_ - 1;
+            window = (h > Simulator::kNever - slack) ? Simulator::kNever
+                                                     : h + slack;
+            window = std::min(window, until);
+        }
+        std::fill(windows_.begin(), windows_.end(), window);
+        return;
+    }
+    // Per-pair windows from each shard's *effective* send horizon.
+    // The raw horizon s_i = min(next_send_time, staged_min) covers
+    // sends already visible on shard i (a staged envelope is a future
+    // send-capable event its destination kernel does not know about
+    // yet). That alone is unsound: within one epoch shard i can react
+    // to a message from shard j and reply, so i's effective horizon
+    // must include sends *provoked* by every other shard's sends.
+    // Closing the raw horizons under
+    //     s_i <- min(s_i, s_j + L(j, i))
+    // (the conservative-sync LBTS relaxation; a shortest-path fixpoint
+    // over the channel graph, reached in < n sweeps since latencies
+    // are positive) accounts for reaction chains of any depth. Then
+    //     W_j = min(until, min over i of s_i + L(i, j) - 1).
+    // s_i >= H and L >= 1 keep W_j >= H, so the shard holding the
+    // global horizon always executes (progress). A destination with
+    // no declared incoming channel is unconstrained.
+    for (std::size_t i = 0; i < n; ++i)
+        sends_[i] = std::min(sims_[i]->next_send_time(), staged_min(i));
+    for (bool changed = true; changed;) {
+        changed = false;
+        for (std::size_t j = 0; j < n; ++j) {
+            const Time s = sends_[j];
+            if (s == Simulator::kNever)
+                continue;
+            for (std::size_t i = 0; i < n; ++i) {
+                const Time lat = lat_[j * n + i];
+                if (lat == Simulator::kNever ||
+                    s > Simulator::kNever - lat)
+                    continue;
+                if (s + lat < sends_[i]) {
+                    sends_[i] = s + lat;
+                    changed = true;
+                }
+            }
+        }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+        Time w = until;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i == j)
+                continue;  // Self-posts bypass the mailbox (post()).
+            const Time lat = lat_[i * n + j];
+            if (lat == Simulator::kNever)
+                continue;
+            const Time s = sends_[i];
+            if (s == Simulator::kNever || s > Simulator::kNever - lat)
+                continue;  // No bound from this source (saturates).
+            w = std::min(w, s + lat - 1);
+        }
+        windows_[j] = w;
+    }
+}
+
+void
+SwarmRuntime::drain()
+{
+    const std::size_t n = sims_.size();
     for (std::size_t dst = 0; dst < n; ++dst) {
-        merge_.clear();
+        std::size_t total = 0;
+        for (std::size_t src = 0; src < n; ++src)
+            total += mail_[src * n + dst].size();
+        if (total == 0)
+            continue;
+        auto& staged = staged_[dst];
+        staged.reserve(staged.size() + total);
         for (std::size_t src = 0; src < n; ++src) {
             auto& box = mail_[src * n + dst];
-            for (Envelope& e : box)
-                merge_.push_back(std::move(e));
+            for (Envelope& e : box) {
+                // Conservative-sync contract: the channel latency
+                // keeps every delivery strictly beyond the window the
+                // destination just ran.
+                assert(e.when > windows_[dst]);
+                staged.push_back(std::move(e));
+            }
             box.clear();
         }
+    }
+}
+
+std::uint64_t
+SwarmRuntime::release_staged()
+{
+    const std::size_t n = sims_.size();
+    std::uint64_t released = 0;
+    for (std::size_t dst = 0; dst < n; ++dst) {
+        auto& staged = staged_[dst];
+        if (staged.empty())
+            continue;
+        const Time window = windows_[dst];
+        merge_.clear();
+        merge_.reserve(staged.size());
+        std::size_t keep = 0;
+        bool sorted = true;
+        for (Envelope& e : staged) {
+            if (e.when > window) {
+                staged[keep++] = std::move(e);
+                continue;
+            }
+            if (sorted && !merge_.empty()) {
+                const Envelope& prev = merge_.back();
+                if (e.when < prev.when ||
+                    (e.when == prev.when && e.origin < prev.origin))
+                    sorted = false;
+            }
+            merge_.push_back(std::move(e));
+        }
+        staged.resize(keep);
         if (merge_.empty())
             continue;
         // Stable by (when, origin): per-actor FIFO survives (an
-        // actor's posts all sit in one mailbox, in post order), and
-        // the key does not depend on which shard the actor lives on,
-        // so the delivery order is invariant across shard counts.
-        std::stable_sort(merge_.begin(), merge_.end(),
-                         [](const Envelope& a, const Envelope& b) {
-                             return a.when != b.when ? a.when < b.when
-                                                     : a.origin < b.origin;
-                         });
+        // actor's posts are staged in post order), and the key does
+        // not depend on which shard the actor lives on, so the
+        // delivery order is invariant across shard counts. The common
+        // case — envelopes already staged in key order — skips the
+        // sort outright: a stable sort of a sorted range is the
+        // identity. Note even a single contributing mailbox is NOT
+        // automatically key-sorted (two actors can post at the same
+        // time in descending origin order), which is why this is a
+        // runtime check and not a mailbox-count check.
+        if (!sorted)
+            std::stable_sort(merge_.begin(), merge_.end(),
+                             [](const Envelope& a, const Envelope& b) {
+                                 return a.when != b.when
+                                            ? a.when < b.when
+                                            : a.origin < b.origin;
+                             });
         Simulator& s = *sims_[dst];
         for (Envelope& e : merge_) {
-            // Conservative-sync contract: the channel latency keeps
-            // every delivery strictly beyond the window just run.
-            assert(e.when > window);
-            (void)window;
-            s.schedule_at(e.when, std::move(e.fn));
-            ++forwarded;
+            // A release behind the destination clock means a window
+            // overshot an in-flight delivery — a causality violation
+            // in compute_windows, never a legal state.
+            assert(e.when >= s.now());
+            s.schedule_envelope_at(e.when, e.origin, std::move(e.fn));
+            ++released;
         }
     }
-    return forwarded;
+    return released;
 }
 
 SwarmRuntime::Report
@@ -118,36 +279,35 @@ SwarmRuntime::run_until(Time until, const std::function<bool()>& stop)
         before += s->executed();
 
     // Mail posted before the run (wiring-time registrations, initial
-    // assignments) must become shard events before the first window
-    // is computed, or the window could leap past their delivery times.
-    report.forwarded += drain(-1);
+    // assignments) joins the staging buffers up front; the horizon
+    // below accounts for staged deliveries, so the first window can
+    // never leap past them.
+    std::fill(windows_.begin(), windows_.end(), Time{-1});
+    drain();
 
     for (;;) {
         Time h = Simulator::kNever;
-        for (const auto& s : sims_)
-            h = std::min(h, s->next_time());
+        for (std::size_t i = 0; i < sims_.size(); ++i) {
+            h = std::min(h, sims_[i]->next_time());
+            h = std::min(h, staged_min(i));
+        }
         if (h == Simulator::kNever || h > until)
             break;
 
-        Time window = until;
-        if (lookahead_ != Simulator::kNever) {
-            const Time slack = lookahead_ - 1;
-            window = (h > Simulator::kNever - slack) ? Simulator::kNever
-                                                     : h + slack;
-            window = std::min(window, until);
-        }
+        compute_windows(until, h);
+        report.forwarded += release_staged();
 
         if (threads_.empty()) {
-            sims_[0]->run_until(window);
+            sims_[0]->run_until(windows_[0]);
         } else {
-            window_ = window;
             start_->arrive_and_wait();
-            sims_[0]->run_until(window);
+            sims_[0]->run_until(windows_[0]);
             finish_->arrive_and_wait();
         }
         ++report.epochs;
-        report.horizon = window;
-        report.forwarded += drain(window);
+        report.horizon =
+            *std::max_element(windows_.begin(), windows_.end());
+        drain();
         if (stop && stop())
             break;
     }
@@ -167,6 +327,8 @@ SwarmRuntime::pending() const
         n += s->pending();
     for (const auto& box : mail_)
         n += box.size();
+    for (const auto& staged : staged_)
+        n += staged.size();
     return n;
 }
 

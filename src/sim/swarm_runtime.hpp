@@ -11,12 +11,31 @@
  * barrier form):
  *
  *  - Every cross-shard interaction goes through a *channel* with a
- *    declared minimum latency L >= 1 tick. The global lookahead is
- *    the minimum over all declared channels.
- *  - Each epoch computes H = min over shards of next_time() and the
- *    window W = min(until, H + lookahead - 1). Every shard may run
- *    events with when <= W without any cross-shard information: a
- *    message sent at time t >= H arrives no earlier than t + L > W.
+ *    declared minimum latency L >= 1 tick. The full per-(src,dst)
+ *    latency matrix is kept; the global lookahead (min over channels)
+ *    remains available as a fallback.
+ *  - Adaptive per-pair windows (the default): each epoch samples
+ *    every shard's *send horizon* s_i = next_send_time(), the time of
+ *    its earliest pending send-capable event (silent-classified local
+ *    noise is skipped — see Simulator::track_send_horizon), closes
+ *    the horizons transitively under the channel graph (the LBTS
+ *    relaxation s_i <- min(s_i, s_j + L(j,i)), so a shard's horizon
+ *    also covers sends *provoked* by messages it has not received
+ *    yet — e.g. a request from j at t can make i reply by
+ *    t + L(j,i)), and gives each destination its own window
+ *        W_j = min(until, min over i with L(i,j) declared of
+ *                          s_i + L(i,j) - 1).
+ *    Any message reaching j descends from some pending send-capable
+ *    event; walking its reaction chain through the closed horizons
+ *    shows it arrives after W_j, so it is staged before the first
+ *    epoch whose window covers it. Since s_i >= H and L >= 1,
+ *    W_j >= H — the shard holding the global horizon always
+ *    progresses. Channels with src == dst participate like any other
+ *    (self-sends hop through the mailbox, so they bound the sender's
+ *    own window too).
+ *  - Global-lookahead mode (set_adaptive_lookahead(false), or env
+ *    HIVEMIND_GLOBAL_LOOKAHEAD=1): every shard gets the classic
+ *    W = min(until, H + lookahead - 1), H = min next_time().
  *  - Shards run run_until(W) in parallel (shard 0 on the caller's
  *    thread, shards 1..N-1 on persistent worker threads bracketed by
  *    two std::barrier phases). Messages sent during the epoch land in
@@ -97,6 +116,33 @@ class SwarmRuntime
     /** Minimum declared channel latency (kNever if none declared). */
     Time lookahead() const { return lookahead_; }
 
+    /** Declared (src, dst) channel latency; kNever if undeclared. */
+    Time channel_latency(int src, int dst) const
+    {
+        return lat_[static_cast<std::size_t>(src) * sims_.size() +
+                    static_cast<std::size_t>(dst)];
+    }
+
+    /**
+     * Toggle adaptive per-pair windows (on by default; the env var
+     * HIVEMIND_GLOBAL_LOOKAHEAD=1 flips the default off). Also arms /
+     * disarms send-horizon tracking on every shard kernel. Call
+     * before run_until().
+     */
+    void set_adaptive_lookahead(bool on);
+
+    /** Whether adaptive per-pair windows are active. */
+    bool adaptive_lookahead() const { return adaptive_; }
+
+    /**
+     * The window shard @p dst ran to in the most recent epoch
+     * (introspection for window-math tests).
+     */
+    Time window_of(int dst) const
+    {
+        return windows_[static_cast<std::size_t>(dst)];
+    }
+
     /**
      * Send @p fn to run on shard @p dst at absolute time @p when.
      * Must be called from @p src's thread (shard 0 = the coordinator
@@ -117,11 +163,16 @@ class SwarmRuntime
     /**
      * Like run_until(), but additionally evaluates @p stop on the
      * coordinator thread between epochs (after the drain) and returns
-     * early once it yields true. Because the epoch window sequence
-     * depends only on the global event horizon and the declared
-     * lookahead, the epoch in which a deterministic simulation-time
-     * condition is first observed is invariant across shard counts —
-     * an early stop preserves byte-identical state at any N.
+     * early once it yields true. With adaptive lookahead OFF the
+     * epoch window sequence depends only on the global event horizon
+     * and the declared lookahead, so the epoch in which a
+     * deterministic simulation-time condition is first observed is
+     * invariant across shard counts and an early stop preserves
+     * byte-identical state at any N. With adaptive windows the epoch
+     * sequence is N-dependent; callers that need shard-count-
+     * invariant early stops should instead call run_until(t) in
+     * fixed simulated-time slices and test the condition at slice
+     * boundaries (see ShardedScenarioEngine::run).
      */
     Report run_until(Time until, const std::function<bool()>& stop);
 
@@ -130,20 +181,48 @@ class SwarmRuntime
 
   private:
     void worker(int i);
-    /** Deliver all mailboxes; returns envelopes forwarded. */
-    std::uint64_t drain(Time window);
+    /** Compute this epoch's per-shard windows into windows_. */
+    void compute_windows(Time until, Time h);
+    /** Move all mailboxes into the per-dst staging buffers. */
+    void drain();
+    /**
+     * Schedule staged envelopes with when <= the dst's window, in
+     * (when, origin) order; returns envelopes released.
+     *
+     * Staging + sorted release is what keeps tie-breaking invariant
+     * across shard counts under adaptive windows: the epoch at which
+     * a send executes (and hence at which its envelope *arrives*)
+     * depends on N, but every envelope for a given (dst, when) is
+     * provably staged before the first epoch whose window reaches
+     * that time — while the send is pending, s_src <= send time keeps
+     * W_dst < when. Releasing them together, sorted, at that epoch
+     * (with the kernel's envelope seq class for local-vs-envelope
+     * ties) makes same-time execution order independent of arrival
+     * timing.
+     */
+    std::uint64_t release_staged();
+    /** Earliest staged delivery time for @p dst, or kNever. */
+    Time staged_min(std::size_t dst) const;
 
     std::vector<std::unique_ptr<Simulator>> sims_;
     /// mail_[src * N + dst]: written only by src's thread in-epoch.
     std::vector<std::vector<Envelope>> mail_;
-    std::vector<Envelope> merge_;  ///< Drain scratch, one dst at a time.
+    /// staged_[dst]: envelopes awaiting a window that covers them.
+    std::vector<std::vector<Envelope>> staged_;
+    std::vector<Envelope> merge_;  ///< Release scratch, one dst at a time.
     Time lookahead_ = Simulator::kNever;
+    /// lat_[src * N + dst]: declared channel latency (kNever = none).
+    std::vector<Time> lat_;
+    bool adaptive_ = true;
+    std::vector<Time> sends_;  ///< Per-epoch send-horizon scratch.
 
     // Parallel machinery (absent for N == 1).
     std::vector<std::jthread> threads_;
     std::unique_ptr<std::barrier<>> start_;
     std::unique_ptr<std::barrier<>> finish_;
-    Time window_ = 0;    ///< Set by coordinator before the start barrier.
+    /// Per-shard epoch windows; written by the coordinator before the
+    /// start barrier, read by workers after it.
+    std::vector<Time> windows_;
     bool quit_ = false;  ///< Read by workers after the start barrier.
 };
 

@@ -404,5 +404,44 @@ TEST(Topology, InfraScaleRaisesRouterCapacity)
     EXPECT_LE(tb, ta);
 }
 
+TEST(Topology, FlowPoolRecyclesRecordsAcrossSerialTransfers)
+{
+    // Serial traffic: each flow retires before the next launches, so
+    // the whole run reuses one pooled record from the first slab.
+    sim::Simulator s;
+    TopologyConfig cfg;
+    cfg.devices = 4;
+    cfg.servers = 2;
+    SwarmTopology topo(s, cfg);
+    for (int i = 0; i < 200; ++i) {
+        bool done = false;
+        topo.send_uplink(0, 0, 4096, [&](sim::Time) { done = true; });
+        s.run();
+        EXPECT_TRUE(done);
+    }
+    EXPECT_EQ(topo.flows().live(), 0u);
+    EXPECT_EQ(topo.flows().slabs(), 1u);
+    EXPECT_LE(topo.flows().high_water(), 2u);
+}
+
+TEST(Topology, FlowPoolHighWaterTracksABurst)
+{
+    // A burst of concurrent uplinks keeps that many records live at
+    // once; every one of them must return to the freelist at the end.
+    sim::Simulator s;
+    TopologyConfig cfg;
+    cfg.devices = 16;
+    cfg.servers = 4;
+    SwarmTopology topo(s, cfg);
+    int done = 0;
+    for (std::size_t d = 0; d < 16; ++d)
+        topo.send_uplink(d, d % 4, 1u << 20, [&](sim::Time) { ++done; });
+    s.run();
+    EXPECT_EQ(done, 16);
+    EXPECT_EQ(topo.flows().live(), 0u);
+    EXPECT_GE(topo.flows().high_water(), 16u);
+    EXPECT_EQ(topo.flows().slabs(), 1u);  // 16 < kSlabFlows.
+}
+
 }  // namespace
 }  // namespace hivemind::net
