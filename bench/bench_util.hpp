@@ -14,7 +14,6 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <thread>
 #include <type_traits>
@@ -26,6 +25,7 @@
 #include "platform/options.hpp"
 #include "platform/scenario.hpp"
 #include "platform/single_phase.hpp"
+#include "util/json.hpp"
 
 namespace hivemind::bench {
 
@@ -142,12 +142,8 @@ sweep_seed(std::uint64_t base, std::uint64_t index)
 inline unsigned
 sweep_threads()
 {
-    if (const char* env = std::getenv("HIVEMIND_SWEEP_THREADS")) {
-        long n = std::strtol(env, nullptr, 10);
-        if (n > 0)
-            return static_cast<unsigned>(n);
-        return 1;
-    }
+    if (auto n = platform::env::sweep_threads())
+        return *n;
     unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
 }
@@ -215,101 +211,13 @@ print_header(const std::string& figure, const std::string& caption)
 }
 
 /**
- * Minimal JSON builder for machine-readable bench output.
- *
- * Benches print human-readable tables for eyes and, via
- * write_bench_json(), a BENCH_<name>.json file for scripts/CI to
- * diff. Build with Json::object()/Json::array(), chain kv()/push().
+ * Machine-readable bench output rides the repo-wide util::Json
+ * writer (src/util/json.hpp), so BENCH_*.json files, fuzz
+ * reproducers and fleet JSONL records escape and format identically.
+ * Build with Json::object()/Json::array(), chain kv()/push(), and
+ * hand the finished document to write_bench_json().
  */
-class Json
-{
-  public:
-    static Json object() { return Json(true); }
-    static Json array() { return Json(false); }
-
-    Json& kv(const std::string& key, double v)
-    {
-        char buf[64];
-        std::snprintf(buf, sizeof buf, "%.6g", v);
-        return raw_kv(key, buf);
-    }
-    Json& kv(const std::string& key, std::uint64_t v)
-    {
-        return raw_kv(key, std::to_string(v));
-    }
-    Json& kv(const std::string& key, int v)
-    {
-        return raw_kv(key, std::to_string(v));
-    }
-    Json& kv(const std::string& key, bool v)
-    {
-        return raw_kv(key, v ? "true" : "false");
-    }
-    Json& kv(const std::string& key, const std::string& v)
-    {
-        return raw_kv(key, quote(v));
-    }
-    Json& kv(const std::string& key, const char* v)
-    {
-        return raw_kv(key, quote(v));
-    }
-    Json& kv(const std::string& key, const Json& v)
-    {
-        return raw_kv(key, v.str());
-    }
-
-    Json& push(double v)
-    {
-        char buf[64];
-        std::snprintf(buf, sizeof buf, "%.6g", v);
-        return raw_push(buf);
-    }
-    Json& push(const std::string& v) { return raw_push(quote(v)); }
-    Json& push(const Json& v) { return raw_push(v.str()); }
-
-    std::string str() const
-    {
-        return (object_ ? "{" : "[") + body_ + (object_ ? "}" : "]");
-    }
-
-  private:
-    explicit Json(bool object) : object_(object) {}
-
-    static std::string quote(const std::string& s)
-    {
-        std::string out = "\"";
-        for (char c : s) {
-            if (c == '"' || c == '\\')
-                out += '\\';
-            if (c == '\n') {
-                out += "\\n";
-                continue;
-            }
-            out += c;
-        }
-        out += '"';
-        return out;
-    }
-
-    Json& raw_kv(const std::string& key, const std::string& value)
-    {
-        if (!body_.empty())
-            body_ += ',';
-        body_ += quote(key) + ":" + value;
-        return *this;
-    }
-
-    Json& raw_push(const std::string& value)
-    {
-        if (!body_.empty())
-            body_ += ',';
-        body_ += value;
-        return *this;
-    }
-
-    bool object_;
-    std::string body_;
-};
+using Json = hivemind::util::Json;
 
 /** Write @p doc to BENCH_<name>.json in the working directory. */
 inline void

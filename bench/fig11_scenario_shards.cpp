@@ -51,12 +51,7 @@ shard_scenario()
     // sustained load, not time-to-goal. 20 s keeps the four legs
     // under ~2 min of host time on one core; HIVEMIND_MISSION_S
     // lifts it for a full Fig. 17 measurement (see EXPERIMENTS.md).
-    long mission_s = 20;
-    if (const char* env = std::getenv("HIVEMIND_MISSION_S")) {
-        const long v = std::atol(env);
-        if (v >= 1)
-            mission_s = v;
-    }
+    const long mission_s = platform::env::mission_s().value_or(20);
     sc.time_cap = mission_s * sim::kSecond;
     return sc;
 }
@@ -76,11 +71,10 @@ std::vector<int>
 shard_counts()
 {
     std::vector<int> counts = {1, 2, 4};
-    if (const char* env = std::getenv("HIVEMIND_SHARDS")) {
-        int extra = std::atoi(env);
-        if (extra >= 1 &&
-            std::find(counts.begin(), counts.end(), extra) == counts.end())
-            counts.push_back(extra);
+    if (auto extra = platform::env::shards()) {
+        if (std::find(counts.begin(), counts.end(), *extra) ==
+            counts.end())
+            counts.push_back(*extra);
     }
     return counts;
 }

@@ -163,7 +163,7 @@ run_battery(const fault::FaultPlan& plan, std::uint64_t seed,
         if (o.run_sharded) {
             for (int n : o.shards) {
                 platform::FuzzCaseOptions c = case_options(o, seed);
-                c.engine = platform::FuzzEngine::Sharded;
+                c.engine = platform::EngineChoice::Sharded;
                 c.shards = n;
                 fault::RunAudit audit = platform::run_fuzz_case(plan, c);
                 tag(out, suite.audit(audit),
@@ -175,7 +175,7 @@ run_battery(const fault::FaultPlan& plan, std::uint64_t seed,
                     "shard-invariance");
             if (check_determinism && !sharded.empty()) {
                 platform::FuzzCaseOptions c = case_options(o, seed);
-                c.engine = platform::FuzzEngine::Sharded;
+                c.engine = platform::EngineChoice::Sharded;
                 c.shards = o.shards.front();
                 fault::RunAudit replay = platform::run_fuzz_case(plan, c);
                 tag(out, suite.check_determinism(sharded.front(), replay),
@@ -184,7 +184,7 @@ run_battery(const fault::FaultPlan& plan, std::uint64_t seed,
         }
         if (o.run_legacy) {
             platform::FuzzCaseOptions c = case_options(o, seed);
-            c.engine = platform::FuzzEngine::Legacy;
+            c.engine = platform::EngineChoice::Legacy;
             fault::RunAudit legacy = platform::run_fuzz_case(plan, c);
             tag(out, suite.audit(legacy), "legacy");
             if (!sharded.empty())

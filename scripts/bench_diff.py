@@ -1,15 +1,21 @@
 #!/usr/bin/env python3
-"""Diff a fresh BENCH_scenario_shards.json against the checked-in baseline.
+"""Diff a fresh bench JSON against the checked-in baseline.
 
-The scenario-shards bench (bench/fig11_scenario_shards) writes a
-machine-readable summary next to its human table. CI re-runs the bench
-on every push; this script compares that fresh JSON with the baseline
-committed at the repo root and flags wall-time regressions.
+Understands two shapes, keyed on the "bench" field:
 
-Gate: the optimized shards=1 row — the only row whose wall time is
-meaningful on any host, single-core runners included — may not regress
-by more than --max-regress (default 15%) against the baseline row.
-Checksum drift between the two files is reported as informational
+ - BENCH_scenario_shards.json (the default, no "bench" key): rows by
+   shard count from bench/fig11_scenario_shards.
+ - BENCH_fleet.json ("bench": "fleet"): capacity rows by worker count
+   plus interference curves from bench/fleet_capacity.
+
+CI re-runs the bench on every push; this script compares the fresh
+JSON with the baseline committed at the repo root and flags wall-time
+regressions.
+
+Gate: the single-worker / shards=1 row — the only row whose wall time
+is meaningful on any host, single-core runners included — may not
+regress by more than --max-regress (default 15%) against the baseline
+row. Checksum drift between the two files is reported as informational
 only: the baseline may legitimately change when the simulation does
 (the bench's own exit code already enforces invariance *within* a
 run).
@@ -57,6 +63,50 @@ def row_at(doc: dict, shards: int):
     return None
 
 
+def cap_at(doc: dict, workers: int):
+    for row in doc.get("capacity", []):
+        if row.get("workers") == workers:
+            return row
+    return None
+
+
+def diff_fleet(base: dict, fresh: dict, max_regress: float) -> int:
+    """BENCH_fleet.json: gate on the workers=1 capacity row."""
+    if fresh.get("all_checksums_match_solo") is not True:
+        note("error", "fresh fleet run reports "
+                      "all_checksums_match_solo != true")
+        return 1
+    if fresh.get("swarms") != base.get("swarms"):
+        note("warning",
+             f"swarm count changed {base.get('swarms')} -> "
+             f"{fresh.get('swarms')}; comparing anyway")
+
+    print(f"{'workers':>7} {'base wall(s)':>13} {'fresh wall(s)':>14} "
+          f"{'delta':>8}")
+    for row in fresh.get("capacity", []):
+        b = cap_at(base, row.get("workers"))
+        if b is None or not b.get("wall_s"):
+            continue
+        delta = row["wall_s"] / b["wall_s"] - 1.0
+        print(f"{row['workers']:>7} {b['wall_s']:>13.2f} "
+              f"{row['wall_s']:>14.2f} {delta:>+7.1%}")
+
+    b1, f1 = cap_at(base, 1), cap_at(fresh, 1)
+    if b1 is None or f1 is None or not b1.get("wall_s"):
+        note("warning", "no comparable workers=1 row; nothing to gate")
+        return 0
+    regress = f1["wall_s"] / b1["wall_s"] - 1.0
+    if regress > max_regress:
+        note("error",
+             f"workers=1 fleet wall time regressed {regress:+.1%} "
+             f"({b1['wall_s']:.2f}s -> {f1['wall_s']:.2f}s), over the "
+             f"{max_regress:.0%} budget")
+        return 1
+    note("ok", f"workers=1 fleet wall time {regress:+.1%} vs baseline "
+               f"(budget {max_regress:.0%})")
+    return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", default="BENCH_scenario_shards.json",
@@ -70,6 +120,9 @@ def main() -> int:
 
     base = load(args.baseline)
     fresh = load(args.fresh)
+
+    if fresh.get("bench") == "fleet":
+        return diff_fleet(base, fresh, args.max_regress)
 
     # Hard correctness signals from the fresh run come first: a bench
     # that already failed its own gates should not hide behind noise.

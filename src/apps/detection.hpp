@@ -46,6 +46,8 @@ struct DetectionConfig
     double tau_samples = 150.0;
     /** Fraction of residual error that is a false negative (miss). */
     double fn_share = 0.62;
+
+    bool operator==(const DetectionConfig&) const = default;
 };
 
 /** Learning-curve accuracy model for one device's detector. */

@@ -70,6 +70,8 @@ struct HaConfig
      * This is what makes recovery time grow with checkpoint age.
      */
     double drift_replay_frac = 0.15;
+
+    bool operator==(const HaConfig&) const = default;
 };
 
 /** Serialized controller state (Sec. 4.6 checkpoint format). */

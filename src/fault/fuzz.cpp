@@ -294,124 +294,13 @@ shrink_plan(const FaultPlan& plan, const PlanPredicate& still_failing,
 }
 
 // ---------------------------------------------------------------------------
-// JSON reproducers
+// JSON reproducers (on the shared util::Json writer / cursor — the
+// same escaping and number formatting as bench JSON and fleet JSONL).
 
 namespace {
 
-std::string
-json_double(double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
-
-/**
- * Minimal recursive-descent parser for the subset plan_to_json()
- * emits: one object with a version and an array of flat event
- * objects; values are strings, numbers and booleans.
- */
-class JsonCursor
-{
-  public:
-    explicit JsonCursor(const std::string& text)
-        : p_(text.c_str()), end_(text.c_str() + text.size())
-    {}
-
-    void
-    skip_ws()
-    {
-        while (p_ < end_ && std::isspace(static_cast<unsigned char>(*p_)))
-            ++p_;
-    }
-
-    bool
-    consume(char c)
-    {
-        skip_ws();
-        if (p_ < end_ && *p_ == c) {
-            ++p_;
-            return true;
-        }
-        return false;
-    }
-
-    void
-    expect(char c)
-    {
-        if (!consume(c))
-            fail(std::string("expected '") + c + "'");
-    }
-
-    std::string
-    parse_string()
-    {
-        expect('"');
-        std::string out;
-        while (p_ < end_ && *p_ != '"') {
-            if (*p_ == '\\')
-                fail("escape sequences are not used by plan reproducers");
-            out += *p_++;
-        }
-        expect('"');
-        return out;
-    }
-
-    double
-    parse_number()
-    {
-        skip_ws();
-        char* after = nullptr;
-        const double v = std::strtod(p_, &after);
-        if (after == p_)
-            fail("expected a number");
-        p_ = after;
-        return v;
-    }
-
-    bool
-    parse_bool()
-    {
-        skip_ws();
-        if (end_ - p_ >= 4 && std::string(p_, p_ + 4) == "true") {
-            p_ += 4;
-            return true;
-        }
-        if (end_ - p_ >= 5 && std::string(p_, p_ + 5) == "false") {
-            p_ += 5;
-            return false;
-        }
-        fail("expected true/false");
-        return false;
-    }
-
-    bool
-    at(char c)
-    {
-        skip_ws();
-        return p_ < end_ && *p_ == c;
-    }
-
-    bool
-    done()
-    {
-        skip_ws();
-        return p_ == end_;
-    }
-
-    [[noreturn]] void
-    fail(const std::string& what)
-    {
-        throw std::invalid_argument("malformed plan JSON: " + what);
-    }
-
-  private:
-    const char* p_;
-    const char* end_;
-};
-
 FaultKind
-kind_from_name(const std::string& name)
+kind_from_name(util::JsonCursor& in, const std::string& name)
 {
     for (FaultKind k :
          {FaultKind::DeviceCrash, FaultKind::SpatialBurst,
@@ -421,121 +310,109 @@ kind_from_name(const std::string& name)
         if (name == kind_name(k))
             return k;
     }
-    throw std::invalid_argument("malformed plan JSON: unknown fault kind \"" +
-                                name + "\"");
+    in.fail("unknown fault kind \"" + name + "\"");
 }
 
 FaultEvent
-parse_event(JsonCursor& in)
+parse_event(util::JsonCursor& in)
 {
     FaultEvent e;
-    in.expect('{');
-    bool first = true;
-    while (!in.at('}')) {
-        if (!first)
-            in.expect(',');
-        first = false;
-        const std::string key = in.parse_string();
-        in.expect(':');
+    util::parse_object(in, [&](util::JsonCursor& c, const std::string& key) {
         if (key == "kind")
-            e.kind = kind_from_name(in.parse_string());
+            e.kind = kind_from_name(c, c.parse_string());
         else if (key == "at")
-            e.at = static_cast<sim::Time>(in.parse_number());
+            e.at = static_cast<sim::Time>(c.parse_number());
         else if (key == "duration")
-            e.duration = static_cast<sim::Time>(in.parse_number());
+            e.duration = static_cast<sim::Time>(c.parse_number());
         else if (key == "target")
-            e.target = static_cast<std::size_t>(in.parse_number());
+            e.target = static_cast<std::size_t>(c.parse_number());
         else if (key == "center_x")
-            e.center_x = in.parse_number();
+            e.center_x = c.parse_number();
         else if (key == "center_y")
-            e.center_y = in.parse_number();
+            e.center_y = c.parse_number();
         else if (key == "radius_m")
-            e.radius_m = in.parse_number();
+            e.radius_m = c.parse_number();
         else if (key == "burst_count")
-            e.burst_count = static_cast<std::size_t>(in.parse_number());
+            e.burst_count = static_cast<std::size_t>(c.parse_number());
         else if (key == "loss_good")
-            e.loss_good = in.parse_number();
+            e.loss_good = c.parse_number();
         else if (key == "loss_bad")
-            e.loss_bad = in.parse_number();
+            e.loss_bad = c.parse_number();
         else if (key == "mean_good")
-            e.mean_good = static_cast<sim::Time>(in.parse_number());
+            e.mean_good = static_cast<sim::Time>(c.parse_number());
         else if (key == "mean_bad")
-            e.mean_bad = static_cast<sim::Time>(in.parse_number());
+            e.mean_bad = static_cast<sim::Time>(c.parse_number());
         else if (key == "takeover")
-            e.takeover = in.parse_bool();
+            e.takeover = c.parse_bool();
         else
-            in.fail("unknown event field \"" + key + "\"");
-    }
-    in.expect('}');
+            c.fail("unknown event field \"" + key + "\"");
+    });
     return e;
 }
 
 }  // namespace
 
+util::Json
+plan_json(const FaultPlan& plan)
+{
+    util::Json events = util::Json::array();
+    for (const FaultEvent& e : plan.events) {
+        events.push(util::Json::object()
+                        .kv("kind", kind_name(e.kind))
+                        .kv("at", static_cast<std::int64_t>(e.at))
+                        .kv("duration", static_cast<std::int64_t>(e.duration))
+                        .kv("target", static_cast<std::uint64_t>(e.target))
+                        .kv("center_x", e.center_x)
+                        .kv("center_y", e.center_y)
+                        .kv("radius_m", e.radius_m)
+                        .kv("burst_count",
+                            static_cast<std::uint64_t>(e.burst_count))
+                        .kv("loss_good", e.loss_good)
+                        .kv("loss_bad", e.loss_bad)
+                        .kv("mean_good",
+                            static_cast<std::int64_t>(e.mean_good))
+                        .kv("mean_bad", static_cast<std::int64_t>(e.mean_bad))
+                        .kv("takeover", e.takeover));
+    }
+    return util::Json::object().kv("version", 1).kv("events", events);
+}
+
 std::string
 plan_to_json(const FaultPlan& plan)
 {
-    std::string out = "{\n  \"version\": 1,\n  \"events\": [";
-    for (std::size_t i = 0; i < plan.events.size(); ++i) {
-        const FaultEvent& e = plan.events[i];
-        if (i > 0)
-            out += ",";
-        out += "\n    {\"kind\": \"";
-        out += kind_name(e.kind);
-        out += "\", \"at\": " + std::to_string(e.at);
-        out += ", \"duration\": " + std::to_string(e.duration);
-        out += ", \"target\": " + std::to_string(e.target);
-        out += ", \"center_x\": " + json_double(e.center_x);
-        out += ", \"center_y\": " + json_double(e.center_y);
-        out += ", \"radius_m\": " + json_double(e.radius_m);
-        out += ", \"burst_count\": " + std::to_string(e.burst_count);
-        out += ", \"loss_good\": " + json_double(e.loss_good);
-        out += ", \"loss_bad\": " + json_double(e.loss_bad);
-        out += ", \"mean_good\": " + std::to_string(e.mean_good);
-        out += ", \"mean_bad\": " + std::to_string(e.mean_bad);
-        out += ", \"takeover\": ";
-        out += e.takeover ? "true" : "false";
-        out += "}";
-    }
-    out += plan.events.empty() ? "]\n}\n" : "\n  ]\n}\n";
-    return out;
+    return plan_json(plan).str() + "\n";
+}
+
+FaultPlan
+plan_from_cursor(util::JsonCursor& in)
+{
+    FaultPlan plan;
+    bool saw_version = false;
+    bool saw_events = false;
+    util::parse_object(in, [&](util::JsonCursor& c, const std::string& key) {
+        if (key == "version") {
+            saw_version = true;
+            if (c.parse_number() != 1.0)
+                c.fail("unsupported reproducer version");
+        } else if (key == "events") {
+            saw_events = true;
+            util::parse_array(c, [&](util::JsonCursor& e) {
+                plan.events.push_back(parse_event(e));
+            });
+        } else {
+            c.fail("unknown top-level field \"" + key + "\"");
+        }
+    });
+    if (!saw_version || !saw_events)
+        in.fail("reproducer is missing \"version\" or \"events\"");
+    return plan;
 }
 
 FaultPlan
 plan_from_json(const std::string& json)
 {
-    JsonCursor in(json);
-    FaultPlan plan;
-    in.expect('{');
-    bool first = true;
-    bool saw_version = false;
-    bool saw_events = false;
-    while (!in.at('}')) {
-        if (!first)
-            in.expect(',');
-        first = false;
-        const std::string key = in.parse_string();
-        in.expect(':');
-        if (key == "version") {
-            saw_version = true;
-            if (in.parse_number() != 1.0)
-                in.fail("unsupported reproducer version");
-        } else if (key == "events") {
-            saw_events = true;
-            in.expect('[');
-            while (!in.at(']')) {
-                if (!plan.events.empty())
-                    in.expect(',');
-                plan.events.push_back(parse_event(in));
-            }
-            in.expect(']');
-        } else {
-            in.fail("unknown top-level field \"" + key + "\"");
-        }
-    }
-    in.expect('}');
-    if (!saw_version || !saw_events)
-        in.fail("reproducer is missing \"version\" or \"events\"");
+    util::JsonCursor in(json, "plan JSON");
+    FaultPlan plan = plan_from_cursor(in);
     if (!in.done())
         in.fail("trailing content after the plan object");
     return plan;
@@ -573,14 +450,14 @@ plan_to_builder_snippet(const FaultPlan& plan)
             break;
         case FaultKind::SpatialBurst:
             out += "plan.spatial_burst(" + time_literal(e.at) + ", " +
-                json_double(e.center_x) + ", " + json_double(e.center_y) +
-                ", " + json_double(e.radius_m) + ", " +
+                util::format_double(e.center_x) + ", " + util::format_double(e.center_y) +
+                ", " + util::format_double(e.radius_m) + ", " +
                 std::to_string(e.burst_count) + ", " +
                 time_literal(e.duration) + ");\n";
             break;
         case FaultKind::LinkBurst:
             out += "plan.link_burst(" + time_literal(e.at) + ", " +
-                time_literal(e.duration) + ", " + json_double(e.loss_bad) +
+                time_literal(e.duration) + ", " + util::format_double(e.loss_bad) +
                 ", " + time_literal(e.mean_good) + ", " +
                 time_literal(e.mean_bad) + ");\n";
             break;

@@ -29,6 +29,7 @@
 
 #include "fault/plan.hpp"
 #include "sim/time.hpp"
+#include "util/json.hpp"
 
 namespace hivemind::fault {
 
@@ -113,6 +114,20 @@ std::string plan_to_json(const FaultPlan& plan);
  * plan_from_json(plan_to_json(p)) == p.
  */
 FaultPlan plan_from_json(const std::string& json);
+
+/**
+ * The plan as a util::Json object value ({"version":1,"events":[...]},
+ * same schema as plan_to_json) for embedding inside larger documents
+ * — scenario profiles nest their chaos plan this way.
+ */
+util::Json plan_json(const FaultPlan& plan);
+
+/**
+ * Parse one plan object at the cursor (the nested counterpart of
+ * plan_from_json; same strict unknown-key rejection). Leaves the
+ * cursor right after the closing '}'.
+ */
+FaultPlan plan_from_cursor(util::JsonCursor& in);
 
 /** Render the plan as FaultPlan builder calls for a regression test. */
 std::string plan_to_builder_snippet(const FaultPlan& plan);

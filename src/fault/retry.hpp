@@ -36,6 +36,8 @@ struct RetryConfig
     int breaker_threshold = 3;
     /** How long a tripped breaker fails offloads fast. */
     sim::Time breaker_cooldown = 5 * sim::kSecond;
+
+    bool operator==(const RetryConfig&) const = default;
 };
 
 /** Per-device retry/circuit-breaker state for a fleet. */

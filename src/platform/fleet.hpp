@@ -1,0 +1,204 @@
+#pragma once
+
+/**
+ * @file
+ * Fleet service mode: many independent swarm runs on one host.
+ *
+ * The paper's evaluation (and everything in bench/) runs one swarm at
+ * a time. A serverless edge operator hosts *fleets*: many tenants,
+ * each with their own scenario, deployment sizing, fault plan and
+ * seed range, multiplexed onto one simulation host. This module is
+ * that service mode:
+ *
+ *  - FleetProfile / FleetTenant: the declarative JSON description —
+ *    N tenants, each a full scenario profile (platform/profile.hpp)
+ *    plus deployment sizing, platform preset, replica count and seed
+ *    base. Versioned, strict (unknown keys throw), exact round-trip.
+ *  - MetricsPipeline: a bounded MPSC queue in front of a background
+ *    writer thread that batches per-swarm records into a JSONL
+ *    stream. Producers block when the queue is full (backpressure,
+ *    never drops); close() drains everything, including records from
+ *    swarms that died abnormally.
+ *  - Fleet: the concurrent driver. Flattens tenants × replicas into
+ *    a job list, runs each job through platform::run() on a worker
+ *    pool, streams records through the pipeline, and returns every
+ *    record in deterministic (tenant, replica) order.
+ *
+ * Determinism contract: each swarm run is an independent
+ * deterministic simulation with its own seed (seed0 + replica), so
+ * every per-swarm checksum is byte-identical to a solo run of the
+ * same tenant config at that seed, at ANY --workers value. The fleet
+ * only adds scheduling, never sharing — tenants touch no common
+ * mutable state. tests/fleet_test.cpp and bench/fleet_capacity.cpp
+ * both gate on this.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "platform/profile.hpp"
+#include "platform/scenario.hpp"
+
+namespace hivemind::platform {
+
+/** One tenant: a scenario profile times `replicas` seeds. */
+struct FleetTenant
+{
+    /** Tenant label (JSONL key; need not be unique, but should be). */
+    std::string name = "tenant";
+    /** Independent runs of this config, seeds seed0 .. seed0+n-1. */
+    int replicas = 1;
+    /** Seed of replica 0. */
+    std::uint64_t seed0 = 1;
+    /** Platform preset name (see platform_from_name()). */
+    std::string platform = "hivemind";
+    /** Deployment sizing (the rest of DeploymentConfig stays at its
+     *  defaults — profiles describe experiments, not hardware). */
+    std::size_t devices = 16;
+    std::size_t servers = 12;
+    int cores_per_server = 40;
+    bool scale_infra = false;
+    /** The full scenario profile. */
+    ScenarioConfig scenario;
+
+    bool operator==(const FleetTenant&) const = default;
+};
+
+/** A named set of tenants — the unit the fleet driver executes. */
+struct FleetProfile
+{
+    std::string name = "fleet";
+    std::vector<FleetTenant> tenants;
+
+    /** Total swarm runs (sum of replicas). */
+    std::size_t swarms() const;
+
+    bool operator==(const FleetProfile&) const = default;
+};
+
+/** Serialize / parse fleet profiles (version 1, strict keys). */
+std::string fleet_to_json(const FleetProfile& fleet);
+FleetProfile fleet_from_json(const std::string& json);
+util::Json fleet_json(const FleetProfile& fleet);
+FleetProfile fleet_from_cursor(util::JsonCursor& in);
+
+/** One swarm run's outcome, as streamed to the metrics JSONL. */
+struct SwarmRecord
+{
+    std::string tenant;
+    int replica = 0;
+    std::uint64_t seed = 0;
+    /** False when the run threw; `error` carries the what(). */
+    bool ok = false;
+    std::string error;
+    RunResult result;
+};
+
+/** The JSONL line for one record (no trailing newline). */
+util::Json swarm_record_json(const SwarmRecord& rec);
+
+/**
+ * Bounded MPSC queue + background JSONL writer (the gacspp COutput
+ * idea: simulation threads never block on file I/O except through
+ * explicit backpressure). push() blocks while the queue is at
+ * capacity — records are never dropped. close() (or destruction)
+ * drains the queue, flushes the stream and joins the writer; safe to
+ * call twice. push() after close() throws std::logic_error.
+ */
+class MetricsPipeline
+{
+  public:
+    explicit MetricsPipeline(std::ostream& out,
+                             std::size_t capacity = 64);
+    ~MetricsPipeline();
+
+    MetricsPipeline(const MetricsPipeline&) = delete;
+    MetricsPipeline& operator=(const MetricsPipeline&) = delete;
+
+    /** Enqueue one record; blocks while the queue is full. */
+    void push(SwarmRecord rec);
+
+    /** Drain, flush, join. Idempotent. */
+    void close();
+
+    /** Records written to the stream (complete after close()). */
+    std::uint64_t written() const;
+
+    /** Deepest queue occupancy observed (backpressure telemetry). */
+    std::size_t high_water() const;
+
+  private:
+    void writer_loop();
+
+    std::ostream& out_;
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable can_push_;
+    std::condition_variable can_pop_;
+    std::deque<SwarmRecord> queue_;
+    bool closed_ = false;
+    std::uint64_t written_ = 0;
+    std::size_t high_water_ = 0;
+    std::thread writer_;
+};
+
+/** Knobs for one Fleet::run() call. */
+struct FleetRunOptions
+{
+    /** Worker threads; <= 0 resolves HIVEMIND_SWEEP_THREADS, then
+     *  hardware_concurrency (min 1). */
+    int workers = 0;
+    /** JSONL sink for streaming records (null = no streaming). */
+    std::ostream* metrics = nullptr;
+    /** MetricsPipeline queue bound when streaming. */
+    std::size_t queue_capacity = 64;
+};
+
+/** What one Fleet::run() did. */
+struct FleetResult
+{
+    /** Every swarm's record, in (tenant index, replica) order —
+     *  independent of worker count and completion order. */
+    std::vector<SwarmRecord> records;
+    /** Records with ok == false. */
+    std::size_t failed = 0;
+    /** Worker threads actually used. */
+    int workers = 0;
+    /** Host wall-clock for the whole fleet, seconds. */
+    double wall_s = 0.0;
+    /** MetricsPipeline::high_water() (0 when not streaming). */
+    std::size_t queue_high_water = 0;
+};
+
+/**
+ * The concurrent multi-swarm driver. Construction validates the
+ * profile (platform names resolve, replicas >= 1); run() executes
+ * every tenant × replica job through platform::run() on a worker
+ * pool. Each job is self-contained, so results are independent of
+ * worker count; a job that throws becomes an ok == false record (the
+ * fleet finishes, the pipeline still gets the record).
+ */
+class Fleet
+{
+  public:
+    explicit Fleet(FleetProfile profile);
+
+    const FleetProfile& profile() const { return profile_; }
+
+    /** The DeploymentConfig a given tenant replica runs with. */
+    static DeploymentConfig deployment_of(const FleetTenant& tenant,
+                                          int replica);
+
+    FleetResult run(const FleetRunOptions& options = {}) const;
+
+  private:
+    FleetProfile profile_;
+};
+
+}  // namespace hivemind::platform

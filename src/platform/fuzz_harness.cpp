@@ -46,11 +46,18 @@ run_fuzz_case(const fault::FaultPlan& plan, const FuzzCaseOptions& opt)
     // take the swarm controller down, matching the shipped scenarios.
     const PlatformOptions platform = PlatformOptions::hivemind();
 
+    // The audit-returning twin of platform::run()'s dispatch: the
+    // same EngineChoice semantics (Auto goes sharded when shards > 1
+    // and the kind is shardable — always true here), but routed to
+    // the audit-capable entry points the oracles need.
+    const int shards = opt.shards < 1 ? 1 : opt.shards;
+    const bool sharded =
+        opt.engine == EngineChoice::Sharded ||
+        (opt.engine == EngineChoice::Auto && shards > 1 &&
+         scenario_shardable(sc));
     fault::RunAudit audit;
-    if (opt.engine == FuzzEngine::Sharded) {
-        audit = run_scenario_sharded(sc, platform, dep,
-                                     opt.shards < 1 ? 1 : opt.shards)
-                    .audit;
+    if (sharded) {
+        audit = run_scenario_sharded(sc, platform, dep, shards).audit;
     } else {
         sc.shards = 1;
         audit = run_scenario_audited(sc, platform, dep).audit;

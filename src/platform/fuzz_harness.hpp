@@ -20,20 +20,16 @@
 #include "fault/fuzz.hpp"
 #include "fault/oracle.hpp"
 #include "fault/plan.hpp"
+#include "platform/scenario.hpp"
 
 namespace hivemind::platform {
 
-/** Which scenario engine executes the fuzz case. */
-enum class FuzzEngine
-{
-    Legacy,   ///< ScenarioHarness, one kernel (shards ignored).
-    Sharded,  ///< ShardedScenarioEngine at `shards` kernels.
-};
-
-/** Deployment + engine knobs for one fuzz case. */
+/** Deployment + engine knobs for one fuzz case. The engine field is
+ *  the same EngineChoice the scenario facade dispatches on (Auto
+ *  resolves exactly like platform::run()). */
 struct FuzzCaseOptions
 {
-    FuzzEngine engine = FuzzEngine::Sharded;
+    EngineChoice engine = EngineChoice::Sharded;
     int shards = 1;            ///< Sharded engine only.
     std::uint64_t seed = 42;   ///< Deployment seed (world + traffic).
     std::size_t devices = 6;

@@ -1,5 +1,8 @@
 #include "platform/options.hpp"
 
+#include <cstdlib>
+#include <stdexcept>
+
 namespace hivemind::platform {
 
 const char*
@@ -94,5 +97,95 @@ PlatformOptions::hivemind_no_accel()
     o.label = "HiveMind-No Accel";
     return o;
 }
+
+const char*
+platform_preset_name(PlatformKind kind)
+{
+    switch (kind) {
+      case PlatformKind::CentralizedIaas:
+        return "centralized_iaas";
+      case PlatformKind::CentralizedFaas:
+        return "centralized_faas";
+      case PlatformKind::DistributedEdge:
+        return "distributed_edge";
+      case PlatformKind::HiveMind:
+        return "hivemind";
+    }
+    return "?";
+}
+
+PlatformOptions
+platform_from_name(const std::string& name)
+{
+    if (name == "hivemind")
+        return PlatformOptions::hivemind();
+    if (name == "centralized_faas")
+        return PlatformOptions::centralized_faas();
+    if (name == "centralized_iaas")
+        return PlatformOptions::centralized_iaas();
+    if (name == "distributed_edge")
+        return PlatformOptions::distributed_edge();
+    throw std::invalid_argument("unknown platform preset \"" + name + "\"");
+}
+
+namespace env {
+
+namespace {
+
+/** Non-empty and not "0" — the repo-wide boolean env convention. */
+bool
+flag_set(const char* name)
+{
+    const char* v = std::getenv(name);
+    return v != nullptr && *v != '\0' && *v != '0';
+}
+
+}  // namespace
+
+bool
+legacy_engine()
+{
+    return flag_set("HIVEMIND_LEGACY_ENGINE");
+}
+
+bool
+global_lookahead()
+{
+    return flag_set("HIVEMIND_GLOBAL_LOOKAHEAD");
+}
+
+std::optional<int>
+shards()
+{
+    if (const char* v = std::getenv("HIVEMIND_SHARDS")) {
+        const int n = std::atoi(v);
+        if (n >= 1)
+            return n;
+    }
+    return std::nullopt;
+}
+
+std::optional<long>
+mission_s()
+{
+    if (const char* v = std::getenv("HIVEMIND_MISSION_S")) {
+        const long n = std::atol(v);
+        if (n >= 1)
+            return n;
+    }
+    return std::nullopt;
+}
+
+std::optional<unsigned>
+sweep_threads()
+{
+    if (const char* v = std::getenv("HIVEMIND_SWEEP_THREADS")) {
+        const long n = std::strtol(v, nullptr, 10);
+        return n > 0 ? static_cast<unsigned>(n) : 1u;
+    }
+    return std::nullopt;
+}
+
+}  // namespace env
 
 }  // namespace hivemind::platform

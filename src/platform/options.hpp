@@ -12,6 +12,7 @@
  * figure.
  */
 
+#include <optional>
 #include <string>
 
 namespace hivemind::platform {
@@ -55,5 +56,47 @@ struct PlatformOptions
     static PlatformOptions distributed_net_accel();
     static PlatformOptions hivemind_no_accel();
 };
+
+/** Parse a platform preset name ("hivemind", "centralized_faas",
+ *  "centralized_iaas", "distributed_edge"); throws
+ *  std::invalid_argument on anything else. Inverse of
+ *  platform_preset_name(). */
+PlatformOptions platform_from_name(const std::string& name);
+
+/** Stable preset name for profile serialization (by kind). */
+const char* platform_preset_name(PlatformKind kind);
+
+/**
+ * The HIVEMIND_* environment overrides, all in one place.
+ *
+ * Every knob these variables touch is first a ScenarioConfig /
+ * profile field; the env vars exist for A/B runs and CI sweeps that
+ * cannot edit configs (see DESIGN.md "Configuration"). This namespace
+ * is the only place in the repo that calls std::getenv — benches and
+ * tests route through it, so a grep for getenv outside the options
+ * layer should come back empty.
+ */
+namespace env {
+
+/** HIVEMIND_LEGACY_ENGINE=1: force the legacy single-kernel harness
+ *  regardless of ScenarioConfig::engine (the A/B escape hatch). */
+bool legacy_engine();
+
+/** HIVEMIND_GLOBAL_LOOKAHEAD=1: pin the classic global-lookahead
+ *  epochs, overriding ScenarioConfig::adaptive_lookahead. */
+bool global_lookahead();
+
+/** HIVEMIND_SHARDS: an extra shard count for invariance sweeps. */
+std::optional<int> shards();
+
+/** HIVEMIND_MISSION_S: mission-window override, seconds, for the
+ *  scenario-shards bench (>= 1 to apply). */
+std::optional<long> mission_s();
+
+/** HIVEMIND_SWEEP_THREADS: worker override for bench sweeps and the
+ *  fleet driver (values < 1 clamp to 1). */
+std::optional<unsigned> sweep_threads();
+
+}  // namespace env
 
 }  // namespace hivemind::platform

@@ -1,0 +1,354 @@
+#include "platform/profile.hpp"
+
+#include <cstdint>
+#include <utility>
+
+#include "fault/fuzz.hpp"
+
+namespace hivemind::platform {
+
+namespace {
+
+constexpr int kProfileVersion = 1;
+
+std::int64_t
+ns(sim::Time t)
+{
+    return static_cast<std::int64_t>(t);
+}
+
+sim::Time
+parse_time(util::JsonCursor& in)
+{
+    return static_cast<sim::Time>(in.parse_int());
+}
+
+ScenarioKind
+parse_kind(util::JsonCursor& in)
+{
+    const std::string name = in.parse_string();
+    if (name == "stationary_items")
+        return ScenarioKind::StationaryItems;
+    if (name == "moving_people")
+        return ScenarioKind::MovingPeople;
+    if (name == "treasure_hunt")
+        return ScenarioKind::TreasureHunt;
+    if (name == "rover_maze")
+        return ScenarioKind::RoverMaze;
+    in.fail("unknown scenario kind \"" + name + "\"");
+}
+
+apps::RetrainMode
+parse_retrain(util::JsonCursor& in)
+{
+    const std::string name = in.parse_string();
+    if (name == "none")
+        return apps::RetrainMode::None;
+    if (name == "self")
+        return apps::RetrainMode::Self;
+    if (name == "swarm")
+        return apps::RetrainMode::Swarm;
+    in.fail("unknown retrain mode \"" + name + "\"");
+}
+
+cloud::FaultRecovery
+parse_recovery(util::JsonCursor& in)
+{
+    const std::string name = in.parse_string();
+    if (name == "none")
+        return cloud::FaultRecovery::None;
+    if (name == "respawn")
+        return cloud::FaultRecovery::Respawn;
+    if (name == "checkpoint")
+        return cloud::FaultRecovery::Checkpoint;
+    in.fail("unknown recovery policy \"" + name + "\"");
+}
+
+EngineChoice
+parse_engine(util::JsonCursor& in)
+{
+    const std::string name = in.parse_string();
+    if (name == "auto")
+        return EngineChoice::Auto;
+    if (name == "legacy")
+        return EngineChoice::Legacy;
+    if (name == "sharded")
+        return EngineChoice::Sharded;
+    in.fail("unknown engine \"" + name + "\"");
+}
+
+util::Json
+detection_json(const apps::DetectionConfig& d)
+{
+    return util::Json::object()
+        .kv("base_correct", d.base_correct)
+        .kv("max_correct", d.max_correct)
+        .kv("tau_samples", d.tau_samples)
+        .kv("fn_share", d.fn_share);
+}
+
+apps::DetectionConfig
+parse_detection(util::JsonCursor& in)
+{
+    apps::DetectionConfig d;
+    util::parse_object(in, [&](util::JsonCursor& in,
+                               const std::string& key) {
+        if (key == "base_correct")
+            d.base_correct = in.parse_number();
+        else if (key == "max_correct")
+            d.max_correct = in.parse_number();
+        else if (key == "tau_samples")
+            d.tau_samples = in.parse_number();
+        else if (key == "fn_share")
+            d.fn_share = in.parse_number();
+        else
+            in.fail("unknown detection key \"" + key + "\"");
+    });
+    return d;
+}
+
+util::Json
+retry_json(const fault::RetryConfig& r)
+{
+    return util::Json::object()
+        .kv("max_attempts", r.max_attempts)
+        .kv("base_backoff", ns(r.base_backoff))
+        .kv("multiplier", r.multiplier)
+        .kv("jitter", r.jitter)
+        .kv("breaker_threshold", r.breaker_threshold)
+        .kv("breaker_cooldown", ns(r.breaker_cooldown));
+}
+
+fault::RetryConfig
+parse_retry(util::JsonCursor& in)
+{
+    fault::RetryConfig r;
+    util::parse_object(in, [&](util::JsonCursor& in,
+                               const std::string& key) {
+        if (key == "max_attempts")
+            r.max_attempts = static_cast<int>(in.parse_int());
+        else if (key == "base_backoff")
+            r.base_backoff = parse_time(in);
+        else if (key == "multiplier")
+            r.multiplier = in.parse_number();
+        else if (key == "jitter")
+            r.jitter = in.parse_number();
+        else if (key == "breaker_threshold")
+            r.breaker_threshold = static_cast<int>(in.parse_int());
+        else if (key == "breaker_cooldown")
+            r.breaker_cooldown = parse_time(in);
+        else
+            in.fail("unknown retry key \"" + key + "\"");
+    });
+    return r;
+}
+
+util::Json
+ha_json(const core::HaConfig& h)
+{
+    return util::Json::object()
+        .kv("enabled", h.enabled)
+        .kv("checkpoint_interval", ns(h.checkpoint_interval))
+        .kv("primary_beat_interval", ns(h.primary_beat_interval))
+        .kv("election_timeout", ns(h.election_timeout))
+        .kv("standbys", h.standbys)
+        .kv("replay_Bps", h.replay_Bps)
+        .kv("reconcile_per_device", ns(h.reconcile_per_device))
+        .kv("redrive_per_offload", ns(h.redrive_per_offload))
+        .kv("drift_replay_frac", h.drift_replay_frac);
+}
+
+core::HaConfig
+parse_ha(util::JsonCursor& in)
+{
+    core::HaConfig h;
+    util::parse_object(in, [&](util::JsonCursor& in,
+                               const std::string& key) {
+        if (key == "enabled")
+            h.enabled = in.parse_bool();
+        else if (key == "checkpoint_interval")
+            h.checkpoint_interval = parse_time(in);
+        else if (key == "primary_beat_interval")
+            h.primary_beat_interval = parse_time(in);
+        else if (key == "election_timeout")
+            h.election_timeout = parse_time(in);
+        else if (key == "standbys")
+            h.standbys = static_cast<int>(in.parse_int());
+        else if (key == "replay_Bps")
+            h.replay_Bps = in.parse_number();
+        else if (key == "reconcile_per_device")
+            h.reconcile_per_device = parse_time(in);
+        else if (key == "redrive_per_offload")
+            h.redrive_per_offload = parse_time(in);
+        else if (key == "drift_replay_frac")
+            h.drift_replay_frac = in.parse_number();
+        else
+            in.fail("unknown ha key \"" + key + "\"");
+    });
+    return h;
+}
+
+}  // namespace
+
+const char*
+scenario_kind_name(ScenarioKind k)
+{
+    switch (k) {
+    case ScenarioKind::StationaryItems:
+        return "stationary_items";
+    case ScenarioKind::MovingPeople:
+        return "moving_people";
+    case ScenarioKind::TreasureHunt:
+        return "treasure_hunt";
+    case ScenarioKind::RoverMaze:
+        return "rover_maze";
+    }
+    return "stationary_items";
+}
+
+const char*
+retrain_mode_name(apps::RetrainMode m)
+{
+    switch (m) {
+    case apps::RetrainMode::None:
+        return "none";
+    case apps::RetrainMode::Self:
+        return "self";
+    case apps::RetrainMode::Swarm:
+        return "swarm";
+    }
+    return "none";
+}
+
+const char*
+recovery_name(cloud::FaultRecovery r)
+{
+    switch (r) {
+    case cloud::FaultRecovery::None:
+        return "none";
+    case cloud::FaultRecovery::Respawn:
+        return "respawn";
+    case cloud::FaultRecovery::Checkpoint:
+        return "checkpoint";
+    }
+    return "none";
+}
+
+util::Json
+scenario_json(const ScenarioConfig& sc)
+{
+    return util::Json::object()
+        .kv("version", kProfileVersion)
+        .kv("kind", scenario_kind_name(sc.kind))
+        .kv("engine", to_string(sc.engine))
+        .kv("field_size_m", sc.field_size_m)
+        .kv("targets", static_cast<std::uint64_t>(sc.targets))
+        .kv("frame_task_rate_hz", sc.frame_task_rate_hz)
+        .kv("obstacle_rate_hz", sc.obstacle_rate_hz)
+        .kv("retrain", retrain_mode_name(sc.retrain))
+        .kv("detection", detection_json(sc.detection))
+        .kv("retrain_interval", ns(sc.retrain_interval))
+        .kv("time_cap", ns(sc.time_cap))
+        .kv("max_passes", sc.max_passes)
+        .kv("course_legs", sc.course_legs)
+        .kv("maze_side", sc.maze_side)
+        .kv("frame_bytes_override", sc.frame_bytes_override)
+        .kv("inject_failure_at", ns(sc.inject_failure_at))
+        .kv("inject_failure_device",
+            static_cast<std::uint64_t>(sc.inject_failure_device))
+        .kv("faults", fault::plan_json(sc.faults))
+        .kv("recovery", recovery_name(sc.recovery))
+        .kv("retry", retry_json(sc.retry))
+        .kv("ha", ha_json(sc.ha))
+        .kv("shards", sc.shards)
+        .kv("batched_ticks", sc.batched_ticks)
+        .kv("adaptive_lookahead", sc.adaptive_lookahead);
+}
+
+std::string
+scenario_to_json(const ScenarioConfig& sc)
+{
+    return scenario_json(sc).str() + "\n";
+}
+
+ScenarioConfig
+scenario_from_cursor(util::JsonCursor& in)
+{
+    ScenarioConfig sc;
+    bool saw_version = false;
+    util::parse_object(in, [&](util::JsonCursor& in,
+                               const std::string& key) {
+        if (key == "version") {
+            const std::int64_t v = in.parse_int();
+            if (v != kProfileVersion)
+                in.fail("unsupported profile version " +
+                        std::to_string(v));
+            saw_version = true;
+        } else if (key == "kind") {
+            sc.kind = parse_kind(in);
+        } else if (key == "engine") {
+            sc.engine = parse_engine(in);
+        } else if (key == "field_size_m") {
+            sc.field_size_m = in.parse_number();
+        } else if (key == "targets") {
+            sc.targets = static_cast<std::size_t>(in.parse_int());
+        } else if (key == "frame_task_rate_hz") {
+            sc.frame_task_rate_hz = in.parse_number();
+        } else if (key == "obstacle_rate_hz") {
+            sc.obstacle_rate_hz = in.parse_number();
+        } else if (key == "retrain") {
+            sc.retrain = parse_retrain(in);
+        } else if (key == "detection") {
+            sc.detection = parse_detection(in);
+        } else if (key == "retrain_interval") {
+            sc.retrain_interval = parse_time(in);
+        } else if (key == "time_cap") {
+            sc.time_cap = parse_time(in);
+        } else if (key == "max_passes") {
+            sc.max_passes = static_cast<int>(in.parse_int());
+        } else if (key == "course_legs") {
+            sc.course_legs = static_cast<int>(in.parse_int());
+        } else if (key == "maze_side") {
+            sc.maze_side = static_cast<int>(in.parse_int());
+        } else if (key == "frame_bytes_override") {
+            sc.frame_bytes_override =
+                static_cast<std::uint64_t>(in.parse_int());
+        } else if (key == "inject_failure_at") {
+            sc.inject_failure_at = parse_time(in);
+        } else if (key == "inject_failure_device") {
+            sc.inject_failure_device =
+                static_cast<std::size_t>(in.parse_int());
+        } else if (key == "faults") {
+            sc.faults = fault::plan_from_cursor(in);
+        } else if (key == "recovery") {
+            sc.recovery = parse_recovery(in);
+        } else if (key == "retry") {
+            sc.retry = parse_retry(in);
+        } else if (key == "ha") {
+            sc.ha = parse_ha(in);
+        } else if (key == "shards") {
+            sc.shards = static_cast<int>(in.parse_int());
+        } else if (key == "batched_ticks") {
+            sc.batched_ticks = in.parse_bool();
+        } else if (key == "adaptive_lookahead") {
+            sc.adaptive_lookahead = in.parse_bool();
+        } else {
+            in.fail("unknown profile key \"" + key + "\"");
+        }
+    });
+    if (!saw_version)
+        in.fail("profile missing \"version\"");
+    return sc;
+}
+
+ScenarioConfig
+scenario_from_json(const std::string& json)
+{
+    util::JsonCursor in(json, "scenario profile");
+    ScenarioConfig sc = scenario_from_cursor(in);
+    if (!in.done())
+        in.fail("trailing content after profile object");
+    return sc;
+}
+
+}  // namespace hivemind::platform

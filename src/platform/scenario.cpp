@@ -1,8 +1,9 @@
 #include "platform/scenario.hpp"
 
 #include <algorithm>
-#include <cstdlib>
+#include <chrono>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "apps/world.hpp"
@@ -1064,28 +1065,75 @@ ScenarioHarness::build_audit(const RunMetrics& m) const
 
 }  // namespace
 
+const char*
+to_string(EngineChoice e)
+{
+    switch (e) {
+      case EngineChoice::Auto:
+        return "auto";
+      case EngineChoice::Legacy:
+        return "legacy";
+      case EngineChoice::Sharded:
+        return "sharded";
+    }
+    return "?";
+}
+
+RunResult
+run(const ScenarioConfig& scenario, const PlatformOptions& options,
+    const DeploymentConfig& deployment_config)
+{
+    // The documented environment overrides fold in here — the facade
+    // is the options layer's one hook into execution; the engines
+    // themselves never consult the environment.
+    ScenarioConfig sc = scenario;
+    if (env::global_lookahead())
+        sc.adaptive_lookahead = false;
+    EngineChoice choice = sc.engine;
+    if (env::legacy_engine())
+        choice = EngineChoice::Legacy;
+    if (choice == EngineChoice::Auto) {
+        choice = (sc.shards > 1 && scenario_shardable(sc))
+            ? EngineChoice::Sharded
+            : EngineChoice::Legacy;
+    }
+
+    RunResult out;
+    if (choice == EngineChoice::Sharded) {
+        if (!scenario_shardable(sc))
+            throw std::invalid_argument(
+                "engine=sharded requested for a scenario kind the sharded "
+                "engine does not model (rover kinds run engine=legacy)");
+        const int shards = std::max(sc.shards, 1);
+        ShardedScenarioResult r =
+            run_scenario_sharded(sc, options, deployment_config, shards);
+        out.metrics = std::move(r.metrics);
+        out.checksum = r.checksum;
+        out.engine_used = EngineChoice::Sharded;
+        out.shards_used = shards;
+        out.wall_s = r.wall_s;
+        out.epochs = r.epochs;
+        return out;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    Deployment dep(deployment_config, options);
+    ScenarioHarness harness(dep, sc);
+    harness.run();
+    out.metrics = harness.take_metrics();
+    out.checksum = harness.build_audit(out.metrics).checksum;
+    out.engine_used = EngineChoice::Legacy;
+    out.shards_used = 1;
+    out.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    return out;
+}
+
 RunMetrics
 run_scenario(const ScenarioConfig& scenario, const PlatformOptions& options,
              const DeploymentConfig& deployment_config)
 {
-    // shards > 1 routes the drone scenarios onto the sharded runtime;
-    // shards <= 1 (and the rover kinds, which the sharded engine does
-    // not model) runs the legacy single-kernel harness unchanged.
-    // HIVEMIND_LEGACY_ENGINE=1 forces the legacy ScenarioHarness even
-    // for sharded requests — the escape hatch that stays behind when
-    // the default flips to the sharded engine.
-    const char* legacy_env = std::getenv("HIVEMIND_LEGACY_ENGINE");
-    const bool force_legacy =
-        legacy_env != nullptr && *legacy_env != '\0' && *legacy_env != '0';
-    if (!force_legacy && scenario.shards > 1 && scenario_shardable(scenario)) {
-        return run_scenario_sharded(scenario, options, deployment_config,
-                                    scenario.shards)
-            .metrics;
-    }
-    Deployment dep(deployment_config, options);
-    ScenarioHarness harness(dep, scenario);
-    harness.run();
-    return harness.take_metrics();
+    return run(scenario, options, deployment_config).metrics;
 }
 
 AuditedRun

@@ -41,6 +41,28 @@
 
 namespace hivemind::platform {
 
+/**
+ * Which scenario engine executes a run. An explicit config field —
+ * not an env probe — so profiles, fleet tenants and sweeps can mix
+ * engines in one process. HIVEMIND_LEGACY_ENGINE=1 remains the
+ * documented environment override (see platform::env) for A/B runs
+ * that cannot edit configs.
+ */
+enum class EngineChoice
+{
+    /** Sharded when `shards > 1` and the kind is shardable (the drone
+     *  scenarios), legacy otherwise — the historical dispatch. */
+    Auto,
+    /** The single-kernel ScenarioHarness, `shards` ignored. */
+    Legacy,
+    /** The sharded engine at max(shards, 1) kernels; throws
+     *  std::invalid_argument for kinds it does not model (rovers). */
+    Sharded,
+};
+
+/** Stable profile name ("auto" / "legacy" / "sharded"). */
+const char* to_string(EngineChoice e);
+
 /** Scenario parameters (defaults follow Sec. 2.1 / 5.5). */
 struct ScenarioConfig
 {
@@ -113,9 +135,47 @@ struct ScenarioConfig
      * env toggle so sweeps can mix modes across concurrent runs.
      */
     bool adaptive_lookahead = true;
+    /** Engine dispatch (see EngineChoice). */
+    EngineChoice engine = EngineChoice::Auto;
+
+    bool operator==(const ScenarioConfig&) const = default;
 };
 
-/** Run one scenario on one platform. */
+/** Everything platform::run() reports about one swarm run. */
+struct RunResult
+{
+    RunMetrics metrics;
+    /**
+     * FNV digest of the run's end state (device roster, ledgers,
+     * completion). Engine-specific: sharded checksums compare with
+     * sharded runs of the same config at any shard count, legacy
+     * checksums with legacy runs. Identical configs + seeds yield
+     * identical checksums — the fleet determinism gate.
+     */
+    std::uint64_t checksum = 0;
+    /** Which engine actually ran (never Auto). */
+    EngineChoice engine_used = EngineChoice::Legacy;
+    /** Shard kernels used (1 for the legacy engine). */
+    int shards_used = 1;
+    /** Host wall-clock spent inside the engine, seconds. */
+    double wall_s = 0.0;
+    /** Conservative-sync epochs (sharded engine; 0 for legacy). */
+    std::uint64_t epochs = 0;
+};
+
+/**
+ * The one entry point for scenario execution: resolves
+ * `scenario.engine` (and the documented HIVEMIND_LEGACY_ENGINE /
+ * HIVEMIND_GLOBAL_LOOKAHEAD environment overrides, via
+ * platform::env) and dispatches to the legacy harness or the sharded
+ * engine. Benches, tests, examples, the fuzz harness and the fleet
+ * driver all route through here — engine selection logic lives
+ * nowhere else.
+ */
+RunResult run(const ScenarioConfig& scenario, const PlatformOptions& options,
+              const DeploymentConfig& deployment_config);
+
+/** Run one scenario on one platform (metrics-only run() shorthand). */
 RunMetrics run_scenario(const ScenarioConfig& scenario,
                         const PlatformOptions& options,
                         const DeploymentConfig& deployment_config);

@@ -5,6 +5,7 @@
 
 #include "net/shard_link.hpp"
 #include "platform/fnv.hpp"
+#include "platform/options.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/swarm_runtime.hpp"
@@ -83,6 +84,9 @@ run_sharded_swarm(const ShardedSwarmConfig& config)
 {
     const std::size_t n = config.devices;
     sim::SwarmRuntime runtime(config.shards);
+    // Documented env override (A/B runs): pin global-lookahead epochs.
+    if (env::global_lookahead())
+        runtime.set_adaptive_lookahead(false);
 
     std::vector<Device> devices;
     devices.reserve(n);

@@ -19,8 +19,11 @@ SwarmRuntime::SwarmRuntime(int shards, const KernelConfig& config)
     lat_.assign(n * n, Simulator::kNever);
     sends_.assign(n, Simulator::kNever);
     windows_.assign(n, 0);
-    const char* global = std::getenv("HIVEMIND_GLOBAL_LOOKAHEAD");
-    set_adaptive_lookahead(!(global && global[0] == '1'));
+    // Adaptive per-pair lookahead is the default; callers that want
+    // the classic global-lookahead epochs say so explicitly. The
+    // HIVEMIND_GLOBAL_LOOKAHEAD env override is resolved by the
+    // platform options layer (platform::env), never down here.
+    set_adaptive_lookahead(true);
     if (shards > 1) {
         start_ = std::make_unique<std::barrier<>>(shards);
         finish_ = std::make_unique<std::barrier<>>(shards);

@@ -33,8 +33,9 @@
  *    progresses. Channels with src == dst participate like any other
  *    (self-sends hop through the mailbox, so they bound the sender's
  *    own window too).
- *  - Global-lookahead mode (set_adaptive_lookahead(false), or env
- *    HIVEMIND_GLOBAL_LOOKAHEAD=1): every shard gets the classic
+ *  - Global-lookahead mode (set_adaptive_lookahead(false); the
+ *    platform layer maps HIVEMIND_GLOBAL_LOOKAHEAD=1 onto it): every
+ *    shard gets the classic
  *    W = min(until, H + lookahead - 1), H = min next_time().
  *  - Shards run run_until(W) in parallel (shard 0 on the caller's
  *    thread, shards 1..N-1 on persistent worker threads bracketed by
@@ -124,10 +125,10 @@ class SwarmRuntime
     }
 
     /**
-     * Toggle adaptive per-pair windows (on by default; the env var
-     * HIVEMIND_GLOBAL_LOOKAHEAD=1 flips the default off). Also arms /
-     * disarms send-horizon tracking on every shard kernel. Call
-     * before run_until().
+     * Toggle adaptive per-pair windows (on by default; the platform
+     * options layer maps HIVEMIND_GLOBAL_LOOKAHEAD=1 onto this
+     * switch). Also arms / disarms send-horizon tracking on every
+     * shard kernel. Call before run_until().
      */
     void set_adaptive_lookahead(bool on);
 

@@ -1,0 +1,234 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hivemind::util {
+
+std::string
+format_double(double v)
+{
+    // Shortest %.<p>g that strtod() reads back to the same bits; 17
+    // significant digits always round-trip IEEE doubles, so the loop
+    // terminates.
+    char buf[64];
+    for (int precision = 15; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+std::string
+quote(std::string_view s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+JsonCursor::JsonCursor(std::string_view text, std::string what_for)
+    : what_for_(std::move(what_for)),
+      p_(text.data()),
+      end_(text.data() + text.size())
+{
+}
+
+void
+JsonCursor::skip_ws()
+{
+    while (p_ < end_ && std::isspace(static_cast<unsigned char>(*p_)))
+        ++p_;
+}
+
+bool
+JsonCursor::consume(char c)
+{
+    skip_ws();
+    if (p_ < end_ && *p_ == c) {
+        ++p_;
+        return true;
+    }
+    return false;
+}
+
+void
+JsonCursor::expect(char c)
+{
+    if (!consume(c))
+        fail(std::string("expected '") + c + "'");
+}
+
+bool
+JsonCursor::at(char c)
+{
+    skip_ws();
+    return p_ < end_ && *p_ == c;
+}
+
+bool
+JsonCursor::done()
+{
+    skip_ws();
+    return p_ == end_;
+}
+
+std::string
+JsonCursor::parse_string()
+{
+    expect('"');
+    std::string out;
+    while (p_ < end_ && *p_ != '"') {
+        char c = *p_++;
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        if (p_ >= end_)
+            fail("unterminated escape sequence");
+        const char esc = *p_++;
+        switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+            if (end_ - p_ < 4)
+                fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+                const char h = *p_++;
+                code <<= 4;
+                if (h >= '0' && h <= '9')
+                    code |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    code |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    code |= static_cast<unsigned>(h - 'A' + 10);
+                else
+                    fail("bad hex digit in \\u escape");
+            }
+            // UTF-8 encode the BMP; surrogate pairs are not a thing
+            // any writer in this repo produces.
+            if (code >= 0xd800 && code <= 0xdfff)
+                fail("surrogate \\u escapes are not supported");
+            if (code < 0x80) {
+                out += static_cast<char>(code);
+            } else if (code < 0x800) {
+                out += static_cast<char>(0xc0 | (code >> 6));
+                out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+                out += static_cast<char>(0xe0 | (code >> 12));
+                out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+        }
+        default:
+            fail("unknown escape sequence");
+        }
+    }
+    expect('"');
+    return out;
+}
+
+double
+JsonCursor::parse_number()
+{
+    skip_ws();
+    char* after = nullptr;
+    const double v = std::strtod(p_, &after);
+    if (after == p_)
+        fail("expected a number");
+    p_ = after;
+    return v;
+}
+
+std::int64_t
+JsonCursor::parse_int()
+{
+    const double v = parse_number();
+    const std::int64_t i = static_cast<std::int64_t>(v);
+    if (static_cast<double>(i) != v)
+        fail("expected an integer");
+    return i;
+}
+
+bool
+JsonCursor::parse_bool()
+{
+    skip_ws();
+    if (end_ - p_ >= 4 && std::string_view(p_, 4) == "true") {
+        p_ += 4;
+        return true;
+    }
+    if (end_ - p_ >= 5 && std::string_view(p_, 5) == "false") {
+        p_ += 5;
+        return false;
+    }
+    fail("expected true/false");
+}
+
+void
+JsonCursor::skip_value()
+{
+    skip_ws();
+    if (p_ >= end_)
+        fail("expected a value");
+    if (*p_ == '"') {
+        parse_string();
+        return;
+    }
+    if (*p_ == '{') {
+        parse_object(*this, [](JsonCursor& in, const std::string&) {
+            in.skip_value();
+        });
+        return;
+    }
+    if (*p_ == '[') {
+        parse_array(*this, [](JsonCursor& in) { in.skip_value(); });
+        return;
+    }
+    if (*p_ == 't' || *p_ == 'f') {
+        parse_bool();
+        return;
+    }
+    if (end_ - p_ >= 4 && std::string_view(p_, 4) == "null") {
+        p_ += 4;
+        return;
+    }
+    parse_number();
+}
+
+void
+JsonCursor::fail(const std::string& what) const
+{
+    throw std::invalid_argument("malformed " + what_for_ + ": " + what);
+}
+
+}  // namespace hivemind::util

@@ -595,7 +595,7 @@ TEST(FuzzSmoke, FuzzedPlansSurviveBothEnginesAndAllOracles)
         FaultPlan plan = fuzzer.generate(seed * 1000003);
         opt.seed = seed;
 
-        opt.engine = platform::FuzzEngine::Sharded;
+        opt.engine = platform::EngineChoice::Sharded;
         opt.shards = 1;
         RunAudit one = platform::run_fuzz_case(plan, opt);
         std::vector<Violation> vs = suite.audit(one);
@@ -608,7 +608,7 @@ TEST(FuzzSmoke, FuzzedPlansSurviveBothEnginesAndAllOracles)
         EXPECT_TRUE(vs.empty())
             << "seed " << seed << "\n" << fault::violations_to_string(vs);
 
-        opt.engine = platform::FuzzEngine::Legacy;
+        opt.engine = platform::EngineChoice::Legacy;
         RunAudit legacy = platform::run_fuzz_case(plan, opt);
         vs = suite.audit(legacy);
         EXPECT_TRUE(vs.empty())
@@ -624,7 +624,7 @@ TEST(FuzzSmoke, SameSeedRunsAreByteIdentical)
     const fault::OracleSuite suite;
     platform::FuzzCaseOptions opt;
     opt.seed = 97;
-    opt.engine = platform::FuzzEngine::Sharded;
+    opt.engine = platform::EngineChoice::Sharded;
     opt.shards = 2;
     fault::PlanFuzzer fuzzer(platform::fuzz_config_for(opt));
     FaultPlan plan = fuzzer.generate(1234567);
@@ -664,13 +664,13 @@ TEST(FuzzCorpus, EveryCheckedInPlanReplaysCleanOnBothEngines)
         FaultPlan plan = fault::plan_from_json(read_file(entry.path()));
         EXPECT_FALSE(plan.empty());
 
-        opt.engine = platform::FuzzEngine::Sharded;
+        opt.engine = platform::EngineChoice::Sharded;
         opt.shards = 2;
         RunAudit sharded = platform::run_fuzz_case(plan, opt);
         std::vector<Violation> vs = suite.audit(sharded);
         EXPECT_TRUE(vs.empty()) << fault::violations_to_string(vs);
 
-        opt.engine = platform::FuzzEngine::Legacy;
+        opt.engine = platform::EngineChoice::Legacy;
         RunAudit legacy = platform::run_fuzz_case(plan, opt);
         vs = suite.audit(legacy);
         EXPECT_TRUE(vs.empty()) << fault::violations_to_string(vs);

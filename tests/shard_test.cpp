@@ -13,7 +13,6 @@
 
 #include <algorithm>
 #include <mutex>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -360,11 +359,10 @@ std::vector<int>
 shard_counts()
 {
     std::vector<int> counts = {1, 2, 4};
-    if (const char* env = std::getenv("HIVEMIND_SHARDS")) {
-        int extra = std::atoi(env);
-        if (extra >= 1 &&
-            std::find(counts.begin(), counts.end(), extra) == counts.end())
-            counts.push_back(extra);
+    if (auto extra = hivemind::platform::env::shards()) {
+        if (std::find(counts.begin(), counts.end(), *extra) ==
+            counts.end())
+            counts.push_back(*extra);
     }
     return counts;
 }
