@@ -81,7 +81,12 @@ cell_deployment(double rate, std::uint64_t seed)
 platform::RunMetrics
 run_cell(double rate, cloud::FaultRecovery policy, std::uint64_t seed)
 {
-    return platform::run_scenario(cell_scenario(rate, policy, seed),
+    // The policy axis exercises the legacy FaaS recovery knob (the
+    // sharded engine owns its own retry/breaker semantics), so this
+    // leg pins the legacy engine now that Auto resolves to sharded.
+    platform::ScenarioConfig sc = cell_scenario(rate, policy, seed);
+    sc.engine = platform::EngineChoice::Legacy;
+    return platform::run_scenario(sc,
                                   platform::PlatformOptions::hivemind(),
                                   cell_deployment(rate, seed));
 }

@@ -79,6 +79,9 @@ run_point(const RunPoint& p)
                    paper_deployment(p.seed), p.shards)
             .metrics;
     }
+    // The shards == 0 leg is the legacy baseline by contract; Auto now
+    // resolves to the sharded engine, so ask for legacy explicitly.
+    sc.engine = platform::EngineChoice::Legacy;
     return platform::run_scenario(sc,
                                   platform::PlatformOptions::hivemind(),
                                   paper_deployment(p.seed));
@@ -247,6 +250,7 @@ main()
     part.faults = fault::FaultPlan{};
     part.faults.controller_partition(sim::from_seconds(kCrashAtS),
                                      6 * sim::kSecond);
+    part.engine = platform::EngineChoice::Legacy;  // labeled "legacy" below
     platform::RunMetrics pm = platform::run_scenario(
         part, platform::PlatformOptions::hivemind(), paper_deployment(42));
     platform::RunMetrics ps =

@@ -33,6 +33,7 @@
 #include <thread>
 
 #include "bench_util.hpp"
+#include "edge/device.hpp"
 #include "platform/sharded_scenario.hpp"
 
 using namespace hivemind;
@@ -154,6 +155,46 @@ main()
                       .kv("checksum", std::string(digest)));
     }
 
+    // --- Rover row: the ported rover kinds ride the same engine and
+    // must hold the same invariance contract at swarm scale. The
+    // course outlasts the mission window, so this leg measures
+    // sustained rover-actor load, checksum-gated like the rest. ---
+    platform::ScenarioConfig rover_sc = shard_scenario();
+    rover_sc.kind = platform::ScenarioKind::TreasureHunt;
+    rover_sc.course_legs = 64;
+    platform::DeploymentConfig rover_dep = dep;
+    rover_dep.device_spec = edge::DeviceSpec::rover();
+    bool rover_invariant = true;
+    Json rover_rows = Json::array();
+    std::uint64_t rover_ref = 0;
+    double rover_base_wall = 0.0;
+    for (int n : shard_counts()) {
+        platform::ShardedScenarioResult r =
+            platform::run_scenario_sharded(rover_sc, opt, rover_dep, n);
+        if (rover_base_wall == 0.0) {
+            rover_ref = r.checksum;
+            rover_base_wall = r.wall_s;
+        } else if (r.checksum != rover_ref) {
+            rover_invariant = false;
+        }
+        const double speedup =
+            r.wall_s > 0.0 ? rover_base_wall / r.wall_s : 0.0;
+        char digest[32];
+        std::snprintf(digest, sizeof digest, "%016llx",
+                      static_cast<unsigned long long>(r.checksum));
+        print_row("rover", r, speedup, digest);
+        rover_rows.push(Json::object()
+                            .kv("shards", r.shards)
+                            .kv("wall_s", r.wall_s)
+                            .kv("speedup", speedup)
+                            .kv("epochs", r.epochs)
+                            .kv("forwarded", r.forwarded)
+                            .kv("completion_s", r.metrics.completion_s)
+                            .kv("tasks_completed",
+                                r.metrics.tasks_completed)
+                            .kv("checksum", std::string(digest)));
+    }
+
     // --- Gates ---
     const double epoch_reduction =
         epochs_at_1 > 0 ? static_cast<double>(baseline.epochs) /
@@ -167,6 +208,8 @@ main()
 
     std::printf("\nchecksum invariant across all rows: %s\n",
                 invariant ? "yes" : "NO — BUG");
+    std::printf("rover checksum invariant across shard counts: %s\n",
+                rover_invariant ? "yes" : "NO — BUG");
     std::printf("epoch reduction at shards=1 (baseline %llu -> %llu): "
                 "%.1fx %s\n",
                 static_cast<unsigned long long>(baseline.epochs),
@@ -192,6 +235,7 @@ main()
             .kv("devices",
                 static_cast<std::uint64_t>(shard_deployment().devices))
             .kv("checksum_invariant", invariant)
+            .kv("rover_checksum_invariant", rover_invariant)
             .kv("baseline", Json::object()
                                 .kv("wall_s", baseline.wall_s)
                                 .kv("epochs", baseline.epochs)
@@ -203,8 +247,10 @@ main()
                 std::string(speedup_enforced
                                 ? (speedup_ok ? "pass" : "fail")
                                 : "skipped (hw_threads < shards)"))
-            .kv("rows", rows));
+            .kv("rows", rows)
+            .kv("rover_rows", rover_rows));
     std::printf("(The speedup column is the point of the sharded runtime; "
                 "the checksum column is its correctness contract.)\n");
-    return (invariant && epochs_ok && speedup_ok) ? 0 : 1;
+    return (invariant && rover_invariant && epochs_ok && speedup_ok) ? 0
+                                                                     : 1;
 }

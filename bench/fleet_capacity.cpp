@@ -14,8 +14,8 @@
  *      and seed, every record must be ok, and every line the metrics
  *      pipeline streams must parse as JSON.
  *
- * The default profile is 4 tenants x 16 replicas = 64 swarms, mixing
- * engines (sharded drone scenarios, legacy rovers), platforms
+ * The default profile is 4 tenants x 16 replicas = 64 swarms, all on
+ * the sharded engine (drone and rover kinds alike), mixing platforms
  * (hivemind / distributed_edge / centralized_faas) and one chaos
  * tenant with a fault plan.
  */

@@ -16,9 +16,11 @@
  *   fuzz_soak [--seed N] [--runs N] [--minutes M] [--shards 1,2,4]
  *             [--engine both|legacy|sharded] [--devices N]
  *             [--servers N] [--horizon-s S]
+ *             [--kind stationary|moving|treasure|maze|cycle]
  *
  * --runs is the case budget; --minutes (0 = off) additionally stops
- * the soak when the wall-clock budget runs out.
+ * the soak when the wall-clock budget runs out. --kind cycle rotates
+ * every scenario kind (drones and rovers) across cases.
  */
 
 #include <chrono>
@@ -49,6 +51,9 @@ struct SoakOptions
     std::size_t devices = 6;
     std::size_t servers = 2;
     sim::Time horizon = 60 * sim::kSecond;
+    /** Scenario kinds cycled across cases (--kind). */
+    std::vector<platform::ScenarioKind> kinds = {
+        platform::ScenarioKind::StationaryItems};
     /** Every Nth case replays the first sharded run for determinism. */
     std::size_t determinism_every = 5;
     /** Non-empty: write each fuzzed plan as JSON here instead of
@@ -79,9 +84,29 @@ usage_and_exit(const char* argv0)
     std::fprintf(stderr,
                  "usage: %s [--seed N] [--runs N] [--minutes M] "
                  "[--shards 1,2,4] [--engine both|legacy|sharded] "
-                 "[--devices N] [--servers N] [--horizon-s S]\n",
+                 "[--devices N] [--servers N] [--horizon-s S] "
+                 "[--kind stationary|moving|treasure|maze|cycle]\n",
                  argv0);
     std::exit(2);
+}
+
+std::vector<platform::ScenarioKind>
+parse_kinds(const char* v, const char* argv0)
+{
+    if (std::strcmp(v, "stationary") == 0)
+        return {platform::ScenarioKind::StationaryItems};
+    if (std::strcmp(v, "moving") == 0)
+        return {platform::ScenarioKind::MovingPeople};
+    if (std::strcmp(v, "treasure") == 0)
+        return {platform::ScenarioKind::TreasureHunt};
+    if (std::strcmp(v, "maze") == 0)
+        return {platform::ScenarioKind::RoverMaze};
+    if (std::strcmp(v, "cycle") == 0)
+        return {platform::ScenarioKind::StationaryItems,
+                platform::ScenarioKind::MovingPeople,
+                platform::ScenarioKind::TreasureHunt,
+                platform::ScenarioKind::RoverMaze};
+    usage_and_exit(argv0);
 }
 
 SoakOptions
@@ -117,6 +142,8 @@ parse_args(int argc, char** argv)
             o.servers = std::strtoull(value(), nullptr, 10);
         } else if (std::strcmp(a, "--dump-corpus") == 0) {
             o.dump_corpus = value();
+        } else if (std::strcmp(a, "--kind") == 0) {
+            o.kinds = parse_kinds(value(), argv[0]);
         } else if (std::strcmp(a, "--horizon-s") == 0) {
             o.horizon =
                 static_cast<sim::Time>(std::strtoull(value(), nullptr, 10)) *
@@ -129,13 +156,15 @@ parse_args(int argc, char** argv)
 }
 
 platform::FuzzCaseOptions
-case_options(const SoakOptions& o, std::uint64_t seed)
+case_options(const SoakOptions& o, std::uint64_t seed,
+             platform::ScenarioKind kind)
 {
     platform::FuzzCaseOptions c;
     c.seed = seed;
     c.devices = o.devices;
     c.servers = o.servers;
     c.horizon = o.horizon;
+    c.kind = kind;
     return c;
 }
 
@@ -154,15 +183,15 @@ tag(std::vector<fault::Violation>& out,
  */
 std::vector<fault::Violation>
 run_battery(const fault::FaultPlan& plan, std::uint64_t seed,
-            const SoakOptions& o, const fault::OracleSuite& suite,
-            bool check_determinism)
+            platform::ScenarioKind kind, const SoakOptions& o,
+            const fault::OracleSuite& suite, bool check_determinism)
 {
     std::vector<fault::Violation> out;
     try {
         std::vector<fault::RunAudit> sharded;
         if (o.run_sharded) {
             for (int n : o.shards) {
-                platform::FuzzCaseOptions c = case_options(o, seed);
+                platform::FuzzCaseOptions c = case_options(o, seed, kind);
                 c.engine = platform::EngineChoice::Sharded;
                 c.shards = n;
                 fault::RunAudit audit = platform::run_fuzz_case(plan, c);
@@ -174,7 +203,7 @@ run_battery(const fault::FaultPlan& plan, std::uint64_t seed,
                 tag(out, suite.check_shard_invariance(sharded),
                     "shard-invariance");
             if (check_determinism && !sharded.empty()) {
-                platform::FuzzCaseOptions c = case_options(o, seed);
+                platform::FuzzCaseOptions c = case_options(o, seed, kind);
                 c.engine = platform::EngineChoice::Sharded;
                 c.shards = o.shards.front();
                 fault::RunAudit replay = platform::run_fuzz_case(plan, c);
@@ -183,7 +212,7 @@ run_battery(const fault::FaultPlan& plan, std::uint64_t seed,
             }
         }
         if (o.run_legacy) {
-            platform::FuzzCaseOptions c = case_options(o, seed);
+            platform::FuzzCaseOptions c = case_options(o, seed, kind);
             c.engine = platform::EngineChoice::Legacy;
             fault::RunAudit legacy = platform::run_fuzz_case(plan, c);
             tag(out, suite.audit(legacy), "legacy");
@@ -222,17 +251,22 @@ main(int argc, char** argv)
     const SoakOptions o = parse_args(argc, argv);
     const fault::OracleSuite suite;
 
-    fault::FuzzConfig fc = platform::fuzz_config_for(case_options(o, o.seed));
+    fault::FuzzConfig fc = platform::fuzz_config_for(
+        case_options(o, o.seed, o.kinds.front()));
     const fault::PlanFuzzer fuzzer(fc);
 
     std::printf("fuzz_soak: seed=%llu runs=%zu shards=",
                 static_cast<unsigned long long>(o.seed), o.runs);
     for (std::size_t i = 0; i < o.shards.size(); ++i)
         std::printf("%s%d", i ? "," : "", o.shards[i]);
-    std::printf(" engines=%s%s devices=%zu servers=%zu horizon=%llds\n",
+    std::printf(" engines=%s%s devices=%zu servers=%zu horizon=%llds",
                 o.run_legacy ? "legacy " : "",
                 o.run_sharded ? "sharded" : "", o.devices, o.servers,
                 static_cast<long long>(o.horizon / sim::kSecond));
+    std::printf(" kinds=");
+    for (std::size_t i = 0; i < o.kinds.size(); ++i)
+        std::printf("%s%s", i ? "," : "", platform::to_string(o.kinds[i]));
+    std::printf("\n");
 
     auto t0 = std::chrono::steady_clock::now();
     auto elapsed_min = [&]() {
@@ -250,6 +284,7 @@ main(int argc, char** argv)
             break;
         }
         const std::uint64_t case_seed = bench::sweep_seed(o.seed, i);
+        const platform::ScenarioKind kind = o.kinds[i % o.kinds.size()];
         const fault::FaultPlan plan = fuzzer.generate(case_seed);
         if (!o.dump_corpus.empty()) {
             std::string path = o.dump_corpus + "/seed_" +
@@ -271,7 +306,7 @@ main(int argc, char** argv)
         const bool determinism =
             o.determinism_every > 0 && i % o.determinism_every == 0;
         std::vector<fault::Violation> violations =
-            run_battery(plan, case_seed, o, suite, determinism);
+            run_battery(plan, case_seed, kind, o, suite, determinism);
         ++cases;
         if ((i + 1) % 25 == 0)
             std::fprintf(stderr, "[soak] %zu/%zu cases clean (%.1f min)\n",
@@ -279,9 +314,9 @@ main(int argc, char** argv)
         if (violations.empty())
             continue;
 
-        std::printf("\n[FAIL] case %zu (seed %llu, %zu events):\n%s\n", i,
-                    static_cast<unsigned long long>(case_seed),
-                    plan.events.size(),
+        std::printf("\n[FAIL] case %zu (seed %llu, %s, %zu events):\n%s\n",
+                    i, static_cast<unsigned long long>(case_seed),
+                    platform::to_string(kind), plan.events.size(),
                     fault::violations_to_string(violations).c_str());
 
         // Shrink against the same battery (determinism leg included so
@@ -289,7 +324,8 @@ main(int argc, char** argv)
         fault::ShrinkResult shrunk = fault::shrink_plan(
             plan,
             [&](const fault::FaultPlan& p) {
-                return !run_battery(p, case_seed, o, suite, determinism)
+                return !run_battery(p, case_seed, kind, o, suite,
+                                    determinism)
                             .empty();
             },
             150);

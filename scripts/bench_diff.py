@@ -56,8 +56,8 @@ def load(path: str) -> dict:
         sys.exit(2)
 
 
-def row_at(doc: dict, shards: int):
-    for row in doc.get("rows", []):
+def row_at(doc: dict, shards: int, key: str = "rows"):
+    for row in doc.get(key, []):
         if row.get("shards") == shards:
             return row
     return None
@@ -129,6 +129,12 @@ def main() -> int:
     if fresh.get("checksum_invariant") is not True:
         note("error", "fresh run reports checksum_invariant != true")
         return 1
+    # The rover row rides the same invariance contract (the key is
+    # absent in baselines predating the rover port).
+    if ("rover_checksum_invariant" in fresh
+            and fresh.get("rover_checksum_invariant") is not True):
+        note("error", "fresh run reports rover_checksum_invariant != true")
+        return 1
 
     print(f"{'shards':>6} {'base wall(s)':>13} {'fresh wall(s)':>14} "
           f"{'delta':>8}")
@@ -139,6 +145,17 @@ def main() -> int:
         delta = row["wall_s"] / b["wall_s"] - 1.0
         print(f"{row['shards']:>6} {b['wall_s']:>13.2f} "
               f"{row['wall_s']:>14.2f} {delta:>+7.1%}")
+
+    if fresh.get("rover_rows"):
+        print(f"\n{'rover':>6} {'base wall(s)':>13} {'fresh wall(s)':>14} "
+              f"{'delta':>8}")
+        for row in fresh.get("rover_rows", []):
+            b = row_at(base, row.get("shards"), key="rover_rows")
+            if b is None or not b.get("wall_s"):
+                continue
+            delta = row["wall_s"] / b["wall_s"] - 1.0
+            print(f"{row['shards']:>6} {b['wall_s']:>13.2f} "
+                  f"{row['wall_s']:>14.2f} {delta:>+7.1%}")
 
     b1, f1 = row_at(base, 1), row_at(fresh, 1)
     if b1 is None or f1 is None or not b1.get("wall_s"):

@@ -1,5 +1,6 @@
 #include "platform/fuzz_harness.hpp"
 
+#include "edge/device.hpp"
 #include "platform/deployment.hpp"
 #include "platform/options.hpp"
 #include "platform/scenario.hpp"
@@ -26,14 +27,21 @@ run_fuzz_case(const fault::FaultPlan& plan, const FuzzCaseOptions& opt)
     bounds.horizon = opt.horizon;
     plan.validate_or_throw(bounds);
 
+    const bool rover = opt.kind == ScenarioKind::TreasureHunt ||
+        opt.kind == ScenarioKind::RoverMaze;
+
     ScenarioConfig sc;
-    sc.kind = ScenarioKind::StationaryItems;
-    sc.field_size_m = 96.0;
+    sc.kind = opt.kind;
+    sc.field_size_m = rover ? 48.0 : 96.0;
     // Unattainable goal + unbounded pass budget: the only legitimate
     // stop is the horizon (or a fully dead fleet), so early finishes
     // surface as liveness violations instead of hiding as successes.
+    // For rover kinds the same contract comes from a course no 1 m/s
+    // rover can drive inside the horizon.
     sc.targets = 200;
     sc.max_passes = 1'000'000;
+    sc.course_legs = 64;
+    sc.maze_side = 21;
     sc.time_cap = opt.horizon;
     sc.faults = plan;
 
@@ -41,20 +49,19 @@ run_fuzz_case(const fault::FaultPlan& plan, const FuzzCaseOptions& opt)
     dep.devices = opt.devices;
     dep.servers = opt.servers;
     dep.seed = opt.seed;
+    if (rover)
+        dep.device_spec = edge::DeviceSpec::rover();
 
     // HiveMind platform: the HA stack wires itself when the plan can
     // take the swarm controller down, matching the shipped scenarios.
     const PlatformOptions platform = PlatformOptions::hivemind();
 
     // The audit-returning twin of platform::run()'s dispatch: the
-    // same EngineChoice semantics (Auto goes sharded when shards > 1
-    // and the kind is shardable — always true here), but routed to
-    // the audit-capable entry points the oracles need.
+    // same EngineChoice semantics (Auto resolves to the sharded
+    // engine for every kind since the rover port), but routed to the
+    // audit-capable entry points the oracles need.
     const int shards = opt.shards < 1 ? 1 : opt.shards;
-    const bool sharded =
-        opt.engine == EngineChoice::Sharded ||
-        (opt.engine == EngineChoice::Auto && shards > 1 &&
-         scenario_shardable(sc));
+    const bool sharded = opt.engine != EngineChoice::Legacy;
     fault::RunAudit audit;
     if (sharded) {
         audit = run_scenario_sharded(sc, platform, dep, shards).audit;

@@ -35,6 +35,10 @@ struct FuzzCaseOptions
     std::size_t devices = 6;
     std::size_t servers = 2;
     sim::Time horizon = 60 * sim::kSecond;
+    /** Scenario kind under fuzz: drone sweeps or rover missions (the
+     *  rover course is sized to outlast the horizon, preserving the
+     *  expect_full_horizon contract). */
+    ScenarioKind kind = ScenarioKind::StationaryItems;
 };
 
 /** The fuzzer configuration matching @p opt's deployment envelope. */

@@ -36,6 +36,12 @@ to_string(ScenarioKind k)
 
 namespace {
 
+// The fleet must look fully dead for this many consecutive 1 Hz ticks
+// before the mission aborts. A single all-dead reading can race a
+// rejoin already scheduled a beat later (the fuzzer found this in the
+// sharded engine; the legacy tick had the same instant-abort bug).
+constexpr int kFleetDeadDwellTicks = 3;
+
 /** Per-task stage shares handed back by the pipelines. */
 struct StageRecord
 {
@@ -93,6 +99,8 @@ class ScenarioHarness
           moving_until_(dep.device_count(), 0),
           compute_settled_(dep.device_count(), 0.0),
           done_at_(dep.device_count(), -1),
+          rover_cur_leg_(dep.device_count(), 0),
+          rover_gen_(dep.device_count(), 0),
           inflight_(dep.device_count(), 0)
     {
         pipeline_ = pipeline_for(sc.kind, sc.frame_bytes_override);
@@ -101,6 +109,15 @@ class ScenarioHarness
             dep.device_count(),
             [this](std::size_t d, bool failed) {
                 dep_->device(d).set_failed(failed);
+                if (is_drone_scenario())
+                    return;
+                // A crash strands the rover mid-leg and goes stale on
+                // every in-flight continuation; a rejoin re-drives the
+                // interrupted leg (drones get re-routed by the
+                // detector instead — rovers have no detector here).
+                ++rover_gen_[d];
+                if (!failed && !done_ && done_at_[d] < 0)
+                    rover_leg(d, rover_cur_leg_[d]);
             },
             [this](std::size_t d) {
                 return dep_->device(d).position_at(dep_->simulator().now());
@@ -196,6 +213,7 @@ class ScenarioHarness
     // --- Rover scenarios ---
     void setup_rovers();
     void rover_leg(std::size_t device, std::size_t leg);
+    void rover_sense(std::size_t device, std::size_t leg);
 
     Deployment* dep_;
     const ScenarioConfig* sc_;
@@ -218,7 +236,16 @@ class ScenarioHarness
     std::vector<sim::Time> moving_until_;
     std::vector<double> compute_settled_;
     std::vector<sim::Time> done_at_;  // Rover finish times (-1 = active).
+    std::vector<std::size_t> rover_cur_leg_;  // Leg under way per rover.
+    /**
+     * Bumped on every chaos crash AND rejoin: in-flight drive
+     * arrivals, sense retries and pipeline round trips carry the
+     * generation they were issued under and go stale when it moves,
+     * so a resumed leg never races its pre-crash continuations.
+     */
+    std::vector<std::uint64_t> rover_gen_;
     sim::Time last_retrain_ = 0;
+    int dead_ticks_ = 0;  // Consecutive all-dead 1 Hz readings.
     bool done_ = false;
     sim::Time completion_ = 0;
     // Controller task-graph bookkeeping (checkpointed by the HA stack).
@@ -794,7 +821,8 @@ ScenarioHarness::rover_leg(std::size_t device, std::size_t leg)
         return;
     edge::Device& dev = dep_->device(device);
     if (!dev.alive())
-        return;
+        return;  // The chaos rejoin hook re-drives the leg (see ctor).
+    rover_cur_leg_[device] = leg;
 
     std::size_t total_legs = sc_->kind == ScenarioKind::TreasureHunt
         ? courses_[device].panel_count()
@@ -816,27 +844,43 @@ ScenarioHarness::rover_leg(std::size_t device, std::size_t leg)
     }
     sim::Time drive = sim::from_seconds(dist / dev.spec().speed_mps);
     moving_until_[device] = dep_->simulator().now() + drive;
-    dep_->simulator().schedule_in(drive, [this, device, leg]() {
-        if (done_ || !dep_->device(device).alive())
+    const std::uint64_t gen = rover_gen_[device];
+    dep_->simulator().schedule_in(drive, [this, device, leg, gen]() {
+        if (done_ || gen != rover_gen_[device] ||
+            !dep_->device(device).alive())
             return;
-        // Photograph the panel / sense the walls, then wait for the
-        // processed instructions before moving on.
-        pipeline(device, [this, device, leg](const StageRecord& r) {
-            record(r);
-            if (r.dropped) {
-                // The instructions never arrived (partition / open
-                // breaker); retry the same leg after a beat instead of
-                // stalling the rover forever.
-                dep_->simulator().schedule_in(
-                    sim::kSecond, [this, device, leg]() {
-                        if (!done_ && dep_->device(device).alive())
-                            rover_leg(device, leg);
-                    });
-                return;
-            }
-            learning_.record(device);
-            rover_leg(device, leg + 1);
-        });
+        rover_sense(device, leg);
+    });
+}
+
+void
+ScenarioHarness::rover_sense(std::size_t device, std::size_t leg)
+{
+    // Photograph the panel / sense the walls, then wait for the
+    // processed instructions before moving on.
+    const std::uint64_t gen = rover_gen_[device];
+    pipeline(device, [this, device, leg, gen](const StageRecord& r) {
+        record(r);
+        if (done_ || gen != rover_gen_[device] ||
+            !dep_->device(device).alive())
+            return;
+        if (r.dropped) {
+            // The instructions never arrived (partition / open breaker
+            // / controller outage). The rover is already parked at the
+            // panel, so retry the sense after a beat — NOT the whole
+            // leg: re-driving would refresh moving_until_ and book
+            // motion energy for a rover standing still.
+            dep_->simulator().schedule_in(
+                sim::kSecond, [this, device, leg, gen]() {
+                    if (done_ || gen != rover_gen_[device] ||
+                        !dep_->device(device).alive())
+                        return;
+                    rover_sense(device, leg);
+                });
+            return;
+        }
+        learning_.record(device);
+        rover_leg(device, leg + 1);
     });
 }
 
@@ -915,8 +959,13 @@ ScenarioHarness::tick()
         finish(true);
         return;
     }
-    if (now >= sc_->time_cap || all_dead ||
-        (passes_exhausted && metrics_.tasks_completed > 0)) {
+    // An abort on the first all-dead reading races a rejoin already
+    // scheduled a beat later; wait out a short dwell instead. All-dead
+    // also makes passes_exhausted vacuously true, so that stop must
+    // not sneak past the dwell either.
+    dead_ticks_ = all_dead ? dead_ticks_ + 1 : 0;
+    if (now >= sc_->time_cap || dead_ticks_ >= kFleetDeadDwellTicks ||
+        (!all_dead && passes_exhausted && metrics_.tasks_completed > 0)) {
         finish(false);
         return;
     }
@@ -1092,18 +1141,27 @@ run(const ScenarioConfig& scenario, const PlatformOptions& options,
     EngineChoice choice = sc.engine;
     if (env::legacy_engine())
         choice = EngineChoice::Legacy;
-    if (choice == EngineChoice::Auto) {
-        choice = (sc.shards > 1 && scenario_shardable(sc))
-            ? EngineChoice::Sharded
-            : EngineChoice::Legacy;
-    }
+    // Auto is the sharded engine for every scenario kind (at shards=1
+    // too); the legacy harness survives behind EngineChoice::Legacy /
+    // HIVEMIND_LEGACY_ENGINE=1 as the parity baseline.
+    if (choice == EngineChoice::Auto)
+        choice = EngineChoice::Sharded;
+
+    // Reject malformed chaos plans at the facade, before any engine
+    // spins up a deployment for them. Horizon is deliberately left
+    // unchecked: plans may legitimately outlast time_cap (events past
+    // the stop simply never fire).
+    fault::PlanBounds bounds;
+    bounds.devices = deployment_config.devices;
+    bounds.servers = deployment_config.servers;
+    effective_plan(sc).validate_or_throw(bounds);
 
     RunResult out;
     if (choice == EngineChoice::Sharded) {
         if (!scenario_shardable(sc))
             throw std::invalid_argument(
                 "engine=sharded requested for a scenario kind the sharded "
-                "engine does not model (rover kinds run engine=legacy)");
+                "engine does not model");
         const int shards = std::max(sc.shards, 1);
         ShardedScenarioResult r =
             run_scenario_sharded(sc, options, deployment_config, shards);

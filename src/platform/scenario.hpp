@@ -50,13 +50,14 @@ namespace hivemind::platform {
  */
 enum class EngineChoice
 {
-    /** Sharded when `shards > 1` and the kind is shardable (the drone
-     *  scenarios), legacy otherwise — the historical dispatch. */
+    /** The sharded engine for every scenario kind, at shards=1 too —
+     *  the default dispatch since the rover port. */
     Auto,
-    /** The single-kernel ScenarioHarness, `shards` ignored. */
+    /** The single-kernel ScenarioHarness, `shards` ignored. Kept as
+     *  the cross-engine parity baseline; scheduled for deletion after
+     *  a release cycle of green parity runs. */
     Legacy,
-    /** The sharded engine at max(shards, 1) kernels; throws
-     *  std::invalid_argument for kinds it does not model (rovers). */
+    /** The sharded engine at max(shards, 1) kernels. */
     Sharded,
 };
 
@@ -110,14 +111,13 @@ struct ScenarioConfig
      */
     core::HaConfig ha;
     /**
-     * Simulation shards. 1 (the default) runs the legacy single-kernel
-     * harness, byte-identical to the pre-sharding behavior. Values > 1
-     * run the drone scenarios on sim::SwarmRuntime with device actors
-     * spread over that many shard kernels; the sharded engine's result
-     * is checksum-identical for any shard count, but is a different
-     * (message-passing) model than the shards=1 harness, so its
-     * numbers are compared against other sharded runs, not against
-     * shards=1. Rover scenarios always use the legacy harness.
+     * Simulation shards for the sharded engine: device actors (all
+     * four scenario kinds) spread over this many sim::SwarmRuntime
+     * kernels. The result is checksum-identical for any shard count.
+     * The sharded engine is a different (message-passing) model than
+     * the legacy harness, so its numbers are compared against other
+     * sharded runs; only RecoveryMetrics parity is pinned
+     * cross-engine (resilience_parity_test).
      */
     int shards = 1;
     /**

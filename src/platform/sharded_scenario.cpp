@@ -9,6 +9,7 @@
 
 #include "apps/world.hpp"
 #include "core/ha.hpp"
+#include "geo/maze.hpp"
 #include "core/heartbeat.hpp"
 #include "core/learning.hpp"
 #include "core/load_balancer.hpp"
@@ -111,6 +112,7 @@ struct DeviceActor
         sim::Time t1_edge = 0;    ///< On-board stage done (edge kinds).
         double edge_exec_s = 0.0; ///< On-board execution share.
         geo::Vec2 pos;            ///< Capture position (for detection).
+        std::uint64_t gen = 0;    ///< Rover leg generation at capture.
     };
     std::map<std::uint64_t, PendingFrame> pending;
     std::uint64_t next_frame = 0;
@@ -138,6 +140,22 @@ struct DeviceActor
     // Route protocol.
     bool awaiting_route = false;
     sim::Time route_requested_at = 0;
+
+    // Rover leg state machine (rover kinds only). The course geometry
+    // is flattened into per-leg drive distances at wiring time so the
+    // actor never touches controller-owned world state mid-run.
+    std::vector<double> legs;        ///< Drive distance per leg, meters.
+    std::size_t rover_leg = 0;       ///< Current leg index.
+    sim::Time moving_until = 0;      ///< Motion-energy gate (drive end).
+    sim::Time job_done_at = -1;      ///< Course finished (-1 = active).
+    double job_latency_s = 0.0;      ///< Finish time, seconds.
+    /**
+     * Bumped on every chaos crash AND rejoin: in-flight drive
+     * arrivals, sense retries and cloud round trips carry the
+     * generation they were issued under and go stale when it moves,
+     * so a resumed leg never races its pre-crash continuations.
+     */
+    std::uint64_t rover_gen = 0;
 
     DeviceActor(sim::Simulator& shard, std::uint64_t seed, std::size_t d,
                 const edge::DeviceSpec& spec, const fault::RetryConfig& retry)
@@ -270,6 +288,16 @@ struct ControllerTier
     core::LearningCoordinator learning;
     std::unique_ptr<apps::ItemField> items;
     std::unique_ptr<apps::CrowdField> crowd;
+    /** Rover kinds: true once, immutable after construction (safe to
+     *  read from any shard). */
+    bool rover = false;
+    /** TreasureHunt: per-device panel chains (region-seeded). */
+    std::vector<apps::TreasureHunt> courses;
+    /** RoverMaze: per-device wall-follower trace lengths. */
+    std::vector<std::size_t> maze_steps;
+    /** Heard-from finished roster (heartbeats re-announce, so a note
+     *  lost to a dead controller is recovered on the next beat). */
+    std::vector<char> rover_done;
     std::vector<int> pass;
     std::vector<char> alive_known;
     /**
@@ -315,10 +343,33 @@ struct ControllerTier
             items = std::make_unique<apps::ItemField>(
                 geo::Rect{0.0, 0.0, sc.field_size_m, sc.field_size_m},
                 sc.targets, rng);
-        } else {
+        } else if (sc.kind == ScenarioKind::MovingPeople) {
             crowd = std::make_unique<apps::CrowdField>(
                 geo::Rect{0.0, 0.0, sc.field_size_m, sc.field_size_m},
                 sc.targets, 1.4, rng);
+        } else {
+            // Rover worlds, generated per device from the forked rng
+            // in ascending id order exactly like the legacy path —
+            // single-threaded construction, so shard-agnostic.
+            rover = true;
+            rover_done.assign(devices, 0);
+            if (sc.kind == ScenarioKind::TreasureHunt) {
+                for (std::size_t d = 0; d < devices; ++d) {
+                    auto region = balancer.region_of(d);
+                    courses.emplace_back(
+                        *region, static_cast<std::size_t>(sc.course_legs),
+                        rng);
+                }
+            } else {
+                for (std::size_t d = 0; d < devices; ++d) {
+                    geo::Maze maze(sc.maze_side, sc.maze_side, rng);
+                    auto trace = geo::wall_follow(
+                        maze, sc.maze_side - 1, sc.maze_side - 1,
+                        static_cast<std::size_t>(sc.maze_side) *
+                            static_cast<std::size_t>(sc.maze_side) * 8);
+                    maze_steps.push_back(trace.size());
+                }
+            }
         }
     }
 
@@ -328,8 +379,32 @@ struct ControllerTier
             return static_cast<double>(items->found_count()) /
                 static_cast<double>(items->item_count());
         }
-        return static_cast<double>(crowd->counted_count()) /
-            static_cast<double>(crowd->population());
+        if (crowd) {
+            return static_cast<double>(crowd->counted_count()) /
+                static_cast<double>(crowd->population());
+        }
+        // Rover kinds: fraction of rovers known to have finished.
+        std::size_t finished = 0;
+        for (char f : rover_done) {
+            if (f)
+                ++finished;
+        }
+        return rover_done.empty()
+            ? 0.0
+            : static_cast<double>(finished) /
+                static_cast<double>(rover_done.size());
+    }
+
+    std::uint64_t world_digest() const
+    {
+        if (items)
+            return items->found_count();
+        if (crowd)
+            return crowd->counted_count();
+        std::uint64_t finished = 0;
+        for (char f : rover_done)
+            finished += f ? 1u : 0u;
+        return finished;
     }
 };
 
@@ -353,6 +428,7 @@ class ShardedScenarioEngine
     {
         runtime_.set_adaptive_lookahead(sc.adaptive_lookahead);
         wire_devices(dep);
+        wire_rovers();
         wire_controller();
         wire_ha(dep);
         arm_chaos();
@@ -366,6 +442,7 @@ class ShardedScenarioEngine
     // --- Device side (owner shards) ---
     void device_tick(DeviceActor& a);
     void frame_task(DeviceActor& a);
+    void launch_frame(DeviceActor& a, std::uint64_t frame);
     void offload(DeviceActor& a, std::uint64_t frame, std::uint64_t bytes,
                  int attempt);
     void air_attempt(DeviceActor& a, std::uint64_t frame,
@@ -379,6 +456,11 @@ class ShardedScenarioEngine
     void drain_attempt(DeviceActor& a, std::uint64_t bytes,
                        std::uint64_t frames, int tries_left);
 
+    // --- Rover leg state machine (owner shards) ---
+    void rover_begin_leg(DeviceActor& a);
+    void rover_sense(DeviceActor& a);
+    void rover_retry(DeviceActor& a);
+
     // --- Cloud side (cloud shard) ---
     void cloud_ingress(std::size_t device, std::uint64_t frame,
                        std::uint64_t bytes);
@@ -391,8 +473,10 @@ class ShardedScenarioEngine
     // --- Controller side (shard 0) ---
     void controller_tick();
     void on_beat(std::size_t device, std::uint32_t inflight,
-                 std::uint64_t started);
+                 std::uint64_t started, bool rover_finished);
     void on_report(std::size_t device, geo::Vec2 pos, sim::Time t0);
+    void on_rover_progress(std::size_t device);
+    void on_rover_done(std::size_t device);
     void on_route_request(std::size_t device);
     void send_route(std::size_t device);
     void on_device_failed(std::size_t device);
@@ -407,6 +491,7 @@ class ShardedScenarioEngine
     void availability_changed(bool up);
 
     void wire_devices(const DeploymentConfig& dep);
+    void wire_rovers();
     void wire_controller();
     void wire_ha(const DeploymentConfig& dep);
     void arm_chaos();
@@ -520,6 +605,12 @@ ShardedScenarioEngine::wire_devices(const DeploymentConfig& dep)
                            });
         }
 
+        // Rovers sense once per leg, driven by the leg state machine —
+        // no Poisson frame clock, no on-board obstacle stream (those
+        // model the drone flight stack, Sec. 2.1).
+        if (ctrl_.rover)
+            continue;
+
         // Poisson recognition frames while alive.
         sim::recurring(
             shard, sim::from_seconds(a->rng.uniform(0.0, 1.0)),
@@ -548,6 +639,31 @@ ShardedScenarioEngine::wire_devices(const DeploymentConfig& dep)
 }
 
 void
+ShardedScenarioEngine::wire_rovers()
+{
+    if (!ctrl_.rover)
+        return;
+    // Flatten the controller-generated course geometry into per-leg
+    // drive distances here, while wiring is still single-threaded, so
+    // the leg state machine on the owner shard never reads
+    // controller-owned world state mid-run.
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+        DeviceActor& a = *devices_[d];
+        if (sc_.kind == ScenarioKind::TreasureHunt) {
+            const apps::TreasureHunt& course = ctrl_.courses[d];
+            geo::Vec2 from = ctrl_.balancer.region_of(d)->center();
+            for (std::size_t leg = 0; leg < course.panel_count(); ++leg) {
+                a.legs.push_back(from.distance_to(course.panel(leg)));
+                from = course.panel(leg);
+            }
+        } else {
+            a.legs.assign(ctrl_.maze_steps[d], 1.0);  // One cell per leg.
+        }
+        rover_begin_leg(a);
+    }
+}
+
+void
 ShardedScenarioEngine::wire_controller()
 {
     ctrl_.detector.set_on_failure(
@@ -558,8 +674,11 @@ ShardedScenarioEngine::wire_controller()
 
     // Initial sweep routes ride the control downlinks before the run
     // starts, landing in deterministic merge order like any message.
-    for (std::size_t d = 0; d < devices_.size(); ++d)
-        send_route(d);
+    // Rovers carry their own course — no sweep routes to hand out.
+    if (!ctrl_.rover) {
+        for (std::size_t d = 0; d < devices_.size(); ++d)
+            send_route(d);
+    }
 
     sim::recurring(*ctrl_.sim, sim::kSecond,
                    [this](const sim::Recur& self) {
@@ -659,6 +778,8 @@ ShardedScenarioEngine::arm_chaos()
             return;
         a.chaos_down = true;
         a.dev.set_failed(true);
+        if (ctrl_.rover)
+            ++a.rover_gen;  // Strand in-flight leg continuations.
         ++device_crashes_;
     };
     hooks.rejoin_device = [this](std::size_t d) {
@@ -668,6 +789,14 @@ ShardedScenarioEngine::arm_chaos()
         a.chaos_down = false;
         a.dev.set_failed(false);
         ++device_rejoins_;  // Heartbeats resume; the detector rejoins it.
+        if (ctrl_.rover) {
+            // The crash interrupted the current leg mid-drive or
+            // mid-offload; bump the generation again (a rejoin is a
+            // fresh epoch too) and re-drive the leg from its start.
+            ++a.rover_gen;
+            if (a.job_done_at < 0)
+                rover_begin_leg(a);
+        }
     };
     hooks.set_device_loss = [this](std::size_t d, double loss) {
         data_up_[d].set_loss(loss);
@@ -722,8 +851,18 @@ ShardedScenarioEngine::device_tick(DeviceActor& a)
 {
     if (!a.dev.alive())
         return;
-    // Drones hover (full motion power) for the whole mission.
-    a.dev.account_motion(1.0);
+    if (ctrl_.rover) {
+        // Rovers burn motion power only while a leg's drive is under
+        // way (one grace second past arrival, mirroring the legacy
+        // tick); a rover parked on a sense retry or a finished course
+        // idles its drivetrain.
+        if (a.job_done_at < 0 &&
+            a.sim->now() <= a.moving_until + sim::kSecond)
+            a.dev.account_motion(1.0);
+    } else {
+        // Drones hover (full motion power) for the whole mission.
+        a.dev.account_motion(1.0);
+    }
     a.dev.account_idle(1.0);
     double busy = a.dev.executor().busy_seconds();
     a.dev.account_compute(busy - a.compute_settled);
@@ -741,10 +880,16 @@ ShardedScenarioEngine::device_tick(DeviceActor& a)
     const std::uint32_t inflight =
         static_cast<std::uint32_t>(a.pending.size());
     const std::uint64_t started = a.frames;
+    // Rovers piggyback their finished flag on the beat: a completion
+    // note lost to a dead controller is re-announced every second, so
+    // the goal roster converges once a controller is back.
+    const bool finished = ctrl_.rover && a.job_done_at >= 0;
     a.ctrl_up->transfer(kCtrlMsgBytes,
-                        sim::InlineFn([this, d, inflight, started] {
-                            on_beat(d, inflight, started);
+                        sim::InlineFn([this, d, inflight, started, finished] {
+                            on_beat(d, inflight, started, finished);
                         }));
+    if (ctrl_.rover)
+        return;  // No sweep routes to retrace or request.
     sim::Time now = a.sim->now();
     if (a.dev.degraded()) {
         // Controller outage: retrace the last route on-board instead
@@ -781,7 +926,13 @@ ShardedScenarioEngine::frame_task(DeviceActor& a)
     p.t0 = t0;
     p.pos = a.dev.position_at(t0);
     a.pending.emplace(frame, p);
+    launch_frame(a, frame);
+}
 
+/** Platform-kind dispatch for a just-captured frame (drone or rover). */
+void
+ShardedScenarioEngine::launch_frame(DeviceActor& a, std::uint64_t frame)
+{
     if (opt_.kind == PlatformKind::DistributedEdge) {
         // Everything on-board; only the final result is uplinked.
         double total_work = pipe_.rec_work_ms + pipe_.dedup_work_ms;
@@ -817,6 +968,86 @@ ShardedScenarioEngine::frame_task(DeviceActor& a)
     offload(a, frame, pipe_.frame_bytes, 0);
 }
 
+// ---------------------------------------------------------------------
+// Rover leg state machine (owner shards)
+// ---------------------------------------------------------------------
+
+/**
+ * Start (or resume) the current leg: drive to the next panel / cell,
+ * then sense. A finished course announces itself over the control
+ * plane and keeps re-announcing via the heartbeat flag.
+ */
+void
+ShardedScenarioEngine::rover_begin_leg(DeviceActor& a)
+{
+    if (!a.dev.alive() || a.job_done_at >= 0)
+        return;
+    if (a.rover_leg >= a.legs.size()) {
+        a.job_done_at = a.sim->now();
+        a.job_latency_s = sim::to_seconds(a.job_done_at);
+        const std::size_t d = a.id;
+        a.ctrl_up->transfer(kCtrlMsgBytes,
+                            sim::InlineFn([this, d] { on_rover_done(d); }));
+        return;
+    }
+    const double dist = a.legs[a.rover_leg];
+    const sim::Time drive =
+        sim::from_seconds(dist / a.dev.spec().speed_mps);
+    a.moving_until = a.sim->now() + drive;
+    const std::uint64_t gen = a.rover_gen;
+    a.sim->schedule_in(drive, [this, ap = &a, gen] {
+        if (gen != ap->rover_gen)
+            return;  // Crashed (and maybe rejoined) mid-drive.
+        rover_sense(*ap);
+    });
+}
+
+/**
+ * Photograph the panel / sense the walls and push the frame through
+ * the offload pipeline. The rover holds position until the processed
+ * instructions come back (on_result advances the leg).
+ */
+void
+ShardedScenarioEngine::rover_sense(DeviceActor& a)
+{
+    if (!a.dev.alive() || a.job_done_at >= 0)
+        return;
+    if (a.dev.degraded()) {
+        // No controller to route instructions: park (motion accounting
+        // stopped by the moving_until gate) and re-sense after a beat.
+        rover_retry(a);
+        return;
+    }
+    const std::uint64_t frame = ++a.next_frame;
+    ++a.frames;
+    sim::Time t0 = a.sim->now();
+    DeviceActor::PendingFrame p;
+    p.t0 = t0;
+    p.pos = a.dev.position_at(t0);
+    p.gen = a.rover_gen;
+    a.pending.emplace(frame, p);
+    launch_frame(a, frame);
+}
+
+/**
+ * The instructions never arrived (open breaker, blackout, degraded
+ * window): retry the sense — not the drive — after a 1 s dwell. The
+ * rover is already parked at the panel, so no motion energy is booked
+ * while it waits (moving_until stays in the past).
+ */
+void
+ShardedScenarioEngine::rover_retry(DeviceActor& a)
+{
+    if (a.job_done_at >= 0)
+        return;
+    const std::uint64_t gen = a.rover_gen;
+    a.sim->schedule_in(sim::kSecond, [this, ap = &a, gen] {
+        if (gen != ap->rover_gen)
+            return;
+        rover_sense(*ap);
+    });
+}
+
 void
 ShardedScenarioEngine::offload(DeviceActor& a, std::uint64_t frame,
                                std::uint64_t bytes, int attempt)
@@ -826,6 +1057,8 @@ ShardedScenarioEngine::offload(DeviceActor& a, std::uint64_t frame,
         // window instead of queueing radio traffic (Sec. 4.6).
         ++a.abandoned;
         a.pending.erase(frame);
+        if (ctrl_.rover)
+            rover_retry(a);  // The leg is not done; re-sense later.
         return;
     }
     a.radio_bytes += bytes;  // Radio energy per offload attempt.
@@ -896,6 +1129,8 @@ ShardedScenarioEngine::air_failed(DeviceActor& a, std::uint64_t frame,
         a.retrier.circuit_open(0, now)) {
         ++a.abandoned;
         a.pending.erase(frame);
+        if (ctrl_.rover)
+            rover_retry(a);  // The leg is not done; re-sense later.
         return;
     }
     ++a.offload_retries;
@@ -948,6 +1183,19 @@ ShardedScenarioEngine::on_result(DeviceActor& a, std::uint64_t frame,
         ++a.outage_completions;  // Outage goodput: landed while dark.
 
     const std::size_t d = a.id;
+    if (ctrl_.rover) {
+        // Rover instructions processed: report leg progress upstream
+        // and advance — unless the frame predates a crash/rejoin, in
+        // which case the rejoin's re-drive owns the leg now.
+        a.ctrl_up->transfer(kCtrlMsgBytes, sim::InlineFn([this, d] {
+                                on_rover_progress(d);
+                            }));
+        if (p.gen == a.rover_gen && a.dev.alive() && a.job_done_at < 0) {
+            ++a.rover_leg;
+            rover_begin_leg(a);
+        }
+        return;
+    }
     const geo::Vec2 pos = p.pos;
     const sim::Time t0 = p.t0;
     a.ctrl_up->transfer(kCtrlMsgBytes, sim::InlineFn([this, d, pos, t0] {
@@ -1117,7 +1365,7 @@ ShardedScenarioEngine::send_result(std::size_t device, std::uint64_t frame,
 
 void
 ShardedScenarioEngine::on_beat(std::size_t device, std::uint32_t inflight,
-                               std::uint64_t started)
+                               std::uint64_t started, bool rover_finished)
 {
     if (ctrl_.down) {
         ++ctrl_.dropped_msgs;
@@ -1126,7 +1374,33 @@ ShardedScenarioEngine::on_beat(std::size_t device, std::uint32_t inflight,
     ctrl_.alive_known[device] = 1;
     ctrl_.inflight_known[device] = inflight;
     ctrl_.started_known[device] = started;
+    if (rover_finished && ctrl_.rover)
+        ctrl_.rover_done[device] = 1;
     ctrl_.detector.beat(device);
+}
+
+void
+ShardedScenarioEngine::on_rover_progress(std::size_t device)
+{
+    if (ctrl_.down) {
+        ++ctrl_.dropped_msgs;
+        return;
+    }
+    if (ctrl_.done)
+        return;
+    ++ctrl_.reports;
+    ctrl_.learning.record(device);  // Each completed leg is feedback.
+}
+
+void
+ShardedScenarioEngine::on_rover_done(std::size_t device)
+{
+    if (ctrl_.down) {
+        // Lost to the outage; the heartbeat flag re-announces it.
+        ++ctrl_.dropped_msgs;
+        return;
+    }
+    ctrl_.rover_done[device] = 1;
 }
 
 void
@@ -1188,6 +1462,8 @@ ShardedScenarioEngine::on_route_request(std::size_t device)
 void
 ShardedScenarioEngine::send_route(std::size_t device)
 {
+    if (ctrl_.rover)
+        return;  // Rovers carry their own course.
     const edge::DeviceSpec& spec = devices_[device]->dev.spec();
     std::vector<geo::Vec2> route =
         ctrl_.balancer.route_for(device, spec.footprint_w);
@@ -1211,8 +1487,8 @@ void
 ShardedScenarioEngine::on_device_failed(std::size_t device)
 {
     ctrl_.alive_known[device] = 0;
-    if (!hivemind())
-        return;
+    if (!hivemind() || ctrl_.rover)
+        return;  // Rovers own their regions; nothing to repartition.
     // Fig. 10: split the failed device's region among its neighbours
     // and hand the survivors fresh routes.
     for (std::size_t c : ctrl_.balancer.handle_failure(device)) {
@@ -1225,8 +1501,8 @@ void
 ShardedScenarioEngine::on_device_recovered(std::size_t device)
 {
     ctrl_.alive_known[device] = 1;
-    if (!hivemind())
-        return;
+    if (!hivemind() || ctrl_.rover)
+        return;  // The rejoin hook already re-drives the rover's leg.
     for (std::size_t c : ctrl_.balancer.handle_rejoin(device)) {
         if (ctrl_.alive_known[c])
             send_route(c);
@@ -1246,7 +1522,7 @@ ShardedScenarioEngine::controller_takeover()
     std::vector<std::size_t> changed;
     for (std::size_t d = 0; d < devices_.size(); ++d) {
         ctrl_.detector.reconcile(d, ctrl_.alive_known[d] != 0);
-        if (!hivemind())
+        if (!hivemind() || ctrl_.rover)
             continue;
         if (ctrl_.alive_known[d] && !ctrl_.balancer.region_of(d)) {
             for (std::size_t c : ctrl_.balancer.handle_rejoin(d))
@@ -1301,6 +1577,8 @@ ShardedScenarioEngine::reconcile_after_takeover(
         ++rep.devices_reregistered;
         const bool live = ctrl_.alive_known[d] != 0;
         ctrl_.detector.reconcile(d, live);
+        if (ctrl_.rover)
+            continue;  // No region drift to repartition for rovers.
         if (live && !ctrl_.balancer.region_of(d)) {
             for (std::size_t c : ctrl_.balancer.handle_rejoin(d))
                 changed.push_back(c);
@@ -1465,6 +1743,8 @@ ShardedScenarioEngine::collect_metrics()
         m.data_s.merge(a.data_s);
         m.exec_s.merge(a.exec_s);
         m.battery_pct.add(a.dev.battery().consumed_percent());
+        if (ctrl_.rover && a.job_done_at >= 0)
+            m.job_latency_s.add(a.job_latency_s);
         m.tasks_shed += a.dev.executor().shed();
         m.radio_bytes_total += a.radio_bytes;
         m.tasks_completed += a.completions;
@@ -1597,6 +1877,12 @@ ShardedScenarioEngine::checksum() const
         mix(cs, bits(pos.y));
         mix(cs, static_cast<std::uint64_t>(
                     ctrl_.pass[a.id] >= 0 ? ctrl_.pass[a.id] : 0));
+        if (ctrl_.rover) {
+            mix(cs, static_cast<std::uint64_t>(a.rover_leg));
+            mix(cs, a.job_done_at >= 0 ? 1u : 0u);
+            mix(cs, bits(a.job_latency_s));
+            mix(cs, a.rover_gen);
+        }
     }
     mix(cs, ctrl_.reports);
     mix(cs, ctrl_.dropped_msgs);
@@ -1618,8 +1904,7 @@ ShardedScenarioEngine::checksum() const
         mix(cs, ckpt_down_->bytes_total());
         mix(cs, ckpt_writes_lost_);
     }
-    mix(cs, ctrl_.items ? ctrl_.items->found_count()
-                        : ctrl_.crowd->counted_count());
+    mix(cs, ctrl_.world_digest());
     mix(cs, bits(ctrl_.learning.swarm_p_correct()));
     mix(cs, ctrl_.detector.failed_count());
     mix(cs, cloud_.corrupt_frames);
@@ -1636,8 +1921,11 @@ ShardedScenarioEngine::checksum() const
 bool
 scenario_shardable(const ScenarioConfig& scenario)
 {
-    return scenario.kind == ScenarioKind::StationaryItems ||
-        scenario.kind == ScenarioKind::MovingPeople;
+    // All four paper scenario kinds run on the sharded engine; the
+    // predicate survives as the dispatch seam (and for any future kind
+    // that lands legacy-first).
+    (void)scenario;
+    return true;
 }
 
 ShardedScenarioResult

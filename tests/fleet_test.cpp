@@ -311,15 +311,25 @@ TEST(RunFacadeTest, AutoDispatchesByShardsAndKind)
     EXPECT_EQ(rl.shards_used, 1);
     EXPECT_EQ(rl.epochs, 0u);
 
-    // Rover kinds are not shardable: Auto falls back to legacy,
-    // forcing Sharded throws.
+    // Auto picks the sharded engine at shards=1 too — the legacy
+    // harness runs only when asked for.
+    platform::ScenarioConfig one = sharded;
+    one.shards = 1;
+    platform::RunResult r1 = platform::run(one, opt, dep);
+    EXPECT_EQ(r1.engine_used, platform::EngineChoice::Sharded);
+    EXPECT_EQ(r1.shards_used, 1);
+
+    // Rover kinds ride the sharded engine since the port.
     platform::ScenarioConfig rover =
         small_scenario(platform::ScenarioKind::TreasureHunt);
     rover.shards = 4;
-    EXPECT_EQ(platform::run(rover, opt, dep).engine_used,
-              platform::EngineChoice::Legacy);
-    rover.engine = platform::EngineChoice::Sharded;
-    EXPECT_THROW(platform::run(rover, opt, dep), std::invalid_argument);
+    platform::RunResult rr = platform::run(rover, opt, dep);
+    EXPECT_EQ(rr.engine_used, platform::EngineChoice::Sharded);
+    EXPECT_EQ(rr.shards_used, 4);
+    platform::ScenarioConfig maze =
+        small_scenario(platform::ScenarioKind::RoverMaze);
+    EXPECT_EQ(platform::run(maze, opt, dep).engine_used,
+              platform::EngineChoice::Sharded);
 }
 
 TEST(RunFacadeTest, RunIsDeterministicPerSeed)
@@ -394,12 +404,13 @@ TEST(FleetTest, ReplicasGetDistinctSeedsAndChecksums)
 
 TEST(FleetTest, AbnormalSwarmExitStillReachesTheStream)
 {
-    // One tenant is mis-configured (rovers forced onto the sharded
-    // engine): its runs throw inside the worker. The fleet must
-    // finish, mark those records failed, and the JSONL stream must
-    // still carry every record — including the failed ones.
+    // One tenant is mis-configured (its fault plan targets a device
+    // the 4-device swarm does not have): its runs throw inside the
+    // worker at plan validation. The fleet must finish, mark those
+    // records failed, and the JSONL stream must still carry every
+    // record — including the failed ones.
     platform::FleetProfile profile = small_fleet();
-    profile.tenants[1].scenario.engine = platform::EngineChoice::Sharded;
+    profile.tenants[1].scenario.faults.device_crash(sim::kSecond, 99);
     const platform::Fleet fleet{profile};
 
     std::ostringstream jsonl;

@@ -619,6 +619,51 @@ TEST(FuzzSmoke, FuzzedPlansSurviveBothEnginesAndAllOracles)
     }
 }
 
+TEST(FuzzSmoke, RoverPlansSurviveBothEnginesAndAllOracles)
+{
+    const fault::OracleSuite suite;
+    for (platform::ScenarioKind kind :
+         {platform::ScenarioKind::TreasureHunt,
+          platform::ScenarioKind::RoverMaze}) {
+        platform::FuzzCaseOptions opt;
+        opt.kind = kind;
+        opt.devices = 4;
+        opt.servers = 2;
+        opt.horizon = 40 * sim::kSecond;
+        fault::PlanFuzzer fuzzer(platform::fuzz_config_for(opt));
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+            FaultPlan plan = fuzzer.generate(seed * 2000003);
+            opt.seed = seed;
+
+            opt.engine = platform::EngineChoice::Sharded;
+            opt.shards = 1;
+            RunAudit one = platform::run_fuzz_case(plan, opt);
+            std::vector<Violation> vs = suite.audit(one);
+            EXPECT_TRUE(vs.empty()) << platform::to_string(kind) << " seed "
+                                    << seed << "\n"
+                                    << fault::violations_to_string(vs);
+
+            opt.shards = 2;
+            RunAudit two = platform::run_fuzz_case(plan, opt);
+            vs = suite.check_shard_invariance({one, two});
+            EXPECT_TRUE(vs.empty()) << platform::to_string(kind) << " seed "
+                                    << seed << "\n"
+                                    << fault::violations_to_string(vs);
+
+            opt.engine = platform::EngineChoice::Legacy;
+            RunAudit legacy = platform::run_fuzz_case(plan, opt);
+            vs = suite.audit(legacy);
+            EXPECT_TRUE(vs.empty()) << platform::to_string(kind) << " seed "
+                                    << seed << "\n"
+                                    << fault::violations_to_string(vs);
+            vs = suite.check_cross_engine(legacy, one);
+            EXPECT_TRUE(vs.empty()) << platform::to_string(kind) << " seed "
+                                    << seed << "\n"
+                                    << fault::violations_to_string(vs);
+        }
+    }
+}
+
 TEST(FuzzSmoke, SameSeedRunsAreByteIdentical)
 {
     const fault::OracleSuite suite;
@@ -654,13 +699,21 @@ std::string read_file(const std::filesystem::path& path)
 TEST(FuzzCorpus, EveryCheckedInPlanReplaysCleanOnBothEngines)
 {
     const fault::OracleSuite suite;
-    platform::FuzzCaseOptions opt;  // The corpus' generation envelope.
     std::size_t replayed = 0;
     for (const auto& entry :
          std::filesystem::directory_iterator(FUZZ_CORPUS_DIR)) {
         if (entry.path().extension() != ".json")
             continue;
-        SCOPED_TRACE(entry.path().filename().string());
+        const std::string name = entry.path().filename().string();
+        SCOPED_TRACE(name);
+        platform::FuzzCaseOptions opt;  // The corpus' generation envelope.
+        // The filename prefix routes the plan to its scenario kind:
+        // treasure_* / maze_* replay on the rover missions, seed_* on
+        // the drone sweep.
+        if (name.rfind("treasure_", 0) == 0)
+            opt.kind = platform::ScenarioKind::TreasureHunt;
+        else if (name.rfind("maze_", 0) == 0)
+            opt.kind = platform::ScenarioKind::RoverMaze;
         FaultPlan plan = fault::plan_from_json(read_file(entry.path()));
         EXPECT_FALSE(plan.empty());
 
@@ -678,7 +731,7 @@ TEST(FuzzCorpus, EveryCheckedInPlanReplaysCleanOnBothEngines)
         EXPECT_TRUE(vs.empty()) << fault::violations_to_string(vs);
         ++replayed;
     }
-    EXPECT_GE(replayed, 8u) << "corpus went missing";
+    EXPECT_GE(replayed, 10u) << "corpus went missing";
 }
 #endif  // FUZZ_CORPUS_DIR
 

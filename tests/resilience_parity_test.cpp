@@ -74,6 +74,9 @@ run_legacy(const platform::ScenarioConfig& sc,
 {
     platform::ScenarioConfig legacy = sc;
     legacy.shards = 1;
+    // Auto resolves to the sharded engine for every kind now; the
+    // parity baseline must ask for the legacy harness explicitly.
+    legacy.engine = platform::EngineChoice::Legacy;
     return run_scenario(legacy, opt, parity_deployment());
 }
 
@@ -345,6 +348,100 @@ TEST(ShardedHa, ChecksumInvariantWithFullChaosPlan)
             << "shards=" << n << "\n"
             << fault::metrics_diff_string(ref.metrics.recovery,
                                           run.metrics.recovery);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rover parity + invariance (rover-port tentpole acceptance)
+// ---------------------------------------------------------------------
+
+/**
+ * A rover mission under churn: two crash/rejoin windows that interrupt
+ * legs mid-drive or mid-offload, plus a lossy burst over the sense
+ * round trips. Course sized so both engines can still finish inside
+ * the cap once the rejoins resume the interrupted legs.
+ */
+platform::ScenarioConfig
+rover_chaos_scenario(platform::ScenarioKind kind)
+{
+    platform::ScenarioConfig sc;
+    sc.kind = kind;
+    sc.field_size_m = 48.0;
+    sc.course_legs = 6;
+    sc.maze_side = 5;
+    sc.time_cap = 300 * sim::kSecond;
+    sc.faults.device_crash(5 * sim::kSecond, 1, 6 * sim::kSecond)
+        .device_crash(9 * sim::kSecond, 3, 4 * sim::kSecond)
+        .link_burst(15 * sim::kSecond, 8 * sim::kSecond, 0.9);
+    return sc;
+}
+
+TEST(ResilienceParity, RoverRecoveryTracksLegacyOnSamePlanAndSeed)
+{
+    for (platform::ScenarioKind kind :
+         {platform::ScenarioKind::TreasureHunt,
+          platform::ScenarioKind::RoverMaze}) {
+        platform::ScenarioConfig sc = rover_chaos_scenario(kind);
+        platform::RunMetrics legacy =
+            run_legacy(sc, platform::PlatformOptions::hivemind());
+        platform::RunMetrics sharded =
+            run_sharded(sc, platform::PlatformOptions::hivemind(), 2);
+
+        // Every injected-fault counter both engines model identically
+        // must agree exactly — the same list the fuzz oracles pin.
+        std::vector<fault::MetricsDelta> exact = fault::metrics_diff(
+            legacy.recovery, sharded.recovery,
+            fault::OracleSuite::cross_engine_parity_fields());
+        EXPECT_TRUE(exact.empty())
+            << platform::to_string(kind) << "\n"
+            << fault::metrics_diff_string(exact);
+
+        // The plan really ran on both engines.
+        EXPECT_EQ(legacy.recovery.device_crashes, 2u)
+            << platform::to_string(kind);
+        EXPECT_EQ(legacy.recovery.device_rejoins, 2u);
+        EXPECT_EQ(legacy.recovery.link_burst_windows, 1u);
+
+        // Both engines finish the full course under churn: the rejoin
+        // resumes the interrupted leg instead of stranding the rover.
+        EXPECT_TRUE(legacy.completed) << platform::to_string(kind);
+        EXPECT_TRUE(sharded.completed) << platform::to_string(kind);
+        EXPECT_EQ(legacy.job_latency_s.count(), 8u);
+        EXPECT_EQ(sharded.job_latency_s.count(), 8u);
+    }
+}
+
+TEST(ShardedRover, ChecksumInvariantWithFullChaosPlan)
+{
+    for (platform::ScenarioKind kind :
+         {platform::ScenarioKind::TreasureHunt,
+          platform::ScenarioKind::RoverMaze}) {
+        platform::ScenarioConfig sc = rover_chaos_scenario(kind);
+        // Fold in the controller-side faults so the rover path runs
+        // against the whole HA/degraded stack too.
+        sc.faults.controller_crash(12 * sim::kSecond);
+        platform::ShardedScenarioResult ref =
+            platform::run_scenario_sharded(
+                sc, platform::PlatformOptions::hivemind(),
+                parity_deployment(), 1);
+        EXPECT_EQ(ref.metrics.recovery.device_crashes, 2u)
+            << platform::to_string(kind);
+        EXPECT_EQ(ref.metrics.recovery.device_rejoins, 2u);
+        EXPECT_EQ(ref.metrics.recovery.controller_crashes, 1u);
+        EXPECT_EQ(ref.metrics.recovery.controller_failovers, 1u);
+
+        for (int n : shard_counts()) {
+            platform::ShardedScenarioResult run =
+                platform::run_scenario_sharded(
+                    sc, platform::PlatformOptions::hivemind(),
+                    parity_deployment(), n);
+            EXPECT_EQ(run.checksum, ref.checksum)
+                << platform::to_string(kind) << " shards=" << n;
+            EXPECT_TRUE(run.metrics.recovery == ref.metrics.recovery)
+                << platform::to_string(kind) << " shards=" << n << "\n"
+                << fault::metrics_diff_string(ref.metrics.recovery,
+                                              run.metrics.recovery);
+        }
     }
 }
 

@@ -442,16 +442,19 @@ scenario_deployment()
     return cfg;
 }
 
-TEST(ShardedScenarioTest, OnlyDroneScenariosAreShardable)
+TEST(ShardedScenarioTest, EveryScenarioKindIsShardable)
 {
+    // Since the rover port every kind runs on the sharded engine.
     platform::ScenarioConfig sc = scenario_config();
-    EXPECT_TRUE(platform::scenario_shardable(sc));
-    sc.kind = platform::ScenarioKind::MovingPeople;
-    EXPECT_TRUE(platform::scenario_shardable(sc));
-    sc.kind = platform::ScenarioKind::TreasureHunt;
-    EXPECT_FALSE(platform::scenario_shardable(sc));
-    sc.kind = platform::ScenarioKind::RoverMaze;
-    EXPECT_FALSE(platform::scenario_shardable(sc));
+    for (platform::ScenarioKind kind :
+         {platform::ScenarioKind::StationaryItems,
+          platform::ScenarioKind::MovingPeople,
+          platform::ScenarioKind::TreasureHunt,
+          platform::ScenarioKind::RoverMaze}) {
+        sc.kind = kind;
+        EXPECT_TRUE(platform::scenario_shardable(sc))
+            << platform::to_string(kind);
+    }
 }
 
 TEST(ShardedScenarioTest, RunsTheScenarioToAVerdict)
